@@ -1,0 +1,183 @@
+//! O(1) connectivity between Cartesian bricks.
+//!
+//! "The bulk of the connectivity solution can be performed at very low cost
+//! because no donor searches are required when donor elements reside in
+//! Cartesian grid components": locating the containing cell of a point in a
+//! seven-parameter grid is index arithmetic ([`CartesianGrid::locate`]).
+
+use crate::offbody::Brick;
+use overset_grid::CartesianGrid;
+
+/// Flops for one O(1) Cartesian donor location (compare with the hundreds
+/// per stencil-walk search in the curvilinear case).
+pub const FLOPS_PER_LOCATE: u64 = 15;
+
+/// A donor reference into the brick system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrickDonor {
+    pub brick: usize,
+    pub cell: overset_grid::Ijk,
+    pub loc: [f64; 3],
+}
+
+/// Locate the donor for a point among bricks, preferring the *finest* brick
+/// containing it (ties by index). Linear scan over candidate bricks is
+/// avoided with the caller-provided candidate list (e.g. neighbors of the
+/// requesting brick); `locate_any` scans everything (setup / tests).
+pub fn locate_among(
+    bricks: &[Brick],
+    candidates: &[usize],
+    x: [f64; 3],
+    exclude: Option<usize>,
+) -> Option<BrickDonor> {
+    let mut best: Option<(usize, BrickDonor)> = None;
+    for &bi in candidates {
+        if Some(bi) == exclude {
+            continue;
+        }
+        let b = &bricks[bi];
+        if let Some((cell, loc)) = b.grid.locate(x) {
+            let better = match &best {
+                None => true,
+                Some((lvl, _)) => b.level > *lvl,
+            };
+            if better {
+                best = Some((b.level, BrickDonor { brick: bi, cell, loc }));
+            }
+        }
+    }
+    best.map(|(_, d)| d)
+}
+
+/// Scan all bricks (setup-time convenience).
+pub fn locate_any(bricks: &[Brick], x: [f64; 3], exclude: Option<usize>) -> Option<BrickDonor> {
+    let all: Vec<usize> = (0..bricks.len()).collect();
+    locate_among(bricks, &all, x, exclude)
+}
+
+/// Trilinear interpolation weights for a brick donor (uniform Cartesian:
+/// exactly the unit-cube weights).
+pub fn donor_weights(d: &BrickDonor) -> [f64; 8] {
+    let [ti, tj, tk] = d.loc;
+    let mut w = [0.0f64; 8];
+    for dk in 0..2 {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let wi = if di == 0 { 1.0 - ti } else { ti };
+                let wj = if dj == 0 { 1.0 - tj } else { tj };
+                let wk = if dk == 0 { 1.0 - tk } else { tk };
+                w[di + 2 * dj + 4 * dk] = wi * wj * wk;
+            }
+        }
+    }
+    w
+}
+
+/// Brick adjacency: two bricks are connected when their (slightly inflated)
+/// boxes intersect — the connectivity array of Algorithm 3.
+pub fn build_adjacency(bricks: &[Brick]) -> overset_balance::AdjacencyMatrix {
+    let n = bricks.len();
+    let mut adj = overset_balance::AdjacencyMatrix::new(n);
+    let boxes: Vec<overset_grid::Aabb> = bricks
+        .iter()
+        .map(|b| {
+            let bb = b.bbox();
+            bb.inflate(0.5 * b.grid.spacing)
+        })
+        .collect();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if boxes[a].intersects(&boxes[b]) {
+                adj.connect(a, b);
+            }
+        }
+    }
+    adj
+}
+
+/// Check whether a grid kind participates in cheap Cartesian connectivity.
+pub fn is_cartesian(_g: &CartesianGrid) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offbody::{generate, proximity_oracle, OffBodyConfig};
+    use overset_grid::Aabb;
+
+    fn system() -> Vec<Brick> {
+        let cfg = OffBodyConfig {
+            domain: Aabb::new([-4.0; 3], [4.0; 3]),
+            bricks_per_axis: [2, 2, 2],
+            cells_per_edge: 4,
+            max_level: 2,
+        };
+        let oracle = proximity_oracle(vec![Aabb::new([-0.5; 3], [0.5; 3])], 2);
+        generate(&cfg, &oracle)
+    }
+
+    #[test]
+    fn locate_prefers_finest_brick() {
+        let bricks = system();
+        // A point near the body is covered by several levels' footprints
+        // only once (bricks tile space), but test the level preference by
+        // checking the located brick actually contains the point.
+        let x = [0.6, 0.6, 0.6];
+        let d = locate_any(&bricks, x, None).expect("point inside domain");
+        assert!(bricks[d.brick].bbox().contains(x));
+        // And it is the unique containing brick (tiling) or the finest.
+        for (i, b) in bricks.iter().enumerate() {
+            if i != d.brick && b.bbox().contains(x) {
+                assert!(b.level <= bricks[d.brick].level);
+            }
+        }
+    }
+
+    #[test]
+    fn exclude_skips_requesting_brick() {
+        let bricks = system();
+        let x = bricks[0].bbox().center();
+        let d = locate_any(&bricks, x, Some(0));
+        if let Some(d) = d {
+            assert_ne!(d.brick, 0);
+        }
+    }
+
+    #[test]
+    fn weights_partition_unity() {
+        let d = BrickDonor {
+            brick: 0,
+            cell: overset_grid::Ijk::new(1, 1, 1),
+            loc: [0.3, 0.8, 0.5],
+        };
+        let w = donor_weights(&d);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn adjacency_links_touching_bricks() {
+        let bricks = system();
+        let adj = build_adjacency(&bricks);
+        use overset_balance::Connectivity;
+        // Every brick touches at least one other brick (tiling).
+        for a in 0..bricks.len() {
+            let connected = (0..bricks.len()).any(|b| a != b && adj.connected(a, b));
+            assert!(connected, "brick {a} isolated");
+        }
+    }
+
+    #[test]
+    fn boundary_point_resolves_on_neighbor() {
+        let bricks = system();
+        // Take a face point of brick 0 and locate it excluding brick 0: a
+        // neighbor should contain it (interior faces only).
+        let bb = bricks[0].bbox();
+        let x = [bb.max[0], bb.center()[1], bb.center()[2]];
+        let inside_domain = x[0] < 4.0 - 1e-9;
+        if inside_domain {
+            let d = locate_any(&bricks, x, Some(0)).expect("neighbor donor");
+            assert_ne!(d.brick, 0);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the adaptive off-body Cartesian scheme.
+
+use overset_amr::{generate, level_histogram, locate_any, proximity_oracle, OffBodyConfig};
+use overset_grid::Aabb;
+use proptest::prelude::*;
+
+fn cfg(bricks: [usize; 3], cells: usize, max_level: usize) -> OffBodyConfig {
+    OffBodyConfig {
+        domain: Aabb::new([-6.0; 3], [6.0; 3]),
+        bricks_per_axis: bricks,
+        cells_per_edge: cells,
+        max_level,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Brick generation tiles the domain exactly (volumes sum, no overlap at
+    /// sampled points) for arbitrary body positions.
+    #[test]
+    fn bricks_tile_domain(
+        bx in -4.0f64..4.0, by in -4.0f64..4.0, bz in -4.0f64..4.0,
+        half in 0.3f64..1.5,
+        max_level in 1usize..3,
+        px in 0.0f64..1.0, py in 0.0f64..1.0, pz in 0.0f64..1.0,
+    ) {
+        let body = Aabb::new([bx - half, by - half, bz - half], [bx + half, by + half, bz + half]);
+        let c = cfg([3, 3, 3], 4, max_level);
+        let bricks = generate(&c, &proximity_oracle(vec![body], max_level));
+        // Volume conservation.
+        let vol: f64 = bricks
+            .iter()
+            .map(|b| {
+                let e = b.bbox().extent();
+                e[0] * e[1] * e[2]
+            })
+            .sum();
+        prop_assert!((vol - 12.0f64.powi(3)).abs() < 1e-6 * vol);
+        // A random interior point is inside exactly one brick.
+        let pt = [-6.0 + 12.0 * px, -6.0 + 12.0 * py, -6.0 + 12.0 * pz];
+        let inside = bricks
+            .iter()
+            .filter(|b| {
+                let bb = b.bbox();
+                (0..3).all(|d| pt[d] > bb.min[d] + 1e-9 && pt[d] < bb.max[d] - 1e-9)
+            })
+            .count();
+        prop_assert!(inside <= 1, "point in {inside} bricks");
+        // locate_any finds a containing brick for interior points.
+        if inside == 1 {
+            let d = locate_any(&bricks, pt, None);
+            prop_assert!(d.is_some());
+            prop_assert!(bricks[d.unwrap().brick].bbox().contains(pt));
+        }
+        // Levels never exceed the maximum.
+        let hist = level_histogram(&bricks);
+        prop_assert!(hist.len() <= max_level + 1);
+    }
+
+    /// Refinement is monotone in proximity: every finest-level brick is
+    /// closer to the body than the farthest coarsest-level brick.
+    #[test]
+    fn refinement_tracks_proximity(
+        bx in -3.0f64..3.0,
+        max_level in 2usize..4,
+    ) {
+        let body = Aabb::new([bx - 0.8, -0.8, -0.8], [bx + 0.8, 0.8, 0.8]);
+        let c = cfg([3, 3, 3], 4, max_level);
+        let bricks = generate(&c, &proximity_oracle(vec![body], max_level));
+        let center = body.center();
+        let dist = |b: &overset_amr::Brick| {
+            let bc = b.bbox().center();
+            (0..3).map(|d| (bc[d] - center[d]).powi(2)).sum::<f64>().sqrt()
+        };
+        let hist = level_histogram(&bricks);
+        let finest = hist.len() - 1;
+        if finest > 0 && hist[finest] > 0 && hist[0] > 0 {
+            let max_fine: f64 = bricks
+                .iter()
+                .filter(|b| b.level == finest)
+                .map(dist)
+                .fold(0.0, f64::max);
+            let max_coarse: f64 = bricks
+                .iter()
+                .filter(|b| b.level == 0)
+                .map(dist)
+                .fold(0.0, f64::max);
+            prop_assert!(
+                max_fine < max_coarse,
+                "finest bricks farther ({max_fine}) than coarsest extent ({max_coarse})"
+            );
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Algorithm 3: the grouping strategy for the adaptive off-body Cartesian
+//! scheme (Section 5 of the paper).
+//!
+//! The solution-adaption scheme generates hundreds to thousands of small
+//! Cartesian grids. Grids are gathered into `M` groups — one per node of the
+//! parallel platform — so that (a) gridpoints are distributed evenly between
+//! groups and (b) grids that overlap tend to land in the *same* group,
+//! maximizing intra-group connectivity and minimizing inter-group
+//! communication:
+//!
+//! ```text
+//! loop grids largest-to-smallest:
+//!   loop groups smallest-to-largest:
+//!     if group empty -> assign, next grid
+//!     if grid connected to any member of group -> assign, next grid
+//!   if never assigned -> assign to the smallest group
+//! ```
+
+/// Connectivity oracle: `connected(a, b)` is true when grids `a` and `b`
+/// overlap (exchange Chimera boundary data).
+pub trait Connectivity {
+    fn connected(&self, a: usize, b: usize) -> bool;
+}
+
+/// Dense adjacency-matrix connectivity.
+#[derive(Clone, Debug)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl AdjacencyMatrix {
+    pub fn new(n: usize) -> Self {
+        Self { n, adj: vec![false; n * n] }
+    }
+
+    pub fn connect(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        self.adj[a * self.n + b] = true;
+        self.adj[b * self.n + a] = true;
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl Connectivity for AdjacencyMatrix {
+    fn connected(&self, a: usize, b: usize) -> bool {
+        self.adj[a * self.n + b]
+    }
+}
+
+/// Result of the grouping strategy.
+#[derive(Clone, Debug)]
+pub struct Grouping {
+    /// Group index assigned to each grid.
+    pub group_of_grid: Vec<usize>,
+    /// Grids per group, in assignment order.
+    pub members: Vec<Vec<usize>>,
+    /// Total gridpoints per group.
+    pub load: Vec<usize>,
+}
+
+impl Grouping {
+    /// max(load) / mean(load): 1.0 = perfectly even.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.load.iter().sum::<usize>() as f64 / self.load.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        *self.load.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Fraction of connected grid pairs that were split across groups —
+    /// a proxy for inter-group communication volume.
+    pub fn cut_fraction(&self, conn: &impl Connectivity, ngrids: usize) -> f64 {
+        let mut edges = 0usize;
+        let mut cut = 0usize;
+        for a in 0..ngrids {
+            for b in (a + 1)..ngrids {
+                if conn.connected(a, b) {
+                    edges += 1;
+                    if self.group_of_grid[a] != self.group_of_grid[b] {
+                        cut += 1;
+                    }
+                }
+            }
+        }
+        if edges == 0 {
+            0.0
+        } else {
+            cut as f64 / edges as f64
+        }
+    }
+}
+
+/// Run Algorithm 3: assign `sizes.len()` grids (with given point counts) to
+/// `ngroups` groups using the connectivity oracle.
+pub fn group_grids(sizes: &[usize], ngroups: usize, conn: &impl Connectivity) -> Grouping {
+    assert!(ngroups >= 1);
+    let n = sizes.len();
+    // Grids largest-to-smallest; stable tiebreak on index for determinism.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); ngroups];
+    let mut load = vec![0usize; ngroups];
+    let mut group_of_grid = vec![usize::MAX; n];
+
+    for &grid in &order {
+        // Groups smallest-to-largest by current load; index tiebreak.
+        let mut gorder: Vec<usize> = (0..ngroups).collect();
+        gorder.sort_by(|&a, &b| load[a].cmp(&load[b]).then(a.cmp(&b)));
+
+        let mut chosen = None;
+        for &m in &gorder {
+            if members[m].is_empty() {
+                chosen = Some(m);
+                break;
+            }
+            if members[m].iter().any(|&other| conn.connected(grid, other)) {
+                chosen = Some(m);
+                break;
+            }
+        }
+        // Not connected to any group as currently constituted: smallest group.
+        let m = chosen.unwrap_or(gorder[0]);
+        group_of_grid[grid] = m;
+        members[m].push(grid);
+        load[m] += sizes[grid];
+    }
+
+    Grouping { group_of_grid, members, load }
+}
+
+/// Baseline for the A3 ablation: round-robin assignment in index order,
+/// ignoring connectivity.
+pub fn round_robin(sizes: &[usize], ngroups: usize) -> Grouping {
+    let n = sizes.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); ngroups];
+    let mut load = vec![0usize; ngroups];
+    let mut group_of_grid = vec![0usize; n];
+    for grid in 0..n {
+        let m = grid % ngroups;
+        group_of_grid[grid] = m;
+        members[m].push(grid);
+        load[m] += sizes[grid];
+    }
+    Grouping { group_of_grid, members, load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from the paper's Algorithm 3 figure: 8 grids in a
+    /// 4x2 tile arrangement, neighbours connected, two groups.
+    fn paper_example() -> (Vec<usize>, AdjacencyMatrix) {
+        // Grid ids 0..8 tile a 2-row strip:
+        //   0 2 4 6
+        //   1 3 5 7
+        let sizes = vec![800, 700, 600, 500, 400, 300, 200, 100];
+        let mut adj = AdjacencyMatrix::new(8);
+        for col in 0..4usize {
+            let top = 2 * col;
+            adj.connect(top, top + 1);
+            if col + 1 < 4 {
+                adj.connect(top, top + 2);
+                adj.connect(top + 1, top + 3);
+            }
+        }
+        (sizes, adj)
+    }
+
+    #[test]
+    fn every_grid_assigned_exactly_once() {
+        let (sizes, adj) = paper_example();
+        let g = group_grids(&sizes, 2, &adj);
+        assert!(g.group_of_grid.iter().all(|&m| m < 2));
+        let total: usize = g.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 8);
+        let loads: usize = g.load.iter().sum();
+        assert_eq!(loads, sizes.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn grouping_is_balanced() {
+        let (sizes, adj) = paper_example();
+        let g = group_grids(&sizes, 2, &adj);
+        assert!(g.imbalance() < 1.3, "imbalance = {}", g.imbalance());
+    }
+
+    #[test]
+    fn grouping_never_worse_than_round_robin_on_paper_example() {
+        let (sizes, adj) = paper_example();
+        let grouped = group_grids(&sizes, 2, &adj);
+        let rr = round_robin(&sizes, 2);
+        let gc = grouped.cut_fraction(&adj, 8);
+        let rc = rr.cut_fraction(&adj, 8);
+        assert!(gc <= rc, "grouping cut {gc} worse than round-robin {rc}");
+    }
+
+    #[test]
+    fn grouping_beats_round_robin_on_a_chain() {
+        // A chain of equal grids: round-robin over 3 groups cuts every edge;
+        // the grouping strategy keeps runs of the chain together.
+        let n = 6;
+        let sizes = vec![100; n];
+        let mut adj = AdjacencyMatrix::new(n);
+        for i in 0..n - 1 {
+            adj.connect(i, i + 1);
+        }
+        let grouped = group_grids(&sizes, 3, &adj);
+        let rr = round_robin(&sizes, 3);
+        let gc = grouped.cut_fraction(&adj, n);
+        let rc = rr.cut_fraction(&adj, n);
+        assert_eq!(rc, 1.0);
+        assert!(gc < rc, "grouping cut {gc} not better than round-robin {rc}");
+    }
+
+    #[test]
+    fn disconnected_grid_lands_in_smallest_group() {
+        let sizes = vec![1000, 900, 10];
+        let mut adj = AdjacencyMatrix::new(3);
+        adj.connect(0, 1);
+        let g = group_grids(&sizes, 2, &adj);
+        // Grid 2 connects to nothing; it must take the lighter group.
+        let m2 = g.group_of_grid[2];
+        let other = 1 - m2;
+        assert!(g.load[m2] - 10 <= g.load[other]);
+    }
+
+    #[test]
+    fn single_group_takes_everything() {
+        let sizes = vec![5, 10, 15];
+        let adj = AdjacencyMatrix::new(3);
+        let g = group_grids(&sizes, 1, &adj);
+        assert_eq!(g.members[0].len(), 3);
+        assert_eq!(g.load[0], 30);
+        assert_eq!(g.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn more_groups_than_grids() {
+        let sizes = vec![100, 200];
+        let adj = AdjacencyMatrix::new(2);
+        let g = group_grids(&sizes, 5, &adj);
+        let nonempty = g.members.iter().filter(|m| !m.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn largest_grid_placed_first() {
+        let sizes = vec![10, 9999, 20];
+        let adj = AdjacencyMatrix::new(3);
+        let g = group_grids(&sizes, 2, &adj);
+        // With all grids disconnected, big grid sits alone in its group.
+        let m = g.group_of_grid[1];
+        assert_eq!(g.members[m][0], 1);
+    }
+
+    #[test]
+    fn many_grids_scalable_and_deterministic() {
+        // A 10x10 tile sheet with 4-neighbour connectivity into 7 groups.
+        let n = 100;
+        let sizes: Vec<usize> = (0..n).map(|i| 100 + (i * 37) % 400).collect();
+        let mut adj = AdjacencyMatrix::new(n);
+        for r in 0..10usize {
+            for c in 0..10usize {
+                let id = r * 10 + c;
+                if c + 1 < 10 {
+                    adj.connect(id, id + 1);
+                }
+                if r + 1 < 10 {
+                    adj.connect(id, id + 10);
+                }
+            }
+        }
+        let a = group_grids(&sizes, 7, &adj);
+        let b = group_grids(&sizes, 7, &adj);
+        assert_eq!(a.group_of_grid, b.group_of_grid);
+        // Algorithm 3 trades some balance for connectivity (groups snowball
+        // along contiguous regions); it must stay within a moderate factor.
+        assert!(a.imbalance() < 3.5, "imbalance {}", a.imbalance());
+        assert!(a.cut_fraction(&adj, n) < round_robin(&sizes, 7).cut_fraction(&adj, n));
+    }
+}

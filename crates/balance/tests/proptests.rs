@@ -1,0 +1,127 @@
+//! Property-based tests of the load-balancing algorithms.
+
+use overset_balance::{
+    dynamic_rebalance, group_grids, round_robin, static_balance, AdjacencyMatrix, Partition,
+};
+use overset_grid::Dims;
+use proptest::prelude::*;
+
+proptest! {
+    /// Algorithm 1 always produces an exact cover: Σ np = NP and np ≥ 1.
+    #[test]
+    fn static_balance_is_total_and_exact(
+        sizes in prop::collection::vec(1usize..200_000, 1..20),
+        extra in 0usize..80,
+    ) {
+        let nproc = sizes.len() + extra;
+        let b = static_balance(&sizes, nproc).unwrap();
+        prop_assert_eq!(b.np.iter().sum::<usize>(), nproc);
+        prop_assert!(b.np.iter().all(|&x| x >= 1));
+        prop_assert!(b.tau >= 0.0);
+    }
+
+    /// Bigger grids never get fewer processors than much smaller grids
+    /// (monotonicity up to integer rounding: a grid at least 2x larger
+    /// cannot get fewer processors).
+    #[test]
+    fn static_balance_roughly_monotone(
+        sizes in prop::collection::vec(1_000usize..100_000, 2..10),
+        extra in 0usize..40,
+    ) {
+        let nproc = sizes.len() + extra;
+        let b = static_balance(&sizes, nproc).unwrap();
+        for i in 0..sizes.len() {
+            for j in 0..sizes.len() {
+                if sizes[i] >= 2 * sizes[j] {
+                    prop_assert!(
+                        b.np[i] + 1 >= b.np[j],
+                        "grid {} ({} pts, np {}) vs grid {} ({} pts, np {})",
+                        i, sizes[i], b.np[i], j, sizes[j], b.np[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 preserves the processor count and only rebalances when
+    /// some f(p) exceeds the threshold.
+    #[test]
+    fn dynamic_rebalance_preserves_processor_count(
+        loads in prop::collection::vec(0usize..10_000, 4..24),
+        fo in 1.0f64..10.0,
+    ) {
+        let nproc = loads.len();
+        // Two grids, processors split evenly-ish.
+        let np = vec![nproc / 2, nproc - nproc / 2];
+        let g = vec![50_000usize, 50_000];
+        let grid_of_rank: Vec<usize> =
+            (0..nproc).map(|p| usize::from(p >= np[0])).collect();
+        let d = dynamic_rebalance(&loads, &grid_of_rank, &g, &np, fo).unwrap();
+        if let Some(rb) = &d.rebalance {
+            prop_assert_eq!(rb.np.iter().sum::<usize>(), nproc);
+            prop_assert!(d.f_max > fo);
+        } else {
+            // No action: every measured ratio was within threshold, or the
+            // grant was infeasible.
+            prop_assert!(d.granted.is_empty());
+        }
+    }
+
+    /// Algorithm 3 assigns every grid exactly once and never loses points.
+    #[test]
+    fn grouping_partitions_grids(
+        sizes in prop::collection::vec(1usize..5_000, 1..60),
+        ngroups in 1usize..12,
+        edges in prop::collection::vec((0usize..60, 0usize..60), 0..120),
+    ) {
+        let n = sizes.len();
+        let mut adj = AdjacencyMatrix::new(n);
+        for (a, b) in edges {
+            if a < n && b < n && a != b {
+                adj.connect(a, b);
+            }
+        }
+        let g = group_grids(&sizes, ngroups, &adj);
+        prop_assert_eq!(g.group_of_grid.len(), n);
+        prop_assert!(g.group_of_grid.iter().all(|&m| m < ngroups));
+        let total: usize = g.load.iter().sum();
+        prop_assert_eq!(total, sizes.iter().sum::<usize>());
+        let member_count: usize = g.members.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(member_count, n);
+        // Round-robin is the balance reference: Algorithm 3 may trade some
+        // balance for locality but must not collapse everything into one
+        // group when several are available.
+        if ngroups > 1 && n >= 2 * ngroups {
+            let nonempty = g.members.iter().filter(|m| !m.is_empty()).count();
+            prop_assert!(nonempty > 1, "all grids in one group");
+        }
+        let _ = round_robin(&sizes, ngroups);
+    }
+
+    /// Partition construction covers every node of every grid exactly once.
+    #[test]
+    fn partition_covers_grids(
+        dims in prop::collection::vec((4usize..40, 4usize..40), 1..5),
+        extra in 0usize..12,
+    ) {
+        let dims: Vec<Dims> = dims.into_iter().map(|(a, b)| Dims::new(a, b, 1)).collect();
+        let sizes: Vec<usize> = dims.iter().map(|d| d.count()).collect();
+        let nproc = dims.len() + extra;
+        let bal = static_balance(&sizes, nproc).unwrap();
+        // Skip combinations the lattice splitter legitimately cannot honour
+        // (a prime factor of np larger than every grid dimension).
+        let dims2 = dims.clone();
+        let np2 = bal.np.clone();
+        let built = std::panic::catch_unwind(move || Partition::build(&dims2, &np2));
+        prop_assume!(built.is_ok());
+        let part = built.unwrap();
+        prop_assert_eq!(part.nranks(), nproc);
+        for (gi, d) in dims.iter().enumerate() {
+            let covered: usize = part
+                .ranks_of_grid(gi)
+                .map(|r| part.ranks[r].boxx.count())
+                .sum();
+            prop_assert_eq!(covered, d.count());
+        }
+    }
+}

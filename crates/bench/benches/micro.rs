@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the hot kernels: the per-step building
+//! blocks whose costs the virtual-time model charges.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use overset_balance::{group_grids, static_balance, AdjacencyMatrix};
+use overset_connectivity::{cut_holes_and_find_fringe, walk_search, SearchCost};
+use overset_connectivity::donor::center_start;
+use overset_grid::curvilinear::Solid;
+use overset_grid::gen::airfoil::{airfoil_system, near_grid};
+use overset_grid::Dims;
+use overset_solver::adi::implicit_sweeps;
+use overset_solver::rhs::compute_residual;
+use overset_solver::{Block, FlowConditions, Scratch, SerialComm};
+
+fn fc() -> FlowConditions {
+    let mut fc = FlowConditions::new(0.8, 0.0, 1.0e6);
+    fc.dt = 0.004;
+    fc
+}
+
+fn solver_kernels(c: &mut Criterion) {
+    let g = near_grid(133, 40, 1.1);
+    let block = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+    let mut scratch = Scratch::for_block(&block);
+
+    c.bench_function("rhs/residual_5k_nodes", |b| {
+        b.iter(|| compute_residual(&block, &fc(), &mut scratch.res))
+    });
+
+    c.bench_function("adi/implicit_sweeps_5k_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut dq = overset_grid::field::StateField::new(block.local_dims);
+                for (i, v) in dq.as_mut_slice().iter_mut().enumerate() {
+                    *v = ((i * 31) % 17) as f64 * 1e-6;
+                }
+                dq
+            },
+            |mut dq| implicit_sweeps(&block, &fc(), &mut dq, &mut SerialComm),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn connectivity_kernels(c: &mut Criterion) {
+    let g = near_grid(265, 80, 1.1);
+    let block = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+
+    c.bench_function("donor/cold_walk_search", |b| {
+        b.iter(|| {
+            let mut cost = SearchCost::default();
+            walk_search(
+                &block,
+                [0.9, 0.35, 0.0],
+                center_start(&block),
+                &mut cost,
+            )
+        })
+    });
+
+    let warm_start = {
+        let mut cost = SearchCost::default();
+        match walk_search(&block, [0.9, 0.35, 0.0], center_start(&block), &mut cost) {
+            overset_connectivity::SearchOutcome::Found(d) => d.cell,
+            _ => center_start(&block),
+        }
+    };
+    c.bench_function("donor/warm_walk_search", |b| {
+        b.iter(|| {
+            let mut cost = SearchCost::default();
+            walk_search(&block, [0.9, 0.35, 0.0], warm_start, &mut cost)
+        })
+    });
+
+    let sys = airfoil_system(0.5);
+    let solids: Vec<(usize, Solid)> = sys
+        .iter()
+        .enumerate()
+        .flat_map(|(g, gr)| gr.solids.iter().map(move |s| (g, *s)))
+        .collect();
+    c.bench_function("holes/cut_and_fringe_5k_nodes", |b| {
+        b.iter_batched(
+            || Block::from_grid(2, &sys[2], sys[2].dims().full_box(), [None; 6], &fc()),
+            |mut blk| cut_holes_and_find_fringe(&mut blk, &solids),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn balance_kernels(c: &mut Criterion) {
+    let sizes: Vec<usize> = (0..16).map(|i| 20_000 + i * 3_137).collect();
+    c.bench_function("balance/static_algorithm1_16_grids", |b| {
+        b.iter(|| static_balance(&sizes, 61))
+    });
+
+    let n = 400;
+    let brick_sizes: Vec<usize> = (0..n).map(|i| 200 + (i * 97) % 800).collect();
+    let mut adj = AdjacencyMatrix::new(n);
+    for i in 0..n {
+        for d in [1usize, 20] {
+            if i + d < n {
+                adj.connect(i, i + d);
+            }
+        }
+    }
+    c.bench_function("balance/grouping_algorithm3_400_bricks", |b| {
+        b.iter(|| group_grids(&brick_sizes, 16, &adj))
+    });
+
+    c.bench_function("decomp/lattice_split_61", |b| {
+        b.iter(|| overset_grid::decomp::lattice_split(Dims::new(120, 90, 70), 61))
+    });
+}
+
+criterion_group!(benches, solver_kernels, connectivity_kernels, balance_kernels);
+criterion_main!(benches);

@@ -1,0 +1,354 @@
+//! The experiment harness: one function per table / figure of the paper,
+//! each printing the same rows or series the paper reports.
+//!
+//! Absolute numbers come from the virtual-time machine models (DESIGN.md
+//! §2); the *shapes* — who wins, by what factor, where the curves bend —
+//! are the reproduction targets. EXPERIMENTS.md records paper-vs-measured
+//! values for every run.
+
+use overflow_d::{airfoil_case, delta_wing_case, run_case, run_case_serial, store_case, CaseConfig, LbConfig, RunResult};
+use overset_comm::{MachineModel, Phase};
+
+/// Global experiment scaling knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Effort {
+    /// Geometric scale of the 3-D cases (1.0 = paper size).
+    pub scale3d: f64,
+    /// Geometric scale of the airfoil case.
+    pub scale2d: f64,
+    /// Timesteps per run (the paper averages long runs; the cold first-step
+    /// connectivity solve amortizes over this many steps).
+    pub steps2d: usize,
+    pub steps3d: usize,
+}
+
+impl Effort {
+    pub fn full() -> Self {
+        Effort { scale3d: 1.0, scale2d: 1.0, steps2d: 20, steps3d: 12 }
+    }
+
+    /// Reduced effort for CI / quick runs.
+    pub fn quick() -> Self {
+        Effort { scale3d: 0.55, scale2d: 0.6, steps2d: 10, steps3d: 5 }
+    }
+}
+
+fn sp2() -> MachineModel {
+    MachineModel::ibm_sp2()
+}
+
+fn sp() -> MachineModel {
+    MachineModel::ibm_sp()
+}
+
+/// One measured row of a performance table.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    pub nodes: usize,
+    pub points_per_node: usize,
+    pub mflops_per_node: [f64; 2], // SP2, SP
+    pub speedup: [f64; 2],
+    pub dcf3d_pct: [f64; 2],
+    pub time_per_step: [f64; 2],
+    /// Per-module elapsed times per step (flow, connectivity), per machine.
+    pub flow_elapsed: [f64; 2],
+    pub conn_elapsed: [f64; 2],
+}
+
+/// Run a case across node counts on both machines.
+pub fn sweep(cfg_for: impl Fn() -> CaseConfig, nodes: &[usize]) -> Vec<PerfRow> {
+    let machines = [sp2(), sp()];
+    let mut rows = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let mut row = PerfRow {
+            nodes: n,
+            points_per_node: 0,
+            mflops_per_node: [0.0; 2],
+            speedup: [0.0; 2],
+            dcf3d_pct: [0.0; 2],
+            time_per_step: [0.0; 2],
+            flow_elapsed: [0.0; 2],
+            conn_elapsed: [0.0; 2],
+        };
+        for (mi, m) in machines.iter().enumerate() {
+            let cfg = cfg_for();
+            let r = run_case(&cfg, n, m);
+            row.points_per_node = r.total_points / n;
+            row.mflops_per_node[mi] = r.mflops_per_node();
+            row.dcf3d_pct[mi] = 100.0 * r.connectivity_fraction();
+            row.time_per_step[mi] = r.time_per_step();
+            row.flow_elapsed[mi] = r.phase_elapsed[Phase::Flow as usize] / r.steps as f64;
+            row.conn_elapsed[mi] = r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
+        }
+        rows.push(row);
+    }
+    // Speedups relative to the smallest node count.
+    for mi in 0..2 {
+        let base = rows[0].time_per_step[mi] * rows[0].nodes as f64 / rows[0].nodes as f64;
+        let _ = base;
+        let t0 = rows[0].time_per_step[mi];
+        for row in rows.iter_mut() {
+            row.speedup[mi] = t0 / row.time_per_step[mi];
+        }
+    }
+    rows
+}
+
+pub fn print_perf_table(title: &str, rows: &[PerfRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>6} {:>12} | {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9}",
+        "Nodes", "Pts/node", "Mf/n SP2", "Mf/n SP", "Spd SP2", "Spd SP", "%DCF SP2", "%DCF SP"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>12} | {:>9.1} {:>9.1} | {:>8.2} {:>8.2} | {:>8.1}% {:>8.1}%",
+            r.nodes,
+            r.points_per_node,
+            r.mflops_per_node[0],
+            r.mflops_per_node[1],
+            r.speedup[0],
+            r.speedup[1],
+            r.dcf3d_pct[0],
+            r.dcf3d_pct[1]
+        );
+    }
+}
+
+/// Per-module speedup series (the paper's Figs. 5 / 7 / 10).
+pub fn print_module_speedups(title: &str, rows: &[PerfRow]) {
+    println!("\n== {title} (per-module parallel speedup) ==");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "Nodes", "OVERFLOW/SP2", "DCF3D/SP2", "Comb/SP2", "OVERFLOW/SP", "DCF3D/SP", "Comb/SP"
+    );
+    for r in rows {
+        let s = |base: f64, v: f64| if v > 0.0 { base / v } else { f64::NAN };
+        println!(
+            "{:>6} | {:>12.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2} {:>12.2}",
+            r.nodes,
+            s(rows[0].flow_elapsed[0], r.flow_elapsed[0]),
+            s(rows[0].conn_elapsed[0], r.conn_elapsed[0]),
+            s(rows[0].time_per_step[0], r.time_per_step[0]),
+            s(rows[0].flow_elapsed[1], r.flow_elapsed[1]),
+            s(rows[0].conn_elapsed[1], r.conn_elapsed[1]),
+            s(rows[0].time_per_step[1], r.time_per_step[1]),
+        );
+    }
+}
+
+/// Table 1 / Fig. 5: the 2-D oscillating airfoil.
+pub fn table1(e: Effort) -> Vec<PerfRow> {
+    sweep(|| airfoil_case(e.scale2d, e.steps2d), &[6, 9, 12, 18, 24])
+}
+
+/// Table 2: the airfoil scaling study (coarsened / original / refined).
+///
+/// The paper coarsens/refines by 2× per direction (4× points in 2-D) and
+/// holds points-per-node fixed (3 / 12 / 48 nodes). Our refined case uses
+/// √2× per direction (2× points) on the paper's 48 nodes — the processor
+/// growth that drives the "%DCF3D grows with problem size" trend is
+/// preserved, at half the paper's points-per-node — because a 4× refinement
+/// of the transonic case exceeds the robustness envelope of the simplified
+/// shock-capturing scheme (see EXPERIMENTS.md).
+pub fn table2(e: Effort) {
+    println!("\n== Table 2: 2D oscillating airfoil scaling study ==");
+    println!(
+        "{:>22} {:>8} {:>12} | {:>10} {:>10} | {:>9} {:>9}",
+        "Case", "Nodes", "Pts/node", "t/step SP2", "t/step SP", "%DCF SP2", "%DCF SP"
+    );
+    let configs: [(&str, f64, usize); 3] = [
+        ("Coarsened (1/4x)", e.scale2d * 0.5, 3),
+        ("Original", e.scale2d, 12),
+        ("Refined (2x)", e.scale2d * 1.4, 48),
+    ];
+    for (name, scale, nodes) in configs {
+        let mut t = [0.0f64; 2];
+        let mut pct = [0.0f64; 2];
+        let mut ppn = 0usize;
+        for (mi, m) in [sp2(), sp()].iter().enumerate() {
+            let cfg = airfoil_case(scale, e.steps2d);
+            let r = run_case(&cfg, nodes, m);
+            t[mi] = r.time_per_step();
+            pct[mi] = 100.0 * r.connectivity_fraction();
+            ppn = r.total_points / nodes;
+        }
+        println!(
+            "{:>22} {:>8} {:>12} | {:>10.3} {:>10.3} | {:>8.1}% {:>8.1}%",
+            name, nodes, ppn, t[0], t[1], pct[0], pct[1]
+        );
+    }
+}
+
+/// Table 3 / Fig. 7: the descending delta wing.
+pub fn table3(e: Effort) -> Vec<PerfRow> {
+    sweep(|| delta_wing_case(e.scale3d, e.steps3d), &[7, 12, 26, 55])
+}
+
+/// Table 4 / Fig. 10: the finned-store separation (static balancing).
+pub fn table4(e: Effort) -> Vec<PerfRow> {
+    sweep(
+        || store_case(e.scale3d, e.steps3d),
+        &[16, 18, 22, 28, 35, 42, 52, 61],
+    )
+}
+
+/// Table 5 / Fig. 11: static vs dynamic load balancing on the store case.
+///
+/// The paper measured a maximum connectivity service imbalance f(p) ≈ 7 and
+/// chose f_o = 5 to shave it; our synthetic store system tops out at
+/// f(p) ≈ 4.5, so the equivalent threshold is f_o = 3 (same ~70% of the
+/// observed maximum).
+pub fn table5(e: Effort) {
+    println!("\n== Table 5: DCF3D with dynamic load balance (store case, SP2, f_o = 3) ==");
+    println!(
+        "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>7}",
+        "Nodes", "%DCF dyn", "%DCF stat", "DCF spd d", "DCF spd s", "Comb sp d", "Comb sp s", "repart"
+    );
+    let nodes = [16usize, 18, 28, 52];
+    let steps = (2 * e.steps3d).max(16);
+    let mut dyn_rows: Vec<RunResult> = Vec::new();
+    let mut stat_rows: Vec<RunResult> = Vec::new();
+    for &n in &nodes {
+        let mut cfg = store_case(e.scale3d, steps);
+        cfg.lb = LbConfig::dynamic(3.0, 6);
+        dyn_rows.push(run_case(&cfg, n, &sp2()));
+        let cfg = store_case(e.scale3d, steps);
+        stat_rows.push(run_case(&cfg, n, &sp2()));
+    }
+    let conn = |r: &RunResult| r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
+    for (i, &n) in nodes.iter().enumerate() {
+        let (d, s) = (&dyn_rows[i], &stat_rows[i]);
+        println!(
+            "{:>6} | {:>9.1}% {:>9.1}% | {:>10.2} {:>10.2} | {:>10.2} {:>10.2} | {:>7}",
+            n,
+            100.0 * d.connectivity_fraction(),
+            100.0 * s.connectivity_fraction(),
+            conn(&dyn_rows[0]) / conn(d),
+            conn(&stat_rows[0]) / conn(s),
+            dyn_rows[0].time_per_step() / d.time_per_step(),
+            stat_rows[0].time_per_step() / s.time_per_step(),
+            d.repartitions,
+        );
+    }
+    println!("  (dynamic np_final at {} nodes: {:?})", nodes[nodes.len() - 1], dyn_rows[nodes.len() - 1].np_final);
+}
+
+/// Table 6: wallclock speedup vs single-processor Cray Y-MP ("YMP units").
+pub fn table6(e: Effort) {
+    println!("\n== Table 6: wallclock speedup vs Cray Y-MP (store case) ==");
+    let ymp = run_case_serial(&store_case(e.scale3d, e.steps3d.min(6)), &MachineModel::cray_ymp());
+    let t_ymp = ymp.time_per_step();
+    println!("  (Y-MP reference: {:.3} virtual s/step)", t_ymp);
+    println!(
+        "{:>6} | {:>10} {:>10} | {:>10} {:>10}",
+        "Nodes", "Ovrl SP2", "Ovrl SP", "PerNd SP2", "PerNd SP"
+    );
+    for &n in &[18usize, 28, 42, 61] {
+        let mut overall = [0.0f64; 2];
+        for (mi, m) in [sp2(), sp()].iter().enumerate() {
+            let r = run_case(&store_case(e.scale3d, e.steps3d), n, m);
+            overall[mi] = t_ymp / r.time_per_step();
+        }
+        println!(
+            "{:>6} | {:>10.1} {:>10.1} | {:>10.2} {:>10.2}",
+            n,
+            overall[0],
+            overall[1],
+            overall[0] / n as f64,
+            overall[1] / n as f64
+        );
+    }
+}
+
+/// Ablation A1: nth-level restart on vs off (from-scratch search every
+/// step). Barszcz found restart "yields a considerable reduction in the
+/// time spent in the connectivity solution".
+pub fn ablate_restart(e: Effort) {
+    println!("\n== Ablation: nth-level restart (airfoil, SP2, 12 nodes) ==");
+    let with = run_case(&airfoil_case(e.scale2d, e.steps2d), 12, &sp2());
+    let mut cfg = airfoil_case(e.scale2d, e.steps2d);
+    cfg.use_restart = false;
+    let without = run_case(&cfg, 12, &sp2());
+    let per = |r: &RunResult| r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
+    println!("  restart ON : connectivity {:.4} s/step ({:.1}% of total)",
+        per(&with), 100.0 * with.connectivity_fraction());
+    println!("  restart OFF: connectivity {:.4} s/step ({:.1}% of total)",
+        per(&without), 100.0 * without.connectivity_fraction());
+    println!("  restart speedup of the connectivity solution: {:.1}x", per(&without) / per(&with));
+}
+
+/// Ablation: prescribed vs 6-DOF-computed store motion — the paper: "the
+/// free motion can be computed with negligible change in the parallel
+/// performance of the code".
+pub fn ablate_sixdof(e: Effort) {
+    println!("\n== Ablation: prescribed vs 6-DOF store motion (SP2, 28 nodes) ==");
+    let pres = run_case(&store_case(e.scale3d, e.steps3d), 28, &sp2());
+    let free = run_case(
+        &overflow_d::store_case_sixdof(e.scale3d, e.steps3d),
+        28,
+        &sp2(),
+    );
+    println!(
+        "  prescribed: {:.3} s/step ({:.1}% DCF3D, motion {:.4} s/step)",
+        pres.time_per_step(),
+        100.0 * pres.connectivity_fraction(),
+        pres.phase_elapsed[Phase::Motion as usize] / pres.steps as f64
+    );
+    println!(
+        "  6-DOF     : {:.3} s/step ({:.1}% DCF3D, motion {:.4} s/step)",
+        free.time_per_step(),
+        100.0 * free.connectivity_fraction(),
+        free.phase_elapsed[Phase::Motion as usize] / free.steps as f64
+    );
+    println!(
+        "  cost of computing the free motion: {:+.1}%",
+        100.0 * (free.time_per_step() / pres.time_per_step() - 1.0)
+    );
+}
+
+/// Ablation A2: f_o sweep on the store case.
+pub fn ablate_fo(e: Effort) {
+    println!("\n== Ablation: f_o sweep (store case, SP2, 28 nodes) ==");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>7} | {:>8}",
+        "f_o", "t/step", "%DCF3D", "f_max", "repart", "flow t"
+    );
+    for fo in [1.0f64, 2.0, 5.0, 10.0, f64::INFINITY] {
+        let mut cfg = store_case(e.scale3d, e.steps3d.max(10));
+        if fo.is_finite() {
+            cfg.lb = LbConfig::dynamic(fo, 4);
+        }
+        let r = run_case(&cfg, 28, &sp2());
+        println!(
+            "{:>8} | {:>10.3} {:>9.1}% {:>10.2} | {:>7} | {:>8.3}",
+            if fo.is_finite() { format!("{fo:.0}") } else { "inf".into() },
+            r.time_per_step(),
+            100.0 * r.connectivity_fraction(),
+            r.f_max(),
+            r.repartitions,
+            r.phase_elapsed[Phase::Flow as usize] / r.steps as f64,
+        );
+    }
+}
+
+/// Ablation A4: cache model on/off (explains the paper's super-scalar
+/// speedups).
+pub fn ablate_cache(e: Effort) {
+    println!("\n== Ablation: cache performance model (airfoil, SP2) ==");
+    println!("{:>6} | {:>12} {:>12}", "Nodes", "Mf/n cache", "Mf/n flat");
+    for &n in &[6usize, 12, 24, 48] {
+        let with = run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2());
+        let flat = run_case(
+            &airfoil_case(e.scale2d, e.steps2d),
+            n,
+            &sp2().without_cache_model(),
+        );
+        println!(
+            "{:>6} | {:>12.1} {:>12.1}",
+            n,
+            with.mflops_per_node(),
+            flat.mflops_per_node()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage: `repro <experiment> [--quick]` where experiment is one of
+//! `table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 table6 fig12
+//! ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all`.
+
+use overset_bench::amr_experiments::{ablate_grouping, fig12};
+use overset_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::quick() } else { Effort::full() };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let t0 = std::time::Instant::now();
+    match which.as_str() {
+        "table1" => print_perf_table("Table 1: 2D oscillating airfoil", &table1(effort)),
+        "fig5" => print_module_speedups("Fig. 5: 2D oscillating airfoil", &table1(effort)),
+        "table2" => table2(effort),
+        "table3" => print_perf_table("Table 3: descending delta wing", &table3(effort)),
+        "fig7" => print_module_speedups("Fig. 7: descending delta wing", &table3(effort)),
+        "table4" => print_perf_table("Table 4: finned-store separation", &table4(effort)),
+        "fig10" => print_module_speedups("Fig. 10: finned-store separation", &table4(effort)),
+        "table5" | "fig11" => table5(effort),
+        "table6" => table6(effort),
+        "fig12" => fig12(4),
+        "ablate-restart" => ablate_restart(effort),
+        "ablate-sixdof" => ablate_sixdof(effort),
+        "ablate-fo" => ablate_fo(effort),
+        "ablate-grouping" => ablate_grouping(),
+        "ablate-cache" => ablate_cache(effort),
+        "all" => {
+            let rows1 = table1(effort);
+            print_perf_table("Table 1: 2D oscillating airfoil", &rows1);
+            print_module_speedups("Fig. 5: 2D oscillating airfoil", &rows1);
+            table2(effort);
+            let rows3 = table3(effort);
+            print_perf_table("Table 3: descending delta wing", &rows3);
+            print_module_speedups("Fig. 7: descending delta wing", &rows3);
+            let rows4 = table4(effort);
+            print_perf_table("Table 4: finned-store separation", &rows4);
+            print_module_speedups("Fig. 10: finned-store separation", &rows4);
+            table5(effort);
+            table6(effort);
+            fig12(4);
+            ablate_restart(effort);
+            ablate_sixdof(effort);
+            ablate_fo(effort);
+            ablate_grouping();
+            ablate_cache(effort);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!(
+                "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
+                 table6 fig12 ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[{which} completed in {:?}]", t0.elapsed());
+}

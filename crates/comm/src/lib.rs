@@ -1,0 +1,20 @@
+//! Message-passing substrate with deterministic virtual time.
+//!
+//! The paper ran MPI on the IBM SP2 and IBM SP. This crate substitutes a
+//! rank-per-thread MIMD runtime — each rank owns only its subdomain data and
+//! communicates through typed channel messages — combined with machine
+//! models of the 1997 systems that convert the *recorded* work (flops) and
+//! communication (message latency + bytes/bandwidth) into virtual seconds.
+//! Parallel speedups, Mflops/node rates and phase-time fractions computed in
+//! virtual time reproduce the cost structure the paper measured, and are
+//! bit-deterministic regardless of host scheduling.
+//!
+//! See DESIGN.md §2 for the substitution argument.
+
+pub mod machine;
+pub mod runtime;
+pub mod stats;
+
+pub use machine::{CacheModel, MachineModel, WorkClass};
+pub use runtime::{Comm, RankOutput, Universe};
+pub use stats::{PerfSummary, Phase, RankStats, NUM_PHASES};

@@ -1,0 +1,513 @@
+//! The rank runtime: a MIMD distributed-memory message-passing environment
+//! in which each rank is an OS thread owning only its own data, exchanging
+//! typed messages over channels, with a deterministic *virtual clock* per
+//! rank driven by a [`MachineModel`].
+//!
+//! Virtual-time rules:
+//!
+//! * `compute(flops, class)` advances the local clock by `flops / rate`,
+//! * `send` charges the sender a CPU overhead and stamps the message with
+//!   its (virtual) send time; the message becomes available at
+//!   `send_time + latency + bytes/bandwidth`,
+//! * `recv` advances the local clock to at least the arrival time,
+//! * collectives synchronize every clock to the round maximum plus a
+//!   log₂(P) collective cost.
+//!
+//! Determinism: all protocols in this workspace receive from explicit
+//! (source, tag) pairs or collectives, never "whichever message lands
+//! first", so virtual times are bit-reproducible run to run regardless of
+//! wall-clock thread scheduling.
+
+use crate::machine::{MachineModel, WorkClass};
+use crate::stats::{Phase, RankStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    /// Virtual time at which the message is fully available at the receiver.
+    arrival: f64,
+    payload: Box<dyn Any + Send>,
+}
+
+struct CollInner {
+    generation: u64,
+    arrived: usize,
+    max_clock: f64,
+    slots: Vec<Option<Box<dyn Any + Send>>>,
+    published: Option<Arc<dyn Any + Send + Sync>>,
+    published_clock: f64,
+    readers_left: usize,
+}
+
+struct Collective {
+    m: Mutex<CollInner>,
+    cv: Condvar,
+}
+
+impl Collective {
+    fn new(n: usize) -> Self {
+        Collective {
+            m: Mutex::new(CollInner {
+                generation: 0,
+                arrived: 0,
+                max_clock: f64::NEG_INFINITY,
+                slots: (0..n).map(|_| None).collect(),
+                published: None,
+                published_clock: 0.0,
+                readers_left: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Per-rank communicator handle. Created by [`Universe::run`]; owns the
+/// rank's virtual clock, statistics, and channel endpoints.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    machine: Arc<MachineModel>,
+    clock: f64,
+    working_set_bytes: f64,
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+    coll: Arc<Collective>,
+    coll_gen: u64,
+    stats: RankStats,
+    phase: Phase,
+    phase_start: f64,
+}
+
+impl Comm {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Current virtual time, seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Set the per-rank working set used by the cache model (bytes).
+    pub fn set_working_set(&mut self, bytes: f64) {
+        self.working_set_bytes = bytes;
+    }
+
+    /// Switch statistics phase; time accrues to the phase that was active.
+    pub fn set_phase(&mut self, phase: Phase) {
+        let elapsed = self.clock - self.phase_start;
+        self.stats.time[self.phase as usize] += elapsed;
+        self.phase = phase;
+        self.phase_start = self.clock;
+    }
+
+    /// Account `flops` of `class` compute work: advances the virtual clock
+    /// and the flop counters.
+    pub fn compute(&mut self, flops: f64, class: WorkClass) {
+        debug_assert!(flops >= 0.0);
+        let dt = self.machine.compute_time(flops, class, self.working_set_bytes);
+        self.clock += dt;
+        self.stats.flops[self.phase as usize] += flops;
+    }
+
+    /// Advance the clock without doing flops (e.g. fixed overheads).
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+    }
+
+    /// Send `payload` (logical size `bytes`) to `dst` with a message `tag`.
+    /// Non-blocking (asynchronous send, as DCF3D's search requests are).
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, payload: T, bytes: usize) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        self.clock += self.machine.send_overhead;
+        let arrival = self.clock + self.machine.transit_time(bytes);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.txs[dst]
+            .send(Envelope { src: self.rank, tag, arrival, payload: Box::new(payload) })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of a message of type `T` from `src` with `tag`.
+    /// Advances the clock to at least the message arrival time.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> T {
+        let env = self.take_matching(src, tag);
+        self.clock = self.clock.max(env.arrival);
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from {src}",
+                self.rank
+            )
+        })
+    }
+
+    fn take_matching(&mut self, src: usize, tag: u64) -> Envelope {
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            // Order-preserving removal: multiple buffered messages with the
+            // same (src, tag) must be consumed FIFO (e.g. pipelined line
+            // chunks).
+            return self.pending.remove(pos);
+        }
+        loop {
+            let env = self.rx.recv().expect("all senders disconnected");
+            if env.src == src && env.tag == tag {
+                return env;
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Synchronize all ranks: everyone leaves with the same clock (round max
+    /// plus the collective cost).
+    pub fn barrier(&mut self) {
+        let _: Vec<u8> = self.allgather(0u8, 8);
+    }
+
+    /// All-gather: every rank contributes `value` (logical size `bytes`) and
+    /// receives the vector of all contributions indexed by rank.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T, bytes: usize) -> Vec<T> {
+        let gen = self.coll_gen;
+        self.coll_gen += 1;
+        let coll = Arc::clone(&self.coll);
+        let mut inner = coll.m.lock();
+        // Wait for our round to open (previous round fully consumed).
+        while inner.generation != gen {
+            self.coll.cv.wait(&mut inner);
+        }
+        inner.slots[self.rank] = Some(Box::new(value));
+        inner.arrived += 1;
+        inner.max_clock = inner.max_clock.max(self.clock);
+        if inner.arrived == self.size {
+            // Last arriver gathers and publishes.
+            let gathered: Vec<T> = inner
+                .slots
+                .iter_mut()
+                .map(|s| *s.take().expect("missing slot").downcast::<T>().expect("mixed types in collective"))
+                .collect();
+            inner.published = Some(Arc::new(gathered));
+            inner.published_clock = inner.max_clock;
+            inner.readers_left = self.size;
+            inner.arrived = 0;
+            inner.max_clock = f64::NEG_INFINITY;
+            self.coll.cv.notify_all();
+        } else {
+            while inner.published.is_none() || inner.generation != gen {
+                self.coll.cv.wait(&mut inner);
+            }
+        }
+        let arc = inner.published.clone().expect("published result");
+        let round_clock = inner.published_clock;
+        inner.readers_left -= 1;
+        if inner.readers_left == 0 {
+            inner.published = None;
+            inner.generation = gen + 1;
+            self.coll.cv.notify_all();
+        }
+        drop(inner);
+        let result = arc
+            .downcast::<Vec<T>>()
+            .expect("collective type mismatch")
+            .as_ref()
+            .clone();
+        self.clock = round_clock + self.machine.collective_time(self.size, bytes * self.size);
+        self.stats.collectives += 1;
+        result
+    }
+
+    /// All-reduce max over f64.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allgather(value, 8).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// All-reduce sum over f64.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allgather(value, 8).into_iter().sum()
+    }
+
+    /// All-reduce sum over usize.
+    pub fn allreduce_sum_usize(&mut self, value: usize) -> usize {
+        self.allgather(value, 8).into_iter().sum()
+    }
+
+    /// Finalize statistics (closes the open phase) and return them.
+    fn finish(mut self) -> RankStats {
+        let phase = self.phase;
+        self.set_phase(phase); // flush elapsed time into the current bucket
+        self.stats.final_clock = self.clock;
+        self.stats
+    }
+}
+
+/// Result of one rank's execution under [`Universe::run`].
+#[derive(Clone, Debug)]
+pub struct RankOutput<R> {
+    pub result: R,
+    pub stats: RankStats,
+}
+
+/// The simulated parallel machine: spawns `nranks` rank threads and runs the
+/// same SPMD closure on each.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `nranks` ranks of `machine`. Returns per-rank outputs in
+    /// rank order. Panics in any rank propagate.
+    pub fn run<R, F>(nranks: usize, machine: &MachineModel, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        assert!(nranks >= 1);
+        let machine = Arc::new(machine.clone());
+        let mut txs = Vec::with_capacity(nranks);
+        let mut rxs = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let coll = Arc::new(Collective::new(nranks));
+        let f = &f;
+        let mut outputs: Vec<Option<RankOutput<R>>> = (0..nranks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let txs = txs.clone();
+                    let machine = Arc::clone(&machine);
+                    let coll = Arc::clone(&coll);
+                    s.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            size: nranks,
+                            machine,
+                            clock: 0.0,
+                            working_set_bytes: 0.0,
+                            txs,
+                            rx,
+                            pending: Vec::new(),
+                            coll,
+                            coll_gen: 0,
+                            stats: RankStats::new(rank),
+                            phase: Phase::Other,
+                            phase_start: 0.0,
+                        };
+                        let result = f(&mut comm);
+                        RankOutput { result, stats: comm.finish() }
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                outputs[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        drop(txs);
+        outputs.into_iter().map(|o| o.expect("missing rank output")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modern() -> MachineModel {
+        MachineModel::modern()
+    }
+
+    #[test]
+    fn single_rank_compute_time() {
+        let m = MachineModel {
+            name: "t",
+            flops_per_sec: 100.0,
+            class_efficiency: [1.0, 0.5, 1.0],
+            cache: crate::machine::CacheModel::FLAT,
+            latency: 0.0,
+            bandwidth: 1.0,
+            send_overhead: 0.0,
+        };
+        let out = Universe::run(1, &m, |c| {
+            c.compute(50.0, WorkClass::Flow);
+            c.compute(50.0, WorkClass::Search);
+            c.now()
+        });
+        assert!((out[0].result - (0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ping_pong_times_are_deterministic() {
+        let m = modern();
+        let run = || {
+            Universe::run(2, &m, |c| {
+                if c.rank() == 0 {
+                    c.send(1, 7, 42.0f64, 1024);
+                    c.recv::<f64>(1, 8)
+                } else {
+                    let v = c.recv::<f64>(0, 7);
+                    c.send(0, 8, v * 2.0, 1024);
+                    v
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[0].result, 84.0);
+        assert_eq!(a[0].stats.final_clock.to_bits(), b[0].stats.final_clock.to_bits());
+        assert_eq!(a[1].stats.final_clock.to_bits(), b[1].stats.final_clock.to_bits());
+        // Receiver clock includes transit time.
+        assert!(a[1].stats.final_clock >= m.transit_time(1024));
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let m = modern();
+        let out = Universe::run(4, &m, |c| {
+            // Rank r does r units of work, then a barrier.
+            c.compute(1.0e9 * c.rank() as f64, WorkClass::Flow);
+            c.barrier();
+            c.now()
+        });
+        let clocks: Vec<f64> = out.iter().map(|o| o.result).collect();
+        for w in clocks.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-15, "clocks differ: {clocks:?}");
+        }
+        // Barrier clock at least the slowest rank's work time.
+        let slowest = m.compute_time(3.0e9, WorkClass::Flow, 0.0);
+        assert!(clocks[0] >= slowest);
+    }
+
+    #[test]
+    fn allgather_returns_rank_ordered_values() {
+        let out = Universe::run(5, &modern(), |c| {
+            let v = c.allgather(c.rank() * 10, 8);
+            v
+        });
+        for o in &out {
+            assert_eq!(o.result, vec![0, 10, 20, 30, 40]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_cross() {
+        let out = Universe::run(3, &modern(), |c| {
+            let mut acc = Vec::new();
+            for round in 0..50u64 {
+                let v = c.allgather(round * 100 + c.rank() as u64, 8);
+                acc.push(v.iter().sum::<u64>());
+            }
+            acc
+        });
+        for o in &out {
+            for (round, &s) in o.result.iter().enumerate() {
+                assert_eq!(s, 300 * round as u64 + 3);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let out = Universe::run(4, &modern(), |c| {
+            (
+                c.allreduce_max(c.rank() as f64),
+                c.allreduce_sum(1.5),
+                c.allreduce_sum_usize(c.rank()),
+            )
+        });
+        for o in &out {
+            assert_eq!(o.result.0, 3.0);
+            assert!((o.result.1 - 6.0).abs() < 1e-12);
+            assert_eq!(o.result.2, 6);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 10i32, 4);
+                c.send(1, 2, 20i32, 4);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv::<i32>(0, 2);
+                let a = c.recv::<i32>(0, 1);
+                a + b * 100
+            }
+        });
+        assert_eq!(out[1].result, 2010);
+    }
+
+    #[test]
+    fn phase_accounting() {
+        let m = MachineModel {
+            name: "t",
+            flops_per_sec: 1.0,
+            class_efficiency: [1.0; 3],
+            cache: crate::machine::CacheModel::FLAT,
+            latency: 0.0,
+            bandwidth: 1.0,
+            send_overhead: 0.0,
+        };
+        let out = Universe::run(1, &m, |c| {
+            c.set_phase(Phase::Flow);
+            c.compute(2.0, WorkClass::Flow);
+            c.set_phase(Phase::Connectivity);
+            c.compute(3.0, WorkClass::Search);
+            c.set_phase(Phase::Other);
+        });
+        let s = &out[0].stats;
+        assert!((s.time[Phase::Flow as usize] - 2.0).abs() < 1e-12);
+        assert!((s.time[Phase::Connectivity as usize] - 3.0).abs() < 1e-12);
+        assert!((s.flops[Phase::Flow as usize] - 2.0).abs() < 1e-12);
+        assert!((s.total_time() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_stats_counted() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, (), 500);
+                c.send(1, 1, (), 700);
+            } else {
+                c.recv::<()>(0, 0);
+                c.recv::<()>(0, 1);
+            }
+        });
+        assert_eq!(out[0].stats.msgs_sent, 2);
+        assert_eq!(out[0].stats.bytes_sent, 1200);
+        assert_eq!(out[1].stats.msgs_sent, 0);
+    }
+
+    #[test]
+    fn working_set_changes_rate() {
+        let m = MachineModel::ibm_sp2();
+        let out = Universe::run(1, &m, |c| {
+            c.set_working_set(1.0); // tiny: fast cache factor
+            c.compute(1.0e6, WorkClass::Flow);
+            let t_small = c.now();
+            c.set_working_set(1e9); // huge: memory bound
+            c.compute(1.0e6, WorkClass::Flow);
+            (t_small, c.now() - t_small)
+        });
+        let (t_small, t_large) = out[0].result;
+        assert!(t_large > 1.3 * t_small, "cache model had no effect");
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-rank and aggregated performance statistics: the quantities the
+//! paper's tables report (Mflops/node, parallel speedup, % time in DCF3D).
+
+/// Execution phases matching the three-step OVERFLOW-D1 timestep loop (plus
+/// balancing and a catch-all).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    Flow = 0,
+    Connectivity = 1,
+    Motion = 2,
+    Balance = 3,
+    Other = 4,
+}
+
+pub const NUM_PHASES: usize = 5;
+
+/// Statistics accumulated by one rank over a run.
+#[derive(Clone, Debug)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Virtual seconds spent per phase.
+    pub time: [f64; NUM_PHASES],
+    /// Flops performed per phase.
+    pub flops: [f64; NUM_PHASES],
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub collectives: u64,
+    /// Final virtual clock value.
+    pub final_clock: f64,
+}
+
+impl RankStats {
+    pub fn new(rank: usize) -> Self {
+        RankStats {
+            rank,
+            time: [0.0; NUM_PHASES],
+            flops: [0.0; NUM_PHASES],
+            msgs_sent: 0,
+            bytes_sent: 0,
+            collectives: 0,
+            final_clock: 0.0,
+        }
+    }
+
+    pub fn total_time(&self) -> f64 {
+        self.time.iter().sum()
+    }
+
+    pub fn total_flops(&self) -> f64 {
+        self.flops.iter().sum()
+    }
+}
+
+/// Aggregated view over all ranks of a run: the table-row quantities.
+#[derive(Clone, Debug)]
+pub struct PerfSummary {
+    pub nranks: usize,
+    /// Wall (virtual) time of the run: max over ranks of the final clock.
+    pub wall_time: f64,
+    /// Sum over ranks of per-phase time.
+    pub time: [f64; NUM_PHASES],
+    /// Sum over ranks of per-phase flops.
+    pub flops: [f64; NUM_PHASES],
+    pub msgs: u64,
+    pub bytes: u64,
+}
+
+impl PerfSummary {
+    pub fn from_ranks(stats: &[RankStats]) -> Self {
+        let mut s = PerfSummary {
+            nranks: stats.len(),
+            wall_time: 0.0,
+            time: [0.0; NUM_PHASES],
+            flops: [0.0; NUM_PHASES],
+            msgs: 0,
+            bytes: 0,
+        };
+        for r in stats {
+            s.wall_time = s.wall_time.max(r.final_clock);
+            for p in 0..NUM_PHASES {
+                s.time[p] += r.time[p];
+                s.flops[p] += r.flops[p];
+            }
+            s.msgs += r.msgs_sent;
+            s.bytes += r.bytes_sent;
+        }
+        s
+    }
+
+    /// Fraction of total (summed) time spent in the connectivity solution —
+    /// the "% time in DCF3D" column of the paper's tables.
+    pub fn connectivity_fraction(&self) -> f64 {
+        let total: f64 = self.time.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.time[Phase::Connectivity as usize] / total
+    }
+
+    /// Average Mflops per node: total flops / wall time / nodes / 1e6.
+    pub fn mflops_per_node(&self) -> f64 {
+        if self.wall_time == 0.0 {
+            return 0.0;
+        }
+        self.flops.iter().sum::<f64>() / self.wall_time / self.nranks as f64 / 1.0e6
+    }
+
+    /// Per-phase effective wall time (summed phase time / nranks): an
+    /// approximation of the per-phase elapsed time used for the per-module
+    /// speedup curves (phases are barrier-separated, so the average over
+    /// ranks of a phase's time equals its elapsed time when balanced and
+    /// bounds it from below when not; the driver also records exact
+    /// per-phase elapsed maxima).
+    pub fn mean_phase_time(&self, p: Phase) -> f64 {
+        self.time[p as usize] / self.nranks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(rank: usize, flow: f64, conn: f64, flops: f64) -> RankStats {
+        let mut s = RankStats::new(rank);
+        s.time[Phase::Flow as usize] = flow;
+        s.time[Phase::Connectivity as usize] = conn;
+        s.flops[Phase::Flow as usize] = flops;
+        s.final_clock = flow + conn;
+        s
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let ranks = vec![mk(0, 8.0, 2.0, 100.0e6), mk(1, 6.0, 4.0, 80.0e6)];
+        let s = PerfSummary::from_ranks(&ranks);
+        assert_eq!(s.nranks, 2);
+        assert_eq!(s.wall_time, 10.0);
+        assert!((s.connectivity_fraction() - 6.0 / 20.0).abs() < 1e-12);
+        // 180 Mflop over 10 s over 2 nodes = 9 Mflops/node.
+        assert!((s.mflops_per_node() - 9.0).abs() < 1e-12);
+        assert!((s.mean_phase_time(Phase::Flow) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phase_fraction_is_zero() {
+        let s = PerfSummary::from_ranks(&[RankStats::new(0)]);
+        assert_eq!(s.connectivity_fraction(), 0.0);
+        assert_eq!(s.mflops_per_node(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the virtual-time runtime: determinism, clock
+//! monotonicity and collective semantics under arbitrary communication
+//! patterns.
+
+use overset_comm::{MachineModel, Universe, WorkClass};
+use proptest::prelude::*;
+
+fn machine() -> MachineModel {
+    MachineModel::ibm_sp2()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A ring exchange with arbitrary per-rank work is deterministic and
+    /// every clock is monotone (≥ its own compute time).
+    #[test]
+    fn ring_exchange_deterministic(
+        nranks in 2usize..8,
+        work in prop::collection::vec(0u64..2_000_000, 2..8),
+        bytes in 1usize..100_000,
+    ) {
+        let work = std::sync::Arc::new(work);
+        let run = || {
+            let w = std::sync::Arc::clone(&work);
+            Universe::run(nranks, &machine(), move |c| {
+                let me = c.rank();
+                let flops = w[me % w.len()] as f64;
+                c.compute(flops, WorkClass::Flow);
+                let next = (me + 1) % c.size();
+                let prev = (me + c.size() - 1) % c.size();
+                c.send(next, 1, me as u64, bytes);
+                let got: u64 = c.recv(prev, 1);
+                c.barrier();
+                (got, c.now())
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.result.0, y.result.0);
+            prop_assert_eq!(x.result.1.to_bits(), y.result.1.to_bits());
+        }
+        // Ring values correct.
+        for (r, o) in a.iter().enumerate() {
+            let prev = (r + nranks - 1) % nranks;
+            prop_assert_eq!(o.result.0, prev as u64);
+        }
+        // Post-barrier clocks identical and at least the max compute time.
+        let t = a[0].result.1;
+        let max_work = (0..nranks)
+            .map(|r| machine().compute_time(work[r % work.len()] as f64, WorkClass::Flow, 0.0))
+            .fold(0.0f64, f64::max);
+        prop_assert!(t >= max_work);
+        for o in &a {
+            prop_assert_eq!(o.result.1.to_bits(), t.to_bits());
+        }
+    }
+
+    /// Allgather returns rank-ordered contributions for any rank count, and
+    /// repeated rounds never mix generations.
+    #[test]
+    fn allgather_semantics(
+        nranks in 1usize..10,
+        rounds in 1usize..12,
+    ) {
+        let out = Universe::run(nranks, &machine(), move |c| {
+            let mut sums = Vec::new();
+            for round in 0..rounds {
+                let v = c.allgather(c.rank() * 1000 + round, 8);
+                prop_assert_eq!(v.len(), c.size());
+                for (r, &x) in v.iter().enumerate() {
+                    prop_assert_eq!(x, r * 1000 + round);
+                }
+                sums.push(v.iter().sum::<usize>());
+            }
+            Ok(sums)
+        });
+        for o in out {
+            o.result?;
+        }
+    }
+
+    /// Virtual time respects the machine: more flops or more bytes never
+    /// make a run finish earlier.
+    #[test]
+    fn virtual_time_monotone_in_work(
+        flops in 1.0e6f64..1.0e8,
+        extra in 1.0e5f64..1.0e8,
+        bytes in 1usize..1_000_000,
+    ) {
+        let t = |f: f64, by: usize| {
+            let out = Universe::run(2, &machine(), move |c| {
+                if c.rank() == 0 {
+                    c.compute(f, WorkClass::Flow);
+                    c.send(1, 0, (), by);
+                } else {
+                    c.recv::<()>(0, 0);
+                }
+                c.barrier();
+                c.now()
+            });
+            out[0].result
+        };
+        prop_assert!(t(flops + extra, bytes) > t(flops, bytes));
+        prop_assert!(t(flops, bytes * 2) > t(flops, bytes));
+    }
+
+    /// Messages between many pairs with shuffled receive order (by tag)
+    /// always deliver the right payloads.
+    #[test]
+    fn tagged_delivery_with_reordering(
+        nmsg in 1usize..20,
+    ) {
+        let out = Universe::run(2, &machine(), move |c| {
+            if c.rank() == 0 {
+                for t in 0..nmsg as u64 {
+                    c.send(1, t, t * 7, 64);
+                }
+                Ok(0u64)
+            } else {
+                // Receive in reverse tag order.
+                let mut acc = 0u64;
+                for t in (0..nmsg as u64).rev() {
+                    let v: u64 = c.recv(0, t);
+                    prop_assert_eq!(v, t * 7);
+                    acc += v;
+                }
+                Ok(acc)
+            }
+        });
+        for o in out {
+            o.result?;
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Donor-cell search: the stencil-walk ("gradient jump") procedure at the
+//! heart of DCF3D, with Newton inversion of the trilinear cell mapping.
+//!
+//! Given a target point and a starting cell, the walk inverts the local
+//! trilinear map; when the computational coordinates fall outside the unit
+//! cube, it jumps to the adjacent cell in the indicated direction(s) and
+//! retries. Warm starts from the previous timestep's donor ("nth-level
+//! restart", Barszcz) mean the walk typically converges in one or two jumps,
+//! which is why restart "yields a considerable reduction in the time spent
+//! in the connectivity solution".
+
+use overset_grid::index::Ijk;
+use overset_solver::{Blank, Block};
+
+/// Flops per Newton iteration (trilinear evaluation + 3×3 solve).
+pub const FLOPS_PER_NEWTON: u64 = 140;
+/// Flops of per-walk-step overhead (cell gather, range checks).
+pub const FLOPS_PER_WALK_STEP: u64 = 60;
+
+/// Maximum walk steps before giving up (the request is then forwarded to
+/// another candidate processor or grid).
+pub const MAX_WALK_STEPS: usize = 60;
+
+/// A successful donor: cell lower corner (local), trilinear coordinates and
+/// interpolation weights over the cell's corner nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Donor {
+    pub cell: Ijk,
+    pub loc: [f64; 3],
+}
+
+/// Outcome of a local donor search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SearchOutcome {
+    /// Containing cell found, stencil clean, cell owned by this block.
+    Found(Donor),
+    /// The walk left this block's owned region (forward to a neighbor).
+    WalkedOut,
+    /// Containing cell found but its stencil touches a hole or the target
+    /// grid simply does not contain the point.
+    Unusable,
+}
+
+/// Statistics of one search (for virtual-time accounting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchCost {
+    pub walk_steps: u64,
+    pub newton_iters: u64,
+}
+
+impl SearchCost {
+    pub fn flops(&self) -> u64 {
+        self.walk_steps * FLOPS_PER_WALK_STEP + self.newton_iters * FLOPS_PER_NEWTON
+    }
+}
+
+/// Cell index bounds of a block in local indices: cells are identified by
+/// their lower corner node; the corner must have a +1 neighbour in every
+/// active direction within local storage.
+fn clamp_cell(block: &Block, mut c: Ijk) -> Ijk {
+    let d = block.local_dims;
+    c.i = c.i.min(d.ni.saturating_sub(2));
+    c.j = c.j.min(d.nj.saturating_sub(2));
+    if !block.two_d {
+        c.k = c.k.min(d.nk.saturating_sub(2));
+    } else {
+        c.k = 0;
+    }
+    c
+}
+
+/// Trilinear evaluation of cell corner coordinates at local coords `t`.
+fn cell_map(block: &Block, cell: Ijk, t: [f64; 3]) -> ([f64; 3], [[f64; 3]; 3]) {
+    let two_d = block.two_d;
+    let mut x = [0.0f64; 3];
+    let mut dx = [[0.0f64; 3]; 3]; // dx[d][comp] = ∂x_comp/∂t_d
+    let kmax = if two_d { 1 } else { 2 };
+    for dk in 0..kmax {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let node = Ijk::new(cell.i + di, cell.j + dj, cell.k + dk);
+                let c = block.coords[node];
+                let wi = if di == 0 { 1.0 - t[0] } else { t[0] };
+                let wj = if dj == 0 { 1.0 - t[1] } else { t[1] };
+                let wk = if two_d {
+                    1.0
+                } else if dk == 0 {
+                    1.0 - t[2]
+                } else {
+                    t[2]
+                };
+                let w = wi * wj * wk;
+                let gi = if di == 0 { -1.0 } else { 1.0 };
+                let gj = if dj == 0 { -1.0 } else { 1.0 };
+                let gk = if dk == 0 { -1.0 } else { 1.0 };
+                for m in 0..3 {
+                    x[m] += w * c[m];
+                    dx[0][m] += gi * wj * wk * c[m];
+                    dx[1][m] += wi * gj * wk * c[m];
+                    if !two_d {
+                        dx[2][m] += wi * wj * gk * c[m];
+                    }
+                }
+            }
+        }
+    }
+    if two_d {
+        dx[2] = [0.0, 0.0, 1.0];
+    }
+    (x, dx)
+}
+
+/// Newton inversion of the cell map for `target`. Returns local coords and
+/// iteration count; `None` if the 3×3 system is singular.
+fn invert_cell(block: &Block, cell: Ijk, target: [f64; 3]) -> Option<([f64; 3], u64)> {
+    let mut t = [0.5f64; 3];
+    if block.two_d {
+        t[2] = 0.0;
+    }
+    let mut iters = 0u64;
+    for _ in 0..8 {
+        iters += 1;
+        let (x, dx) = cell_map(block, cell, t);
+        let r = [target[0] - x[0], target[1] - x[1], target[2] - x[2]];
+        let rn = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+        // Solve J^T-layout system: dx[d][m] * dt[d] = r[m].
+        let a = [
+            [dx[0][0], dx[1][0], dx[2][0]],
+            [dx[0][1], dx[1][1], dx[2][1]],
+            [dx[0][2], dx[1][2], dx[2][2]],
+        ];
+        let det = a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+            - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+            + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let dt = [
+            inv_det
+                * (r[0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+                    - a[0][1] * (r[1] * a[2][2] - a[1][2] * r[2])
+                    + a[0][2] * (r[1] * a[2][1] - a[1][1] * r[2])),
+            inv_det
+                * (a[0][0] * (r[1] * a[2][2] - a[1][2] * r[2])
+                    - r[0] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+                    + a[0][2] * (a[1][0] * r[2] - r[1] * a[2][0])),
+            inv_det
+                * (a[0][0] * (a[1][1] * r[2] - r[1] * a[2][1])
+                    - a[0][1] * (a[1][0] * r[2] - r[1] * a[2][0])
+                    + r[0] * (a[1][0] * a[2][1] - a[1][1] * a[2][0])),
+        ];
+        t[0] += dt[0];
+        t[1] += dt[1];
+        if !block.two_d {
+            t[2] += dt[2];
+        }
+        // Clamp wild Newton steps so the walk jumps at most a few cells.
+        for v in t.iter_mut() {
+            *v = v.clamp(-3.0, 4.0);
+        }
+        if rn < 1e-16 || (dt[0].abs() + dt[1].abs() + dt[2].abs()) < 1e-8 {
+            break;
+        }
+    }
+    Some((t, iters))
+}
+
+const TOL: f64 = 1e-9;
+
+/// Walk from `start` (a local cell) toward the cell containing `target`.
+/// Runs the Newton stencil walk; if the walk stalls (concave grids can point
+/// the local linearization "through" a hole), falls back to a greedy
+/// cell-center descent followed by one more Newton walk.
+pub fn walk_search(
+    block: &Block,
+    target: [f64; 3],
+    start: Ijk,
+    cost: &mut SearchCost,
+) -> SearchOutcome {
+    walk_search_mode(block, target, start, cost, false)
+}
+
+/// Relaxed variant: accepts a containing cell even when its stencil touches
+/// holes (the interpolation then renormalizes over clean corners). This is
+/// the standard last-resort treatment for otherwise-orphaned fringe points
+/// in gap regions between overset surfaces.
+pub fn walk_search_relaxed(
+    block: &Block,
+    target: [f64; 3],
+    start: Ijk,
+    cost: &mut SearchCost,
+) -> SearchOutcome {
+    walk_search_mode(block, target, start, cost, true)
+}
+
+fn walk_search_mode(
+    block: &Block,
+    target: [f64; 3],
+    start: Ijk,
+    cost: &mut SearchCost,
+    relaxed: bool,
+) -> SearchOutcome {
+    match newton_walk(block, target, start, cost, relaxed) {
+        SearchOutcome::WalkedOut => {
+            let near = greedy_descent(block, target, clamp_cell(block, start), cost);
+            newton_walk(block, target, near, cost, relaxed)
+        }
+        out => out,
+    }
+}
+
+/// Greedy descent on cell-center distance: robust (if slow) positioning for
+/// the Newton walk on strongly curved grids.
+fn greedy_descent(block: &Block, target: [f64; 3], start: Ijk, cost: &mut SearchCost) -> Ijk {
+    let center_dist = |c: Ijk| -> f64 {
+        let (x, _) = cell_map(block, c, if block.two_d { [0.5, 0.5, 0.0] } else { [0.5; 3] });
+        (x[0] - target[0]).powi(2) + (x[1] - target[1]).powi(2) + (x[2] - target[2]).powi(2)
+    };
+    let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
+    let mut cell = start;
+    let mut best = center_dist(cell);
+    let budget = block.local_dims.ni + block.local_dims.nj + block.local_dims.nk;
+    for _ in 0..4 * budget {
+        cost.walk_steps += 1;
+        let mut improved = false;
+        for &d in dirs {
+            for step in [-1isize, 1] {
+                let c = cell.get(d) as isize;
+                let n = block.local_dims.get(d) as isize;
+                let mut nc = c + step;
+                if nc < 0 || nc > n - 2 {
+                    if d == 0 && block.self_wrap_i {
+                        let period = (block.owned.dims().ni - 1) as isize;
+                        let h = block.halo[0] as isize;
+                        nc = (nc - h).rem_euclid(period) + h;
+                    } else {
+                        continue;
+                    }
+                }
+                let mut cand = cell;
+                cand.set(d, nc as usize);
+                let dist = center_dist(cand);
+                if dist < best {
+                    best = dist;
+                    cell = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    cell
+}
+
+fn newton_walk(
+    block: &Block,
+    target: [f64; 3],
+    start: Ijk,
+    cost: &mut SearchCost,
+    relaxed: bool,
+) -> SearchOutcome {
+    let mut cell = clamp_cell(block, start);
+    for _ in 0..MAX_WALK_STEPS {
+        cost.walk_steps += 1;
+        let Some((t, iters)) = invert_cell(block, cell, target) else {
+            return SearchOutcome::Unusable;
+        };
+        cost.newton_iters += iters;
+        let inside = (0..3).all(|d| t[d] >= -TOL && t[d] <= 1.0 + TOL);
+        if inside {
+            return accept(block, cell, t, relaxed);
+        }
+        // Jump toward the target by the integer part of the excess. Steps
+        // that would leave local storage are clamped to the boundary cell
+        // (curved grids can point the local linearization "through" a
+        // concavity); the walk only fails when it is pinned at a boundary
+        // and still wants to leave.
+        let mut moved = false;
+        let mut pinned_out = false;
+        let mut next = cell;
+        let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
+        for &d in dirs {
+            let c = cell.get(d) as isize;
+            let n = block.local_dims.get(d) as isize;
+            let step = if t[d] < -TOL || t[d] > 1.0 + TOL {
+                t[d].floor() as isize
+            } else {
+                0
+            };
+            if step != 0 {
+                let mut nc = c + step;
+                if nc < 0 || nc > n - 2 {
+                    if d == 0 && block.self_wrap_i {
+                        // O-grid blocks owning the full i range wrap the
+                        // walk around the seam instead of walking out.
+                        let period = (block.owned.dims().ni - 1) as isize;
+                        let h = block.halo[0] as isize;
+                        nc = (nc - h).rem_euclid(period) + h;
+                    } else {
+                        nc = nc.clamp(0, n - 2);
+                        if nc == c {
+                            pinned_out = true;
+                        }
+                    }
+                }
+                if nc != c {
+                    next.set(d, nc as usize);
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            if pinned_out {
+                return SearchOutcome::WalkedOut;
+            }
+            // Numerical stall at a face: accept as inside with clamped coords.
+            let tc = [t[0].clamp(0.0, 1.0), t[1].clamp(0.0, 1.0), t[2].clamp(0.0, 1.0)];
+            return accept(block, cell, tc, relaxed);
+        }
+        cell = next;
+    }
+    SearchOutcome::WalkedOut
+}
+
+/// Validate an inside-cell result: donor cell must be anchored in the owned
+/// region (unique ownership across ranks) and its stencil must be hole-free
+/// (unless `relaxed`: then any cell with at least one clean corner passes,
+/// and the interpolation renormalizes over clean corners).
+fn accept(block: &Block, cell: Ijk, t: [f64; 3], relaxed: bool) -> SearchOutcome {
+    let ow = block.owned_local();
+    let anchored = cell.i >= ow.lo.i
+        && cell.i < ow.hi.i
+        && cell.j >= ow.lo.j
+        && cell.j < ow.hi.j
+        && (block.two_d || (cell.k >= ow.lo.k && cell.k < ow.hi.k));
+    if !anchored {
+        return SearchOutcome::WalkedOut;
+    }
+    let kmax = if block.two_d { 1 } else { 2 };
+    let mut clean = 0usize;
+    let mut total = 0usize;
+    for dk in 0..kmax {
+        for dj in 0..2 {
+            for di in 0..2 {
+                total += 1;
+                let node = Ijk::new(cell.i + di, cell.j + dj, cell.k + dk);
+                if block.iblank[node] != Blank::Hole {
+                    clean += 1;
+                }
+            }
+        }
+    }
+    if clean < total && !relaxed {
+        return SearchOutcome::Unusable;
+    }
+    if clean == 0 {
+        return SearchOutcome::Unusable;
+    }
+    SearchOutcome::Found(Donor {
+        cell,
+        loc: [t[0].clamp(0.0, 1.0), t[1].clamp(0.0, 1.0), t[2].clamp(0.0, 1.0)],
+    })
+}
+
+/// Default walk start: the center of the owned region.
+pub fn center_start(block: &Block) -> Ijk {
+    let ow = block.owned_local();
+    Ijk::new(
+        (ow.lo.i + ow.hi.i) / 2,
+        (ow.lo.j + ow.hi.j) / 2,
+        (ow.lo.k + ow.hi.k) / 2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_grid::curvilinear::{CurvilinearGrid, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::Dims;
+    use overset_solver::FlowConditions;
+
+    fn cart_block(n: usize, h: f64) -> Block {
+        let d = Dims::new(n, n, n);
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * h, p.j as f64 * h, p.k as f64 * h]);
+        let g = CurvilinearGrid::new("c", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    fn annulus_block(nth: usize, nr: usize) -> Block {
+        let d = Dims::new(nth, nr, 1);
+        let coords = Field3::from_fn(d, |p| {
+            let th = -2.0 * std::f64::consts::PI * (p.i % (nth - 1)) as f64 / (nth - 1) as f64;
+            let r = 1.0 + 0.25 * p.j as f64;
+            [r * th.cos(), r * th.sin(), 0.0]
+        });
+        let mut g = CurvilinearGrid::new("a", coords, GridKind::NearBody);
+        g.periodic_i = true;
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    #[test]
+    fn finds_cell_on_cartesian_block() {
+        let b = cart_block(9, 0.5);
+        let mut cost = SearchCost::default();
+        let target = [1.3, 2.1, 0.7];
+        match walk_search(&b, target, center_start(&b), &mut cost) {
+            SearchOutcome::Found(d) => {
+                let g = b.to_global(d.cell);
+                assert_eq!(g, Ijk::new(2, 4, 1), "cell {g:?}");
+                assert!((d.loc[0] - 0.6).abs() < 1e-9);
+                assert!((d.loc[1] - 0.2).abs() < 1e-9);
+                assert!((d.loc[2] - 0.4).abs() < 1e-9);
+            }
+            o => panic!("expected Found, got {o:?}"),
+        }
+        assert!(cost.flops() > 0);
+    }
+
+    #[test]
+    fn walk_converges_from_far_corner() {
+        let b = cart_block(17, 0.25);
+        let mut cost = SearchCost::default();
+        let ow = b.owned_local();
+        let far_start = Ijk::new(ow.lo.i, ow.lo.j, ow.lo.k);
+        let target = [3.9, 3.9, 3.9];
+        match walk_search(&b, target, far_start, &mut cost) {
+            SearchOutcome::Found(d) => {
+                assert_eq!(b.to_global(d.cell), Ijk::new(15, 15, 15));
+            }
+            o => panic!("got {o:?}"),
+        }
+        // Newton jumps several cells at once: far fewer steps than distance.
+        assert!(cost.walk_steps <= 12, "steps {}", cost.walk_steps);
+    }
+
+    #[test]
+    fn warm_start_is_cheaper_than_cold() {
+        let b = cart_block(17, 0.25);
+        let target = [2.05, 2.05, 2.05];
+        let mut cold = SearchCost::default();
+        let ow = b.owned_local();
+        walk_search(&b, target, Ijk::new(ow.lo.i, ow.lo.j, ow.lo.k), &mut cold);
+        let mut warm = SearchCost::default();
+        // Warm start: the true cell itself.
+        let hint = b.to_local(Ijk::new(8, 8, 8));
+        walk_search(&b, target, hint, &mut warm);
+        assert!(warm.flops() < cold.flops(), "warm {} cold {}", warm.flops(), cold.flops());
+        assert_eq!(warm.walk_steps, 1);
+    }
+
+    #[test]
+    fn outside_point_walks_out() {
+        let b = cart_block(9, 0.5);
+        let mut cost = SearchCost::default();
+        let out = walk_search(&b, [100.0, 0.0, 0.0], center_start(&b), &mut cost);
+        assert_eq!(out, SearchOutcome::WalkedOut);
+    }
+
+    #[test]
+    fn hole_stencil_is_unusable() {
+        let mut b = cart_block(9, 0.5);
+        let target = [1.3, 2.1, 0.7]; // cell (2,4,1)
+        let hole = b.to_local(Ijk::new(3, 4, 1));
+        b.iblank[hole] = Blank::Hole;
+        let mut cost = SearchCost::default();
+        let out = walk_search(&b, target, center_start(&b), &mut cost);
+        assert_eq!(out, SearchOutcome::Unusable);
+    }
+
+    #[test]
+    fn curvilinear_annulus_search() {
+        let b = annulus_block(65, 9);
+        let mut cost = SearchCost::default();
+        // A point at radius 1.9, 57 degrees.
+        let th = -(57.0f64.to_radians());
+        let target = [1.9 * th.cos(), 1.9 * th.sin(), 0.0];
+        match walk_search(&b, target, center_start(&b), &mut cost) {
+            SearchOutcome::Found(d) => {
+                // Verify by forward mapping.
+                let (x, _) = cell_map(&b, d.cell, d.loc);
+                for m in 0..3 {
+                    assert!((x[m] - target[m]).abs() < 1e-8, "{x:?} vs {target:?}");
+                }
+            }
+            o => panic!("got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn two_d_block_search_stays_in_plane() {
+        let d = Dims::new(11, 11, 1);
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * 0.3, p.j as f64 * 0.3, 0.0]);
+        let g = CurvilinearGrid::new("p", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = Block::from_grid(0, &g, d.full_box(), [None; 6], &fc);
+        let mut cost = SearchCost::default();
+        match walk_search(&b, [1.0, 2.0, 0.0], center_start(&b), &mut cost) {
+            SearchOutcome::Found(dn) => {
+                assert_eq!(dn.cell.k, 0);
+                assert_eq!(dn.loc[2], 0.0);
+                let gcell = b.to_global(dn.cell);
+                assert_eq!(gcell, Ijk::new(3, 6, 0));
+                assert!((dn.loc[0] - 1.0 / 3.0).abs() < 1e-9);
+            }
+            o => panic!("got {o:?}"),
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Hole cutting and fringe (inter-grid boundary point) identification.
+//!
+//! "Holes are cut in grids which intersect solid surfaces": every node of a
+//! block lying inside another grid's solid geometry is blanked. Field nodes
+//! adjacent to holes become *hole fringe* points, and the nodes of
+//! `OversetOuter` boundary patches become *outer-boundary* points; both sets
+//! are the inter-grid boundary points (IGBPs) whose values DCF3D supplies by
+//! interpolation each step.
+
+use overset_grid::curvilinear::{BcKind, Solid};
+use overset_grid::index::Ijk;
+use overset_solver::{Blank, Block};
+
+/// Safety pad (in local cell widths) around solids when blanking.
+pub const HOLE_PAD_CELLS: f64 = 0.25;
+
+/// Number of fringe layers at overset outer boundaries (single fringe, as
+/// was common in the paper's era; the JST stencil degrades gracefully to
+/// second differences beside interpolated data).
+pub const OUTER_FRINGE_LAYERS: usize = 1;
+
+/// Flops per node for the bounding-box pre-check.
+pub const FLOPS_PER_NODE_BBOX: u64 = 4;
+/// Flops per detailed containment test (nodes inside a solid's box).
+pub const FLOPS_PER_DETAILED_TEST: u64 = 25;
+
+/// One IGBP on a block: the local node plus its physical position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Igbp {
+    pub node: Ijk,
+    pub xyz: [f64; 3],
+}
+
+/// Re-cut holes and identify fringe points on a block against the solids of
+/// *other* grids. Resets all previous blanking. Returns (IGBP list,
+/// estimated flops).
+pub fn cut_holes_and_find_fringe(
+    block: &mut Block,
+    solids: &[(usize, Solid)],
+) -> (Vec<Igbp>, u64) {
+    let ow = block.owned_local();
+    // Reset: every owned node back to Field.
+    for p in ow.iter() {
+        block.iblank[p] = Blank::Field;
+    }
+
+    // Containment tests against foreign solids: cheap bounding-box
+    // pre-check, detailed test only inside a solid's (padded) box.
+    let foreign: Vec<&Solid> = solids
+        .iter()
+        .filter(|(g, _)| *g != block.grid_id)
+        .map(|(_, s)| s)
+        .collect();
+    let mut flops = 0u64;
+    if !foreign.is_empty() {
+        // Pad boxes by the largest plausible pad once.
+        let probe = overset_grid::Ijk::new(
+            (ow.lo.i + ow.hi.i) / 2,
+            (ow.lo.j + ow.hi.j) / 2,
+            (ow.lo.k + ow.hi.k) / 2,
+        );
+        let pad_hint = HOLE_PAD_CELLS * local_spacing(block, probe) * 4.0;
+        let boxes: Vec<overset_grid::Aabb> =
+            foreign.iter().map(|s| s.bbox().inflate(pad_hint)).collect();
+        for p in ow.iter() {
+            flops += FLOPS_PER_NODE_BBOX;
+            let x = block.coords[p];
+            let mut hole = false;
+            for (s, bb) in foreign.iter().zip(&boxes) {
+                if !bb.contains(x) {
+                    continue;
+                }
+                flops += FLOPS_PER_DETAILED_TEST;
+                let pad = HOLE_PAD_CELLS * local_spacing(block, p);
+                if s.contains(x, pad) {
+                    hole = true;
+                    break;
+                }
+            }
+            if hole {
+                block.iblank[p] = Blank::Hole;
+            }
+        }
+    }
+
+    // Hole fringe: field nodes with a hole neighbour (6-connectivity,
+    // in-plane for 2-D blocks).
+    let mut fringe_nodes: Vec<Ijk> = Vec::new();
+    if !foreign.is_empty() {
+        for p in ow.iter() {
+            if block.iblank[p] != Blank::Field {
+                continue;
+            }
+            let mut near_hole = false;
+            for &dir in block.active_dirs() {
+                for d in [-1isize, 1] {
+                    let c = p.get(dir) as isize + d;
+                    if c < 0 || c as usize >= block.local_dims.get(dir) {
+                        continue;
+                    }
+                    let mut q = p;
+                    q.set(dir, c as usize);
+                    if block.iblank[q] == Blank::Hole {
+                        near_hole = true;
+                    }
+                }
+            }
+            if near_hole {
+                fringe_nodes.push(p);
+            }
+        }
+    }
+    for &p in &fringe_nodes {
+        block.iblank[p] = Blank::Fringe;
+    }
+
+    // Outer-boundary fringe: layers of faces carrying OversetOuter patches.
+    for face in 0..6 {
+        if block.face_bc[face] != Some(BcKind::OversetOuter) {
+            continue;
+        }
+        let layers = block.layer_box(face, OUTER_FRINGE_LAYERS, false);
+        for p in layers.iter() {
+            if block.iblank[p] != Blank::Hole {
+                block.iblank[p] = Blank::Fringe;
+            }
+        }
+    }
+
+    // Collect all fringe nodes as IGBPs.
+    let mut igbps = Vec::new();
+    for p in ow.iter() {
+        if block.iblank[p] == Blank::Fringe {
+            igbps.push(Igbp { node: p, xyz: block.coords[p] });
+        }
+    }
+    (igbps, flops)
+}
+
+fn local_spacing(block: &Block, p: Ijk) -> f64 {
+    let d = block.local_dims;
+    let q = if p.i + 1 < d.ni {
+        Ijk::new(p.i + 1, p.j, p.k)
+    } else {
+        Ijk::new(p.i - 1, p.j, p.k)
+    };
+    let (a, b) = (block.coords[p], block.coords[q]);
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_grid::curvilinear::{BoundaryPatch, CurvilinearGrid, Face, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::Dims;
+    use overset_solver::FlowConditions;
+
+    fn bg_block(n: usize, outer_overset: bool) -> Block {
+        let d = Dims::new(n, n, 1);
+        let h = 4.0 / (n - 1) as f64;
+        let coords =
+            Field3::from_fn(d, |p| [-2.0 + h * p.i as f64, -2.0 + h * p.j as f64, 0.0]);
+        let mut g = CurvilinearGrid::new("bg", coords, GridKind::Background);
+        if outer_overset {
+            g.patches = Face::ALL[..4]
+                .iter()
+                .map(|&f| BoundaryPatch { face: f, kind: BcKind::OversetOuter })
+                .collect();
+        }
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(1, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    #[test]
+    fn solid_cuts_hole_with_fringe_ring() {
+        let mut b = bg_block(21, false);
+        let solids = vec![(0usize, Solid::Ellipsoid { center: [0.0; 3], radii: [0.7, 0.7, 10.0] })];
+        let (igbps, flops) = cut_holes_and_find_fringe(&mut b, &solids);
+        assert!(flops > 0);
+        // Center is a hole.
+        let c = b.to_local(Ijk::new(10, 10, 0));
+        assert_eq!(b.iblank[c], Blank::Hole);
+        // Holes exist, fringe ring surrounds them.
+        let holes = b
+            .owned_local()
+            .iter()
+            .filter(|&p| b.iblank[p] == Blank::Hole)
+            .count();
+        assert!(holes > 4, "holes = {holes}");
+        assert!(!igbps.is_empty());
+        // Every fringe node touches a hole.
+        for ig in &igbps {
+            let p = ig.node;
+            let mut touches = false;
+            for dir in 0..2 {
+                for d in [-1isize, 1] {
+                    let mut q = p;
+                    q.set(dir, (q.get(dir) as isize + d) as usize);
+                    if b.iblank[q] == Blank::Hole {
+                        touches = true;
+                    }
+                }
+            }
+            assert!(touches, "fringe {p:?} not adjacent to a hole");
+        }
+    }
+
+    #[test]
+    fn own_solids_do_not_cut_own_grid() {
+        let mut b = bg_block(11, false);
+        // Solid belongs to grid 1 == block's own grid.
+        let solids = vec![(1usize, Solid::Ellipsoid { center: [0.0; 3], radii: [0.7, 0.7, 10.0] })];
+        let (igbps, _) = cut_holes_and_find_fringe(&mut b, &solids);
+        assert!(igbps.is_empty());
+        for p in b.owned_local().iter() {
+            assert_eq!(b.iblank[p], Blank::Field);
+        }
+    }
+
+    #[test]
+    fn outer_boundary_becomes_fringe() {
+        let mut b = bg_block(11, true);
+        let (igbps, _) = cut_holes_and_find_fringe(&mut b, &[]);
+        // Single fringe on all 4 edges of an 11x11 grid: 11^2 - 9^2 = 40.
+        assert_eq!(igbps.len(), 40);
+        let ow = b.owned_local();
+        assert_eq!(b.iblank[Ijk::new(ow.lo.i, ow.lo.j + 5, 0)], Blank::Fringe);
+        assert_eq!(b.iblank[Ijk::new(ow.lo.i + 5, ow.lo.j + 5, 0)], Blank::Field);
+    }
+
+    #[test]
+    fn recut_resets_previous_state() {
+        let mut b = bg_block(15, false);
+        let near = vec![(0usize, Solid::Ellipsoid { center: [0.0; 3], radii: [0.7, 0.7, 10.0] })];
+        cut_holes_and_find_fringe(&mut b, &near);
+        let before: usize = b
+            .owned_local()
+            .iter()
+            .filter(|&p| b.iblank[p] == Blank::Hole)
+            .count();
+        assert!(before > 0);
+        // Solid moves away: holes must vanish.
+        let far = vec![(0usize, Solid::Ellipsoid { center: [50.0, 0.0, 0.0], radii: [0.7, 0.7, 10.0] })];
+        let (igbps, _) = cut_holes_and_find_fringe(&mut b, &far);
+        let after: usize = b
+            .owned_local()
+            .iter()
+            .filter(|&p| b.iblank[p] == Blank::Hole)
+            .count();
+        assert_eq!(after, 0);
+        assert!(igbps.is_empty());
+    }
+
+    #[test]
+    fn moving_solid_shifts_the_hole() {
+        let mut b = bg_block(21, false);
+        let s0 = vec![(0usize, Solid::Ellipsoid { center: [-0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
+        cut_holes_and_find_fringe(&mut b, &s0);
+        let left_hole = b.iblank[b.to_local(Ijk::new(7, 10, 0))] == Blank::Hole;
+        let s1 = vec![(0usize, Solid::Ellipsoid { center: [0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
+        cut_holes_and_find_fringe(&mut b, &s1);
+        let right_hole = b.iblank[b.to_local(Ijk::new(13, 10, 0))] == Blank::Hole;
+        assert!(left_hole && right_hole);
+        assert_ne!(b.iblank[b.to_local(Ijk::new(7, 10, 0))], Blank::Hole);
+    }
+}

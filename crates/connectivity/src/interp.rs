@@ -1,0 +1,142 @@
+//! Trilinear interpolation of the flow state from donor cells.
+
+use crate::donor::Donor;
+use overset_grid::field::NVAR;
+use overset_grid::index::Ijk;
+use overset_solver::Block;
+
+/// Flops to evaluate one interpolated state (8 weights × 5 variables).
+pub const FLOPS_PER_INTERP: u64 = 60;
+
+/// Corner weights of a donor (8 entries; the upper-k four are zero in 2-D).
+pub fn weights(donor: &Donor, two_d: bool) -> [f64; 8] {
+    let [ti, tj, tk] = donor.loc;
+    let mut w = [0.0f64; 8];
+    let kmax = if two_d { 1 } else { 2 };
+    for dk in 0..kmax {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let wi = if di == 0 { 1.0 - ti } else { ti };
+                let wj = if dj == 0 { 1.0 - tj } else { tj };
+                let wk = if two_d {
+                    1.0
+                } else if dk == 0 {
+                    1.0 - tk
+                } else {
+                    tk
+                };
+                w[di + 2 * dj + 4 * dk] = wi * wj * wk;
+            }
+        }
+    }
+    w
+}
+
+/// Interpolate the conserved state at a donor location on a block. Hole
+/// corners (possible for relaxed donors) are skipped and the weights
+/// renormalized over the clean corners.
+pub fn interpolate(block: &Block, donor: &Donor) -> [f64; NVAR] {
+    let w = weights(donor, block.two_d);
+    let mut out = [0.0f64; NVAR];
+    let mut wsum = 0.0f64;
+    let kmax = if block.two_d { 1 } else { 2 };
+    for dk in 0..kmax {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let weight = w[di + 2 * dj + 4 * dk];
+                if weight == 0.0 {
+                    continue;
+                }
+                let node = Ijk::new(donor.cell.i + di, donor.cell.j + dj, donor.cell.k + dk);
+                if block.iblank[node] == overset_solver::Blank::Hole {
+                    continue;
+                }
+                wsum += weight;
+                let q = block.q.node(node);
+                for v in 0..NVAR {
+                    out[v] += weight * q[v];
+                }
+            }
+        }
+    }
+    debug_assert!(wsum > 0.0, "relaxed donor with no clean corners");
+    if wsum > 0.0 && (wsum - 1.0).abs() > 1e-14 {
+        for v in out.iter_mut() {
+            *v /= wsum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_grid::curvilinear::{CurvilinearGrid, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::Dims;
+    use overset_solver::FlowConditions;
+
+    fn block3(n: usize) -> Block {
+        let d = Dims::new(n, n, n);
+        let coords = Field3::from_fn(d, |p| [p.i as f64, p.j as f64, p.k as f64]);
+        let g = CurvilinearGrid::new("c", coords, GridKind::Background);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &FlowConditions::new(0.8, 0.0, 0.0))
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let d = Donor { cell: Ijk::new(2, 2, 2), loc: [0.3, 0.7, 0.1] };
+        let w = weights(&d, false);
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-14);
+        let w2 = weights(&Donor { cell: Ijk::new(2, 2, 0), loc: [0.3, 0.7, 0.0] }, true);
+        let s2: f64 = w2.iter().sum();
+        assert!((s2 - 1.0).abs() < 1e-14);
+        assert_eq!(w2[4..8], [0.0; 4]);
+    }
+
+    #[test]
+    fn corner_weights_pick_nodes() {
+        let d = Donor { cell: Ijk::new(0, 0, 0), loc: [0.0, 0.0, 0.0] };
+        let w = weights(&d, false);
+        assert_eq!(w[0], 1.0);
+        assert!(w[1..].iter().all(|&x| x == 0.0));
+        let d2 = Donor { cell: Ijk::new(0, 0, 0), loc: [1.0, 1.0, 1.0] };
+        let w2 = weights(&d2, false);
+        assert_eq!(w2[7], 1.0);
+    }
+
+    #[test]
+    fn interpolation_reproduces_linear_field_exactly() {
+        let mut b = block3(6);
+        // q linear in position: trilinear interpolation is exact.
+        for p in b.local_dims.iter() {
+            let [x, y, z] = b.coords[p];
+            b.q.set_node(p, [1.0 + x, 2.0 * y, -z, 0.5 * x + y, 3.0 + z]);
+        }
+        let donor = Donor { cell: b.to_local(Ijk::new(2, 3, 1)), loc: [0.25, 0.5, 0.75] };
+        let q = interpolate(&b, &donor);
+        let (x, y, z) = (2.25, 3.5, 1.75);
+        let expect = [1.0 + x, 2.0 * y, -z, 0.5 * x + y, 3.0 + z];
+        for v in 0..NVAR {
+            assert!((q[v] - expect[v]).abs() < 1e-12, "var {v}: {} vs {}", q[v], expect[v]);
+        }
+    }
+
+    #[test]
+    fn two_d_interpolation_bilinear() {
+        let d = Dims::new(5, 5, 1);
+        let coords = Field3::from_fn(d, |p| [p.i as f64, p.j as f64, 0.0]);
+        let g = CurvilinearGrid::new("p", coords, GridKind::Background);
+        let mut b =
+            Block::from_grid(0, &g, d.full_box(), [None; 6], &FlowConditions::new(0.8, 0.0, 0.0));
+        for p in b.local_dims.iter() {
+            let [x, y, _] = b.coords[p];
+            b.q.set_node(p, [x + y, 0.0, 0.0, 0.0, x * 1.0]);
+        }
+        let donor = Donor { cell: b.to_local(Ijk::new(1, 1, 0)), loc: [0.5, 0.5, 0.0] };
+        let q = interpolate(&b, &donor);
+        assert!((q[0] - 3.0).abs() < 1e-12);
+        assert!((q[4] - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! Domain connectivity for dynamic overset grids — the DCF3D analogue of
+//! the OVERFLOW-D reproduction.
+//!
+//! Moving-grid simulations must re-establish intergrid connectivity at every
+//! timestep: cut holes where grids intersect solid surfaces, identify the
+//! inter-grid boundary points (IGBPs), search donor cells in overlapping
+//! grids, and interpolate boundary values. This crate implements:
+//!
+//! * [`holes`] — analytic hole cutting and fringe/IGBP identification,
+//! * [`donor`] — the stencil-walk donor search with Newton inversion of the
+//!   trilinear cell map,
+//! * [`interp`] — trilinear interpolation of the conserved state,
+//! * [`serial`] — the single-address-space connectivity solution (Y-MP
+//!   baseline and validation reference),
+//! * [`protocol`] — the distributed donor-search protocol (bounding-box
+//!   routing, asynchronous request service, candidate forwarding, and the
+//!   "nth-level restart" donor cache).
+
+pub mod donor;
+pub mod holes;
+pub mod interp;
+pub mod protocol;
+pub mod serial;
+
+pub use donor::{walk_search, Donor, SearchCost, SearchOutcome};
+pub use holes::{cut_holes_and_find_fringe, Igbp};
+pub use interp::{interpolate, weights};
+pub use protocol::{connect_distributed, ConnStats, DonorCache, Topology};
+pub use serial::{connect_serial, SerialCache, SerialConnStats};

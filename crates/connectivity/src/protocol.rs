@@ -1,0 +1,568 @@
+//! The distributed donor-search protocol (Barszcz's DCF3D parallelization).
+//!
+//! Per timestep, after hole cutting and fringe identification:
+//!
+//! 1. every rank broadcasts the bounding box of its owned region (the
+//!    "bounding box information ... broadcast globally"),
+//! 2. each rank consults its grid's hierarchical search list and the boxes
+//!    to decide which processor to send each IGBP search request to,
+//! 3. requests are sent asynchronously; every rank services the requests it
+//!    receives (the *donor search* — step 3 of Fig. 3, the dominant and
+//!    load-imbalanced cost), interpolates, and replies,
+//! 4. a request whose walk leaves the serving rank's subdomain is retried on
+//!    the next candidate processor (equivalent to the paper's forwarding
+//!    across processor boundaries), then on the next grid in the hierarchy.
+//!
+//! "nth-level restart": each rank caches its fringe points' donors
+//! (rank + global donor cell) and sends the next step's first request
+//! straight there with a warm-start hint.
+//!
+//! The protocol runs in deterministic rounds (an allgather of per-rank send
+//! counts opens each round) so virtual times are bit-reproducible; the
+//! paper's asynchronous overlap is retained within a round — a rank services
+//! everything it received before waiting on its own replies.
+
+use crate::donor::{center_start, walk_search, walk_search_relaxed, SearchCost, SearchOutcome};
+use crate::holes::Igbp;
+use crate::interp::{interpolate, FLOPS_PER_INTERP};
+use overset_comm::{Comm, WorkClass};
+use overset_grid::index::{Ijk, IndexBox};
+use overset_grid::Aabb;
+use overset_solver::Block;
+use std::collections::HashMap;
+
+/// Message tag base for connectivity traffic (distinct from solver tags).
+const TAG_BASE: u64 = 10_000;
+const MAX_ROUNDS: usize = 24;
+
+/// Global, rank-replicated description of the partition, needed for routing.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Component grid each rank works on.
+    pub grid_of_rank: Vec<usize>,
+    /// Global rank range of each grid.
+    pub ranks_of_grid: Vec<std::ops::Range<usize>>,
+    /// Hierarchical donor-search lists per grid.
+    pub search_order: Vec<Vec<usize>>,
+}
+
+/// Per-rank donor cache for nth-level restart: fringe node → (donor rank,
+/// donor grid, donor cell in *global* donor-grid indices, relaxed donor).
+#[derive(Clone, Debug, Default)]
+pub struct DonorCache {
+    map: HashMap<Ijk, (usize, usize, Ijk, bool)>,
+}
+
+impl DonorCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invalidate everything (the A1 restart-off ablation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Remap donor *ranks* after a repartition: the cached donor cells are
+    /// still geometrically valid; only their owning rank changed. `owner`
+    /// maps (donor grid, donor cell anchor) to the new rank. Far cheaper
+    /// than re-searching everything from scratch.
+    pub fn remap_ranks(&mut self, owner: impl Fn(usize, Ijk) -> usize) {
+        for (_, (rank, grid, cell, _)) in self.map.iter_mut() {
+            *rank = owner(*grid, *cell);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One rank's connectivity statistics for a step: the quantities Algorithm 2
+/// and the paper's tables consume.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// IGBPs owned by this rank.
+    pub igbps: usize,
+    /// Search-request points *serviced* by this rank: the paper's I(p).
+    pub serviced: usize,
+    /// Of the owned IGBPs, how many were resolved.
+    pub resolved: usize,
+    pub orphans: usize,
+    /// Total walk steps performed while servicing.
+    pub walk_steps: u64,
+    /// Rounds until global quiescence.
+    pub rounds: usize,
+}
+
+#[derive(Clone, Copy)]
+struct ReqPoint {
+    id: u32,
+    xyz: [f64; 3],
+    /// Warm-start hint: donor cell in global donor-grid indices.
+    hint: Option<Ijk>,
+    /// Last-resort pass: accept donors whose stencil touches holes.
+    relaxed: bool,
+}
+
+const REQ_POINT_BYTES: usize = 44;
+
+#[derive(Clone, Copy)]
+enum Answer {
+    Found { value: [f64; 5], cell_global: Ijk },
+    Miss,
+}
+
+const ANSWER_BYTES: usize = 68;
+
+/// Pending state of one unresolved IGBP during the round loop.
+struct Pending {
+    igbp: usize,
+    /// Index into the search hierarchy of this rank's grid (usize::MAX when
+    /// trying the cached donor first).
+    level: usize,
+    /// Candidate ranks (of the current hierarchy grid) not yet tried.
+    candidates: Vec<usize>,
+    hint: Option<Ijk>,
+    /// Second sweep through the hierarchy with relaxed donor acceptance.
+    relaxed: bool,
+}
+
+/// Run the distributed connectivity solution for this rank's block.
+///
+/// Preconditions: holes cut and `igbps` identified (see [`crate::holes`]),
+/// and the block's halo state freshly exchanged (donor stencils near
+/// subdomain edges read halo values).
+pub fn connect_distributed(
+    block: &mut Block,
+    igbps: &[Igbp],
+    topo: &Topology,
+    cache: &mut DonorCache,
+    comm: &mut Comm,
+) -> ConnStats {
+    let nranks = comm.size();
+    let me = comm.rank();
+    let my_grid = topo.grid_of_rank[me];
+    let mut stats = ConnStats { igbps: igbps.len(), ..Default::default() };
+
+    // 1. Broadcast owned-region bounding boxes.
+    let my_bbox = owned_bbox(block);
+    let flat: [f64; 6] = [
+        my_bbox.min[0], my_bbox.min[1], my_bbox.min[2],
+        my_bbox.max[0], my_bbox.max[1], my_bbox.max[2],
+    ];
+    let boxes: Vec<[f64; 6]> = comm.allgather(flat, 48);
+    let boxes: Vec<Aabb> = boxes
+        .iter()
+        .map(|b| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]]))
+        .collect();
+
+    // 2. Seed pending requests: cached donors first, hierarchy otherwise.
+    let mut pending: Vec<Pending> = Vec::with_capacity(igbps.len());
+    for (idx, ig) in igbps.iter().enumerate() {
+        if let Some(&(rank, _grid, cell, relaxed)) = cache.map.get(&ig.node) {
+            pending.push(Pending {
+                igbp: idx,
+                level: usize::MAX,
+                candidates: vec![rank],
+                hint: Some(cell),
+                relaxed,
+            });
+        } else {
+            let mut p = Pending {
+                igbp: idx,
+                level: 0,
+                candidates: Vec::new(),
+                hint: None,
+                relaxed: false,
+            };
+            // Advance through the hierarchy until some grid's boxes contain
+            // the point (the first listed grid need not).
+            refill_candidates(&mut p, ig, my_grid, topo, &boxes);
+            while p.candidates.is_empty() {
+                p.level += 1;
+                if p.level >= topo.search_order[my_grid].len() {
+                    break;
+                }
+                refill_candidates(&mut p, ig, my_grid, topo, &boxes);
+            }
+            pending.push(p);
+        }
+    }
+    // Drop IGBPs with no candidates anywhere (instant orphans).
+    let mut orphaned: Vec<usize> = Vec::new();
+    pending.retain(|p| {
+        if p.candidates.is_empty() {
+            orphaned.push(p.igbp);
+            false
+        } else {
+            true
+        }
+    });
+
+    // 3. Round loop.
+    let mut round = 0usize;
+    loop {
+        let active: usize = comm.allreduce_sum_usize(pending.len());
+        if active == 0 || round >= MAX_ROUNDS {
+            break;
+        }
+        stats.rounds = round + 1;
+
+        // Build per-destination request lists.
+        let mut outgoing: Vec<Vec<ReqPoint>> = vec![Vec::new(); nranks];
+        for p in &mut pending {
+            let dst = p.candidates[0];
+            let ig = &igbps[p.igbp];
+            outgoing[dst].push(ReqPoint {
+                id: p.igbp as u32,
+                xyz: ig.xyz,
+                hint: p.hint,
+                relaxed: p.relaxed,
+            });
+        }
+        let my_counts: Vec<u32> = outgoing.iter().map(|v| v.len() as u32).collect();
+        let all_counts: Vec<Vec<u32>> = comm.allgather(my_counts, 4 * nranks);
+
+        // Send requests.
+        let tag_req = TAG_BASE + 2 * round as u64;
+        let tag_rep = tag_req + 1;
+        let mut sent_to: Vec<usize> = Vec::new();
+        for (dst, pts) in outgoing.iter().enumerate() {
+            if pts.is_empty() {
+                continue;
+            }
+            comm.send(dst, tag_req, pts.clone(), pts.len() * REQ_POINT_BYTES);
+            sent_to.push(dst);
+        }
+
+        // Service incoming requests (in rank order — deterministic).
+        for src in 0..nranks {
+            let n_in = all_counts[src][me] as usize;
+            if n_in == 0 {
+                continue;
+            }
+            let pts: Vec<ReqPoint> = comm.recv(src, tag_req);
+            assert_eq!(pts.len(), n_in);
+            stats.serviced += n_in;
+            let mut answers: Vec<(u32, Answer)> = Vec::with_capacity(n_in);
+            let mut service_flops = 0u64;
+            for pt in &pts {
+                let start = pt
+                    .hint
+                    .map(|gc| clamp_to_local_cell(block, gc))
+                    .unwrap_or_else(|| center_start(block));
+                let mut cost = SearchCost::default();
+                let out = if pt.relaxed {
+                    walk_search_relaxed(block, pt.xyz, start, &mut cost)
+                } else {
+                    walk_search(block, pt.xyz, start, &mut cost)
+                };
+                stats.walk_steps += cost.walk_steps;
+                service_flops += cost.flops();
+                let ans = match out {
+                    SearchOutcome::Found(d) => {
+                        let value = interpolate(block, &d);
+                        service_flops += FLOPS_PER_INTERP;
+                        Answer::Found { value, cell_global: block.to_global(d.cell) }
+                    }
+                    _ => Answer::Miss,
+                };
+                answers.push((pt.id, ans));
+            }
+            comm.compute(service_flops as f64, WorkClass::Search);
+            comm.send(src, tag_rep, answers, n_in * ANSWER_BYTES);
+        }
+
+        // Collect replies and update pending set.
+        let mut answers_by_id: HashMap<u32, (usize, Answer)> = HashMap::new();
+        for &dst in &sent_to {
+            let answers: Vec<(u32, Answer)> = comm.recv(dst, tag_rep);
+            for (id, a) in answers {
+                answers_by_id.insert(id, (dst, a));
+            }
+        }
+        let mut still_pending = Vec::new();
+        for mut p in pending {
+            let (from, ans) = answers_by_id[&(p.igbp as u32)];
+            match ans {
+                Answer::Found { value, cell_global } => {
+                    let ig = &igbps[p.igbp];
+                    block.q.set_node(ig.node, value);
+                    cache
+                        .map
+                        .insert(ig.node, (from, topo.grid_of_rank[from], cell_global, p.relaxed));
+                    stats.resolved += 1;
+                }
+                Answer::Miss => {
+                    // Advance to the next candidate / hierarchy level; after
+                    // the strict hierarchy is exhausted, sweep it once more
+                    // with relaxed donor acceptance before giving up.
+                    let ig = igbps[p.igbp];
+                    p.hint = None;
+                    p.candidates.remove(0);
+                    while p.candidates.is_empty() {
+                        p.level = if p.level == usize::MAX { 0 } else { p.level + 1 };
+                        if p.level >= topo.search_order[my_grid].len() {
+                            if p.relaxed {
+                                break;
+                            }
+                            p.relaxed = true;
+                            p.level = 0;
+                        }
+                        refill_candidates(&mut p, &ig, my_grid, topo, &boxes);
+                    }
+                    if p.candidates.is_empty() {
+                        orphaned.push(p.igbp);
+                        cache.map.remove(&ig.node);
+                    } else {
+                        still_pending.push(p);
+                    }
+                }
+            }
+        }
+        pending = still_pending;
+        round += 1;
+    }
+
+    // Anything still pending at the round cap is an orphan this step.
+    for p in &pending {
+        orphaned.push(p.igbp);
+    }
+    stats.orphans = orphaned.len();
+    stats
+}
+
+/// Candidate ranks for one IGBP at its current hierarchy level: the ranks of
+/// the level's grid whose bounding boxes contain the point, nearest bounding
+/// box center first (deterministic rank-id tie-break). Proximity ordering
+/// makes the first candidate almost always the owner, so cold searches
+/// rarely pay for a miss.
+fn refill_candidates(p: &mut Pending, ig: &Igbp, my_grid: usize, topo: &Topology, boxes: &[Aabb]) {
+    let level = if p.level == usize::MAX { 0 } else { p.level };
+    let Some(&grid) = topo.search_order[my_grid].get(level) else {
+        p.candidates.clear();
+        return;
+    };
+    p.level = level;
+    let mut cands: Vec<usize> = topo.ranks_of_grid[grid]
+        .clone()
+        .filter(|&r| boxes[r].contains(ig.xyz))
+        .collect();
+    let dist2 = |r: usize| -> f64 {
+        let c = boxes[r].center();
+        (c[0] - ig.xyz[0]).powi(2) + (c[1] - ig.xyz[1]).powi(2) + (c[2] - ig.xyz[2]).powi(2)
+    };
+    cands.sort_by(|&a, &b| dist2(a).partial_cmp(&dist2(b)).unwrap().then(a.cmp(&b)));
+    p.candidates = cands;
+}
+
+/// Bounding box of a block's owned region *plus one halo layer of nodes*:
+/// any point whose containing cell is anchored at an owned node lies within
+/// this box (the cell's far corners are at most one layer outside the owned
+/// nodes, and the halo carries real neighbor geometry). Without the halo
+/// layer, points in boundary cells of stretched grids would be routed
+/// nowhere.
+pub fn owned_bbox(block: &Block) -> Aabb {
+    let mut bb = Aabb::EMPTY;
+    let ow = block.owned_local();
+    let grown = IndexBox::new(
+        Ijk::new(
+            ow.lo.i.saturating_sub(1),
+            ow.lo.j.saturating_sub(1),
+            ow.lo.k.saturating_sub(usize::from(block.halo[2] > 0)),
+        ),
+        Ijk::new(
+            (ow.hi.i + 1).min(block.local_dims.ni),
+            (ow.hi.j + 1).min(block.local_dims.nj),
+            (ow.hi.k + usize::from(block.halo[2] > 0)).min(block.local_dims.nk),
+        ),
+    );
+    for p in grown.iter() {
+        bb.include(block.coords[p]);
+    }
+    bb.inflate(1e-9 * bb.diagonal().max(1.0))
+}
+
+/// Convert a global donor-grid cell hint to a local cell on this block,
+/// clamped into local storage (the hint may point slightly off this rank's
+/// region after motion or when the cache predates a repartition).
+fn clamp_to_local_cell(block: &Block, global_cell: Ijk) -> Ijk {
+    let h = block.halo;
+    let lo = block.owned.lo;
+    let ld = block.local_dims;
+    let map1 = |g: usize, lo: usize, h: usize, n: usize| -> usize {
+        (g as isize + h as isize - lo as isize).clamp(0, n as isize - 2) as usize
+    };
+    Ijk::new(
+        map1(global_cell.i, lo.i, h[0], ld.ni),
+        map1(global_cell.j, lo.j, h[1], ld.nj),
+        map1(global_cell.k, lo.k, h[2], ld.nk.max(2)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_comm::{MachineModel, Universe};
+    use overset_grid::curvilinear::{BcKind, BoundaryPatch, CurvilinearGrid, Face, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::{Dims, IndexBox};
+    use overset_solver::FlowConditions;
+
+    fn inner_grid() -> CurvilinearGrid {
+        let di = Dims::new(17, 17, 1);
+        let ci = Field3::from_fn(di, |p| {
+            [1.0 + 0.125 * p.i as f64, 1.0 + 0.125 * p.j as f64, 0.0]
+        });
+        let mut gi = CurvilinearGrid::new("inner", ci, GridKind::NearBody);
+        gi.patches = Face::ALL[..4]
+            .iter()
+            .map(|&f| BoundaryPatch { face: f, kind: BcKind::OversetOuter })
+            .collect();
+        gi
+    }
+
+    fn outer_grid() -> CurvilinearGrid {
+        let do_ = Dims::new(17, 17, 1);
+        let co = Field3::from_fn(do_, |p| [0.25 * p.i as f64, 0.25 * p.j as f64, 0.0]);
+        let mut go = CurvilinearGrid::new("outer", co, GridKind::Background);
+        go.patches = Face::ALL[..4]
+            .iter()
+            .map(|&f| BoundaryPatch { face: f, kind: BcKind::Farfield })
+            .collect();
+        go
+    }
+
+    /// 3 ranks: rank 0 owns the inner grid; ranks 1-2 split the outer grid.
+    fn topo() -> Topology {
+        Topology {
+            grid_of_rank: vec![0, 1, 1],
+            ranks_of_grid: vec![0..1, 1..3],
+            search_order: vec![vec![1], vec![0]],
+        }
+    }
+
+    fn build_block(rank: usize, fc: &FlowConditions) -> Block {
+        match rank {
+            0 => {
+                let g = inner_grid();
+                Block::from_grid(0, &g, g.dims().full_box(), [None; 6], fc)
+            }
+            1 => {
+                let g = outer_grid();
+                let owned = IndexBox::new(Ijk::new(0, 0, 0), Ijk::new(9, 17, 1));
+                Block::from_grid(1, &g, owned, [None, Some(2), None, None, None, None], fc)
+            }
+            _ => {
+                let g = outer_grid();
+                let owned = IndexBox::new(Ijk::new(9, 0, 0), Ijk::new(17, 17, 1));
+                Block::from_grid(1, &g, owned, [Some(1), None, None, None, None, None], fc)
+            }
+        }
+    }
+
+    fn paint_linear(b: &mut Block) {
+        for p in b.local_dims.iter() {
+            let [x, y, _] = b.coords[p];
+            b.q.set_node(p, [1.0 + x + 2.0 * y, 0.0, 0.0, 0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn distributed_resolution_matches_interpolant() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+            let mut block = build_block(comm.rank(), &fc);
+            if comm.rank() > 0 {
+                paint_linear(&mut block);
+            }
+            let (igbps, _) =
+                crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let mut cache = DonorCache::new();
+            let stats = connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm);
+            // Verify resolved fringe values against the analytic field.
+            let mut max_err = 0.0f64;
+            for ig in &igbps {
+                let q = block.q.node(ig.node);
+                let expect = 1.0 + ig.xyz[0] + 2.0 * ig.xyz[1];
+                max_err = max_err.max((q[0] - expect).abs());
+            }
+            (stats, max_err)
+        });
+        let (s0, err0) = &out[0].result;
+        assert!(s0.igbps > 0);
+        assert_eq!(s0.orphans, 0, "{s0:?}");
+        assert_eq!(s0.resolved, s0.igbps);
+        assert!(*err0 < 1e-10, "interp err {err0}");
+        // The two outer ranks serviced the inner grid's requests.
+        let (s1, _) = &out[1].result;
+        let (s2, _) = &out[2].result;
+        assert!(s1.serviced + s2.serviced >= s0.igbps);
+    }
+
+    #[test]
+    fn restart_reduces_walk_steps_and_rounds_stay_bounded() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+            let mut block = build_block(comm.rank(), &fc);
+            paint_linear(&mut block);
+            let mut cache = DonorCache::new();
+            let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let s1 = connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm);
+            let (igbps2, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let s2 = connect_distributed(&mut block, &igbps2, &topo(), &mut cache, comm);
+            (s1, s2)
+        });
+        // Walk work on the servicing ranks drops with warm hints.
+        let cold: u64 = out.iter().map(|o| o.result.0.walk_steps).sum();
+        let warm: u64 = out.iter().map(|o| o.result.1.walk_steps).sum();
+        assert!(warm < cold, "restart not effective: {warm} vs {cold}");
+        // Warm pass resolves in a single round.
+        assert!(out[0].result.1.rounds <= out[0].result.0.rounds);
+    }
+
+    #[test]
+    fn deterministic_virtual_times() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let run = || {
+            Universe::run(3, &MachineModel::ibm_sp2(), |comm| {
+                let mut block = build_block(comm.rank(), &fc);
+                paint_linear(&mut block);
+                let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+                let mut cache = DonorCache::new();
+                connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm);
+                comm.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.result.to_bits(), y.result.to_bits());
+        }
+    }
+
+    #[test]
+    fn service_load_concentrates_on_overlap_owner() {
+        // Rank 1 owns the left half of the outer grid; the inner grid sits
+        // at [1,3]^2, so both outer ranks serve, but rank 0 serves nothing
+        // (no outer fringe reaches into the inner grid's bbox...
+        // actually outer grid has Farfield edges: no IGBPs of its own).
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+            let mut block = build_block(comm.rank(), &fc);
+            paint_linear(&mut block);
+            let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let mut cache = DonorCache::new();
+            connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm)
+        });
+        assert_eq!(out[1].result.igbps + out[2].result.igbps, 0);
+        assert_eq!(out[0].result.serviced, 0);
+        assert!(out[1].result.serviced > 0);
+        assert!(out[2].result.serviced > 0);
+    }
+}

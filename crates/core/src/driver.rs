@@ -1,0 +1,588 @@
+//! The OVERFLOW-D1 driver: the three-phase timestep loop (flow solve, grid
+//! motion, domain connectivity) with barriers between phases, integrated
+//! static/dynamic load balancing, and per-phase performance accounting —
+//! everything the paper's tables and figures are computed from.
+
+use crate::comm_impl::MpSolverComm;
+use crate::redistribute::redistribute_state;
+use crate::setup::{build_block, build_topology};
+use overset_balance::{dynamic_rebalance, static_balance, Partition};
+use overset_comm::{Comm, MachineModel, PerfSummary, Phase, RankStats, Universe, WorkClass, NUM_PHASES};
+use overset_connectivity::{connect_distributed, connect_serial, cut_holes_and_find_fringe, DonorCache, SerialCache};
+use overset_grid::curvilinear::{CurvilinearGrid, Solid};
+use overset_grid::transform::RigidTransform;
+use overset_grid::Dims;
+use overset_motion::{BodyMotion, Loads};
+use overset_solver::adi::implicit_sweeps;
+use overset_solver::bc::apply_bcs;
+use overset_solver::rhs::compute_residual;
+use overset_solver::turbulence::compute_mu_t;
+use overset_solver::{FlowConditions, Scratch, SerialComm, SolverComm};
+
+/// Load-balance configuration: the user-specified factor `f_o` and how often
+/// the dynamic scheme checks the measured service loads (Algorithm 2's
+/// "check solution after specified number of timesteps").
+#[derive(Clone, Copy, Debug)]
+pub struct LbConfig {
+    pub fo: f64,
+    pub check_interval: usize,
+}
+
+impl LbConfig {
+    /// Static balancing only (`f_o = ∞`), the paper's default.
+    pub fn static_only() -> Self {
+        LbConfig { fo: f64::INFINITY, check_interval: usize::MAX }
+    }
+
+    pub fn dynamic(fo: f64, check_interval: usize) -> Self {
+        LbConfig { fo, check_interval }
+    }
+}
+
+/// A complete moving-body overset case.
+#[derive(Clone)]
+pub struct CaseConfig {
+    pub name: String,
+    pub grids: Vec<CurvilinearGrid>,
+    /// Hierarchical donor-search lists per grid.
+    pub search_order: Vec<Vec<usize>>,
+    /// Moving bodies (sets of grids sharing one prescribed or 6-DOF motion).
+    pub motions: Vec<BodyMotion>,
+    pub fc: FlowConditions,
+    pub steps: usize,
+    pub lb: LbConfig,
+    /// Collect the full final state into [`RunResult::states`] (debugging /
+    /// validation; off by default).
+    pub collect_state: bool,
+    /// Use the nth-level-restart donor cache (Barszcz). Disabling forces a
+    /// from-scratch donor search every step (the A1 ablation).
+    pub use_restart: bool,
+}
+
+impl CaseConfig {
+    pub fn total_points(&self) -> usize {
+        self.grids.iter().map(|g| g.num_points()).sum()
+    }
+}
+
+/// Aggregated outcome of a run: the raw material for every table row.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub nranks: usize,
+    /// RMS of the conserved state over all field nodes at the end of the
+    /// run — a physics checksum used by the N-rank ≡ serial equivalence
+    /// tests.
+    pub state_rms: f64,
+    pub steps: usize,
+    pub total_points: usize,
+    pub summary: PerfSummary,
+    /// Elapsed (virtual) time per phase, summed over steps; phases are
+    /// barrier-separated so this is exact, not an average.
+    pub phase_elapsed: [f64; NUM_PHASES],
+    pub wall_time: f64,
+    /// IGBPs owned per rank at the last step.
+    pub igbps_last: usize,
+    /// Search-request points serviced per rank at the last step: I(p).
+    pub serviced_last: Vec<usize>,
+    pub orphans_last: usize,
+    pub repartitions: usize,
+    pub np_final: Vec<usize>,
+    pub rank_stats: Vec<RankStats>,
+    /// Final state per (grid, node) when `collect_state` was set.
+    pub states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
+}
+
+impl RunResult {
+    /// The paper's "% time in DCF3D" (connectivity elapsed over total).
+    pub fn connectivity_fraction(&self) -> f64 {
+        let total: f64 = self.phase_elapsed.iter().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.phase_elapsed[Phase::Connectivity as usize] / total
+        }
+    }
+
+    /// Average Mflops per node.
+    pub fn mflops_per_node(&self) -> f64 {
+        self.summary.mflops_per_node()
+    }
+
+    /// Time per timestep (virtual seconds).
+    pub fn time_per_step(&self) -> f64 {
+        self.wall_time / self.steps as f64
+    }
+
+    /// Measured donor-search service imbalance f(p) = I(p)/mean.
+    pub fn f_max(&self) -> f64 {
+        overset_balance::service_imbalance(&self.serviced_last)
+    }
+}
+
+/// Per-rank return value collected by `run_case`.
+struct RankReturn {
+    phase_elapsed: [f64; NUM_PHASES],
+    state_sum_sq: f64,
+    state_count: usize,
+    states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
+    igbps_last: usize,
+    serviced_last: usize,
+    orphans_last: usize,
+    repartitions: usize,
+    np_final: Vec<usize>,
+}
+
+/// Run a case on `nranks` ranks of `machine`. Deterministic in virtual time.
+pub fn run_case(cfg: &CaseConfig, nranks: usize, machine: &MachineModel) -> RunResult {
+    let sizes: Vec<usize> = cfg.grids.iter().map(|g| g.num_points()).collect();
+    let dims: Vec<Dims> = cfg.grids.iter().map(|g| g.dims()).collect();
+    let initial = static_balance(&sizes, nranks).expect("static balance failed");
+    let base_partition = Partition::build(&dims, &initial.np);
+
+    let outputs = Universe::run(nranks, machine, |comm| {
+        run_rank(cfg, &sizes, &dims, base_partition.clone(), comm)
+    });
+
+    let rank_stats: Vec<RankStats> = outputs.iter().map(|o| o.stats.clone()).collect();
+    let summary = PerfSummary::from_ranks(&rank_stats);
+    let sum_sq: f64 = outputs.iter().map(|o| o.result.state_sum_sq).sum();
+    let count: usize = outputs.iter().map(|o| o.result.state_count).sum();
+    let r0 = &outputs[0].result;
+    let mut states = Vec::new();
+    if cfg.collect_state {
+        for o in &outputs {
+            states.extend_from_slice(&o.result.states);
+        }
+    }
+    RunResult {
+        nranks,
+        states,
+        state_rms: (sum_sq / count.max(1) as f64).sqrt(),
+        steps: cfg.steps,
+        total_points: cfg.total_points(),
+        phase_elapsed: r0.phase_elapsed,
+        wall_time: summary.wall_time,
+        igbps_last: outputs.iter().map(|o| o.result.igbps_last).sum(),
+        serviced_last: outputs.iter().map(|o| o.result.serviced_last).collect(),
+        orphans_last: outputs.iter().map(|o| o.result.orphans_last).sum(),
+        repartitions: r0.repartitions,
+        np_final: r0.np_final.clone(),
+        rank_stats,
+        summary,
+    }
+}
+
+/// One rank's SPMD body.
+fn run_rank(
+    cfg: &CaseConfig,
+    sizes: &[usize],
+    dims: &[Dims],
+    mut partition: Partition,
+    comm: &mut Comm,
+) -> RankReturn {
+    let me = comm.rank();
+    let fc = cfg.fc;
+    let ngrids = cfg.grids.len();
+
+    // Replicated motion state: every rank steps every motion so cumulative
+    // transforms and solid positions stay in sync without communication.
+    // 6-DOF bodies additionally need the aerodynamic loads, which are
+    // integrated locally over each rank's wall patches and allreduce-summed
+    // (deterministic rank-ordered sum), so the replicated rigid-body states
+    // remain bitwise identical on every rank.
+    let mut motions: Vec<BodyMotion> = cfg.motions.clone();
+    let mut cumulative: Vec<RigidTransform> = vec![RigidTransform::IDENTITY; ngrids];
+    let mut solids: Vec<(usize, Solid)> = cfg
+        .grids
+        .iter()
+        .enumerate()
+        .flat_map(|(g, grid)| grid.solids.iter().map(move |s| (g, *s)))
+        .collect();
+
+    let (mut block, mut wall) = build_block(me, &partition, &cfg.grids, &cumulative, &fc);
+    let mut scratch = Scratch::for_block(&block);
+    let mut topo = build_topology(&partition, &cfg.search_order);
+    let mut cache = DonorCache::new();
+
+    let mut last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
+    let mut phase_elapsed = [0.0f64; NUM_PHASES];
+    let mut serviced_accum = [0usize; 1]; // this rank's accumulated I(p)
+    let mut serviced_accum_count = 0usize;
+    let mut repartitions = 0usize;
+    let mut last_conn = Default::default();
+    let mut igbps_last = 0usize;
+
+    comm.set_working_set(block.working_set_bytes());
+    comm.barrier();
+
+    for step in 0..cfg.steps {
+        // ---- Phase 1: flow solve -------------------------------------
+        comm.set_phase(Phase::Flow);
+        let t0 = comm.now();
+        {
+            let mut mp = MpSolverComm { comm };
+            mp.exchange_halo(&mut block);
+            if block.turbulent && block.viscous {
+                if let Some(w) = &wall {
+                    let flops = compute_mu_t(&mut block, w);
+                    mp.comm.compute(flops as f64, WorkClass::Flow);
+                }
+            }
+            let flops = compute_residual(&block, &fc, &mut scratch.res);
+            mp.comm.compute(flops as f64, WorkClass::Flow);
+            for v in scratch.res.as_mut_slice() {
+                *v *= fc.dt;
+            }
+            implicit_sweeps(&block, &fc, &mut scratch.res, &mut mp);
+            // Update field nodes.
+            let ow = block.owned_local();
+            let mut update_flops = 0u64;
+            for p in ow.iter().collect::<Vec<_>>() {
+                if block.iblank[p] != overset_solver::Blank::Field {
+                    continue;
+                }
+                update_flops += 5;
+                let dq = *scratch.res.node(p);
+                let q = block.q.node_mut(p);
+                for v in 0..5 {
+                    q[v] += dq[v];
+                }
+                overset_solver::conditions::enforce_positivity(q);
+            }
+            mp.comm.compute(update_flops as f64, WorkClass::Flow);
+            let bc_flops = apply_bcs(&mut block, &fc);
+            mp.comm.compute(bc_flops as f64, WorkClass::Flow);
+        }
+        comm.barrier();
+        phase_elapsed[Phase::Flow as usize] += comm.now() - t0;
+
+        // ---- Phase 2: grid motion ------------------------------------
+        comm.set_phase(Phase::Motion);
+        let t0 = comm.now();
+        for body in motions.iter_mut() {
+            // 6-DOF bodies: integrate aerodynamic loads over this rank's
+            // wall patches of the body's grids, then allreduce. Every rank
+            // participates in the collective (zero contribution if it owns
+            // no wall of this body).
+            let aero = if body.needs_aero() {
+                let mut local = Loads::ZERO;
+                if body.grids.contains(&block.grid_id) {
+                    let refp = body.moment_reference();
+                    let mut flops = 0u64;
+                    for face in 0..6 {
+                        if let Some((nu, nv, coords, press)) =
+                            overset_solver::bc::wall_surface(&block, face)
+                        {
+                            // Gauge pressure: open per-grid patches must not
+                            // feel the uniform freestream.
+                            let p_inf = overset_solver::conditions::pressure(&fc.freestream());
+                            let gauge: Vec<f64> = press.iter().map(|p| p - p_inf).collect();
+                            let l = overset_motion::integrate_surface_loads(
+                                nu, nv, &coords, &gauge, refp, 1.0,
+                            );
+                            local = local.add(&l);
+                            flops += (nu * nv) as u64 * 30;
+                        }
+                    }
+                    comm.compute(flops as f64, WorkClass::Other);
+                }
+                let flat = [
+                    local.force[0], local.force[1], local.force[2],
+                    local.moment[0], local.moment[1], local.moment[2],
+                ];
+                let all: Vec<[f64; 6]> = comm.allgather(flat, 48);
+                let mut sum = [0.0f64; 6];
+                for a in &all {
+                    for i in 0..6 {
+                        sum[i] += a[i];
+                    }
+                }
+                Loads { force: [sum[0], sum[1], sum[2]], moment: [sum[3], sum[4], sum[5]] }
+            } else {
+                Loads::ZERO
+            };
+            let t = body.motion.step(fc.dt, &aero);
+            for &g in &body.grids {
+                cumulative[g] = cumulative[g].then(&t);
+                for (sg, s) in solids.iter_mut() {
+                    if *sg == g {
+                        *s = s.transformed(&t);
+                    }
+                }
+                last_step_transform[g] = Some(t);
+            }
+            if body.grids.contains(&block.grid_id) {
+                block.apply_motion(&t, fc.dt);
+                if let Some(w) = &mut wall {
+                    for p in &mut w.wall_xyz {
+                        *p = t.apply(*p);
+                    }
+                }
+                // Re-apply wall BCs with the *new* grid velocity: the wall
+                // state must move with the wall, otherwise the stale no-slip
+                // velocity acts as an impulsive slip over the tiny wall
+                // cells.
+                let bc_flops = apply_bcs(&mut block, &fc);
+                comm.compute(bc_flops as f64, WorkClass::Other);
+            }
+            comm.compute(500.0, WorkClass::Other);
+        }
+        comm.barrier();
+        phase_elapsed[Phase::Motion as usize] += comm.now() - t0;
+
+        // ---- Phase 3: domain connectivity ----------------------------
+        comm.set_phase(Phase::Connectivity);
+        let t0 = comm.now();
+        {
+            let mut mp = MpSolverComm { comm };
+            mp.exchange_halo(&mut block);
+        }
+        let (igbps, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
+        comm.compute(hole_flops as f64, WorkClass::Search);
+        if !cfg.use_restart {
+            cache.clear();
+        }
+        let stats = connect_distributed(&mut block, &igbps, &topo, &mut cache, comm);
+        last_conn = stats;
+        igbps_last = igbps.len();
+        serviced_accum[0] += stats.serviced;
+        serviced_accum_count += 1;
+        comm.barrier();
+        phase_elapsed[Phase::Connectivity as usize] += comm.now() - t0;
+
+        // ---- Phase 4: dynamic load balance check (Algorithm 2) -------
+        let check = cfg.lb.fo.is_finite()
+            && cfg.lb.check_interval != usize::MAX
+            && (step + 1) % cfg.lb.check_interval == 0
+            && step + 1 < cfg.steps;
+        if check {
+            comm.set_phase(Phase::Balance);
+            let t0 = comm.now();
+            let mean_i = serviced_accum[0] / serviced_accum_count.max(1);
+            let all_i: Vec<usize> = comm.allgather(mean_i, 8);
+            let decision = dynamic_rebalance(
+                &all_i,
+                &partition.grid_of_rank_vec(),
+                sizes,
+                &partition.np,
+                cfg.lb.fo,
+            )
+            .expect("dynamic rebalance failed");
+            if let Some(rb) = decision.rebalance {
+                let new_partition = Partition::build(dims, &rb.np);
+                let (mut new_block, new_wall) =
+                    build_block(me, &new_partition, &cfg.grids, &cumulative, &fc);
+                redistribute_state(&block, &mut new_block, &partition, &new_partition, comm);
+                block = new_block;
+                wall = new_wall;
+                scratch = Scratch::for_block(&block);
+                partition = new_partition;
+                topo = build_topology(&partition, &cfg.search_order);
+                // Donor cells survive a repartition; only their owning
+                // ranks changed. Remap instead of cold-restarting the
+                // whole connectivity solution.
+                let part_ref = &partition;
+                let gd: Vec<overset_grid::Dims> = dims.to_vec();
+                cache.remap_ranks(move |grid, cell| {
+                    let d = gd[grid];
+                    let clamped = overset_grid::Ijk::new(
+                        cell.i.min(d.ni - 1),
+                        cell.j.min(d.nj - 1),
+                        cell.k.min(d.nk - 1),
+                    );
+                    part_ref.owner_of(grid, clamped)
+                });
+                comm.set_working_set(block.working_set_bytes());
+                // Restore blanking on the new block immediately: the next
+                // flow step must not treat redistributed hole values as
+                // live field points.
+                let (_, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
+                comm.compute(hole_flops as f64, WorkClass::Search);
+                // Restore the ALE grid velocities of a moving grid (the
+                // rebuilt block is at the current pose with zero velocity).
+                if let Some(t) = &last_step_transform[block.grid_id] {
+                    block.set_grid_velocity_from(t, fc.dt);
+                }
+                repartitions += 1;
+            }
+            serviced_accum[0] = 0;
+            serviced_accum_count = 0;
+            comm.barrier();
+            phase_elapsed[Phase::Balance as usize] += comm.now() - t0;
+        }
+    }
+    comm.set_phase(Phase::Other);
+
+    // Physics checksum over owned field nodes.
+    let mut state_sum_sq = 0.0f64;
+    let mut state_count = 0usize;
+    let mut states = Vec::new();
+    for p in block.owned_local().iter() {
+        if block.iblank[p] != overset_solver::Blank::Field {
+            continue;
+        }
+        let q = block.q.node(p);
+        state_sum_sq += q.iter().map(|v| v * v).sum::<f64>();
+        state_count += 1;
+        if cfg.collect_state {
+            states.push((block.grid_id, block.to_global(p), *q));
+        }
+    }
+
+    RankReturn {
+        phase_elapsed,
+        state_sum_sq,
+        state_count,
+        states,
+        igbps_last,
+        serviced_last: last_conn.serviced,
+        orphans_last: last_conn.orphans,
+        repartitions,
+        np_final: partition.np.clone(),
+    }
+}
+
+/// Run a case serially (one processor holding every grid) — the Cray Y-MP
+/// baseline of Table 6 and the reference for parallel-equivalence tests.
+pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
+    let outputs = Universe::run(1, machine, |comm| {
+        let fc = cfg.fc;
+        let ngrids = cfg.grids.len();
+        let mut motions = cfg.motions.clone();
+        let mut solids: Vec<(usize, Solid)> = cfg
+            .grids
+            .iter()
+            .enumerate()
+            .flat_map(|(g, grid)| grid.solids.iter().map(move |s| (g, *s)))
+            .collect();
+        let mut blocks: Vec<overset_solver::Block> = Vec::with_capacity(ngrids);
+        let mut walls = Vec::with_capacity(ngrids);
+        let mut scratches = Vec::with_capacity(ngrids);
+        let single = Partition::build(
+            &cfg.grids.iter().map(|g| g.dims()).collect::<Vec<_>>(),
+            &vec![1; ngrids],
+        );
+        let cum = vec![RigidTransform::IDENTITY; ngrids];
+        for g in 0..ngrids {
+            // Build each grid as a whole single block (ignore the partition
+            // rank mapping; serial holds all of them).
+            let (b, w) = build_block(single.start[g], &single, &cfg.grids, &cum, &fc);
+            scratches.push(Scratch::for_block(&b));
+            blocks.push(b);
+            walls.push(w);
+        }
+        let ws: f64 = blocks.iter().map(|b| b.working_set_bytes()).sum();
+        comm.set_working_set(ws);
+        let mut cache = SerialCache::new();
+        let _last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
+    let mut phase_elapsed = [0.0f64; NUM_PHASES];
+        let mut igbps_last = 0usize;
+        let mut orphans_last = 0usize;
+
+        for _step in 0..cfg.steps {
+            comm.set_phase(Phase::Flow);
+            let t0 = comm.now();
+            for g in 0..ngrids {
+                let rep = overset_solver::step_block(
+                    &mut blocks[g],
+                    &fc,
+                    walls[g].as_ref(),
+                    &mut SerialComm,
+                    &mut scratches[g],
+                );
+                comm.compute(rep.flops as f64, WorkClass::Flow);
+            }
+            phase_elapsed[Phase::Flow as usize] += comm.now() - t0;
+
+            comm.set_phase(Phase::Motion);
+            let t0 = comm.now();
+            for body in motions.iter_mut() {
+                let aero = if body.needs_aero() {
+                    let refp = body.moment_reference();
+                    let p_inf = overset_solver::conditions::pressure(&fc.freestream());
+                    let mut total = Loads::ZERO;
+                    let mut flops = 0u64;
+                    for &g in &body.grids {
+                        for face in 0..6 {
+                            if let Some((nu, nv, coords, press)) =
+                                overset_solver::bc::wall_surface(&blocks[g], face)
+                            {
+                                let gauge: Vec<f64> =
+                                    press.iter().map(|p| p - p_inf).collect();
+                                let l = overset_motion::integrate_surface_loads(
+                                    nu, nv, &coords, &gauge, refp, 1.0,
+                                );
+                                total = total.add(&l);
+                                flops += (nu * nv) as u64 * 30;
+                            }
+                        }
+                    }
+                    comm.compute(flops as f64, WorkClass::Other);
+                    total
+                } else {
+                    Loads::ZERO
+                };
+                let t = body.motion.step(fc.dt, &aero);
+                for &g in &body.grids {
+                    for (sg, s) in solids.iter_mut() {
+                        if *sg == g {
+                            *s = s.transformed(&t);
+                        }
+                    }
+                    blocks[g].apply_motion(&t, fc.dt);
+                    if let Some(w) = &mut walls[g] {
+                        for p in &mut w.wall_xyz {
+                            *p = t.apply(*p);
+                        }
+                    }
+                    // Keep the wall state consistent with the new velocity.
+                    let bc_flops = apply_bcs(&mut blocks[g], &fc);
+                    comm.compute(bc_flops as f64, WorkClass::Other);
+                }
+            }
+            phase_elapsed[Phase::Motion as usize] += comm.now() - t0;
+
+            comm.set_phase(Phase::Connectivity);
+            let t0 = comm.now();
+            let stats = connect_serial(&mut blocks, &cfg.search_order, &solids, &mut cache);
+            comm.compute(stats.flops as f64, WorkClass::Search);
+            igbps_last = stats.igbps;
+            orphans_last = stats.orphans;
+            phase_elapsed[Phase::Connectivity as usize] += comm.now() - t0;
+        }
+        comm.set_phase(Phase::Other);
+        let mut sum_sq = 0.0f64;
+        let mut count = 0usize;
+        for b in &blocks {
+            for p in b.owned_local().iter() {
+                if b.iblank[p] != overset_solver::Blank::Field {
+                    continue;
+                }
+                let q = b.q.node(p);
+                sum_sq += q.iter().map(|v| v * v).sum::<f64>();
+                count += 1;
+            }
+        }
+        (phase_elapsed, igbps_last, orphans_last, sum_sq, count)
+    });
+
+    let rank_stats: Vec<RankStats> = outputs.iter().map(|o| o.stats.clone()).collect();
+    let summary = PerfSummary::from_ranks(&rank_stats);
+    let (phase_elapsed, igbps_last, orphans_last, sum_sq, count) = outputs[0].result;
+    RunResult {
+        nranks: 1,
+        states: Vec::new(),
+        state_rms: (sum_sq / count.max(1) as f64).sqrt(),
+        steps: cfg.steps,
+        total_points: cfg.total_points(),
+        phase_elapsed,
+        wall_time: summary.wall_time,
+        igbps_last,
+        serviced_last: vec![igbps_last],
+        orphans_last,
+        repartitions: 0,
+        np_final: vec![1; cfg.grids.len()],
+        rank_stats,
+        summary,
+    }
+}

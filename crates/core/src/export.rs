@@ -1,0 +1,82 @@
+//! Export a finished run as Plot3D grid + solution files (the interchange
+//! format of the OVERFLOW ecosystem), reassembled from the per-rank state
+//! collected by the driver.
+
+use crate::driver::{CaseConfig, RunResult};
+use overset_grid::field::StateField;
+use overset_grid::io::{write_q, write_xyz};
+use overset_grid::{CurvilinearGrid, Dims};
+use std::path::Path;
+
+/// Write `<stem>.xyz` and `<stem>.q` for a run made with
+/// `cfg.collect_state = true`. Grids are written at their *initial* pose
+/// (the collected solution is indexed by grid nodes; pose history is not
+/// retained). Hole and fringe nodes carry the freestream state.
+pub fn write_plot3d(stem: &Path, cfg: &CaseConfig, result: &RunResult) -> std::io::Result<()> {
+    assert!(
+        !result.states.is_empty(),
+        "run the case with cfg.collect_state = true before exporting"
+    );
+    let grids: Vec<&CurvilinearGrid> = cfg.grids.iter().collect();
+    let dims: Vec<Dims> = cfg.grids.iter().map(|g| g.dims()).collect();
+
+    let mut states: Vec<StateField> = dims
+        .iter()
+        .map(|d| {
+            let mut s = StateField::new(*d);
+            s.fill_uniform(cfg.fc.freestream());
+            s
+        })
+        .collect();
+    for (g, p, q) in &result.states {
+        states[*g].set_node(*p, *q);
+    }
+
+    let xyz = stem.with_extension("xyz");
+    let qf = stem.with_extension("q");
+    write_xyz(&xyz, &grids)?;
+    write_q(
+        &qf,
+        &dims,
+        &states,
+        [
+            cfg.fc.mach,
+            cfg.fc.alpha.to_degrees(),
+            cfg.fc.reynolds,
+            cfg.steps as f64 * cfg.fc.dt,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{airfoil_case, run_case};
+    use overset_comm::MachineModel;
+
+    #[test]
+    fn export_roundtrips_through_plot3d() {
+        let mut cfg = airfoil_case(0.2, 2);
+        cfg.collect_state = true;
+        let r = run_case(&cfg, 3, &MachineModel::modern());
+        let stem = std::env::temp_dir().join(format!("overset_export_{}", std::process::id()));
+        write_plot3d(&stem, &cfg, &r).unwrap();
+
+        let grids = overset_grid::io::read_xyz(&stem.with_extension("xyz")).unwrap();
+        assert_eq!(grids.len(), 3);
+        for (g, orig) in grids.iter().zip(&cfg.grids) {
+            assert_eq!(g.dims(), orig.dims());
+        }
+        let (states, refs) = overset_grid::io::read_q(&stem.with_extension("q")).unwrap();
+        assert_eq!(states.len(), 3);
+        assert!((refs[0] - 0.8).abs() < 1e-12);
+        // Solution values are physical.
+        for s in &states {
+            for p in s.dims().iter() {
+                assert!(s.node(p)[0] > 0.0);
+            }
+        }
+        std::fs::remove_file(stem.with_extension("xyz")).ok();
+        std::fs::remove_file(stem.with_extension("q")).ok();
+    }
+}

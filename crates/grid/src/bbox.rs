@@ -1,0 +1,145 @@
+//! Axis-aligned bounding boxes in physical space.
+//!
+//! Per-rank bounding boxes are broadcast globally at the start of the solution
+//! and consulted by the distributed donor search (Section 2.2 of the paper) to
+//! route search requests.
+
+/// Axis-aligned bounding box.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Aabb {
+    pub min: [f64; 3],
+    pub max: [f64; 3],
+}
+
+impl Aabb {
+    /// The empty box (identity for [`Aabb::union`]).
+    pub const EMPTY: Aabb = Aabb {
+        min: [f64::INFINITY; 3],
+        max: [f64::NEG_INFINITY; 3],
+    };
+
+    pub fn new(min: [f64; 3], max: [f64; 3]) -> Self {
+        Self { min, max }
+    }
+
+    pub fn from_points<'a>(points: impl IntoIterator<Item = &'a [f64; 3]>) -> Self {
+        let mut b = Self::EMPTY;
+        for p in points {
+            b.include(*p);
+        }
+        b
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..3).any(|d| self.min[d] > self.max[d])
+    }
+
+    #[inline]
+    pub fn include(&mut self, p: [f64; 3]) {
+        for d in 0..3 {
+            self.min[d] = self.min[d].min(p[d]);
+            self.max[d] = self.max[d].max(p[d]);
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        (0..3).all(|d| p[d] >= self.min[d] && p[d] <= self.max[d])
+    }
+
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        let mut b = *self;
+        if !other.is_empty() {
+            b.include(other.min);
+            b.include(other.max);
+        }
+        b
+    }
+
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && (0..3).all(|d| self.min[d] <= other.max[d] && self.max[d] >= other.min[d])
+    }
+
+    /// Grow the box by `pad` on every side (used to admit donors whose cell
+    /// extends slightly past the node bounding box).
+    pub fn inflate(&self, pad: f64) -> Aabb {
+        Aabb {
+            min: [self.min[0] - pad, self.min[1] - pad, self.min[2] - pad],
+            max: [self.max[0] + pad, self.max[1] + pad, self.max[2] + pad],
+        }
+    }
+
+    pub fn center(&self) -> [f64; 3] {
+        [
+            0.5 * (self.min[0] + self.max[0]),
+            0.5 * (self.min[1] + self.max[1]),
+            0.5 * (self.min[2] + self.max[2]),
+        ]
+    }
+
+    pub fn extent(&self) -> [f64; 3] {
+        [
+            self.max[0] - self.min[0],
+            self.max[1] - self.min[1],
+            self.max[2] - self.min[2],
+        ]
+    }
+
+    /// Longest diagonal length, a convenient padding scale.
+    pub fn diagonal(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_behaviour() {
+        let b = Aabb::EMPTY;
+        assert!(b.is_empty());
+        assert!(!b.contains([0.0, 0.0, 0.0]));
+        assert!(!b.intersects(&Aabb::new([0.0; 3], [1.0; 3])));
+        assert_eq!(b.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn from_points_and_contains() {
+        let pts = [[0.0, 0.0, 0.0], [1.0, 2.0, -1.0], [0.5, -3.0, 4.0]];
+        let b = Aabb::from_points(pts.iter());
+        assert_eq!(b.min, [0.0, -3.0, -1.0]);
+        assert_eq!(b.max, [1.0, 2.0, 4.0]);
+        for p in &pts {
+            assert!(b.contains(*p));
+        }
+        assert!(!b.contains([2.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = Aabb::new([0.0; 3], [1.0; 3]);
+        let b = Aabb::new([2.0; 3], [3.0; 3]);
+        assert!(!a.intersects(&b));
+        let u = a.union(&b);
+        assert!(u.contains([1.5, 1.5, 1.5]));
+        assert!(a.intersects(&a));
+        let touching = Aabb::new([1.0, 0.0, 0.0], [2.0, 1.0, 1.0]);
+        assert!(a.intersects(&touching));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let a = Aabb::new([0.0; 3], [1.0; 3]).inflate(0.5);
+        assert_eq!(a.min, [-0.5; 3]);
+        assert_eq!(a.max, [1.5; 3]);
+        assert_eq!(a.center(), [0.5; 3]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Uniform Cartesian grids.
+//!
+//! Section 5 of the paper stresses that a uniformly spaced Cartesian grid is
+//! fully described by *seven parameters* — its bounding box (six numbers) and
+//! its spacing (one number) — versus 16 stored values per node for a general
+//! curvilinear grid. Donor location inside a Cartesian grid is O(1) index
+//! arithmetic, which is what makes the adaptive off-body scheme cheap to
+//! reconnect.
+
+use crate::bbox::Aabb;
+use crate::curvilinear::{CurvilinearGrid, GridKind};
+use crate::field::Field3;
+use crate::index::{Dims, Ijk};
+
+/// A uniformly spaced Cartesian grid: the "seven parameter" grid of the paper.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CartesianGrid {
+    /// Coordinates of node (0,0,0).
+    pub origin: [f64; 3],
+    /// Uniform node spacing (same in every direction).
+    pub spacing: f64,
+    /// Node counts.
+    pub dims: Dims,
+}
+
+impl CartesianGrid {
+    pub fn new(origin: [f64; 3], spacing: f64, dims: Dims) -> Self {
+        assert!(spacing > 0.0);
+        Self { origin, spacing, dims }
+    }
+
+    /// Build the grid covering `aabb` with at most `spacing` between nodes
+    /// (the box is covered exactly; spacing shrinks to fit).
+    pub fn covering(aabb: Aabb, spacing: f64) -> Self {
+        let e = aabb.extent();
+        let longest = e[0].max(e[1]).max(e[2]);
+        let cells = (longest / spacing).ceil().max(1.0);
+        let h = longest / cells;
+        let n = |ext: f64| ((ext / h).round() as usize).max(1) + 1;
+        Self {
+            origin: aabb.min,
+            spacing: h,
+            dims: Dims::new(n(e[0]), n(e[1]), n(e[2])),
+        }
+    }
+
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.dims.count()
+    }
+
+    #[inline]
+    pub fn xyz(&self, p: Ijk) -> [f64; 3] {
+        [
+            self.origin[0] + self.spacing * p.i as f64,
+            self.origin[1] + self.spacing * p.j as f64,
+            self.origin[2] + self.spacing * p.k as f64,
+        ]
+    }
+
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::new(
+            self.origin,
+            [
+                self.origin[0] + self.spacing * (self.dims.ni - 1) as f64,
+                self.origin[1] + self.spacing * (self.dims.nj - 1) as f64,
+                self.origin[2] + self.spacing * (self.dims.nk - 1) as f64,
+            ],
+        )
+    }
+
+    /// O(1) containing-cell lookup: the lower node of the cell containing `x`
+    /// plus the trilinear local coordinates in `[0,1]^3`, or `None` if `x`
+    /// falls outside the grid. This is the "no donor search required" fast
+    /// path of the Section-5 scheme.
+    pub fn locate(&self, x: [f64; 3]) -> Option<(Ijk, [f64; 3])> {
+        let mut cell = [0usize; 3];
+        let mut loc = [0.0f64; 3];
+        for d in 0..3 {
+            let n = self.dims.get(d);
+            let t = (x[d] - self.origin[d]) / self.spacing;
+            if t < 0.0 || t > (n - 1) as f64 {
+                return None;
+            }
+            // Clamp into the last cell so points exactly on the max face work.
+            let c = (t.floor() as usize).min(n.saturating_sub(2));
+            if n == 1 {
+                // Degenerate direction (2-D grids): only t == 0 is inside.
+                if t.abs() > 1e-12 {
+                    return None;
+                }
+                cell[d] = 0;
+                loc[d] = 0.0;
+            } else {
+                cell[d] = c;
+                loc[d] = t - c as f64;
+            }
+        }
+        Some((Ijk::new(cell[0], cell[1], cell[2]), loc))
+    }
+
+    /// Materialize the node coordinates as a curvilinear grid so that the
+    /// generic solver / connectivity machinery can operate on background
+    /// grids uniformly (OVERFLOW-D1 treats all grids as curvilinear).
+    pub fn to_curvilinear(&self, name: impl Into<String>) -> CurvilinearGrid {
+        let coords = Field3::from_fn(self.dims, |p| self.xyz(p));
+        CurvilinearGrid::new(name, coords, GridKind::Background)
+    }
+
+    /// Refine by a factor of 2 (cell-doubling): same extent, half the spacing.
+    pub fn refined(&self) -> CartesianGrid {
+        CartesianGrid {
+            origin: self.origin,
+            spacing: self.spacing * 0.5,
+            dims: Dims::new(
+                (self.dims.ni - 1) * 2 + 1,
+                (self.dims.nj - 1) * 2 + 1,
+                if self.dims.nk == 1 { 1 } else { (self.dims.nk - 1) * 2 + 1 },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_box_exactly() {
+        let b = Aabb::new([0.0; 3], [2.0, 1.0, 1.0]);
+        let g = CartesianGrid::covering(b, 0.3);
+        assert!(g.spacing <= 0.3 + 1e-12);
+        let gb = g.bounding_box();
+        for d in 0..3 {
+            assert!(gb.min[d] <= b.min[d] + 1e-12);
+            assert!(gb.max[d] >= b.max[d] - 1e-9, "dir {d}: {} < {}", gb.max[d], b.max[d]);
+        }
+    }
+
+    #[test]
+    fn locate_interior_point() {
+        let g = CartesianGrid::new([0.0; 3], 0.5, Dims::new(5, 5, 5));
+        let (cell, loc) = g.locate([0.6, 1.0, 1.9]).unwrap();
+        assert_eq!(cell, Ijk::new(1, 2, 3));
+        assert!((loc[0] - 0.2).abs() < 1e-12);
+        assert!(loc[1].abs() < 1e-12);
+        assert!((loc[2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_boundary_and_outside() {
+        let g = CartesianGrid::new([0.0; 3], 1.0, Dims::new(3, 3, 3));
+        // Exactly on the max corner: clamped into the last cell.
+        let (cell, loc) = g.locate([2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(cell, Ijk::new(1, 1, 1));
+        assert!(loc.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+        assert!(g.locate([2.1, 0.0, 0.0]).is_none());
+        assert!(g.locate([-0.1, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn locate_reproduces_node_coords() {
+        let g = CartesianGrid::new([1.0, -2.0, 0.5], 0.25, Dims::new(9, 7, 5));
+        for p in g.dims.iter() {
+            let x = g.xyz(p);
+            let (cell, loc) = g.locate(x).unwrap();
+            // Reconstruct the point from cell + local coords.
+            for d in 0..3 {
+                let rec = g.origin[d] + g.spacing * (cell.get(d) as f64 + loc[d]);
+                assert!((rec - x[d]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn to_curvilinear_matches_coords() {
+        let g = CartesianGrid::new([0.0; 3], 0.5, Dims::new(3, 4, 2));
+        let c = g.to_curvilinear("bg");
+        for p in g.dims.iter() {
+            assert_eq!(c.xyz(p), g.xyz(p));
+        }
+    }
+
+    #[test]
+    fn refined_halves_spacing() {
+        let g = CartesianGrid::new([0.0; 3], 1.0, Dims::new(3, 3, 1));
+        let r = g.refined();
+        assert_eq!(r.spacing, 0.5);
+        assert_eq!(r.dims, Dims::new(5, 5, 1));
+        assert_eq!(r.bounding_box(), g.bounding_box());
+    }
+}

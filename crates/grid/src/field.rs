@@ -1,0 +1,197 @@
+//! Dense 3-D fields over structured-grid index spaces.
+
+use crate::index::{Dims, Ijk, IndexBox};
+use std::ops::{Index, IndexMut};
+
+/// A dense 3-D field of `T` in `i`-fastest layout.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Field3<T> {
+    dims: Dims,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Field3<T> {
+    pub fn new(dims: Dims, fill: T) -> Self {
+        Self { dims, data: vec![fill; dims.count()] }
+    }
+
+    pub fn from_fn(dims: Dims, mut f: impl FnMut(Ijk) -> T) -> Self {
+        let mut data = Vec::with_capacity(dims.count());
+        for k in 0..dims.nk {
+            for j in 0..dims.nj {
+                for i in 0..dims.ni {
+                    data.push(f(Ijk::new(i, j, k)));
+                }
+            }
+        }
+        Self { dims, data }
+    }
+
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Extract the sub-field covered by `b` into a new contiguous field.
+    pub fn extract(&self, b: IndexBox) -> Field3<T> {
+        Field3::from_fn(b.dims(), |p| {
+            self[Ijk::new(p.i + b.lo.i, p.j + b.lo.j, p.k + b.lo.k)].clone()
+        })
+    }
+}
+
+impl<T> Field3<T> {
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, p: Ijk) -> Option<&T> {
+        if self.dims.contains(p) {
+            Some(&self.data[self.dims.offset(p)])
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Index<Ijk> for Field3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, p: Ijk) -> &T {
+        &self.data[self.dims.offset(p)]
+    }
+}
+
+impl<T> IndexMut<Ijk> for Field3<T> {
+    #[inline]
+    fn index_mut(&mut self, p: Ijk) -> &mut T {
+        let off = self.dims.offset(p);
+        &mut self.data[off]
+    }
+}
+
+/// Number of conserved variables per node (ρ, ρu, ρv, ρw, e).
+pub const NVAR: usize = 5;
+
+/// A field of `NVAR` conserved variables per node, stored interleaved
+/// (`[q0..q4]` contiguous per node) so a node's state is one cache line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StateField {
+    dims: Dims,
+    data: Vec<f64>,
+}
+
+impl StateField {
+    pub fn new(dims: Dims) -> Self {
+        Self { dims, data: vec![0.0; dims.count() * NVAR] }
+    }
+
+    pub fn from_fn(dims: Dims, mut f: impl FnMut(Ijk) -> [f64; NVAR]) -> Self {
+        let mut data = Vec::with_capacity(dims.count() * NVAR);
+        for k in 0..dims.nk {
+            for j in 0..dims.nj {
+                for i in 0..dims.ni {
+                    data.extend_from_slice(&f(Ijk::new(i, j, k)));
+                }
+            }
+        }
+        Self { dims, data }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn node(&self, p: Ijk) -> &[f64; NVAR] {
+        let off = self.dims.offset(p) * NVAR;
+        self.data[off..off + NVAR].try_into().unwrap()
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, p: Ijk) -> &mut [f64; NVAR] {
+        let off = self.dims.offset(p) * NVAR;
+        (&mut self.data[off..off + NVAR]).try_into().unwrap()
+    }
+
+    #[inline]
+    pub fn set_node(&mut self, p: Ijk, q: [f64; NVAR]) {
+        let off = self.dims.offset(p) * NVAR;
+        self.data[off..off + NVAR].copy_from_slice(&q);
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn fill_uniform(&mut self, q: [f64; NVAR]) {
+        for chunk in self.data.chunks_exact_mut(NVAR) {
+            chunk.copy_from_slice(&q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_from_fn_and_index() {
+        let d = Dims::new(3, 4, 2);
+        let f = Field3::from_fn(d, |p| (p.i + 10 * p.j + 100 * p.k) as i32);
+        assert_eq!(f[Ijk::new(2, 3, 1)], 132);
+        assert_eq!(*f.get(Ijk::new(0, 0, 0)).unwrap(), 0);
+        assert!(f.get(Ijk::new(3, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn field_extract_subbox() {
+        let d = Dims::new(5, 5, 5);
+        let f = Field3::from_fn(d, |p| p.i + p.j + p.k);
+        let b = IndexBox::new(Ijk::new(1, 2, 3), Ijk::new(4, 4, 5));
+        let sub = f.extract(b);
+        assert_eq!(sub.dims(), Dims::new(3, 2, 2));
+        assert_eq!(sub[Ijk::new(0, 0, 0)], 6);
+        assert_eq!(sub[Ijk::new(2, 1, 1)], 3 + 3 + 4);
+    }
+
+    #[test]
+    fn state_field_node_roundtrip() {
+        let d = Dims::new(4, 3, 2);
+        let mut s = StateField::new(d);
+        let q = [1.0, 2.0, 3.0, 4.0, 5.0];
+        s.set_node(Ijk::new(3, 2, 1), q);
+        assert_eq!(*s.node(Ijk::new(3, 2, 1)), q);
+        assert_eq!(*s.node(Ijk::new(0, 0, 0)), [0.0; 5]);
+        s.node_mut(Ijk::new(0, 0, 0))[4] = 9.0;
+        assert_eq!(s.node(Ijk::new(0, 0, 0))[4], 9.0);
+    }
+
+    #[test]
+    fn state_field_uniform_fill() {
+        let mut s = StateField::new(Dims::new(2, 2, 2));
+        let q = [1.0, 0.1, 0.2, 0.3, 2.5];
+        s.fill_uniform(q);
+        for p in s.dims().iter() {
+            assert_eq!(*s.node(p), q);
+        }
+    }
+}

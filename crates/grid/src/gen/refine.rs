@@ -1,0 +1,167 @@
+//! Pointwise coarsening and refinement of curvilinear grids, used for the
+//! Table 2 scaling study: "the original grids are coarsened by removing every
+//! other gridpoint ... and refined by adding a gridpoint between the others",
+//! changing the composite size by 4× each way (in 2-D).
+
+use crate::curvilinear::CurvilinearGrid;
+use crate::field::Field3;
+use crate::index::{Dims, Ijk};
+
+/// Remove every other gridpoint in each non-degenerate direction, keeping
+/// both endpoints. Directions whose extent is even keep their last point
+/// (so endpoint geometry is preserved exactly).
+pub fn coarsen(g: &CurvilinearGrid) -> CurvilinearGrid {
+    let d = g.dims();
+    let half = |n: usize| if n <= 2 { n } else { n.div_ceil(2) };
+    let nd = Dims::new(half(d.ni), half(d.nj), half(d.nk));
+    let map = |c: usize, n_old: usize, n_new: usize| -> usize {
+        if c + 1 == n_new {
+            n_old - 1 // keep the exact endpoint
+        } else {
+            2 * c
+        }
+    };
+    let coords = Field3::from_fn(nd, |p: Ijk| {
+        g.coords[Ijk::new(
+            map(p.i, d.ni, nd.ni),
+            map(p.j, d.nj, nd.nj),
+            map(p.k, d.nk, nd.nk),
+        )]
+    });
+    let mut out = g.clone();
+    out.coords = coords;
+    out.name = format!("{}-coarse", g.name);
+    out
+}
+
+/// Insert a midpoint between every pair of adjacent gridpoints in each
+/// non-degenerate direction (linear interpolation of coordinates).
+pub fn refine(g: &CurvilinearGrid) -> CurvilinearGrid {
+    let d = g.dims();
+    let dbl = |n: usize| if n == 1 { 1 } else { 2 * n - 1 };
+    let nd = Dims::new(dbl(d.ni), dbl(d.nj), dbl(d.nk));
+    let coords = Field3::from_fn(nd, |p: Ijk| {
+        // Each fine index maps to old index c/2 with parity giving midpoints.
+        let lerp_idx = |c: usize, n_old: usize| -> (usize, usize, f64) {
+            if n_old == 1 {
+                return (0, 0, 0.0);
+            }
+            let lo = c / 2;
+            if c % 2 == 0 {
+                (lo, lo, 0.0)
+            } else {
+                (lo, lo + 1, 0.5)
+            }
+        };
+        let (i0, i1, fi) = lerp_idx(p.i, d.ni);
+        let (j0, j1, fj) = lerp_idx(p.j, d.nj);
+        let (k0, k1, fk) = lerp_idx(p.k, d.nk);
+        // Trilinear interpolation over the (at most) 8 parents.
+        let mut out = [0.0f64; 3];
+        for (wi, ii) in [(1.0 - fi, i0), (fi, i1)] {
+            if wi == 0.0 {
+                continue;
+            }
+            for (wj, jj) in [(1.0 - fj, j0), (fj, j1)] {
+                if wj == 0.0 {
+                    continue;
+                }
+                for (wk, kk) in [(1.0 - fk, k0), (fk, k1)] {
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    let c = g.coords[Ijk::new(ii, jj, kk)];
+                    for t in 0..3 {
+                        out[t] += wi * wj * wk * c[t];
+                    }
+                }
+            }
+        }
+        out
+    });
+    let mut out = g.clone();
+    out.coords = coords;
+    out.name = format!("{}-fine", g.name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curvilinear::GridKind;
+
+    fn grid(ni: usize, nj: usize, nk: usize) -> CurvilinearGrid {
+        let d = Dims::new(ni, nj, nk);
+        let coords = Field3::from_fn(d, |p| {
+            [p.i as f64 * 0.5, (p.j as f64).powi(2) * 0.1, p.k as f64]
+        });
+        CurvilinearGrid::new("t", coords, GridKind::Background)
+    }
+
+    #[test]
+    fn coarsen_quarter_points_2d() {
+        let g = grid(41, 21, 1);
+        let c = coarsen(&g);
+        assert_eq!(c.dims(), Dims::new(21, 11, 1));
+        let ratio = g.num_points() as f64 / c.num_points() as f64;
+        assert!((3.4..4.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn coarsen_preserves_endpoints() {
+        let g = grid(41, 21, 9);
+        let c = coarsen(&g);
+        let (d, cd) = (g.dims(), c.dims());
+        assert_eq!(
+            c.coords[Ijk::new(cd.ni - 1, cd.nj - 1, cd.nk - 1)],
+            g.coords[Ijk::new(d.ni - 1, d.nj - 1, d.nk - 1)]
+        );
+        assert_eq!(c.coords[Ijk::new(0, 0, 0)], g.coords[Ijk::new(0, 0, 0)]);
+    }
+
+    #[test]
+    fn refine_quadruples_points_2d() {
+        let g = grid(21, 11, 1);
+        let r = refine(&g);
+        assert_eq!(r.dims(), Dims::new(41, 21, 1));
+        let ratio = r.num_points() as f64 / g.num_points() as f64;
+        assert!((3.4..4.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn refine_keeps_parents_and_midpoints() {
+        let g = grid(5, 4, 3);
+        let r = refine(&g);
+        // Every original point appears at even fine indices.
+        for p in g.dims().iter() {
+            assert_eq!(r.coords[Ijk::new(2 * p.i, 2 * p.j, 2 * p.k)], g.coords[p]);
+        }
+        // A midpoint in i is the average of its neighbours.
+        let a = g.coords[Ijk::new(1, 0, 0)];
+        let b = g.coords[Ijk::new(2, 0, 0)];
+        let m = r.coords[Ijk::new(3, 0, 0)];
+        for t in 0..3 {
+            assert!((m[t] - 0.5 * (a[t] + b[t])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coarsen_refine_roundtrip_keeps_dims() {
+        let g = grid(9, 9, 1);
+        let rt = coarsen(&refine(&g));
+        assert_eq!(rt.dims(), g.dims());
+        for p in g.dims().iter() {
+            let (a, b) = (rt.coords[p], g.coords[p]);
+            for t in 0..3 {
+                assert!((a[t] - b[t]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_k_direction_untouched() {
+        let g = grid(9, 9, 1);
+        assert_eq!(refine(&g).dims().nk, 1);
+        assert_eq!(coarsen(&g).dims().nk, 1);
+    }
+}

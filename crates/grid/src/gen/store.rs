@@ -1,0 +1,367 @@
+//! The wing/pylon/finned-store separation system (Section 4.3 of the paper).
+//!
+//! Sixteen grids with a composite total of ~0.81 million points at full scale
+//! and an IGBP/gridpoint ratio of about 66e-3 (1.5–2× the other two cases —
+//! this is what makes the case the best candidate for the dynamic load
+//! balancing study):
+//!
+//! * ten curvilinear grids defining the finned store (nose cap, two body
+//!   segments, boattail, base cap, four fin grids, one collar grid),
+//! * three curvilinear grids defining the wing/pylon (wing shell, pylon box,
+//!   wing/pylon junction box),
+//! * three nested Cartesian background grids around the store path.
+//!
+//! Viscous terms are active on all curvilinear grids with the Baldwin–Lomax
+//! turbulence model; the Cartesian backgrounds are inviscid, as in the paper.
+
+use crate::bbox::Aabb;
+use crate::curvilinear::{CurvilinearGrid, Face, Solid};
+use crate::gen::revolution::{background_box, box_grid, ellipsoid_shell, shell_of_revolution};
+use crate::index::Dims;
+use crate::transform::RigidTransform;
+
+fn sc(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(5)
+}
+
+/// Store body radius profile: ogive nose, cylindrical midbody, boattail.
+/// Axial coordinate `s ∈ [0,1]` along the store length.
+pub fn store_radius(s: f64) -> f64 {
+    let r_max = 0.25;
+    if s < 0.2 {
+        // Ogive nose: smooth rise from a small tip radius.
+        let t = s / 0.2;
+        0.04 + (r_max - 0.04) * (1.5 * t - 0.5 * t * t * t).clamp(0.0, 1.0)
+    } else if s < 0.85 {
+        r_max
+    } else {
+        // Boattail taper.
+        let t = (s - 0.85) / 0.15;
+        r_max - 0.10 * t
+    }
+}
+
+/// Ids of the moving (store) grids within [`store_system`]'s output.
+pub const STORE_GRID_IDS: [usize; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+/// Ids of the stationary wing/pylon grids.
+pub const WING_GRID_IDS: [usize; 3] = [10, 11, 12];
+/// Ids of the Cartesian background grids (fine → coarse).
+pub const BACKGROUND_GRID_IDS: [usize; 3] = [13, 14, 15];
+
+/// Store length and initial carriage position (under the pylon).
+pub const STORE_LEN: f64 = 3.0;
+pub const STORE_CARRIAGE: [f64; 3] = [0.0, 0.0, -0.8];
+
+/// Build the 16-grid system. `scale` multiplies node counts per direction;
+/// `1.0` reproduces the paper's 0.81M composite size.
+pub fn store_system(scale: f64) -> Vec<CurvilinearGrid> {
+    let mut grids: Vec<CurvilinearGrid> = Vec::with_capacity(16);
+    let carry = RigidTransform::translation(STORE_CARRIAGE);
+
+    // --- Store grids (10), generated about the origin then moved to the
+    // carriage position under the pylon. The store axis is x, tail at x=0,
+    // nose at x=STORE_LEN... (nose toward -x flight direction is immaterial).
+    // 0: nose cap
+    let mut nose = ellipsoid_shell(
+        "store-nose",
+        sc(49, scale),
+        sc(17, scale),
+        sc(25, scale),
+        [0.25, 0.0, 0.0],
+        [0.30, 0.26, 0.26],
+        0.45,
+        true,
+    );
+    // Sub-surface solid for the ogive nose (hole-cutting solids sit
+    // slightly inside the true surface so near-wall donor cells of other
+    // grids remain usable).
+    nose.solids = vec![Solid::Ellipsoid { center: [0.25, 0.0, 0.0], radii: [0.26, 0.21, 0.21] }];
+    grids.push(nose);
+
+    // 1–2: body segments (fore, aft)
+    grids.push(shell_of_revolution(
+        "store-body-fore",
+        sc(65, scale),
+        sc(21, scale),
+        sc(33, scale),
+        0.3,
+        1.6,
+        |s| store_radius((0.3 + 1.3 * s) / STORE_LEN),
+        |_| 0.9,
+        true,
+    ));
+    grids.push(shell_of_revolution(
+        "store-body-aft",
+        sc(65, scale),
+        sc(21, scale),
+        sc(33, scale),
+        1.5,
+        2.6,
+        |s| store_radius((1.5 + 1.1 * s) / STORE_LEN),
+        |_| 0.9,
+        true,
+    ));
+
+    // 3: boattail/base region
+    grids.push(shell_of_revolution(
+        "store-boattail",
+        sc(49, scale),
+        sc(17, scale),
+        sc(21, scale),
+        2.5,
+        3.0,
+        |s| store_radius((2.5 + 0.5 * s) / STORE_LEN).max(0.05),
+        |_| 0.7,
+        true,
+    ));
+
+    // 4: base cap behind the store
+    let mut base = ellipsoid_shell(
+        "store-base",
+        sc(41, scale),
+        sc(13, scale),
+        sc(17, scale),
+        [2.95, 0.0, 0.0],
+        [0.22, 0.18, 0.18],
+        0.4,
+        true,
+    );
+    base.solids.clear();
+    grids.push(base);
+
+    // 5–8: four fin grids at 45/135/225/315 degrees around the boattail.
+    for (t, ang) in [45.0f64, 135.0, 225.0, 315.0].iter().enumerate() {
+        let a = ang.to_radians();
+        let dims = Dims::new(sc(33, scale), sc(17, scale), sc(21, scale));
+        // Fin box in store frame: sits on the body surface (no penetration
+        // into the store solid) and spans radially outward.
+        let fin_box = Aabb::new([2.35, -0.18, 0.26], [3.0, 0.18, 0.85]);
+        let mut fin = box_grid(&format!("store-fin-{t}"), dims, fin_box, Some(Face::KMin), true);
+        fin.apply_transform(&RigidTransform::rotation_about([0.0; 3], [1.0, 0.0, 0.0], a));
+        // Thin oriented slab for the fin surface (exact under rotation).
+        fin.solids = vec![Solid::oriented_slab_from_aabb(Aabb::new(
+            [2.45, -0.015, 0.30],
+            [2.9, 0.015, 0.66],
+        ))
+        .transformed(&RigidTransform::rotation_about([0.0; 3], [1.0, 0.0, 0.0], a))];
+        grids.push(fin);
+    }
+
+    // 9: collar grid wrapping the fin region (helps inter-fin connectivity).
+    grids.push(shell_of_revolution(
+        "store-collar",
+        sc(49, scale),
+        sc(13, scale),
+        sc(25, scale),
+        2.3,
+        3.0,
+        |s| store_radius((2.3 + 0.7 * s) / STORE_LEN).max(0.05),
+        |_| 1.1,
+        false,
+    ));
+
+    // Attach the unified store solid to the fore-body grid and move every
+    // store grid to the carriage position.
+    grids[1].solids = vec![
+        // Sub-surface: radius 0.2 vs the true 0.25 body, clear of the nose
+        // ogive and boattail taper.
+        Solid::Cylinder { p0: [0.3, 0.0, 0.0], p1: [2.85, 0.0, 0.0], radius: 0.2 },
+    ];
+    for id in STORE_GRID_IDS {
+        grids[id].apply_transform(&carry);
+        grids[id].turbulent = grids[id].viscous;
+    }
+
+    // --- Wing/pylon grids (3), stationary.
+    // 10: wing shell (flattened ellipsoid above the store).
+    let mut wing = ellipsoid_shell(
+        "wing",
+        sc(97, scale),
+        sc(25, scale),
+        sc(49, scale),
+        [1.0, 0.0, 0.6],
+        [2.5, 1.8, 0.12],
+        0.9,
+        true,
+    );
+    wing.turbulent = true;
+    // Sub-surface hole-cutting solid.
+    wing.solids = vec![Solid::Ellipsoid { center: [1.0, 0.0, 0.6], radii: [2.4, 1.7, 0.09] }];
+    grids.push(wing);
+
+    // 11: pylon box between wing and store carriage position.
+    let mut pylon = box_grid(
+        "pylon",
+        Dims::new(sc(41, scale), sc(25, scale), sc(33, scale)),
+        Aabb::new([0.4, -0.35, -0.45], [1.8, 0.35, 0.55]),
+        Some(Face::KMax),
+        true,
+    );
+    pylon.turbulent = true;
+    pylon.solids = vec![Solid::Slab {
+        aabb: Aabb::new([0.65, -0.06, -0.25], [1.55, 0.06, 0.5]),
+    }];
+    grids.push(pylon);
+
+    // 12: wing/pylon junction refinement box.
+    let mut junction = box_grid(
+        "junction",
+        Dims::new(sc(41, scale), sc(21, scale), sc(21, scale)),
+        Aabb::new([0.2, -0.6, 0.2], [2.2, 0.6, 0.9]),
+        None,
+        true,
+    );
+    junction.turbulent = true;
+    grids.push(junction);
+
+    // --- Nested Cartesian backgrounds (3), fine → coarse, inviscid.
+    let scale3 = scale.powi(3).max(1e-4);
+    let mut bg_fine = background_box(
+        "bg-fine",
+        Aabb::new([-1.0, -1.4, -3.0], [4.2, 1.4, 1.0]),
+        (220_000.0 * scale3).max(2_000.0) as usize,
+    );
+    for p in &mut bg_fine.patches {
+        p.kind = crate::curvilinear::BcKind::OversetOuter;
+    }
+    grids.push(bg_fine);
+    let mut bg_mid = background_box(
+        "bg-mid",
+        Aabb::new([-3.5, -3.5, -7.0], [7.5, 3.5, 2.5]),
+        (100_000.0 * scale3).max(1_200.0) as usize,
+    );
+    for p in &mut bg_mid.patches {
+        p.kind = crate::curvilinear::BcKind::OversetOuter;
+    }
+    grids.push(bg_mid);
+    grids.push(background_box(
+        "bg-coarse",
+        Aabb::new([-8.0, -8.0, -14.0], [13.0, 8.0, 6.0]),
+        (40_000.0 * scale3).max(1_000.0) as usize,
+    ));
+
+    debug_assert_eq!(grids.len(), 16);
+    grids
+}
+
+/// Donor-search hierarchy: store grids search their neighbours, then the
+/// collar, then the fine background; wing/pylon grids search each other then
+/// backgrounds; backgrounds search near-body grids then coarser backgrounds.
+pub fn store_search_order() -> Vec<Vec<usize>> {
+    let mut order: Vec<Vec<usize>> = Vec::with_capacity(16);
+    // Store component grids: siblings first (cheap overlaps), then collar,
+    // then the fine background.
+    for id in STORE_GRID_IDS {
+        let mut v: Vec<usize> = STORE_GRID_IDS.iter().copied().filter(|&g| g != id).collect();
+        // At carriage the store sits against the pylon: the wing/pylon
+        // grids donate in the gap region.
+        v.extend_from_slice(&[11, 12, 10, 13, 14]);
+        order.push(v);
+    }
+    // Wing/pylon grids: siblings, then the (initially adjacent) store
+    // grids, then backgrounds.
+    for id in WING_GRID_IDS {
+        let mut v: Vec<usize> = WING_GRID_IDS.iter().copied().filter(|&g| g != id).collect();
+        v.extend_from_slice(&STORE_GRID_IDS);
+        v.extend_from_slice(&[13, 14, 15]);
+        order.push(v);
+    }
+    // Backgrounds: near-body grids first, then next-coarser background.
+    order.push({
+        let mut v: Vec<usize> = STORE_GRID_IDS.to_vec();
+        v.extend_from_slice(&WING_GRID_IDS);
+        v.push(14);
+        v
+    });
+    order.push(vec![13, 15]);
+    order.push(vec![14]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curvilinear::GridKind;
+
+    #[test]
+    fn sixteen_grids_with_paper_size() {
+        let sys = store_system(1.0);
+        assert_eq!(sys.len(), 16);
+        let total: usize = sys.iter().map(|g| g.num_points()).sum();
+        // Paper: 0.81M composite.
+        assert!((650_000..1_000_000).contains(&total), "total = {total}");
+    }
+
+    #[test]
+    fn grid_roles_match_paper() {
+        let sys = store_system(0.3);
+        let curvi = sys.iter().filter(|g| g.kind == GridKind::NearBody).count();
+        let bg = sys.iter().filter(|g| g.kind == GridKind::Background).count();
+        assert_eq!(curvi, 13);
+        assert_eq!(bg, 3);
+        for id in BACKGROUND_GRID_IDS {
+            assert!(!sys[id].viscous, "{} should be inviscid", sys[id].name);
+        }
+        // Baldwin-Lomax on the viscous curvilinear grids.
+        for g in &sys {
+            if g.kind == GridKind::NearBody && g.viscous {
+                assert!(g.turbulent, "{} missing turbulence model", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn store_grids_sit_under_pylon() {
+        let sys = store_system(0.3);
+        for id in STORE_GRID_IDS {
+            let c = sys[id].bounding_box().center();
+            assert!(c[2] < 0.4, "{} not below wing: z = {}", sys[id].name, c[2]);
+        }
+        let wing_c = sys[10].bounding_box().center();
+        assert!(wing_c[2] > 0.0);
+    }
+
+    #[test]
+    fn backgrounds_nest() {
+        let sys = store_system(0.3);
+        let fine = sys[13].bounding_box();
+        let mid = sys[14].bounding_box();
+        let coarse = sys[15].bounding_box();
+        assert!(mid.contains(fine.min) && mid.contains(fine.max));
+        assert!(coarse.contains(mid.min) && coarse.contains(mid.max));
+    }
+
+    #[test]
+    fn search_order_well_formed() {
+        let order = store_search_order();
+        assert_eq!(order.len(), 16);
+        for (g, list) in order.iter().enumerate() {
+            assert!(!list.is_empty());
+            assert!(!list.contains(&g), "grid {g} searches itself");
+            for &t in list {
+                assert!(t < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_profile_shape() {
+        assert!(store_radius(0.0) < 0.1);
+        assert!((store_radius(0.5) - 0.25).abs() < 1e-12);
+        assert!(store_radius(1.0) < 0.25);
+        // Monotone through the nose.
+        assert!(store_radius(0.1) < store_radius(0.2));
+    }
+
+    #[test]
+    fn fins_are_symmetric() {
+        let sys = store_system(0.3);
+        let centers: Vec<[f64; 3]> = (5..9).map(|i| sys[i].bounding_box().center()).collect();
+        // Fins should be at +-45 degrees: |y| == |z - carriage_z| roughly.
+        for c in &centers {
+            let dy = c[1].abs();
+            let dz = (c[2] - STORE_CARRIAGE[2]).abs();
+            assert!((dy - dz).abs() < 0.1, "fin center asymmetric: {c:?}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Plot3D-format I/O: the standard interchange format of the OVERFLOW
+//! ecosystem. Multi-grid ASCII XYZ (grid) and Q (solution) files, plus
+//! readers for round-trip verification. Files written here load directly in
+//! common CFD post-processors.
+
+use crate::curvilinear::CurvilinearGrid;
+use crate::field::{StateField, NVAR};
+use crate::index::{Dims, Ijk};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write a multi-grid Plot3D XYZ file (ASCII, whole format: counts, then
+/// per grid all x, all y, all z, `i` fastest).
+pub fn write_xyz(path: &Path, grids: &[&CurvilinearGrid]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{}", grids.len())?;
+    for g in grids {
+        let d = g.dims();
+        writeln!(w, "{} {} {}", d.ni, d.nj, d.nk)?;
+    }
+    for g in grids {
+        let d = g.dims();
+        for comp in 0..3 {
+            let mut count = 0usize;
+            for p in d.iter() {
+                write!(w, "{:.17e}", g.coords[p][comp])?;
+                count += 1;
+                if count % 5 == 0 {
+                    writeln!(w)?;
+                } else {
+                    write!(w, " ")?;
+                }
+            }
+            if count % 5 != 0 {
+                writeln!(w)?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Read a multi-grid Plot3D XYZ file written by [`write_xyz`].
+pub fn read_xyz(path: &Path) -> std::io::Result<Vec<CurvilinearGrid>> {
+    let f = std::fs::File::open(path)?;
+    let mut tokens = Tokens::new(BufReader::new(f));
+    let ngrids: usize = tokens.next()?;
+    let mut dims = Vec::with_capacity(ngrids);
+    for _ in 0..ngrids {
+        let ni: usize = tokens.next()?;
+        let nj: usize = tokens.next()?;
+        let nk: usize = tokens.next()?;
+        dims.push(Dims::new(ni, nj, nk));
+    }
+    let mut grids = Vec::with_capacity(ngrids);
+    for (gi, d) in dims.iter().enumerate() {
+        let n = d.count();
+        let mut coords = vec![[0.0f64; 3]; n];
+        for comp in 0..3 {
+            for c in coords.iter_mut() {
+                c[comp] = tokens.next()?;
+            }
+        }
+        let field = crate::field::Field3::from_fn(*d, |p: Ijk| coords[d.offset(p)]);
+        grids.push(CurvilinearGrid::new(
+            format!("plot3d-grid-{gi}"),
+            field,
+            crate::curvilinear::GridKind::NearBody,
+        ));
+    }
+    Ok(grids)
+}
+
+/// Write a multi-grid Plot3D Q (solution) file: per grid the reference
+/// conditions `(mach, alpha, re, time)` then the five conserved variables
+/// (`i` fastest, variable-major).
+pub fn write_q(
+    path: &Path,
+    dims: &[Dims],
+    states: &[StateField],
+    refs: [f64; 4],
+) -> std::io::Result<()> {
+    assert_eq!(dims.len(), states.len());
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{}", dims.len())?;
+    for d in dims {
+        writeln!(w, "{} {} {}", d.ni, d.nj, d.nk)?;
+    }
+    for (d, s) in dims.iter().zip(states) {
+        assert_eq!(s.dims(), *d);
+        writeln!(w, "{:.17e} {:.17e} {:.17e} {:.17e}", refs[0], refs[1], refs[2], refs[3])?;
+        for v in 0..NVAR {
+            let mut count = 0usize;
+            for p in d.iter() {
+                write!(w, "{:.17e}", s.node(p)[v])?;
+                count += 1;
+                if count % 5 == 0 {
+                    writeln!(w)?;
+                } else {
+                    write!(w, " ")?;
+                }
+            }
+            if count % 5 != 0 {
+                writeln!(w)?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Read a multi-grid Plot3D Q file written by [`write_q`]. Returns the
+/// per-grid states and the reference block of the first grid.
+pub fn read_q(path: &Path) -> std::io::Result<(Vec<StateField>, [f64; 4])> {
+    let f = std::fs::File::open(path)?;
+    let mut tokens = Tokens::new(BufReader::new(f));
+    let ngrids: usize = tokens.next()?;
+    let mut dims = Vec::with_capacity(ngrids);
+    for _ in 0..ngrids {
+        let ni: usize = tokens.next()?;
+        let nj: usize = tokens.next()?;
+        let nk: usize = tokens.next()?;
+        dims.push(Dims::new(ni, nj, nk));
+    }
+    let mut refs = [0.0f64; 4];
+    let mut states = Vec::with_capacity(ngrids);
+    for (gi, d) in dims.iter().enumerate() {
+        let r: [f64; 4] = [tokens.next()?, tokens.next()?, tokens.next()?, tokens.next()?];
+        if gi == 0 {
+            refs = r;
+        }
+        let n = d.count();
+        let mut vals = vec![[0.0f64; NVAR]; n];
+        for v in 0..NVAR {
+            for q in vals.iter_mut() {
+                q[v] = tokens.next()?;
+            }
+        }
+        states.push(StateField::from_fn(*d, |p: Ijk| vals[d.offset(p)]));
+    }
+    Ok((states, refs))
+}
+
+/// Whitespace-token reader for the ASCII formats.
+struct Tokens<R: BufRead> {
+    reader: R,
+    buf: Vec<String>,
+    pos: usize,
+}
+
+impl<R: BufRead> Tokens<R> {
+    fn new(reader: R) -> Self {
+        Tokens { reader, buf: Vec::new(), pos: 0 }
+    }
+
+    fn next<T: std::str::FromStr>(&mut self) -> std::io::Result<T> {
+        loop {
+            if self.pos < self.buf.len() {
+                let tok = &self.buf[self.pos];
+                self.pos += 1;
+                return tok.parse::<T>().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad token: {tok}"),
+                    )
+                });
+            }
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "plot3d file truncated",
+                ));
+            }
+            self.buf = line.split_whitespace().map(str::to_string).collect();
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curvilinear::GridKind;
+    use crate::field::Field3;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("overset_io_test_{name}_{}", std::process::id()))
+    }
+
+    fn sample_grid(ni: usize, nj: usize, nk: usize, off: f64) -> CurvilinearGrid {
+        let d = Dims::new(ni, nj, nk);
+        let coords = Field3::from_fn(d, |p| {
+            [
+                off + 0.1 * p.i as f64,
+                0.2 * p.j as f64 + 0.01 * (p.i as f64).sin(),
+                0.3 * p.k as f64,
+            ]
+        });
+        CurvilinearGrid::new("s", coords, GridKind::Background)
+    }
+
+    #[test]
+    fn xyz_roundtrip_multigrid() {
+        let a = sample_grid(5, 4, 3, 0.0);
+        let b = sample_grid(7, 2, 2, 10.0);
+        let path = tmp("xyz");
+        write_xyz(&path, &[&a, &b]).unwrap();
+        let back = read_xyz(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].dims(), a.dims());
+        assert_eq!(back[1].dims(), b.dims());
+        for p in a.dims().iter() {
+            for c in 0..3 {
+                assert_eq!(back[0].coords[p][c], a.coords[p][c], "exact roundtrip");
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn q_roundtrip() {
+        let d = Dims::new(4, 3, 2);
+        let s = StateField::from_fn(d, |p| {
+            [
+                1.0 + 0.1 * p.i as f64,
+                0.2 * p.j as f64,
+                -0.3 * p.k as f64,
+                0.0,
+                2.0 + p.i as f64 * p.j as f64 * 0.01,
+            ]
+        });
+        let path = tmp("q");
+        write_q(&path, &[d], std::slice::from_ref(&s), [0.8, 0.0, 1e6, 0.5]).unwrap();
+        let (back, refs) = read_q(&path).unwrap();
+        assert_eq!(refs, [0.8, 0.0, 1e6, 0.5]);
+        assert_eq!(back.len(), 1);
+        for p in d.iter() {
+            assert_eq!(back[0].node(p), s.node(p));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let path = tmp("trunc");
+        std::fs::write(&path, "2\n3 3 1\n").unwrap();
+        assert!(read_xyz(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_token_errors() {
+        let path = tmp("bad");
+        std::fs::write(&path, "not_a_number\n").unwrap();
+        assert!(read_xyz(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,84 @@
+//! Grid motion for the dynamic overset scheme (the paper's SIXDOF module).
+//!
+//! * [`rigid`] — six-degree-of-freedom Newton–Euler rigid-body dynamics
+//!   (RK4, quaternion orientation),
+//! * [`prescribed`] — prescribed motions used by the paper's three cases
+//!   (sinusoidal pitch, constant descent, ejected-store trajectory),
+//! * [`loads`] — surface-pressure load integration feeding the 6-DOF model.
+//!
+//! Each step produces an incremental [`overset_grid::RigidTransform`] that
+//! the driver applies to a moving body's component grids; the motion is what
+//! invalidates domain connectivity and forces a DCF3D re-solve every step.
+
+pub mod loads;
+pub mod prescribed;
+pub mod rigid;
+
+pub use loads::integrate_surface_loads;
+
+pub use prescribed::Prescribed;
+pub use rigid::{Loads, RigidBody};
+
+
+
+/// One moving body of an overset system: the set of component grids that
+/// move rigidly together, and how their motion is produced. The paper's
+/// store is ten grids sharing one motion; the delta wing is three.
+#[derive(Clone, Debug)]
+pub struct BodyMotion {
+    /// Component grids that move with this body.
+    pub grids: Vec<usize>,
+    pub motion: Motion,
+}
+
+impl BodyMotion {
+    pub fn prescribed(grids: Vec<usize>, p: Prescribed) -> Self {
+        BodyMotion { grids, motion: Motion::Prescribed(p) }
+    }
+
+    pub fn six_dof(grids: Vec<usize>, body: RigidBody, applied: Loads) -> Self {
+        BodyMotion { grids, motion: Motion::SixDof { body, applied } }
+    }
+
+    /// Does this body need aerodynamic loads each step?
+    pub fn needs_aero(&self) -> bool {
+        matches!(self.motion, Motion::SixDof { .. })
+    }
+
+    /// Reference point for aerodynamic moment integration (the body CG for
+    /// 6-DOF bodies; irrelevant for prescribed ones).
+    pub fn moment_reference(&self) -> [f64; 3] {
+        match &self.motion {
+            Motion::SixDof { body, .. } => body.position,
+            Motion::Prescribed(_) => [0.0; 3],
+        }
+    }
+}
+
+/// A body's motion: either prescribed or 6-DOF under integrated loads.
+#[derive(Clone, Debug)]
+pub enum Motion {
+    Prescribed(Prescribed),
+    SixDof {
+        body: RigidBody,
+        /// Loads applied in addition to aerodynamic loads (gravity, ejector).
+        applied: Loads,
+    },
+}
+
+impl Motion {
+    /// Advance by `dt`; `aero` are the integrated aerodynamic loads for this
+    /// step (ignored by prescribed motions). Returns the grid transform.
+    pub fn step(&mut self, dt: f64, aero: &Loads) -> overset_grid::RigidTransform {
+        match self {
+            Motion::Prescribed(p) => p.step(dt),
+            Motion::SixDof { body, applied } => {
+                // Aerodynamic moment arrives in world coordinates; Euler's
+                // equations want it in the body frame.
+                let m_body = body.orientation.conjugate().rotate(aero.moment);
+                let loads = Loads { force: aero.force, moment: m_body }.add(applied);
+                body.step(&loads, dt)
+            }
+        }
+    }
+}

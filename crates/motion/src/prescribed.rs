@@ -1,0 +1,251 @@
+//! Prescribed grid motions for the paper's test cases.
+//!
+//! * sinusoidal pitch `α(t) = α₀ sin(ωt)` for the oscillating airfoil,
+//! * constant (slow) descent for the delta wing,
+//! * the ejected-store trajectory (prescribed, as in the paper's store case:
+//!   "the motion of the store is specified in this case rather than computed
+//!   from the aerodynamic forces").
+//!
+//! Each motion produces, per timestep, the incremental [`RigidTransform`]
+//! from the pose at `t` to the pose at `t + dt`; the overset driver applies
+//! it to the body's component grids, which is what invalidates the domain
+//! connectivity and forces a DCF3D re-solve each step.
+
+use overset_grid::transform::RigidTransform;
+
+/// A prescribed rigid motion, advanced step by step.
+#[derive(Clone, Debug)]
+pub enum Prescribed {
+    /// Pitch oscillation about `pivot` around `axis`: α(t) = α₀ sin(ω t).
+    PitchOscillation {
+        alpha0: f64,
+        omega: f64,
+        pivot: [f64; 3],
+        axis: [f64; 3],
+        time: f64,
+    },
+    /// Constant translation velocity.
+    ConstantVelocity { velocity: [f64; 3], time: f64 },
+    /// Store ejection: ejector stroke accelerates the store downward for
+    /// `stroke_time`, after which gravity alone acts; a growing nose-down
+    /// pitch rate is superimposed. `offset` tracks the accumulated CG
+    /// displacement so the pitch pivot rides with the store.
+    StoreEjection {
+        pivot0: [f64; 3],
+        eject_accel: f64,
+        stroke_time: f64,
+        gravity: f64,
+        pitch_accel: f64,
+        time: f64,
+        offset: [f64; 3],
+    },
+}
+
+impl Prescribed {
+    /// The paper's airfoil motion: α₀ = 5°, ω = π/2, quarter-chord pivot.
+    pub fn paper_airfoil_pitch() -> Prescribed {
+        Prescribed::PitchOscillation {
+            alpha0: 5.0f64.to_radians(),
+            omega: std::f64::consts::FRAC_PI_2,
+            pivot: [0.25, 0.0, 0.0],
+            axis: [0.0, 0.0, 1.0],
+            time: 0.0,
+        }
+    }
+
+    /// The delta wing's slow descent at Mach `m` (paper: M = 0.064) given the
+    /// freestream sound speed.
+    pub fn descent(mach: f64, sound_speed: f64) -> Prescribed {
+        Prescribed::ConstantVelocity {
+            velocity: [0.0, 0.0, -mach * sound_speed],
+            time: 0.0,
+        }
+    }
+
+    /// A generic store-ejection trajectory starting at `pivot0` (the store CG).
+    pub fn store_ejection(pivot0: [f64; 3]) -> Prescribed {
+        Prescribed::StoreEjection {
+            pivot0,
+            eject_accel: 6.0,
+            stroke_time: 0.25,
+            gravity: 1.0,
+            pitch_accel: 0.25,
+            time: 0.0,
+            offset: [0.0; 3],
+        }
+    }
+
+    /// Current absolute pitch angle (for tests; only meaningful for
+    /// `PitchOscillation` and `StoreEjection`).
+    pub fn current_angle(&self) -> f64 {
+        match self {
+            Prescribed::PitchOscillation { alpha0, omega, time, .. } => {
+                alpha0 * (omega * time).sin()
+            }
+            Prescribed::StoreEjection { pitch_accel, time, .. } => {
+                -0.5 * pitch_accel * time * time
+            }
+            Prescribed::ConstantVelocity { .. } => 0.0,
+        }
+    }
+
+    /// Advance by `dt`, returning the incremental transform to apply to the
+    /// body's grids.
+    pub fn step(&mut self, dt: f64) -> RigidTransform {
+        match self {
+            Prescribed::PitchOscillation { alpha0, omega, pivot, axis, time } => {
+                let a0 = *alpha0 * (*omega * *time).sin();
+                *time += dt;
+                let a1 = *alpha0 * (*omega * *time).sin();
+                RigidTransform::rotation_about(*pivot, *axis, a1 - a0)
+            }
+            Prescribed::ConstantVelocity { velocity, time } => {
+                *time += dt;
+                RigidTransform::translation([
+                    velocity[0] * dt,
+                    velocity[1] * dt,
+                    velocity[2] * dt,
+                ])
+            }
+            Prescribed::StoreEjection {
+                pivot0,
+                eject_accel,
+                stroke_time,
+                gravity,
+                pitch_accel,
+                time,
+                offset,
+            } => {
+                // Downward displacement z(t): ejector stroke then ballistic.
+                let z = |t: f64| -> f64 {
+                    let a = *eject_accel;
+                    let ts = *stroke_time;
+                    if t <= ts {
+                        -0.5 * (a + *gravity) * t * t
+                    } else {
+                        let z_s = -0.5 * (a + *gravity) * ts * ts;
+                        let w_s = -(a + *gravity) * ts;
+                        z_s + w_s * (t - ts) - 0.5 * *gravity * (t - ts) * (t - ts)
+                    }
+                };
+                let th = |t: f64| -0.5 * *pitch_accel * t * t;
+                let t0 = *time;
+                *time += dt;
+                let t1 = *time;
+                let dz = z(t1) - z(t0);
+                let dth = th(t1) - th(t0);
+                let pivot = [
+                    pivot0[0] + offset[0],
+                    pivot0[1] + offset[1],
+                    pivot0[2] + offset[2],
+                ];
+                offset[2] += dz;
+                // Nose-down pitch about the (moving) CG, axis = +y.
+                RigidTransform {
+                    rotation: overset_grid::transform::Quat::from_axis_angle([0.0, 1.0, 0.0], dth),
+                    pivot,
+                    translation: [0.0, 0.0, dz],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitch_oscillation_tracks_sine() {
+        let mut m = Prescribed::paper_airfoil_pitch();
+        let dt = 0.01;
+        let steps = 100; // t = 1.0
+        let mut total = RigidTransform::IDENTITY;
+        for _ in 0..steps {
+            let t = m.step(dt);
+            // Compose: pure rotations about the same fixed pivot compose by
+            // quaternion multiplication.
+            total = RigidTransform {
+                rotation: t.rotation.mul(&total.rotation),
+                pivot: t.pivot,
+                translation: [0.0; 3],
+            };
+        }
+        let expect = 5.0f64.to_radians() * (std::f64::consts::FRAC_PI_2 * 1.0).sin();
+        assert!((m.current_angle() - expect).abs() < 1e-12);
+        // Accumulated rotation angle = 2*acos(w).
+        let acc = 2.0 * total.rotation.w.acos();
+        assert!((acc - expect).abs() < 1e-9, "acc {acc} expect {expect}");
+    }
+
+    #[test]
+    fn pitch_motion_is_periodic() {
+        let mut m = Prescribed::paper_airfoil_pitch();
+        let period = 2.0 * std::f64::consts::PI / std::f64::consts::FRAC_PI_2;
+        let n = 400;
+        let dt = period / n as f64;
+        let mut acc = overset_grid::transform::Quat::IDENTITY;
+        for _ in 0..n {
+            acc = m.step(dt).rotation.mul(&acc);
+        }
+        // After one full period the composed rotation is identity.
+        assert!(acc.w.abs() > 1.0 - 1e-9, "net rotation remains: {acc:?}");
+        assert!(m.current_angle().abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_velocity_translates() {
+        let mut m = Prescribed::descent(0.064, 10.0);
+        let t = m.step(0.5);
+        assert!((t.translation[2] + 0.064 * 10.0 * 0.5).abs() < 1e-12);
+        assert!(t.rotation.w == 1.0);
+    }
+
+    #[test]
+    fn store_ejection_accelerates_then_coasts() {
+        let mut m = Prescribed::store_ejection([0.0; 3]);
+        let dt = 0.05;
+        let mut z = 0.0;
+        let mut w_prev = 0.0;
+        let mut stroke_w = None;
+        for i in 0..20 {
+            let t = m.step(dt);
+            z += t.translation[2];
+            let w = t.translation[2] / dt;
+            let time = (i + 1) as f64 * dt;
+            if time > 0.25 && stroke_w.is_none() {
+                stroke_w = Some(w_prev);
+            }
+            w_prev = w;
+        }
+        assert!(z < -0.2, "store did not drop: z = {z}");
+        // During the stroke the downward accel is (a + g); after, just g —
+        // so |dw/dt| decreases after the stroke ends.
+        let stroke_w = stroke_w.unwrap();
+        assert!(w_prev < stroke_w, "store should keep accelerating downward");
+    }
+
+    #[test]
+    fn store_pitch_is_nose_down_growing() {
+        let mut m = Prescribed::store_ejection([0.0; 3]);
+        for _ in 0..10 {
+            m.step(0.1);
+        }
+        let a = m.current_angle();
+        assert!(a < -0.01, "pitch angle {a}");
+    }
+
+    #[test]
+    fn ejection_pivot_rides_with_store() {
+        let mut m = Prescribed::store_ejection([1.0, 2.0, 3.0]);
+        let mut drop = 0.0;
+        for _ in 0..10 {
+            let t = m.step(0.1);
+            // The pivot of each incremental rotation matches the CG position
+            // *before* the step, i.e. initial + accumulated drop.
+            assert!((t.pivot[0] - 1.0).abs() < 1e-12);
+            assert!((t.pivot[2] - (3.0 + drop)).abs() < 1e-12);
+            drop += t.translation[2];
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the rigid-body dynamics and prescribed motions.
+
+use overset_motion::prescribed::Prescribed;
+use overset_motion::rigid::{Loads, RigidBody};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Torque-free rigid bodies conserve rotational energy and the
+    /// magnitude of angular momentum, for arbitrary inertia and spin.
+    #[test]
+    fn torque_free_invariants(
+        ia in 0.2f64..5.0, ib in 0.2f64..5.0, ic in 0.2f64..5.0,
+        wx in -2.0f64..2.0, wy in -2.0f64..2.0, wz in -2.0f64..2.0,
+    ) {
+        prop_assume!(wx.abs() + wy.abs() + wz.abs() > 0.01);
+        let mut b = RigidBody::new(1.0, [ia, ib, ic], [0.0; 3]);
+        b.omega = [wx, wy, wz];
+        let e0 = b.rotational_energy();
+        let l0 = b.angular_momentum_body();
+        let l0n: f64 = l0.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for _ in 0..200 {
+            b.step(&Loads::ZERO, 0.005);
+        }
+        let e1 = b.rotational_energy();
+        let l1 = b.angular_momentum_body();
+        let l1n: f64 = l1.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((e1 - e0).abs() < 1e-5 * e0.max(1e-12), "energy {e0} -> {e1}");
+        prop_assert!((l1n - l0n).abs() < 1e-5 * l0n.max(1e-12), "momentum {l0n} -> {l1n}");
+        prop_assert!((b.orientation.norm() - 1.0).abs() < 1e-10);
+    }
+
+    /// Constant force: the CG follows the analytic parabola for any mass.
+    #[test]
+    fn constant_force_parabola(
+        mass in 0.1f64..20.0,
+        f in prop::array::uniform3(-5.0f64..5.0),
+        steps in 10usize..100,
+    ) {
+        let mut b = RigidBody::new(mass, [1.0; 3], [0.0; 3]);
+        let loads = Loads { force: f, moment: [0.0; 3] };
+        let dt = 0.01;
+        for _ in 0..steps {
+            b.step(&loads, dt);
+        }
+        let t = steps as f64 * dt;
+        for d in 0..3 {
+            let expect = 0.5 * f[d] / mass * t * t;
+            prop_assert!(
+                (b.position[d] - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                "dim {d}: {} vs {expect}",
+                b.position[d]
+            );
+        }
+    }
+
+    /// The step transform maps material points exactly as the body state
+    /// evolves: a point rigidly attached to the CG frame tracks through the
+    /// per-step transforms.
+    #[test]
+    fn step_transforms_compose_to_body_pose(
+        w in prop::array::uniform3(-1.0f64..1.0),
+        v in prop::array::uniform3(-1.0f64..1.0),
+        nsteps in 5usize..40,
+    ) {
+        let mut b = RigidBody::new(1.0, [2.0, 1.0, 1.5], [1.0, -2.0, 0.5]);
+        b.omega = w;
+        b.velocity = v;
+        let p0 = [1.5, -2.0, 0.5]; // body point offset +x/2 from CG
+        let offset_body = [0.5, 0.0, 0.0];
+        let mut p = p0;
+        let dt = 0.02;
+        for _ in 0..nsteps {
+            let t = b.step(&Loads::ZERO, dt);
+            p = t.apply(p);
+        }
+        // Expected: CG + R(offset).
+        let r = b.orientation.rotate(offset_body);
+        let expect = [
+            b.position[0] + r[0],
+            b.position[1] + r[1],
+            b.position[2] + r[2],
+        ];
+        for d in 0..3 {
+            prop_assert!(
+                (p[d] - expect[d]).abs() < 1e-9,
+                "dim {d}: {} vs {}",
+                p[d],
+                expect[d]
+            );
+        }
+    }
+
+    /// Prescribed pitch: the accumulated transform angle always equals
+    /// α(t) exactly, for any step size and duration.
+    #[test]
+    fn pitch_angle_exact(
+        dt in 0.001f64..0.2,
+        nsteps in 1usize..100,
+    ) {
+        let mut m = Prescribed::paper_airfoil_pitch();
+        let mut acc = overset_grid::transform::Quat::IDENTITY;
+        for _ in 0..nsteps {
+            acc = m.step(dt).rotation.mul(&acc);
+        }
+        let t = dt * nsteps as f64;
+        let expect = 5.0f64.to_radians() * (std::f64::consts::FRAC_PI_2 * t).sin();
+        let got = 2.0 * acc.w.clamp(-1.0, 1.0).acos() * acc.z.signum();
+        // Compare absolute angles (sign convention of acos).
+        prop_assert!(
+            (got.abs() - expect.abs()).abs() < 1e-9,
+            "angle {got} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,915 @@
+//! Diagonalized approximate-factorization implicit scheme
+//! (Pulliam–Chaussee diagonal algorithm).
+//!
+//! The update solves, per timestep,
+//!
+//! ```text
+//! T_ξ (I + Δt Λ_ξ δ_ξ − D_i) T_ξ⁻¹ · T_η (…) T_η⁻¹ · T_ζ (…) T_ζ⁻¹ Δq = Δt R(qⁿ)
+//! ```
+//!
+//! Per direction, the conservative increment is transformed to local
+//! characteristic variables (entropy, two shears, two acoustics), each
+//! characteristic field is solved with its own scalar tridiagonal system —
+//! signed eigenvalue `λ_m ∈ {Ũ, Ũ, Ũ, Ũ±c̃}` central-implicit plus an
+//! implicit second-difference smoothing `β σ` — and transformed back. The
+//! signed implicit advection is what makes the factored scheme stable at the
+//! CFL numbers the paper's unsteady cases run at; the implicit dissipation
+//! dominates the explicit JST terms (β ≥ 2·k₄ rule).
+//!
+//! Lines that cross subdomain boundaries are solved with the *pipelined
+//! distributed Thomas* algorithm (see [`crate::tridiag`]): implicitness is
+//! maintained across subdomains, so the update is independent of the
+//! processor count — the N-rank result is bit-identical to the serial one.
+
+use crate::block::{Blank, Block};
+use crate::conditions::{sound_speed, FlowConditions, GAMMA};
+use overset_grid::field::{StateField, NVAR};
+use overset_grid::index::Ijk;
+
+/// Implicit second-difference smoothing coefficient (×σ).
+pub const BETA: f64 = 0.25;
+
+/// Number of line chunks per sweep used for pipelined-Thomas overlap across
+/// subdomain boundaries.
+pub const PIPELINE_CHUNKS: usize = 8;
+
+/// Flops per owned node per direction for the implicit sweep
+/// (characteristic transforms + 5 scalar eliminations).
+pub const FLOPS_PER_NODE_PER_DIR: u64 = 180;
+
+/// Communication hooks the solver needs from the runtime: halo exchange and
+/// pipelined line-solve carries. A [`SerialComm`] no-op implementation runs
+/// single-block grids; the driver crate implements this over the
+/// message-passing runtime.
+pub trait SolverComm {
+    /// Fill halo layers of `q` from face neighbors (including periodic
+    /// wraps). Called once per step before the residual evaluation.
+    fn exchange_halo(&mut self, block: &mut Block);
+    /// Send pipelined line-solve data for `dir` to the adjacent rank
+    /// (`downstream = true`: toward increasing index).
+    fn send_line(&mut self, block: &Block, dir: usize, downstream: bool, data: Vec<f64>);
+    /// Receive pipelined line-solve data of length `len`.
+    fn recv_line(&mut self, block: &Block, dir: usize, from_upstream: bool, len: usize) -> Vec<f64>;
+    /// Account compute work performed inside the sweep (so pipelined carry
+    /// messages are stamped with clocks that include the elimination work
+    /// preceding them). Serial implementations may ignore it.
+    fn compute(&mut self, _flops: u64) {}
+}
+
+/// Serial communicator: single block per grid; periodic wrap filled locally.
+pub struct SerialComm;
+
+impl SolverComm for SerialComm {
+    fn exchange_halo(&mut self, block: &mut Block) {
+        if block.self_wrap_i {
+            block.fill_self_wrap();
+        }
+    }
+    fn send_line(&mut self, _: &Block, _: usize, _: bool, _: Vec<f64>) {
+        unreachable!("serial blocks have no line neighbors");
+    }
+    fn recv_line(&mut self, _: &Block, _: usize, _: bool, _: usize) -> Vec<f64> {
+        unreachable!("serial blocks have no line neighbors");
+    }
+}
+
+/// Does the block have an *implicit-coupled* neighbor along `dir`?
+/// Periodic wrap links are excluded: the implicit operator treats O-grid
+/// lines as open (the wrap coupling stays explicit through the halo), the
+/// same in serial and parallel.
+pub fn implicit_neighbor(block: &Block, dir: usize, downstream: bool) -> Option<usize> {
+    let face = 2 * dir + usize::from(downstream);
+    let n = block.neighbor[face]?;
+    let interior = if downstream {
+        block.owned.hi.get(dir) < block.grid_dims.get(dir)
+    } else {
+        block.owned.lo.get(dir) > 0
+    };
+    interior.then_some(n)
+}
+
+/// Local characteristic frame at a node for direction `dir`.
+#[derive(Clone, Copy)]
+struct CharFrame {
+    /// Unit metric normal.
+    k: [f64; 3],
+    /// Orthonormal tangents.
+    t1: [f64; 3],
+    t2: [f64; 3],
+    /// ρ, velocity, sound speed.
+    rho: f64,
+    u: [f64; 3],
+    c: f64,
+    /// Eigenvalues per characteristic field (J-scaled): Ũ, Ũ, Ũ, Ũ+c̃, Ũ−c̃.
+    lam: [f64; NVAR],
+    /// Spectral radius |Ũ| + c̃ (J-scaled) for the implicit smoothing.
+    sigma: f64,
+}
+
+fn char_frame(block: &Block, p: Ijk, dir: usize) -> CharFrame {
+    let q = block.q.node(p);
+    let m = block.metrics[p];
+    let g = m.grad(dir);
+    let jac = m.jac;
+    let s = [g[0] * jac, g[1] * jac, g[2] * jac];
+    let s_norm = (s[0] * s[0] + s[1] * s[1] + s[2] * s[2]).sqrt().max(1e-300);
+    let k = [s[0] / s_norm, s[1] / s_norm, s[2] / s_norm];
+    // Deterministic tangent basis.
+    let a = if k[0].abs() < 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
+    let mut t1 = [
+        k[1] * a[2] - k[2] * a[1],
+        k[2] * a[0] - k[0] * a[2],
+        k[0] * a[1] - k[1] * a[0],
+    ];
+    let n1 = (t1[0] * t1[0] + t1[1] * t1[1] + t1[2] * t1[2]).sqrt();
+    for t in t1.iter_mut() {
+        *t /= n1;
+    }
+    let t2 = [
+        k[1] * t1[2] - k[2] * t1[1],
+        k[2] * t1[0] - k[0] * t1[2],
+        k[0] * t1[1] - k[1] * t1[0],
+    ];
+    let rho = q[0];
+    let u = [q[1] / rho, q[2] / rho, q[3] / rho];
+    let c = sound_speed(q);
+    let vg = block.grid_vel[p];
+    let u_rel_n = s[0] * (u[0] - vg[0]) + s[1] * (u[1] - vg[1]) + s[2] * (u[2] - vg[2]);
+    let u_tilde = u_rel_n / jac;
+    let c_tilde = c * s_norm / jac;
+    CharFrame {
+        k,
+        t1,
+        t2,
+        rho,
+        u,
+        c,
+        lam: [u_tilde, u_tilde, u_tilde, u_tilde + c_tilde, u_tilde - c_tilde],
+        sigma: u_tilde.abs() + c_tilde,
+    }
+}
+
+/// Conservative increment → characteristic variables at the frame.
+#[inline]
+fn to_char(f: &CharFrame, dq: &[f64; NVAR]) -> [f64; NVAR] {
+    // ΔQ → Δprimitive.
+    let d_rho = dq[0];
+    let du = [
+        (dq[1] - f.u[0] * d_rho) / f.rho,
+        (dq[2] - f.u[1] * d_rho) / f.rho,
+        (dq[3] - f.u[2] * d_rho) / f.rho,
+    ];
+    let ke = 0.5 * (f.u[0] * f.u[0] + f.u[1] * f.u[1] + f.u[2] * f.u[2]);
+    let dp = (GAMMA - 1.0)
+        * (dq[4] + ke * d_rho - f.u[0] * dq[1] - f.u[1] * dq[2] - f.u[2] * dq[3]);
+    // Δprimitive → characteristic.
+    let un = f.k[0] * du[0] + f.k[1] * du[1] + f.k[2] * du[2];
+    let c2 = f.c * f.c;
+    [
+        d_rho - dp / c2,
+        f.t1[0] * du[0] + f.t1[1] * du[1] + f.t1[2] * du[2],
+        f.t2[0] * du[0] + f.t2[1] * du[1] + f.t2[2] * du[2],
+        un + dp / (f.rho * f.c),
+        un - dp / (f.rho * f.c),
+    ]
+}
+
+/// Characteristic variables → conservative increment at the frame.
+#[inline]
+fn from_char(f: &CharFrame, w: &[f64; NVAR]) -> [f64; NVAR] {
+    let dp = 0.5 * f.rho * f.c * (w[3] - w[4]);
+    let un = 0.5 * (w[3] + w[4]);
+    let d_rho = w[0] + dp / (f.c * f.c);
+    let du = [
+        f.t1[0] * w[1] + f.t2[0] * w[2] + f.k[0] * un,
+        f.t1[1] * w[1] + f.t2[1] * w[2] + f.k[1] * un,
+        f.t1[2] * w[1] + f.t2[2] * w[2] + f.k[2] * un,
+    ];
+    let ke = 0.5 * (f.u[0] * f.u[0] + f.u[1] * f.u[1] + f.u[2] * f.u[2]);
+    [
+        d_rho,
+        f.u[0] * d_rho + f.rho * du[0],
+        f.u[1] * d_rho + f.rho * du[1],
+        f.u[2] * d_rho + f.rho * du[2],
+        ke * d_rho + f.rho * (f.u[0] * du[0] + f.u[1] * du[1] + f.u[2] * du[2])
+            + dp / (GAMMA - 1.0),
+    ]
+}
+
+/// Perform the factored characteristic sweeps in place on `dq` (which enters
+/// holding `Δt·R` in conservative variables). Returns estimated flops.
+pub fn implicit_sweeps(
+    block: &Block,
+    fc: &FlowConditions,
+    dq: &mut StateField,
+    comm: &mut impl SolverComm,
+) -> u64 {
+    let dt = fc.dt;
+    let ow = block.owned_local();
+    let mut flops = 0u64;
+
+    for &dir in block.active_dirs() {
+        let (d1, d2) = other_dirs(dir);
+        let n = ow.dims().get(dir);
+        let mut lines: Vec<(usize, usize)> = Vec::new();
+        for c2 in ow.lo.get(d2)..ow.hi.get(d2) {
+            for c1 in ow.lo.get(d1)..ow.hi.get(d1) {
+                lines.push((c1, c2));
+            }
+        }
+        let nlines = lines.len();
+        let upstream = implicit_neighbor(block, dir, false);
+        let downstream = implicit_neighbor(block, dir, true);
+
+        let node_at = |li: usize, c: usize| -> Ijk {
+            let (c1, c2) = lines[li];
+            let mut p = Ijk::new(0, 0, 0);
+            p.set(dir, ow.lo.get(dir) + c);
+            p.set(d1, c1);
+            p.set(d2, c2);
+            p
+        };
+
+        // Transform dt·R to characteristic variables per node; cache frames.
+        let mut frames: Vec<CharFrame> = Vec::with_capacity(n * nlines);
+        for li in 0..nlines {
+            for c in 0..n {
+                let p = node_at(li, c);
+                let f = char_frame(block, p, dir);
+                let w = to_char(&f, dq.node(p));
+                dq.set_node(p, w);
+                frames.push(f);
+            }
+        }
+        // Frame (σ, λ) for implicit coefficients at the ±1 stencil nodes:
+        // owned frames cached; halo frames computed on demand.
+        let frame_of = |li: usize, c: isize| -> CharFrame {
+            if c >= 0 && (c as usize) < n {
+                frames[li * n + c as usize]
+            } else {
+                let mut p = node_at(li, 0);
+                let base = ow.lo.get(dir) as isize + c;
+                p.set(dir, base.max(0) as usize);
+                char_frame(block, p, dir)
+            }
+        };
+
+        // Periodic O-grid lines in `i` are solved with the *cyclic*
+        // (Sherman–Morrison) algorithm — the seam coupling must be implicit:
+        // the smallest azimuthal cells sit right at the wrap, and leaving
+        // them explicitly coupled blows up at fine resolution.
+        if dir == 0 && periodic_in_i(block) {
+            flops += periodic_sweep_i(block, dt, dq, comm, &lines, n, &frames, ow);
+            for li in 0..nlines {
+                for c in 0..n {
+                    let p = node_at(li, c);
+                    let f = frames[li * n + c];
+                    let w = *dq.node(p);
+                    dq.set_node(p, from_char(&f, &w));
+                }
+            }
+            continue;
+        }
+
+        // Forward elimination (5 independent tridiagonal systems per line),
+        // *wavefront pipelined*: lines are processed in chunks; each chunk's
+        // boundary carries are exchanged as soon as the chunk is eliminated,
+        // so downstream ranks work on earlier chunks while this rank
+        // eliminates later ones (the standard pipelined-Thomas overlap).
+        let nchunks = if upstream.is_some() || downstream.is_some() {
+            PIPELINE_CHUNKS.min(nlines.max(1))
+        } else {
+            1
+        };
+        let chunk_bounds = |ch: usize| -> (usize, usize) {
+            let lo = nlines * ch / nchunks;
+            let hi = nlines * (ch + 1) / nchunks;
+            (lo, hi)
+        };
+        let mut cp = vec![0.0f64; n * nlines * NVAR];
+
+        for ch in 0..nchunks {
+            let (clo, chi) = chunk_bounds(ch);
+            let chunk_lines = chi - clo;
+            let carries_in: Option<Vec<f64>> =
+                upstream.map(|_| comm.recv_line(block, dir, true, chunk_lines * 2 * NVAR));
+            let mut carries_out: Vec<f64> = Vec::new();
+            for li in clo..chi {
+                let mut prev_cp = [0.0f64; NVAR];
+                let mut prev_dp = [0.0f64; NVAR];
+                let mut have_prev = false;
+                if let Some(ci) = &carries_in {
+                    let base = (li - clo) * 2 * NVAR;
+                    prev_cp.copy_from_slice(&ci[base..base + NVAR]);
+                    prev_dp.copy_from_slice(&ci[base + NVAR..base + 2 * NVAR]);
+                    have_prev = true;
+                }
+                for c in 0..n {
+                    let p = node_at(li, c);
+                    let fm = frame_of(li, c as isize - 1);
+                    let f0 = frames[li * n + c];
+                    let fp = frame_of(li, c as isize + 1);
+                    let identity = block.iblank[p] != Blank::Field;
+                    let wnode = dq.node_mut(p);
+                    if identity {
+                        *wnode = [0.0; NVAR];
+                    }
+                    for v in 0..NVAR {
+                        let (a, b, cc) = if identity {
+                            (0.0, 1.0, 0.0)
+                        } else {
+                            (
+                                dt * (-0.5 * fm.lam[v] - BETA * fm.sigma),
+                                1.0 + 2.0 * BETA * dt * f0.sigma,
+                                dt * (0.5 * fp.lam[v] - BETA * fp.sigma),
+                            )
+                        };
+                        let (bp, num) = if have_prev {
+                            (b - a * prev_cp[v], wnode[v] - a * prev_dp[v])
+                        } else {
+                            (b, wnode[v])
+                        };
+                        let cpv = cc / bp;
+                        cp[(li * n + c) * NVAR + v] = cpv;
+                        wnode[v] = num / bp;
+                        prev_cp[v] = cpv;
+                        prev_dp[v] = wnode[v];
+                    }
+                    have_prev = true;
+                }
+                if downstream.is_some() {
+                    carries_out.extend_from_slice(&prev_cp);
+                    carries_out.extend_from_slice(&prev_dp);
+                }
+            }
+            // Charge this chunk's transform + elimination work before its
+            // carry message is stamped.
+            comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 7 / 10));
+            if downstream.is_some() {
+                comm.send_line(block, dir, true, carries_out);
+            }
+        }
+
+        // Back substitution, pipelined the same way (upstream direction).
+        for ch in 0..nchunks {
+            let (clo, chi) = chunk_bounds(ch);
+            let chunk_lines = chi - clo;
+            let x_down: Option<Vec<f64>> =
+                downstream.map(|_| comm.recv_line(block, dir, false, chunk_lines * NVAR));
+            let mut firsts: Vec<f64> = Vec::new();
+            for li in clo..chi {
+                if let Some(xd) = &x_down {
+                    let p = node_at(li, n - 1);
+                    let wnode = dq.node_mut(p);
+                    for v in 0..NVAR {
+                        wnode[v] -= cp[(li * n + n - 1) * NVAR + v] * xd[(li - clo) * NVAR + v];
+                    }
+                }
+                for c in (0..n - 1).rev() {
+                    let p = node_at(li, c);
+                    let next = *dq.node(node_at(li, c + 1));
+                    let wnode = dq.node_mut(p);
+                    for v in 0..NVAR {
+                        wnode[v] -= cp[(li * n + c) * NVAR + v] * next[v];
+                    }
+                }
+                if upstream.is_some() {
+                    firsts.extend_from_slice(dq.node(node_at(li, 0)));
+                }
+            }
+            comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 2 / 10));
+            if upstream.is_some() {
+                comm.send_line(block, dir, false, firsts);
+            }
+        }
+
+        // Transform back to conservative increments.
+        for li in 0..nlines {
+            for c in 0..n {
+                let p = node_at(li, c);
+                let f = frames[li * n + c];
+                let w = *dq.node(p);
+                dq.set_node(p, from_char(&f, &w));
+            }
+        }
+
+        let rest = (n * nlines) as u64
+            * (FLOPS_PER_NODE_PER_DIR - FLOPS_PER_NODE_PER_DIR * 7 / 10 - FLOPS_PER_NODE_PER_DIR * 2 / 10);
+        comm.compute(rest);
+        flops += (n * nlines) as u64 * FLOPS_PER_NODE_PER_DIR;
+    }
+    flops
+}
+
+/// Is the block part of an O-grid that wraps periodically in `i`?
+fn periodic_in_i(block: &Block) -> bool {
+    block.periodic_i_grid
+}
+
+/// Tridiagonal row for characteristic variable `v` at a node, from the
+/// frames of its `i∓1`, own, and `i±1` nodes.
+#[inline]
+fn row_abc(fm: &CharFrame, f0: &CharFrame, fp: &CharFrame, dt: f64, v: usize, identity: bool) -> (f64, f64, f64) {
+    if identity {
+        (0.0, 1.0, 0.0)
+    } else {
+        (
+            dt * (-0.5 * fm.lam[v] - BETA * fm.sigma),
+            1.0 + 2.0 * BETA * dt * f0.sigma,
+            dt * (0.5 * fp.lam[v] - BETA * fp.sigma),
+        )
+    }
+}
+
+/// Cyclic (periodic) implicit solve along `i` for an O-grid block, via the
+/// Sherman–Morrison splitting. The duplicated seam node (global `ni-1`) is
+/// excluded from the solve and set equal to node 0's solution afterwards.
+///
+/// Distributed form over the open rank chain: forward/backward pipelined
+/// elimination of *two* right-hand sides per characteristic field (the
+/// physical RHS `y` and the rank-one correction column `z`), then a third
+/// short sweep broadcasting the per-line correction factor.
+#[allow(clippy::too_many_arguments)]
+fn periodic_sweep_i(
+    block: &Block,
+    dt: f64,
+    dq: &mut StateField,
+    comm: &mut impl SolverComm,
+    lines: &[(usize, usize)],
+    n_own: usize,
+    frames: &[CharFrame],
+    ow: overset_grid::index::IndexBox,
+) -> u64 {
+    const DIR: usize = 0;
+    let nlines = lines.len();
+    let is_first = block.owned.lo.i == 0;
+    let is_last = block.owned.hi.i == block.grid_dims.ni;
+    // Exclude the duplicated seam node from the cyclic system.
+    let n = if is_last { n_own - 1 } else { n_own };
+    assert!(n >= 1);
+    let upstream = implicit_neighbor(block, DIR, false);
+    let downstream = implicit_neighbor(block, DIR, true);
+
+    let node_at = |li: usize, c: usize| -> Ijk {
+        let (c1, c2) = lines[li];
+        Ijk::new(ow.lo.i + c, c1, c2)
+    };
+    let frame_of = |li: usize, c: isize| -> CharFrame {
+        if c >= 0 && (c as usize) < n_own {
+            frames[li * n_own + c as usize]
+        } else {
+            let p0 = node_at(li, 0);
+            let base = (ow.lo.i as isize + c).max(0) as usize;
+            char_frame(block, Ijk::new(base, p0.j, p0.k), DIR)
+        }
+    };
+
+    let nchunks = if upstream.is_some() || downstream.is_some() {
+        PIPELINE_CHUNKS.min(nlines.max(1))
+    } else {
+        1
+    };
+    let chunk_bounds = |ch: usize| -> (usize, usize) {
+        (nlines * ch / nchunks, nlines * (ch + 1) / nchunks)
+    };
+
+    // Per-row storage: cp and the correction column z (y lives in dq).
+    let mut cp = vec![0.0f64; n * nlines * NVAR];
+    let mut z = vec![0.0f64; n * nlines * NVAR];
+    // Per-line S-M parameters (alpha, gamma per variable), valid on every
+    // rank after the forward pass (carried down the chain).
+    let mut alpha = vec![[0.0f64; NVAR]; nlines];
+    let mut gamma = vec![[0.0f64; NVAR]; nlines];
+
+    // ---- Forward elimination of y and z -------------------------------
+    for ch in 0..nchunks {
+        let (clo, chi) = chunk_bounds(ch);
+        let chunk_lines = chi - clo;
+        // Carry layout per line: cp[5], y[5], z[5], alpha[5], gamma[5].
+        let carries_in: Option<Vec<f64>> =
+            upstream.map(|_| comm.recv_line(block, DIR, true, chunk_lines * 5 * NVAR));
+        let mut carries_out: Vec<f64> = Vec::new();
+        for li in clo..chi {
+            let mut prev_cp = [0.0f64; NVAR];
+            let mut prev_y = [0.0f64; NVAR];
+            let mut prev_z = [0.0f64; NVAR];
+            let mut have_prev = false;
+            if let Some(ci) = &carries_in {
+                let base = (li - clo) * 5 * NVAR;
+                prev_cp.copy_from_slice(&ci[base..base + NVAR]);
+                prev_y.copy_from_slice(&ci[base + NVAR..base + 2 * NVAR]);
+                prev_z.copy_from_slice(&ci[base + 2 * NVAR..base + 3 * NVAR]);
+                alpha[li].copy_from_slice(&ci[base + 3 * NVAR..base + 4 * NVAR]);
+                gamma[li].copy_from_slice(&ci[base + 4 * NVAR..base + 5 * NVAR]);
+                have_prev = true;
+            }
+            for c in 0..n {
+                let p = node_at(li, c);
+                let fm = frame_of(li, c as isize - 1);
+                let f0 = frames[li * n_own + c];
+                let fp = frame_of(li, c as isize + 1);
+                let identity = block.iblank[p] != Blank::Field;
+                let wnode = dq.node_mut(p);
+                if identity {
+                    *wnode = [0.0; NVAR];
+                }
+                for v in 0..NVAR {
+                    let (a, mut b, cc) = row_abc(&fm, &f0, &fp, dt, v, identity);
+                    let mut u_rhs = 0.0;
+                    if is_first && c == 0 {
+                        // Corner entries of the cyclic system.
+                        gamma[li][v] = -b;
+                        alpha[li][v] = a;
+                        b -= gamma[li][v];
+                        u_rhs = gamma[li][v];
+                    }
+                    if is_last && c == n - 1 {
+                        // beta: coupling of the last row to node 0, through
+                        // the duplicated seam node's frame.
+                        let beta = cc;
+                        b -= alpha[li][v] * beta / gamma[li][v];
+                        u_rhs = beta;
+                    }
+                    let (bp, ynum, znum) = if have_prev {
+                        (
+                            b - a * prev_cp[v],
+                            wnode[v] - a * prev_y[v],
+                            u_rhs - a * prev_z[v],
+                        )
+                    } else {
+                        (b, wnode[v], u_rhs)
+                    };
+                    let cpv = cc / bp;
+                    cp[(li * n + c) * NVAR + v] = cpv;
+                    wnode[v] = ynum / bp;
+                    z[(li * n + c) * NVAR + v] = znum / bp;
+                    prev_cp[v] = cpv;
+                    prev_y[v] = wnode[v];
+                    prev_z[v] = z[(li * n + c) * NVAR + v];
+                }
+                have_prev = true;
+            }
+            if downstream.is_some() {
+                carries_out.extend_from_slice(&prev_cp);
+                carries_out.extend_from_slice(&prev_y);
+                carries_out.extend_from_slice(&prev_z);
+                carries_out.extend_from_slice(&alpha[li]);
+                carries_out.extend_from_slice(&gamma[li]);
+            }
+        }
+        comm.compute((n * chunk_lines) as u64 * FLOPS_PER_NODE_PER_DIR);
+        if downstream.is_some() {
+            comm.send_line(block, DIR, true, carries_out);
+        }
+    }
+
+    // ---- Back substitution of y and z ---------------------------------
+    // Per-line end values (y_last, z_last per var) travel upstream.
+    let mut y_last = vec![[0.0f64; NVAR]; nlines];
+    let mut z_last = vec![[0.0f64; NVAR]; nlines];
+    for ch in 0..nchunks {
+        let (clo, chi) = chunk_bounds(ch);
+        let chunk_lines = chi - clo;
+        // Carry layout per line: y_next[5], z_next[5], y_last[5], z_last[5].
+        let x_down: Option<Vec<f64>> =
+            downstream.map(|_| comm.recv_line(block, DIR, false, chunk_lines * 4 * NVAR));
+        let mut ups: Vec<f64> = Vec::new();
+        for li in clo..chi {
+            if let Some(xd) = &x_down {
+                let base = (li - clo) * 4 * NVAR;
+                let p = node_at(li, n - 1);
+                let row = (li * n + n - 1) * NVAR;
+                let wnode = dq.node_mut(p);
+                for v in 0..NVAR {
+                    wnode[v] -= cp[row + v] * xd[base + v];
+                    z[row + v] -= cp[row + v] * xd[base + NVAR + v];
+                }
+                y_last[li].copy_from_slice(&xd[base + 2 * NVAR..base + 3 * NVAR]);
+                z_last[li].copy_from_slice(&xd[base + 3 * NVAR..base + 4 * NVAR]);
+            } else {
+                // This rank owns the end of the chain: the last solved row.
+                let p = node_at(li, n - 1);
+                y_last[li] = *dq.node(p);
+                for v in 0..NVAR {
+                    z_last[li][v] = z[(li * n + n - 1) * NVAR + v];
+                }
+            }
+            for c in (0..n - 1).rev() {
+                let p = node_at(li, c);
+                let pn = node_at(li, c + 1);
+                let ynext = *dq.node(pn);
+                let row = (li * n + c) * NVAR;
+                let rown = (li * n + c + 1) * NVAR;
+                let wnode = dq.node_mut(p);
+                for v in 0..NVAR {
+                    wnode[v] -= cp[row + v] * ynext[v];
+                    z[row + v] -= cp[row + v] * z[rown + v];
+                }
+            }
+            if upstream.is_some() {
+                let p = node_at(li, 0);
+                ups.extend_from_slice(dq.node(p));
+                for v in 0..NVAR {
+                    ups.push(z[(li * n) * NVAR + v]);
+                }
+                ups.extend_from_slice(&y_last[li]);
+                ups.extend_from_slice(&z_last[li]);
+            }
+        }
+        comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR / 3));
+        if upstream.is_some() {
+            comm.send_line(block, DIR, false, ups);
+        }
+    }
+
+    // ---- Correction sweep ----------------------------------------------
+    // First rank computes fact and x0 per line/var; everyone applies
+    // x = y - fact z; the last rank also fixes the duplicated seam node.
+    for ch in 0..nchunks {
+        let (clo, chi) = chunk_bounds(ch);
+        let chunk_lines = chi - clo;
+        let mut fact = vec![[0.0f64; NVAR]; chunk_lines];
+        let mut x0 = vec![[0.0f64; NVAR]; chunk_lines];
+        if is_first {
+            for li in clo..chi {
+                let p0 = node_at(li, 0);
+                let y0 = *dq.node(p0);
+                for v in 0..NVAR {
+                    let z0 = z[(li * n) * NVAR + v];
+                    let g = gamma[li][v];
+                    let al = alpha[li][v];
+                    let denom = 1.0 + z0 + al * z_last[li][v] / g;
+                    let f = (y0[v] + al * y_last[li][v] / g) / denom;
+                    fact[li - clo][v] = f;
+                    x0[li - clo][v] = y0[v] - f * z0;
+                }
+            }
+        } else {
+            let data = comm.recv_line(block, DIR, true, chunk_lines * 2 * NVAR);
+            for l in 0..chunk_lines {
+                fact[l].copy_from_slice(&data[l * 2 * NVAR..l * 2 * NVAR + NVAR]);
+                x0[l].copy_from_slice(&data[l * 2 * NVAR + NVAR..(l + 1) * 2 * NVAR]);
+            }
+        }
+        for li in clo..chi {
+            for c in 0..n {
+                let p = node_at(li, c);
+                let row = (li * n + c) * NVAR;
+                let wnode = dq.node_mut(p);
+                for v in 0..NVAR {
+                    wnode[v] -= fact[li - clo][v] * z[row + v];
+                }
+            }
+            if is_last {
+                // Duplicated seam node mirrors node 0's solution.
+                let p = node_at(li, n);
+                dq.set_node(p, x0[li - clo]);
+            }
+        }
+        comm.compute((n * chunk_lines) as u64 * 4);
+        if downstream.is_some() {
+            let mut out = Vec::with_capacity(chunk_lines * 2 * NVAR);
+            for l in 0..chunk_lines {
+                out.extend_from_slice(&fact[l]);
+                out.extend_from_slice(&x0[l]);
+            }
+            comm.send_line(block, DIR, true, out);
+        }
+    }
+
+    (n * nlines) as u64 * FLOPS_PER_NODE_PER_DIR * 2
+}
+
+fn other_dirs(dir: usize) -> (usize, usize) {
+    match dir {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_grid::curvilinear::{CurvilinearGrid, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::Dims;
+
+    fn uniform_block(n: usize, fc: &FlowConditions) -> Block {
+        let d = Dims::new(n, n, n);
+        let coords = Field3::from_fn(d, |p| {
+            [p.i as f64 * 0.2, p.j as f64 * 0.2, p.k as f64 * 0.2]
+        });
+        let g = CurvilinearGrid::new("u", coords, GridKind::Background);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], fc)
+    }
+
+    #[test]
+    fn char_transform_roundtrip() {
+        let fc = FlowConditions::new(0.8, 5.0, 0.0);
+        let b = uniform_block(5, &fc);
+        let p = Ijk::new(3, 3, 3);
+        for dir in 0..3 {
+            let f = char_frame(&b, p, dir);
+            let dq = [0.1, -0.2, 0.05, 0.3, 0.7];
+            let w = to_char(&f, &dq);
+            let back = from_char(&f, &w);
+            for v in 0..NVAR {
+                assert!(
+                    (back[v] - dq[v]).abs() < 1e-12,
+                    "dir {dir} var {v}: {} vs {}",
+                    back[v],
+                    dq[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_ordered_and_consistent() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = uniform_block(5, &fc);
+        let f = char_frame(&b, Ijk::new(2, 2, 2), 0);
+        assert!(f.lam[3] > f.lam[0]);
+        assert!(f.lam[4] < f.lam[0]);
+        assert!((f.lam[0] - (f.lam[3] + f.lam[4]) / 2.0).abs() < 1e-12);
+        assert!((f.sigma - f.lam[3].abs().max(f.lam[4].abs())).abs() < 1e-12);
+        // Orthonormal frame.
+        let dot = |a: [f64; 3], b: [f64; 3]| a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+        assert!(dot(f.k, f.t1).abs() < 1e-12);
+        assert!(dot(f.k, f.t2).abs() < 1e-12);
+        assert!(dot(f.t1, f.t2).abs() < 1e-12);
+        assert!((dot(f.t1, f.t1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_update() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = uniform_block(7, &fc);
+        let mut dq = StateField::new(b.local_dims);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        for v in dq.as_slice() {
+            assert!(v.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sweeps_damp_but_preserve_sign() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = uniform_block(7, &fc);
+        let mut dq = StateField::new(b.local_dims);
+        let c = Ijk::new(3, 3, 3);
+        dq.set_node(c, [1.0, 0.0, 0.0, 0.0, 0.0]);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        let v = dq.node(c)[0];
+        assert!(v > 0.0 && v < 1.0, "center update {v}");
+    }
+
+    #[test]
+    fn blanked_rows_stay_zero() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let mut b = uniform_block(7, &fc);
+        let hole = Ijk::new(3, 3, 3);
+        b.iblank[hole] = Blank::Hole;
+        let mut dq = StateField::new(b.local_dims);
+        dq.set_node(hole, [5.0; 5]); // must be zeroed by the identity row
+        dq.set_node(Ijk::new(4, 3, 3), [1.0, 0.0, 0.0, 0.0, 0.0]);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        assert_eq!(*dq.node(hole), [0.0; 5]);
+        assert!(dq.node(Ijk::new(4, 3, 3))[0] != 0.0);
+    }
+
+    #[test]
+    fn implicit_neighbor_excludes_wrap_links() {
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let d = Dims::new(9, 5, 1);
+        let coords = Field3::from_fn(d, |p| {
+            let th = -2.0 * std::f64::consts::PI * (p.i % 8) as f64 / 8.0;
+            let r = 1.0 + 0.1 * p.j as f64;
+            [r * th.cos(), r * th.sin(), 0.0]
+        });
+        let mut g = CurvilinearGrid::new("o", coords, GridKind::NearBody);
+        g.periodic_i = true;
+        // Whole grid on one rank, wrap neighbors pointing at itself.
+        let b = Block::from_grid(0, &g, d.full_box(), [Some(0), Some(0), None, None, None, None], &fc);
+        assert!(implicit_neighbor(&b, 0, false).is_none());
+        assert!(implicit_neighbor(&b, 0, true).is_none());
+    }
+
+    #[test]
+    fn cyclic_solve_satisfies_periodic_system() {
+        // Annular O-grid, single block: run the sweeps and verify that the
+        // i-direction solve satisfies the full *cyclic* tridiagonal system
+        // (seam coupling implicit).
+        let mut fc = FlowConditions::new(0.5, 0.0, 0.0);
+        fc.dt = 0.1;
+        let (nth, nr) = (17usize, 5);
+        let d = Dims::new(nth, nr, 1);
+        let coords = Field3::from_fn(d, |p| {
+            let th = -2.0 * std::f64::consts::PI * (p.i % (nth - 1)) as f64 / (nth - 1) as f64;
+            let r = 1.0 + 0.3 * p.j as f64;
+            [r * th.cos(), r * th.sin(), 0.0]
+        });
+        let mut g = CurvilinearGrid::new("o", coords, GridKind::NearBody);
+        g.periodic_i = true;
+        let mut b = Block::from_grid(0, &g, d.full_box(), [None; 6], &fc);
+        // Mildly non-uniform state so eigenvalues vary along the line.
+        for p in b.local_dims.iter().collect::<Vec<_>>() {
+            let x = b.coords[p];
+            let prim = [1.0 + 0.05 * x[0], 0.3 + 0.02 * x[1], 0.1 * x[0], 0.0, 0.8];
+            b.q.set_node(p, crate::conditions::conservatives(&prim));
+        }
+        b.fill_self_wrap();
+
+        // RHS: pseudo-random but deterministic.
+        let mut rhs = StateField::new(b.local_dims);
+        let ow = b.owned_local();
+        for p in ow.iter().collect::<Vec<_>>() {
+            let g = b.to_global(p);
+            let v = ((g.i * 37 + g.j * 17) % 19) as f64 / 19.0 - 0.5;
+            rhs.set_node(p, [v, 0.5 * v, -v, 0.2, v * v]);
+        }
+        let mut dq = rhs.clone();
+
+        // Run ONLY the i-direction sweep by constructing the same machinery:
+        // easiest is to call implicit_sweeps on a j-degenerate... instead we
+        // replicate: transform to char, call periodic_sweep_i, transform back
+        // is internal to implicit_sweeps; here we call implicit_sweeps and
+        // then verify only the i-sweep result cannot be isolated. So verify
+        // the pure solve at the characteristic level directly.
+        let n_own = ow.dims().ni;
+        let np = n_own - 1; // unknowns per cyclic line
+        let nlines = ow.dims().nj;
+        let mut lines = Vec::new();
+        for c2 in ow.lo.k..ow.hi.k {
+            for c1 in ow.lo.j..ow.hi.j {
+                lines.push((c1, c2));
+            }
+        }
+        // Transform rhs to characteristic variables (as implicit_sweeps does).
+        let mut frames = Vec::new();
+        for li in 0..nlines {
+            for c in 0..n_own {
+                let p = Ijk::new(ow.lo.i + c, lines[li].0, lines[li].1);
+                let f = char_frame(&b, p, 0);
+                let w = to_char(&f, dq.node(p));
+                dq.set_node(p, w);
+                frames.push(f);
+            }
+        }
+        let rhs_char = dq.clone();
+        periodic_sweep_i(&b, fc.dt, &mut dq, &mut SerialComm, &lines, n_own, &frames, ow);
+
+        // Verify A x = rhs for each line and variable, with A the cyclic
+        // tridiagonal built from the same row coefficients.
+        for li in 0..nlines {
+            let node = |c: usize| Ijk::new(ow.lo.i + c, lines[li].0, lines[li].1);
+            let frame_at = |c: isize| -> CharFrame {
+                if c < 0 {
+                    char_frame(&b, Ijk::new(ow.lo.i - 1, lines[li].0, lines[li].1), 0)
+                } else {
+                    frames[li * n_own + c as usize]
+                }
+            };
+            for v in 0..NVAR {
+                for c in 0..np {
+                    let fm = frame_at(c as isize - 1);
+                    let f0 = frames[li * n_own + c];
+                    let fp = frame_at(c as isize + 1);
+                    let (a, bb, cc) = row_abc(&fm, &f0, &fp, fc.dt, v, false);
+                    let xm = dq.node(node(if c == 0 { np - 1 } else { c - 1 }))[v];
+                    let x0 = dq.node(node(c))[v];
+                    let xp = dq.node(node(if c + 1 == np { 0 } else { c + 1 }))[v];
+                    let lhs = a * xm + bb * x0 + cc * xp;
+                    let r = rhs_char.node(node(c))[v];
+                    assert!(
+                        (lhs - r).abs() < 1e-9 * (1.0 + r.abs()),
+                        "line {li} var {v} row {c}: {lhs} vs {r}"
+                    );
+                }
+                // Seam duplicate mirrors node 0.
+                let dup = dq.node(node(np))[v];
+                let x0 = dq.node(node(0))[v];
+                assert!((dup - x0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_dt_damps_more() {
+        let mut fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = uniform_block(7, &fc);
+        let c = Ijk::new(3, 3, 3);
+        let run = |fc: &FlowConditions| -> f64 {
+            let mut dq = StateField::new(b.local_dims);
+            dq.set_node(c, [1.0, 0.0, 0.0, 0.0, 0.0]);
+            implicit_sweeps(&b, fc, &mut dq, &mut SerialComm);
+            dq.node(c)[0]
+        };
+        fc.dt = 0.05;
+        let small = run(&fc);
+        fc.dt = 0.5;
+        let large = run(&fc);
+        assert!(large < small, "dt damping: {large} !< {small}");
+    }
+}

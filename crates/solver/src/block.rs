@@ -1,0 +1,556 @@
+//! Subdomain blocks: the per-rank piece of a component grid, with halo
+//! (ghost) layers at subdomain interfaces and periodic wraps.
+//!
+//! A block stores only its owned node box plus `HALO` ghost layers; the full
+//! grid is never replicated per rank (each rank extracts its local geometry
+//! from the shared setup grid). Halo layers are filled by message exchange
+//! (or in-place for a self-periodic wrap) before each residual evaluation.
+
+use crate::conditions::FlowConditions;
+use overset_grid::curvilinear::{BcKind, CurvilinearGrid, Face};
+use overset_grid::field::{Field3, StateField, NVAR};
+use overset_grid::metrics::{metric_at, Metric, MetricField};
+use overset_grid::index::{Dims, Ijk, IndexBox};
+use overset_grid::transform::RigidTransform;
+
+/// Halo width (2 layers: enough for the 4th-difference dissipation stencil).
+pub const HALO: usize = 2;
+
+/// Node blanking state (Chimera iblank convention).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Blank {
+    /// Hole point: inside a solid body cut from this grid; not solved.
+    Hole,
+    /// Normal field point: updated by the flow solver.
+    Field,
+    /// Fringe / inter-grid boundary point: value imposed by interpolation.
+    Fringe,
+}
+
+/// The per-rank block of one component grid.
+pub struct Block {
+    /// Which component grid this block belongs to.
+    pub grid_id: usize,
+    /// Owned node box in the parent grid's index space.
+    pub owned: IndexBox,
+    /// Parent grid dimensions.
+    pub grid_dims: Dims,
+    /// Local storage dimensions (owned + halo all around, except in
+    /// degenerate directions).
+    pub local_dims: Dims,
+    /// Halo width per direction (0 for degenerate 2-D direction).
+    pub halo: [usize; 3],
+    /// Node coordinates (local, including halo where geometry exists).
+    pub coords: Field3<[f64; 3]>,
+    /// Metric terms (local).
+    pub metrics: MetricField,
+    /// Conserved state (local).
+    pub q: StateField,
+    /// Node blanking (local).
+    pub iblank: Field3<Blank>,
+    /// Grid velocity at nodes (for moving grids), local.
+    pub grid_vel: Field3<[f64; 3]>,
+    /// Turbulent eddy viscosity at nodes (Baldwin–Lomax), local.
+    pub mu_t: Field3<f64>,
+    /// Interface neighbor rank per face (IMin, IMax, JMin, JMax, KMin, KMax);
+    /// `None` at physical boundaries.
+    pub neighbor: [Option<usize>; 6],
+    /// The parent grid wraps periodically in `i` (every block of the grid,
+    /// including interior ones, needs to know for the cyclic line solves).
+    pub periodic_i_grid: bool,
+    /// The grid wraps periodically in `i` and this block spans all of `i`
+    /// (wrap handled locally instead of via messages).
+    pub self_wrap_i: bool,
+    /// Physical BC on each face when the block touches it.
+    pub face_bc: [Option<BcKind>; 6],
+    /// Viscous terms active.
+    pub viscous: bool,
+    /// Baldwin–Lomax active.
+    pub turbulent: bool,
+    /// 2-D (single k-plane) block.
+    pub two_d: bool,
+}
+
+impl Block {
+    /// Build a block for `owned` within `grid`, initialized to freestream.
+    /// `neighbor[f]` gives the rank owning the adjacent subdomain across
+    /// face `f`, if any.
+    pub fn from_grid(
+        grid_id: usize,
+        grid: &CurvilinearGrid,
+        owned: IndexBox,
+        neighbor: [Option<usize>; 6],
+        fc: &FlowConditions,
+    ) -> Block {
+        let gd = grid.dims();
+        let two_d = gd.is_two_d();
+        let halo = [HALO, HALO, if two_d { 0 } else { HALO }];
+        let od = owned.dims();
+        let local_dims = Dims::new(
+            od.ni + 2 * halo[0],
+            od.nj + 2 * halo[1],
+            od.nk + 2 * halo[2],
+        );
+
+        // Geometry: copy from the parent grid where the (possibly wrapped)
+        // global node exists; *linearly extrapolate* past physical grid
+        // edges. Extrapolation (rather than clamping) matters: with
+        // x(-1) = 2x(0) - x(1), the central coordinate difference at a
+        // boundary node equals the one-sided difference the grid-level
+        // metric routine would use, so boundary metrics stay exact.
+        let wrap = grid.periodic_i;
+        let coords = Field3::from_fn(local_dims, |l: Ijk| {
+            let (g, over) = Self::local_to_global_over(l, owned, halo, gd, wrap);
+            let mut x = grid.coords[g];
+            for (dir, &ov) in over.iter().enumerate() {
+                if ov == 0 {
+                    continue;
+                }
+                // Edge slope along `dir` at the clamped node.
+                let n = gd.get(dir);
+                if n < 2 {
+                    continue;
+                }
+                let (a, b) = if ov < 0 {
+                    (g, Ijk::new(g.i + usize::from(dir == 0), g.j + usize::from(dir == 1), g.k + usize::from(dir == 2)))
+                } else {
+                    (
+                        Ijk::new(g.i - usize::from(dir == 0), g.j - usize::from(dir == 1), g.k - usize::from(dir == 2)),
+                        g,
+                    )
+                };
+                let (xa, xb) = (grid.coords[a], grid.coords[b]);
+                let slope = [xb[0] - xa[0], xb[1] - xa[1], xb[2] - xa[2]];
+                for t in 0..3 {
+                    x[t] += ov as f64 * slope[t];
+                }
+            }
+            x
+        });
+
+        let mut block = Block {
+            grid_id,
+            owned,
+            grid_dims: gd,
+            local_dims,
+            halo,
+            metrics: Field3::new(
+                local_dims,
+                Metric { xi: [0.0; 3], eta: [0.0; 3], zeta: [0.0; 3], jac: 1.0 },
+            ),
+            q: StateField::new(local_dims),
+            iblank: Field3::new(local_dims, Blank::Field),
+            grid_vel: Field3::new(local_dims, [0.0; 3]),
+            mu_t: Field3::new(local_dims, 0.0),
+            neighbor,
+            periodic_i_grid: wrap,
+            self_wrap_i: wrap && owned.dims().ni == gd.ni,
+            face_bc: Self::face_bcs(grid, owned),
+            viscous: grid.viscous,
+            turbulent: grid.turbulent,
+            two_d,
+            coords,
+        };
+        block.q.fill_uniform(fc.freestream());
+        block.recompute_metrics();
+        block
+    }
+
+    fn face_bcs(grid: &CurvilinearGrid, owned: IndexBox) -> [Option<BcKind>; 6] {
+        let gd = grid.dims();
+        let mut out = [None; 6];
+        for (fi, face) in Face::ALL.iter().enumerate() {
+            let touches = if face.is_min() {
+                owned.lo.get(face.dir()) == 0
+            } else {
+                owned.hi.get(face.dir()) == gd.get(face.dir())
+            };
+            if touches {
+                out[fi] = grid.patch_on(*face);
+            }
+        }
+        out
+    }
+
+    /// Map a local (halo-inclusive) index to the parent-grid node it mirrors
+    /// plus the per-direction overshoot past the grid edge (negative = below
+    /// the min edge), used for linear extrapolation of halo geometry.
+    fn local_to_global_over(
+        l: Ijk,
+        owned: IndexBox,
+        halo: [usize; 3],
+        gd: Dims,
+        wrap_i: bool,
+    ) -> (Ijk, [isize; 3]) {
+        let map1 = |lc: usize, lo: usize, h: usize, n: usize, wrap: bool| -> (usize, isize) {
+            let g = lc as isize + lo as isize - h as isize;
+            if wrap && n > 1 {
+                // O-grid: node n-1 duplicates node 0; period is n-1.
+                let m = (n - 1) as isize;
+                ((((g % m) + m) % m) as usize, 0)
+            } else {
+                let c = g.clamp(0, n as isize - 1);
+                (c as usize, g - c)
+            }
+        };
+        let (i, oi) = map1(l.i, owned.lo.i, halo[0], gd.ni, wrap_i);
+        let (j, oj) = map1(l.j, owned.lo.j, halo[1], gd.nj, false);
+        let (k, ok) = map1(l.k, owned.lo.k, halo[2], gd.nk, false);
+        (Ijk::new(i, j, k), [oi, oj, ok])
+    }
+
+    /// Local index of a global (parent-grid) node.
+    #[inline]
+    pub fn to_local(&self, g: Ijk) -> Ijk {
+        Ijk::new(
+            g.i + self.halo[0] - self.owned.lo.i,
+            g.j + self.halo[1] - self.owned.lo.j,
+            g.k + self.halo[2] - self.owned.lo.k,
+        )
+    }
+
+    /// Global node of a local index (no wrap adjustment; owned region only).
+    #[inline]
+    pub fn to_global(&self, l: Ijk) -> Ijk {
+        Ijk::new(
+            l.i + self.owned.lo.i - self.halo[0],
+            l.j + self.owned.lo.j - self.halo[1],
+            l.k + self.owned.lo.k - self.halo[2],
+        )
+    }
+
+    /// Local box of owned (non-halo) nodes.
+    pub fn owned_local(&self) -> IndexBox {
+        let d = self.owned.dims();
+        IndexBox::new(
+            Ijk::new(self.halo[0], self.halo[1], self.halo[2]),
+            Ijk::new(self.halo[0] + d.ni, self.halo[1] + d.nj, self.halo[2] + d.nk),
+        )
+    }
+
+    /// Number of owned nodes.
+    pub fn owned_count(&self) -> usize {
+        self.owned.count()
+    }
+
+    /// Recompute metric terms from current coordinates (after grid motion).
+    pub fn recompute_metrics(&mut self) {
+        // Metrics via a lightweight grid view over local coords.
+        let tmp = CurvilinearGrid::new(
+            "block",
+            self.coords.clone(),
+            overset_grid::curvilinear::GridKind::NearBody,
+        );
+        // Periodicity is irrelevant here: halo layers carry real wrapped
+        // geometry, so one-sided differences never straddle the seam.
+        // Halo nodes past a physical boundary have clamped (duplicate)
+        // coordinates and hence degenerate metrics; they are never used by
+        // any stencil, so replace them with a benign identity metric.
+        self.metrics = Field3::from_fn(self.local_dims, |p| {
+            let m = metric_at(&tmp, p);
+            if m.jac.is_finite() {
+                m
+            } else {
+                Metric { xi: [0.0; 3], eta: [0.0; 3], zeta: [0.0; 3], jac: 1.0 }
+            }
+        });
+    }
+
+    /// Apply a rigid motion to the block geometry (and set grid velocities
+    /// for the ALE fluxes), then refresh metrics.
+    pub fn apply_motion(&mut self, t: &RigidTransform, dt: f64) {
+        for (p, v) in self
+            .coords
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grid_vel.as_mut_slice().iter_mut())
+        {
+            let old = *p;
+            *p = t.apply(old);
+            *v = [(p[0] - old[0]) / dt, (p[1] - old[1]) / dt, (p[2] - old[2]) / dt];
+        }
+        self.recompute_metrics();
+    }
+
+    /// Apply a cumulative geometry transform without setting grid
+    /// velocities (used when rebuilding blocks after repartitioning: the
+    /// base grid is at its t=0 pose, the cumulative motion brings it to the
+    /// current pose).
+    pub fn set_geometry_transform(&mut self, t: &RigidTransform) {
+        for p in self.coords.as_mut_slice() {
+            *p = t.apply(*p);
+        }
+        for v in self.grid_vel.as_mut_slice() {
+            *v = [0.0; 3];
+        }
+        self.recompute_metrics();
+    }
+
+    /// Set grid velocities consistent with `t` having been the last motion
+    /// step (the block's geometry is already at the post-`t` pose): the
+    /// node velocity is `(x - t⁻¹x) / dt`. Used after repartitioning, where
+    /// blocks are rebuilt at the current pose but must keep the ALE state.
+    pub fn set_grid_velocity_from(&mut self, t: &RigidTransform, dt: f64) {
+        let inv = t.inverse();
+        for (x, v) in self
+            .coords
+            .as_slice()
+            .iter()
+            .zip(self.grid_vel.as_mut_slice().iter_mut())
+        {
+            let old = inv.apply(*x);
+            *v = [(x[0] - old[0]) / dt, (x[1] - old[1]) / dt, (x[2] - old[2]) / dt];
+        }
+    }
+
+    /// Pack `width` owned layers adjacent to `face` (for halo exchange),
+    /// states only, in deterministic layout order.
+    pub fn pack_face(&self, face: usize, width: usize) -> Vec<f64> {
+        let b = self.layer_box(face, width, false);
+        let mut out = Vec::with_capacity(b.count() * NVAR);
+        for p in b.iter() {
+            out.extend_from_slice(self.q.node(p));
+        }
+        out
+    }
+
+    /// Unpack halo layers beyond `face` from a neighbor's packed data.
+    pub fn unpack_face(&mut self, face: usize, width: usize, data: &[f64]) {
+        let b = self.layer_box(face, width, true);
+        assert_eq!(data.len(), b.count() * NVAR, "halo size mismatch on face {face}");
+        for (idx, p) in b.iter().enumerate() {
+            let s: [f64; NVAR] = data[idx * NVAR..(idx + 1) * NVAR].try_into().unwrap();
+            self.q.set_node(p, s);
+        }
+    }
+
+    /// Pack the states of an arbitrary local box (layout order).
+    pub fn pack_box(&self, b: IndexBox) -> Vec<f64> {
+        let mut out = Vec::with_capacity(b.count() * NVAR);
+        for p in b.iter() {
+            out.extend_from_slice(self.q.node(p));
+        }
+        out
+    }
+
+    /// Unpack states into an arbitrary local box (layout order).
+    pub fn unpack_box(&mut self, b: IndexBox, data: &[f64]) {
+        assert_eq!(data.len(), b.count() * NVAR, "box unpack size mismatch");
+        for (idx, p) in b.iter().enumerate() {
+            let s: [f64; NVAR] = data[idx * NVAR..(idx + 1) * NVAR].try_into().unwrap();
+            self.q.set_node(p, s);
+        }
+    }
+
+    /// The local box of `width` layers at `face`: owned layers (`halo_side
+    /// = false`) or ghost layers just outside (`halo_side = true`).
+    pub fn layer_box(&self, face: usize, width: usize, halo_side: bool) -> IndexBox {
+        let ow = self.owned_local();
+        let dir = face / 2;
+        let is_min = face % 2 == 0;
+        let (mut lo, mut hi) = (ow.lo, ow.hi);
+        if is_min {
+            if halo_side {
+                hi.set(dir, ow.lo.get(dir));
+                lo.set(dir, ow.lo.get(dir) - width);
+            } else {
+                hi.set(dir, ow.lo.get(dir) + width);
+            }
+        } else if halo_side {
+            lo.set(dir, ow.hi.get(dir));
+            hi.set(dir, ow.hi.get(dir) + width);
+        } else {
+            lo.set(dir, ow.hi.get(dir) - width);
+        }
+        IndexBox::new(lo, hi)
+    }
+
+    /// Fill the periodic wrap halo in `i` from this block's own data (only
+    /// valid when `self_wrap_i`). The parent O-grid duplicates node `ni-1`
+    /// over node 0, so the period is `ni-1`.
+    pub fn fill_self_wrap(&mut self) {
+        assert!(self.self_wrap_i);
+        let ow = self.owned_local();
+        let ni = self.owned.dims().ni;
+        let period = ni - 1;
+        let h = self.halo[0];
+        for k in ow.lo.k..ow.hi.k {
+            for j in ow.lo.j..ow.hi.j {
+                for layer in 1..=h {
+                    // Ghost left of i=0 mirrors i = period - layer.
+                    let src = Ijk::new(ow.lo.i + period - layer, j, k);
+                    let dst = Ijk::new(ow.lo.i - layer, j, k);
+                    let v = *self.q.node(src);
+                    self.q.set_node(dst, v);
+                    // Ghost right of i=ni-1 mirrors i = layer (past the seam).
+                    let src = Ijk::new(ow.lo.i + layer, j, k);
+                    let dst = Ijk::new(ow.lo.i + period + layer, j, k);
+                    let v = *self.q.node(src);
+                    self.q.set_node(dst, v);
+                }
+                // The duplicated seam node ni-1 must mirror node 0.
+                let v = *self.q.node(Ijk::new(ow.lo.i, j, k));
+                self.q.set_node(Ijk::new(ow.lo.i + period, j, k), v);
+            }
+        }
+    }
+
+    /// Active sweep directions (2-D blocks skip ζ).
+    pub fn active_dirs(&self) -> &'static [usize] {
+        if self.two_d {
+            &[0, 1]
+        } else {
+            &[0, 1, 2]
+        }
+    }
+
+    /// Memory footprint of the block's hot arrays (for the cache model).
+    pub fn working_set_bytes(&self) -> f64 {
+        let n = self.local_dims.count() as f64;
+        // q (5) + metrics (10) + coords (3) + velocities (3) + rhs scratch (5)
+        n * 8.0 * 26.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overset_grid::curvilinear::GridKind;
+
+    fn test_grid(ni: usize, nj: usize, nk: usize) -> CurvilinearGrid {
+        let d = Dims::new(ni, nj, nk);
+        let coords = Field3::from_fn(d, |p| {
+            [p.i as f64 * 0.1, p.j as f64 * 0.1, p.k as f64 * 0.1]
+        });
+        CurvilinearGrid::new("t", coords, GridKind::Background)
+    }
+
+    fn fc() -> FlowConditions {
+        FlowConditions::new(0.8, 0.0, 0.0)
+    }
+
+    #[test]
+    fn block_local_global_roundtrip() {
+        let g = test_grid(12, 10, 8);
+        let owned = IndexBox::new(Ijk::new(4, 0, 2), Ijk::new(8, 5, 6));
+        let b = Block::from_grid(0, &g, owned, [None; 6], &fc());
+        for gp in owned.iter() {
+            let l = b.to_local(gp);
+            assert!(b.owned_local().contains(l));
+            assert_eq!(b.to_global(l), gp);
+            assert_eq!(b.coords[l], g.coords[gp]);
+        }
+    }
+
+    #[test]
+    fn halo_geometry_matches_parent_at_interfaces() {
+        let g = test_grid(12, 10, 8);
+        let owned = IndexBox::new(Ijk::new(4, 2, 2), Ijk::new(8, 8, 6));
+        let b = Block::from_grid(0, &g, owned, [None; 6], &fc());
+        // Interior halo node one layer left of owned in i.
+        let gp = Ijk::new(3, 4, 4);
+        assert_eq!(b.coords[b.to_local(gp)], g.coords[gp]);
+    }
+
+    #[test]
+    fn two_d_block_has_no_k_halo() {
+        let g = test_grid(10, 10, 1);
+        let b = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+        assert_eq!(b.halo, [2, 2, 0]);
+        assert_eq!(b.local_dims.nk, 1);
+        assert_eq!(b.active_dirs(), &[0, 1]);
+    }
+
+    #[test]
+    fn pack_unpack_are_inverse_shapes() {
+        let g = test_grid(10, 8, 6);
+        let owned = IndexBox::new(Ijk::new(0, 0, 0), Ijk::new(5, 8, 6));
+        let mut a = Block::from_grid(0, &g, owned, [None, Some(1), None, None, None, None], &fc());
+        let owned_b = IndexBox::new(Ijk::new(5, 0, 0), Ijk::new(10, 8, 6));
+        let mut b = Block::from_grid(0, &g, owned_b, [Some(0), None, None, None, None, None], &fc());
+
+        // Mark a's rightmost owned layers with a recognizable state.
+        for p in a.layer_box(1, HALO, false).iter() {
+            let gp = a.to_global(p);
+            a.q.set_node(p, [gp.i as f64, gp.j as f64, gp.k as f64, 0.0, 1.0]);
+        }
+        let data = a.pack_face(1, HALO);
+        b.unpack_face(0, HALO, &data);
+        // b's ghost layer left of its owned region matches a's owned nodes.
+        for p in b.layer_box(0, HALO, true).iter() {
+            let gp = b.to_global(p);
+            let got = b.q.node(p);
+            assert_eq!(got[0], gp.i as f64, "at {gp:?}");
+            assert_eq!(got[1], gp.j as f64);
+        }
+    }
+
+    #[test]
+    fn face_bc_detection() {
+        let mut g = test_grid(10, 8, 1);
+        g.patches = vec![
+            overset_grid::curvilinear::BoundaryPatch { face: Face::JMin, kind: BcKind::Wall { viscous: true } },
+            overset_grid::curvilinear::BoundaryPatch { face: Face::JMax, kind: BcKind::Farfield },
+        ];
+        // A block touching JMin but not JMax.
+        let owned = IndexBox::new(Ijk::new(0, 0, 0), Ijk::new(10, 4, 1));
+        let b = Block::from_grid(0, &g, owned, [None; 6], &fc());
+        assert_eq!(b.face_bc[2], Some(BcKind::Wall { viscous: true }));
+        assert_eq!(b.face_bc[3], None);
+        assert_eq!(b.face_bc[0], None);
+    }
+
+    #[test]
+    fn self_wrap_fills_ghosts() {
+        let mut g = test_grid(9, 5, 1);
+        g.periodic_i = true;
+        let mut b = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+        assert!(b.self_wrap_i);
+        // Tag owned nodes by global i.
+        let ow = b.owned_local();
+        for p in ow.iter() {
+            let gp = b.to_global(p);
+            b.q.set_node(p, [gp.i as f64, 0.0, 0.0, 0.0, 1.0]);
+        }
+        b.fill_self_wrap();
+        let j = ow.lo.j;
+        // Ghost at local i = ow.lo.i - 1 should mirror global i = 7 (period 8).
+        let ghost = b.q.node(Ijk::new(ow.lo.i - 1, j, 0));
+        assert_eq!(ghost[0], 7.0);
+        let ghost2 = b.q.node(Ijk::new(ow.lo.i - 2, j, 0));
+        assert_eq!(ghost2[0], 6.0);
+        // Ghost past the seam mirrors i = 1.
+        let ghost3 = b.q.node(Ijk::new(ow.lo.i + 9, j, 0));
+        assert_eq!(ghost3[0], 1.0);
+        // Seam duplicate mirrors i = 0.
+        let seam = b.q.node(Ijk::new(ow.lo.i + 8, j, 0));
+        assert_eq!(seam[0], 0.0);
+    }
+
+    #[test]
+    fn apply_motion_moves_coords_and_sets_velocity() {
+        let g = test_grid(6, 6, 1);
+        let mut b = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+        let t = RigidTransform::translation([0.3, 0.0, 0.0]);
+        let before = b.coords[Ijk::new(3, 3, 0)];
+        b.apply_motion(&t, 0.1);
+        let after = b.coords[Ijk::new(3, 3, 0)];
+        assert!((after[0] - before[0] - 0.3).abs() < 1e-12);
+        let v = b.grid_vel[Ijk::new(3, 3, 0)];
+        assert!((v[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_scales_with_block_size() {
+        let g = test_grid(20, 20, 1);
+        let whole = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+        let half = Block::from_grid(
+            0,
+            &g,
+            IndexBox::new(Ijk::new(0, 0, 0), Ijk::new(10, 20, 1)),
+            [None; 6],
+            &fc(),
+        );
+        assert!(whole.working_set_bytes() > 1.5 * half.working_set_bytes());
+    }
+}

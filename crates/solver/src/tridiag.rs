@@ -1,0 +1,268 @@
+//! Tridiagonal line solvers for the approximate-factorization scheme.
+//!
+//! Three variants:
+//!
+//! * [`solve`] — the Thomas algorithm for an open line,
+//! * [`solve_periodic`] — Sherman–Morrison wrap-around for O-grid lines,
+//! * [`forward_segment`] / [`backward_segment`] — the *pipelined distributed*
+//!   Thomas used when an implicit line crosses subdomain boundaries: the
+//!   upstream rank eliminates its segment and hands the boundary-coupling
+//!   coefficients to the downstream rank (2 numbers per line forward, 1 back).
+//!   This is how implicitness is maintained across subdomains so that
+//!   "solution convergence characteristics remain unchanged with different
+//!   numbers of processors" (Section 2.1 of the paper).
+
+/// Solve `a[i] x[i-1] + b[i] x[i] + c[i] x[i+1] = d[i]` in place; the answer
+/// lands in `d`. `a[0]` and `c[n-1]` are ignored.
+pub fn solve(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    let n = d.len();
+    assert!(n >= 1 && a.len() == n && b.len() == n && c.len() == n);
+    let mut cp = vec![0.0f64; n];
+    let mut bp = b[0];
+    assert!(bp != 0.0);
+    cp[0] = c[0] / bp;
+    d[0] /= bp;
+    for i in 1..n {
+        bp = b[i] - a[i] * cp[i - 1];
+        cp[i] = c[i] / bp;
+        d[i] = (d[i] - a[i] * d[i - 1]) / bp;
+    }
+    for i in (0..n - 1).rev() {
+        d[i] -= cp[i] * d[i + 1];
+    }
+}
+
+/// Solve a periodic tridiagonal system (wrap coupling `a[0] x[n-1]` and
+/// `c[n-1] x[0]`) via the Sherman–Morrison formula. `n >= 3` required.
+pub fn solve_periodic(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    let n = d.len();
+    assert!(n >= 3);
+    let alpha = a[0];
+    let beta = c[n - 1];
+    let gamma = -b[0];
+
+    // Modified diagonal.
+    let mut bb: Vec<f64> = b.to_vec();
+    bb[0] = b[0] - gamma;
+    bb[n - 1] = b[n - 1] - alpha * beta / gamma;
+
+    // Solve A' y = d.
+    solve(a, &bb, c, d);
+
+    // Solve A' z = u, u = (gamma, 0, ..., 0, beta).
+    let mut z = vec![0.0f64; n];
+    z[0] = gamma;
+    z[n - 1] = beta;
+    solve(a, &bb, c, &mut z);
+
+    let fact = (d[0] + a[0] * d[n - 1] / gamma) / (1.0 + z[0] + a[0] * z[n - 1] / gamma);
+    for i in 0..n {
+        d[i] -= fact * z[i];
+    }
+}
+
+/// State carried across a subdomain boundary during the forward sweep of a
+/// pipelined distributed Thomas solve: the normalized super-diagonal and RHS
+/// of the last row of the upstream segment.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ForwardCarry {
+    pub cp: f64,
+    pub dp: f64,
+}
+
+/// Forward-eliminate one segment of a distributed line. `carry_in` is the
+/// upstream boundary state (`None` when this rank owns the start of the
+/// line). On return `d` and `cp_out` hold the segment's normalized
+/// coefficients for back substitution, and the returned carry feeds the next
+/// (downstream) rank.
+pub fn forward_segment(
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    d: &mut [f64],
+    cp_out: &mut [f64],
+    carry_in: Option<ForwardCarry>,
+) -> ForwardCarry {
+    let n = d.len();
+    assert!(n >= 1 && cp_out.len() == n);
+    let start;
+    match carry_in {
+        None => {
+            let bp = b[0];
+            cp_out[0] = c[0] / bp;
+            d[0] /= bp;
+            start = 1;
+        }
+        Some(cin) => {
+            // Row 0 couples to the upstream rank's last unknown.
+            let bp = b[0] - a[0] * cin.cp;
+            cp_out[0] = c[0] / bp;
+            d[0] = (d[0] - a[0] * cin.dp) / bp;
+            start = 1;
+        }
+    }
+    for i in start..n {
+        let bp = b[i] - a[i] * cp_out[i - 1];
+        cp_out[i] = c[i] / bp;
+        d[i] = (d[i] - a[i] * d[i - 1]) / bp;
+    }
+    ForwardCarry { cp: cp_out[n - 1], dp: d[n - 1] }
+}
+
+/// Back-substitute one segment. `x_downstream` is the first unknown of the
+/// downstream rank's segment (`None` when this rank owns the end of the
+/// line). Returns this segment's first unknown to pass upstream.
+pub fn backward_segment(cp: &[f64], d: &mut [f64], x_downstream: Option<f64>) -> f64 {
+    let n = d.len();
+    if let Some(x) = x_downstream {
+        d[n - 1] -= cp[n - 1] * x;
+    }
+    for i in (0..n - 1).rev() {
+        d[i] -= cp[i] * d[i + 1];
+    }
+    d[0]
+}
+
+/// Estimated flops of a Thomas solve of length `n` (forward 5n, backward 2n).
+pub fn thomas_flops(n: usize) -> u64 {
+    7 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[f64], b: &[f64], c: &[f64], x: &[f64], periodic: bool) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                let mut v = b[i] * x[i];
+                if i > 0 {
+                    v += a[i] * x[i - 1];
+                } else if periodic {
+                    v += a[0] * x[n - 1];
+                }
+                if i + 1 < n {
+                    v += c[i] * x[i + 1];
+                } else if periodic {
+                    v += c[n - 1] * x[0];
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn sample_system(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| -0.4 - 0.01 * i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| 2.0 + 0.05 * i as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| -0.3 - 0.02 * i as f64).collect();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        (a, b, c, x)
+    }
+
+    #[test]
+    fn thomas_recovers_known_solution() {
+        let n = 25;
+        let (a, b, c, x) = sample_system(n);
+        let mut d = mat_vec(&a, &b, &c, &x, false);
+        solve(&a, &b, &c, &mut d);
+        for i in 0..n {
+            assert!((d[i] - x[i]).abs() < 1e-10, "i={i}: {} vs {}", d[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn thomas_single_unknown() {
+        let mut d = vec![6.0];
+        solve(&[0.0], &[2.0], &[0.0], &mut d);
+        assert!((d[0] - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn periodic_recovers_known_solution() {
+        let n = 17;
+        let (a, b, c, x) = sample_system(n);
+        let mut d = mat_vec(&a, &b, &c, &x, true);
+        solve_periodic(&a, &b, &c, &mut d);
+        for i in 0..n {
+            assert!((d[i] - x[i]).abs() < 1e-9, "i={i}: {} vs {}", d[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn segmented_solve_matches_monolithic() {
+        let n = 40;
+        let (a, b, c, x) = sample_system(n);
+        let rhs = mat_vec(&a, &b, &c, &x, false);
+
+        // Monolithic reference.
+        let mut mono = rhs.clone();
+        solve(&a, &b, &c, &mut mono);
+
+        // Split into 3 segments like 3 ranks along one line.
+        let cuts = [0usize, 13, 27, n];
+        let mut segs: Vec<Vec<f64>> = (0..3)
+            .map(|s| rhs[cuts[s]..cuts[s + 1]].to_vec())
+            .collect();
+        let mut cps: Vec<Vec<f64>> = segs.iter().map(|s| vec![0.0; s.len()]).collect();
+
+        // Forward pipeline.
+        let mut carry = None;
+        for s in 0..3 {
+            let r = cuts[s]..cuts[s + 1];
+            let out = forward_segment(&a[r.clone()], &b[r.clone()], &c[r], &mut segs[s], &mut cps[s], carry);
+            carry = Some(out);
+        }
+        // Backward pipeline.
+        let mut xd = None;
+        for s in (0..3).rev() {
+            let first = backward_segment(&cps[s], &mut segs[s], xd);
+            xd = Some(first);
+        }
+
+        let joined: Vec<f64> = segs.concat();
+        for i in 0..n {
+            assert!(
+                (joined[i] - mono[i]).abs() < 1e-10,
+                "i={i}: {} vs {}",
+                joined[i],
+                mono[i]
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_single_segment_equals_solve() {
+        let n = 12;
+        let (a, b, c, x) = sample_system(n);
+        let rhs = mat_vec(&a, &b, &c, &x, false);
+        let mut d = rhs.clone();
+        let mut cp = vec![0.0; n];
+        forward_segment(&a, &b, &c, &mut d, &mut cp, None);
+        backward_segment(&cp, &mut d, None);
+        let mut mono = rhs;
+        solve(&a, &b, &c, &mut mono);
+        for i in 0..n {
+            assert!((d[i] - mono[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonally_dominant_stability() {
+        // Large random-ish diagonally dominant system solves accurately.
+        let n = 500;
+        let a: Vec<f64> = (0..n).map(|i| -(0.1 + ((i * 7) % 5) as f64 * 0.1)).collect();
+        let c: Vec<f64> = (0..n).map(|i| -(0.1 + ((i * 13) % 5) as f64 * 0.1)).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.5 + a[i].abs() + c[i].abs()).collect();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut d = mat_vec(&a, &b, &c, &x, false);
+        solve(&a, &b, &c, &mut d);
+        let err: f64 = d.iter().zip(&x).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-11, "max err {err}");
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(thomas_flops(10), 70);
+    }
+}

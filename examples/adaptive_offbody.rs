@@ -1,0 +1,60 @@
+//! The Section-5 adaptive overset Cartesian scheme: near-body curvilinear
+//! grid around an X-38-like blunt body, off-body domain automatically
+//! partitioned into hundreds of seven-parameter Cartesian bricks, grouped
+//! onto processor groups with Algorithm 3 and advanced group-parallel.
+//!
+//! ```text
+//! cargo run --release --example adaptive_offbody
+//! ```
+
+use overset_amr::{AdaptiveScheme, SchemeConfig};
+use overset_grid::transform::RigidTransform;
+
+fn main() {
+    let ngroups = 4;
+    let mut s = AdaptiveScheme::new(SchemeConfig::x38_like(ngroups));
+    s.connectivity();
+    let r = s.report();
+    println!("initial system:");
+    println!("  near-body points : {}", r.nearbody_points);
+    println!("  off-body bricks  : {} (per level: {:?})", r.nbricks, r.level_hist);
+    println!("  off-body points  : {}", r.offbody_points);
+    println!("  groups           : {ngroups}, imbalance {:.2}", r.group_imbalance);
+
+    println!("\nadvancing 3 steps (group-parallel flow solve)...");
+    let t0 = std::time::Instant::now();
+    for _ in 0..3 {
+        s.step();
+    }
+    println!("  host wall: {:?}", t0.elapsed());
+    let r = s.report();
+    println!(
+        "  connectivity: {} O(1) Cartesian locates vs {} curvilinear donor searches",
+        r.cartesian_locates, r.curvilinear_searches
+    );
+
+    println!("\nbody moves; adapt cycle refines ahead and coarsens behind...");
+    let stats = s.move_and_adapt(&RigidTransform::translation([1.5, 0.0, 0.4]));
+    println!(
+        "  bricks {} -> {} (refined {} regions, coarsened {})",
+        stats.bricks_before, stats.bricks_after, stats.refined, stats.coarsened
+    );
+    println!("  levels before: {:?}", stats.hist_before);
+    println!("  levels after : {:?}", stats.hist_after);
+    println!("  points transferred: {}", stats.points_transferred);
+
+    for _ in 0..2 {
+        s.step();
+    }
+    let r = s.report();
+    println!("\nafter 2 more steps on the adapted system:");
+    println!(
+        "  group imbalance {:.2}, inter-group cut fraction {:.2}",
+        r.group_imbalance, r.cut_fraction
+    );
+    println!(
+        "  Cartesian locates {} vs donor searches {} — \"the vast majority of \
+         the interpolation donors exist in Cartesian grid components\"",
+        r.cartesian_locates, r.curvilinear_searches
+    );
+}
