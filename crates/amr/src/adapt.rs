@@ -136,13 +136,8 @@ mod tests {
         let states0 = uniform_states(&bricks0);
         // Body moves to the other side of the domain.
         let body1 = Aabb::new([1.5, -0.5, -0.5], [2.5, 0.5, 0.5]);
-        let (bricks1, states1, stats) = adapt_cycle(
-            &c,
-            &bricks0,
-            &states0,
-            &proximity_oracle(vec![body1], 2),
-            freestream(),
-        );
+        let (bricks1, states1, stats) =
+            adapt_cycle(&c, &bricks0, &states0, &proximity_oracle(vec![body1], 2), freestream());
         assert!(stats.refined > 0, "{stats:?}");
         assert!(stats.coarsened > 0, "{stats:?}");
         assert_eq!(bricks1.len(), states1.len());
@@ -175,9 +170,9 @@ mod tests {
         for (b, s) in b1.iter().zip(&s1) {
             for p in b.grid.dims.iter() {
                 let q = s.node(p);
-                for v in 0..NVAR {
+                for (v, qv) in q.iter().enumerate() {
                     assert!(
-                        (q[v] - freestream()[v]).abs() < 1e-12,
+                        (qv - freestream()[v]).abs() < 1e-12,
                         "transfer corrupted a uniform state"
                     );
                 }

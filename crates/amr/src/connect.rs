@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn weights_partition_unity() {
-        let d = BrickDonor {
-            brick: 0,
-            cell: overset_grid::Ijk::new(1, 1, 1),
-            loc: [0.3, 0.8, 0.5],
-        };
+        let d =
+            BrickDonor { brick: 0, cell: overset_grid::Ijk::new(1, 1, 1), loc: [0.3, 0.8, 0.5] };
         let w = donor_weights(&d);
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-14);
     }

@@ -57,10 +57,7 @@ impl OffBodyConfig {
 /// Generate the off-body brick system: bricks are refined (recursively
 /// split into octants) wherever `needs_refine(bbox, level)` says the region
 /// requires a finer level.
-pub fn generate(
-    cfg: &OffBodyConfig,
-    needs_refine: &dyn Fn(&Aabb, usize) -> bool,
-) -> Vec<Brick> {
+pub fn generate(cfg: &OffBodyConfig, needs_refine: &dyn Fn(&Aabb, usize) -> bool) -> Vec<Brick> {
     let mut out = Vec::new();
     let e0 = cfg.brick_extent(0);
     for bk in 0..cfg.bricks_per_axis[2] {

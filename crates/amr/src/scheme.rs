@@ -2,26 +2,27 @@
 //! grid + off-body adaptive Cartesian bricks, executed with the entirely
 //! coarse-grain group strategy of Algorithm 3.
 //!
-//! Groups of bricks are assigned to "nodes" (here: rayon tasks — the paper's
-//! intra-group shared-memory level); connectivity among Cartesian bricks is
-//! O(1) index arithmetic; only near-body ↔ off-body transfers use the
-//! traditional donor search.
+//! Groups of bricks are assigned to "nodes" (here: scoped threads — the
+//! paper's intra-group shared-memory level); connectivity among Cartesian
+//! bricks is O(1) index arithmetic; only near-body ↔ off-body transfers use
+//! the traditional donor search.
 
 use crate::adapt::{adapt_cycle, AdaptStats};
 use crate::connect::{build_adjacency, donor_weights, locate_any, FLOPS_PER_LOCATE};
 use crate::offbody::{generate, level_histogram, Brick, OffBodyConfig};
 use overset_balance::{group_grids, Grouping};
-use overset_connectivity::{cut_holes_and_find_fringe, interpolate, walk_search, Igbp, SearchCost, SearchOutcome};
 use overset_connectivity::donor::center_start;
+use overset_connectivity::{
+    cut_holes_and_find_fringe, interpolate, walk_search, Igbp, SearchCost, SearchOutcome,
+};
 use overset_grid::curvilinear::{BcKind, BoundaryPatch, CurvilinearGrid, Face, Solid};
 use overset_grid::field::{StateField, NVAR};
 use overset_grid::gen::revolution::ellipsoid_shell;
 use overset_grid::transform::RigidTransform;
 use overset_grid::{Aabb, Ijk};
-use overset_solver::{step_block, Block, FlowConditions, Scratch, SerialComm};
 #[cfg(test)]
 use overset_solver::Blank;
-use rayon::prelude::*;
+use overset_solver::{step_block, Block, FlowConditions, Scratch, SerialComm};
 
 /// Configuration of the adaptive scheme demo (an X-38-like blunt body).
 #[derive(Clone, Debug)]
@@ -86,19 +87,18 @@ impl AdaptiveScheme {
         let near_grid = near_body_grid(&cfg, body_center);
         let body_solid = Solid::Ellipsoid {
             center: body_center,
-            radii: [
-                cfg.body_radii[0] * 0.93,
-                cfg.body_radii[1] * 0.93,
-                cfg.body_radii[2] * 0.93,
-            ],
+            radii: [cfg.body_radii[0] * 0.93, cfg.body_radii[1] * 0.93, cfg.body_radii[2] * 0.93],
         };
         let near = Block::from_grid(0, &near_grid, near_grid.dims().full_box(), [None; 6], &cfg.fc);
         let near_scratch = Scratch::for_block(&near);
 
-        let bricks = generate(&cfg.offbody, &crate::offbody::proximity_oracle(
-            vec![near_bbox(&cfg, body_center)],
-            cfg.offbody.max_level,
-        ));
+        let bricks = generate(
+            &cfg.offbody,
+            &crate::offbody::proximity_oracle(
+                vec![near_bbox(&cfg, body_center)],
+                cfg.offbody.max_level,
+            ),
+        );
         let (blocks, scratches) = build_brick_blocks(&cfg, &bricks, None);
         let grouping = regroup(&cfg, &bricks);
         AdaptiveScheme {
@@ -122,15 +122,11 @@ impl AdaptiveScheme {
         // Near-body solve (its own processor group in the full scheme).
         step_block(&mut self.near, &fc, None, &mut SerialComm, &mut self.near_scratch);
 
-        // Off-body: one rayon task per group (the paper's coarse-grain
+        // Off-body: one thread per group (the paper's coarse-grain
         // level); blocks within a group run sequentially on that node.
         let members: Vec<Vec<usize>> = self.grouping.members.clone();
-        let mut slots: Vec<Option<(Block, Scratch)>> = self
-            .blocks
-            .drain(..)
-            .zip(self.scratches.drain(..))
-            .map(Some)
-            .collect();
+        let mut slots: Vec<Option<(Block, Scratch)>> =
+            self.blocks.drain(..).zip(self.scratches.drain(..)).map(Some).collect();
         let mut per_group: Vec<Vec<(usize, Block, Scratch)>> = members
             .iter()
             .map(|m| {
@@ -142,9 +138,13 @@ impl AdaptiveScheme {
                     .collect()
             })
             .collect();
-        per_group.par_iter_mut().for_each(|group| {
-            for (_, block, scratch) in group.iter_mut() {
-                step_block(block, &fc, None, &mut SerialComm, scratch);
+        std::thread::scope(|s| {
+            for group in per_group.iter_mut() {
+                s.spawn(|| {
+                    for (_, block, scratch) in group.iter_mut() {
+                        step_block(block, &fc, None, &mut SerialComm, scratch);
+                    }
+                });
             }
         });
         let n = slots.len();
@@ -226,7 +226,11 @@ impl AdaptiveScheme {
             if *wi == 0.0 {
                 continue;
             }
-            let g = Ijk::new(d.cell.i + (ci & 1), d.cell.j + ((ci >> 1) & 1), d.cell.k + ((ci >> 2) & 1));
+            let g = Ijk::new(
+                d.cell.i + (ci & 1),
+                d.cell.j + ((ci >> 1) & 1),
+                d.cell.k + ((ci >> 2) & 1),
+            );
             let l = block.to_local(g);
             let qs = block.q.node(l);
             for v in 0..NVAR {

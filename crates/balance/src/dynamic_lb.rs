@@ -13,6 +13,53 @@
 //! — the central trade-off of the paper.
 
 use crate::static_lb::{static_balance_with_minima, BalanceError, StaticBalance};
+use overset_comm::metrics::{names, MetricsRegistry};
+use overset_comm::OversetError;
+
+impl From<BalanceError> for OversetError {
+    fn from(e: BalanceError) -> Self {
+        OversetError::Config(e.to_string())
+    }
+}
+
+/// Windowed reader of the serviced-searches counter: measures `I(p)` for
+/// Algorithm 2 straight from the rank's [`MetricsRegistry`] (the single
+/// source of truth for service load) instead of a privately kept tally.
+///
+/// The driver opens a window after each balance check; `mean_per_step`
+/// returns the integer per-step mean the algorithm consumes.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceWindow {
+    /// Counter value when the window opened.
+    start: u64,
+    /// Connectivity steps observed in the window.
+    steps: usize,
+}
+
+impl ServiceWindow {
+    /// Open a window at the counter's current value.
+    pub fn begin(metrics: &MetricsRegistry) -> Self {
+        ServiceWindow { start: metrics.counter(names::CONN_SERVICED), steps: 0 }
+    }
+
+    /// Record that one connectivity step ran inside the window.
+    pub fn note_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Mean serviced points per step over the window. Integer division —
+    /// Algorithm 2 consumes integer I(p) counts.
+    pub fn mean_per_step(&self, metrics: &MetricsRegistry) -> usize {
+        let total = metrics.counter(names::CONN_SERVICED).saturating_sub(self.start);
+        total as usize / self.steps.max(1)
+    }
+
+    /// Re-open the window at the counter's current value.
+    pub fn reset(&mut self, metrics: &MetricsRegistry) {
+        self.start = metrics.counter(names::CONN_SERVICED);
+        self.steps = 0;
+    }
+}
 
 /// One evaluation of the dynamic scheme.
 #[derive(Clone, Debug)]
@@ -116,8 +163,8 @@ mod tests {
     #[test]
     fn infinite_fo_never_rebalances() {
         let i = [100, 5000, 10, 10];
-        let d = dynamic_rebalance(&i, &[0, 0, 1, 1], &[1000, 1000], &[2, 2], f64::INFINITY)
-            .unwrap();
+        let d =
+            dynamic_rebalance(&i, &[0, 0, 1, 1], &[1000, 1000], &[2, 2], f64::INFINITY).unwrap();
         assert!(d.rebalance.is_none());
         assert!(d.f_max > 3.0);
     }
@@ -145,8 +192,8 @@ mod tests {
     #[test]
     fn f_values_normalized_by_mean() {
         let i = [0, 0, 0, 400];
-        let d = dynamic_rebalance(&i, &[0, 0, 1, 1], &[2000, 2000], &[2, 2], f64::INFINITY)
-            .unwrap();
+        let d =
+            dynamic_rebalance(&i, &[0, 0, 1, 1], &[2000, 2000], &[2, 2], f64::INFINITY).unwrap();
         assert!((d.f_max - 4.0).abs() < 1e-12);
         assert!((d.f[3] - 4.0).abs() < 1e-12);
         assert_eq!(d.f[0], 0.0);
@@ -201,6 +248,30 @@ mod tests {
             }
         }
         assert!(np[1] > np[0], "processors should migrate to grid 1: {np:?}");
+    }
+
+    #[test]
+    fn service_window_reads_counter_deltas() {
+        let mut m = MetricsRegistry::new();
+        m.add(names::CONN_SERVICED, 100); // pre-window history is excluded
+        let mut w = ServiceWindow::begin(&m);
+        m.add(names::CONN_SERVICED, 7);
+        w.note_step();
+        m.add(names::CONN_SERVICED, 8);
+        w.note_step();
+        assert_eq!(w.mean_per_step(&m), 7); // 15 / 2, integer division
+        w.reset(&m);
+        assert_eq!(w.mean_per_step(&m), 0);
+        m.add(names::CONN_SERVICED, 9);
+        w.note_step();
+        assert_eq!(w.mean_per_step(&m), 9);
+    }
+
+    #[test]
+    fn balance_error_converts_to_overset_error() {
+        let e: OversetError = BalanceError::EmptySystem.into();
+        assert!(matches!(e, OversetError::Config(_)));
+        assert!(e.to_string().contains("gridpoints"));
     }
 
     #[test]

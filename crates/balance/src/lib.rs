@@ -18,7 +18,7 @@ pub mod grouping;
 pub mod partition;
 pub mod static_lb;
 
-pub use dynamic_lb::{dynamic_rebalance, service_imbalance, DynamicDecision};
+pub use dynamic_lb::{dynamic_rebalance, service_imbalance, DynamicDecision, ServiceWindow};
 pub use grouping::{group_grids, round_robin, AdjacencyMatrix, Connectivity, Grouping};
 pub use partition::{Partition, RankAssignment};
 pub use static_lb::{

@@ -127,10 +127,7 @@ mod tests {
         // Every node of each grid owned by exactly one rank.
         for (g, d) in dims.iter().enumerate() {
             for node in d.iter() {
-                let owners = p
-                    .ranks_of_grid(g)
-                    .filter(|&r| p.ranks[r].boxx.contains(node))
-                    .count();
+                let owners = p.ranks_of_grid(g).filter(|&r| p.ranks[r].boxx.contains(node)).count();
                 assert_eq!(owners, 1, "node {node:?} of grid {g}");
             }
         }

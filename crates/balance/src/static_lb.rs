@@ -118,11 +118,8 @@ fn tolerance_loop(g: &[f64], nproc: usize, minima: &[usize]) -> Option<(Vec<usiz
     let mut tau = 0.0;
     for _ in 0..2000 {
         let eps = eps0 / (1.0 + tau);
-        let np: Vec<usize> = g
-            .iter()
-            .zip(minima)
-            .map(|(&gi, &mi)| ((gi / eps) as usize).max(mi))
-            .collect();
+        let np: Vec<usize> =
+            g.iter().zip(minima).map(|(&gi, &mi)| ((gi / eps) as usize).max(mi)).collect();
         let sum: usize = np.iter().sum();
         if sum == nproc {
             return Some((np, tau));
@@ -179,11 +176,7 @@ pub fn imbalance_tau(g: &[usize], np: &[usize]) -> f64 {
     let total: f64 = g.iter().map(|&x| x as f64).sum();
     let nproc: usize = np.iter().sum();
     let ideal = total / nproc as f64;
-    let worst = g
-        .iter()
-        .zip(np)
-        .map(|(&gi, &ni)| gi as f64 / ni as f64)
-        .fold(0.0f64, f64::max);
+    let worst = g.iter().zip(np).map(|(&gi, &ni)| gi as f64 / ni as f64).fold(0.0f64, f64::max);
     (worst / ideal - 1.0).max(0.0)
 }
 
@@ -263,8 +256,8 @@ mod tests {
     fn store_like_case_many_grids() {
         // 16 grids of varied sizes on 16..61 processors: always exact.
         let g = [
-            18_000, 28_000, 28_000, 14_000, 8_000, 10_000, 10_000, 10_000, 10_000, 13_000,
-            110_000, 32_000, 17_000, 160_000, 100_000, 40_000,
+            18_000, 28_000, 28_000, 14_000, 8_000, 10_000, 10_000, 10_000, 10_000, 13_000, 110_000,
+            32_000, 17_000, 160_000, 100_000, 40_000,
         ];
         for nproc in [16, 18, 22, 28, 35, 42, 52, 61] {
             let b = static_balance(&g, nproc).unwrap();

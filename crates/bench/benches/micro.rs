@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use overset_balance::{group_grids, static_balance, AdjacencyMatrix};
-use overset_connectivity::{cut_holes_and_find_fringe, walk_search, SearchCost};
 use overset_connectivity::donor::center_start;
+use overset_connectivity::{cut_holes_and_find_fringe, walk_search, SearchCost};
 use overset_grid::curvilinear::Solid;
 use overset_grid::gen::airfoil::{airfoil_system, near_grid};
 use overset_grid::Dims;
@@ -49,12 +49,7 @@ fn connectivity_kernels(c: &mut Criterion) {
     c.bench_function("donor/cold_walk_search", |b| {
         b.iter(|| {
             let mut cost = SearchCost::default();
-            walk_search(
-                &block,
-                [0.9, 0.35, 0.0],
-                center_start(&block),
-                &mut cost,
-            )
+            walk_search(&block, [0.9, 0.35, 0.0], center_start(&block), &mut cost)
         })
     });
 
@@ -73,11 +68,8 @@ fn connectivity_kernels(c: &mut Criterion) {
     });
 
     let sys = airfoil_system(0.5);
-    let solids: Vec<(usize, Solid)> = sys
-        .iter()
-        .enumerate()
-        .flat_map(|(g, gr)| gr.solids.iter().map(move |s| (g, *s)))
-        .collect();
+    let solids: Vec<(usize, Solid)> =
+        sys.iter().enumerate().flat_map(|(g, gr)| gr.solids.iter().map(move |s| (g, *s))).collect();
     c.bench_function("holes/cut_and_fringe_5k_nodes", |b| {
         b.iter_batched(
             || Block::from_grid(2, &sys[2], sys[2].dims().full_box(), [None; 6], &fc()),

@@ -13,7 +13,10 @@ pub fn fig12(ngroups: usize) {
     s.connectivity();
     let r0 = s.report();
     println!("  a) initial off-body system:");
-    println!("     bricks {} (per level: {:?}), off-body points {}", r0.nbricks, r0.level_hist, r0.offbody_points);
+    println!(
+        "     bricks {} (per level: {:?}), off-body points {}",
+        r0.nbricks, r0.level_hist, r0.offbody_points
+    );
     println!("     near-body points {}", r0.nearbody_points);
 
     // A few solve steps, then the body moves and the system adapts.

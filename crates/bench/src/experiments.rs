@@ -6,7 +6,11 @@
 //! are the reproduction targets. EXPERIMENTS.md records paper-vs-measured
 //! values for every run.
 
-use overflow_d::{airfoil_case, delta_wing_case, run_case, run_case_serial, store_case, CaseConfig, LbConfig, RunResult};
+use overflow_d::{
+    airfoil_case, delta_wing_case, run_case, run_case_serial, store_case, CaseConfig, LbConfig,
+    RunResult,
+};
+use overset_comm::trace::TraceConfig;
 use overset_comm::{MachineModel, Phase};
 
 /// Global experiment scaling knobs.
@@ -72,13 +76,14 @@ pub fn sweep(cfg_for: impl Fn() -> CaseConfig, nodes: &[usize]) -> Vec<PerfRow> 
         };
         for (mi, m) in machines.iter().enumerate() {
             let cfg = cfg_for();
-            let r = run_case(&cfg, n, m);
+            let r = run_case(&cfg, n, m).unwrap();
             row.points_per_node = r.total_points / n;
             row.mflops_per_node[mi] = r.mflops_per_node();
             row.dcf3d_pct[mi] = 100.0 * r.connectivity_fraction();
             row.time_per_step[mi] = r.time_per_step();
-            row.flow_elapsed[mi] = r.phase_elapsed[Phase::Flow as usize] / r.steps as f64;
-            row.conn_elapsed[mi] = r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
+            // Exact per-phase elapsed (max over ranks), not the per-rank mean.
+            row.flow_elapsed[mi] = r.summary.phase_time(Phase::Flow) / r.steps as f64;
+            row.conn_elapsed[mi] = r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
         }
         rows.push(row);
     }
@@ -168,7 +173,7 @@ pub fn table2(e: Effort) {
         let mut ppn = 0usize;
         for (mi, m) in [sp2(), sp()].iter().enumerate() {
             let cfg = airfoil_case(scale, e.steps2d);
-            let r = run_case(&cfg, nodes, m);
+            let r = run_case(&cfg, nodes, m).unwrap();
             t[mi] = r.time_per_step();
             pct[mi] = 100.0 * r.connectivity_fraction();
             ppn = r.total_points / nodes;
@@ -187,10 +192,7 @@ pub fn table3(e: Effort) -> Vec<PerfRow> {
 
 /// Table 4 / Fig. 10: the finned-store separation (static balancing).
 pub fn table4(e: Effort) -> Vec<PerfRow> {
-    sweep(
-        || store_case(e.scale3d, e.steps3d),
-        &[16, 18, 22, 28, 35, 42, 52, 61],
-    )
+    sweep(|| store_case(e.scale3d, e.steps3d), &[16, 18, 22, 28, 35, 42, 52, 61])
 }
 
 /// Table 5 / Fig. 11: static vs dynamic load balancing on the store case.
@@ -203,7 +205,14 @@ pub fn table5(e: Effort) {
     println!("\n== Table 5: DCF3D with dynamic load balance (store case, SP2, f_o = 3) ==");
     println!(
         "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>7}",
-        "Nodes", "%DCF dyn", "%DCF stat", "DCF spd d", "DCF spd s", "Comb sp d", "Comb sp s", "repart"
+        "Nodes",
+        "%DCF dyn",
+        "%DCF stat",
+        "DCF spd d",
+        "DCF spd s",
+        "Comb sp d",
+        "Comb sp s",
+        "repart"
     );
     let nodes = [16usize, 18, 28, 52];
     let steps = (2 * e.steps3d).max(16);
@@ -212,11 +221,11 @@ pub fn table5(e: Effort) {
     for &n in &nodes {
         let mut cfg = store_case(e.scale3d, steps);
         cfg.lb = LbConfig::dynamic(3.0, 6);
-        dyn_rows.push(run_case(&cfg, n, &sp2()));
+        dyn_rows.push(run_case(&cfg, n, &sp2()).unwrap());
         let cfg = store_case(e.scale3d, steps);
-        stat_rows.push(run_case(&cfg, n, &sp2()));
+        stat_rows.push(run_case(&cfg, n, &sp2()).unwrap());
     }
-    let conn = |r: &RunResult| r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
+    let conn = |r: &RunResult| r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
     for (i, &n) in nodes.iter().enumerate() {
         let (d, s) = (&dyn_rows[i], &stat_rows[i]);
         println!(
@@ -231,13 +240,18 @@ pub fn table5(e: Effort) {
             d.repartitions,
         );
     }
-    println!("  (dynamic np_final at {} nodes: {:?})", nodes[nodes.len() - 1], dyn_rows[nodes.len() - 1].np_final);
+    println!(
+        "  (dynamic np_final at {} nodes: {:?})",
+        nodes[nodes.len() - 1],
+        dyn_rows[nodes.len() - 1].np_final
+    );
 }
 
 /// Table 6: wallclock speedup vs single-processor Cray Y-MP ("YMP units").
 pub fn table6(e: Effort) {
     println!("\n== Table 6: wallclock speedup vs Cray Y-MP (store case) ==");
-    let ymp = run_case_serial(&store_case(e.scale3d, e.steps3d.min(6)), &MachineModel::cray_ymp());
+    let ymp = run_case_serial(&store_case(e.scale3d, e.steps3d.min(6)), &MachineModel::cray_ymp())
+        .unwrap();
     let t_ymp = ymp.time_per_step();
     println!("  (Y-MP reference: {:.3} virtual s/step)", t_ymp);
     println!(
@@ -247,7 +261,7 @@ pub fn table6(e: Effort) {
     for &n in &[18usize, 28, 42, 61] {
         let mut overall = [0.0f64; 2];
         for (mi, m) in [sp2(), sp()].iter().enumerate() {
-            let r = run_case(&store_case(e.scale3d, e.steps3d), n, m);
+            let r = run_case(&store_case(e.scale3d, e.steps3d), n, m).unwrap();
             overall[mi] = t_ymp / r.time_per_step();
         }
         println!(
@@ -261,20 +275,63 @@ pub fn table6(e: Effort) {
     }
 }
 
+/// A representative traced run for `--trace` / `--metrics`: the given
+/// experiment family's case at its smallest node count, with event tracing
+/// enabled. Deterministic in virtual time, so two invocations produce
+/// byte-identical trace JSON.
+pub fn traced_run(which: &str, e: Effort) -> RunResult {
+    let (mut cfg, nodes) = match which {
+        "table3" | "fig7" => (delta_wing_case(e.scale3d, e.steps3d), 7),
+        "table4" | "fig10" | "table6" | "ablate-sixdof" => (store_case(e.scale3d, e.steps3d), 16),
+        "table5" | "fig11" | "ablate-fo" => {
+            let mut c = store_case(e.scale3d, e.steps3d.max(10));
+            c.lb = LbConfig::dynamic(3.0, 4);
+            (c, 16)
+        }
+        _ => (airfoil_case(e.scale2d, e.steps2d), 6),
+    };
+    cfg.trace = TraceConfig::enabled();
+    run_case(&cfg, nodes, &sp2()).expect("traced run failed")
+}
+
+/// Print the run's aggregated metrics registry (counters then histograms,
+/// name order).
+pub fn print_metrics(r: &RunResult) {
+    println!("\n== Aggregated metrics ({} ranks) ==", r.nranks);
+    for (name, v) in r.metrics.counters() {
+        println!("  {name:<26} {v:>14}");
+    }
+    for (name, h) in r.metrics.histograms() {
+        println!(
+            "  {name:<26} n={:<8} mean={:<12.6} min={:<12.6} max={:.6}",
+            h.count,
+            h.mean(),
+            h.min,
+            h.max
+        );
+    }
+}
+
 /// Ablation A1: nth-level restart on vs off (from-scratch search every
 /// step). Barszcz found restart "yields a considerable reduction in the
 /// time spent in the connectivity solution".
 pub fn ablate_restart(e: Effort) {
     println!("\n== Ablation: nth-level restart (airfoil, SP2, 12 nodes) ==");
-    let with = run_case(&airfoil_case(e.scale2d, e.steps2d), 12, &sp2());
+    let with = run_case(&airfoil_case(e.scale2d, e.steps2d), 12, &sp2()).unwrap();
     let mut cfg = airfoil_case(e.scale2d, e.steps2d);
     cfg.use_restart = false;
-    let without = run_case(&cfg, 12, &sp2());
-    let per = |r: &RunResult| r.phase_elapsed[Phase::Connectivity as usize] / r.steps as f64;
-    println!("  restart ON : connectivity {:.4} s/step ({:.1}% of total)",
-        per(&with), 100.0 * with.connectivity_fraction());
-    println!("  restart OFF: connectivity {:.4} s/step ({:.1}% of total)",
-        per(&without), 100.0 * without.connectivity_fraction());
+    let without = run_case(&cfg, 12, &sp2()).unwrap();
+    let per = |r: &RunResult| r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
+    println!(
+        "  restart ON : connectivity {:.4} s/step ({:.1}% of total)",
+        per(&with),
+        100.0 * with.connectivity_fraction()
+    );
+    println!(
+        "  restart OFF: connectivity {:.4} s/step ({:.1}% of total)",
+        per(&without),
+        100.0 * without.connectivity_fraction()
+    );
     println!("  restart speedup of the connectivity solution: {:.1}x", per(&without) / per(&with));
 }
 
@@ -283,23 +340,19 @@ pub fn ablate_restart(e: Effort) {
 /// performance of the code".
 pub fn ablate_sixdof(e: Effort) {
     println!("\n== Ablation: prescribed vs 6-DOF store motion (SP2, 28 nodes) ==");
-    let pres = run_case(&store_case(e.scale3d, e.steps3d), 28, &sp2());
-    let free = run_case(
-        &overflow_d::store_case_sixdof(e.scale3d, e.steps3d),
-        28,
-        &sp2(),
-    );
+    let pres = run_case(&store_case(e.scale3d, e.steps3d), 28, &sp2()).unwrap();
+    let free = run_case(&overflow_d::store_case_sixdof(e.scale3d, e.steps3d), 28, &sp2()).unwrap();
     println!(
         "  prescribed: {:.3} s/step ({:.1}% DCF3D, motion {:.4} s/step)",
         pres.time_per_step(),
         100.0 * pres.connectivity_fraction(),
-        pres.phase_elapsed[Phase::Motion as usize] / pres.steps as f64
+        pres.summary.phase_time(Phase::Motion) / pres.steps as f64
     );
     println!(
         "  6-DOF     : {:.3} s/step ({:.1}% DCF3D, motion {:.4} s/step)",
         free.time_per_step(),
         100.0 * free.connectivity_fraction(),
-        free.phase_elapsed[Phase::Motion as usize] / free.steps as f64
+        free.summary.phase_time(Phase::Motion) / free.steps as f64
     );
     println!(
         "  cost of computing the free motion: {:+.1}%",
@@ -319,7 +372,7 @@ pub fn ablate_fo(e: Effort) {
         if fo.is_finite() {
             cfg.lb = LbConfig::dynamic(fo, 4);
         }
-        let r = run_case(&cfg, 28, &sp2());
+        let r = run_case(&cfg, 28, &sp2()).unwrap();
         println!(
             "{:>8} | {:>10.3} {:>9.1}% {:>10.2} | {:>7} | {:>8.3}",
             if fo.is_finite() { format!("{fo:.0}") } else { "inf".into() },
@@ -327,7 +380,7 @@ pub fn ablate_fo(e: Effort) {
             100.0 * r.connectivity_fraction(),
             r.f_max(),
             r.repartitions,
-            r.phase_elapsed[Phase::Flow as usize] / r.steps as f64,
+            r.summary.phase_time(Phase::Flow) / r.steps as f64,
         );
     }
 }
@@ -338,17 +391,9 @@ pub fn ablate_cache(e: Effort) {
     println!("\n== Ablation: cache performance model (airfoil, SP2) ==");
     println!("{:>6} | {:>12} {:>12}", "Nodes", "Mf/n cache", "Mf/n flat");
     for &n in &[6usize, 12, 24, 48] {
-        let with = run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2());
-        let flat = run_case(
-            &airfoil_case(e.scale2d, e.steps2d),
-            n,
-            &sp2().without_cache_model(),
-        );
-        println!(
-            "{:>6} | {:>12.1} {:>12.1}",
-            n,
-            with.mflops_per_node(),
-            flat.mflops_per_node()
-        );
+        let with = run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2()).unwrap();
+        let flat =
+            run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2().without_cache_model()).unwrap();
+        println!("{:>6} | {:>12.1} {:>12.1}", n, with.mflops_per_node(), flat.mflops_per_node());
     }
 }

@@ -1,21 +1,45 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro <experiment> [--quick]` where experiment is one of
-//! `table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 table6 fig12
-//! ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all`.
+//! Usage: `repro <experiment> [--quick] [--trace <out.json>] [--metrics]`
+//! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
+//! table5 fig11 table6 fig12 ablate-restart ablate-sixdof ablate-fo
+//! ablate-grouping ablate-cache all`.
+//!
+//! `--trace` re-runs the experiment's representative case with event
+//! tracing enabled and writes a Chrome `trace_event` JSON (load it in
+//! `chrome://tracing` or Perfetto; one "process" per rank, virtual-time
+//! axis). `--metrics` prints the aggregated metrics registry of the same
+//! run.
 
 use overset_bench::amr_experiments::{ablate_grouping, fig12};
 use overset_bench::experiments::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut show_metrics = false;
+    let mut which = "all".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--metrics" => show_metrics = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => which = other.to_string(),
+        }
+    }
     let effort = if quick { Effort::quick() } else { Effort::full() };
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
 
     let t0 = std::time::Instant::now();
     match which.as_str() {
@@ -63,5 +87,22 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    if trace_path.is_some() || show_metrics {
+        let r = traced_run(&which, effort);
+        if let Some(path) = &trace_path {
+            let json = overset_comm::chrome_trace_json(&r.trace);
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            let events: usize = r.trace.iter().map(|t| t.events.len()).sum();
+            eprintln!("[trace: {events} events over {} ranks -> {path}]", r.trace.len());
+        }
+        if show_metrics {
+            print_metrics(&r);
+        }
+    }
+
     eprintln!("\n[{which} completed in {:?}]", t0.elapsed());
 }

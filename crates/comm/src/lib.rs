@@ -9,12 +9,33 @@
 //! virtual time reproduce the cost structure the paper measured, and are
 //! bit-deterministic regardless of host scheduling.
 //!
+//! Observability rides on the same virtual clock: every rank carries a
+//! [`metrics::MetricsRegistry`] and (optionally) a [`trace::Tracer`] whose
+//! spans export to Chrome `trace_event` JSON — see docs/OBSERVABILITY.md.
+//!
 //! See DESIGN.md §2 for the substitution argument.
 
+pub mod error;
 pub mod machine;
+pub mod metrics;
 pub mod runtime;
 pub mod stats;
+pub mod trace;
 
+pub use error::OversetError;
 pub use machine::{CacheModel, MachineModel, WorkClass};
-pub use runtime::{Comm, RankOutput, Universe};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
 pub use stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
+pub use trace::{chrome_trace_json, ArgVal, RankTrace, TraceConfig, TraceEvent, Tracer};
+
+/// One-stop imports for writing a rank program:
+/// `use overset_comm::prelude::*;`.
+pub mod prelude {
+    pub use crate::error::OversetError;
+    pub use crate::machine::{MachineModel, WorkClass};
+    pub use crate::metrics::{names as metric_names, MetricsRegistry};
+    pub use crate::runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
+    pub use crate::stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
+    pub use crate::trace::{chrome_trace_json, ArgVal, RankTrace, TraceConfig, TraceEvent};
+}

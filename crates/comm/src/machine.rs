@@ -74,7 +74,9 @@ impl MachineModel {
     /// Effective flop rate for `class` work with the given per-rank working
     /// set (bytes); `working_set = 0` disables the cache term.
     pub fn rate(&self, class: WorkClass, working_set_bytes: f64) -> f64 {
-        self.flops_per_sec * self.class_efficiency[class as usize] * self.cache.factor(working_set_bytes)
+        self.flops_per_sec
+            * self.class_efficiency[class as usize]
+            * self.cache.factor(working_set_bytes)
     }
 
     /// Seconds to perform `flops` of `class` work.

@@ -1,0 +1,247 @@
+//! Named counters and histograms: the run-time metrics registry.
+//!
+//! One registry lives on every rank's [`crate::Comm`]; subsystems record
+//! into it through well-known names (the consts in [`names`]) instead of
+//! keeping private tallies. After a run, per-rank registries come back in
+//! [`crate::RankOutput::metrics`] and can be aggregated with
+//! [`MetricsRegistry::aggregate`]. The Algorithm 2 balancer reads its
+//! service-load input `I(p)` from [`names::CONN_SERVICED`] — the registry is
+//! the single source of truth for measured load.
+
+use crate::stats::Phase;
+use std::collections::BTreeMap;
+
+/// Well-known metric names. Counter names are dotted paths; per-phase
+/// message counters are resolved with [`msgs_in`] / [`bytes_in`].
+pub mod names {
+    /// Search-request points serviced by this rank (the paper's `I(p)`).
+    pub const CONN_SERVICED: &str = "conn.serviced";
+    /// Requests answered from a warm nth-level-restart hint.
+    pub const CONN_CACHE_HIT: &str = "conn.cache.hit";
+    /// Warm hints that missed and fell back to the hierarchy.
+    pub const CONN_CACHE_MISS: &str = "conn.cache.miss";
+    /// Requests forwarded to another candidate rank after a miss.
+    pub const CONN_FORWARDS: &str = "conn.forwards";
+    /// IGBPs left unresolved (orphans) summed over steps.
+    pub const CONN_ORPHANS: &str = "conn.orphans";
+    /// Donor-search protocol rounds summed over steps.
+    pub const CONN_ROUNDS: &str = "conn.rounds";
+    /// Repartitions executed by the dynamic balancer.
+    pub const LB_REPARTITIONS: &str = "lb.repartitions";
+    /// Collectives entered by this rank.
+    pub const COMM_COLLECTIVES: &str = "comm.collectives";
+    /// Histogram: measured `f(p) = I(p)/mean` at each balance check.
+    pub const LB_F_RATIO: &str = "lb.f_ratio";
+    /// Histogram: receive stall (virtual seconds the clock jumped forward
+    /// waiting for a message to arrive) — pipeline stall time.
+    pub const COMM_RECV_STALL: &str = "comm.recv.stall_s";
+
+    /// Messages sent while the given phase was active.
+    pub fn msgs_in(phase: super::Phase) -> &'static str {
+        match phase {
+            super::Phase::Flow => "comm.msgs.flow",
+            super::Phase::Connectivity => "comm.msgs.connectivity",
+            super::Phase::Motion => "comm.msgs.motion",
+            super::Phase::Balance => "comm.msgs.balance",
+            super::Phase::Other => "comm.msgs.other",
+        }
+    }
+
+    /// Payload bytes sent while the given phase was active.
+    pub fn bytes_in(phase: super::Phase) -> &'static str {
+        match phase {
+            super::Phase::Flow => "comm.bytes.flow",
+            super::Phase::Connectivity => "comm.bytes.connectivity",
+            super::Phase::Motion => "comm.bytes.motion",
+            super::Phase::Balance => "comm.bytes.balance",
+            super::Phase::Other => "comm.bytes.other",
+        }
+    }
+}
+
+/// Streaming histogram summary: count / sum / min / max (enough for the
+/// stall-time and imbalance distributions the tables report).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A set of named counters and histograms. Iteration order is the name
+/// order (`BTreeMap`), so reports are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `v`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into `self` (counters add, histograms merge).
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// Aggregate per-rank registries into one cross-rank view.
+    pub fn aggregate(regs: &[MetricsRegistry]) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for r in regs {
+            out.merge_from(r);
+        }
+        out
+    }
+
+    /// Warm-restart hit rate: hits / (hits + misses), or `None` when the
+    /// cache was never consulted.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let h = self.counter(names::CONN_CACHE_HIT);
+        let m = self.counter(names::CONN_CACHE_MISS);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc(names::CONN_SERVICED);
+        m.add(names::CONN_SERVICED, 41);
+        assert_eq!(m.counter(names::CONN_SERVICED), 42);
+        assert_eq!(m.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut m = MetricsRegistry::new();
+        m.observe(names::COMM_RECV_STALL, 1.0);
+        m.observe(names::COMM_RECV_STALL, 3.0);
+        let h = m.histogram(names::COMM_RECV_STALL).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn aggregation_sums_ranks() {
+        let mut a = MetricsRegistry::new();
+        a.add(names::CONN_SERVICED, 10);
+        a.observe(names::LB_F_RATIO, 0.5);
+        let mut b = MetricsRegistry::new();
+        b.add(names::CONN_SERVICED, 30);
+        b.add(names::CONN_ORPHANS, 2);
+        b.observe(names::LB_F_RATIO, 1.5);
+        let agg = MetricsRegistry::aggregate(&[a, b]);
+        assert_eq!(agg.counter(names::CONN_SERVICED), 40);
+        assert_eq!(agg.counter(names::CONN_ORPHANS), 2);
+        let h = agg.histogram(names::LB_F_RATIO).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 1.5);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.cache_hit_rate(), None);
+        m.add(names::CONN_CACHE_HIT, 3);
+        m.add(names::CONN_CACHE_MISS, 1);
+        assert_eq!(m.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn per_phase_names_are_distinct() {
+        use crate::stats::Phase::*;
+        let all = [Flow, Connectivity, Motion, Balance, Other];
+        let mut seen = std::collections::HashSet::new();
+        for p in all {
+            assert!(seen.insert(names::msgs_in(p)));
+            assert!(seen.insert(names::bytes_in(p)));
+        }
+    }
+}

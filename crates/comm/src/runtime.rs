@@ -17,13 +17,21 @@
 //! (source, tag) pairs or collectives, never "whichever message lands
 //! first", so virtual times are bit-reproducible run to run regardless of
 //! wall-clock thread scheduling.
+//!
+//! Observability: every rank carries a [`MetricsRegistry`] (always on;
+//! counters are cheap) and an optional virtual-time [`Tracer`]
+//! (zero-cost-when-disabled). Phase attribution is RAII-scoped through
+//! [`Comm::phase`] — see [`PhaseGuard`].
 
+use crate::error::OversetError;
 use crate::machine::{MachineModel, WorkClass};
+use crate::metrics::{names, MetricsRegistry};
 use crate::stats::{Phase, RankStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::trace::{ArgVal, TraceConfig, TraceEvent, Tracer};
 use std::any::Any;
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Envelope {
     src: usize,
@@ -31,6 +39,25 @@ struct Envelope {
     /// Virtual time at which the message is fully available at the receiver.
     arrival: f64,
     payload: Box<dyn Any + Send>,
+}
+
+/// Marker published in place of a gathered vector when ranks contributed
+/// mixed types to one collective round.
+struct CollPoison;
+
+/// Deadlock watchdog period: set `OVERSET_COMM_WATCHDOG=<seconds>` to make
+/// every blocking wait (point-to-point recv, collective rendezvous) report
+/// to stderr when it has been stuck longer than the period. Diagnostic
+/// only — the wait then resumes; virtual time is unaffected.
+fn watchdog_period() -> Option<std::time::Duration> {
+    static PERIOD: std::sync::OnceLock<Option<std::time::Duration>> = std::sync::OnceLock::new();
+    *PERIOD.get_or_init(|| {
+        std::env::var("OVERSET_COMM_WATCHDOG")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map(std::time::Duration::from_secs_f64)
+    })
 }
 
 struct CollInner {
@@ -65,8 +92,9 @@ impl Collective {
     }
 }
 
-/// Per-rank communicator handle. Created by [`Universe::run`]; owns the
-/// rank's virtual clock, statistics, and channel endpoints.
+/// Per-rank communicator handle. Created by [`Universe`]; owns the rank's
+/// virtual clock, statistics, metrics registry, optional tracer, and
+/// channel endpoints.
 pub struct Comm {
     rank: usize,
     size: usize,
@@ -79,8 +107,46 @@ pub struct Comm {
     coll: Arc<Collective>,
     coll_gen: u64,
     stats: RankStats,
+    metrics: MetricsRegistry,
+    tracer: Option<Tracer>,
     phase: Phase,
     phase_start: f64,
+}
+
+/// RAII phase scope: created by [`Comm::phase`]; while alive, virtual time
+/// and flops accrue to its phase; dropping it restores the previous phase
+/// (flushing elapsed time) and, when tracing, emits a `phase` span covering
+/// the scope. Derefs to [`Comm`], so communication happens *through* the
+/// guard — phase attribution cannot be left dangling.
+pub struct PhaseGuard<'a> {
+    comm: &'a mut Comm,
+    prev: Phase,
+    start: f64,
+}
+
+impl Deref for PhaseGuard<'_> {
+    type Target = Comm;
+    fn deref(&self) -> &Comm {
+        self.comm
+    }
+}
+
+impl DerefMut for PhaseGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Comm {
+        self.comm
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let ended = self.comm.phase;
+        let start = self.start;
+        let dur = self.comm.clock - start;
+        self.comm.switch_phase(self.prev);
+        if let Some(t) = &mut self.comm.tracer {
+            t.complete("phase", ended.name(), start, dur, Vec::new());
+        }
+    }
 }
 
 impl Comm {
@@ -105,26 +171,88 @@ impl Comm {
         self.clock
     }
 
+    /// The rank's metrics registry (read side).
+    #[inline]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The rank's metrics registry (record side).
+    #[inline]
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Is event tracing active on this rank?
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record a completed span from virtual time `start` to now. No-op
+    /// (one branch) when tracing is disabled.
+    #[inline]
+    pub fn trace_complete(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        start: f64,
+        args: &[(&'static str, ArgVal)],
+    ) {
+        if let Some(t) = &mut self.tracer {
+            let dur = self.clock - start;
+            t.complete(cat, name, start, dur, args.to_vec());
+        }
+    }
+
     /// Set the per-rank working set used by the cache model (bytes).
     pub fn set_working_set(&mut self, bytes: f64) {
         self.working_set_bytes = bytes;
     }
 
-    /// Switch statistics phase; time accrues to the phase that was active.
-    pub fn set_phase(&mut self, phase: Phase) {
+    /// Enter `phase` for the lifetime of the returned guard. Statistics
+    /// time accrues to the phase that was active up to this call; the
+    /// guard's drop restores it.
+    pub fn phase(&mut self, phase: Phase) -> PhaseGuard<'_> {
+        let prev = self.switch_phase(phase);
+        let start = self.clock;
+        PhaseGuard { comm: self, prev, start }
+    }
+
+    /// The phase statistics currently accrue to.
+    #[inline]
+    pub fn current_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Switch the statistics phase, flushing elapsed time into the bucket
+    /// of the phase that was active. Internal: external callers scope
+    /// phases with [`Comm::phase`].
+    fn switch_phase(&mut self, phase: Phase) -> Phase {
         let elapsed = self.clock - self.phase_start;
         self.stats.time[self.phase as usize] += elapsed;
+        let prev = self.phase;
         self.phase = phase;
         self.phase_start = self.clock;
+        prev
     }
 
     /// Account `flops` of `class` compute work: advances the virtual clock
     /// and the flop counters.
     pub fn compute(&mut self, flops: f64, class: WorkClass) {
         debug_assert!(flops >= 0.0);
+        let t0 = self.clock;
         let dt = self.machine.compute_time(flops, class, self.working_set_bytes);
         self.clock += dt;
         self.stats.flops[self.phase as usize] += flops;
+        if let Some(t) = &mut self.tracer {
+            let name = match class {
+                WorkClass::Flow => "flow",
+                WorkClass::Search => "search",
+                WorkClass::Other => "other",
+            };
+            t.complete("compute", name, t0, dt, vec![("flops", ArgVal::F64(flops))]);
+        }
     }
 
     /// Advance the clock without doing flops (e.g. fixed overheads).
@@ -137,10 +265,26 @@ impl Comm {
     /// Non-blocking (asynchronous send, as DCF3D's search requests are).
     pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, payload: T, bytes: usize) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let t0 = self.clock;
         self.clock += self.machine.send_overhead;
         let arrival = self.clock + self.machine.transit_time(bytes);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        self.metrics.inc(names::msgs_in(self.phase));
+        self.metrics.add(names::bytes_in(self.phase), bytes as u64);
+        if let Some(t) = &mut self.tracer {
+            t.complete(
+                "comm",
+                "send",
+                t0,
+                self.machine.send_overhead,
+                vec![
+                    ("dst", ArgVal::U64(dst as u64)),
+                    ("tag", ArgVal::U64(tag)),
+                    ("bytes", ArgVal::U64(bytes as u64)),
+                ],
+            );
+        }
         self.txs[dst]
             .send(Envelope { src: self.rank, tag, arrival, payload: Box::new(payload) })
             .expect("receiver hung up");
@@ -148,28 +292,76 @@ impl Comm {
 
     /// Blocking receive of a message of type `T` from `src` with `tag`.
     /// Advances the clock to at least the message arrival time.
+    ///
+    /// Convenience wrapper over [`Comm::try_recv`] that treats failure as
+    /// an internal protocol invariant violation (panics). Fallible callers
+    /// use `try_recv`.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> T {
-        let env = self.take_matching(src, tag);
-        self.clock = self.clock.max(env.arrival);
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: type mismatch receiving tag {tag} from {src}",
-                self.rank
-            )
-        })
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn take_matching(&mut self, src: usize, tag: u64) -> Envelope {
+    /// Blocking receive of a message of type `T` from `src` with `tag`,
+    /// surfacing type mismatches and disconnections as [`OversetError`].
+    pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, OversetError> {
+        let t0 = self.clock;
+        let env = self.take_matching(src, tag)?;
+        let stall = (env.arrival - self.clock).max(0.0);
+        self.clock = self.clock.max(env.arrival);
+        self.metrics.observe(names::COMM_RECV_STALL, stall);
+        if let Some(t) = &mut self.tracer {
+            t.complete(
+                "comm",
+                "recv",
+                t0,
+                self.clock - t0,
+                vec![("src", ArgVal::U64(src as u64)), ("tag", ArgVal::U64(tag))],
+            );
+        }
+        match env.payload.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(_) => Err(OversetError::TypeMismatch {
+                rank: self.rank,
+                src,
+                tag,
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    fn take_matching(&mut self, src: usize, tag: u64) -> Result<Envelope, OversetError> {
         if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
             // Order-preserving removal: multiple buffered messages with the
             // same (src, tag) must be consumed FIFO (e.g. pipelined line
             // chunks).
-            return self.pending.remove(pos);
+            return Ok(self.pending.remove(pos));
         }
         loop {
-            let env = self.rx.recv().expect("all senders disconnected");
+            let env = match watchdog_period() {
+                None => self.rx.recv().map_err(|_| OversetError::Disconnected {
+                    rank: self.rank,
+                    src,
+                    tag,
+                })?,
+                Some(period) => loop {
+                    match self.rx.recv_timeout(period) {
+                        Ok(env) => break env,
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                            let buffered: Vec<(usize, u64)> =
+                                self.pending.iter().map(|e| (e.src, e.tag)).collect();
+                            eprintln!(
+                                "[overset-comm watchdog] rank {} stuck in recv(src={src}, tag={tag}); \
+                                 buffered={buffered:?}",
+                                self.rank
+                            );
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                            return Err(OversetError::Disconnected { rank: self.rank, src, tag })
+                        }
+                    }
+                },
+            };
             if env.src == src && env.tag == tag {
-                return env;
+                return Ok(env);
             }
             self.pending.push(env);
         }
@@ -178,39 +370,103 @@ impl Comm {
     /// Synchronize all ranks: everyone leaves with the same clock (round max
     /// plus the collective cost).
     pub fn barrier(&mut self) {
-        let _: Vec<u8> = self.allgather(0u8, 8);
+        let _: Vec<u8> = self.allgather_inner("barrier", 0u8, 8).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// All-gather: every rank contributes `value` (logical size `bytes`) and
     /// receives the vector of all contributions indexed by rank.
-    pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T, bytes: usize) -> Vec<T> {
+    ///
+    /// Convenience wrapper over [`Comm::try_allgather`] that treats failure
+    /// as an internal protocol invariant violation (panics).
+    pub fn allgather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        value: T,
+        bytes: usize,
+    ) -> Vec<T> {
+        self.try_allgather(value, bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// All-gather surfacing mixed-type collectives as [`OversetError`].
+    pub fn try_allgather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        value: T,
+        bytes: usize,
+    ) -> Result<Vec<T>, OversetError> {
+        self.allgather_inner("allgather", value, bytes)
+    }
+
+    fn allgather_inner<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        span_name: &'static str,
+        value: T,
+        bytes: usize,
+    ) -> Result<Vec<T>, OversetError> {
+        let t0 = self.clock;
         let gen = self.coll_gen;
         self.coll_gen += 1;
         let coll = Arc::clone(&self.coll);
-        let mut inner = coll.m.lock();
+        let mut inner = coll.m.lock().expect("collective mutex poisoned");
         // Wait for our round to open (previous round fully consumed).
         while inner.generation != gen {
-            self.coll.cv.wait(&mut inner);
+            inner = match watchdog_period() {
+                None => coll.cv.wait(inner).expect("collective mutex poisoned"),
+                Some(period) => {
+                    let (g, to) =
+                        coll.cv.wait_timeout(inner, period).expect("collective mutex poisoned");
+                    if to.timed_out() {
+                        eprintln!(
+                            "[overset-comm watchdog] rank {} stuck opening collective round \
+                             gen={gen} (current generation={}, arrived={}/{}, readers_left={})",
+                            self.rank, g.generation, g.arrived, self.size, g.readers_left
+                        );
+                    }
+                    g
+                }
+            };
         }
         inner.slots[self.rank] = Some(Box::new(value));
         inner.arrived += 1;
         inner.max_clock = inner.max_clock.max(self.clock);
         if inner.arrived == self.size {
-            // Last arriver gathers and publishes.
-            let gathered: Vec<T> = inner
-                .slots
-                .iter_mut()
-                .map(|s| *s.take().expect("missing slot").downcast::<T>().expect("mixed types in collective"))
-                .collect();
-            inner.published = Some(Arc::new(gathered));
+            // Last arriver gathers and publishes. If any rank contributed a
+            // different type, publish a poison marker so every rank reports
+            // the mismatch instead of deadlocking.
+            let mut gathered: Vec<T> = Vec::with_capacity(self.size);
+            let mut poisoned = false;
+            for s in inner.slots.iter_mut() {
+                let b = s.take().expect("missing collective slot");
+                match b.downcast::<T>() {
+                    Ok(v) => gathered.push(*v),
+                    Err(_) => poisoned = true,
+                }
+            }
+            inner.published =
+                Some(if poisoned { Arc::new(CollPoison) } else { Arc::new(gathered) });
             inner.published_clock = inner.max_clock;
             inner.readers_left = self.size;
             inner.arrived = 0;
             inner.max_clock = f64::NEG_INFINITY;
-            self.coll.cv.notify_all();
+            coll.cv.notify_all();
         } else {
             while inner.published.is_none() || inner.generation != gen {
-                self.coll.cv.wait(&mut inner);
+                inner = match watchdog_period() {
+                    None => coll.cv.wait(inner).expect("collective mutex poisoned"),
+                    Some(period) => {
+                        let (g, to) =
+                            coll.cv.wait_timeout(inner, period).expect("collective mutex poisoned");
+                        if to.timed_out() {
+                            eprintln!(
+                                "[overset-comm watchdog] rank {} stuck in collective round \
+                                 gen={gen} (arrived={}/{}, published={})",
+                                self.rank,
+                                g.arrived,
+                                self.size,
+                                g.published.is_some()
+                            );
+                        }
+                        g
+                    }
+                };
             }
         }
         let arc = inner.published.clone().expect("published result");
@@ -219,17 +475,31 @@ impl Comm {
         if inner.readers_left == 0 {
             inner.published = None;
             inner.generation = gen + 1;
-            self.coll.cv.notify_all();
+            coll.cv.notify_all();
         }
         drop(inner);
-        let result = arc
-            .downcast::<Vec<T>>()
-            .expect("collective type mismatch")
-            .as_ref()
-            .clone();
+        let result = match arc.downcast::<Vec<T>>() {
+            Ok(v) => v.as_ref().clone(),
+            Err(_) => {
+                return Err(OversetError::CollectiveMismatch {
+                    rank: self.rank,
+                    expected: std::any::type_name::<T>(),
+                })
+            }
+        };
         self.clock = round_clock + self.machine.collective_time(self.size, bytes * self.size);
         self.stats.collectives += 1;
-        result
+        self.metrics.inc(names::COMM_COLLECTIVES);
+        if let Some(t) = &mut self.tracer {
+            t.complete(
+                "comm",
+                span_name,
+                t0,
+                self.clock - t0,
+                vec![("bytes", ArgVal::U64(bytes as u64))],
+            );
+        }
+        Ok(result)
     }
 
     /// All-reduce max over f64.
@@ -247,45 +517,107 @@ impl Comm {
         self.allgather(value, 8).into_iter().sum()
     }
 
-    /// Finalize statistics (closes the open phase) and return them.
-    fn finish(mut self) -> RankStats {
+    /// Finalize statistics (closes the open phase) and return them together
+    /// with the recorded trace and the metrics registry.
+    fn finish(mut self) -> (RankStats, Vec<TraceEvent>, MetricsRegistry) {
         let phase = self.phase;
-        self.set_phase(phase); // flush elapsed time into the current bucket
+        self.switch_phase(phase); // flush elapsed time into the current bucket
         self.stats.final_clock = self.clock;
-        self.stats
+        let trace = self.tracer.take().map(Tracer::into_events).unwrap_or_default();
+        (self.stats, trace, self.metrics)
     }
 }
 
-/// Result of one rank's execution under [`Universe::run`].
+/// Result of one rank's execution under [`Universe`].
 #[derive(Clone, Debug)]
 pub struct RankOutput<R> {
     pub result: R,
     pub stats: RankStats,
+    /// Virtual-time spans recorded on this rank (empty unless the universe
+    /// was built with tracing enabled).
+    pub trace: Vec<TraceEvent>,
+    /// This rank's metrics registry.
+    pub metrics: MetricsRegistry,
 }
 
-/// The simulated parallel machine: spawns `nranks` rank threads and runs the
-/// same SPMD closure on each.
+/// The simulated parallel machine. Configure one with
+/// [`Universe::builder`]:
+///
+/// ```
+/// use overset_comm::prelude::*;
+///
+/// let out = Universe::builder()
+///     .ranks(4)
+///     .machine(&MachineModel::modern())
+///     .trace(TraceConfig::enabled())
+///     .run(|c| c.rank() * 2);
+/// assert_eq!(out[2].result, 4);
+/// ```
 pub struct Universe;
 
+/// Builder for a universe run: rank count, machine model, tracing.
+#[derive(Clone, Debug)]
+pub struct UniverseBuilder {
+    ranks: usize,
+    machine: MachineModel,
+    trace: TraceConfig,
+}
+
 impl Universe {
-    /// Run `f` on `nranks` ranks of `machine`. Returns per-rank outputs in
-    /// rank order. Panics in any rank propagate.
+    pub fn builder() -> UniverseBuilder {
+        UniverseBuilder {
+            ranks: 1,
+            machine: MachineModel::modern(),
+            trace: TraceConfig::disabled(),
+        }
+    }
+
+    /// Shorthand for `Universe::builder().ranks(nranks).machine(machine).run(f)`.
     pub fn run<R, F>(nranks: usize, machine: &MachineModel, f: F) -> Vec<RankOutput<R>>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        Universe::builder().ranks(nranks).machine(machine).run(f)
+    }
+}
+
+impl UniverseBuilder {
+    pub fn ranks(mut self, n: usize) -> Self {
+        self.ranks = n;
+        self
+    }
+
+    pub fn machine(mut self, m: &MachineModel) -> Self {
+        self.machine = m.clone();
+        self
+    }
+
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = cfg;
+        self
+    }
+
+    /// Run `f` on every rank. Returns per-rank outputs in rank order.
+    /// Panics in any rank propagate.
+    pub fn run<R, F>(self, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let nranks = self.ranks;
         assert!(nranks >= 1);
-        let machine = Arc::new(machine.clone());
+        let machine = Arc::new(self.machine.clone());
         let mut txs = Vec::with_capacity(nranks);
         let mut rxs = Vec::with_capacity(nranks);
         for _ in 0..nranks {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             txs.push(tx);
             rxs.push(rx);
         }
         let coll = Arc::new(Collective::new(nranks));
         let f = &f;
+        let trace = self.trace;
         let mut outputs: Vec<Option<RankOutput<R>>> = (0..nranks).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = rxs
@@ -308,11 +640,14 @@ impl Universe {
                             coll,
                             coll_gen: 0,
                             stats: RankStats::new(rank),
+                            metrics: MetricsRegistry::new(),
+                            tracer: trace.enabled.then(Tracer::new),
                             phase: Phase::Other,
                             phase_start: 0.0,
                         };
                         let result = f(&mut comm);
-                        RankOutput { result, stats: comm.finish() }
+                        let (stats, trace, metrics) = comm.finish();
+                        RankOutput { result, stats, trace, metrics }
                     })
                 })
                 .collect();
@@ -396,10 +731,7 @@ mod tests {
 
     #[test]
     fn allgather_returns_rank_ordered_values() {
-        let out = Universe::run(5, &modern(), |c| {
-            let v = c.allgather(c.rank() * 10, 8);
-            v
-        });
+        let out = Universe::run(5, &modern(), |c| c.allgather(c.rank() * 10, 8));
         for o in &out {
             assert_eq!(o.result, vec![0, 10, 20, 30, 40]);
         }
@@ -456,7 +788,7 @@ mod tests {
     }
 
     #[test]
-    fn phase_accounting() {
+    fn phase_accounting_via_guards() {
         let m = MachineModel {
             name: "t",
             flops_per_sec: 1.0,
@@ -467,17 +799,48 @@ mod tests {
             send_overhead: 0.0,
         };
         let out = Universe::run(1, &m, |c| {
-            c.set_phase(Phase::Flow);
-            c.compute(2.0, WorkClass::Flow);
-            c.set_phase(Phase::Connectivity);
-            c.compute(3.0, WorkClass::Search);
-            c.set_phase(Phase::Other);
+            {
+                let mut ph = c.phase(Phase::Flow);
+                ph.compute(2.0, WorkClass::Flow);
+            }
+            {
+                let mut ph = c.phase(Phase::Connectivity);
+                ph.compute(3.0, WorkClass::Search);
+            }
         });
         let s = &out[0].stats;
         assert!((s.time[Phase::Flow as usize] - 2.0).abs() < 1e-12);
         assert!((s.time[Phase::Connectivity as usize] - 3.0).abs() < 1e-12);
         assert!((s.flops[Phase::Flow as usize] - 2.0).abs() < 1e-12);
         assert!((s.total_time() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_guards_nest_and_restore() {
+        let m = MachineModel {
+            name: "t",
+            flops_per_sec: 1.0,
+            class_efficiency: [1.0; 3],
+            cache: crate::machine::CacheModel::FLAT,
+            latency: 0.0,
+            bandwidth: 1.0,
+            send_overhead: 0.0,
+        };
+        let out = Universe::run(1, &m, |c| {
+            let mut outer = c.phase(Phase::Flow);
+            outer.compute(1.0, WorkClass::Flow);
+            {
+                let mut inner = outer.phase(Phase::Balance);
+                inner.compute(4.0, WorkClass::Other);
+                assert_eq!(inner.current_phase(), Phase::Balance);
+            }
+            // Inner guard restored the outer phase.
+            assert_eq!(outer.current_phase(), Phase::Flow);
+            outer.compute(2.0, WorkClass::Flow);
+        });
+        let s = &out[0].stats;
+        assert!((s.time[Phase::Flow as usize] - 3.0).abs() < 1e-12);
+        assert!((s.time[Phase::Balance as usize] - 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -494,6 +857,103 @@ mod tests {
         assert_eq!(out[0].stats.msgs_sent, 2);
         assert_eq!(out[0].stats.bytes_sent, 1200);
         assert_eq!(out[1].stats.msgs_sent, 0);
+    }
+
+    #[test]
+    fn per_phase_message_metrics() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.send(1, 0, (), 100);
+                }
+                {
+                    let mut ph = c.phase(Phase::Connectivity);
+                    ph.send(1, 1, (), 300);
+                    ph.send(1, 2, (), 50);
+                }
+            } else {
+                c.recv::<()>(0, 0);
+                c.recv::<()>(0, 1);
+                c.recv::<()>(0, 2);
+            }
+        });
+        let m = &out[0].metrics;
+        assert_eq!(m.counter(names::msgs_in(Phase::Flow)), 1);
+        assert_eq!(m.counter(names::bytes_in(Phase::Flow)), 100);
+        assert_eq!(m.counter(names::msgs_in(Phase::Connectivity)), 2);
+        assert_eq!(m.counter(names::bytes_in(Phase::Connectivity)), 350);
+        // Receiver recorded stall observations.
+        let stall = out[1].metrics.histogram(names::COMM_RECV_STALL).unwrap();
+        assert_eq!(stall.count, 3);
+        assert!(stall.max > 0.0);
+    }
+
+    #[test]
+    fn tracing_records_phase_comm_and_compute_spans() {
+        let out =
+            Universe::builder().ranks(2).machine(&modern()).trace(TraceConfig::enabled()).run(
+                |c| {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.compute(1.0e6, WorkClass::Flow);
+                    if ph.rank() == 0 {
+                        ph.send(1, 9, 7u8, 64);
+                    } else {
+                        ph.recv::<u8>(0, 9);
+                    }
+                    ph.barrier();
+                },
+            );
+        for o in &out {
+            let cats: Vec<&str> = o.trace.iter().map(|e| e.cat).collect();
+            assert!(cats.contains(&"phase"), "{cats:?}");
+            assert!(cats.contains(&"comm"));
+            assert!(cats.contains(&"compute"));
+            // Phase span covers the whole scope.
+            let phase = o.trace.iter().find(|e| e.cat == "phase").unwrap();
+            assert_eq!(phase.name, "flow");
+            assert!(phase.dur > 0.0);
+        }
+        // Tracing off: no events.
+        let off = Universe::run(1, &modern(), |c| {
+            c.compute(1.0, WorkClass::Flow);
+        });
+        assert!(off[0].trace.is_empty());
+    }
+
+    #[test]
+    fn try_recv_type_mismatch_is_an_error() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 1.25f64, 8);
+                Ok(())
+            } else {
+                c.try_recv::<u32>(0, 5).map(|_| ())
+            }
+        });
+        assert!(out[0].result.is_ok());
+        match &out[1].result {
+            Err(OversetError::TypeMismatch { rank: 1, src: 0, tag: 5, .. }) => {}
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_type_collective_is_an_error_on_every_rank() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                c.try_allgather(1u32, 4).map(|_| ())
+            } else {
+                c.try_allgather(1.5f64, 8).map(|_| ())
+            }
+        });
+        for o in &out {
+            assert!(
+                matches!(o.result, Err(OversetError::CollectiveMismatch { .. })),
+                "expected CollectiveMismatch, got {:?}",
+                o.result
+            );
+        }
     }
 
     #[test]

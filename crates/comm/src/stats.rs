@@ -14,6 +14,19 @@ pub enum Phase {
 
 pub const NUM_PHASES: usize = 5;
 
+impl Phase {
+    /// Stable lowercase label used by metric names and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Flow => "flow",
+            Phase::Connectivity => "connectivity",
+            Phase::Motion => "motion",
+            Phase::Balance => "balance",
+            Phase::Other => "other",
+        }
+    }
+}
+
 /// Statistics accumulated by one rank over a run.
 #[derive(Clone, Debug)]
 pub struct RankStats {
@@ -59,6 +72,9 @@ pub struct PerfSummary {
     pub wall_time: f64,
     /// Sum over ranks of per-phase time.
     pub time: [f64; NUM_PHASES],
+    /// Max over ranks of per-phase time. Phases are barrier-separated, so
+    /// this is the exact per-phase elapsed (wall) time.
+    pub phase_elapsed: [f64; NUM_PHASES],
     /// Sum over ranks of per-phase flops.
     pub flops: [f64; NUM_PHASES],
     pub msgs: u64,
@@ -71,6 +87,7 @@ impl PerfSummary {
             nranks: stats.len(),
             wall_time: 0.0,
             time: [0.0; NUM_PHASES],
+            phase_elapsed: [0.0; NUM_PHASES],
             flops: [0.0; NUM_PHASES],
             msgs: 0,
             bytes: 0,
@@ -79,6 +96,7 @@ impl PerfSummary {
             s.wall_time = s.wall_time.max(r.final_clock);
             for p in 0..NUM_PHASES {
                 s.time[p] += r.time[p];
+                s.phase_elapsed[p] = s.phase_elapsed[p].max(r.time[p]);
                 s.flops[p] += r.flops[p];
             }
             s.msgs += r.msgs_sent;
@@ -105,12 +123,18 @@ impl PerfSummary {
         self.flops.iter().sum::<f64>() / self.wall_time / self.nranks as f64 / 1.0e6
     }
 
-    /// Per-phase effective wall time (summed phase time / nranks): an
-    /// approximation of the per-phase elapsed time used for the per-module
-    /// speedup curves (phases are barrier-separated, so the average over
-    /// ranks of a phase's time equals its elapsed time when balanced and
-    /// bounds it from below when not; the driver also records exact
-    /// per-phase elapsed maxima).
+    /// Exact per-phase elapsed (wall) time: the max over ranks of the
+    /// phase's virtual time. Phases are barrier-separated, so the slowest
+    /// rank sets the elapsed time. This is the quantity the per-module
+    /// speedup tables report.
+    pub fn phase_time(&self, p: Phase) -> f64 {
+        self.phase_elapsed[p as usize]
+    }
+
+    /// *Average* per-rank phase time (summed phase time / nranks). This is
+    /// an average, not an elapsed time: it equals [`PerfSummary::phase_time`]
+    /// only when the phase is perfectly balanced, and bounds it from below
+    /// otherwise. Use `phase_time` for table rows.
     pub fn mean_phase_time(&self, p: Phase) -> f64 {
         self.time[p as usize] / self.nranks as f64
     }
@@ -139,6 +163,9 @@ mod tests {
         // 180 Mflop over 10 s over 2 nodes = 9 Mflops/node.
         assert!((s.mflops_per_node() - 9.0).abs() < 1e-12);
         assert!((s.mean_phase_time(Phase::Flow) - 7.0).abs() < 1e-12);
+        // Elapsed is the max over ranks, not the mean.
+        assert!((s.phase_time(Phase::Flow) - 8.0).abs() < 1e-12);
+        assert!((s.phase_time(Phase::Connectivity) - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -285,11 +285,7 @@ fn newton_walk(
         for &d in dirs {
             let c = cell.get(d) as isize;
             let n = block.local_dims.get(d) as isize;
-            let step = if t[d] < -TOL || t[d] > 1.0 + TOL {
-                t[d].floor() as isize
-            } else {
-                0
-            };
+            let step = if t[d] < -TOL || t[d] > 1.0 + TOL { t[d].floor() as isize } else { 0 };
             if step != 0 {
                 let mut nc = c + step;
                 if nc < 0 || nc > n - 2 {
@@ -368,11 +364,7 @@ fn accept(block: &Block, cell: Ijk, t: [f64; 3], relaxed: bool) -> SearchOutcome
 /// Default walk start: the center of the owned region.
 pub fn center_start(block: &Block) -> Ijk {
     let ow = block.owned_local();
-    Ijk::new(
-        (ow.lo.i + ow.hi.i) / 2,
-        (ow.lo.j + ow.hi.j) / 2,
-        (ow.lo.k + ow.hi.k) / 2,
-    )
+    Ijk::new((ow.lo.i + ow.hi.i) / 2, (ow.lo.j + ow.hi.j) / 2, (ow.lo.k + ow.hi.k) / 2)
 }
 
 #[cfg(test)]

@@ -34,10 +34,7 @@ pub struct Igbp {
 /// Re-cut holes and identify fringe points on a block against the solids of
 /// *other* grids. Resets all previous blanking. Returns (IGBP list,
 /// estimated flops).
-pub fn cut_holes_and_find_fringe(
-    block: &mut Block,
-    solids: &[(usize, Solid)],
-) -> (Vec<Igbp>, u64) {
+pub fn cut_holes_and_find_fringe(block: &mut Block, solids: &[(usize, Solid)]) -> (Vec<Igbp>, u64) {
     let ow = block.owned_local();
     // Reset: every owned node back to Field.
     for p in ow.iter() {
@@ -46,11 +43,8 @@ pub fn cut_holes_and_find_fringe(
 
     // Containment tests against foreign solids: cheap bounding-box
     // pre-check, detailed test only inside a solid's (padded) box.
-    let foreign: Vec<&Solid> = solids
-        .iter()
-        .filter(|(g, _)| *g != block.grid_id)
-        .map(|(_, s)| s)
-        .collect();
+    let foreign: Vec<&Solid> =
+        solids.iter().filter(|(g, _)| *g != block.grid_id).map(|(_, s)| s).collect();
     let mut flops = 0u64;
     if !foreign.is_empty() {
         // Pad boxes by the largest plausible pad once.
@@ -139,11 +133,7 @@ pub fn cut_holes_and_find_fringe(
 
 fn local_spacing(block: &Block, p: Ijk) -> f64 {
     let d = block.local_dims;
-    let q = if p.i + 1 < d.ni {
-        Ijk::new(p.i + 1, p.j, p.k)
-    } else {
-        Ijk::new(p.i - 1, p.j, p.k)
-    };
+    let q = if p.i + 1 < d.ni { Ijk::new(p.i + 1, p.j, p.k) } else { Ijk::new(p.i - 1, p.j, p.k) };
     let (a, b) = (block.coords[p], block.coords[q]);
     ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
 }
@@ -159,8 +149,7 @@ mod tests {
     fn bg_block(n: usize, outer_overset: bool) -> Block {
         let d = Dims::new(n, n, 1);
         let h = 4.0 / (n - 1) as f64;
-        let coords =
-            Field3::from_fn(d, |p| [-2.0 + h * p.i as f64, -2.0 + h * p.j as f64, 0.0]);
+        let coords = Field3::from_fn(d, |p| [-2.0 + h * p.i as f64, -2.0 + h * p.j as f64, 0.0]);
         let mut g = CurvilinearGrid::new("bg", coords, GridKind::Background);
         if outer_overset {
             g.patches = Face::ALL[..4]
@@ -182,11 +171,7 @@ mod tests {
         let c = b.to_local(Ijk::new(10, 10, 0));
         assert_eq!(b.iblank[c], Blank::Hole);
         // Holes exist, fringe ring surrounds them.
-        let holes = b
-            .owned_local()
-            .iter()
-            .filter(|&p| b.iblank[p] == Blank::Hole)
-            .count();
+        let holes = b.owned_local().iter().filter(|&p| b.iblank[p] == Blank::Hole).count();
         assert!(holes > 4, "holes = {holes}");
         assert!(!igbps.is_empty());
         // Every fringe node touches a hole.
@@ -234,20 +219,13 @@ mod tests {
         let mut b = bg_block(15, false);
         let near = vec![(0usize, Solid::Ellipsoid { center: [0.0; 3], radii: [0.7, 0.7, 10.0] })];
         cut_holes_and_find_fringe(&mut b, &near);
-        let before: usize = b
-            .owned_local()
-            .iter()
-            .filter(|&p| b.iblank[p] == Blank::Hole)
-            .count();
+        let before: usize = b.owned_local().iter().filter(|&p| b.iblank[p] == Blank::Hole).count();
         assert!(before > 0);
         // Solid moves away: holes must vanish.
-        let far = vec![(0usize, Solid::Ellipsoid { center: [50.0, 0.0, 0.0], radii: [0.7, 0.7, 10.0] })];
+        let far =
+            vec![(0usize, Solid::Ellipsoid { center: [50.0, 0.0, 0.0], radii: [0.7, 0.7, 10.0] })];
         let (igbps, _) = cut_holes_and_find_fringe(&mut b, &far);
-        let after: usize = b
-            .owned_local()
-            .iter()
-            .filter(|&p| b.iblank[p] == Blank::Hole)
-            .count();
+        let after: usize = b.owned_local().iter().filter(|&p| b.iblank[p] == Blank::Hole).count();
         assert_eq!(after, 0);
         assert!(igbps.is_empty());
     }
@@ -255,10 +233,12 @@ mod tests {
     #[test]
     fn moving_solid_shifts_the_hole() {
         let mut b = bg_block(21, false);
-        let s0 = vec![(0usize, Solid::Ellipsoid { center: [-0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
+        let s0 =
+            vec![(0usize, Solid::Ellipsoid { center: [-0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
         cut_holes_and_find_fringe(&mut b, &s0);
         let left_hole = b.iblank[b.to_local(Ijk::new(7, 10, 0))] == Blank::Hole;
-        let s1 = vec![(0usize, Solid::Ellipsoid { center: [0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
+        let s1 =
+            vec![(0usize, Solid::Ellipsoid { center: [0.5, 0.0, 0.0], radii: [0.5, 0.5, 10.0] })];
         cut_holes_and_find_fringe(&mut b, &s1);
         let right_hole = b.iblank[b.to_local(Ijk::new(13, 10, 0))] == Blank::Hole;
         assert!(left_hole && right_hole);

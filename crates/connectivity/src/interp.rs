@@ -59,8 +59,34 @@ pub fn interpolate(block: &Block, donor: &Donor) -> [f64; NVAR] {
             }
         }
     }
-    debug_assert!(wsum > 0.0, "relaxed donor with no clean corners");
-    if wsum > 0.0 && (wsum - 1.0).abs() > 1e-14 {
+    if wsum == 0.0 {
+        // Degenerate relaxed donor: the point sits exactly on a cell face
+        // and every nonzero-weight corner is a hole. The donor still has at
+        // least one clean corner (acceptance guarantees it) — average the
+        // clean corners equally rather than returning a zero state.
+        let mut clean = 0.0f64;
+        for dk in 0..kmax {
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let node = Ijk::new(donor.cell.i + di, donor.cell.j + dj, donor.cell.k + dk);
+                    if block.iblank[node] == overset_solver::Blank::Hole {
+                        continue;
+                    }
+                    clean += 1.0;
+                    let q = block.q.node(node);
+                    for v in 0..NVAR {
+                        out[v] += q[v];
+                    }
+                }
+            }
+        }
+        debug_assert!(clean > 0.0, "donor accepted with no clean corners");
+        if clean > 0.0 {
+            for v in out.iter_mut() {
+                *v /= clean;
+            }
+        }
+    } else if (wsum - 1.0).abs() > 1e-14 {
         for v in out.iter_mut() {
             *v /= wsum;
         }

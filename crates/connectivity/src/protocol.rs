@@ -25,6 +25,8 @@
 use crate::donor::{center_start, walk_search, walk_search_relaxed, SearchCost, SearchOutcome};
 use crate::holes::Igbp;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
+use overset_comm::metrics::names;
+use overset_comm::trace::ArgVal;
 use overset_comm::{Comm, WorkClass};
 use overset_grid::index::{Ijk, IndexBox};
 use overset_grid::Aabb;
@@ -148,18 +150,21 @@ pub fn connect_distributed(
     let me = comm.rank();
     let my_grid = topo.grid_of_rank[me];
     let mut stats = ConnStats { igbps: igbps.len(), ..Default::default() };
+    let t_conn = comm.now();
 
     // 1. Broadcast owned-region bounding boxes.
     let my_bbox = owned_bbox(block);
     let flat: [f64; 6] = [
-        my_bbox.min[0], my_bbox.min[1], my_bbox.min[2],
-        my_bbox.max[0], my_bbox.max[1], my_bbox.max[2],
+        my_bbox.min[0],
+        my_bbox.min[1],
+        my_bbox.min[2],
+        my_bbox.max[0],
+        my_bbox.max[1],
+        my_bbox.max[2],
     ];
     let boxes: Vec<[f64; 6]> = comm.allgather(flat, 48);
-    let boxes: Vec<Aabb> = boxes
-        .iter()
-        .map(|b| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]]))
-        .collect();
+    let boxes: Vec<Aabb> =
+        boxes.iter().map(|b| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]])).collect();
 
     // 2. Seed pending requests: cached donors first, hierarchy otherwise.
     let mut pending: Vec<Pending> = Vec::with_capacity(igbps.len());
@@ -173,13 +178,8 @@ pub fn connect_distributed(
                 relaxed,
             });
         } else {
-            let mut p = Pending {
-                igbp: idx,
-                level: 0,
-                candidates: Vec::new(),
-                hint: None,
-                relaxed: false,
-            };
+            let mut p =
+                Pending { igbp: idx, level: 0, candidates: Vec::new(), hint: None, relaxed: false };
             // Advance through the hierarchy until some grid's boxes contain
             // the point (the first listed grid need not).
             refill_candidates(&mut p, ig, my_grid, topo, &boxes);
@@ -241,14 +241,16 @@ pub fn connect_distributed(
         }
 
         // Service incoming requests (in rank order — deterministic).
-        for src in 0..nranks {
-            let n_in = all_counts[src][me] as usize;
+        for (src, counts) in all_counts.iter().enumerate() {
+            let n_in = counts[me] as usize;
             if n_in == 0 {
                 continue;
             }
+            let t_serve = comm.now();
             let pts: Vec<ReqPoint> = comm.recv(src, tag_req);
             assert_eq!(pts.len(), n_in);
             stats.serviced += n_in;
+            comm.metrics_mut().add(names::CONN_SERVICED, n_in as u64);
             let mut answers: Vec<(u32, Answer)> = Vec::with_capacity(n_in);
             let mut service_flops = 0u64;
             for pt in &pts {
@@ -276,6 +278,12 @@ pub fn connect_distributed(
             }
             comm.compute(service_flops as f64, WorkClass::Search);
             comm.send(src, tag_rep, answers, n_in * ANSWER_BYTES);
+            comm.trace_complete(
+                "conn",
+                "serve",
+                t_serve,
+                &[("src", ArgVal::U64(src as u64)), ("points", ArgVal::U64(n_in as u64))],
+            );
         }
 
         // Collect replies and update pending set.
@@ -291,6 +299,9 @@ pub fn connect_distributed(
             let (from, ans) = answers_by_id[&(p.igbp as u32)];
             match ans {
                 Answer::Found { value, cell_global } => {
+                    if p.level == usize::MAX {
+                        comm.metrics_mut().inc(names::CONN_CACHE_HIT);
+                    }
                     let ig = &igbps[p.igbp];
                     block.q.set_node(ig.node, value);
                     cache
@@ -302,6 +313,9 @@ pub fn connect_distributed(
                     // Advance to the next candidate / hierarchy level; after
                     // the strict hierarchy is exhausted, sweep it once more
                     // with relaxed donor acceptance before giving up.
+                    if p.level == usize::MAX {
+                        comm.metrics_mut().inc(names::CONN_CACHE_MISS);
+                    }
                     let ig = igbps[p.igbp];
                     p.hint = None;
                     p.candidates.remove(0);
@@ -320,6 +334,7 @@ pub fn connect_distributed(
                         orphaned.push(p.igbp);
                         cache.map.remove(&ig.node);
                     } else {
+                        comm.metrics_mut().inc(names::CONN_FORWARDS);
                         still_pending.push(p);
                     }
                 }
@@ -334,6 +349,15 @@ pub fn connect_distributed(
         orphaned.push(p.igbp);
     }
     stats.orphans = orphaned.len();
+    let m = comm.metrics_mut();
+    m.add(names::CONN_ORPHANS, stats.orphans as u64);
+    m.add(names::CONN_ROUNDS, stats.rounds as u64);
+    comm.trace_complete(
+        "conn",
+        "connect",
+        t_conn,
+        &[("igbps", ArgVal::U64(stats.igbps as u64)), ("rounds", ArgVal::U64(stats.rounds as u64))],
+    );
     stats
 }
 
@@ -349,10 +373,8 @@ fn refill_candidates(p: &mut Pending, ig: &Igbp, my_grid: usize, topo: &Topology
         return;
     };
     p.level = level;
-    let mut cands: Vec<usize> = topo.ranks_of_grid[grid]
-        .clone()
-        .filter(|&r| boxes[r].contains(ig.xyz))
-        .collect();
+    let mut cands: Vec<usize> =
+        topo.ranks_of_grid[grid].clone().filter(|&r| boxes[r].contains(ig.xyz)).collect();
     let dist2 = |r: usize| -> f64 {
         let c = boxes[r].center();
         (c[0] - ig.xyz[0]).powi(2) + (c[1] - ig.xyz[1]).powi(2) + (c[2] - ig.xyz[2]).powi(2)
@@ -416,9 +438,7 @@ mod tests {
 
     fn inner_grid() -> CurvilinearGrid {
         let di = Dims::new(17, 17, 1);
-        let ci = Field3::from_fn(di, |p| {
-            [1.0 + 0.125 * p.i as f64, 1.0 + 0.125 * p.j as f64, 0.0]
-        });
+        let ci = Field3::from_fn(di, |p| [1.0 + 0.125 * p.i as f64, 1.0 + 0.125 * p.j as f64, 0.0]);
         let mut gi = CurvilinearGrid::new("inner", ci, GridKind::NearBody);
         gi.patches = Face::ALL[..4]
             .iter()
@@ -481,8 +501,7 @@ mod tests {
             if comm.rank() > 0 {
                 paint_linear(&mut block);
             }
-            let (igbps, _) =
-                crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
             let mut cache = DonorCache::new();
             let stats = connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm);
             // Verify resolved fringe values against the analytic field.
@@ -544,6 +563,38 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.result.to_bits(), y.result.to_bits());
         }
+    }
+
+    #[test]
+    fn metrics_registry_matches_protocol_stats_across_ranks() {
+        use overset_comm::metrics::MetricsRegistry;
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+            let mut block = build_block(comm.rank(), &fc);
+            paint_linear(&mut block);
+            let mut cache = DonorCache::new();
+            let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let s1 = connect_distributed(&mut block, &igbps, &topo(), &mut cache, comm);
+            let (igbps2, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
+            let s2 = connect_distributed(&mut block, &igbps2, &topo(), &mut cache, comm);
+            (s1, s2)
+        });
+        // Per-rank: the registry's serviced counter is exactly the sum of
+        // the per-step stats — single source of truth for I(p).
+        for o in &out {
+            let expect = (o.result.0.serviced + o.result.1.serviced) as u64;
+            assert_eq!(o.metrics.counter(names::CONN_SERVICED), expect);
+        }
+        // Cross-rank aggregation sums counters and merges histograms.
+        let regs: Vec<MetricsRegistry> = out.iter().map(|o| o.metrics.clone()).collect();
+        let agg = MetricsRegistry::aggregate(&regs);
+        let total: u64 =
+            out.iter().map(|o| (o.result.0.serviced + o.result.1.serviced) as u64).sum();
+        assert!(total > 0);
+        assert_eq!(agg.counter(names::CONN_SERVICED), total);
+        // The warm second pass produced cache hits on the requesting rank.
+        assert!(agg.counter(names::CONN_CACHE_HIT) > 0);
+        assert!(agg.cache_hit_rate().unwrap() > 0.5);
     }
 
     #[test]

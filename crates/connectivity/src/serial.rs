@@ -155,9 +155,7 @@ mod tests {
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
         // Inner: [1, 3]^2 with h = 0.125.
         let di = Dims::new(17, 17, 1);
-        let ci = Field3::from_fn(di, |p| {
-            [1.0 + 0.125 * p.i as f64, 1.0 + 0.125 * p.j as f64, 0.0]
-        });
+        let ci = Field3::from_fn(di, |p| [1.0 + 0.125 * p.i as f64, 1.0 + 0.125 * p.j as f64, 0.0]);
         let mut gi = CurvilinearGrid::new("inner", ci, GridKind::NearBody);
         gi.patches = Face::ALL[..4]
             .iter()
@@ -220,10 +218,8 @@ mod tests {
     fn solid_hole_fringe_resolved_on_background() {
         let mut blocks = two_grid_system();
         // A solid owned by grid 0 cuts the background grid.
-        let solids = vec![(
-            0usize,
-            Solid::Ellipsoid { center: [2.0, 2.0, 0.0], radii: [0.4, 0.4, 10.0] },
-        )];
+        let solids =
+            vec![(0usize, Solid::Ellipsoid { center: [2.0, 2.0, 0.0], radii: [0.4, 0.4, 10.0] })];
         let mut cache = SerialCache::new();
         let stats = connect_serial(&mut blocks, &order(), &solids, &mut cache);
         // Background has a hole with fringe; those fringes find donors on

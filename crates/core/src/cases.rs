@@ -1,6 +1,7 @@
 //! The paper's three test cases, assembled as runnable [`CaseConfig`]s.
 
 use crate::driver::{CaseConfig, LbConfig};
+use overset_comm::trace::TraceConfig;
 use overset_grid::gen::{airfoil, delta_wing, store};
 use overset_motion::{BodyMotion, Loads, Prescribed, RigidBody};
 use overset_solver::FlowConditions;
@@ -23,6 +24,7 @@ pub fn airfoil_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        trace: TraceConfig::disabled(),
     }
 }
 
@@ -43,6 +45,7 @@ pub fn delta_wing_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        trace: TraceConfig::disabled(),
     }
 }
 
@@ -70,6 +73,7 @@ pub fn store_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        trace: TraceConfig::disabled(),
     }
 }
 

@@ -70,6 +70,7 @@ fn wrap_unpack_box(block: &Block, face: usize) -> IndexBox {
 
 impl SolverComm for MpSolverComm<'_> {
     fn exchange_halo(&mut self, block: &mut Block) {
+        let t0 = self.comm.now();
         if block.self_wrap_i {
             block.fill_self_wrap();
         }
@@ -100,18 +101,25 @@ impl SolverComm for MpSolverComm<'_> {
                 block.unpack_face(face, HALO, &data);
             }
         }
+        self.comm.trace_complete("solver", "exchange_halo", t0, &[]);
     }
 
     fn send_line(&mut self, block: &Block, dir: usize, downstream: bool, data: Vec<f64>) {
-        let target = implicit_neighbor(block, dir, downstream)
-            .expect("send_line with no implicit neighbor");
+        let target =
+            implicit_neighbor(block, dir, downstream).expect("send_line with no implicit neighbor");
         // Forward carries travel downstream; backward solutions upstream.
         let tag = TAG_LINE + 2 * dir as u64 + u64::from(!downstream);
         let bytes = data.len() * 8;
         self.comm.send(target, tag, data, bytes);
     }
 
-    fn recv_line(&mut self, block: &Block, dir: usize, from_upstream: bool, len: usize) -> Vec<f64> {
+    fn recv_line(
+        &mut self,
+        block: &Block,
+        dir: usize,
+        from_upstream: bool,
+        len: usize,
+    ) -> Vec<f64> {
         let source = implicit_neighbor(block, dir, !from_upstream)
             .expect("recv_line with no implicit neighbor");
         let tag = TAG_LINE + 2 * dir as u64 + u64::from(!from_upstream);
@@ -129,5 +137,13 @@ impl SolverComm for MpSolverComm<'_> {
 
     fn compute(&mut self, flops: u64) {
         self.comm.compute(flops as f64, WorkClass::Flow);
+    }
+
+    fn now(&self) -> f64 {
+        self.comm.now()
+    }
+
+    fn trace_span(&mut self, cat: &'static str, name: &'static str, start: f64) {
+        self.comm.trace_complete(cat, name, start, &[]);
     }
 }

@@ -6,9 +6,16 @@
 use crate::comm_impl::MpSolverComm;
 use crate::redistribute::redistribute_state;
 use crate::setup::{build_block, build_topology};
-use overset_balance::{dynamic_rebalance, static_balance, Partition};
-use overset_comm::{Comm, MachineModel, PerfSummary, Phase, RankStats, Universe, WorkClass, NUM_PHASES};
-use overset_connectivity::{connect_distributed, connect_serial, cut_holes_and_find_fringe, DonorCache, SerialCache};
+use overset_balance::{dynamic_rebalance, static_balance, Partition, ServiceWindow};
+use overset_comm::metrics::names;
+use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
+use overset_comm::{
+    Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary, Phase, RankStats, Universe,
+    WorkClass, NUM_PHASES,
+};
+use overset_connectivity::{
+    connect_distributed, connect_serial, cut_holes_and_find_fringe, DonorCache, SerialCache,
+};
 use overset_grid::curvilinear::{CurvilinearGrid, Solid};
 use overset_grid::transform::RigidTransform;
 use overset_grid::Dims;
@@ -57,6 +64,9 @@ pub struct CaseConfig {
     /// Use the nth-level-restart donor cache (Barszcz). Disabling forces a
     /// from-scratch donor search every step (the A1 ablation).
     pub use_restart: bool,
+    /// Event tracing (virtual-time spans collected into
+    /// [`RunResult::trace`]). Disabled by default; zero-cost when off.
+    pub trace: TraceConfig,
 }
 
 impl CaseConfig {
@@ -88,6 +98,12 @@ pub struct RunResult {
     pub repartitions: usize,
     pub np_final: Vec<usize>,
     pub rank_stats: Vec<RankStats>,
+    /// Per-rank virtual-time spans (empty unless [`CaseConfig::trace`] was
+    /// enabled). Feed to [`overset_comm::chrome_trace_json`].
+    pub trace: Vec<RankTrace>,
+    /// Metrics aggregated over every rank's registry (counters summed,
+    /// histograms merged).
+    pub metrics: MetricsRegistry,
     /// Final state per (grid, node) when `collect_state` was set.
     pub states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
 }
@@ -133,18 +149,44 @@ struct RankReturn {
 }
 
 /// Run a case on `nranks` ranks of `machine`. Deterministic in virtual time.
-pub fn run_case(cfg: &CaseConfig, nranks: usize, machine: &MachineModel) -> RunResult {
+///
+/// Configuration errors (an infeasible partition, a malformed search
+/// hierarchy) are reported before any rank thread spawns; panics inside the
+/// rank bodies indicate internal invariant violations, not bad input.
+pub fn run_case(
+    cfg: &CaseConfig,
+    nranks: usize,
+    machine: &MachineModel,
+) -> Result<RunResult, OversetError> {
     let sizes: Vec<usize> = cfg.grids.iter().map(|g| g.num_points()).collect();
     let dims: Vec<Dims> = cfg.grids.iter().map(|g| g.dims()).collect();
-    let initial = static_balance(&sizes, nranks).expect("static balance failed");
+    let initial = static_balance(&sizes, nranks)?;
     let base_partition = Partition::build(&dims, &initial.np);
+    // Validate the search hierarchy once up front; per-rank rebuilds after a
+    // repartition reuse the same (already validated) hierarchy.
+    build_topology(&base_partition, &cfg.search_order)?;
 
-    let outputs = Universe::run(nranks, machine, |comm| {
-        run_rank(cfg, &sizes, &dims, base_partition.clone(), comm)
-    });
+    let outputs = Universe::builder()
+        .ranks(nranks)
+        .machine(machine)
+        .trace(cfg.trace)
+        .run(|comm| run_rank(cfg, &sizes, &dims, base_partition.clone(), comm));
 
     let rank_stats: Vec<RankStats> = outputs.iter().map(|o| o.stats.clone()).collect();
     let summary = PerfSummary::from_ranks(&rank_stats);
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge_from(&o.metrics);
+    }
+    let trace: Vec<RankTrace> = if cfg.trace.enabled {
+        outputs
+            .iter()
+            .enumerate()
+            .map(|(rank, o)| RankTrace { rank, events: o.trace.clone() })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let sum_sq: f64 = outputs.iter().map(|o| o.result.state_sum_sq).sum();
     let count: usize = outputs.iter().map(|o| o.result.state_count).sum();
     let r0 = &outputs[0].result;
@@ -154,7 +196,7 @@ pub fn run_case(cfg: &CaseConfig, nranks: usize, machine: &MachineModel) -> RunR
             states.extend_from_slice(&o.result.states);
         }
     }
-    RunResult {
+    Ok(RunResult {
         nranks,
         states,
         state_rms: (sum_sq / count.max(1) as f64).sqrt(),
@@ -168,8 +210,10 @@ pub fn run_case(cfg: &CaseConfig, nranks: usize, machine: &MachineModel) -> RunR
         repartitions: r0.repartitions,
         np_final: r0.np_final.clone(),
         rank_stats,
+        trace,
+        metrics,
         summary,
-    }
+    })
 }
 
 /// One rank's SPMD body.
@@ -199,15 +243,20 @@ fn run_rank(
         .flat_map(|(g, grid)| grid.solids.iter().map(move |s| (g, *s)))
         .collect();
 
-    let (mut block, mut wall) = build_block(me, &partition, &cfg.grids, &cumulative, &fc);
+    // Inputs were validated by `run_case` before the threads spawned: a
+    // failure here is an internal invariant violation, not bad input.
+    let (mut block, mut wall) = build_block(me, &partition, &cfg.grids, &cumulative, &fc)
+        .unwrap_or_else(|e| panic!("rank {me}: {e}"));
     let mut scratch = Scratch::for_block(&block);
-    let mut topo = build_topology(&partition, &cfg.search_order);
+    let mut topo =
+        build_topology(&partition, &cfg.search_order).unwrap_or_else(|e| panic!("rank {me}: {e}"));
     let mut cache = DonorCache::new();
 
     let mut last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
     let mut phase_elapsed = [0.0f64; NUM_PHASES];
-    let mut serviced_accum = [0usize; 1]; // this rank's accumulated I(p)
-    let mut serviced_accum_count = 0usize;
+    // I(p) over the current balance window, read from the metrics registry
+    // (the single source of truth for service load).
+    let mut svc = ServiceWindow::begin(comm.metrics());
     let mut repartitions = 0usize;
     let mut last_conn = Default::default();
     let mut igbps_last = 0usize;
@@ -217,138 +266,147 @@ fn run_rank(
 
     for step in 0..cfg.steps {
         // ---- Phase 1: flow solve -------------------------------------
-        comm.set_phase(Phase::Flow);
-        let t0 = comm.now();
         {
-            let mut mp = MpSolverComm { comm };
-            mp.exchange_halo(&mut block);
-            if block.turbulent && block.viscous {
-                if let Some(w) = &wall {
-                    let flops = compute_mu_t(&mut block, w);
-                    mp.comm.compute(flops as f64, WorkClass::Flow);
+            let mut ph = comm.phase(Phase::Flow);
+            let t0 = ph.now();
+            {
+                let mut mp = MpSolverComm { comm: &mut ph };
+                mp.exchange_halo(&mut block);
+                if block.turbulent && block.viscous {
+                    if let Some(w) = &wall {
+                        let flops = compute_mu_t(&mut block, w);
+                        mp.comm.compute(flops as f64, WorkClass::Flow);
+                    }
                 }
-            }
-            let flops = compute_residual(&block, &fc, &mut scratch.res);
-            mp.comm.compute(flops as f64, WorkClass::Flow);
-            for v in scratch.res.as_mut_slice() {
-                *v *= fc.dt;
-            }
-            implicit_sweeps(&block, &fc, &mut scratch.res, &mut mp);
-            // Update field nodes.
-            let ow = block.owned_local();
-            let mut update_flops = 0u64;
-            for p in ow.iter().collect::<Vec<_>>() {
-                if block.iblank[p] != overset_solver::Blank::Field {
-                    continue;
+                let flops = compute_residual(&block, &fc, &mut scratch.res);
+                mp.comm.compute(flops as f64, WorkClass::Flow);
+                for v in scratch.res.as_mut_slice() {
+                    *v *= fc.dt;
                 }
-                update_flops += 5;
-                let dq = *scratch.res.node(p);
-                let q = block.q.node_mut(p);
-                for v in 0..5 {
-                    q[v] += dq[v];
+                implicit_sweeps(&block, &fc, &mut scratch.res, &mut mp);
+                // Update field nodes.
+                let ow = block.owned_local();
+                let mut update_flops = 0u64;
+                for p in ow.iter().collect::<Vec<_>>() {
+                    if block.iblank[p] != overset_solver::Blank::Field {
+                        continue;
+                    }
+                    update_flops += 5;
+                    let dq = *scratch.res.node(p);
+                    let q = block.q.node_mut(p);
+                    for v in 0..5 {
+                        q[v] += dq[v];
+                    }
+                    overset_solver::conditions::enforce_positivity(q);
                 }
-                overset_solver::conditions::enforce_positivity(q);
+                mp.comm.compute(update_flops as f64, WorkClass::Flow);
+                let bc_flops = apply_bcs(&mut block, &fc);
+                mp.comm.compute(bc_flops as f64, WorkClass::Flow);
             }
-            mp.comm.compute(update_flops as f64, WorkClass::Flow);
-            let bc_flops = apply_bcs(&mut block, &fc);
-            mp.comm.compute(bc_flops as f64, WorkClass::Flow);
+            ph.barrier();
+            phase_elapsed[Phase::Flow as usize] += ph.now() - t0;
         }
-        comm.barrier();
-        phase_elapsed[Phase::Flow as usize] += comm.now() - t0;
 
         // ---- Phase 2: grid motion ------------------------------------
-        comm.set_phase(Phase::Motion);
-        let t0 = comm.now();
-        for body in motions.iter_mut() {
-            // 6-DOF bodies: integrate aerodynamic loads over this rank's
-            // wall patches of the body's grids, then allreduce. Every rank
-            // participates in the collective (zero contribution if it owns
-            // no wall of this body).
-            let aero = if body.needs_aero() {
-                let mut local = Loads::ZERO;
-                if body.grids.contains(&block.grid_id) {
-                    let refp = body.moment_reference();
-                    let mut flops = 0u64;
-                    for face in 0..6 {
-                        if let Some((nu, nv, coords, press)) =
-                            overset_solver::bc::wall_surface(&block, face)
-                        {
-                            // Gauge pressure: open per-grid patches must not
-                            // feel the uniform freestream.
-                            let p_inf = overset_solver::conditions::pressure(&fc.freestream());
-                            let gauge: Vec<f64> = press.iter().map(|p| p - p_inf).collect();
-                            let l = overset_motion::integrate_surface_loads(
-                                nu, nv, &coords, &gauge, refp, 1.0,
-                            );
-                            local = local.add(&l);
-                            flops += (nu * nv) as u64 * 30;
+        {
+            let mut ph = comm.phase(Phase::Motion);
+            let t0 = ph.now();
+            for body in motions.iter_mut() {
+                // 6-DOF bodies: integrate aerodynamic loads over this rank's
+                // wall patches of the body's grids, then allreduce. Every rank
+                // participates in the collective (zero contribution if it owns
+                // no wall of this body).
+                let aero = if body.needs_aero() {
+                    let mut local = Loads::ZERO;
+                    if body.grids.contains(&block.grid_id) {
+                        let refp = body.moment_reference();
+                        let mut flops = 0u64;
+                        for face in 0..6 {
+                            if let Some((nu, nv, coords, press)) =
+                                overset_solver::bc::wall_surface(&block, face)
+                            {
+                                // Gauge pressure: open per-grid patches must not
+                                // feel the uniform freestream.
+                                let p_inf = overset_solver::conditions::pressure(&fc.freestream());
+                                let gauge: Vec<f64> = press.iter().map(|p| p - p_inf).collect();
+                                let l = overset_motion::integrate_surface_loads(
+                                    nu, nv, &coords, &gauge, refp, 1.0,
+                                );
+                                local = local.add(&l);
+                                flops += (nu * nv) as u64 * 30;
+                            }
+                        }
+                        ph.compute(flops as f64, WorkClass::Other);
+                    }
+                    let flat = [
+                        local.force[0],
+                        local.force[1],
+                        local.force[2],
+                        local.moment[0],
+                        local.moment[1],
+                        local.moment[2],
+                    ];
+                    let all: Vec<[f64; 6]> = ph.allgather(flat, 48);
+                    let mut sum = [0.0f64; 6];
+                    for a in &all {
+                        for i in 0..6 {
+                            sum[i] += a[i];
                         }
                     }
-                    comm.compute(flops as f64, WorkClass::Other);
-                }
-                let flat = [
-                    local.force[0], local.force[1], local.force[2],
-                    local.moment[0], local.moment[1], local.moment[2],
-                ];
-                let all: Vec<[f64; 6]> = comm.allgather(flat, 48);
-                let mut sum = [0.0f64; 6];
-                for a in &all {
-                    for i in 0..6 {
-                        sum[i] += a[i];
+                    Loads { force: [sum[0], sum[1], sum[2]], moment: [sum[3], sum[4], sum[5]] }
+                } else {
+                    Loads::ZERO
+                };
+                let t = body.motion.step(fc.dt, &aero);
+                for &g in &body.grids {
+                    cumulative[g] = cumulative[g].then(&t);
+                    for (sg, s) in solids.iter_mut() {
+                        if *sg == g {
+                            *s = s.transformed(&t);
+                        }
                     }
+                    last_step_transform[g] = Some(t);
                 }
-                Loads { force: [sum[0], sum[1], sum[2]], moment: [sum[3], sum[4], sum[5]] }
-            } else {
-                Loads::ZERO
-            };
-            let t = body.motion.step(fc.dt, &aero);
-            for &g in &body.grids {
-                cumulative[g] = cumulative[g].then(&t);
-                for (sg, s) in solids.iter_mut() {
-                    if *sg == g {
-                        *s = s.transformed(&t);
+                if body.grids.contains(&block.grid_id) {
+                    block.apply_motion(&t, fc.dt);
+                    if let Some(w) = &mut wall {
+                        for p in &mut w.wall_xyz {
+                            *p = t.apply(*p);
+                        }
                     }
+                    // Re-apply wall BCs with the *new* grid velocity: the wall
+                    // state must move with the wall, otherwise the stale no-slip
+                    // velocity acts as an impulsive slip over the tiny wall
+                    // cells.
+                    let bc_flops = apply_bcs(&mut block, &fc);
+                    ph.compute(bc_flops as f64, WorkClass::Other);
                 }
-                last_step_transform[g] = Some(t);
+                ph.compute(500.0, WorkClass::Other);
             }
-            if body.grids.contains(&block.grid_id) {
-                block.apply_motion(&t, fc.dt);
-                if let Some(w) = &mut wall {
-                    for p in &mut w.wall_xyz {
-                        *p = t.apply(*p);
-                    }
-                }
-                // Re-apply wall BCs with the *new* grid velocity: the wall
-                // state must move with the wall, otherwise the stale no-slip
-                // velocity acts as an impulsive slip over the tiny wall
-                // cells.
-                let bc_flops = apply_bcs(&mut block, &fc);
-                comm.compute(bc_flops as f64, WorkClass::Other);
-            }
-            comm.compute(500.0, WorkClass::Other);
+            ph.barrier();
+            phase_elapsed[Phase::Motion as usize] += ph.now() - t0;
         }
-        comm.barrier();
-        phase_elapsed[Phase::Motion as usize] += comm.now() - t0;
 
         // ---- Phase 3: domain connectivity ----------------------------
-        comm.set_phase(Phase::Connectivity);
-        let t0 = comm.now();
         {
-            let mut mp = MpSolverComm { comm };
-            mp.exchange_halo(&mut block);
+            let mut ph = comm.phase(Phase::Connectivity);
+            let t0 = ph.now();
+            {
+                let mut mp = MpSolverComm { comm: &mut ph };
+                mp.exchange_halo(&mut block);
+            }
+            let (igbps, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
+            ph.compute(hole_flops as f64, WorkClass::Search);
+            if !cfg.use_restart {
+                cache.clear();
+            }
+            let stats = connect_distributed(&mut block, &igbps, &topo, &mut cache, &mut ph);
+            last_conn = stats;
+            igbps_last = igbps.len();
+            svc.note_step();
+            ph.barrier();
+            phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;
         }
-        let (igbps, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
-        comm.compute(hole_flops as f64, WorkClass::Search);
-        if !cfg.use_restart {
-            cache.clear();
-        }
-        let stats = connect_distributed(&mut block, &igbps, &topo, &mut cache, comm);
-        last_conn = stats;
-        igbps_last = igbps.len();
-        serviced_accum[0] += stats.serviced;
-        serviced_accum_count += 1;
-        comm.barrier();
-        phase_elapsed[Phase::Connectivity as usize] += comm.now() - t0;
 
         // ---- Phase 4: dynamic load balance check (Algorithm 2) -------
         let check = cfg.lb.fo.is_finite()
@@ -356,10 +414,10 @@ fn run_rank(
             && (step + 1) % cfg.lb.check_interval == 0
             && step + 1 < cfg.steps;
         if check {
-            comm.set_phase(Phase::Balance);
-            let t0 = comm.now();
-            let mean_i = serviced_accum[0] / serviced_accum_count.max(1);
-            let all_i: Vec<usize> = comm.allgather(mean_i, 8);
+            let mut ph = comm.phase(Phase::Balance);
+            let t0 = ph.now();
+            let mean_i = svc.mean_per_step(ph.metrics());
+            let all_i: Vec<usize> = ph.allgather(mean_i, 8);
             let decision = dynamic_rebalance(
                 &all_i,
                 &partition.grid_of_rank_vec(),
@@ -367,17 +425,20 @@ fn run_rank(
                 &partition.np,
                 cfg.lb.fo,
             )
-            .expect("dynamic rebalance failed");
+            .unwrap_or_else(|e| panic!("rank {me}: dynamic rebalance failed: {e}"));
+            ph.metrics_mut().observe(names::LB_F_RATIO, decision.f[me]);
             if let Some(rb) = decision.rebalance {
                 let new_partition = Partition::build(dims, &rb.np);
                 let (mut new_block, new_wall) =
-                    build_block(me, &new_partition, &cfg.grids, &cumulative, &fc);
-                redistribute_state(&block, &mut new_block, &partition, &new_partition, comm);
+                    build_block(me, &new_partition, &cfg.grids, &cumulative, &fc)
+                        .unwrap_or_else(|e| panic!("rank {me}: {e}"));
+                redistribute_state(&block, &mut new_block, &partition, &new_partition, &mut ph);
                 block = new_block;
                 wall = new_wall;
                 scratch = Scratch::for_block(&block);
                 partition = new_partition;
-                topo = build_topology(&partition, &cfg.search_order);
+                topo = build_topology(&partition, &cfg.search_order)
+                    .unwrap_or_else(|e| panic!("rank {me}: {e}"));
                 // Donor cells survive a repartition; only their owning
                 // ranks changed. Remap instead of cold-restarting the
                 // whole connectivity solution.
@@ -392,28 +453,34 @@ fn run_rank(
                     );
                     part_ref.owner_of(grid, clamped)
                 });
-                comm.set_working_set(block.working_set_bytes());
+                ph.set_working_set(block.working_set_bytes());
                 // Restore blanking on the new block immediately: the next
                 // flow step must not treat redistributed hole values as
                 // live field points.
                 let (_, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
-                comm.compute(hole_flops as f64, WorkClass::Search);
+                ph.compute(hole_flops as f64, WorkClass::Search);
                 // Restore the ALE grid velocities of a moving grid (the
                 // rebuilt block is at the current pose with zero velocity).
                 if let Some(t) = &last_step_transform[block.grid_id] {
                     block.set_grid_velocity_from(t, fc.dt);
                 }
                 repartitions += 1;
+                ph.metrics_mut().inc(names::LB_REPARTITIONS);
+                ph.trace_complete(
+                    "lb",
+                    "repartition",
+                    t0,
+                    &[("f_max", ArgVal::F64(decision.f_max))],
+                );
             }
-            serviced_accum[0] = 0;
-            serviced_accum_count = 0;
-            comm.barrier();
-            phase_elapsed[Phase::Balance as usize] += comm.now() - t0;
+            svc.reset(ph.metrics());
+            ph.barrier();
+            phase_elapsed[Phase::Balance as usize] += ph.now() - t0;
         }
     }
-    comm.set_phase(Phase::Other);
 
     // Physics checksum over owned field nodes.
+    let _ph = comm.phase(Phase::Other);
     let mut state_sum_sq = 0.0f64;
     let mut state_count = 0usize;
     let mut states = Vec::new();
@@ -444,10 +511,18 @@ fn run_rank(
 
 /// Run a case serially (one processor holding every grid) — the Cray Y-MP
 /// baseline of Table 6 and the reference for parallel-equivalence tests.
-pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
-    let outputs = Universe::run(1, machine, |comm| {
+pub fn run_case_serial(
+    cfg: &CaseConfig,
+    machine: &MachineModel,
+) -> Result<RunResult, OversetError> {
+    let ngrids = cfg.grids.len();
+    let single =
+        Partition::build(&cfg.grids.iter().map(|g| g.dims()).collect::<Vec<_>>(), &vec![1; ngrids]);
+    // Same up-front hierarchy validation as the parallel path.
+    build_topology(&single, &cfg.search_order)?;
+
+    let outputs = Universe::builder().machine(machine).trace(cfg.trace).run(|comm| {
         let fc = cfg.fc;
-        let ngrids = cfg.grids.len();
         let mut motions = cfg.motions.clone();
         let mut solids: Vec<(usize, Solid)> = cfg
             .grids
@@ -458,15 +533,12 @@ pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
         let mut blocks: Vec<overset_solver::Block> = Vec::with_capacity(ngrids);
         let mut walls = Vec::with_capacity(ngrids);
         let mut scratches = Vec::with_capacity(ngrids);
-        let single = Partition::build(
-            &cfg.grids.iter().map(|g| g.dims()).collect::<Vec<_>>(),
-            &vec![1; ngrids],
-        );
         let cum = vec![RigidTransform::IDENTITY; ngrids];
         for g in 0..ngrids {
             // Build each grid as a whole single block (ignore the partition
             // rank mapping; serial holds all of them).
-            let (b, w) = build_block(single.start[g], &single, &cfg.grids, &cum, &fc);
+            let (b, w) = build_block(single.start[g], &single, &cfg.grids, &cum, &fc)
+                .unwrap_or_else(|e| panic!("{e}"));
             scratches.push(Scratch::for_block(&b));
             blocks.push(b);
             walls.push(w);
@@ -474,83 +546,88 @@ pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
         let ws: f64 = blocks.iter().map(|b| b.working_set_bytes()).sum();
         comm.set_working_set(ws);
         let mut cache = SerialCache::new();
-        let _last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
-    let mut phase_elapsed = [0.0f64; NUM_PHASES];
+        let mut phase_elapsed = [0.0f64; NUM_PHASES];
         let mut igbps_last = 0usize;
         let mut orphans_last = 0usize;
 
         for _step in 0..cfg.steps {
-            comm.set_phase(Phase::Flow);
-            let t0 = comm.now();
-            for g in 0..ngrids {
-                let rep = overset_solver::step_block(
-                    &mut blocks[g],
-                    &fc,
-                    walls[g].as_ref(),
-                    &mut SerialComm,
-                    &mut scratches[g],
-                );
-                comm.compute(rep.flops as f64, WorkClass::Flow);
+            {
+                let mut ph = comm.phase(Phase::Flow);
+                let t0 = ph.now();
+                for g in 0..ngrids {
+                    let rep = overset_solver::step_block(
+                        &mut blocks[g],
+                        &fc,
+                        walls[g].as_ref(),
+                        &mut SerialComm,
+                        &mut scratches[g],
+                    );
+                    ph.compute(rep.flops as f64, WorkClass::Flow);
+                }
+                phase_elapsed[Phase::Flow as usize] += ph.now() - t0;
             }
-            phase_elapsed[Phase::Flow as usize] += comm.now() - t0;
 
-            comm.set_phase(Phase::Motion);
-            let t0 = comm.now();
-            for body in motions.iter_mut() {
-                let aero = if body.needs_aero() {
-                    let refp = body.moment_reference();
-                    let p_inf = overset_solver::conditions::pressure(&fc.freestream());
-                    let mut total = Loads::ZERO;
-                    let mut flops = 0u64;
-                    for &g in &body.grids {
-                        for face in 0..6 {
-                            if let Some((nu, nv, coords, press)) =
-                                overset_solver::bc::wall_surface(&blocks[g], face)
-                            {
-                                let gauge: Vec<f64> =
-                                    press.iter().map(|p| p - p_inf).collect();
-                                let l = overset_motion::integrate_surface_loads(
-                                    nu, nv, &coords, &gauge, refp, 1.0,
-                                );
-                                total = total.add(&l);
-                                flops += (nu * nv) as u64 * 30;
+            {
+                let mut ph = comm.phase(Phase::Motion);
+                let t0 = ph.now();
+                for body in motions.iter_mut() {
+                    let aero = if body.needs_aero() {
+                        let refp = body.moment_reference();
+                        let p_inf = overset_solver::conditions::pressure(&fc.freestream());
+                        let mut total = Loads::ZERO;
+                        let mut flops = 0u64;
+                        for &g in &body.grids {
+                            for face in 0..6 {
+                                if let Some((nu, nv, coords, press)) =
+                                    overset_solver::bc::wall_surface(&blocks[g], face)
+                                {
+                                    let gauge: Vec<f64> = press.iter().map(|p| p - p_inf).collect();
+                                    let l = overset_motion::integrate_surface_loads(
+                                        nu, nv, &coords, &gauge, refp, 1.0,
+                                    );
+                                    total = total.add(&l);
+                                    flops += (nu * nv) as u64 * 30;
+                                }
                             }
                         }
-                    }
-                    comm.compute(flops as f64, WorkClass::Other);
-                    total
-                } else {
-                    Loads::ZERO
-                };
-                let t = body.motion.step(fc.dt, &aero);
-                for &g in &body.grids {
-                    for (sg, s) in solids.iter_mut() {
-                        if *sg == g {
-                            *s = s.transformed(&t);
+                        ph.compute(flops as f64, WorkClass::Other);
+                        total
+                    } else {
+                        Loads::ZERO
+                    };
+                    let t = body.motion.step(fc.dt, &aero);
+                    for &g in &body.grids {
+                        for (sg, s) in solids.iter_mut() {
+                            if *sg == g {
+                                *s = s.transformed(&t);
+                            }
                         }
-                    }
-                    blocks[g].apply_motion(&t, fc.dt);
-                    if let Some(w) = &mut walls[g] {
-                        for p in &mut w.wall_xyz {
-                            *p = t.apply(*p);
+                        blocks[g].apply_motion(&t, fc.dt);
+                        if let Some(w) = &mut walls[g] {
+                            for p in &mut w.wall_xyz {
+                                *p = t.apply(*p);
+                            }
                         }
+                        // Keep the wall state consistent with the new velocity.
+                        let bc_flops = apply_bcs(&mut blocks[g], &fc);
+                        ph.compute(bc_flops as f64, WorkClass::Other);
                     }
-                    // Keep the wall state consistent with the new velocity.
-                    let bc_flops = apply_bcs(&mut blocks[g], &fc);
-                    comm.compute(bc_flops as f64, WorkClass::Other);
                 }
+                phase_elapsed[Phase::Motion as usize] += ph.now() - t0;
             }
-            phase_elapsed[Phase::Motion as usize] += comm.now() - t0;
 
-            comm.set_phase(Phase::Connectivity);
-            let t0 = comm.now();
-            let stats = connect_serial(&mut blocks, &cfg.search_order, &solids, &mut cache);
-            comm.compute(stats.flops as f64, WorkClass::Search);
-            igbps_last = stats.igbps;
-            orphans_last = stats.orphans;
-            phase_elapsed[Phase::Connectivity as usize] += comm.now() - t0;
+            {
+                let mut ph = comm.phase(Phase::Connectivity);
+                let t0 = ph.now();
+                let stats = connect_serial(&mut blocks, &cfg.search_order, &solids, &mut cache);
+                ph.compute(stats.flops as f64, WorkClass::Search);
+                ph.metrics_mut().add(names::CONN_SERVICED, stats.igbps as u64);
+                igbps_last = stats.igbps;
+                orphans_last = stats.orphans;
+                phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;
+            }
         }
-        comm.set_phase(Phase::Other);
+        let _ph = comm.phase(Phase::Other);
         let mut sum_sq = 0.0f64;
         let mut count = 0usize;
         for b in &blocks {
@@ -568,8 +645,21 @@ pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
 
     let rank_stats: Vec<RankStats> = outputs.iter().map(|o| o.stats.clone()).collect();
     let summary = PerfSummary::from_ranks(&rank_stats);
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge_from(&o.metrics);
+    }
+    let trace: Vec<RankTrace> = if cfg.trace.enabled {
+        outputs
+            .iter()
+            .enumerate()
+            .map(|(rank, o)| RankTrace { rank, events: o.trace.clone() })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let (phase_elapsed, igbps_last, orphans_last, sum_sq, count) = outputs[0].result;
-    RunResult {
+    Ok(RunResult {
         nranks: 1,
         states: Vec::new(),
         state_rms: (sum_sq / count.max(1) as f64).sqrt(),
@@ -583,6 +673,8 @@ pub fn run_case_serial(cfg: &CaseConfig, machine: &MachineModel) -> RunResult {
         repartitions: 0,
         np_final: vec![1; cfg.grids.len()],
         rank_stats,
+        trace,
+        metrics,
         summary,
-    }
+    })
 }

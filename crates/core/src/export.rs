@@ -39,12 +39,7 @@ pub fn write_plot3d(stem: &Path, cfg: &CaseConfig, result: &RunResult) -> std::i
         &qf,
         &dims,
         &states,
-        [
-            cfg.fc.mach,
-            cfg.fc.alpha.to_degrees(),
-            cfg.fc.reynolds,
-            cfg.steps as f64 * cfg.fc.dt,
-        ],
+        [cfg.fc.mach, cfg.fc.alpha.to_degrees(), cfg.fc.reynolds, cfg.steps as f64 * cfg.fc.dt],
     )
 }
 
@@ -58,7 +53,7 @@ mod tests {
     fn export_roundtrips_through_plot3d() {
         let mut cfg = airfoil_case(0.2, 2);
         cfg.collect_state = true;
-        let r = run_case(&cfg, 3, &MachineModel::modern());
+        let r = run_case(&cfg, 3, &MachineModel::modern()).unwrap();
         let stem = std::env::temp_dir().join(format!("overset_export_{}", std::process::id()));
         write_plot3d(&stem, &cfg, &r).unwrap();
 

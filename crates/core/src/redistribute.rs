@@ -97,8 +97,7 @@ mod tests {
         let d0 = Dims::new(24, 18, 1);
         let d1 = Dims::new(20, 20, 1);
         let mk_grid = |d: Dims, name: &str, off: f64| {
-            let coords =
-                Field3::from_fn(d, |p| [off + 0.1 * p.i as f64, 0.1 * p.j as f64, 0.0]);
+            let coords = Field3::from_fn(d, |p| [off + 0.1 * p.i as f64, 0.1 * p.j as f64, 0.0]);
             CurvilinearGrid::new(name, coords, GridKind::Background)
         };
         let grids = vec![mk_grid(d0, "a", 0.0), mk_grid(d1, "b", 50.0)];
@@ -109,7 +108,8 @@ mod tests {
 
         let out = Universe::run(5, &MachineModel::modern(), |comm| {
             let cum = vec![RigidTransform::IDENTITY; 2];
-            let (mut ob, _) = crate::setup::build_block(comm.rank(), &old, &grids, &cum, &fc);
+            let (mut ob, _) =
+                crate::setup::build_block(comm.rank(), &old, &grids, &cum, &fc).unwrap();
             // Tag every owned node with a unique value derived from its
             // global index and grid.
             let ow = ob.owned_local();
@@ -118,7 +118,8 @@ mod tests {
                 let tag = (ob.grid_id * 1_000_000 + g.i * 1000 + g.j) as f64;
                 ob.q.set_node(p, [tag, tag + 0.1, tag + 0.2, tag + 0.3, tag + 0.4]);
             }
-            let (mut nb, _) = crate::setup::build_block(comm.rank(), &new, &grids, &cum, &fc);
+            let (mut nb, _) =
+                crate::setup::build_block(comm.rank(), &new, &grids, &cum, &fc).unwrap();
             let sent = redistribute_state(&ob, &mut nb, &old, &new, comm);
             // Verify every owned node of the new block.
             let mut errors = 0usize;

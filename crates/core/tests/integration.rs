@@ -12,7 +12,7 @@ fn modern() -> MachineModel {
 fn airfoil_runs_clean_on_many_rank_counts() {
     for nranks in [3usize, 6, 10] {
         let cfg = airfoil_case(0.3, 4);
-        let r = run_case(&cfg, nranks, &modern());
+        let r = run_case(&cfg, nranks, &modern()).unwrap();
         assert_eq!(r.orphans_last, 0, "orphans at {nranks} ranks");
         assert!(r.state_rms.is_finite() && r.state_rms > 0.0);
         assert!(r.wall_time > 0.0);
@@ -26,7 +26,7 @@ fn physics_is_independent_of_rank_count() {
     // the solution trajectory must not depend on the decomposition.
     let rms: Vec<f64> = [3usize, 6, 12]
         .iter()
-        .map(|&n| run_case(&airfoil_case(0.3, 5), n, &modern()).state_rms)
+        .map(|&n| run_case(&airfoil_case(0.3, 5), n, &modern()).unwrap().state_rms)
         .collect();
     for w in rms.windows(2) {
         let rel = (w[0] - w[1]).abs() / w[0];
@@ -36,24 +36,19 @@ fn physics_is_independent_of_rank_count() {
 
 #[test]
 fn parallel_matches_serial_physics() {
-    let par = run_case(&airfoil_case(0.3, 5), 6, &modern());
-    let ser = run_case_serial(&airfoil_case(0.3, 5), &MachineModel::cray_ymp());
+    let par = run_case(&airfoil_case(0.3, 5), 6, &modern()).unwrap();
+    let ser = run_case_serial(&airfoil_case(0.3, 5), &MachineModel::cray_ymp()).unwrap();
     // Serial and distributed connectivity resolve fringe points in
     // different orders (a donor may or may not see a neighbour's
     // already-updated fringe), so agreement is close but not bitwise.
     let rel = (par.state_rms - ser.state_rms).abs() / ser.state_rms;
-    assert!(
-        rel < 1e-4,
-        "parallel {} vs serial {} (rel {rel})",
-        par.state_rms,
-        ser.state_rms
-    );
+    assert!(rel < 1e-4, "parallel {} vs serial {} (rel {rel})", par.state_rms, ser.state_rms);
 }
 
 #[test]
 fn virtual_time_is_deterministic() {
-    let a = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2());
-    let b = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2());
+    let a = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2()).unwrap();
+    let b = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2()).unwrap();
     assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
     assert_eq!(a.state_rms.to_bits(), b.state_rms.to_bits());
     assert_eq!(a.serviced_last, b.serviced_last);
@@ -61,8 +56,8 @@ fn virtual_time_is_deterministic() {
 
 #[test]
 fn faster_machine_is_faster_same_physics() {
-    let sp2 = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2());
-    let sp = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp());
+    let sp2 = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp2()).unwrap();
+    let sp = run_case(&airfoil_case(0.3, 3), 6, &MachineModel::ibm_sp()).unwrap();
     assert!(sp.wall_time < sp2.wall_time);
     assert_eq!(sp.state_rms.to_bits(), sp2.state_rms.to_bits());
 }
@@ -72,7 +67,7 @@ fn moving_grid_connectivity_stays_resolved() {
     // Run long enough that the airfoil rotates appreciably; connectivity
     // must stay fully resolved and the state physical.
     let cfg = airfoil_case(0.3, 15);
-    let r = run_case(&cfg, 6, &modern());
+    let r = run_case(&cfg, 6, &modern()).unwrap();
     assert_eq!(r.orphans_last, 0);
     assert!(r.state_rms.is_finite());
 }
@@ -81,10 +76,10 @@ fn moving_grid_connectivity_stays_resolved() {
 fn dynamic_lb_repartitions_and_preserves_physics() {
     let mut cfg = airfoil_case(0.3, 8);
     cfg.lb = LbConfig::dynamic(1.05, 2); // aggressive: force repartitions
-    let dynamic = run_case(&cfg, 8, &modern());
+    let dynamic = run_case(&cfg, 8, &modern()).unwrap();
     let mut cfg2 = airfoil_case(0.3, 8);
     cfg2.lb = LbConfig::static_only();
-    let static_ = run_case(&cfg2, 8, &modern());
+    let static_ = run_case(&cfg2, 8, &modern()).unwrap();
     // With such a tight threshold the scheme should have acted at least once.
     assert!(
         dynamic.repartitions >= 1,
@@ -103,7 +98,7 @@ fn dynamic_lb_repartitions_and_preserves_physics() {
 #[test]
 fn delta_wing_reduced_scale_runs() {
     let cfg = delta_wing_case(0.25, 2);
-    let r = run_case(&cfg, 7, &modern());
+    let r = run_case(&cfg, 7, &modern()).unwrap();
     assert!(r.state_rms.is_finite());
     // Small-scale 3-D geometry leaves a few gap points; they must be rare.
     let frac = r.orphans_last as f64 / r.igbps_last.max(1) as f64;
@@ -113,7 +108,7 @@ fn delta_wing_reduced_scale_runs() {
 #[test]
 fn store_reduced_scale_runs_with_motion() {
     let cfg = store_case(0.3, 3);
-    let r = run_case(&cfg, 16, &modern());
+    let r = run_case(&cfg, 16, &modern()).unwrap();
     assert!(r.state_rms.is_finite());
     let frac = r.orphans_last as f64 / r.igbps_last.max(1) as f64;
     assert!(frac < 0.05, "orphan fraction {frac}");
@@ -128,8 +123,8 @@ fn igbp_ratio_ladder_matches_paper_ordering() {
     // reason it is "a good candidate to evaluate the dynamic load balance
     // scheme". Measured at moderate scale.
     let ratio = |r: &overflow_d::RunResult| r.igbps_last as f64 / r.total_points as f64;
-    let airfoil = run_case(&airfoil_case(0.5, 1), 3, &modern());
-    let store = run_case(&store_case(0.5, 1), 16, &modern());
+    let airfoil = run_case(&airfoil_case(0.5, 1), 3, &modern()).unwrap();
+    let store = run_case(&store_case(0.5, 1), 16, &modern()).unwrap();
     assert!(
         ratio(&store) > 2.0 * ratio(&airfoil),
         "store ratio {} not >> airfoil ratio {}",
@@ -142,8 +137,8 @@ fn igbp_ratio_ladder_matches_paper_ordering() {
 fn connectivity_fraction_grows_with_rank_count() {
     // Table 1's rightmost column: %DCF3D grows as ranks increase (the
     // connectivity solution scales worse than the flow solution).
-    let lo = run_case(&airfoil_case(0.6, 8), 6, &MachineModel::ibm_sp2());
-    let hi = run_case(&airfoil_case(0.6, 8), 24, &MachineModel::ibm_sp2());
+    let lo = run_case(&airfoil_case(0.6, 8), 6, &MachineModel::ibm_sp2()).unwrap();
+    let hi = run_case(&airfoil_case(0.6, 8), 24, &MachineModel::ibm_sp2()).unwrap();
     assert!(
         hi.connectivity_fraction() > lo.connectivity_fraction(),
         "%DCF3D did not grow: {} -> {}",
@@ -154,15 +149,13 @@ fn connectivity_fraction_grows_with_rank_count() {
 
 #[test]
 fn speedup_is_substantial_but_sublinear() {
-    let t6 = run_case(&airfoil_case(0.6, 8), 6, &MachineModel::ibm_sp2()).time_per_step();
-    let t24 = run_case(&airfoil_case(0.6, 8), 24, &MachineModel::ibm_sp2()).time_per_step();
+    let t6 = run_case(&airfoil_case(0.6, 8), 6, &MachineModel::ibm_sp2()).unwrap().time_per_step();
+    let t24 =
+        run_case(&airfoil_case(0.6, 8), 24, &MachineModel::ibm_sp2()).unwrap().time_per_step();
     let speedup = t6 / t24;
     // Mildly super-linear speedup is possible (the cache model reproduces
     // the paper's "super scalar speedups"); wildly off means a bug.
-    assert!(
-        (1.8..4.8).contains(&speedup),
-        "6->24 rank speedup out of band: {speedup}"
-    );
+    assert!((1.8..4.8).contains(&speedup), "6->24 rank speedup out of band: {speedup}");
 }
 
 #[test]
@@ -173,7 +166,7 @@ fn sixdof_store_falls_and_is_rank_independent() {
     let run = |n: usize| {
         let mut cfg = overflow_d::store_case_sixdof(0.3, 4);
         cfg.collect_state = true;
-        run_case(&cfg, n, &modern())
+        run_case(&cfg, n, &modern()).unwrap()
     };
     let a = run(16);
     let b = run(20);
@@ -194,11 +187,9 @@ fn sixdof_store_falls_and_is_rank_independent() {
 fn sixdof_perf_close_to_prescribed() {
     // The paper: free motion computes "with negligible change in the
     // parallel performance". Compare virtual time per step.
-    let pres = run_case(&overflow_d::store_case(0.3, 4), 16, &MachineModel::ibm_sp2());
-    let free = run_case(&overflow_d::store_case_sixdof(0.3, 4), 16, &MachineModel::ibm_sp2());
+    let pres = run_case(&overflow_d::store_case(0.3, 4), 16, &MachineModel::ibm_sp2()).unwrap();
+    let free =
+        run_case(&overflow_d::store_case_sixdof(0.3, 4), 16, &MachineModel::ibm_sp2()).unwrap();
     let ratio = free.time_per_step() / pres.time_per_step();
-    assert!(
-        (0.9..1.15).contains(&ratio),
-        "6-DOF cost ratio {ratio} not negligible"
-    );
+    assert!((0.9..1.15).contains(&ratio), "6-DOF cost ratio {ratio} not negligible");
 }

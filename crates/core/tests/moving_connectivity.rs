@@ -15,7 +15,7 @@ fn quarter_period_pitch_stays_connected() {
     // connectivity must stay fully resolved throughout.
     let mut cfg = airfoil_case(0.3, 40);
     cfg.fc.dt = 0.01; // larger steps = more motion per connectivity solve
-    let r = run_case(&cfg, 6, &modern());
+    let r = run_case(&cfg, 6, &modern()).unwrap();
     assert_eq!(r.orphans_last, 0);
     assert!(r.state_rms.is_finite() && r.state_rms > 1.0);
 }
@@ -25,17 +25,13 @@ fn warm_connectivity_stays_cheap_through_motion() {
     // Average connectivity time over a long moving run must stay close to
     // the warm-path cost (i.e. nth-level restart keeps working while the
     // grids move), far below the cold first step.
-    let one = run_case(&airfoil_case(0.3, 1), 6, &MachineModel::ibm_sp2());
-    let many = run_case(&airfoil_case(0.3, 30), 6, &MachineModel::ibm_sp2());
-    let conn = |r: &overflow_d::RunResult| {
-        r.phase_elapsed[overset_comm::Phase::Connectivity as usize]
-    };
+    let one = run_case(&airfoil_case(0.3, 1), 6, &MachineModel::ibm_sp2()).unwrap();
+    let many = run_case(&airfoil_case(0.3, 30), 6, &MachineModel::ibm_sp2()).unwrap();
+    let conn =
+        |r: &overflow_d::RunResult| r.phase_elapsed[overset_comm::Phase::Connectivity as usize];
     let cold = conn(&one);
     let warm_avg = (conn(&many) - cold) / 29.0;
-    assert!(
-        warm_avg < 0.5 * cold,
-        "warm connectivity not cheap: {warm_avg} vs cold {cold}"
-    );
+    assert!(warm_avg < 0.5 * cold, "warm connectivity not cheap: {warm_avg} vs cold {cold}");
 }
 
 #[test]
@@ -44,7 +40,7 @@ fn store_drop_moves_holes_consistently() {
     // IGBP census changes but stays in a sane band and never orphans badly.
     let mut cfg = store_case(0.3, 6);
     cfg.fc.dt = 0.04; // exaggerate the motion
-    let r = run_case(&cfg, 16, &modern());
+    let r = run_case(&cfg, 16, &modern()).unwrap();
     assert!(r.state_rms.is_finite());
     let frac = r.orphans_last as f64 / r.igbps_last.max(1) as f64;
     assert!(frac < 0.05, "orphan fraction {frac}");
@@ -55,14 +51,9 @@ fn store_drop_moves_holes_consistently() {
 fn service_imbalance_is_a_store_phenomenon() {
     // The premise of Algorithm 2: the store system's donor-search service
     // load is much more imbalanced than the airfoil's.
-    let a = run_case(&airfoil_case(0.5, 3), 6, &modern());
-    let s = run_case(&store_case(0.4, 3), 16, &modern());
-    assert!(
-        s.f_max() > a.f_max(),
-        "store f_max {} not above airfoil {}",
-        s.f_max(),
-        a.f_max()
-    );
+    let a = run_case(&airfoil_case(0.5, 3), 6, &modern()).unwrap();
+    let s = run_case(&store_case(0.4, 3), 16, &modern()).unwrap();
+    assert!(s.f_max() > a.f_max(), "store f_max {} not above airfoil {}", s.f_max(), a.f_max());
 }
 
 #[test]
@@ -72,8 +63,8 @@ fn dynamic_scheme_reduces_measured_service_imbalance() {
     let nranks = 16;
     let mut dyn_cfg = store_case(0.4, 10);
     dyn_cfg.lb = overflow_d::LbConfig::dynamic(1.5, 3);
-    let d = run_case(&dyn_cfg, nranks, &modern());
-    let s = run_case(&store_case(0.4, 10), nranks, &modern());
+    let d = run_case(&dyn_cfg, nranks, &modern()).unwrap();
+    let s = run_case(&store_case(0.4, 10), nranks, &modern()).unwrap();
     if d.repartitions > 0 {
         assert!(
             d.f_max() <= s.f_max() * 1.25,

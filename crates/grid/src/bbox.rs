@@ -13,10 +13,7 @@ pub struct Aabb {
 
 impl Aabb {
     /// The empty box (identity for [`Aabb::union`]).
-    pub const EMPTY: Aabb = Aabb {
-        min: [f64::INFINITY; 3],
-        max: [f64::NEG_INFINITY; 3],
-    };
+    pub const EMPTY: Aabb = Aabb { min: [f64::INFINITY; 3], max: [f64::NEG_INFINITY; 3] };
 
     pub fn new(min: [f64; 3], max: [f64; 3]) -> Self {
         Self { min, max }
@@ -37,9 +34,9 @@ impl Aabb {
 
     #[inline]
     pub fn include(&mut self, p: [f64; 3]) {
-        for d in 0..3 {
-            self.min[d] = self.min[d].min(p[d]);
-            self.max[d] = self.max[d].max(p[d]);
+        for (d, &pd) in p.iter().enumerate() {
+            self.min[d] = self.min[d].min(pd);
+            self.max[d] = self.max[d].max(pd);
         }
     }
 
@@ -81,11 +78,7 @@ impl Aabb {
     }
 
     pub fn extent(&self) -> [f64; 3] {
-        [
-            self.max[0] - self.min[0],
-            self.max[1] - self.min[1],
-            self.max[2] - self.min[2],
-        ]
+        [self.max[0] - self.min[0], self.max[1] - self.min[1], self.max[2] - self.min[2]]
     }
 
     /// Longest diagonal length, a convenient padding scale.

@@ -37,11 +37,7 @@ impl CartesianGrid {
         let cells = (longest / spacing).ceil().max(1.0);
         let h = longest / cells;
         let n = |ext: f64| ((ext / h).round() as usize).max(1) + 1;
-        Self {
-            origin: aabb.min,
-            spacing: h,
-            dims: Dims::new(n(e[0]), n(e[1]), n(e[2])),
-        }
+        Self { origin: aabb.min, spacing: h, dims: Dims::new(n(e[0]), n(e[1]), n(e[2])) }
     }
 
     #[inline]

@@ -23,7 +23,8 @@ pub enum Face {
 }
 
 impl Face {
-    pub const ALL: [Face; 6] = [Face::IMin, Face::IMax, Face::JMin, Face::JMax, Face::KMin, Face::KMax];
+    pub const ALL: [Face; 6] =
+        [Face::IMin, Face::IMax, Face::JMin, Face::JMax, Face::KMin, Face::KMax];
 
     /// Direction normal to the face (0 = i, 1 = j, 2 = k).
     pub fn dir(&self) -> usize {
@@ -100,11 +101,7 @@ pub enum Solid {
     Slab { aabb: Aabb },
     /// Oriented box: center, orthonormal axes and half-extents. Transforms
     /// exactly under rigid motion (the right solid for fins).
-    OrientedSlab {
-        center: [f64; 3],
-        axes: [[f64; 3]; 3],
-        half: [f64; 3],
-    },
+    OrientedSlab { center: [f64; 3], axes: [[f64; 3]; 3], half: [f64; 3] },
 }
 
 impl Solid {
@@ -195,12 +192,12 @@ impl Solid {
 
     pub fn transformed(&self, t: &RigidTransform) -> Solid {
         match *self {
-            Solid::Ellipsoid { center, radii } => Solid::Ellipsoid { center: t.apply(center), radii },
-            Solid::Cylinder { p0, p1, radius } => Solid::Cylinder {
-                p0: t.apply(p0),
-                p1: t.apply(p1),
-                radius,
-            },
+            Solid::Ellipsoid { center, radii } => {
+                Solid::Ellipsoid { center: t.apply(center), radii }
+            }
+            Solid::Cylinder { p0, p1, radius } => {
+                Solid::Cylinder { p0: t.apply(p0), p1: t.apply(p1), radius }
+            }
             Solid::OrientedSlab { center, axes, half } => Solid::OrientedSlab {
                 center: t.apply(center),
                 axes: [
@@ -372,7 +369,8 @@ mod tests {
     #[test]
     fn solid_transform_moves_ellipsoid() {
         let s = Solid::Ellipsoid { center: [1.0, 0.0, 0.0], radii: [0.5; 3] };
-        let t = RigidTransform::rotation_about([0.0; 3], [0.0, 0.0, 1.0], std::f64::consts::FRAC_PI_2);
+        let t =
+            RigidTransform::rotation_about([0.0; 3], [0.0, 0.0, 1.0], std::f64::consts::FRAC_PI_2);
         match s.transformed(&t) {
             Solid::Ellipsoid { center, .. } => {
                 assert!((center[0]).abs() < 1e-12 && (center[1] - 1.0).abs() < 1e-12);

@@ -137,7 +137,8 @@ pub fn lattice_split(dims: Dims, np: usize) -> Decomp {
     let mut subs = Vec::with_capacity(np);
     let i_pieces = dims.full_box().split(0, pgrid[0]);
     // Build in ordinal order: k outer, j middle, i inner.
-    let mut boxes = vec![IndexBox::new(crate::index::Ijk::new(0, 0, 0), crate::index::Ijk::new(0, 0, 0)); np];
+    let mut boxes =
+        vec![IndexBox::new(crate::index::Ijk::new(0, 0, 0), crate::index::Ijk::new(0, 0, 0)); np];
     for (ci, bi) in i_pieces.iter().enumerate() {
         for (cj, bj) in bi.split(1, pgrid[1]).iter().enumerate() {
             for (ck, bk) in bj.split(2, pgrid[2]).iter().enumerate() {
@@ -295,6 +296,6 @@ mod tests {
         for s in &subs {
             assert_eq!(s.boxx.dims().nk, 1);
         }
-        assert_eq!(max_points(&subs) * 6 >= dims.count(), true);
+        assert!(max_points(&subs) * 6 >= dims.count());
     }
 }

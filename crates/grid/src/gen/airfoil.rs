@@ -102,10 +102,7 @@ pub fn near_grid(ni: usize, nj: usize, outer: f64) -> CurvilinearGrid {
     ];
     // Hole-cutting solid: a thin slab hugging the airfoil. Points of other
     // grids inside it are blanked.
-    g.solids = vec![Solid::Ellipsoid {
-        center: [0.5, 0.0, 0.0],
-        radii: [0.52, 0.07, 1.0],
-    }];
+    g.solids = vec![Solid::Ellipsoid { center: [0.5, 0.0, 0.0], radii: [0.52, 0.07, 1.0] }];
     g
 }
 
@@ -140,11 +137,7 @@ pub fn background_grid(n: usize, half: f64) -> CurvilinearGrid {
     let center = [0.25, 0.0];
     let h = 2.0 * half / (n - 1) as f64;
     let coords = Field3::from_fn(dims, |p: Ijk| {
-        [
-            center[0] - half + h * p.i as f64,
-            center[1] - half + h * p.j as f64,
-            0.0,
-        ]
+        [center[0] - half + h * p.i as f64, center[1] - half + h * p.j as f64, 0.0]
     });
     let mut g = CurvilinearGrid::new("airfoil-bg", coords, GridKind::Background);
     g.viscous = false;
@@ -239,10 +232,7 @@ mod tests {
         let sys = airfoil_system(1.0);
         let total: usize = sys.iter().map(|g| g.num_points()).sum();
         // Paper: 63.6K composite.
-        assert!(
-            (60_000..68_000).contains(&total),
-            "composite size {total} out of band"
-        );
+        assert!((60_000..68_000).contains(&total), "composite size {total} out of band");
         // Roughly equal thirds.
         for g in &sys {
             let frac = g.num_points() as f64 / total as f64;

@@ -53,11 +53,8 @@ pub fn delta_wing_system(scale: f64) -> Vec<CurvilinearGrid> {
     // Offset the pipe below the wing.
     pipe.apply_transform(&crate::transform::RigidTransform::translation([0.0, 0.0, -0.6]));
     // Sub-surface solid (radius 0.12 vs the 0.15 body).
-    pipe.solids = vec![Solid::Cylinder {
-        p0: [-0.45, 0.0, -0.6],
-        p1: [1.45, 0.0, -0.6],
-        radius: 0.12,
-    }];
+    pipe.solids =
+        vec![Solid::Cylinder { p0: [-0.45, 0.0, -0.6], p1: [1.45, 0.0, -0.6], radius: 0.12 }];
 
     // Jet plume region: finer shell beneath the pipe exit capturing the jet.
     let mut plume = shell_of_revolution(
@@ -81,11 +78,7 @@ pub fn delta_wing_system(scale: f64) -> Vec<CurvilinearGrid> {
 
     // Stationary Cartesian background.
     let bg_target = ((421_000) as f64 * scale.powi(3)).max(2_000.0) as usize;
-    let bg = background_box(
-        "dw-bg",
-        Aabb::new([-6.0, -5.0, -6.0], [8.0, 5.0, 4.0]),
-        bg_target,
-    );
+    let bg = background_box("dw-bg", Aabb::new([-6.0, -5.0, -6.0], [8.0, 5.0, 4.0]), bg_target);
 
     vec![wing, pipe, plume, bg]
 }

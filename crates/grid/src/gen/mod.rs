@@ -92,10 +92,7 @@ mod tests {
             assert_eq!(s.len(), n);
             assert!((s[n - 1] - 1.0).abs() < 1e-12);
             let first = s[1] - s[0];
-            assert!(
-                (first - frac).abs() < 0.05 * frac,
-                "n={n}: first {first} vs {frac}"
-            );
+            assert!((first - frac).abs() < 0.05 * frac, "n={n}: first {first} vs {frac}");
         }
         // Coarser than uniform request degrades to uniform.
         let s = stretched_first_cell(5, 0.5);

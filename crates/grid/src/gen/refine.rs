@@ -22,11 +22,7 @@ pub fn coarsen(g: &CurvilinearGrid) -> CurvilinearGrid {
         }
     };
     let coords = Field3::from_fn(nd, |p: Ijk| {
-        g.coords[Ijk::new(
-            map(p.i, d.ni, nd.ni),
-            map(p.j, d.nj, nd.nj),
-            map(p.k, d.nk, nd.nk),
-        )]
+        g.coords[Ijk::new(map(p.i, d.ni, nd.ni), map(p.j, d.nj, nd.nj), map(p.k, d.nk, nd.nk))]
     });
     let mut out = g.clone();
     out.coords = coords;
@@ -92,9 +88,8 @@ mod tests {
 
     fn grid(ni: usize, nj: usize, nk: usize) -> CurvilinearGrid {
         let d = Dims::new(ni, nj, nk);
-        let coords = Field3::from_fn(d, |p| {
-            [p.i as f64 * 0.5, (p.j as f64).powi(2) * 0.1, p.k as f64]
-        });
+        let coords =
+            Field3::from_fn(d, |p| [p.i as f64 * 0.5, (p.j as f64).powi(2) * 0.1, p.k as f64]);
         CurvilinearGrid::new("t", coords, GridKind::Background)
     }
 

@@ -34,11 +34,8 @@ pub fn shell_of_revolution(
 ) -> CurvilinearGrid {
     assert!(ni >= 5 && nj >= 3 && nk >= 2);
     let dims = Dims::new(ni, nj, nk);
-    let radial = if viscous {
-        stretched_first_cell(nj, 0.57 / nj as f64)
-    } else {
-        stretched(nj, 1.0)
-    };
+    let radial =
+        if viscous { stretched_first_cell(nj, 0.57 / nj as f64) } else { stretched(nj, 1.0) };
     let coords = Field3::from_fn(dims, |p: Ijk| {
         // Clockwise azimuth so (i, j, k) = (θ, r, x) is right-handed (J > 0).
         let th = -2.0 * PI * (p.i % (ni - 1)) as f64 / (ni - 1) as f64;
@@ -69,6 +66,7 @@ pub fn shell_of_revolution(
 /// additive distance `outer_pad` (additive, not multiplicative, so thin
 /// bodies still get a thick overlap collar for donor coverage),
 /// `k` = polar angle over `[1.5%, 98.5%]` of `[0,π]`.
+#[allow(clippy::too_many_arguments)]
 pub fn ellipsoid_shell(
     name: &str,
     ni: usize,
@@ -81,11 +79,8 @@ pub fn ellipsoid_shell(
 ) -> CurvilinearGrid {
     assert!(ni >= 5 && nj >= 3 && nk >= 3 && outer_pad > 0.0);
     let dims = Dims::new(ni, nj, nk);
-    let radial = if viscous {
-        stretched_first_cell(nj, 0.57 / nj as f64)
-    } else {
-        stretched(nj, 1.0)
-    };
+    let radial =
+        if viscous { stretched_first_cell(nj, 0.57 / nj as f64) } else { stretched(nj, 1.0) };
     let coords = Field3::from_fn(dims, |p: Ijk| {
         let th = 2.0 * PI * (p.i % (ni - 1)) as f64 / (ni - 1) as f64;
         let phi = PI * (0.015 + 0.97 * p.k as f64 / (nk - 1) as f64);
@@ -138,11 +133,7 @@ pub fn box_grid(
         .iter()
         .map(|&f| BoundaryPatch {
             face: f,
-            kind: if Some(f) == wall {
-                BcKind::Wall { viscous }
-            } else {
-                BcKind::OversetOuter
-            },
+            kind: if Some(f) == wall { BcKind::Wall { viscous } } else { BcKind::OversetOuter },
         })
         .collect();
     g
@@ -159,10 +150,8 @@ pub fn background_box(name: &str, aabb: Aabb, target: usize) -> CurvilinearGrid 
     let dims = Dims::new(n(e[0]), n(e[1]), n(e[2]));
     let mut g = box_grid(name, dims, aabb, None, false);
     g.kind = GridKind::Background;
-    g.patches = Face::ALL
-        .iter()
-        .map(|&f| BoundaryPatch { face: f, kind: BcKind::Farfield })
-        .collect();
+    g.patches =
+        Face::ALL.iter().map(|&f| BoundaryPatch { face: f, kind: BcKind::Farfield }).collect();
     g
 }
 

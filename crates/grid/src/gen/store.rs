@@ -198,9 +198,7 @@ pub fn store_system(scale: f64) -> Vec<CurvilinearGrid> {
         true,
     );
     pylon.turbulent = true;
-    pylon.solids = vec![Solid::Slab {
-        aabb: Aabb::new([0.65, -0.06, -0.25], [1.55, 0.06, 0.5]),
-    }];
+    pylon.solids = vec![Solid::Slab { aabb: Aabb::new([0.65, -0.06, -0.25], [1.55, 0.06, 0.5]) }];
     grids.push(pylon);
 
     // 12: wing/pylon junction refinement box.

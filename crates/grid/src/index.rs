@@ -48,11 +48,7 @@ impl Ijk {
             let w = v as isize + d;
             w.clamp(0, n as isize - 1) as usize
         };
-        Ijk::new(
-            clamp(self.i, di, dims.ni),
-            clamp(self.j, dj, dims.nj),
-            clamp(self.k, dk, dims.nk),
-        )
+        Ijk::new(clamp(self.i, di, dims.ni), clamp(self.j, dj, dims.nj), clamp(self.k, dk, dims.nk))
     }
 }
 
@@ -124,18 +120,14 @@ impl Dims {
     /// Iterate all node indices in layout order (i fastest).
     pub fn iter(&self) -> impl Iterator<Item = Ijk> + '_ {
         let (ni, nj, nk) = (self.ni, self.nj, self.nk);
-        (0..nk).flat_map(move |k| {
-            (0..nj).flat_map(move |j| (0..ni).map(move |i| Ijk::new(i, j, k)))
-        })
+        (0..nk)
+            .flat_map(move |k| (0..nj).flat_map(move |j| (0..ni).map(move |i| Ijk::new(i, j, k))))
     }
 
     /// The full index box `[0, ni) x [0, nj) x [0, nk)`.
     #[inline]
     pub fn full_box(&self) -> IndexBox {
-        IndexBox {
-            lo: Ijk::new(0, 0, 0),
-            hi: Ijk::new(self.ni, self.nj, self.nk),
-        }
+        IndexBox { lo: Ijk::new(0, 0, 0), hi: Ijk::new(self.ni, self.nj, self.nk) }
     }
 }
 

@@ -191,11 +191,7 @@ mod tests {
     fn sample_grid(ni: usize, nj: usize, nk: usize, off: f64) -> CurvilinearGrid {
         let d = Dims::new(ni, nj, nk);
         let coords = Field3::from_fn(d, |p| {
-            [
-                off + 0.1 * p.i as f64,
-                0.2 * p.j as f64 + 0.01 * (p.i as f64).sin(),
-                0.3 * p.k as f64,
-            ]
+            [off + 0.1 * p.i as f64, 0.2 * p.j as f64 + 0.01 * (p.i as f64).sin(), 0.3 * p.k as f64]
         });
         CurvilinearGrid::new("s", coords, GridKind::Background)
     }

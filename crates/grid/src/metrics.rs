@@ -180,8 +180,7 @@ mod tests {
         // x stretched by 2: J should be 2*h^3.
         let d = Dims::new(4, 4, 4);
         let h = 0.5;
-        let coords =
-            Field3::from_fn(d, |p| [2.0 * h * p.i as f64, h * p.j as f64, h * p.k as f64]);
+        let coords = Field3::from_fn(d, |p| [2.0 * h * p.i as f64, h * p.j as f64, h * p.k as f64]);
         let g = CurvilinearGrid::new("stretch", coords, GridKind::Background);
         let m = compute_metrics(&g);
         for p in d.iter() {
@@ -212,10 +211,7 @@ mod tests {
             [1.0, 1.0, 1.0],
             0.8,
         ));
-        let (v0, v1) = (
-            total_volume(&compute_metrics(&g0)),
-            total_volume(&compute_metrics(&g1)),
-        );
+        let (v0, v1) = (total_volume(&compute_metrics(&g0)), total_volume(&compute_metrics(&g1)));
         assert!((v0 - v1).abs() < 1e-9 * v0.abs());
     }
 

@@ -23,12 +23,7 @@ impl Quat {
             return Self::IDENTITY;
         }
         let (s, c) = (0.5 * angle).sin_cos();
-        Quat {
-            w: c,
-            x: s * axis[0] / n,
-            y: s * axis[1] / n,
-            z: s * axis[2] / n,
-        }
+        Quat { w: c, x: s * axis[0] / n, y: s * axis[1] / n, z: s * axis[2] / n }
     }
 
     pub fn norm(&self) -> f64 {
@@ -100,11 +95,8 @@ pub struct RigidTransform {
 }
 
 impl RigidTransform {
-    pub const IDENTITY: RigidTransform = RigidTransform {
-        rotation: Quat::IDENTITY,
-        pivot: [0.0; 3],
-        translation: [0.0; 3],
-    };
+    pub const IDENTITY: RigidTransform =
+        RigidTransform { rotation: Quat::IDENTITY, pivot: [0.0; 3], translation: [0.0; 3] };
 
     pub fn rotation_about(pivot: [f64; 3], axis: [f64; 3], angle: f64) -> Self {
         RigidTransform {
@@ -206,11 +198,8 @@ mod tests {
 
     #[test]
     fn rigid_transform_about_pivot() {
-        let t = RigidTransform::rotation_about(
-            [1.0, 0.0, 0.0],
-            [0.0, 0.0, 1.0],
-            std::f64::consts::PI,
-        );
+        let t =
+            RigidTransform::rotation_about([1.0, 0.0, 0.0], [0.0, 0.0, 1.0], std::f64::consts::PI);
         // Pivot is fixed; a point at the origin maps to (2, 0, 0).
         assert!(close(t.apply([1.0, 0.0, 0.0]), [1.0, 0.0, 0.0], 1e-12));
         assert!(close(t.apply([0.0, 0.0, 0.0]), [2.0, 0.0, 0.0], 1e-12));

@@ -19,8 +19,6 @@ pub use loads::integrate_surface_loads;
 pub use prescribed::Prescribed;
 pub use rigid::{Loads, RigidBody};
 
-
-
 /// One moving body of an overset system: the set of component grids that
 /// move rigidly together, and how their motion is produced. The paper's
 /// store is ten grids sharing one motion; the delta wing is three.

@@ -44,11 +44,7 @@ pub fn integrate_surface_loads(
             ];
             let p = 0.25 * (p_at(u, v) + p_at(u + 1, v) + p_at(u + 1, v + 1) + p_at(u, v + 1));
             // Pressure force on the body = -p * (outward fluid normal) dS.
-            let f = [
-                -normal_sign * p * n[0],
-                -normal_sign * p * n[1],
-                -normal_sign * p * n[2],
-            ];
+            let f = [-normal_sign * p * n[0], -normal_sign * p * n[1], -normal_sign * p * n[2]];
             let centroid = [
                 0.25 * (a[0] + b[0] + c[0] + d[0]),
                 0.25 * (a[1] + b[1] + c[1] + d[1]),

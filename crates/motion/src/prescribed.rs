@@ -17,13 +17,7 @@ use overset_grid::transform::RigidTransform;
 #[derive(Clone, Debug)]
 pub enum Prescribed {
     /// Pitch oscillation about `pivot` around `axis`: α(t) = α₀ sin(ω t).
-    PitchOscillation {
-        alpha0: f64,
-        omega: f64,
-        pivot: [f64; 3],
-        axis: [f64; 3],
-        time: f64,
-    },
+    PitchOscillation { alpha0: f64, omega: f64, pivot: [f64; 3], axis: [f64; 3], time: f64 },
     /// Constant translation velocity.
     ConstantVelocity { velocity: [f64; 3], time: f64 },
     /// Store ejection: ejector stroke accelerates the store downward for
@@ -56,10 +50,7 @@ impl Prescribed {
     /// The delta wing's slow descent at Mach `m` (paper: M = 0.064) given the
     /// freestream sound speed.
     pub fn descent(mach: f64, sound_speed: f64) -> Prescribed {
-        Prescribed::ConstantVelocity {
-            velocity: [0.0, 0.0, -mach * sound_speed],
-            time: 0.0,
-        }
+        Prescribed::ConstantVelocity { velocity: [0.0, 0.0, -mach * sound_speed], time: 0.0 }
     }
 
     /// A generic store-ejection trajectory starting at `pivot0` (the store CG).
@@ -82,9 +73,7 @@ impl Prescribed {
             Prescribed::PitchOscillation { alpha0, omega, time, .. } => {
                 alpha0 * (omega * time).sin()
             }
-            Prescribed::StoreEjection { pitch_accel, time, .. } => {
-                -0.5 * pitch_accel * time * time
-            }
+            Prescribed::StoreEjection { pitch_accel, time, .. } => -0.5 * pitch_accel * time * time,
             Prescribed::ConstantVelocity { .. } => 0.0,
         }
     }
@@ -101,11 +90,7 @@ impl Prescribed {
             }
             Prescribed::ConstantVelocity { velocity, time } => {
                 *time += dt;
-                RigidTransform::translation([
-                    velocity[0] * dt,
-                    velocity[1] * dt,
-                    velocity[2] * dt,
-                ])
+                RigidTransform::translation([velocity[0] * dt, velocity[1] * dt, velocity[2] * dt])
             }
             Prescribed::StoreEjection {
                 pivot0,
@@ -134,11 +119,7 @@ impl Prescribed {
                 let t1 = *time;
                 let dz = z(t1) - z(t0);
                 let dth = th(t1) - th(t0);
-                let pivot = [
-                    pivot0[0] + offset[0],
-                    pivot0[1] + offset[1],
-                    pivot0[2] + offset[2],
-                ];
+                let pivot = [pivot0[0] + offset[0], pivot0[1] + offset[1], pivot0[2] + offset[2]];
                 offset[2] += dz;
                 // Nose-down pitch about the (moving) CG, axis = +y.
                 RigidTransform {

@@ -80,11 +80,8 @@ impl RigidBody {
         let w = self.omega;
         // Euler's equations, body frame: ω̇ = I⁻¹ (M − ω × (I ω)).
         let iw = [i[0] * w[0], i[1] * w[1], i[2] * w[2]];
-        let gyro = [
-            w[1] * iw[2] - w[2] * iw[1],
-            w[2] * iw[0] - w[0] * iw[2],
-            w[0] * iw[1] - w[1] * iw[0],
-        ];
+        let gyro =
+            [w[1] * iw[2] - w[2] * iw[1], w[2] * iw[0] - w[0] * iw[2], w[0] * iw[1] - w[1] * iw[0]];
         let dw = [
             (loads.moment[0] - gyro[0]) / i[0],
             (loads.moment[1] - gyro[1]) / i[1],
@@ -93,12 +90,8 @@ impl RigidBody {
         // q̇ = ½ q ⊗ (0, ω_body).
         let wq = Quat { w: 0.0, x: w[0], y: w[1], z: w[2] };
         let dq_full = self.orientation.mul(&wq);
-        let dq = Quat {
-            w: 0.5 * dq_full.w,
-            x: 0.5 * dq_full.x,
-            y: 0.5 * dq_full.y,
-            z: 0.5 * dq_full.z,
-        };
+        let dq =
+            Quat { w: 0.5 * dq_full.w, x: 0.5 * dq_full.x, y: 0.5 * dq_full.y, z: 0.5 * dq_full.z };
         Deriv {
             dp: self.velocity,
             dv: [
@@ -267,10 +260,7 @@ mod tests {
         let ang = 0.2f64;
         let expect = [5.1 - ang.sin(), ang.cos(), 0.0];
         for d in 0..3 {
-            assert!(
-                (pt_new[d] - expect[d]).abs() < 1e-3,
-                "dim {d}: {pt_new:?} vs {expect:?}"
-            );
+            assert!((pt_new[d] - expect[d]).abs() < 1e-3, "dim {d}: {pt_new:?} vs {expect:?}");
         }
     }
 

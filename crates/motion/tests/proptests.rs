@@ -45,8 +45,8 @@ proptest! {
             b.step(&loads, dt);
         }
         let t = steps as f64 * dt;
-        for d in 0..3 {
-            let expect = 0.5 * f[d] / mass * t * t;
+        for (d, &fd) in f.iter().enumerate() {
+            let expect = 0.5 * fd / mass * t * t;
             prop_assert!(
                 (b.position[d] - expect).abs() < 1e-9 * (1.0 + expect.abs()),
                 "dim {d}: {} vs {expect}",

@@ -49,11 +49,21 @@ pub trait SolverComm {
     /// (`downstream = true`: toward increasing index).
     fn send_line(&mut self, block: &Block, dir: usize, downstream: bool, data: Vec<f64>);
     /// Receive pipelined line-solve data of length `len`.
-    fn recv_line(&mut self, block: &Block, dir: usize, from_upstream: bool, len: usize) -> Vec<f64>;
+    fn recv_line(&mut self, block: &Block, dir: usize, from_upstream: bool, len: usize)
+        -> Vec<f64>;
     /// Account compute work performed inside the sweep (so pipelined carry
     /// messages are stamped with clocks that include the elimination work
     /// preceding them). Serial implementations may ignore it.
     fn compute(&mut self, _flops: u64) {}
+    /// Current virtual time, seconds. Serial implementations have no clock
+    /// and report 0.
+    fn now(&self) -> f64 {
+        0.0
+    }
+    /// Record a completed trace span from virtual time `start` to now.
+    /// No-op by default; the message-passing runtime forwards this to its
+    /// tracer, so solver stages show up on the virtual timeline.
+    fn trace_span(&mut self, _cat: &'static str, _name: &'static str, _start: f64) {}
 }
 
 /// Serial communicator: single block per grid; periodic wrap filled locally.
@@ -116,20 +126,13 @@ fn char_frame(block: &Block, p: Ijk, dir: usize) -> CharFrame {
     let k = [s[0] / s_norm, s[1] / s_norm, s[2] / s_norm];
     // Deterministic tangent basis.
     let a = if k[0].abs() < 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
-    let mut t1 = [
-        k[1] * a[2] - k[2] * a[1],
-        k[2] * a[0] - k[0] * a[2],
-        k[0] * a[1] - k[1] * a[0],
-    ];
+    let mut t1 = [k[1] * a[2] - k[2] * a[1], k[2] * a[0] - k[0] * a[2], k[0] * a[1] - k[1] * a[0]];
     let n1 = (t1[0] * t1[0] + t1[1] * t1[1] + t1[2] * t1[2]).sqrt();
     for t in t1.iter_mut() {
         *t /= n1;
     }
-    let t2 = [
-        k[1] * t1[2] - k[2] * t1[1],
-        k[2] * t1[0] - k[0] * t1[2],
-        k[0] * t1[1] - k[1] * t1[0],
-    ];
+    let t2 =
+        [k[1] * t1[2] - k[2] * t1[1], k[2] * t1[0] - k[0] * t1[2], k[0] * t1[1] - k[1] * t1[0]];
     let rho = q[0];
     let u = [q[1] / rho, q[2] / rho, q[3] / rho];
     let c = sound_speed(q);
@@ -160,8 +163,8 @@ fn to_char(f: &CharFrame, dq: &[f64; NVAR]) -> [f64; NVAR] {
         (dq[3] - f.u[2] * d_rho) / f.rho,
     ];
     let ke = 0.5 * (f.u[0] * f.u[0] + f.u[1] * f.u[1] + f.u[2] * f.u[2]);
-    let dp = (GAMMA - 1.0)
-        * (dq[4] + ke * d_rho - f.u[0] * dq[1] - f.u[1] * dq[2] - f.u[2] * dq[3]);
+    let dp =
+        (GAMMA - 1.0) * (dq[4] + ke * d_rho - f.u[0] * dq[1] - f.u[1] * dq[2] - f.u[2] * dq[3]);
     // Δprimitive → characteristic.
     let un = f.k[0] * du[0] + f.k[1] * du[1] + f.k[2] * du[2];
     let c2 = f.c * f.c;
@@ -191,7 +194,8 @@ fn from_char(f: &CharFrame, w: &[f64; NVAR]) -> [f64; NVAR] {
         f.u[0] * d_rho + f.rho * du[0],
         f.u[1] * d_rho + f.rho * du[1],
         f.u[2] * d_rho + f.rho * du[2],
-        ke * d_rho + f.rho * (f.u[0] * du[0] + f.u[1] * du[1] + f.u[2] * du[2])
+        ke * d_rho
+            + f.rho * (f.u[0] * du[0] + f.u[1] * du[1] + f.u[2] * du[2])
             + dp / (GAMMA - 1.0),
     ]
 }
@@ -207,6 +211,7 @@ pub fn implicit_sweeps(
     let dt = fc.dt;
     let ow = block.owned_local();
     let mut flops = 0u64;
+    let t0 = comm.now();
 
     for &dir in block.active_dirs() {
         let (d1, d2) = other_dirs(dir);
@@ -394,10 +399,13 @@ pub fn implicit_sweeps(
         }
 
         let rest = (n * nlines) as u64
-            * (FLOPS_PER_NODE_PER_DIR - FLOPS_PER_NODE_PER_DIR * 7 / 10 - FLOPS_PER_NODE_PER_DIR * 2 / 10);
+            * (FLOPS_PER_NODE_PER_DIR
+                - FLOPS_PER_NODE_PER_DIR * 7 / 10
+                - FLOPS_PER_NODE_PER_DIR * 2 / 10);
         comm.compute(rest);
         flops += (n * nlines) as u64 * FLOPS_PER_NODE_PER_DIR;
     }
+    comm.trace_span("solver", "implicit_sweeps", t0);
     flops
 }
 
@@ -409,7 +417,14 @@ fn periodic_in_i(block: &Block) -> bool {
 /// Tridiagonal row for characteristic variable `v` at a node, from the
 /// frames of its `i∓1`, own, and `i±1` nodes.
 #[inline]
-fn row_abc(fm: &CharFrame, f0: &CharFrame, fp: &CharFrame, dt: f64, v: usize, identity: bool) -> (f64, f64, f64) {
+fn row_abc(
+    fm: &CharFrame,
+    f0: &CharFrame,
+    fp: &CharFrame,
+    dt: f64,
+    v: usize,
+    identity: bool,
+) -> (f64, f64, f64) {
     if identity {
         (0.0, 1.0, 0.0)
     } else {
@@ -469,9 +484,8 @@ fn periodic_sweep_i(
     } else {
         1
     };
-    let chunk_bounds = |ch: usize| -> (usize, usize) {
-        (nlines * ch / nchunks, nlines * (ch + 1) / nchunks)
-    };
+    let chunk_bounds =
+        |ch: usize| -> (usize, usize) { (nlines * ch / nchunks, nlines * (ch + 1) / nchunks) };
 
     // Per-row storage: cp and the correction column z (y lives in dq).
     let mut cp = vec![0.0f64; n * nlines * NVAR];
@@ -531,11 +545,7 @@ fn periodic_sweep_i(
                         u_rhs = beta;
                     }
                     let (bp, ynum, znum) = if have_prev {
-                        (
-                            b - a * prev_cp[v],
-                            wnode[v] - a * prev_y[v],
-                            u_rhs - a * prev_z[v],
-                        )
+                        (b - a * prev_cp[v], wnode[v] - a * prev_y[v], u_rhs - a * prev_z[v])
                     } else {
                         (b, wnode[v], u_rhs)
                     };
@@ -697,9 +707,7 @@ mod tests {
 
     fn uniform_block(n: usize, fc: &FlowConditions) -> Block {
         let d = Dims::new(n, n, n);
-        let coords = Field3::from_fn(d, |p| {
-            [p.i as f64 * 0.2, p.j as f64 * 0.2, p.k as f64 * 0.2]
-        });
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * 0.2, p.j as f64 * 0.2, p.k as f64 * 0.2]);
         let g = CurvilinearGrid::new("u", coords, GridKind::Background);
         Block::from_grid(0, &g, d.full_box(), [None; 6], fc)
     }
@@ -791,7 +799,8 @@ mod tests {
         let mut g = CurvilinearGrid::new("o", coords, GridKind::NearBody);
         g.periodic_i = true;
         // Whole grid on one rank, wrap neighbors pointing at itself.
-        let b = Block::from_grid(0, &g, d.full_box(), [Some(0), Some(0), None, None, None, None], &fc);
+        let b =
+            Block::from_grid(0, &g, d.full_box(), [Some(0), Some(0), None, None, None, None], &fc);
         assert!(implicit_neighbor(&b, 0, false).is_none());
         assert!(implicit_neighbor(&b, 0, true).is_none());
     }
@@ -848,9 +857,9 @@ mod tests {
         }
         // Transform rhs to characteristic variables (as implicit_sweeps does).
         let mut frames = Vec::new();
-        for li in 0..nlines {
+        for &(lj, lk) in lines.iter().take(nlines) {
             for c in 0..n_own {
-                let p = Ijk::new(ow.lo.i + c, lines[li].0, lines[li].1);
+                let p = Ijk::new(ow.lo.i + c, lj, lk);
                 let f = char_frame(&b, p, 0);
                 let w = to_char(&f, dq.node(p));
                 dq.set_node(p, w);

@@ -30,7 +30,14 @@ pub fn apply_bcs(block: &mut Block, fc: &FlowConditions) -> u64 {
     nodes * FLOPS_PER_BC_NODE
 }
 
-fn apply_at(block: &mut Block, fc: &FlowConditions, kind: BcKind, p: Ijk, dir: usize, inward: isize) {
+fn apply_at(
+    block: &mut Block,
+    fc: &FlowConditions,
+    kind: BcKind,
+    p: Ijk,
+    dir: usize,
+    inward: isize,
+) {
     let inner = {
         let mut q = p;
         q.set(dir, (q.get(dir) as isize + inward) as usize);
@@ -64,15 +71,9 @@ fn apply_at(block: &mut Block, fc: &FlowConditions, kind: BcKind, p: Ijk, dir: u
                 let nh = [g[0] * inv, g[1] * inv, g[2] * inv];
                 let u = [qi[1] / rho - vg[0], qi[2] / rho - vg[1], qi[3] / rho - vg[2]];
                 let un = u[0] * nh[0] + u[1] * nh[1] + u[2] * nh[2];
-                [
-                    vg[0] + u[0] - un * nh[0],
-                    vg[1] + u[1] - un * nh[1],
-                    vg[2] + u[2] - un * nh[2],
-                ]
+                [vg[0] + u[0] - un * nh[0], vg[1] + u[1] - un * nh[1], vg[2] + u[2] - un * nh[2]]
             };
-            block
-                .q
-                .set_node(p, conservatives(&[rho, vel[0], vel[1], vel[2], p_wall]));
+            block.q.set_node(p, conservatives(&[rho, vel[0], vel[1], vel[2], p_wall]));
         }
         BcKind::Symmetry => {
             // Mirror: copy interior with reflected normal velocity.
@@ -86,9 +87,7 @@ fn apply_at(block: &mut Block, fc: &FlowConditions, kind: BcKind, p: Ijk, dir: u
             let u = [qi[1] / rho, qi[2] / rho, qi[3] / rho];
             let un = u[0] * nh[0] + u[1] * nh[1] + u[2] * nh[2];
             let vel = [u[0] - un * nh[0], u[1] - un * nh[1], u[2] - un * nh[2]];
-            block
-                .q
-                .set_node(p, conservatives(&[rho, vel[0], vel[1], vel[2], pressure(&qi)]));
+            block.q.set_node(p, conservatives(&[rho, vel[0], vel[1], vel[2], pressure(&qi)]));
         }
         // Overset fringes are set by the connectivity phase; periodic wrap is
         // handled by the halo exchange.
@@ -169,9 +168,13 @@ fn characteristic_farfield(
     conservatives(&[rho_b.max(1e-8), vel[0], vel[1], vel[2], p_b.max(1e-10)])
 }
 
-/// Extract the wall-surface state of a face for aerodynamic load integration:
-/// `(nu, nv, coords, pressures)` over the face's owned nodes.
-pub fn wall_surface(block: &Block, face: usize) -> Option<(usize, usize, Vec<[f64; 3]>, Vec<f64>)> {
+/// Wall-surface state of a face: `(nu, nv, coords, pressures)` over the
+/// face's owned nodes.
+pub type WallSurface = (usize, usize, Vec<[f64; 3]>, Vec<f64>);
+
+/// Extract the wall-surface state of a face for aerodynamic load
+/// integration.
+pub fn wall_surface(block: &Block, face: usize) -> Option<WallSurface> {
     match block.face_bc[face] {
         Some(BcKind::Wall { .. }) => {}
         _ => return None,

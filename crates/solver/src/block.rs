@@ -9,8 +9,8 @@
 use crate::conditions::FlowConditions;
 use overset_grid::curvilinear::{BcKind, CurvilinearGrid, Face};
 use overset_grid::field::{Field3, StateField, NVAR};
-use overset_grid::metrics::{metric_at, Metric, MetricField};
 use overset_grid::index::{Dims, Ijk, IndexBox};
+use overset_grid::metrics::{metric_at, Metric, MetricField};
 use overset_grid::transform::RigidTransform;
 
 /// Halo width (2 layers: enough for the 4th-difference dissipation stencil).
@@ -86,11 +86,7 @@ impl Block {
         let two_d = gd.is_two_d();
         let halo = [HALO, HALO, if two_d { 0 } else { HALO }];
         let od = owned.dims();
-        let local_dims = Dims::new(
-            od.ni + 2 * halo[0],
-            od.nj + 2 * halo[1],
-            od.nk + 2 * halo[2],
-        );
+        let local_dims = Dims::new(od.ni + 2 * halo[0], od.nj + 2 * halo[1], od.nk + 2 * halo[2]);
 
         // Geometry: copy from the parent grid where the (possibly wrapped)
         // global node exists; *linearly extrapolate* past physical grid
@@ -112,10 +108,21 @@ impl Block {
                     continue;
                 }
                 let (a, b) = if ov < 0 {
-                    (g, Ijk::new(g.i + usize::from(dir == 0), g.j + usize::from(dir == 1), g.k + usize::from(dir == 2)))
+                    (
+                        g,
+                        Ijk::new(
+                            g.i + usize::from(dir == 0),
+                            g.j + usize::from(dir == 1),
+                            g.k + usize::from(dir == 2),
+                        ),
+                    )
                 } else {
                     (
-                        Ijk::new(g.i - usize::from(dir == 0), g.j - usize::from(dir == 1), g.k - usize::from(dir == 2)),
+                        Ijk::new(
+                            g.i - usize::from(dir == 0),
+                            g.j - usize::from(dir == 1),
+                            g.k - usize::from(dir == 2),
+                        ),
                         g,
                     )
                 };
@@ -259,11 +266,8 @@ impl Block {
     /// Apply a rigid motion to the block geometry (and set grid velocities
     /// for the ALE fluxes), then refresh metrics.
     pub fn apply_motion(&mut self, t: &RigidTransform, dt: f64) {
-        for (p, v) in self
-            .coords
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.grid_vel.as_mut_slice().iter_mut())
+        for (p, v) in
+            self.coords.as_mut_slice().iter_mut().zip(self.grid_vel.as_mut_slice().iter_mut())
         {
             let old = *p;
             *p = t.apply(old);
@@ -292,12 +296,7 @@ impl Block {
     /// blocks are rebuilt at the current pose but must keep the ALE state.
     pub fn set_grid_velocity_from(&mut self, t: &RigidTransform, dt: f64) {
         let inv = t.inverse();
-        for (x, v) in self
-            .coords
-            .as_slice()
-            .iter()
-            .zip(self.grid_vel.as_mut_slice().iter_mut())
-        {
+        for (x, v) in self.coords.as_slice().iter().zip(self.grid_vel.as_mut_slice().iter_mut()) {
             let old = inv.apply(*x);
             *v = [(x[0] - old[0]) / dt, (x[1] - old[1]) / dt, (x[2] - old[2]) / dt];
         }
@@ -419,9 +418,7 @@ mod tests {
 
     fn test_grid(ni: usize, nj: usize, nk: usize) -> CurvilinearGrid {
         let d = Dims::new(ni, nj, nk);
-        let coords = Field3::from_fn(d, |p| {
-            [p.i as f64 * 0.1, p.j as f64 * 0.1, p.k as f64 * 0.1]
-        });
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * 0.1, p.j as f64 * 0.1, p.k as f64 * 0.1]);
         CurvilinearGrid::new("t", coords, GridKind::Background)
     }
 
@@ -467,7 +464,8 @@ mod tests {
         let owned = IndexBox::new(Ijk::new(0, 0, 0), Ijk::new(5, 8, 6));
         let mut a = Block::from_grid(0, &g, owned, [None, Some(1), None, None, None, None], &fc());
         let owned_b = IndexBox::new(Ijk::new(5, 0, 0), Ijk::new(10, 8, 6));
-        let mut b = Block::from_grid(0, &g, owned_b, [Some(0), None, None, None, None, None], &fc());
+        let mut b =
+            Block::from_grid(0, &g, owned_b, [Some(0), None, None, None, None, None], &fc());
 
         // Mark a's rightmost owned layers with a recognizable state.
         for p in a.layer_box(1, HALO, false).iter() {
@@ -489,7 +487,10 @@ mod tests {
     fn face_bc_detection() {
         let mut g = test_grid(10, 8, 1);
         g.patches = vec![
-            overset_grid::curvilinear::BoundaryPatch { face: Face::JMin, kind: BcKind::Wall { viscous: true } },
+            overset_grid::curvilinear::BoundaryPatch {
+                face: Face::JMin,
+                kind: BcKind::Wall { viscous: true },
+            },
             overset_grid::curvilinear::BoundaryPatch { face: Face::JMax, kind: BcKind::Farfield },
         ];
         // A block touching JMin but not JMax.

@@ -30,12 +30,7 @@ pub struct FlowConditions {
 
 impl FlowConditions {
     pub fn new(mach: f64, alpha_deg: f64, reynolds: f64) -> Self {
-        FlowConditions {
-            mach,
-            alpha: alpha_deg.to_radians(),
-            reynolds,
-            dt: 0.05,
-        }
+        FlowConditions { mach, alpha: alpha_deg.to_radians(), reynolds, dt: 0.05 }
     }
 
     /// Freestream conserved state `[ρ, ρu, ρv, ρw, e]`.
@@ -77,26 +72,14 @@ pub fn sound_speed(q: &[f64; NVAR]) -> f64 {
 #[inline]
 pub fn primitives(q: &[f64; NVAR]) -> [f64; NVAR] {
     let inv_rho = 1.0 / q[0];
-    [
-        q[0],
-        q[1] * inv_rho,
-        q[2] * inv_rho,
-        q[3] * inv_rho,
-        pressure(q),
-    ]
+    [q[0], q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho, pressure(q)]
 }
 
 /// Conserved state from primitives `[ρ, u, v, w, p]`.
 #[inline]
 pub fn conservatives(w: &[f64; NVAR]) -> [f64; NVAR] {
     let (rho, u, v, ww, p) = (w[0], w[1], w[2], w[3], w[4]);
-    [
-        rho,
-        rho * u,
-        rho * v,
-        rho * ww,
-        p / (GAMMA - 1.0) + 0.5 * rho * (u * u + v * v + ww * ww),
-    ]
+    [rho, rho * u, rho * v, rho * ww, p / (GAMMA - 1.0) + 0.5 * rho * (u * u + v * v + ww * ww)]
 }
 
 /// Positivity floors for density and pressure: transonic impulsive starts

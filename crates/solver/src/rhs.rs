@@ -299,9 +299,7 @@ mod tests {
 
     fn uniform_block(n: usize, fc: &FlowConditions) -> Block {
         let d = Dims::new(n, n, n);
-        let coords = Field3::from_fn(d, |p| {
-            [p.i as f64 * 0.2, p.j as f64 * 0.2, p.k as f64 * 0.2]
-        });
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * 0.2, p.j as f64 * 0.2, p.k as f64 * 0.2]);
         let g = CurvilinearGrid::new("u", coords, GridKind::Background);
         Block::from_grid(0, &g, d.full_box(), [None; 6], fc)
     }

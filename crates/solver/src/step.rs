@@ -45,7 +45,9 @@ pub fn step_block(
     scratch: &mut Scratch,
 ) -> StepReport {
     let mut flops = 0u64;
+    let t0 = comm.now();
     comm.exchange_halo(block);
+    comm.trace_span("solver", "exchange_halo", t0);
 
     if block.turbulent && block.viscous {
         if let Some(w) = wall {
@@ -53,8 +55,10 @@ pub fn step_block(
         }
     }
 
+    let t0 = comm.now();
     flops += compute_residual(block, fc, &mut scratch.res);
     let residual = residual_l2(block, &scratch.res);
+    comm.trace_span("solver", "residual", t0);
 
     // dq enters the factored solve holding Δt·R.
     for v in scratch.res.as_mut_slice() {

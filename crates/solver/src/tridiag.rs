@@ -201,16 +201,21 @@ mod tests {
 
         // Split into 3 segments like 3 ranks along one line.
         let cuts = [0usize, 13, 27, n];
-        let mut segs: Vec<Vec<f64>> = (0..3)
-            .map(|s| rhs[cuts[s]..cuts[s + 1]].to_vec())
-            .collect();
+        let mut segs: Vec<Vec<f64>> = (0..3).map(|s| rhs[cuts[s]..cuts[s + 1]].to_vec()).collect();
         let mut cps: Vec<Vec<f64>> = segs.iter().map(|s| vec![0.0; s.len()]).collect();
 
         // Forward pipeline.
         let mut carry = None;
         for s in 0..3 {
             let r = cuts[s]..cuts[s + 1];
-            let out = forward_segment(&a[r.clone()], &b[r.clone()], &c[r], &mut segs[s], &mut cps[s], carry);
+            let out = forward_segment(
+                &a[r.clone()],
+                &b[r.clone()],
+                &c[r],
+                &mut segs[s],
+                &mut cps[s],
+                carry,
+            );
             carry = Some(out);
         }
         // Backward pipeline.
@@ -222,12 +227,7 @@ mod tests {
 
         let joined: Vec<f64> = segs.concat();
         for i in 0..n {
-            assert!(
-                (joined[i] - mono[i]).abs() < 1e-10,
-                "i={i}: {} vs {}",
-                joined[i],
-                mono[i]
-            );
+            assert!((joined[i] - mono[i]).abs() < 1e-10, "i={i}: {} vs {}", joined[i], mono[i]);
         }
     }
 

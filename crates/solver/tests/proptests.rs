@@ -15,11 +15,7 @@ fn wavy_block(n: usize, amp: f64, fc: &FlowConditions) -> Block {
     let d = Dims::new(n, n, n);
     let coords = Field3::from_fn(d, |p| {
         let (x, y, z) = (p.i as f64 * 0.3, p.j as f64 * 0.3, p.k as f64 * 0.3);
-        [
-            x + amp * (2.0 * y).sin(),
-            y + amp * (1.5 * z).cos() - amp,
-            z + amp * (1.0 * x).sin(),
-        ]
+        [x + amp * (2.0 * y).sin(), y + amp * (1.5 * z).cos() - amp, z + amp * (1.0 * x).sin()]
     });
     let g = CurvilinearGrid::new("w", coords, GridKind::Background);
     Block::from_grid(0, &g, d.full_box(), [None; 6], fc)

@@ -33,14 +33,10 @@ fn vortex_state(x: f64, y: f64, xc: f64, yc: f64) -> [f64; 5] {
 fn vortex_block(n: usize, half: f64) -> Block {
     let d = Dims::new(n, n, 1);
     let h = 2.0 * half / (n - 1) as f64;
-    let coords = Field3::from_fn(d, |p: Ijk| {
-        [-half + h * p.i as f64, -half + h * p.j as f64, 0.0]
-    });
+    let coords = Field3::from_fn(d, |p: Ijk| [-half + h * p.i as f64, -half + h * p.j as f64, 0.0]);
     let mut g = CurvilinearGrid::new("v", coords, GridKind::Background);
-    g.patches = Face::ALL[..4]
-        .iter()
-        .map(|&f| BoundaryPatch { face: f, kind: BcKind::Farfield })
-        .collect();
+    g.patches =
+        Face::ALL[..4].iter().map(|&f| BoundaryPatch { face: f, kind: BcKind::Farfield }).collect();
     let fc = FlowConditions::new(MACH, 0.0, 0.0);
     let mut b = Block::from_grid(0, &g, d.full_box(), [None; 6], &fc);
     for p in b.local_dims.iter().collect::<Vec<_>>() {
@@ -90,10 +86,7 @@ fn vortex_error_converges_with_resolution() {
     let coarse = advect_error(49, 0.4, 0.01);
     let fine = advect_error(97, 0.4, 0.005);
     let ratio = coarse / fine;
-    assert!(
-        ratio > 2.0,
-        "convergence ratio {ratio} (coarse {coarse}, fine {fine})"
-    );
+    assert!(ratio > 2.0, "convergence ratio {ratio} (coarse {coarse}, fine {fine})");
 }
 
 #[test]

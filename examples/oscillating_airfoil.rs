@@ -41,7 +41,7 @@ fn main() {
         let mut base = None;
         for nodes in [6usize, 9, 12, 18, 24] {
             let cfg = airfoil_case(scale, steps);
-            let r = run_case(&cfg, nodes, &machine);
+            let r = run_case(&cfg, nodes, &machine).unwrap();
             let t = r.time_per_step();
             let b = *base.get_or_insert(t);
             println!(

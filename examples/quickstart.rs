@@ -30,15 +30,12 @@ fn main() {
     let machine = MachineModel::ibm_sp2();
     println!("running on {nranks} simulated {} nodes...", machine.name);
     let t0 = std::time::Instant::now();
-    let r = run_case(&cfg, nranks, &machine);
+    let r = run_case(&cfg, nranks, &machine).unwrap();
     println!("(host wall time: {:?})\n", t0.elapsed());
 
     println!("virtual time per step : {:.3} s", r.time_per_step());
     println!("avg Mflops per node   : {:.1}", r.mflops_per_node());
-    println!(
-        "% time in DCF3D       : {:.1}%",
-        100.0 * r.connectivity_fraction()
-    );
+    println!("% time in DCF3D       : {:.1}%", 100.0 * r.connectivity_fraction());
     println!(
         "phase split (s/step)  : flow {:.3}, motion {:.4}, connectivity {:.3}",
         r.phase_elapsed[Phase::Flow as usize] / steps as f64,

@@ -46,15 +46,12 @@ fn main() {
         ("static load balancing (f_o = inf)", LbConfig::static_only()),
         ("dynamic load balancing (f_o = 3)", LbConfig::dynamic(3.0, 5)),
     ] {
-        let mut cfg = if sixdof {
-            store_case_sixdof(scale, steps)
-        } else {
-            store_case(scale, steps)
-        };
+        let mut cfg =
+            if sixdof { store_case_sixdof(scale, steps) } else { store_case(scale, steps) };
         cfg.lb = lb;
         println!("{label}, {nodes} {} nodes:", machine.name);
         let t0 = std::time::Instant::now();
-        let r = run_case(&cfg, nodes, &machine);
+        let r = run_case(&cfg, nodes, &machine).unwrap();
         println!("  composite points     : {}", r.total_points);
         println!("  time per step        : {:.3} s", r.time_per_step());
         println!(

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: lint, format, tier-1 build+test, and the golden
+# Chrome-trace schema/determinism tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== golden trace schema + determinism =="
+cargo test -q -p overflow-d --test observability
+
+echo "All checks passed."

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate implements the small part of the criterion API the
+//! workspace benches use (`Criterion::bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`, `black_box`, the `criterion_group!`
+//! / `criterion_main!` macros) as a plain wall-clock harness: warm up,
+//! run timed batches for a target duration, report mean time per iteration.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched; the stub treats all variants alike.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Benchmark driver. Configuration knobs are fixed: ~0.3 s warm-up and
+/// ~1.2 s measurement per benchmark.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warmup: Duration::from_millis(300), measure: Duration::from_millis(1200) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Warmup,
+            deadline: Instant::now() + self.warmup,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.mode = Mode::Measure;
+        b.deadline = Instant::now() + self.measure;
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let per_iter = if b.iters == 0 { Duration::ZERO } else { b.elapsed / b.iters as u32 };
+        println!("{name:<45} time: {:>12.3?}  ({} iterations)", per_iter, b.iters);
+        self
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Warmup,
+    Measure,
+}
+
+/// Timing loop handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    deadline: Instant,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            if self.mode == Mode::Measure {
+                self.iters += 1;
+                self.elapsed += dt;
+            }
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            if self.mode == Mode::Measure {
+                self.iters += 1;
+                self.elapsed += dt;
+            }
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
