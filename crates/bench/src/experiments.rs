@@ -276,21 +276,13 @@ pub fn table6(e: Effort) {
 }
 
 /// A representative traced run for `--trace` / `--metrics`: the given
-/// experiment family's case at its smallest node count, with event tracing
-/// enabled. Deterministic in virtual time, so two invocations produce
-/// byte-identical trace JSON.
-pub fn traced_run(which: &str, e: Effort) -> RunResult {
-    let (mut cfg, nodes) = match which {
-        "table3" | "fig7" => (delta_wing_case(e.scale3d, e.steps3d), 7),
-        "table4" | "fig10" | "table6" | "ablate-sixdof" => (store_case(e.scale3d, e.steps3d), 16),
-        "table5" | "fig11" | "ablate-fo" => {
-            let mut c = store_case(e.scale3d, e.steps3d.max(10));
-            c.lb = LbConfig::dynamic(3.0, 4);
-            (c, 16)
-        }
-        _ => (airfoil_case(e.scale2d, e.steps2d), 6),
-    };
-    cfg.trace = TraceConfig::enabled();
+/// experiment family's case at its smallest node count (the same mapping
+/// `repro report` uses, see [`crate::report::representative_case`]), with
+/// the given trace configuration. Deterministic in virtual time, so two
+/// invocations produce byte-identical trace JSON.
+pub fn traced_run(which: &str, e: Effort, trace: TraceConfig) -> RunResult {
+    let (mut cfg, nodes) = crate::report::representative_case(which, e);
+    cfg.trace = trace;
     run_case(&cfg, nodes, &sp2()).expect("traced run failed")
 }
 

@@ -5,5 +5,6 @@
 
 pub mod amr_experiments;
 pub mod experiments;
+pub mod report;
 
 pub use experiments::{Effort, PerfRow};

@@ -1,6 +1,13 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, emit machine-readable
+//! run reports, and gate perf regressions.
 //!
-//! Usage: `repro <experiment> [--quick] [--trace <out.json>] [--metrics]`
+//! Usage:
+//!   `repro <experiment> [--quick] [--trace <out.json>] [--metrics]
+//!          [--trace-filter <cats>] [--trace-sample <N>]`
+//!   `repro report <experiment> [--quick] [-o <out.json>]
+//!          [--trace-filter <cats>] [--trace-sample <N>]`
+//!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
+//!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
 //! table5 fig11 table6 fig12 ablate-restart ablate-sixdof ablate-fo
 //! ablate-grouping ablate-cache all`.
@@ -8,27 +15,113 @@
 //! `--trace` re-runs the experiment's representative case with event
 //! tracing enabled and writes a Chrome `trace_event` JSON (load it in
 //! `chrome://tracing` or Perfetto; one "process" per rank, virtual-time
-//! axis). `--metrics` prints the aggregated metrics registry of the same
-//! run.
+//! axis). `--trace-filter` keeps only the named span categories (comma
+//! separated, from `phase comm compute conn solver lb`); `--trace-sample N`
+//! keeps every Nth filter-passing span. `--metrics` prints the aggregated
+//! metrics registry of the same run.
+//!
+//! `report` writes a schema-v1 JSON report (per-step telemetry series,
+//! end-of-run summary, metrics dump — see docs/OBSERVABILITY.md); `compare`
+//! exits 0 when `new` is within `--tol-pct` percent (default 5) of
+//! `baseline` on every gated metric, 1 on regression, 2 on usage/IO errors.
 
 use overset_bench::amr_experiments::{ablate_grouping, fig12};
 use overset_bench::experiments::*;
+use overset_bench::report::{build_report, compare_reports};
+use overset_comm::trace::TraceConfig;
+use overset_comm::CategoryFilter;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut trace_path: Option<String> = None;
-    let mut show_metrics = false;
-    let mut which = "all".to_string();
+fn parse_trace_config(filter: &Option<String>, sample: u32) -> TraceConfig {
+    let mut tc = TraceConfig::enabled();
+    if let Some(csv) = filter {
+        match CategoryFilter::parse(csv) {
+            Ok(f) => tc = tc.with_filter(f),
+            Err(e) => {
+                eprintln!("--trace-filter: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    tc.with_sampling(sample)
+}
+
+fn run_compare(args: &[String]) -> i32 {
+    let mut tol_pct = 5.0;
+    let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => quick = true,
-            "--metrics" => show_metrics = true,
+            "--tol-pct" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tol_pct = v,
+                _ => {
+                    eprintln!("--tol-pct requires a non-negative number");
+                    return 2;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return 2;
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: repro compare <baseline.json> <new.json> [--tol-pct N]");
+        return 2;
+    }
+    compare_reports(paths[0], paths[1], tol_pct)
+}
+
+struct Cli {
+    which: String,
+    quick: bool,
+    trace_path: Option<String>,
+    show_metrics: bool,
+    out_path: Option<String>,
+    trace_filter: Option<String>,
+    trace_sample: u32,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        which: "all".to_string(),
+        quick: false,
+        trace_path: None,
+        show_metrics: false,
+        out_path: None,
+        trace_filter: None,
+        trace_sample: 1,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--metrics" => cli.show_metrics = true,
             "--trace" => match it.next() {
-                Some(p) => trace_path = Some(p.clone()),
+                Some(p) => cli.trace_path = Some(p.clone()),
                 None => {
                     eprintln!("--trace requires an output path");
+                    std::process::exit(2);
+                }
+            },
+            "-o" | "--out" => match it.next() {
+                Some(p) => cli.out_path = Some(p.clone()),
+                None => {
+                    eprintln!("{a} requires an output path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-filter" => match it.next() {
+                Some(f) => cli.trace_filter = Some(f.clone()),
+                None => {
+                    eprintln!("--trace-filter requires a category list (e.g. phase,conn)");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-sample" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => cli.trace_sample = n,
+                _ => {
+                    eprintln!("--trace-sample requires an integer >= 1");
                     std::process::exit(2);
                 }
             },
@@ -36,10 +129,52 @@ fn main() {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
             }
-            other => which = other.to_string(),
+            other => cli.which = other.to_string(),
         }
     }
-    let effort = if quick { Effort::quick() } else { Effort::full() };
+    cli
+}
+
+fn run_report_cmd(args: &[String]) -> i32 {
+    let cli = parse_cli(args);
+    let effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    let effort_name = if cli.quick { "quick" } else { "full" };
+    // Trace spans are not serialized into the report; tracing here only
+    // proves observability neutrality (the golden tests rely on it), so
+    // leave it off unless a filter was explicitly requested.
+    let trace = if cli.trace_filter.is_some() || cli.trace_sample > 1 {
+        parse_trace_config(&cli.trace_filter, cli.trace_sample)
+    } else {
+        TraceConfig::disabled()
+    };
+    let doc = build_report(&cli.which, effort, effort_name, trace);
+    let text = doc.to_json();
+    match &cli.out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text.as_bytes()) {
+                eprintln!("failed to write report to {path}: {e}");
+                return 2;
+            }
+            eprintln!("[report: {} bytes -> {path}]", text.len());
+        }
+        None => println!("{text}"),
+    }
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => std::process::exit(run_compare(&args[1..])),
+        Some("report") => std::process::exit(run_report_cmd(&args[1..])),
+        _ => {}
+    }
+
+    let cli = parse_cli(&args);
+    let effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    let which = cli.which.clone();
+    // Validate trace flags before the (long) experiment run, not after.
+    let trace_cfg = parse_trace_config(&cli.trace_filter, cli.trace_sample);
 
     let t0 = std::time::Instant::now();
     match which.as_str() {
@@ -82,15 +217,16 @@ fn main() {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
-                 table6 fig12 ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all"
+                 table6 fig12 ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all\n\
+                 or a subcommand: report <experiment> | compare <baseline.json> <new.json>"
             );
             std::process::exit(2);
         }
     }
 
-    if trace_path.is_some() || show_metrics {
-        let r = traced_run(&which, effort);
-        if let Some(path) = &trace_path {
+    if cli.trace_path.is_some() || cli.show_metrics {
+        let r = traced_run(&which, effort, trace_cfg);
+        if let Some(path) = &cli.trace_path {
             let json = overset_comm::chrome_trace_json(&r.trace);
             if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("failed to write trace to {path}: {e}");
@@ -99,7 +235,7 @@ fn main() {
             let events: usize = r.trace.iter().map(|t| t.events.len()).sum();
             eprintln!("[trace: {events} events over {} ranks -> {path}]", r.trace.len());
         }
-        if show_metrics {
+        if cli.show_metrics {
             print_metrics(&r);
         }
     }

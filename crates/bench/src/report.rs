@@ -1,0 +1,115 @@
+//! `repro report` / `repro compare`: machine-readable run reports and the
+//! perf-regression verdict (schema v1, see `overset-report`).
+//!
+//! A report always carries two runs: the experiment family's
+//! *representative* case (the same one `--trace` uses) and a *dynamic-LB*
+//! store-separation run, so every report exercises Algorithm 2's
+//! repartition path regardless of which experiment was asked for. When the
+//! representative case already is the dynamic store run (the table5
+//! family), the extra run is skipped.
+
+use crate::experiments::Effort;
+use overflow_d::{
+    airfoil_case, delta_wing_case, run_case, store_case, CaseConfig, LbConfig, RunResult,
+};
+use overset_comm::trace::TraceConfig;
+use overset_comm::MachineModel;
+use overset_report::json::obj;
+use overset_report::{case_report, run_report, Value};
+
+/// The experiment family's representative case and node count — the same
+/// mapping `traced_run` uses.
+pub fn representative_case(which: &str, e: Effort) -> (CaseConfig, usize) {
+    match which {
+        "table3" | "fig7" => (delta_wing_case(e.scale3d, e.steps3d), 7),
+        "table4" | "fig10" | "table6" | "ablate-sixdof" => (store_case(e.scale3d, e.steps3d), 16),
+        "table5" | "fig11" | "ablate-fo" => (dynamic_store_case(e), DYN_NODES),
+        _ => (airfoil_case(e.scale2d, e.steps2d), 6),
+    }
+}
+
+/// Node count for the dynamic-LB store run. Must exceed the store system's
+/// 16 grids: at exactly one processor per grid, Algorithm 2 can never
+/// honour a grant (every other grid must keep >= 1 processor), so no
+/// repartition would ever fire.
+const DYN_NODES: usize = 18;
+
+/// The dynamic-load-balance store run included in every report: f_o = 3
+/// (the table5 threshold), checked every 4 steps, long enough to cross the
+/// first check interval even at `--quick` effort.
+fn dynamic_store_case(e: Effort) -> CaseConfig {
+    let mut c = store_case(e.scale3d, e.steps3d.max(10));
+    c.lb = LbConfig::dynamic(3.0, 4);
+    c
+}
+
+/// Run the report's cases and assemble the schema-v1 document. Everything
+/// except the `host` section is virtual-time deterministic.
+pub fn build_report(which: &str, e: Effort, effort_name: &str, trace: TraceConfig) -> Value {
+    let machine = MachineModel::ibm_sp2();
+    let (mut rep_cfg, rep_nodes) = representative_case(which, e);
+    rep_cfg.trace = trace;
+    let mut runs: Vec<(&str, CaseConfig, usize)> = vec![("representative", rep_cfg, rep_nodes)];
+    if !rep_cfg_is_dynamic(which) {
+        runs.push(("dynamic-lb", dynamic_store_case(e), DYN_NODES));
+    }
+
+    let mut cases = Vec::with_capacity(runs.len());
+    let mut host_cases: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let t_total = std::time::Instant::now();
+    for (label, cfg, nodes) in runs {
+        let t0 = std::time::Instant::now();
+        let r: RunResult = run_case(&cfg, nodes, &machine).expect("report case run failed");
+        host_cases.push((label.to_string(), Value::Num(t0.elapsed().as_secs_f64())));
+        cases.push(case_report(label, &cfg, machine.name, &r));
+    }
+    let host = obj(vec![
+        ("wall_seconds", Value::Obj(host_cases)),
+        ("total_seconds", Value::Num(t_total.elapsed().as_secs_f64())),
+    ]);
+    run_report(which, effort_name, cases, Some(host))
+}
+
+fn rep_cfg_is_dynamic(which: &str) -> bool {
+    matches!(which, "table5" | "fig11" | "ablate-fo")
+}
+
+/// `repro compare` entry point: parse both documents, compare, print the
+/// verdict. Returns the process exit code (0 pass, 1 regression, 2 error).
+pub fn compare_reports(baseline_path: &str, new_path: &str, tol_pct: f64) -> i32 {
+    let read = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        overset_report::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (read(baseline_path), read(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match overset_report::compare(&base, &new, tol_pct) {
+        Ok(out) => {
+            for note in &out.notes {
+                eprintln!("note: {note}");
+            }
+            if out.passed() {
+                println!("PASS: {} metric(s) within {tol_pct}% of {baseline_path}", out.checked);
+                0
+            } else {
+                println!(
+                    "FAIL: {} regression(s) vs {baseline_path} (tolerance {tol_pct}%):",
+                    out.regressions.len()
+                );
+                for r in &out.regressions {
+                    println!("  {}", r.describe());
+                }
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}

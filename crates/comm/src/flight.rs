@@ -1,0 +1,240 @@
+//! The flight recorder: a bounded per-rank ring of per-timestep telemetry.
+//!
+//! The paper's central evidence is *time histories* — the load-imbalance
+//! factor f(p) and the connectivity cost evolving step by step as bodies
+//! move and Algorithm 2 repartitions (Figs. 10–12). Whole-run aggregates
+//! (the metrics registry, [`crate::PerfSummary`]) cannot show that, so every
+//! rank also keeps a [`FlightRecorder`]: at each step boundary the driver
+//! calls [`crate::Comm::end_step`], which snapshots the phase-time and
+//! metric counters and appends one [`StepRecord`] of deltas.
+//!
+//! The recorder is always on (one struct of plain numbers per step), reads
+//! only state that already exists, and never touches the virtual clock —
+//! physics and timings are bitwise identical with or without consumers, the
+//! same invariant the tracer keeps. Records come back per rank in
+//! [`crate::RankOutput::steps`]; `overset-report` aggregates them into the
+//! run-level time series the `BENCH_*.json` reports serialize.
+//!
+//! Capacity is bounded (ring semantics): when more steps are recorded than
+//! the configured capacity, the *oldest* records are evicted and counted in
+//! [`FlightRecorder::dropped`] — consumers can see the truncation instead of
+//! silently reading a hole-free series.
+
+use crate::metrics::{names, MetricsRegistry};
+use crate::stats::{RankStats, NUM_PHASES};
+use std::collections::VecDeque;
+
+/// Telemetry of one timestep on one rank: per-phase virtual time plus the
+/// deltas of the step-relevant metric counters over the step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepRecord {
+    /// Step index (0-based, monotonically increasing even when the ring
+    /// evicts old records).
+    pub step: u64,
+    /// Virtual seconds spent per phase during this step.
+    pub time: [f64; NUM_PHASES],
+    /// Rank virtual clock at the end of the step.
+    pub clock: f64,
+    /// Search-request points serviced this step (the paper's I(p) sample).
+    pub serviced: u64,
+    /// Orphan points left without donors this step.
+    pub orphans: u64,
+    /// Warm-restart donor-cache hits / misses this step.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Messages / payload bytes sent this step.
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    /// Repartitions executed this step (0 or 1 in practice).
+    pub repartitions: u64,
+}
+
+impl StepRecord {
+    /// Warm-restart hit rate for this step, `None` when the cache was not
+    /// consulted.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+}
+
+/// Counter snapshot at the previous step boundary.
+#[derive(Clone, Copy, Debug, Default)]
+struct Snapshot {
+    time: [f64; NUM_PHASES],
+    serviced: u64,
+    orphans: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    repartitions: u64,
+}
+
+/// Bounded ring of [`StepRecord`]s plus the snapshot needed to difference
+/// the cumulative counters at each step boundary.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    records: VecDeque<StepRecord>,
+    dropped: u64,
+    next_step: u64,
+    snap: Snapshot,
+}
+
+/// Default ring capacity: far above any experiment in this workspace while
+/// still bounding memory (~120 B/record → ~8 MiB/rank at the cap).
+pub const DEFAULT_STEP_CAPACITY: usize = 65_536;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_STEP_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `cap` most-recent records (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+            next_step: 0,
+            snap: Snapshot::default(),
+        }
+    }
+
+    /// Close the current step: difference `stats`/`metrics` against the
+    /// previous boundary and append one record.
+    pub fn end_step(&mut self, stats: &RankStats, metrics: &MetricsRegistry, clock: f64) {
+        let mut time = [0.0; NUM_PHASES];
+        for (p, t) in time.iter_mut().enumerate() {
+            *t = stats.time[p] - self.snap.time[p];
+        }
+        let serviced = metrics.counter(names::CONN_SERVICED);
+        let orphans = metrics.counter(names::CONN_ORPHANS);
+        let hits = metrics.counter(names::CONN_CACHE_HIT);
+        let misses = metrics.counter(names::CONN_CACHE_MISS);
+        let reparts = metrics.counter(names::LB_REPARTITIONS);
+        let rec = StepRecord {
+            step: self.next_step,
+            time,
+            clock,
+            serviced: serviced - self.snap.serviced,
+            orphans: orphans - self.snap.orphans,
+            cache_hits: hits - self.snap.cache_hits,
+            cache_misses: misses - self.snap.cache_misses,
+            msgs_sent: stats.msgs_sent - self.snap.msgs_sent,
+            bytes_sent: stats.bytes_sent - self.snap.bytes_sent,
+            repartitions: reparts - self.snap.repartitions,
+        };
+        self.next_step += 1;
+        self.snap = Snapshot {
+            time: stats.time,
+            serviced,
+            orphans,
+            cache_hits: hits,
+            cache_misses: misses,
+            msgs_sent: stats.msgs_sent,
+            bytes_sent: stats.bytes_sent,
+            repartitions: reparts,
+        };
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &StepRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// Number of records evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Steps recorded so far (including evicted ones).
+    pub fn steps_recorded(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Consume the recorder, returning retained records oldest-first plus
+    /// the evicted count.
+    pub fn into_records(self) -> (Vec<StepRecord>, u64) {
+        (self.records.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Phase;
+
+    fn stats_with(flow: f64, msgs: u64, bytes: u64) -> RankStats {
+        let mut s = RankStats::new(0);
+        s.time[Phase::Flow as usize] = flow;
+        s.msgs_sent = msgs;
+        s.bytes_sent = bytes;
+        s
+    }
+
+    #[test]
+    fn records_are_per_step_deltas() {
+        let mut fr = FlightRecorder::new(8);
+        let mut m = MetricsRegistry::new();
+        m.add(names::CONN_SERVICED, 10);
+        fr.end_step(&stats_with(1.0, 3, 300), &m, 1.5);
+        m.add(names::CONN_SERVICED, 5);
+        m.inc(names::CONN_CACHE_HIT);
+        m.inc(names::LB_REPARTITIONS);
+        fr.end_step(&stats_with(4.0, 7, 1000), &m, 5.0);
+
+        let recs: Vec<_> = fr.records().copied().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].step, 0);
+        assert_eq!(recs[0].serviced, 10);
+        assert_eq!(recs[0].msgs_sent, 3);
+        assert!((recs[0].time[Phase::Flow as usize] - 1.0).abs() < 1e-15);
+        assert_eq!(recs[1].step, 1);
+        assert_eq!(recs[1].serviced, 5);
+        assert_eq!(recs[1].cache_hits, 1);
+        assert_eq!(recs[1].repartitions, 1);
+        assert_eq!(recs[1].msgs_sent, 4);
+        assert_eq!(recs[1].bytes_sent, 700);
+        assert!((recs[1].time[Phase::Flow as usize] - 3.0).abs() < 1e-15);
+        assert_eq!(recs[1].clock, 5.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut fr = FlightRecorder::new(2);
+        let m = MetricsRegistry::new();
+        for i in 0..5u64 {
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+        }
+        assert_eq!(fr.dropped(), 3);
+        assert_eq!(fr.steps_recorded(), 5);
+        let steps: Vec<u64> = fr.records().map(|r| r.step).collect();
+        assert_eq!(steps, vec![3, 4]);
+    }
+
+    #[test]
+    fn hit_rate_none_without_lookups() {
+        let mut fr = FlightRecorder::new(4);
+        let mut m = MetricsRegistry::new();
+        fr.end_step(&RankStats::new(0), &m, 0.0);
+        m.add(names::CONN_CACHE_HIT, 3);
+        m.add(names::CONN_CACHE_MISS, 1);
+        fr.end_step(&RankStats::new(0), &m, 0.0);
+        let recs: Vec<_> = fr.records().copied().collect();
+        assert_eq!(recs[0].cache_hit_rate(), None);
+        assert_eq!(recs[1].cache_hit_rate(), Some(0.75));
+    }
+}

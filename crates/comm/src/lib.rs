@@ -16,6 +16,7 @@
 //! See DESIGN.md §2 for the substitution argument.
 
 pub mod error;
+pub mod flight;
 pub mod machine;
 pub mod metrics;
 pub mod runtime;
@@ -23,19 +24,25 @@ pub mod stats;
 pub mod trace;
 
 pub use error::OversetError;
+pub use flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 pub use machine::{CacheModel, MachineModel, WorkClass};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
 pub use stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
-pub use trace::{chrome_trace_json, ArgVal, RankTrace, TraceConfig, TraceEvent, Tracer};
+pub use trace::{
+    chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent, Tracer,
+};
 
 /// One-stop imports for writing a rank program:
 /// `use overset_comm::prelude::*;`.
 pub mod prelude {
     pub use crate::error::OversetError;
+    pub use crate::flight::StepRecord;
     pub use crate::machine::{MachineModel, WorkClass};
     pub use crate::metrics::{names as metric_names, MetricsRegistry};
     pub use crate::runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
     pub use crate::stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
-    pub use crate::trace::{chrome_trace_json, ArgVal, RankTrace, TraceConfig, TraceEvent};
+    pub use crate::trace::{
+        chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent,
+    };
 }

@@ -59,20 +59,58 @@ pub mod names {
     }
 }
 
-/// Streaming histogram summary: count / sum / min / max (enough for the
-/// stall-time and imbalance distributions the tables report).
+/// Buckets per decade of the fixed log-spaced quantile grid.
+const BUCKETS_PER_DECADE: usize = 4;
+/// Smallest finite bucket boundary is 10^MIN_EXP; everything at or below it
+/// lands in the underflow bucket.
+const MIN_EXP: i32 = -12;
+/// Decades covered by the finite buckets: [1e-12, 1e9).
+const DECADES: usize = 21;
+/// Finite buckets plus one underflow (index 0) and one overflow (last).
+const NUM_BUCKETS: usize = DECADES * BUCKETS_PER_DECADE + 2;
+
+/// Streaming histogram summary: count / sum / min / max plus fixed
+/// log-spaced bucket counts for deterministic quantiles (p50/p95/p99).
+///
+/// The bucket grid is *fixed* (4 buckets per decade over [1e-12, 1e9), with
+/// underflow/overflow buckets), so merging is pure integer addition: the
+/// aggregate — and every quantile read from it — is byte-identical no
+/// matter the order ranks are folded in. min/max/mean alone hide exactly
+/// the f(p) tail the dynamic balancer triggers on.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Histogram {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    counts: [u32; NUM_BUCKETS],
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            counts: [0; NUM_BUCKETS],
+        }
     }
+}
+
+/// Bucket index of an observation on the fixed grid.
+fn bucket_of(v: f64) -> usize {
+    let lo = 10.0f64.powi(MIN_EXP);
+    // NaN and anything <= lo (including <= 0) land in the underflow bucket.
+    if v.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return 0;
+    }
+    let hi_exp = MIN_EXP + DECADES as i32;
+    if v >= 10.0f64.powi(hi_exp) {
+        return NUM_BUCKETS - 1; // overflow
+    }
+    let idx = ((v.log10() - MIN_EXP as f64) * BUCKETS_PER_DECADE as f64).floor() as isize;
+    (idx.clamp(0, (DECADES * BUCKETS_PER_DECADE) as isize - 1) as usize) + 1
 }
 
 impl Histogram {
@@ -81,6 +119,7 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.counts[bucket_of(v)] += 1;
     }
 
     pub fn mean(&self) -> f64 {
@@ -91,11 +130,52 @@ impl Histogram {
         }
     }
 
+    /// Deterministic quantile estimate (`q` in [0, 1]) off the fixed bucket
+    /// grid: the geometric midpoint of the bucket holding the q-th
+    /// observation, clamped into `[min, max]`. Resolution is a quarter
+    /// decade — coarse but byte-stable across rank orderings and merges.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c as u64;
+            if cum >= target {
+                if i == 0 {
+                    return self.min;
+                }
+                if i == NUM_BUCKETS - 1 {
+                    return self.max;
+                }
+                let mid_exp = MIN_EXP as f64 + ((i - 1) as f64 + 0.5) / BUCKETS_PER_DECADE as f64;
+                return 10.0f64.powf(mid_exp).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -232,6 +312,59 @@ mod tests {
         m.add(names::CONN_CACHE_HIT, 3);
         m.add(names::CONN_CACHE_MISS, 1);
         assert_eq!(m.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn quantiles_track_the_tail() {
+        let mut h = Histogram::default();
+        // 90 small observations and a 10% tail of huge ones: the p50 stays
+        // small, p95/p99 see the tail that the mean alone averages away.
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert!(h.p50() >= 0.5 && h.p50() <= 2.0, "p50 = {}", h.p50());
+        assert!(h.p95() >= 500.0, "p95 = {}", h.p95());
+        assert!(h.p99() >= 500.0, "p99 = {}", h.p99());
+        assert_eq!(h.quantile(1.0), h.quantile(0.999));
+        // Quantiles never escape the observed range.
+        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+    }
+
+    #[test]
+    fn quantiles_handle_edge_values() {
+        let mut h = Histogram::default();
+        assert_eq!(h.p50(), 0.0); // empty
+        h.record(0.0); // underflow bucket
+        h.record(1.0e20); // overflow bucket
+        assert_eq!(h.quantile(0.25), 0.0);
+        assert_eq!(h.quantile(1.0), 1.0e20);
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let mk = |vals: &[f64]| {
+            let mut m = MetricsRegistry::new();
+            for &v in vals {
+                m.observe(names::LB_F_RATIO, v);
+            }
+            m
+        };
+        let a = mk(&[0.1, 0.5, 2.0]);
+        let b = mk(&[1.5, 7.0]);
+        let c = mk(&[0.9]);
+        let fwd = MetricsRegistry::aggregate(&[a.clone(), b.clone(), c.clone()]);
+        let rev = MetricsRegistry::aggregate(&[c, b, a]);
+        let hf = fwd.histogram(names::LB_F_RATIO).unwrap();
+        let hr = rev.histogram(names::LB_F_RATIO).unwrap();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hf.quantile(q).to_bits(), hr.quantile(q).to_bits());
+        }
+        assert_eq!(hf.min.to_bits(), hr.min.to_bits());
+        assert_eq!(hf.max.to_bits(), hr.max.to_bits());
+        assert_eq!(hf.count, hr.count);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! [`Comm::phase`] — see [`PhaseGuard`].
 
 use crate::error::OversetError;
+use crate::flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 use crate::machine::{MachineModel, WorkClass};
 use crate::metrics::{names, MetricsRegistry};
 use crate::stats::{Phase, RankStats};
@@ -108,6 +109,7 @@ pub struct Comm {
     coll_gen: u64,
     stats: RankStats,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
     tracer: Option<Tracer>,
     phase: Phase,
     phase_start: f64,
@@ -208,6 +210,22 @@ impl Comm {
     /// Set the per-rank working set used by the cache model (bytes).
     pub fn set_working_set(&mut self, bytes: f64) {
         self.working_set_bytes = bytes;
+    }
+
+    /// Close the current timestep for the flight recorder: flushes the open
+    /// phase's elapsed time and appends one [`StepRecord`] of per-step
+    /// deltas (phase times, service/orphan/cache counters, traffic,
+    /// repartitions). Reads only existing state — never advances the
+    /// virtual clock, so recording is physics- and timing-neutral.
+    pub fn end_step(&mut self) {
+        let phase = self.phase;
+        self.switch_phase(phase); // flush elapsed time, keep the phase
+        self.flight.end_step(&self.stats, &self.metrics, self.clock);
+    }
+
+    /// Per-step records collected so far (oldest retained first).
+    pub fn step_records(&self) -> impl Iterator<Item = &StepRecord> + '_ {
+        self.flight.records()
     }
 
     /// Enter `phase` for the lifetime of the returned guard. Statistics
@@ -518,13 +536,16 @@ impl Comm {
     }
 
     /// Finalize statistics (closes the open phase) and return them together
-    /// with the recorded trace and the metrics registry.
-    fn finish(mut self) -> (RankStats, Vec<TraceEvent>, MetricsRegistry) {
+    /// with the recorded trace, the metrics registry, and the flight
+    /// recorder's per-step records.
+    #[allow(clippy::type_complexity)]
+    fn finish(mut self) -> (RankStats, Vec<TraceEvent>, MetricsRegistry, Vec<StepRecord>, u64) {
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time into the current bucket
         self.stats.final_clock = self.clock;
         let trace = self.tracer.take().map(Tracer::into_events).unwrap_or_default();
-        (self.stats, trace, self.metrics)
+        let (steps, dropped) = self.flight.into_records();
+        (self.stats, trace, self.metrics, steps, dropped)
     }
 }
 
@@ -538,6 +559,12 @@ pub struct RankOutput<R> {
     pub trace: Vec<TraceEvent>,
     /// This rank's metrics registry.
     pub metrics: MetricsRegistry,
+    /// Per-timestep telemetry recorded by [`Comm::end_step`], oldest
+    /// retained record first (the ring may have evicted early steps — see
+    /// `steps_dropped`). Empty when the rank body never called `end_step`.
+    pub steps: Vec<StepRecord>,
+    /// Step records evicted by the flight-recorder ring bound.
+    pub steps_dropped: u64,
 }
 
 /// The simulated parallel machine. Configure one with
@@ -555,12 +582,14 @@ pub struct RankOutput<R> {
 /// ```
 pub struct Universe;
 
-/// Builder for a universe run: rank count, machine model, tracing.
+/// Builder for a universe run: rank count, machine model, tracing, and the
+/// flight-recorder ring capacity.
 #[derive(Clone, Debug)]
 pub struct UniverseBuilder {
     ranks: usize,
     machine: MachineModel,
     trace: TraceConfig,
+    step_capacity: usize,
 }
 
 impl Universe {
@@ -569,6 +598,7 @@ impl Universe {
             ranks: 1,
             machine: MachineModel::modern(),
             trace: TraceConfig::disabled(),
+            step_capacity: DEFAULT_STEP_CAPACITY,
         }
     }
 
@@ -598,6 +628,14 @@ impl UniverseBuilder {
         self
     }
 
+    /// Flight-recorder ring capacity: at most this many most-recent
+    /// [`StepRecord`]s are retained per rank (default
+    /// [`DEFAULT_STEP_CAPACITY`]).
+    pub fn step_capacity(mut self, cap: usize) -> Self {
+        self.step_capacity = cap;
+        self
+    }
+
     /// Run `f` on every rank. Returns per-rank outputs in rank order.
     /// Panics in any rank propagate.
     pub fn run<R, F>(self, f: F) -> Vec<RankOutput<R>>
@@ -618,6 +656,7 @@ impl UniverseBuilder {
         let coll = Arc::new(Collective::new(nranks));
         let f = &f;
         let trace = self.trace;
+        let step_capacity = self.step_capacity;
         let mut outputs: Vec<Option<RankOutput<R>>> = (0..nranks).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = rxs
@@ -641,13 +680,14 @@ impl UniverseBuilder {
                             coll_gen: 0,
                             stats: RankStats::new(rank),
                             metrics: MetricsRegistry::new(),
-                            tracer: trace.enabled.then(Tracer::new),
+                            flight: FlightRecorder::new(step_capacity),
+                            tracer: trace.enabled.then(|| Tracer::with_config(trace)),
                             phase: Phase::Other,
                             phase_start: 0.0,
                         };
                         let result = f(&mut comm);
-                        let (stats, trace, metrics) = comm.finish();
-                        RankOutput { result, stats, trace, metrics }
+                        let (stats, trace, metrics, steps, steps_dropped) = comm.finish();
+                        RankOutput { result, stats, trace, metrics, steps, steps_dropped }
                     })
                 })
                 .collect();
@@ -919,6 +959,85 @@ mod tests {
             c.compute(1.0, WorkClass::Flow);
         });
         assert!(off[0].trace.is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_collects_per_step_deltas() {
+        let m = MachineModel {
+            name: "t",
+            flops_per_sec: 1.0,
+            class_efficiency: [1.0; 3],
+            cache: crate::machine::CacheModel::FLAT,
+            latency: 0.0,
+            bandwidth: 1.0,
+            send_overhead: 0.0,
+        };
+        let out = Universe::run(2, &m, |c| {
+            for step in 0..3u64 {
+                {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.compute((step + 1) as f64, WorkClass::Flow);
+                    if ph.rank() == 0 {
+                        ph.send(1, step, (), 100);
+                    } else {
+                        ph.recv::<()>(0, step);
+                    }
+                    ph.barrier();
+                }
+                c.metrics_mut().add(names::CONN_SERVICED, 10 * (step + 1));
+                c.end_step();
+            }
+        });
+        for o in &out {
+            assert_eq!(o.steps.len(), 3);
+            assert_eq!(o.steps_dropped, 0);
+            for (i, rec) in o.steps.iter().enumerate() {
+                assert_eq!(rec.step, i as u64);
+                // Per-step flow time covers at least the step's own compute
+                // (plus comm/barrier time, which also accrues to the phase).
+                assert!(
+                    rec.time[Phase::Flow as usize] >= (i + 1) as f64,
+                    "rank {} step {i}: {:?}",
+                    o.stats.rank,
+                    rec.time
+                );
+                assert_eq!(rec.serviced, 10 * (i as u64 + 1));
+            }
+            // The per-step deltas partition the rank's cumulative phase time.
+            let flow_sum: f64 = o.steps.iter().map(|r| r.time[Phase::Flow as usize]).sum();
+            let total_flow = o.stats.time[Phase::Flow as usize];
+            assert!((flow_sum - total_flow).abs() < 1e-12 * total_flow.max(1.0));
+            // Clocks are the rank clock at each boundary, nondecreasing.
+            assert!(o.steps.windows(2).all(|w| w[0].clock <= w[1].clock));
+        }
+        assert_eq!(out[0].steps[0].msgs_sent, 1);
+        assert_eq!(out[0].steps[0].bytes_sent, 100);
+        assert_eq!(out[1].steps[0].msgs_sent, 0);
+    }
+
+    #[test]
+    fn flight_ring_capacity_via_builder() {
+        let out = Universe::builder().ranks(1).machine(&modern()).step_capacity(2).run(|c| {
+            for _ in 0..5 {
+                c.compute(1.0, WorkClass::Flow);
+                c.end_step();
+            }
+        });
+        assert_eq!(out[0].steps.len(), 2);
+        assert_eq!(out[0].steps_dropped, 3);
+        assert_eq!(out[0].steps[0].step, 3);
+    }
+
+    #[test]
+    fn trace_filter_thins_universe_spans() {
+        let cfg = TraceConfig::enabled()
+            .with_filter(crate::trace::CategoryFilter::parse("phase").unwrap());
+        let out = Universe::builder().ranks(1).machine(&modern()).trace(cfg).run(|c| {
+            let mut ph = c.phase(Phase::Flow);
+            ph.compute(1.0e6, WorkClass::Flow);
+        });
+        assert!(!out[0].trace.is_empty());
+        assert!(out[0].trace.iter().all(|e| e.cat == "phase"), "{:?}", out[0].trace);
     }
 
     #[test]

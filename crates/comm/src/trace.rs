@@ -16,20 +16,115 @@
 
 use std::fmt::Write as _;
 
-/// Tracing configuration for a universe (today just on/off; kept as a
-/// struct so sampling/filtering can grow without an API break).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// The span categories the workspace emits, in the order of their
+/// [`CategoryFilter`] bits.
+pub const CATEGORIES: [&str; 6] = ["phase", "comm", "compute", "conn", "solver", "lb"];
+
+/// Which span categories a tracer records, as a bitmask over
+/// [`CATEGORIES`]. Unknown categories are always recorded (bit 7), so a
+/// filter can never silently hide a span taxonomy extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CategoryFilter(u8);
+
+impl Default for CategoryFilter {
+    fn default() -> Self {
+        CategoryFilter::ALL
+    }
+}
+
+impl CategoryFilter {
+    /// Every category (the default).
+    pub const ALL: CategoryFilter = CategoryFilter(0xff);
+
+    /// No known category (unknown ones still pass).
+    pub const NONE: CategoryFilter = CategoryFilter(0x80);
+
+    fn bit(cat: &str) -> Option<u8> {
+        CATEGORIES.iter().position(|&c| c == cat).map(|i| 1u8 << i)
+    }
+
+    /// Enable `cat` on top of `self`.
+    #[must_use]
+    pub fn with(self, cat: &str) -> Self {
+        match Self::bit(cat) {
+            Some(b) => CategoryFilter(self.0 | b),
+            None => self,
+        }
+    }
+
+    /// Does the filter record spans of category `cat`?
+    #[inline]
+    pub fn allows(&self, cat: &str) -> bool {
+        match Self::bit(cat) {
+            Some(b) => self.0 & b != 0,
+            None => true,
+        }
+    }
+
+    /// Parse a comma-separated category list (the CLI's
+    /// `--trace-filter phase,conn`). Empty string means "all".
+    pub fn parse(csv: &str) -> Result<Self, String> {
+        let csv = csv.trim();
+        if csv.is_empty() {
+            return Ok(CategoryFilter::ALL);
+        }
+        let mut f = CategoryFilter::NONE;
+        for part in csv.split(',') {
+            let part = part.trim();
+            if Self::bit(part).is_none() {
+                return Err(format!(
+                    "unknown trace category {part:?}; choose from {}",
+                    CATEGORIES.join(",")
+                ));
+            }
+            f = f.with(part);
+        }
+        Ok(f)
+    }
+}
+
+/// Tracing configuration for a universe: on/off, a category filter, and a
+/// deterministic 1-in-N span sampler. Filtering and sampling only thin the
+/// *recording*; the `Option<Tracer>` `is_some` branch at every
+/// instrumentation point keeps disabled tracing zero-cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     pub enabled: bool,
+    /// Categories recorded when enabled (default: all).
+    pub filter: CategoryFilter,
+    /// Record every Nth filter-passing span (1 = record all). Sampling is a
+    /// per-rank modulo counter over the deterministic span stream, so the
+    /// sampled subset is itself deterministic.
+    pub sample_every: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
 }
 
 impl TraceConfig {
     pub fn enabled() -> Self {
-        TraceConfig { enabled: true }
+        TraceConfig { enabled: true, filter: CategoryFilter::ALL, sample_every: 1 }
     }
 
     pub fn disabled() -> Self {
-        TraceConfig { enabled: false }
+        TraceConfig { enabled: false, filter: CategoryFilter::ALL, sample_every: 1 }
+    }
+
+    /// Restrict recording to the given filter.
+    #[must_use]
+    pub fn with_filter(mut self, filter: CategoryFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Record only every `n`-th filter-passing span (`n >= 1`).
+    #[must_use]
+    pub fn with_sampling(mut self, n: u32) -> Self {
+        self.sample_every = n.max(1);
+        self
     }
 }
 
@@ -78,17 +173,39 @@ pub struct TraceEvent {
 }
 
 /// Per-rank span recorder.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Tracer {
     events: Vec<TraceEvent>,
+    filter: CategoryFilter,
+    sample_every: u32,
+    /// Filter-passing spans seen so far (drives the 1-in-N sampler).
+    seen: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
 }
 
 impl Tracer {
+    /// An unfiltered, unsampled recorder.
     pub fn new() -> Self {
-        Tracer::default()
+        Tracer::with_config(TraceConfig::enabled())
     }
 
-    /// Record a completed span `[ts, ts + dur]`.
+    /// A recorder honoring `cfg`'s category filter and sampling stride.
+    pub fn with_config(cfg: TraceConfig) -> Self {
+        Tracer {
+            events: Vec::new(),
+            filter: cfg.filter,
+            sample_every: cfg.sample_every.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Record a completed span `[ts, ts + dur]`. Spans outside the category
+    /// filter are skipped; of the rest, every `sample_every`-th is kept.
     pub fn complete(
         &mut self,
         cat: &'static str,
@@ -97,6 +214,14 @@ impl Tracer {
         dur: f64,
         args: Vec<(&'static str, ArgVal)>,
     ) {
+        if !self.filter.allows(cat) {
+            return;
+        }
+        let keep = self.seen % self.sample_every as u64 == 0;
+        self.seen += 1;
+        if !keep {
+            return;
+        }
         self.events.push(TraceEvent { cat, name, ts, dur: dur.max(0.0), args });
     }
 
@@ -254,5 +379,53 @@ mod tests {
         let mut t = Tracer::new();
         t.complete("comm", "recv", 1.0, -0.5, vec![]);
         assert_eq!(t.events()[0].dur, 0.0);
+    }
+
+    #[test]
+    fn category_filter_parses_and_matches() {
+        let f = CategoryFilter::parse("phase,conn").unwrap();
+        assert!(f.allows("phase"));
+        assert!(f.allows("conn"));
+        assert!(!f.allows("comm"));
+        assert!(!f.allows("compute"));
+        // Unknown categories always pass (future taxonomy extensions).
+        assert!(f.allows("somenewcat"));
+        assert!(CategoryFilter::parse("").unwrap().allows("comm"));
+        assert!(CategoryFilter::parse(" phase , lb ").unwrap().allows("lb"));
+        assert!(CategoryFilter::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn tracer_drops_filtered_categories() {
+        let cfg = TraceConfig::enabled().with_filter(CategoryFilter::parse("phase,conn").unwrap());
+        let mut t = Tracer::with_config(cfg);
+        t.complete("phase", "flow", 0.0, 1.0, vec![]);
+        t.complete("comm", "send", 0.1, 0.1, vec![]);
+        t.complete("compute", "flow", 0.2, 0.1, vec![]);
+        t.complete("conn", "serve", 0.3, 0.1, vec![]);
+        let cats: Vec<&str> = t.events().iter().map(|e| e.cat).collect();
+        assert_eq!(cats, vec!["phase", "conn"]);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_span() {
+        let mut t = Tracer::with_config(TraceConfig::enabled().with_sampling(3));
+        for i in 0..10 {
+            t.complete("comm", "send", i as f64, 0.1, vec![]);
+        }
+        // Spans 0, 3, 6, 9 survive.
+        let ts: Vec<f64> = t.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0.0, 3.0, 6.0, 9.0]);
+        // Filtered-out spans do not advance the sampling stream.
+        let cfg = TraceConfig::enabled()
+            .with_filter(CategoryFilter::parse("conn").unwrap())
+            .with_sampling(2);
+        let mut t = Tracer::with_config(cfg);
+        for i in 0..4 {
+            t.complete("comm", "send", i as f64, 0.1, vec![]);
+            t.complete("conn", "serve", 10.0 + i as f64, 0.1, vec![]);
+        }
+        let ts: Vec<f64> = t.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10.0, 12.0]);
     }
 }

@@ -10,8 +10,8 @@ use overset_balance::{dynamic_rebalance, static_balance, Partition, ServiceWindo
 use overset_comm::metrics::names;
 use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
 use overset_comm::{
-    Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary, Phase, RankStats, Universe,
-    WorkClass, NUM_PHASES,
+    Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary, Phase, RankStats, StepRecord,
+    Universe, WorkClass, NUM_PHASES,
 };
 use overset_connectivity::{
     connect_distributed, connect_serial, cut_holes_and_find_fringe, DonorCache, SerialCache,
@@ -104,6 +104,13 @@ pub struct RunResult {
     /// Metrics aggregated over every rank's registry (counters summed,
     /// histograms merged).
     pub metrics: MetricsRegistry,
+    /// Flight-recorder telemetry: one `Vec<StepRecord>` per rank (rank
+    /// order), one record per timestep. Always collected — the recorder is
+    /// as cheap as the metrics registry and physics-neutral.
+    pub step_records: Vec<Vec<StepRecord>>,
+    /// Step records evicted by the ring bound, summed over ranks (0 unless
+    /// a run exceeded the recorder capacity).
+    pub steps_dropped: u64,
     /// Final state per (grid, node) when `collect_state` was set.
     pub states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
 }
@@ -196,6 +203,8 @@ pub fn run_case(
             states.extend_from_slice(&o.result.states);
         }
     }
+    let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
+    let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
     Ok(RunResult {
         nranks,
         states,
@@ -212,6 +221,8 @@ pub fn run_case(
         rank_stats,
         trace,
         metrics,
+        step_records,
+        steps_dropped,
         summary,
     })
 }
@@ -477,6 +488,10 @@ fn run_rank(
             ph.barrier();
             phase_elapsed[Phase::Balance as usize] += ph.now() - t0;
         }
+
+        // Close the step for the flight recorder (reads counters only —
+        // physics- and timing-neutral).
+        comm.end_step();
     }
 
     // Physics checksum over owned field nodes.
@@ -626,6 +641,7 @@ pub fn run_case_serial(
                 orphans_last = stats.orphans;
                 phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;
             }
+            comm.end_step();
         }
         let _ph = comm.phase(Phase::Other);
         let mut sum_sq = 0.0f64;
@@ -659,6 +675,8 @@ pub fn run_case_serial(
         Vec::new()
     };
     let (phase_elapsed, igbps_last, orphans_last, sum_sq, count) = outputs[0].result;
+    let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
+    let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
     Ok(RunResult {
         nranks: 1,
         states: Vec::new(),
@@ -675,6 +693,8 @@ pub fn run_case_serial(
         rank_stats,
         trace,
         metrics,
+        step_records,
+        steps_dropped,
         summary,
     })
 }

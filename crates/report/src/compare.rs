@@ -1,0 +1,277 @@
+//! Pass/fail comparison of two schema-v1 reports (the bench-gate verdict).
+//!
+//! The comparison reads only deterministic virtual-time quantities from each
+//! case's `summary` section — the optional wall-clock `host` section is
+//! ignored, so the gate is immune to machine noise. A metric regresses when
+//! it moves in the *bad* direction by more than `tol_pct` percent of the
+//! baseline value (strictly worse at a zero baseline also counts: orphans
+//! appearing where there were none is a regression at any tolerance).
+
+use crate::json::Value;
+use crate::SCHEMA_VERSION;
+
+/// Summary metrics where a larger value is worse.
+const HIGHER_IS_WORSE: [&str; 10] = [
+    "wall_time",
+    "time_per_step",
+    "t_flow",
+    "t_connectivity",
+    "t_motion",
+    "t_balance",
+    "t_other",
+    "f_max_last",
+    "f_max_peak",
+    "orphans_last",
+];
+
+/// Summary metrics where a smaller value is worse.
+const LOWER_IS_WORSE: [&str; 1] = ["cache_hit_rate"];
+
+/// One metric that moved past tolerance in the bad direction.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// `"<case name> [<label>]"` identifying the run within the report.
+    pub case: String,
+    pub metric: String,
+    pub baseline: f64,
+    pub new: f64,
+    /// Signed relative change in percent (infinite when baseline is 0).
+    pub delta_pct: f64,
+}
+
+impl Regression {
+    pub fn describe(&self) -> String {
+        if self.delta_pct.is_finite() {
+            format!(
+                "{}: {} {} -> {} ({:+.2}%)",
+                self.case, self.metric, self.baseline, self.new, self.delta_pct
+            )
+        } else {
+            format!(
+                "{}: {} {} -> {} (from zero baseline)",
+                self.case, self.metric, self.baseline, self.new
+            )
+        }
+    }
+}
+
+/// Result of comparing two reports.
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    pub regressions: Vec<Regression>,
+    /// Number of metric comparisons performed across all cases.
+    pub checked: usize,
+    /// Non-fatal observations (skipped metrics, improvements worth noting).
+    pub notes: Vec<String>,
+}
+
+impl CompareOutcome {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn case_key(case: &Value) -> String {
+    let name = case.get("name").and_then(Value::as_str).unwrap_or("?");
+    let label = case.get("label").and_then(Value::as_str).unwrap_or("?");
+    format!("{name} [{label}]")
+}
+
+fn check_schema(doc: &Value, which: &str) -> Result<(), String> {
+    match doc.get("schema_version").and_then(Value::as_u64) {
+        Some(v) if v == SCHEMA_VERSION => Ok(()),
+        Some(v) => Err(format!(
+            "{which} report has schema_version {v}, this tool compares version \
+             {SCHEMA_VERSION}; regenerate the baseline"
+        )),
+        None => Err(format!("{which} report is missing schema_version")),
+    }
+}
+
+/// Compare `new` against `baseline` with a relative tolerance of `tol_pct`
+/// percent. Errors (`Err`) are structural — wrong schema version, missing
+/// sections — and distinct from a regression verdict.
+pub fn compare(baseline: &Value, new: &Value, tol_pct: f64) -> Result<CompareOutcome, String> {
+    check_schema(baseline, "baseline")?;
+    check_schema(new, "new")?;
+    let tol = tol_pct / 100.0;
+
+    let base_cases = baseline
+        .get("cases")
+        .and_then(Value::as_arr)
+        .ok_or("baseline report has no cases array")?;
+    let new_cases =
+        new.get("cases").and_then(Value::as_arr).ok_or("new report has no cases array")?;
+
+    let mut out = CompareOutcome::default();
+    for bc in base_cases {
+        let key = case_key(bc);
+        let Some(nc) = new_cases.iter().find(|c| case_key(c) == key) else {
+            out.regressions.push(Regression {
+                case: key,
+                metric: "<case missing from new report>".into(),
+                baseline: 1.0,
+                new: 0.0,
+                delta_pct: -100.0,
+            });
+            continue;
+        };
+        let bsum = bc.get("summary").ok_or_else(|| format!("{key}: baseline has no summary"))?;
+        let nsum = nc.get("summary").ok_or_else(|| format!("{key}: new has no summary"))?;
+        for metric in HIGHER_IS_WORSE {
+            compare_metric(&mut out, &key, metric, bsum, nsum, tol, /*higher_bad=*/ true);
+        }
+        for metric in LOWER_IS_WORSE {
+            compare_metric(&mut out, &key, metric, bsum, nsum, tol, /*higher_bad=*/ false);
+        }
+    }
+    Ok(out)
+}
+
+fn compare_metric(
+    out: &mut CompareOutcome,
+    case: &str,
+    metric: &str,
+    bsum: &Value,
+    nsum: &Value,
+    tol: f64,
+    higher_bad: bool,
+) {
+    let b = bsum.get(metric).and_then(Value::as_f64);
+    let n = nsum.get(metric).and_then(Value::as_f64);
+    let (Some(b), Some(n)) = (b, n) else {
+        // `cache_hit_rate` is null when a run performs no donor-cache
+        // lookups; a metric absent/null on either side is not comparable.
+        out.notes.push(format!("{case}: {metric} not present in both reports, skipped"));
+        return;
+    };
+    out.checked += 1;
+    let regressed = if higher_bad { n > b * (1.0 + tol) && n > b } else { n < b * (1.0 - tol) };
+    if regressed {
+        let delta_pct = if b != 0.0 { (n - b) / b * 100.0 } else { f64::INFINITY };
+        out.regressions.push(Regression {
+            case: case.to_string(),
+            metric: metric.to_string(),
+            baseline: b,
+            new: n,
+            delta_pct,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    fn summary(wall: f64, conn: f64, orphans: f64, hit: f64) -> Value {
+        obj(vec![
+            ("wall_time", Value::Num(wall)),
+            ("time_per_step", Value::Num(wall / 10.0)),
+            ("t_flow", Value::Num(wall * 0.7)),
+            ("t_connectivity", Value::Num(conn)),
+            ("t_motion", Value::Num(0.5)),
+            ("t_balance", Value::Num(0.1)),
+            ("t_other", Value::Num(0.0)),
+            ("f_max_last", Value::Num(1.2)),
+            ("f_max_peak", Value::Num(1.9)),
+            ("orphans_last", Value::Num(orphans)),
+            ("cache_hit_rate", Value::Num(hit)),
+        ])
+    }
+
+    fn report(cases: Vec<(&str, Value)>) -> Value {
+        obj(vec![
+            ("schema_version", Value::Num(SCHEMA_VERSION as f64)),
+            (
+                "cases",
+                Value::Arr(
+                    cases
+                        .into_iter()
+                        .map(|(name, s)| {
+                            obj(vec![
+                                ("name", Value::Str(name.to_string())),
+                                ("label", Value::Str("representative".into())),
+                                ("summary", s),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let out = compare(&r, &r, 5.0).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.checked, 11);
+    }
+
+    #[test]
+    fn inflated_phase_time_fails_beyond_tolerance() {
+        let base = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let worse = report(vec![("airfoil", summary(100.0, 22.0, 0.0, 0.9))]);
+        // 10% inflation of t_connectivity: passes at 15% tol, fails at 5%.
+        assert!(compare(&base, &worse, 15.0).unwrap().passed());
+        let out = compare(&base, &worse, 5.0).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "t_connectivity");
+        assert!((out.regressions[0].delta_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orphans_from_zero_baseline_always_fail() {
+        let base = report(vec![("store", summary(100.0, 20.0, 0.0, 0.9))]);
+        let worse = report(vec![("store", summary(100.0, 20.0, 3.0, 0.9))]);
+        let out = compare(&base, &worse, 50.0).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.regressions[0].metric, "orphans_last");
+        assert!(!out.regressions[0].delta_pct.is_finite());
+    }
+
+    #[test]
+    fn cache_hit_rate_drop_fails_and_rise_passes() {
+        let base = report(vec![("wing", summary(100.0, 20.0, 0.0, 0.9))]);
+        let drop = report(vec![("wing", summary(100.0, 20.0, 0.0, 0.5))]);
+        let rise = report(vec![("wing", summary(100.0, 20.0, 0.0, 0.99))]);
+        assert!(!compare(&base, &drop, 5.0).unwrap().passed());
+        assert!(compare(&base, &rise, 5.0).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_case_is_a_regression_and_null_metric_is_skipped() {
+        let base = report(vec![
+            ("airfoil", summary(100.0, 20.0, 0.0, 0.9)),
+            ("store", summary(200.0, 40.0, 0.0, 0.9)),
+        ]);
+        let only_one = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let out = compare(&base, &only_one, 5.0).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].metric.contains("missing"));
+
+        let mut s = summary(100.0, 20.0, 0.0, 0.9);
+        if let Value::Obj(pairs) = &mut s {
+            pairs.retain(|(k, _)| k != "cache_hit_rate");
+            pairs.push(("cache_hit_rate".into(), Value::Null));
+        }
+        let base_one = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let null_hit = report(vec![("airfoil", s)]);
+        let out = compare(&base_one, &null_hit, 5.0).unwrap();
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("cache_hit_rate")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_verdict() {
+        let mut bad = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        if let Value::Obj(pairs) = &mut bad {
+            pairs[0].1 = Value::Num(99.0);
+        }
+        let good = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        assert!(compare(&bad, &good, 5.0).is_err());
+        assert!(compare(&good, &bad, 5.0).is_err());
+    }
+}

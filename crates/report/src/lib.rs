@@ -1,0 +1,264 @@
+//! Machine-readable run reports (schema v1) and perf-regression comparison.
+//!
+//! The paper's evidence is *time histories* — f(p), connectivity cost, and
+//! repartition events evolving step by step (Figs. 10–12). This crate turns
+//! the flight-recorder telemetry ([`overset_comm::StepRecord`]) and
+//! end-of-run aggregates of a [`RunResult`] into a versioned JSON document
+//! (`BENCH_*.json`) that future sessions can diff mechanically, and
+//! implements the pass/fail comparison the CI bench gate runs.
+//!
+//! Determinism: everything serialized from a run is virtual-time data, so
+//! two identical runs produce **byte-identical** reports (golden-tested);
+//! host wall-clock timings are an optional section the comparator ignores.
+//!
+//! ## Schema versioning policy
+//!
+//! `schema_version` is bumped when a field is *removed or re-typed*; adding
+//! fields is backward compatible and does not bump. [`compare`] refuses to
+//! compare documents whose versions differ from its own
+//! [`SCHEMA_VERSION`] — regenerate the baseline in the same PR that bumps
+//! the schema.
+
+pub mod compare;
+pub mod json;
+
+pub use compare::{compare, CompareOutcome, Regression};
+pub use json::{parse, Value};
+
+use json::{obj, opt_num};
+use overflow_d::{CaseConfig, RunResult};
+use overset_balance::service_imbalance;
+use overset_comm::{Phase, StepRecord, NUM_PHASES};
+
+/// Version of the report document layout. See the module docs for the bump
+/// policy.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Phase order used for per-phase keys (matches the `Phase` discriminants).
+const PHASES: [Phase; NUM_PHASES] =
+    [Phase::Flow, Phase::Connectivity, Phase::Motion, Phase::Balance, Phase::Other];
+
+fn phase_key(p: Phase) -> String {
+    format!("t_{}", p.name())
+}
+
+/// Cross-rank aggregate of one step (the run-level time-series element).
+#[derive(Clone, Debug)]
+pub struct StepSeries {
+    pub step: u64,
+    /// Elapsed virtual time per phase: max over ranks (phases are
+    /// barrier-separated, so the slowest rank sets the elapsed time).
+    pub phase_elapsed: [f64; NUM_PHASES],
+    /// Service-load imbalance f_max = max(I)/mean(I) over ranks this step.
+    pub f_max: f64,
+    pub serviced_total: u64,
+    pub serviced_min: u64,
+    pub serviced_max: u64,
+    pub orphans: u64,
+    /// Warm-restart hit rate over all ranks, `None` when no lookups ran.
+    pub cache_hit_rate: Option<f64>,
+    pub msgs: u64,
+    pub bytes: u64,
+    /// Did any rank repartition this step?
+    pub repartition: bool,
+}
+
+/// Aggregate per-rank step records (rank-major) into the run-level series.
+/// Byte-deterministic: sums/maxima over ranks are order-independent, and
+/// every input is virtual-time data.
+pub fn aggregate_steps(step_records: &[Vec<StepRecord>]) -> Vec<StepSeries> {
+    let nsteps = step_records.iter().map(Vec::len).min().unwrap_or(0);
+    let mut series = Vec::with_capacity(nsteps);
+    for s in 0..nsteps {
+        let recs: Vec<&StepRecord> = step_records.iter().map(|r| &r[s]).collect();
+        let mut phase_elapsed = [0.0f64; NUM_PHASES];
+        for rec in &recs {
+            for (p, t) in phase_elapsed.iter_mut().enumerate() {
+                *t = t.max(rec.time[p]);
+            }
+        }
+        let serviced: Vec<usize> = recs.iter().map(|r| r.serviced as usize).collect();
+        let hits: u64 = recs.iter().map(|r| r.cache_hits).sum();
+        let misses: u64 = recs.iter().map(|r| r.cache_misses).sum();
+        series.push(StepSeries {
+            step: recs[0].step,
+            phase_elapsed,
+            f_max: service_imbalance(&serviced),
+            serviced_total: recs.iter().map(|r| r.serviced).sum(),
+            serviced_min: recs.iter().map(|r| r.serviced).min().unwrap_or(0),
+            serviced_max: recs.iter().map(|r| r.serviced).max().unwrap_or(0),
+            orphans: recs.iter().map(|r| r.orphans).sum(),
+            cache_hit_rate: if hits + misses == 0 {
+                None
+            } else {
+                Some(hits as f64 / (hits + misses) as f64)
+            },
+            msgs: recs.iter().map(|r| r.msgs_sent).sum(),
+            bytes: recs.iter().map(|r| r.bytes_sent).sum(),
+            repartition: recs.iter().any(|r| r.repartitions > 0),
+        });
+    }
+    series
+}
+
+fn series_value(s: &StepSeries) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![("step".into(), Value::Num(s.step as f64))];
+    for &p in &PHASES {
+        pairs.push((phase_key(p), Value::Num(s.phase_elapsed[p as usize])));
+    }
+    pairs.extend([
+        ("f_max".to_string(), Value::Num(s.f_max)),
+        ("serviced_total".to_string(), Value::Num(s.serviced_total as f64)),
+        ("serviced_min".to_string(), Value::Num(s.serviced_min as f64)),
+        ("serviced_max".to_string(), Value::Num(s.serviced_max as f64)),
+        ("orphans".to_string(), Value::Num(s.orphans as f64)),
+        ("cache_hit_rate".to_string(), opt_num(s.cache_hit_rate)),
+        ("msgs".to_string(), Value::Num(s.msgs as f64)),
+        ("bytes".to_string(), Value::Num(s.bytes as f64)),
+        ("repartition".to_string(), Value::Bool(s.repartition)),
+    ]);
+    Value::Obj(pairs)
+}
+
+fn summary_value(r: &RunResult, series: &[StepSeries]) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("wall_time".into(), Value::Num(r.wall_time)),
+        ("time_per_step".into(), Value::Num(r.time_per_step())),
+        ("mflops_per_node".into(), Value::Num(r.mflops_per_node())),
+        ("connectivity_fraction".into(), Value::Num(r.connectivity_fraction())),
+    ];
+    for &p in &PHASES {
+        pairs.push((phase_key(p), Value::Num(r.summary.phase_time(p))));
+    }
+    let f_max_peak = series.iter().map(|s| s.f_max).fold(0.0f64, f64::max).max(r.f_max());
+    pairs.extend([
+        ("msgs".to_string(), Value::Num(r.summary.msgs as f64)),
+        ("bytes".to_string(), Value::Num(r.summary.bytes as f64)),
+        ("f_max_last".to_string(), Value::Num(r.f_max())),
+        ("f_max_peak".to_string(), Value::Num(f_max_peak)),
+        ("orphans_last".to_string(), Value::Num(r.orphans_last as f64)),
+        ("repartitions".to_string(), Value::Num(r.repartitions as f64)),
+        ("cache_hit_rate".to_string(), opt_num(r.metrics.cache_hit_rate())),
+    ]);
+    Value::Obj(pairs)
+}
+
+fn metrics_value(r: &RunResult) -> Value {
+    let counters = Value::Obj(
+        r.metrics.counters().map(|(k, v)| (k.to_string(), Value::Num(v as f64))).collect(),
+    );
+    let histograms = Value::Obj(
+        r.metrics
+            .histograms()
+            .map(|(k, h)| {
+                (
+                    k.to_string(),
+                    obj(vec![
+                        ("count", Value::Num(h.count as f64)),
+                        ("mean", Value::Num(h.mean())),
+                        ("min", Value::Num(h.min)),
+                        ("max", Value::Num(h.max)),
+                        ("p50", Value::Num(h.p50())),
+                        ("p95", Value::Num(h.p95())),
+                        ("p99", Value::Num(h.p99())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![("counters", counters), ("histograms", histograms)])
+}
+
+/// Build the report entry for one case run.
+///
+/// `label` distinguishes multiple runs of the same geometry within a report
+/// (e.g. `"representative"` vs `"dynamic-lb"`); `machine` names the machine
+/// model the case ran on.
+pub fn case_report(label: &str, cfg: &CaseConfig, machine: &str, r: &RunResult) -> Value {
+    let series = aggregate_steps(&r.step_records);
+    let lb = if cfg.lb.fo.is_finite() {
+        obj(vec![
+            ("fo", Value::Num(cfg.lb.fo)),
+            ("check_interval", Value::Num(cfg.lb.check_interval as f64)),
+        ])
+    } else {
+        Value::Null
+    };
+    obj(vec![
+        ("name", Value::Str(cfg.name.clone())),
+        ("label", Value::Str(label.to_string())),
+        ("nranks", Value::Num(r.nranks as f64)),
+        ("steps", Value::Num(r.steps as f64)),
+        ("total_points", Value::Num(r.total_points as f64)),
+        ("machine", Value::Str(machine.to_string())),
+        ("lb", lb),
+        ("series", Value::Arr(series.iter().map(series_value).collect())),
+        ("summary", summary_value(r, &series)),
+        ("metrics", metrics_value(r)),
+        ("steps_dropped", Value::Num(r.steps_dropped as f64)),
+    ])
+}
+
+/// Assemble the top-level report document.
+///
+/// `host` is the only wall-clock (nondeterministic) section; pass `None`
+/// for byte-reproducible documents (the golden tests do). [`compare`]
+/// ignores it either way.
+pub fn run_report(experiment: &str, effort: &str, cases: Vec<Value>, host: Option<Value>) -> Value {
+    let mut pairs = vec![
+        ("schema_version".to_string(), Value::Num(SCHEMA_VERSION as f64)),
+        ("generator".to_string(), Value::Str("overset-report".into())),
+        ("experiment".to_string(), Value::Str(experiment.to_string())),
+        ("effort".to_string(), Value::Str(effort.to_string())),
+        ("cases".to_string(), Value::Arr(cases)),
+    ];
+    if let Some(h) = host {
+        pairs.push(("host".to_string(), h));
+    }
+    Value::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, flow: f64, serviced: u64, reparts: u64) -> StepRecord {
+        let mut time = [0.0; NUM_PHASES];
+        time[Phase::Flow as usize] = flow;
+        StepRecord {
+            step,
+            time,
+            clock: 0.0,
+            serviced,
+            orphans: 0,
+            cache_hits: serviced / 2,
+            cache_misses: serviced - serviced / 2,
+            msgs_sent: 1,
+            bytes_sent: 100,
+            repartitions: reparts,
+        }
+    }
+
+    #[test]
+    fn aggregation_takes_max_time_and_computes_f_max() {
+        let ranks = vec![
+            vec![rec(0, 2.0, 30, 0), rec(1, 1.0, 10, 1)],
+            vec![rec(0, 3.0, 10, 0), rec(1, 1.5, 10, 0)],
+        ];
+        let s = aggregate_steps(&ranks);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].phase_elapsed[Phase::Flow as usize], 3.0);
+        // f_max = max(30,10)/mean(20) = 1.5
+        assert!((s[0].f_max - 1.5).abs() < 1e-12);
+        assert_eq!(s[0].serviced_total, 40);
+        assert!(!s[0].repartition);
+        assert!(s[1].repartition);
+        assert_eq!(s[0].cache_hit_rate, Some(0.5));
+    }
+
+    #[test]
+    fn empty_records_produce_empty_series() {
+        assert!(aggregate_steps(&[]).is_empty());
+        assert!(aggregate_steps(&[vec![], vec![rec(0, 1.0, 1, 0)]]).is_empty());
+    }
+}

@@ -17,4 +17,10 @@ cargo test -q
 echo "== golden trace schema + determinism =="
 cargo test -q -p overflow-d --test observability
 
+echo "== repro smoke test =="
+./target/release/repro table1 --quick > /dev/null
+
+echo "== perf regression gate =="
+./scripts/bench_gate.sh
+
 echo "All checks passed."
