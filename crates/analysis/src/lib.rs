@@ -1,0 +1,267 @@
+//! Trace analysis: turn recorded telemetry into an explanation.
+//!
+//! PR 1 taught the runtime to *record* (span traces), PR 2 to *summarize*
+//! (flight recorder, schema-v1 reports). This crate *diagnoses*: given a
+//! run's per-rank spans (live, or re-parsed from a Chrome-trace file) it
+//! computes
+//!
+//! 1. the **critical path** — which rank bounds elapsed virtual time in
+//!    each barrier-separated phase of each step ([`critical_path`]),
+//! 2. **wait states** — Scalasca-style late-sender / late-receiver /
+//!    wait-at-collective time per rank and phase ([`waits`]),
+//! 3. the **communication matrix** — rank×rank message counts and bytes
+//!    per phase ([`matrix`]), and
+//! 4. **advisor findings** — the moves the paper's Algorithm 2 would make,
+//!    and whether past repartitions paid off ([`advisor`]).
+//!
+//! Everything derives from virtual-time data, so the rendered document —
+//! JSON ([`Analysis::to_value`], schema below) or text
+//! ([`Analysis::render_text`]) — is byte-identical across runs and
+//! golden-tested. Schema policy matches `overset-report`: adding fields is
+//! compatible; removing/re-typing bumps [`ANALYSIS_SCHEMA_VERSION`].
+
+pub mod advisor;
+pub mod critical_path;
+pub mod input;
+pub mod matrix;
+pub mod waits;
+
+pub use advisor::{advise, Finding, GRANT_THRESHOLD};
+pub use critical_path::CriticalPath;
+pub use input::{AnalysisInput, RankSpans, Span, PHASE_NAMES};
+pub use matrix::CommMatrix;
+pub use waits::WaitStates;
+
+use overset_comm::NUM_PHASES;
+use overset_report::{json::obj, Value};
+
+/// Version of the analysis document layout.
+pub const ANALYSIS_SCHEMA_VERSION: u64 = 1;
+
+/// The complete diagnosis of one run.
+pub struct Analysis {
+    pub source: String,
+    pub nranks: usize,
+    pub critical_path: CriticalPath,
+    pub waits: WaitStates,
+    pub matrix: CommMatrix,
+    pub findings: Vec<Finding>,
+    /// Provenance and degradation notes (also includes `waits.notes`).
+    pub notes: Vec<String>,
+}
+
+/// Run the full pipeline on one input.
+pub fn analyze(input: &AnalysisInput) -> Analysis {
+    let mut notes = Vec::new();
+    let critical_path = if !input.steps.is_empty() {
+        notes.push("critical path from flight-recorder step records".to_string());
+        critical_path::from_step_records(&input.steps, &input.ranks)
+    } else {
+        notes.push("critical path reconstructed from phase spans (no step records)".to_string());
+        let (ids, tables) = critical_path::phase_tables_from_spans(&input.ranks);
+        let waits = critical_path::wait_tables_from_spans(&input.ranks);
+        critical_path::from_phase_tables(&ids, &tables, Some(&waits))
+    };
+    let waits = waits::classify(&input.ranks);
+    let matrix = matrix::build(&input.ranks);
+    if matrix.dropped_sends > 0 {
+        notes.push(format!(
+            "{} send spans had an out-of-range dst and were ignored",
+            matrix.dropped_sends
+        ));
+    }
+    let findings = advise(input, &critical_path, &waits);
+    notes.extend(waits.notes.iter().cloned());
+    Analysis {
+        source: input.source.clone(),
+        nranks: input.nranks(),
+        critical_path,
+        waits,
+        matrix,
+        findings,
+        notes,
+    }
+}
+
+fn phase_obj(xs: &[f64; NUM_PHASES]) -> Value {
+    let mut pairs: Vec<(&str, Value)> = vec![("total", Value::Num(xs.iter().sum::<f64>()))];
+    for (p, &x) in xs.iter().enumerate() {
+        pairs.push((PHASE_NAMES[p], Value::Num(x)));
+    }
+    obj(pairs)
+}
+
+fn u64_matrix(m: &[Vec<u64>]) -> Value {
+    Value::Arr(
+        m.iter()
+            .map(|row| Value::Arr(row.iter().map(|&v| Value::Num(v as f64)).collect()))
+            .collect(),
+    )
+}
+
+impl Analysis {
+    /// The versioned, byte-deterministic JSON document.
+    pub fn to_value(&self) -> Value {
+        let cp = &self.critical_path;
+        let steps = Value::Arr(
+            cp.steps
+                .iter()
+                .map(|s| {
+                    let mut pairs: Vec<(&str, Value)> = vec![
+                        ("step", Value::Num(s.step as f64)),
+                        ("elapsed", Value::Num(s.elapsed)),
+                        ("dominant_rank", Value::Num(s.dominant_rank as f64)),
+                        ("dominant_phase", Value::Str(PHASE_NAMES[s.dominant_phase].to_string())),
+                    ];
+                    for p in 0..NUM_PHASES {
+                        pairs.push((T_KEYS[p], Value::Num(s.phase_elapsed[p])));
+                        pairs.push((R_KEYS[p], Value::Num(s.phase_rank[p] as f64)));
+                    }
+                    obj(pairs)
+                })
+                .collect(),
+        );
+        let critical = obj(vec![
+            ("total_elapsed", Value::Num(cp.total_elapsed)),
+            ("rank_time", Value::Arr(cp.rank_time.iter().map(|&t| Value::Num(t)).collect())),
+            ("ranking", Value::Arr(cp.ranking.iter().map(|&r| Value::Num(r as f64)).collect())),
+            ("steps", steps),
+        ]);
+        let wait_ranks = Value::Arr(
+            self.waits
+                .per_rank
+                .iter()
+                .enumerate()
+                .map(|(r, w)| {
+                    obj(vec![
+                        ("rank", Value::Num(r as f64)),
+                        ("late_sender", phase_obj(&w.late_sender)),
+                        ("late_receiver", phase_obj(&w.late_receiver)),
+                        ("collective", phase_obj(&w.collective)),
+                        ("lost_total", Value::Num(w.total())),
+                    ])
+                })
+                .collect(),
+        );
+        let mut per_phase: Vec<(String, Value)> = Vec::new();
+        for (p, pname) in PHASE_NAMES.iter().enumerate() {
+            if self.matrix.phase_active(p) {
+                per_phase.push((
+                    pname.to_string(),
+                    obj(vec![
+                        ("msgs", u64_matrix(&self.matrix.msgs[p])),
+                        ("bytes", u64_matrix(&self.matrix.bytes[p])),
+                    ]),
+                ));
+            }
+        }
+        let comm = obj(vec![
+            (
+                "total",
+                obj(vec![
+                    ("msgs", u64_matrix(&self.matrix.total_msgs())),
+                    ("bytes", u64_matrix(&self.matrix.total_bytes())),
+                ]),
+            ),
+            ("per_phase", Value::Obj(per_phase)),
+        ]);
+        let findings = Value::Arr(
+            self.findings
+                .iter()
+                .map(|f| {
+                    obj(vec![
+                        ("kind", Value::Str(f.kind.to_string())),
+                        ("rank", f.rank.map(|r| Value::Num(r as f64)).unwrap_or(Value::Null)),
+                        ("message", Value::Str(f.message.clone())),
+                        (
+                            "data",
+                            Value::Obj(
+                                f.data
+                                    .iter()
+                                    .map(|(k, v)| (k.to_string(), Value::Num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("analysis_schema_version", Value::Num(ANALYSIS_SCHEMA_VERSION as f64)),
+            ("generator", Value::Str("overset-analysis".into())),
+            ("source", Value::Str(self.source.clone())),
+            ("nranks", Value::Num(self.nranks as f64)),
+            ("nsteps", Value::Num(self.critical_path.steps.len() as f64)),
+            ("notes", Value::Arr(self.notes.iter().map(|n| Value::Str(n.clone())).collect())),
+            ("critical_path", critical),
+            ("wait_states", wait_ranks),
+            ("comm_matrix", comm),
+            ("advisor", findings),
+        ])
+    }
+
+    /// Human-readable rendering, equally deterministic.
+    pub fn render_text(&self) -> String {
+        let cp = &self.critical_path;
+        let mut out = format!(
+            "== analysis: {} ({} ranks, {} steps) ==\n",
+            self.source,
+            self.nranks,
+            cp.steps.len()
+        );
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+
+        out.push_str("\n-- critical path --\n");
+        out.push_str(&format!("total elapsed: {:.6e} s\n", cp.total_elapsed));
+        out.push_str("rank ranking (time each rank spends bounding the run):\n");
+        for &r in cp.ranking.iter().take(8) {
+            out.push_str(&format!(
+                "  rank {r:>3}: {:.6e} s ({:>5.1}%)  dominant phase: {}\n",
+                cp.rank_time[r],
+                cp.rank_share(r) * 100.0,
+                PHASE_NAMES[cp.dominant_phase_of(r)]
+            ));
+        }
+        if cp.nranks > 8 {
+            out.push_str(&format!("  ... {} more ranks\n", cp.nranks - 8));
+        }
+
+        out.push_str("\n-- wait states (lost seconds per rank) --\n");
+        out.push_str("  rank   late-sender    collective    late-recv(buffered)\n");
+        for (r, w) in self.waits.per_rank.iter().enumerate() {
+            out.push_str(&format!(
+                "  {r:>4}   {:>11.4e}   {:>11.4e}   {:>11.4e}\n",
+                w.late_sender.iter().sum::<f64>(),
+                w.collective.iter().sum::<f64>(),
+                w.late_receiver.iter().sum::<f64>(),
+            ));
+        }
+
+        out.push_str("\n-- comm matrix --\n");
+        out.push_str(&matrix::render_heatmap(&self.matrix.total_bytes(), "total bytes"));
+        for (p, pname) in PHASE_NAMES.iter().enumerate() {
+            if self.matrix.phase_active(p) {
+                out.push_str(&matrix::render_heatmap(
+                    &self.matrix.bytes[p],
+                    &format!("{pname} bytes"),
+                ));
+            }
+        }
+
+        out.push_str("\n-- advisor --\n");
+        if self.findings.is_empty() {
+            out.push_str("  (no findings)\n");
+        }
+        for f in &self.findings {
+            out.push_str(&format!("  * [{}] {}\n", f.kind, f.message));
+        }
+        out
+    }
+}
+
+/// Per-phase JSON keys, matching `overset-report`'s `t_<phase>` convention.
+const T_KEYS: [&str; NUM_PHASES] = ["t_flow", "t_connectivity", "t_motion", "t_balance", "t_other"];
+/// Argmax-rank keys parallel to [`T_KEYS`].
+const R_KEYS: [&str; NUM_PHASES] = ["r_flow", "r_connectivity", "r_motion", "r_balance", "r_other"];

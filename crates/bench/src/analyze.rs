@@ -1,0 +1,156 @@
+//! `repro analyze` — run the trace analyzer on an experiment or trace file.
+//!
+//! Two input modes share one pipeline:
+//! - `repro analyze <experiment> [--quick]` re-runs the experiment's
+//!   representative case with tracing enabled (same case `--trace` uses)
+//!   and analyzes the live spans plus flight-recorder step records;
+//! - `repro analyze <trace.json>` re-parses a Chrome `trace_event` file
+//!   written by `repro <exp> --trace <file>` — no step records, per-step
+//!   structure is reconstructed from phase spans.
+//!
+//! Output is the deterministic text report by default, the versioned JSON
+//! analysis document with `--json`; `-o <path>` writes instead of printing.
+
+use crate::experiments::{traced_run, Effort};
+use overset_analysis::{analyze, AnalysisInput};
+use overset_comm::trace::TraceConfig;
+
+const EXPERIMENTS: [&str; 16] = [
+    "table1",
+    "fig5",
+    "table2",
+    "table3",
+    "fig7",
+    "table4",
+    "fig10",
+    "table5",
+    "fig11",
+    "table6",
+    "fig12",
+    "ablate-restart",
+    "ablate-sixdof",
+    "ablate-fo",
+    "ablate-grouping",
+    "ablate-cache",
+];
+
+struct AnalyzeCli {
+    target: Option<String>,
+    quick: bool,
+    json: bool,
+    out_path: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<AnalyzeCli, String> {
+    let mut cli = AnalyzeCli { target: None, quick: false, json: false, out_path: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--json" => cli.json = true,
+            "-o" | "--out" => match it.next() {
+                Some(p) => cli.out_path = Some(p.clone()),
+                None => return Err(format!("{a} requires an output path")),
+            },
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other if cli.target.is_none() => cli.target = Some(other.to_string()),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    cli.target.is_some().then_some(()).ok_or_else(usage)?;
+    Ok(cli)
+}
+
+fn usage() -> String {
+    "usage: repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]".to_string()
+}
+
+/// Entry point for the `analyze` subcommand; returns the process exit code.
+pub fn run_analyze(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let target = cli.target.as_deref().unwrap();
+
+    let input = if std::path::Path::new(target).is_file() {
+        let text = match std::fs::read_to_string(target) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {target}: {e}");
+                return 2;
+            }
+        };
+        match AnalysisInput::from_chrome_trace(target, &text) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("{target}: {e}");
+                return 2;
+            }
+        }
+    } else if EXPERIMENTS.contains(&target) {
+        let effort = if cli.quick { Effort::quick() } else { Effort::full() };
+        let effort_name = if cli.quick { "quick" } else { "full" };
+        let r = traced_run(target, effort, TraceConfig::enabled());
+        AnalysisInput::from_run(&format!("{target}/{effort_name}"), &r.trace, r.step_records)
+    } else {
+        eprintln!("{target}: not a trace file, and not an experiment");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        return 2;
+    };
+
+    let a = analyze(&input);
+    let text = if cli.json { a.to_value().to_json() } else { a.render_text() };
+    match &cli.out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text.as_bytes()) {
+                eprintln!("failed to write analysis to {path}: {e}");
+                return 2;
+            }
+            eprintln!("[analysis: {} bytes -> {path}]", text.len());
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let c = parse(&s(&["table1", "--quick", "--json", "-o", "x.json"])).unwrap();
+        assert_eq!(c.target.as_deref(), Some("table1"));
+        assert!(c.quick && c.json);
+        assert_eq!(c.out_path.as_deref(), Some("x.json"));
+        assert!(parse(&s(&[])).is_err());
+        assert!(parse(&s(&["a", "b"])).is_err());
+        assert!(parse(&s(&["table1", "--bogus"])).is_err());
+        assert!(parse(&s(&["table1", "-o"])).is_err());
+    }
+
+    #[test]
+    fn quick_experiment_analysis_is_deterministic_and_names_a_rank() {
+        let effort = Effort::quick();
+        let run = || {
+            let r = traced_run("table1", effort, TraceConfig::enabled());
+            let input = AnalysisInput::from_run("table1/quick", &r.trace, r.step_records);
+            analyze(&input)
+        };
+        let a1 = run();
+        let a2 = run();
+        assert_eq!(a1.to_value().to_json(), a2.to_value().to_json());
+        assert_eq!(a1.render_text(), a2.render_text());
+        assert!(a1.findings.iter().any(|f| f.kind == "critical-rank"));
+        assert!(a1.critical_path.total_elapsed > 0.0);
+        assert!(!a1.critical_path.steps.is_empty());
+    }
+}

@@ -4,6 +4,7 @@
 //! these from the command line.
 
 pub mod amr_experiments;
+pub mod analyze;
 pub mod experiments;
 pub mod report;
 

@@ -7,6 +7,7 @@
 //!   `repro report <experiment> [--quick] [-o <out.json>]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
+//!   `repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]`
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
 //! table5 fig11 table6 fig12 ablate-restart ablate-sixdof ablate-fo
@@ -24,8 +25,13 @@
 //! end-of-run summary, metrics dump — see docs/OBSERVABILITY.md); `compare`
 //! exits 0 when `new` is within `--tol-pct` percent (default 5) of
 //! `baseline` on every gated metric, 1 on regression, 2 on usage/IO errors.
+//!
+//! `analyze` runs the trace analyzer (critical path, wait states, comm
+//! matrix, imbalance advisor — see docs/OBSERVABILITY.md §Analysis) on an
+//! experiment's representative case or on a previously written trace file.
 
 use overset_bench::amr_experiments::{ablate_grouping, fig12};
+use overset_bench::analyze::run_analyze;
 use overset_bench::experiments::*;
 use overset_bench::report::{build_report, compare_reports};
 use overset_comm::trace::TraceConfig;
@@ -167,6 +173,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("compare") => std::process::exit(run_compare(&args[1..])),
         Some("report") => std::process::exit(run_report_cmd(&args[1..])),
+        Some("analyze") => std::process::exit(run_analyze(&args[1..])),
         _ => {}
     }
 
@@ -218,7 +225,8 @@ fn main() {
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
                  table6 fig12 ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all\n\
-                 or a subcommand: report <experiment> | compare <baseline.json> <new.json>"
+                 or a subcommand: report <experiment> | compare <baseline.json> <new.json> | \
+                 analyze <experiment>|<trace.json>"
             );
             std::process::exit(2);
         }

@@ -39,6 +39,9 @@ struct Envelope {
     tag: u64,
     /// Virtual time at which the message is fully available at the receiver.
     arrival: f64,
+    /// Logical payload size, carried so the receiver's trace span can report
+    /// the same `bytes` the sender charged.
+    bytes: usize,
     payload: Box<dyn Any + Send>,
 }
 
@@ -304,7 +307,7 @@ impl Comm {
             );
         }
         self.txs[dst]
-            .send(Envelope { src: self.rank, tag, arrival, payload: Box::new(payload) })
+            .send(Envelope { src: self.rank, tag, arrival, bytes, payload: Box::new(payload) })
             .expect("receiver hung up");
     }
 
@@ -324,6 +327,9 @@ impl Comm {
         let t0 = self.clock;
         let env = self.take_matching(src, tag)?;
         let stall = (env.arrival - self.clock).max(0.0);
+        // Time the fully-arrived message sat buffered before this receive —
+        // the Scalasca-style "late receiver" complement of `stall`.
+        let idle = (self.clock - env.arrival).max(0.0);
         self.clock = self.clock.max(env.arrival);
         self.metrics.observe(names::COMM_RECV_STALL, stall);
         if let Some(t) = &mut self.tracer {
@@ -332,7 +338,13 @@ impl Comm {
                 "recv",
                 t0,
                 self.clock - t0,
-                vec![("src", ArgVal::U64(src as u64)), ("tag", ArgVal::U64(tag))],
+                vec![
+                    ("src", ArgVal::U64(src as u64)),
+                    ("tag", ArgVal::U64(tag)),
+                    ("bytes", ArgVal::U64(env.bytes as u64)),
+                    ("stall", ArgVal::F64(stall)),
+                    ("idle", ArgVal::F64(idle)),
+                ],
             );
         }
         match env.payload.downcast::<T>() {
@@ -959,6 +971,72 @@ mod tests {
             c.compute(1.0, WorkClass::Flow);
         });
         assert!(off[0].trace.is_empty());
+    }
+
+    #[test]
+    fn comm_span_args_are_uniform_per_category() {
+        // Every comm-category span must carry the full argument set its
+        // name promises — the trace-analysis comm matrix and wait-state
+        // classifier rely on it (docs/OBSERVABILITY.md span table).
+        let out =
+            Universe::builder().ranks(3).machine(&modern()).trace(TraceConfig::enabled()).run(
+                |c| {
+                    if c.rank() == 0 {
+                        c.send(1, 3, 1u8, 64);
+                        c.send(2, 4, 2u8, 128);
+                    } else {
+                        c.recv::<u8>(0, 2 + c.rank() as u64);
+                    }
+                    c.barrier();
+                    c.allgather(c.rank(), 8);
+                },
+            );
+        let has = |e: &TraceEvent, key: &str| e.args.iter().any(|(k, _)| *k == key);
+        let mut seen = [0usize; 4]; // send, recv, barrier, allgather
+        for o in &out {
+            for e in o.trace.iter().filter(|e| e.cat == "comm") {
+                match e.name {
+                    "send" => {
+                        seen[0] += 1;
+                        for key in ["dst", "tag", "bytes"] {
+                            assert!(has(e, key), "send span missing {key}: {e:?}");
+                        }
+                    }
+                    "recv" => {
+                        seen[1] += 1;
+                        for key in ["src", "tag", "bytes", "stall", "idle"] {
+                            assert!(has(e, key), "recv span missing {key}: {e:?}");
+                        }
+                    }
+                    "barrier" | "allgather" => {
+                        seen[if e.name == "barrier" { 2 } else { 3 }] += 1;
+                        assert!(has(e, "bytes"), "collective span missing bytes: {e:?}");
+                    }
+                    other => panic!("unexpected comm span name {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seen[0], 2, "expected two send spans");
+        assert_eq!(seen[1], 2, "expected two recv spans");
+        assert_eq!(seen[2], 3, "expected one barrier span per rank");
+        assert_eq!(seen[3], 3, "expected one allgather span per rank");
+        // The recv span's bytes echo what the sender charged, and its
+        // stall/idle split is consistent with the span duration.
+        let recv = out[1].trace.iter().find(|e| e.cat == "comm" && e.name == "recv").unwrap();
+        let arg = |key: &str| {
+            recv.args
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| match v {
+                    ArgVal::U64(x) => *x as f64,
+                    ArgVal::F64(x) => *x,
+                    ArgVal::Str(_) => f64::NAN,
+                })
+                .unwrap()
+        };
+        assert_eq!(arg("bytes"), 64.0);
+        assert!((arg("stall") - recv.dur).abs() < 1e-15);
+        assert_eq!(arg("idle"), 0.0);
     }
 
     #[test]

@@ -118,6 +118,19 @@ pub fn compare(baseline: &Value, new: &Value, tol_pct: f64) -> Result<CompareOut
         };
         let bsum = bc.get("summary").ok_or_else(|| format!("{key}: baseline has no summary"))?;
         let nsum = nc.get("summary").ok_or_else(|| format!("{key}: new has no summary"))?;
+        // Ring evictions mean the per-step series is a trailing window, not
+        // the whole run; warn (a note, not a regression — the gated summary
+        // metrics are end-of-run values and remain exact).
+        for (side, sum) in [("baseline", bsum), ("new", nsum)] {
+            if let Some(d) = sum.get("steps_dropped").and_then(Value::as_f64) {
+                if d > 0.0 {
+                    out.notes.push(format!(
+                        "{key}: warning: {side} dropped {d} step records (flight-recorder \
+                         ring eviction); its series covers a truncated window"
+                    ));
+                }
+            }
+        }
         for metric in HIGHER_IS_WORSE {
             compare_metric(&mut out, &key, metric, bsum, nsum, tol, /*higher_bad=*/ true);
         }
@@ -262,6 +275,29 @@ mod tests {
         let out = compare(&base_one, &null_hit, 5.0).unwrap();
         assert!(out.passed());
         assert!(out.notes.iter().any(|n| n.contains("cache_hit_rate")));
+    }
+
+    #[test]
+    fn dropped_step_records_produce_a_warning_note_on_either_side() {
+        let with_drops = |n: f64| {
+            let mut s = summary(100.0, 20.0, 0.0, 0.9);
+            if let Value::Obj(pairs) = &mut s {
+                pairs.push(("steps_dropped".into(), Value::Num(n)));
+            }
+            report(vec![("airfoil", s)])
+        };
+        let clean = with_drops(0.0);
+        let dropped = with_drops(7.0);
+        let out = compare(&clean, &dropped, 5.0).unwrap();
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("warning") && n.contains("new dropped 7")));
+        let out = compare(&dropped, &clean, 5.0).unwrap();
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("warning") && n.contains("baseline dropped 7")));
+        let out = compare(&clean, &clean, 5.0).unwrap();
+        assert!(!out.notes.iter().any(|n| n.contains("warning")));
     }
 
     #[test]

@@ -139,6 +139,9 @@ fn summary_value(r: &RunResult, series: &[StepSeries]) -> Value {
         ("orphans_last".to_string(), Value::Num(r.orphans_last as f64)),
         ("repartitions".to_string(), Value::Num(r.repartitions as f64)),
         ("cache_hit_rate".to_string(), opt_num(r.metrics.cache_hit_rate())),
+        // Flight-recorder ring evictions: when > 0 the series above covers
+        // only the trailing window of the run, and `compare` warns.
+        ("steps_dropped".to_string(), Value::Num(r.steps_dropped as f64)),
     ]);
     Value::Obj(pairs)
 }

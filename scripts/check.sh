@@ -20,6 +20,9 @@ cargo test -q -p overflow-d --test observability
 echo "== repro smoke test =="
 ./target/release/repro table1 --quick > /dev/null
 
+echo "== analyzer smoke test =="
+./target/release/repro analyze table1 --quick > /dev/null
+
 echo "== perf regression gate =="
 ./scripts/bench_gate.sh
 
