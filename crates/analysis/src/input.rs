@@ -63,6 +63,39 @@ impl AnalysisInput {
         self.ranks.len()
     }
 
+    /// Reject inputs the pipeline can say nothing meaningful about, with a
+    /// message naming what was missing. Callers (the `repro analyze` CLI)
+    /// turn the error into a clean exit instead of a panic or a
+    /// divide-by-zero further down the pipeline.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks.iter().all(|r| r.spans.is_empty()) {
+            return Err(format!(
+                "{}: trace contains no spans — nothing to analyze (was tracing enabled?)",
+                self.source
+            ));
+        }
+        if self.nranks() < 2 {
+            return Err(format!(
+                "{}: trace covers a single rank — wait states and the comm matrix need \
+                 at least 2 ranks",
+                self.source
+            ));
+        }
+        let has_steps = self.steps.iter().any(|r| !r.is_empty())
+            || self
+                .ranks
+                .iter()
+                .any(|r| r.spans.iter().any(|s| s.cat == "phase" && s.name == "flow"));
+        if !has_steps {
+            return Err(format!(
+                "{}: no completed timesteps in the trace — need step records or at least \
+                 one `flow` phase span to reconstruct per-step structure",
+                self.source
+            ));
+        }
+        Ok(())
+    }
+
     /// Adapt a live run's traces (and optionally its flight-recorder step
     /// records) for analysis.
     pub fn from_run(source: &str, trace: &[RankTrace], steps: Vec<Vec<StepRecord>>) -> Self {

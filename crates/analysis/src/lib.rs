@@ -230,12 +230,29 @@ impl Analysis {
 
         out.push_str("\n-- wait states (lost seconds per rank) --\n");
         out.push_str("  rank   late-sender    collective    late-recv(buffered)\n");
-        for (r, w) in self.waits.per_rank.iter().enumerate() {
+        // Past 16 ranks, show only the worst offenders by total lost time
+        // (descending, rank as tiebreak); a 1024-rank table helps nobody.
+        let mut order: Vec<usize> = (0..self.waits.per_rank.len()).collect();
+        if order.len() > 16 {
+            order.sort_by(|&a, &b| {
+                let (ta, tb) = (self.waits.per_rank[a].total(), self.waits.per_rank[b].total());
+                tb.partial_cmp(&ta).unwrap().then(a.cmp(&b))
+            });
+            order.truncate(16);
+        }
+        for &r in &order {
+            let w = &self.waits.per_rank[r];
             out.push_str(&format!(
                 "  {r:>4}   {:>11.4e}   {:>11.4e}   {:>11.4e}\n",
                 w.late_sender.iter().sum::<f64>(),
                 w.collective.iter().sum::<f64>(),
                 w.late_receiver.iter().sum::<f64>(),
+            ));
+        }
+        if self.waits.per_rank.len() > order.len() {
+            out.push_str(&format!(
+                "  ... {} more ranks (sorted by total lost time)\n",
+                self.waits.per_rank.len() - order.len()
             ));
         }
 
@@ -265,3 +282,59 @@ impl Analysis {
 const T_KEYS: [&str; NUM_PHASES] = ["t_flow", "t_connectivity", "t_motion", "t_balance", "t_other"];
 /// Argmax-rank keys parallel to [`T_KEYS`].
 const R_KEYS: [&str; NUM_PHASES] = ["r_flow", "r_connectivity", "r_motion", "r_balance", "r_other"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::RankSpans;
+
+    /// A minimal but valid n-rank input: one timestep (flow phase span) and
+    /// one barrier per rank, with rank-dependent barrier durations so the
+    /// wait-state table has distinct totals to sort on.
+    fn synthetic_input(n: usize) -> AnalysisInput {
+        let ranks = (0..n)
+            .map(|rank| RankSpans {
+                rank,
+                spans: vec![
+                    Span {
+                        cat: "phase".into(),
+                        name: "flow".into(),
+                        ts: 0.0,
+                        dur: 1.0,
+                        args: Vec::new(),
+                    },
+                    Span {
+                        cat: "comm".into(),
+                        name: "barrier".into(),
+                        ts: 1.0,
+                        dur: 0.1 * (n - rank) as f64,
+                        args: Vec::new(),
+                    },
+                ],
+            })
+            .collect();
+        AnalysisInput { source: format!("synthetic-{n}"), ranks, steps: Vec::new() }
+    }
+
+    #[test]
+    fn wait_state_table_is_full_at_16_ranks_and_capped_above() {
+        let small = analyze(&synthetic_input(16));
+        let txt = small.render_text();
+        assert!(!txt.contains("more ranks (sorted"), "{txt}");
+        for r in 0..16 {
+            assert!(txt.contains(&format!("  {r:>4}   ")), "rank {r} missing:\n{txt}");
+        }
+
+        let big = analyze(&synthetic_input(20));
+        let txt = big.render_text();
+        assert!(txt.contains("... 4 more ranks (sorted by total lost time)"), "{txt}");
+        // Collective wait = own span duration minus the rank-minimum, so
+        // rank 0 (longest barrier span) waited most and must survive the cut.
+        assert!(txt.contains("  0   "), "{txt}");
+    }
+
+    #[test]
+    fn validate_accepts_the_synthetic_input() {
+        assert!(synthetic_input(4).validate().is_ok());
+    }
+}

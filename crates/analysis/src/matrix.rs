@@ -72,16 +72,41 @@ pub fn build(ranks: &[RankSpans]) -> CommMatrix {
     m
 }
 
+/// Past this rank count the heatmap is bucketed down to at most this many
+/// rows/columns so a 1024-rank matrix stays readable (and the output stays
+/// bounded); at or below it the rendering is unchanged, which the golden
+/// tests rely on.
+const HEATMAP_MAX_CELLS: usize = 64;
+
 /// Render a rank×rank matrix as a deterministic text heatmap: one density
 /// glyph per cell, scaled to the matrix maximum, rows = sender. For small
-/// matrices (≤ 16 ranks) the numeric values are printed alongside.
+/// matrices (≤ 16 ranks) the numeric values are printed alongside; above
+/// [`HEATMAP_MAX_CELLS`] ranks, cells are summed into rank-range buckets.
 pub fn render_heatmap(m: &[Vec<u64>], label: &str) -> String {
+    let n = m.len();
+    if n > HEATMAP_MAX_CELLS {
+        let bucket = n.div_ceil(HEATMAP_MAX_CELLS);
+        let nb = n.div_ceil(bucket);
+        let mut coarse = vec![vec![0u64; nb]; nb];
+        for (src, row) in m.iter().enumerate() {
+            for (dst, &v) in row.iter().enumerate() {
+                coarse[src / bucket][dst / bucket] += v;
+            }
+        }
+        return render_cells(&coarse, &format!("{label} [{bucket} ranks/cell]"), bucket);
+    }
+    render_cells(m, label, 1)
+}
+
+/// `bucket` is the number of ranks per cell (1 = exact); row labels show the
+/// first rank of each bucket.
+fn render_cells(m: &[Vec<u64>], label: &str, bucket: usize) -> String {
     const SCALE: &[u8] = b" .:-=+*#%@";
     let n = m.len();
     let max = m.iter().flatten().copied().max().unwrap_or(0);
     let mut out = format!("{label} (rows=src, cols=dst, max={max}):\n");
     for (src, row) in m.iter().enumerate() {
-        out.push_str(&format!("  {src:>3} |"));
+        out.push_str(&format!("  {:>3} |", src * bucket));
         for &v in row {
             let g = if max == 0 || v == 0 {
                 b' '
@@ -145,5 +170,29 @@ mod tests {
         let txt = render_heatmap(&m.total_bytes(), "bytes");
         assert!(txt.contains("max=140"));
         assert!(txt.contains("140"));
+    }
+
+    #[test]
+    fn large_matrices_are_bucketed_small_ones_exact() {
+        // 256 ranks -> 4 ranks per cell, 64 rows; diagonal mass survives
+        // bucketing as the per-bucket sum.
+        let n = 256;
+        let mut m = vec![vec![0u64; n]; n];
+        for i in 0..n {
+            m[i][(i + 1) % n] = 10;
+        }
+        let txt = render_heatmap(&m, "bytes");
+        assert!(txt.contains("[4 ranks/cell]"), "{txt}");
+        // 64 bucket rows plus the header line.
+        assert_eq!(txt.lines().count(), 65);
+        // Bucket sums: of each bucket's 4 sends, 3 stay inside the bucket
+        // and 1 crosses into the next, so the coarse maximum is 30.
+        assert!(txt.contains("max=30"), "{txt}");
+
+        // At 64 ranks exactly, rendering stays per-rank.
+        let small = vec![vec![1u64; 64]; 64];
+        let txt = render_heatmap(&small, "bytes");
+        assert!(!txt.contains("ranks/cell"));
+        assert_eq!(txt.lines().count(), 65);
     }
 }

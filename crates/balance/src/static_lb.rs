@@ -26,6 +26,8 @@
 //! the dynamic scheme (Algorithm 2) re-runs it with extra processors granted
 //! to connectivity-bound grids.
 
+use overset_grid::{lattice_feasible_min, Dims};
+
 /// Outcome of the static balance routine.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StaticBalance {
@@ -47,6 +49,9 @@ pub enum BalanceError {
     MinimaExceedProcessors { minima_sum: usize, processors: usize },
     /// No gridpoints at all.
     EmptySystem,
+    /// [`fit_np_to_dims`] could not find splittable per-grid counts that sum
+    /// to NP (pathological dimensions, e.g. all grids a single point wide).
+    NoFeasibleFit { processors: usize },
 }
 
 impl std::fmt::Display for BalanceError {
@@ -59,6 +64,9 @@ impl std::fmt::Display for BalanceError {
                 write!(f, "enforced minima sum to {minima_sum} > {processors} processors")
             }
             BalanceError::EmptySystem => write!(f, "no gridpoints in any component grid"),
+            BalanceError::NoFeasibleFit { processors } => {
+                write!(f, "no lattice-splittable per-grid counts sum to {processors} processors")
+            }
         }
     }
 }
@@ -180,9 +188,97 @@ pub fn imbalance_tau(g: &[usize], np: &[usize]) -> f64 {
     (worst / ideal - 1.0).max(0.0)
 }
 
+/// Largest lattice-feasible subdomain count ≤ `want` for this grid (1 is
+/// always feasible for a non-empty grid).
+fn feasible_at_most(dims: Dims, want: usize, min: [usize; 3]) -> usize {
+    let mut k = want.min(dims.count()).max(1);
+    while k > 1 && !lattice_feasible_min(dims, k, min) {
+        k -= 1;
+    }
+    k
+}
+
+/// Smallest lattice-feasible count > `cur`, or `None` when the grid is
+/// already at its splitting limit.
+fn feasible_above(dims: Dims, cur: usize, min: [usize; 3]) -> Option<usize> {
+    ((cur + 1)..=dims.count()).find(|&k| lattice_feasible_min(dims, k, min))
+}
+
+/// Repair a processor assignment so every grid's count is splittable by the
+/// prime-factor rule, preserving Σ np = NP.
+///
+/// Algorithm 1 reasons only about point counts, so at large NP it can hand a
+/// grid a *prime* subdomain count whose single factor exceeds every index
+/// dimension — [`lattice_split`](overset_grid::decomp::lattice_split) would
+/// panic. This pass clamps each grid down to its largest feasible count, then
+/// regrants the freed processors greedily to the most loaded grid whose next
+/// feasible count fits the remaining deficit (shrinking the least loaded
+/// grid one notch when no grant fits). Assignments that are already feasible
+/// — every configuration the seed could run — pass through unchanged.
+pub fn fit_np_to_dims(
+    g: &[usize],
+    dims: &[Dims],
+    np: &[usize],
+) -> Result<Vec<usize>, BalanceError> {
+    fit_np_to_dims_min(g, dims, np, &vec![[1, 1, 1]; g.len()])
+}
+
+/// [`fit_np_to_dims`] with per-grid minimum subdomain widths (see
+/// [`lattice_feasible_min`]): `min_widths[n][t]` is the fewest nodes every
+/// piece of grid `n` must keep along direction `t`. The driver passes
+/// `[2, 1, 1]` for periodic O-grids so the seam subdomain's cyclic solve is
+/// never empty.
+pub fn fit_np_to_dims_min(
+    g: &[usize],
+    dims: &[Dims],
+    np: &[usize],
+    min_widths: &[[usize; 3]],
+) -> Result<Vec<usize>, BalanceError> {
+    assert_eq!(g.len(), dims.len());
+    assert_eq!(g.len(), np.len());
+    assert_eq!(g.len(), min_widths.len());
+    let nproc: usize = np.iter().sum();
+    let mut fit: Vec<usize> = dims
+        .iter()
+        .zip(np)
+        .zip(min_widths)
+        .map(|((&d, &n), &m)| feasible_at_most(d, n, m))
+        .collect();
+    let per_proc = |fit: &[usize], i: usize| g[i] as f64 / fit[i] as f64;
+    for _ in 0..(10 * nproc + 100) {
+        // Invariant: clamping and shrinking only reduce, grants never exceed
+        // the deficit, so Σ fit ≤ NP throughout.
+        let deficit = nproc - fit.iter().sum::<usize>();
+        if deficit == 0 {
+            return Ok(fit);
+        }
+        // Grant to the most points-per-processor grid whose next feasible
+        // count does not overshoot the deficit.
+        let grant = (0..g.len())
+            .filter_map(|i| feasible_above(dims[i], fit[i], min_widths[i]).map(|nx| (i, nx)))
+            .filter(|&(i, nx)| nx - fit[i] <= deficit)
+            .max_by(|&(a, _), &(b, _)| per_proc(&fit, a).partial_cmp(&per_proc(&fit, b)).unwrap());
+        if let Some((i, nx)) = grant {
+            fit[i] = nx;
+            continue;
+        }
+        // No grant fits: free capacity by shrinking the least loaded grid
+        // that can still give up a notch.
+        let shrink = (0..g.len())
+            .filter(|&i| fit[i] > 1)
+            .min_by(|&a, &b| per_proc(&fit, a).partial_cmp(&per_proc(&fit, b)).unwrap());
+        match shrink {
+            Some(i) => fit[i] = feasible_at_most(dims[i], fit[i] - 1, min_widths[i]),
+            None => break,
+        }
+    }
+    Err(BalanceError::NoFeasibleFit { processors: nproc })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use overset_grid::lattice_feasible;
 
     #[test]
     fn equal_grids_divisible() {
@@ -284,5 +380,48 @@ mod tests {
     fn single_grid_takes_all() {
         let b = static_balance(&[64_000], 24).unwrap();
         assert_eq!(b.np, vec![24]);
+    }
+
+    #[test]
+    fn fit_is_identity_on_feasible_assignments() {
+        let dims = [Dims::new(30, 20, 10), Dims::new(24, 18, 12)];
+        let g = [6_000, 5_184];
+        let np = [12, 8];
+        assert_eq!(fit_np_to_dims(&g, &dims, &np).unwrap(), vec![12, 8]);
+    }
+
+    #[test]
+    fn fit_repairs_prime_counts() {
+        // 37 is prime and exceeds every dimension of the first grid; the
+        // repair must trade with the second grid while keeping the sum.
+        let dims = [Dims::new(29, 8, 15), Dims::new(32, 21, 28)];
+        let g = [29 * 8 * 15, 32 * 21 * 28];
+        let np = [37, 13];
+        let fit = fit_np_to_dims(&g, &dims, &np).unwrap();
+        assert_eq!(fit.iter().sum::<usize>(), 50);
+        for (i, (&d, &n)) in dims.iter().zip(&fit).enumerate() {
+            assert!(lattice_feasible(d, n), "grid {i}: np {n} infeasible for {d:?}");
+        }
+    }
+
+    #[test]
+    fn fit_handles_large_universes() {
+        // Shapes and scale mirroring the store case at 512/1024 ranks, where
+        // Algorithm 1 hands out prime counts like 73 and 47.
+        let dims = [
+            Dims::new(46, 25, 35),
+            Dims::new(32, 21, 28),
+            Dims::new(23, 14, 18),
+            Dims::new(18, 9, 12),
+        ];
+        let g: Vec<usize> = dims.iter().map(|d| d.count()).collect();
+        for nproc in [256usize, 512, 1024] {
+            let b = static_balance(&g, nproc).unwrap();
+            let fit = fit_np_to_dims(&g, &dims, &b.np).unwrap();
+            assert_eq!(fit.iter().sum::<usize>(), nproc, "nproc = {nproc}");
+            for (i, (&d, &n)) in dims.iter().zip(&fit).enumerate() {
+                assert!(lattice_feasible(d, n), "nproc {nproc} grid {i}: np {n} for {d:?}");
+            }
+        }
     }
 }

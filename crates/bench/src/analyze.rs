@@ -15,7 +15,8 @@ use crate::experiments::{traced_run, Effort};
 use overset_analysis::{analyze, AnalysisInput};
 use overset_comm::trace::TraceConfig;
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
+    "scaling",
     "table1",
     "fig5",
     "table2",
@@ -84,6 +85,10 @@ pub fn run_analyze(args: &[String]) -> i32 {
                 return 2;
             }
         };
+        if text.trim().is_empty() {
+            eprintln!("{target}: file is empty — expected a Chrome trace_event JSON document");
+            return 2;
+        }
         match AnalysisInput::from_chrome_trace(target, &text) {
             Ok(i) => i,
             Err(e) => {
@@ -101,6 +106,13 @@ pub fn run_analyze(args: &[String]) -> i32 {
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return 2;
     };
+
+    // Degenerate inputs (no spans, single rank, zero completed steps) get a
+    // clean diagnosis here instead of a panic deeper in the pipeline.
+    if let Err(e) = input.validate() {
+        eprintln!("{e}");
+        return 2;
+    }
 
     let a = analyze(&input);
     let text = if cli.json { a.to_value().to_json() } else { a.render_text() };
@@ -135,6 +147,55 @@ mod tests {
         assert!(parse(&s(&["a", "b"])).is_err());
         assert!(parse(&s(&["table1", "--bogus"])).is_err());
         assert!(parse(&s(&["table1", "-o"])).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_exit_2_with_a_diagnosis() {
+        // Empty trace file.
+        let dir = std::env::temp_dir();
+        let empty = dir.join("overset_analyze_empty_trace.json");
+        std::fs::write(&empty, "").unwrap();
+        assert_eq!(run_analyze(&s(&[empty.to_str().unwrap()])), 2);
+
+        // Valid JSON, but no spans at all.
+        let no_spans = dir.join("overset_analyze_no_spans.json");
+        std::fs::write(&no_spans, "{\"traceEvents\": []}").unwrap();
+        assert_eq!(run_analyze(&s(&[no_spans.to_str().unwrap()])), 2);
+
+        let _ = std::fs::remove_file(&empty);
+        let _ = std::fs::remove_file(&no_spans);
+    }
+
+    #[test]
+    fn single_rank_and_zero_step_inputs_are_rejected_by_validate() {
+        use overset_analysis::{RankSpans, Span};
+        let span = |cat: &str, name: &str| Span {
+            cat: cat.into(),
+            name: name.into(),
+            ts: 0.0,
+            dur: 1.0,
+            args: Vec::new(),
+        };
+        // Single rank: spans exist but the pairwise analyses are undefined.
+        let one = AnalysisInput {
+            source: "one-rank".into(),
+            ranks: vec![RankSpans { rank: 0, spans: vec![span("phase", "flow")] }],
+            steps: Vec::new(),
+        };
+        let e = one.validate().unwrap_err();
+        assert!(e.contains("single rank"), "{e}");
+
+        // Two ranks, spans, but no completed step (no flow phase, no records).
+        let no_steps = AnalysisInput {
+            source: "no-steps".into(),
+            ranks: vec![
+                RankSpans { rank: 0, spans: vec![span("phase", "connectivity")] },
+                RankSpans { rank: 1, spans: vec![span("phase", "connectivity")] },
+            ],
+            steps: Vec::new(),
+        };
+        let e = no_steps.validate().unwrap_err();
+        assert!(e.contains("no completed timesteps"), "{e}");
     }
 
     #[test]

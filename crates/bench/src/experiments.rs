@@ -24,17 +24,28 @@ pub struct Effort {
     /// connectivity solve amortizes over this many steps).
     pub steps2d: usize,
     pub steps3d: usize,
+    /// Bound on the OS threads executing the ranks (`--max-threads`).
+    /// `None`: one thread per rank; `Some(n)`: the comm runtime multiplexes
+    /// the ranks onto `n` workers (M:N mode). Virtual times are bit-identical
+    /// either way, so every table is unaffected — this only caps host load.
+    pub max_threads: Option<usize>,
 }
 
 impl Effort {
     pub fn full() -> Self {
-        Effort { scale3d: 1.0, scale2d: 1.0, steps2d: 20, steps3d: 12 }
+        Effort { scale3d: 1.0, scale2d: 1.0, steps2d: 20, steps3d: 12, max_threads: None }
     }
 
     /// Reduced effort for CI / quick runs.
     pub fn quick() -> Self {
-        Effort { scale3d: 0.55, scale2d: 0.6, steps2d: 10, steps3d: 5 }
+        Effort { scale3d: 0.55, scale2d: 0.6, steps2d: 10, steps3d: 5, max_threads: None }
     }
+}
+
+/// Apply the effort's scheduler bound to a case config.
+fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
+    cfg.max_threads = e.max_threads;
+    cfg
 }
 
 fn sp2() -> MachineModel {
@@ -144,7 +155,7 @@ pub fn print_module_speedups(title: &str, rows: &[PerfRow]) {
 
 /// Table 1 / Fig. 5: the 2-D oscillating airfoil.
 pub fn table1(e: Effort) -> Vec<PerfRow> {
-    sweep(|| airfoil_case(e.scale2d, e.steps2d), &[6, 9, 12, 18, 24])
+    sweep(|| tuned(airfoil_case(e.scale2d, e.steps2d), e), &[6, 9, 12, 18, 24])
 }
 
 /// Table 2: the airfoil scaling study (coarsened / original / refined).
@@ -172,7 +183,7 @@ pub fn table2(e: Effort) {
         let mut pct = [0.0f64; 2];
         let mut ppn = 0usize;
         for (mi, m) in [sp2(), sp()].iter().enumerate() {
-            let cfg = airfoil_case(scale, e.steps2d);
+            let cfg = tuned(airfoil_case(scale, e.steps2d), e);
             let r = run_case(&cfg, nodes, m).unwrap();
             t[mi] = r.time_per_step();
             pct[mi] = 100.0 * r.connectivity_fraction();
@@ -187,12 +198,12 @@ pub fn table2(e: Effort) {
 
 /// Table 3 / Fig. 7: the descending delta wing.
 pub fn table3(e: Effort) -> Vec<PerfRow> {
-    sweep(|| delta_wing_case(e.scale3d, e.steps3d), &[7, 12, 26, 55])
+    sweep(|| tuned(delta_wing_case(e.scale3d, e.steps3d), e), &[7, 12, 26, 55])
 }
 
 /// Table 4 / Fig. 10: the finned-store separation (static balancing).
 pub fn table4(e: Effort) -> Vec<PerfRow> {
-    sweep(|| store_case(e.scale3d, e.steps3d), &[16, 18, 22, 28, 35, 42, 52, 61])
+    sweep(|| tuned(store_case(e.scale3d, e.steps3d), e), &[16, 18, 22, 28, 35, 42, 52, 61])
 }
 
 /// Table 5 / Fig. 11: static vs dynamic load balancing on the store case.
@@ -219,10 +230,10 @@ pub fn table5(e: Effort) {
     let mut dyn_rows: Vec<RunResult> = Vec::new();
     let mut stat_rows: Vec<RunResult> = Vec::new();
     for &n in &nodes {
-        let mut cfg = store_case(e.scale3d, steps);
+        let mut cfg = tuned(store_case(e.scale3d, steps), e);
         cfg.lb = LbConfig::dynamic(3.0, 6);
         dyn_rows.push(run_case(&cfg, n, &sp2()).unwrap());
-        let cfg = store_case(e.scale3d, steps);
+        let cfg = tuned(store_case(e.scale3d, steps), e);
         stat_rows.push(run_case(&cfg, n, &sp2()).unwrap());
     }
     let conn = |r: &RunResult| r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
@@ -261,7 +272,7 @@ pub fn table6(e: Effort) {
     for &n in &[18usize, 28, 42, 61] {
         let mut overall = [0.0f64; 2];
         for (mi, m) in [sp2(), sp()].iter().enumerate() {
-            let r = run_case(&store_case(e.scale3d, e.steps3d), n, m).unwrap();
+            let r = run_case(&tuned(store_case(e.scale3d, e.steps3d), e), n, m).unwrap();
             overall[mi] = t_ymp / r.time_per_step();
         }
         println!(
@@ -283,7 +294,7 @@ pub fn table6(e: Effort) {
 pub fn traced_run(which: &str, e: Effort, trace: TraceConfig) -> RunResult {
     let (mut cfg, nodes) = crate::report::representative_case(which, e);
     cfg.trace = trace;
-    run_case(&cfg, nodes, &sp2()).expect("traced run failed")
+    run_case(&tuned(cfg, e), nodes, &sp2()).expect("traced run failed")
 }
 
 /// Print the run's aggregated metrics registry (counters then histograms,
@@ -309,8 +320,8 @@ pub fn print_metrics(r: &RunResult) {
 /// time spent in the connectivity solution".
 pub fn ablate_restart(e: Effort) {
     println!("\n== Ablation: nth-level restart (airfoil, SP2, 12 nodes) ==");
-    let with = run_case(&airfoil_case(e.scale2d, e.steps2d), 12, &sp2()).unwrap();
-    let mut cfg = airfoil_case(e.scale2d, e.steps2d);
+    let with = run_case(&tuned(airfoil_case(e.scale2d, e.steps2d), e), 12, &sp2()).unwrap();
+    let mut cfg = tuned(airfoil_case(e.scale2d, e.steps2d), e);
     cfg.use_restart = false;
     let without = run_case(&cfg, 12, &sp2()).unwrap();
     let per = |r: &RunResult| r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
@@ -332,8 +343,9 @@ pub fn ablate_restart(e: Effort) {
 /// performance of the code".
 pub fn ablate_sixdof(e: Effort) {
     println!("\n== Ablation: prescribed vs 6-DOF store motion (SP2, 28 nodes) ==");
-    let pres = run_case(&store_case(e.scale3d, e.steps3d), 28, &sp2()).unwrap();
-    let free = run_case(&overflow_d::store_case_sixdof(e.scale3d, e.steps3d), 28, &sp2()).unwrap();
+    let pres = run_case(&tuned(store_case(e.scale3d, e.steps3d), e), 28, &sp2()).unwrap();
+    let free = run_case(&tuned(overflow_d::store_case_sixdof(e.scale3d, e.steps3d), e), 28, &sp2())
+        .unwrap();
     println!(
         "  prescribed: {:.3} s/step ({:.1}% DCF3D, motion {:.4} s/step)",
         pres.time_per_step(),
@@ -360,7 +372,7 @@ pub fn ablate_fo(e: Effort) {
         "f_o", "t/step", "%DCF3D", "f_max", "repart", "flow t"
     );
     for fo in [1.0f64, 2.0, 5.0, 10.0, f64::INFINITY] {
-        let mut cfg = store_case(e.scale3d, e.steps3d.max(10));
+        let mut cfg = tuned(store_case(e.scale3d, e.steps3d.max(10)), e);
         if fo.is_finite() {
             cfg.lb = LbConfig::dynamic(fo, 4);
         }
@@ -377,15 +389,58 @@ pub fn ablate_fo(e: Effort) {
     }
 }
 
+/// `scaling`: virtual-rank scaling far past the paper's node counts (and
+/// past the host's cores), possible because the M:N scheduler multiplexes
+/// the ranks onto a bounded worker pool. Sweeps the store case over
+/// P ∈ {16, 64, 256, 1024} on a handful of OS threads; rows whose processor
+/// count exceeds what the grid system can feasibly absorb are reported as
+/// such rather than aborting the sweep.
+pub fn scaling(e: Effort) {
+    let workers = e.max_threads.unwrap_or(8);
+    println!("\n== Scaling: store case on an M:N scheduler ({workers} OS threads) ==");
+    println!(
+        "{:>6} {:>12} | {:>10} {:>10} | {:>9} | {:>10}",
+        "Ranks", "Pts/node", "t/step", "Speedup", "%DCF3D", "Mf/n SP2"
+    );
+    // A couple of steps are enough to exercise the full comm pattern; the
+    // point of this sweep is rank-count scale, not time-averaging.
+    let steps = e.steps3d.clamp(2, 3);
+    let mut t0: Option<f64> = None;
+    for &n in &[16usize, 64, 256, 1024] {
+        let mut cfg = store_case(e.scale3d, steps);
+        cfg.max_threads = Some(workers);
+        match run_case(&cfg, n, &sp2()) {
+            Ok(r) => {
+                let t = r.time_per_step();
+                let base = *t0.get_or_insert(t);
+                println!(
+                    "{:>6} {:>12} | {:>10.3} {:>10.2} | {:>8.1}% | {:>10.1}",
+                    n,
+                    r.total_points / n,
+                    t,
+                    base / t,
+                    100.0 * r.connectivity_fraction(),
+                    r.mflops_per_node(),
+                );
+            }
+            Err(err) => println!("{:>6} {:>12} | infeasible at this scale: {err}", n, "-"),
+        }
+    }
+}
+
 /// Ablation A4: cache model on/off (explains the paper's super-scalar
 /// speedups).
 pub fn ablate_cache(e: Effort) {
     println!("\n== Ablation: cache performance model (airfoil, SP2) ==");
     println!("{:>6} | {:>12} {:>12}", "Nodes", "Mf/n cache", "Mf/n flat");
     for &n in &[6usize, 12, 24, 48] {
-        let with = run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2()).unwrap();
-        let flat =
-            run_case(&airfoil_case(e.scale2d, e.steps2d), n, &sp2().without_cache_model()).unwrap();
+        let with = run_case(&tuned(airfoil_case(e.scale2d, e.steps2d), e), n, &sp2()).unwrap();
+        let flat = run_case(
+            &tuned(airfoil_case(e.scale2d, e.steps2d), e),
+            n,
+            &sp2().without_cache_model(),
+        )
+        .unwrap();
         println!("{:>6} | {:>12.1} {:>12.1}", n, with.mflops_per_node(), flat.mflops_per_node());
     }
 }

@@ -2,16 +2,22 @@
 //! run reports, and gate perf regressions.
 //!
 //! Usage:
-//!   `repro <experiment> [--quick] [--trace <out.json>] [--metrics]
-//!          [--trace-filter <cats>] [--trace-sample <N>]`
+//!   `repro <experiment> [--quick] [--max-threads <N>] [--trace <out.json>]
+//!          [--metrics] [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro report <experiment> [--quick] [-o <out.json>]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
 //!   `repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]`
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
-//! table5 fig11 table6 fig12 ablate-restart ablate-sixdof ablate-fo
+//! table5 fig11 table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo
 //! ablate-grouping ablate-cache all`.
+//!
+//! `--max-threads N` caps the OS threads running an experiment's virtual
+//! ranks: the comm runtime multiplexes the ranks onto `N` workers (M:N
+//! mode). All virtual-time results are bit-identical to the default
+//! rank-per-thread mode; the flag exists so large rank counts — notably the
+//! `scaling` experiment's 1024-rank rows — run on ordinary hosts.
 //!
 //! `--trace` re-runs the experiment's representative case with event
 //! tracing enabled and writes a Chrome `trace_event` JSON (load it in
@@ -86,6 +92,7 @@ struct Cli {
     out_path: Option<String>,
     trace_filter: Option<String>,
     trace_sample: u32,
+    max_threads: Option<usize>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -97,6 +104,7 @@ fn parse_cli(args: &[String]) -> Cli {
         out_path: None,
         trace_filter: None,
         trace_sample: 1,
+        max_threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -131,6 +139,13 @@ fn parse_cli(args: &[String]) -> Cli {
                     std::process::exit(2);
                 }
             },
+            "--max-threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cli.max_threads = Some(n),
+                _ => {
+                    eprintln!("--max-threads requires an integer >= 1");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -143,7 +158,8 @@ fn parse_cli(args: &[String]) -> Cli {
 
 fn run_report_cmd(args: &[String]) -> i32 {
     let cli = parse_cli(args);
-    let effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    effort.max_threads = cli.max_threads;
     let effort_name = if cli.quick { "quick" } else { "full" };
     // Trace spans are not serialized into the report; tracing here only
     // proves observability neutrality (the golden tests rely on it), so
@@ -178,7 +194,8 @@ fn main() {
     }
 
     let cli = parse_cli(&args);
-    let effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    effort.max_threads = cli.max_threads;
     let which = cli.which.clone();
     // Validate trace flags before the (long) experiment run, not after.
     let trace_cfg = parse_trace_config(&cli.trace_filter, cli.trace_sample);
@@ -195,6 +212,7 @@ fn main() {
         "table5" | "fig11" => table5(effort),
         "table6" => table6(effort),
         "fig12" => fig12(4),
+        "scaling" => scaling(effort),
         "ablate-restart" => ablate_restart(effort),
         "ablate-sixdof" => ablate_sixdof(effort),
         "ablate-fo" => ablate_fo(effort),
@@ -224,7 +242,8 @@ fn main() {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
-                 table6 fig12 ablate-restart ablate-sixdof ablate-fo ablate-grouping ablate-cache all\n\
+                 table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
+                 ablate-cache all\n\
                  or a subcommand: report <experiment> | compare <baseline.json> <new.json> | \
                  analyze <experiment>|<trace.json>"
             );

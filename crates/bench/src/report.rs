@@ -22,7 +22,9 @@ use overset_report::{case_report, run_report, Value};
 pub fn representative_case(which: &str, e: Effort) -> (CaseConfig, usize) {
     match which {
         "table3" | "fig7" => (delta_wing_case(e.scale3d, e.steps3d), 7),
-        "table4" | "fig10" | "table6" | "ablate-sixdof" => (store_case(e.scale3d, e.steps3d), 16),
+        "table4" | "fig10" | "table6" | "ablate-sixdof" | "scaling" => {
+            (store_case(e.scale3d, e.steps3d), 16)
+        }
         "table5" | "fig11" | "ablate-fo" => (dynamic_store_case(e), DYN_NODES),
         _ => (airfoil_case(e.scale2d, e.steps2d), 6),
     }

@@ -19,6 +19,13 @@ pub enum OversetError {
     CollectiveMismatch { rank: usize, expected: &'static str },
     /// A message was addressed to a rank outside the universe.
     InvalidRank { rank: usize, dst: usize, size: usize },
+    /// A rank's body panicked during the run; peers were unblocked and the
+    /// universe shut down. `phase` names the statistics phase the rank was
+    /// in when it panicked.
+    RankPanicked { rank: usize, phase: &'static str, message: String },
+    /// This rank was blocked in a communication call when `failed_rank`
+    /// panicked; the wait was abandoned so the universe could shut down.
+    AbortedByPeer { rank: usize, failed_rank: usize },
     /// Case/topology validation failed before the run started.
     Setup(String),
     /// Invalid run configuration (rank counts, thresholds, CLI arguments).
@@ -45,6 +52,13 @@ impl fmt::Display for OversetError {
             OversetError::InvalidRank { rank, dst, size } => {
                 write!(f, "rank {rank}: send to rank {dst} of a {size}-rank universe")
             }
+            OversetError::RankPanicked { rank, phase, message } => {
+                write!(f, "rank {rank} panicked in phase {phase}: {message}")
+            }
+            OversetError::AbortedByPeer { rank, failed_rank } => write!(
+                f,
+                "rank {rank}: communication aborted because rank {failed_rank} panicked"
+            ),
             OversetError::Setup(msg) => write!(f, "setup error: {msg}"),
             OversetError::Config(msg) => write!(f, "config error: {msg}"),
             OversetError::Io(msg) => write!(f, "io error: {msg}"),

@@ -226,6 +226,66 @@ mod tests {
     }
 
     #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        let m = MetricsRegistry::new();
+        for i in 0..3u64 {
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+        }
+        // A zero-capacity ring still retains the most recent record.
+        let recs: Vec<_> = fr.records().copied().collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].step, 2);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.steps_recorded(), 3);
+    }
+
+    #[test]
+    fn capacity_one_keeps_latest_with_correct_deltas() {
+        let mut fr = FlightRecorder::new(1);
+        let m = MetricsRegistry::new();
+        fr.end_step(&stats_with(1.0, 2, 20), &m, 1.0);
+        fr.end_step(&stats_with(4.0, 5, 70), &m, 4.0);
+        fr.end_step(&stats_with(9.0, 9, 150), &m, 9.0);
+        let (recs, dropped) = fr.into_records();
+        assert_eq!(dropped, 2);
+        assert_eq!(recs.len(), 1);
+        // Deltas difference against the previous *step boundary*, which
+        // eviction must not disturb.
+        assert_eq!(recs[0].step, 2);
+        assert!((recs[0].time[Phase::Flow as usize] - 5.0).abs() < 1e-15);
+        assert_eq!(recs[0].msgs_sent, 4);
+        assert_eq!(recs[0].bytes_sent, 80);
+    }
+
+    #[test]
+    fn eviction_spanning_a_repartition_step_keeps_accounting_exact() {
+        // Repartitions at steps 1 (evicted) and 4 (retained): the retained
+        // record must carry only its own repartition, the evicted one must
+        // show up solely through `dropped`, and the cumulative-counter
+        // snapshot must stay consistent across the eviction.
+        let mut fr = FlightRecorder::new(2);
+        let mut m = MetricsRegistry::new();
+        for i in 0..5u64 {
+            if i == 1 || i == 4 {
+                m.inc(names::LB_REPARTITIONS);
+            }
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+        }
+        assert_eq!(fr.dropped(), 3);
+        assert_eq!(fr.steps_recorded(), 5);
+        let recs: Vec<_> = fr.records().copied().collect();
+        assert_eq!(recs.iter().map(|r| r.step).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(recs[0].repartitions, 0);
+        assert_eq!(recs[1].repartitions, 1);
+        // The repartition evicted with step 1 is not re-attributed to any
+        // surviving record: retained total is 1 of the 2 recorded.
+        let retained: u64 = recs.iter().map(|r| r.repartitions).sum();
+        assert_eq!(retained, 1);
+        assert_eq!(m.counter(names::LB_REPARTITIONS), 2);
+    }
+
+    #[test]
     fn hit_rate_none_without_lookups() {
         let mut fr = FlightRecorder::new(4);
         let mut m = MetricsRegistry::new();

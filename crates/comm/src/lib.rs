@@ -20,6 +20,7 @@ pub mod flight;
 pub mod machine;
 pub mod metrics;
 pub mod runtime;
+mod sched;
 pub mod stats;
 pub mod trace;
 

@@ -1,7 +1,17 @@
 //! The rank runtime: a MIMD distributed-memory message-passing environment
-//! in which each rank is an OS thread owning only its own data, exchanging
-//! typed messages over channels, with a deterministic *virtual clock* per
+//! in which each rank owns only its own data, exchanging typed messages
+//! through per-rank mailboxes, with a deterministic *virtual clock* per
 //! rank driven by a [`MachineModel`].
+//!
+//! Two scheduler modes execute the ranks:
+//!
+//! * **1:1 (default)** — one OS thread per rank; blocking waits park on a
+//!   condvar.
+//! * **M:N** ([`UniverseBuilder::max_threads`]) — ranks run as cooperative
+//!   coroutines multiplexed onto a bounded worker pool, yielding back to
+//!   their worker at every communication point (`recv` with no matching
+//!   message, collective rendezvous, [`Comm::end_step`]). This is how a
+//!   512–4096-rank universe runs on a handful of host cores.
 //!
 //! Virtual-time rules:
 //!
@@ -16,7 +26,15 @@
 //! Determinism: all protocols in this workspace receive from explicit
 //! (source, tag) pairs or collectives, never "whichever message lands
 //! first", so virtual times are bit-reproducible run to run regardless of
-//! wall-clock thread scheduling.
+//! wall-clock thread scheduling — and bit-identical between the two
+//! scheduler modes for the same configuration.
+//!
+//! Failure handling: a panic in a rank body is caught on that rank, every
+//! peer blocked in a communication call is woken and unblocked with
+//! [`OversetError::AbortedByPeer`], and the run returns
+//! [`OversetError::RankPanicked`] naming the failing rank and the
+//! statistics phase it was in ([`UniverseBuilder::try_run`] surfaces it as
+//! an error; [`UniverseBuilder::run`] re-raises it).
 //!
 //! Observability: every rank carries a [`MetricsRegistry`] (always on;
 //! counters are cheap) and an optional virtual-time [`Tracer`]
@@ -27,11 +45,13 @@ use crate::error::OversetError;
 use crate::flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 use crate::machine::{MachineModel, WorkClass};
 use crate::metrics::{names, MetricsRegistry};
+use crate::sched;
 use crate::stats::{Phase, RankStats};
 use crate::trace::{ArgVal, TraceConfig, TraceEvent, Tracer};
 use std::any::Any;
+use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 struct Envelope {
@@ -50,18 +70,150 @@ struct Envelope {
 struct CollPoison;
 
 /// Deadlock watchdog period: set `OVERSET_COMM_WATCHDOG=<seconds>` to make
-/// every blocking wait (point-to-point recv, collective rendezvous) report
-/// to stderr when it has been stuck longer than the period. Diagnostic
-/// only — the wait then resumes; virtual time is unaffected.
+/// every blocking wait (point-to-point recv, collective rendezvous, idle
+/// M:N workers) report to stderr when it has been stuck longer than the
+/// period. Diagnostic only — the wait then resumes; virtual time is
+/// unaffected. A value that does not parse as a positive number of seconds
+/// disables the watchdog with a one-time stderr warning (it used to be
+/// silently ignored, which hid typos exactly when a hang investigation
+/// needed the watchdog most).
 fn watchdog_period() -> Option<std::time::Duration> {
     static PERIOD: std::sync::OnceLock<Option<std::time::Duration>> = std::sync::OnceLock::new();
     *PERIOD.get_or_init(|| {
-        std::env::var("OVERSET_COMM_WATCHDOG")
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|s| *s > 0.0)
-            .map(std::time::Duration::from_secs_f64)
+        let raw = std::env::var("OVERSET_COMM_WATCHDOG").ok()?;
+        match raw.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                Some(std::time::Duration::from_secs_f64(secs))
+            }
+            _ => {
+                eprintln!(
+                    "[overset-comm watchdog] ignoring OVERSET_COMM_WATCHDOG={raw:?}: \
+                     expected a positive number of seconds; watchdog disabled"
+                );
+                None
+            }
+        }
     })
+}
+
+/// One rank's incoming message queue. `waiting` is true while the owner is
+/// parked on the queue; it is only read and written under the mutex, so a
+/// deliverer always knows whether a wake is needed and wakes can never be
+/// lost.
+struct MailboxInner {
+    queue: VecDeque<Envelope>,
+    waiting: bool,
+}
+
+struct Mailbox {
+    m: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+/// What the first failing rank recorded before the universe was aborted.
+struct FailureInfo {
+    rank: usize,
+    phase: &'static str,
+    message: String,
+}
+
+/// State shared by every rank of a universe: mailboxes, the collective
+/// rendezvous, the failure latch, per-rank completion flags, and (in M:N
+/// mode) the scheduler's wakeup fabric.
+struct Shared {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+    coll: Collective,
+    /// Raised (with release ordering) after `failure` is recorded; every
+    /// blocking wait re-checks it after each park.
+    aborted: AtomicBool,
+    failure: Mutex<Option<FailureInfo>>,
+    /// Set when a rank's body returns normally, so a peer still waiting on
+    /// it gets [`OversetError::Disconnected`] instead of hanging.
+    finished: Vec<AtomicBool>,
+    /// Present in M:N mode only.
+    mn: Option<Arc<sched::MnShared>>,
+}
+
+impl Shared {
+    fn new(size: usize, mn: Option<Arc<sched::MnShared>>) -> Shared {
+        Shared {
+            size,
+            mailboxes: (0..size)
+                .map(|_| Mailbox {
+                    m: Mutex::new(MailboxInner { queue: VecDeque::new(), waiting: false }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            coll: Collective::new(size),
+            aborted: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            finished: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            mn,
+        }
+    }
+
+    /// Record a rank-body panic and unblock every peer. First failure wins:
+    /// later failures (typically peers panicking on `AbortedByPeer` inside
+    /// `recv`/`allgather` wrappers) are dropped, since the wake-all has
+    /// already run.
+    fn rank_failed(&self, rank: usize, phase: &'static str, message: String) {
+        {
+            let mut slot = self.failure.lock().expect("failure mutex poisoned");
+            if slot.is_some() {
+                return;
+            }
+            *slot = Some(FailureInfo { rank, phase, message });
+        }
+        self.aborted.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            let mut inner = mb.m.lock().expect("mailbox poisoned");
+            inner.waiting = false;
+            mb.cv.notify_all();
+        }
+        {
+            let mut inner = self.coll.m.lock().expect("collective mutex poisoned");
+            inner.waiters.clear();
+            self.coll.cv.notify_all();
+        }
+        if let Some(mn) = &self.mn {
+            // Wake every virtual rank; parked ones re-check `aborted`,
+            // finished ones are skipped by their worker.
+            for r in 0..self.size {
+                mn.wake(r);
+            }
+        }
+    }
+
+    /// Rank `rank`'s body returned normally: mark it and wake any peer
+    /// currently parked in a receive, so waits on this rank fail fast.
+    fn rank_finished(&self, rank: usize) {
+        self.finished[rank].store(true, Ordering::Release);
+        for (r, mb) in self.mailboxes.iter().enumerate() {
+            if r == rank {
+                continue;
+            }
+            let mut inner = mb.m.lock().expect("mailbox poisoned");
+            if inner.waiting {
+                inner.waiting = false;
+                mb.cv.notify_all();
+                if let Some(mn) = &self.mn {
+                    mn.wake(r);
+                }
+            }
+        }
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<&'static str>() {
+        Ok(s) => (*s).to_string(),
+        Err(p) => match p.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 struct CollInner {
@@ -72,6 +224,10 @@ struct CollInner {
     published: Option<Arc<dyn Any + Send + Sync>>,
     published_clock: f64,
     readers_left: usize,
+    /// M:N mode: virtual ranks parked in a collective wait, to be woken
+    /// when the round publishes or advances. Duplicates are harmless
+    /// (parked ranks re-check their predicate on every resume).
+    waiters: Vec<usize>,
 }
 
 struct Collective {
@@ -90,6 +246,7 @@ impl Collective {
                 published: None,
                 published_clock: 0.0,
                 readers_left: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -97,18 +254,16 @@ impl Collective {
 }
 
 /// Per-rank communicator handle. Created by [`Universe`]; owns the rank's
-/// virtual clock, statistics, metrics registry, optional tracer, and
-/// channel endpoints.
+/// virtual clock, statistics, metrics registry, optional tracer, and its
+/// view of the shared mailbox/collective state.
 pub struct Comm {
     rank: usize,
     size: usize,
     machine: Arc<MachineModel>,
     clock: f64,
     working_set_bytes: f64,
-    txs: Vec<Sender<Envelope>>,
-    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
     pending: Vec<Envelope>,
-    coll: Arc<Collective>,
     coll_gen: u64,
     stats: RankStats,
     metrics: MetricsRegistry,
@@ -116,6 +271,9 @@ pub struct Comm {
     tracer: Option<Tracer>,
     phase: Phase,
     phase_start: f64,
+    /// Set by the innermost [`PhaseGuard`] unwound through during a panic,
+    /// so the failure report names the phase the rank was actually in.
+    panicked_phase: Option<&'static str>,
 }
 
 /// RAII phase scope: created by [`Comm::phase`]; while alive, virtual time
@@ -145,6 +303,11 @@ impl DerefMut for PhaseGuard<'_> {
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
         let ended = self.comm.phase;
+        if std::thread::panicking() && self.comm.panicked_phase.is_none() {
+            // Innermost guard drops first during unwinding — `ended` is the
+            // phase the panic actually happened in.
+            self.comm.panicked_phase = Some(ended.name());
+        }
         let start = self.start;
         let dur = self.comm.clock - start;
         self.comm.switch_phase(self.prev);
@@ -220,10 +383,19 @@ impl Comm {
     /// deltas (phase times, service/orphan/cache counters, traffic,
     /// repartitions). Reads only existing state — never advances the
     /// virtual clock, so recording is physics- and timing-neutral.
+    ///
+    /// In M:N mode a step boundary is also a fairness point: the rank
+    /// requeues itself and yields so sibling ranks on the same worker make
+    /// progress. This affects wall-clock interleaving only, never virtual
+    /// time.
     pub fn end_step(&mut self) {
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time, keep the phase
         self.flight.end_step(&self.stats, &self.metrics, self.clock);
+        if let Some(mn) = &self.shared.mn {
+            mn.wake(self.rank);
+            sched::mn_yield();
+        }
     }
 
     /// Per-step records collected so far (oldest retained first).
@@ -282,6 +454,19 @@ impl Comm {
         self.clock += seconds;
     }
 
+    /// The error a blocked rank reports when it was woken because a peer
+    /// panicked.
+    fn abort_error(&self) -> OversetError {
+        let failed_rank = self
+            .shared
+            .failure
+            .lock()
+            .expect("failure mutex poisoned")
+            .as_ref()
+            .map_or(self.rank, |f| f.rank);
+        OversetError::AbortedByPeer { rank: self.rank, failed_rank }
+    }
+
     /// Send `payload` (logical size `bytes`) to `dst` with a message `tag`.
     /// Non-blocking (asynchronous send, as DCF3D's search requests are).
     pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, payload: T, bytes: usize) {
@@ -306,9 +491,17 @@ impl Comm {
                 ],
             );
         }
-        self.txs[dst]
-            .send(Envelope { src: self.rank, tag, arrival, bytes, payload: Box::new(payload) })
-            .expect("receiver hung up");
+        let env = Envelope { src: self.rank, tag, arrival, bytes, payload: Box::new(payload) };
+        let mb = &self.shared.mailboxes[dst];
+        let mut inner = mb.m.lock().expect("mailbox poisoned");
+        inner.queue.push_back(env);
+        if inner.waiting {
+            inner.waiting = false;
+            mb.cv.notify_all();
+            if let Some(mn) = &self.shared.mn {
+                mn.wake(dst);
+            }
+        }
     }
 
     /// Blocking receive of a message of type `T` from `src` with `tag`.
@@ -322,7 +515,8 @@ impl Comm {
     }
 
     /// Blocking receive of a message of type `T` from `src` with `tag`,
-    /// surfacing type mismatches and disconnections as [`OversetError`].
+    /// surfacing type mismatches, finished senders and peer failures as
+    /// [`OversetError`].
     pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, OversetError> {
         let t0 = self.clock;
         let env = self.take_matching(src, tag)?;
@@ -365,17 +559,43 @@ impl Comm {
             // chunks).
             return Ok(self.pending.remove(pos));
         }
+        let shared = Arc::clone(&self.shared);
+        let mb = &shared.mailboxes[self.rank];
+        let mut inner = mb.m.lock().expect("mailbox poisoned");
         loop {
-            let env = match watchdog_period() {
-                None => self.rx.recv().map_err(|_| OversetError::Disconnected {
-                    rank: self.rank,
-                    src,
-                    tag,
-                })?,
-                Some(period) => loop {
-                    match self.rx.recv_timeout(period) {
-                        Ok(env) => break env,
-                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            inner.waiting = false;
+            // Drain everything delivered so far; non-matching messages go to
+            // the pending buffer in delivery order.
+            let mut found = None;
+            while let Some(env) = inner.queue.pop_front() {
+                if env.src == src && env.tag == tag {
+                    found = Some(env);
+                    break;
+                }
+                self.pending.push(env);
+            }
+            if let Some(env) = found {
+                return Ok(env);
+            }
+            if shared.aborted.load(Ordering::Acquire) {
+                return Err(self.abort_error());
+            }
+            if shared.finished[src].load(Ordering::Acquire) {
+                return Err(OversetError::Disconnected { rank: self.rank, src, tag });
+            }
+            inner.waiting = true;
+            if shared.mn.is_some() {
+                // M:N: give the OS thread back to the worker; a deliverer
+                // (or abort/finish) wakes this rank through the scheduler.
+                drop(inner);
+                sched::mn_yield();
+                inner = mb.m.lock().expect("mailbox poisoned");
+            } else {
+                inner = match watchdog_period() {
+                    None => mb.cv.wait(inner).expect("mailbox poisoned"),
+                    Some(period) => {
+                        let (g, to) = mb.cv.wait_timeout(inner, period).expect("mailbox poisoned");
+                        if to.timed_out() {
                             let buffered: Vec<(usize, u64)> =
                                 self.pending.iter().map(|e| (e.src, e.tag)).collect();
                             eprintln!(
@@ -384,16 +604,10 @@ impl Comm {
                                 self.rank
                             );
                         }
-                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                            return Err(OversetError::Disconnected { rank: self.rank, src, tag })
-                        }
+                        g
                     }
-                },
-            };
-            if env.src == src && env.tag == tag {
-                return Ok(env);
+                };
             }
-            self.pending.push(env);
         }
     }
 
@@ -416,7 +630,8 @@ impl Comm {
         self.try_allgather(value, bytes).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// All-gather surfacing mixed-type collectives as [`OversetError`].
+    /// All-gather surfacing mixed-type collectives and peer failures as
+    /// [`OversetError`].
     pub fn try_allgather<T: Clone + Send + Sync + 'static>(
         &mut self,
         value: T,
@@ -434,25 +649,36 @@ impl Comm {
         let t0 = self.clock;
         let gen = self.coll_gen;
         self.coll_gen += 1;
-        let coll = Arc::clone(&self.coll);
+        let shared = Arc::clone(&self.shared);
+        let coll = &shared.coll;
         let mut inner = coll.m.lock().expect("collective mutex poisoned");
         // Wait for our round to open (previous round fully consumed).
         while inner.generation != gen {
-            inner = match watchdog_period() {
-                None => coll.cv.wait(inner).expect("collective mutex poisoned"),
-                Some(period) => {
-                    let (g, to) =
-                        coll.cv.wait_timeout(inner, period).expect("collective mutex poisoned");
-                    if to.timed_out() {
-                        eprintln!(
-                            "[overset-comm watchdog] rank {} stuck opening collective round \
-                             gen={gen} (current generation={}, arrived={}/{}, readers_left={})",
-                            self.rank, g.generation, g.arrived, self.size, g.readers_left
-                        );
+            if shared.aborted.load(Ordering::Acquire) {
+                return Err(self.abort_error());
+            }
+            if shared.mn.is_some() {
+                inner.waiters.push(self.rank);
+                drop(inner);
+                sched::mn_yield();
+                inner = coll.m.lock().expect("collective mutex poisoned");
+            } else {
+                inner = match watchdog_period() {
+                    None => coll.cv.wait(inner).expect("collective mutex poisoned"),
+                    Some(period) => {
+                        let (g, to) =
+                            coll.cv.wait_timeout(inner, period).expect("collective mutex poisoned");
+                        if to.timed_out() {
+                            eprintln!(
+                                "[overset-comm watchdog] rank {} stuck opening collective round \
+                                 gen={gen} (current generation={}, arrived={}/{}, readers_left={})",
+                                self.rank, g.generation, g.arrived, self.size, g.readers_left
+                            );
+                        }
+                        g
                     }
-                    g
-                }
-            };
+                };
+            }
         }
         inner.slots[self.rank] = Some(Box::new(value));
         inner.arrived += 1;
@@ -476,27 +702,45 @@ impl Comm {
             inner.readers_left = self.size;
             inner.arrived = 0;
             inner.max_clock = f64::NEG_INFINITY;
+            let waiters = std::mem::take(&mut inner.waiters);
             coll.cv.notify_all();
+            if let Some(mn) = &shared.mn {
+                for r in waiters {
+                    mn.wake(r);
+                }
+            }
         } else {
             while inner.published.is_none() || inner.generation != gen {
-                inner = match watchdog_period() {
-                    None => coll.cv.wait(inner).expect("collective mutex poisoned"),
-                    Some(period) => {
-                        let (g, to) =
-                            coll.cv.wait_timeout(inner, period).expect("collective mutex poisoned");
-                        if to.timed_out() {
-                            eprintln!(
-                                "[overset-comm watchdog] rank {} stuck in collective round \
-                                 gen={gen} (arrived={}/{}, published={})",
-                                self.rank,
-                                g.arrived,
-                                self.size,
-                                g.published.is_some()
-                            );
+                if shared.aborted.load(Ordering::Acquire) {
+                    return Err(self.abort_error());
+                }
+                if shared.mn.is_some() {
+                    inner.waiters.push(self.rank);
+                    drop(inner);
+                    sched::mn_yield();
+                    inner = coll.m.lock().expect("collective mutex poisoned");
+                } else {
+                    inner = match watchdog_period() {
+                        None => coll.cv.wait(inner).expect("collective mutex poisoned"),
+                        Some(period) => {
+                            let (g, to) = coll
+                                .cv
+                                .wait_timeout(inner, period)
+                                .expect("collective mutex poisoned");
+                            if to.timed_out() {
+                                eprintln!(
+                                    "[overset-comm watchdog] rank {} stuck in collective round \
+                                     gen={gen} (arrived={}/{}, published={})",
+                                    self.rank,
+                                    g.arrived,
+                                    self.size,
+                                    g.published.is_some()
+                                );
+                            }
+                            g
                         }
-                        g
-                    }
-                };
+                    };
+                }
             }
         }
         let arc = inner.published.clone().expect("published result");
@@ -505,7 +749,13 @@ impl Comm {
         if inner.readers_left == 0 {
             inner.published = None;
             inner.generation = gen + 1;
+            let waiters = std::mem::take(&mut inner.waiters);
             coll.cv.notify_all();
+            if let Some(mn) = &shared.mn {
+                for r in waiters {
+                    mn.wake(r);
+                }
+            }
         }
         drop(inner);
         let result = match arc.downcast::<Vec<T>>() {
@@ -594,14 +844,17 @@ pub struct RankOutput<R> {
 /// ```
 pub struct Universe;
 
-/// Builder for a universe run: rank count, machine model, tracing, and the
-/// flight-recorder ring capacity.
+/// Builder for a universe run: rank count, machine model, tracing, the
+/// flight-recorder ring capacity, and the scheduler mode
+/// ([`UniverseBuilder::max_threads`]).
 #[derive(Clone, Debug)]
 pub struct UniverseBuilder {
     ranks: usize,
     machine: MachineModel,
     trace: TraceConfig,
     step_capacity: usize,
+    max_threads: Option<usize>,
+    stack_size: usize,
 }
 
 impl Universe {
@@ -611,6 +864,8 @@ impl Universe {
             machine: MachineModel::modern(),
             trace: TraceConfig::disabled(),
             step_capacity: DEFAULT_STEP_CAPACITY,
+            max_threads: None,
+            stack_size: sched::DEFAULT_STACK_SIZE,
         }
     }
 
@@ -648,67 +903,171 @@ impl UniverseBuilder {
         self
     }
 
-    /// Run `f` on every rank. Returns per-rank outputs in rank order.
-    /// Panics in any rank propagate.
+    /// Bound the number of OS threads used to execute the ranks.
+    ///
+    /// Default (unset): one OS thread per rank. With `n < ranks`, the
+    /// runtime switches to M:N mode — ranks run as cooperative coroutines
+    /// multiplexed onto `n` worker threads, yielding at every communication
+    /// point — which is how rank counts far beyond the host's core count
+    /// stay runnable. Virtual times are **bit-identical** between the two
+    /// modes for the same configuration. On targets without the coroutine
+    /// context switch (non-x86-64), the builder warns once and falls back
+    /// to one thread per rank.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "max_threads must be at least 1");
+        self.max_threads = Some(n);
+        self
+    }
+
+    /// Per-virtual-rank coroutine stack size in M:N mode, bytes (default
+    /// 2 MiB, minimum 64 KiB). Ignored in 1:1 mode.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Run `f` on every rank. Returns per-rank outputs in rank order. A
+    /// panic in any rank body is re-raised here with the failing rank,
+    /// phase and message (see [`UniverseBuilder::try_run`] to handle it as
+    /// an error instead).
     pub fn run<R, F>(self, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        self.try_run(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run `f` on every rank, surfacing a rank-body panic as
+    /// [`OversetError::RankPanicked`] naming the failing rank and the
+    /// statistics phase it was in. Peers blocked in communication are
+    /// unblocked (their calls return [`OversetError::AbortedByPeer`], which
+    /// the panicking wrappers re-raise) so the universe shuts down instead
+    /// of hanging.
+    pub fn try_run<R, F>(self, f: F) -> Result<Vec<RankOutput<R>>, OversetError>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
         let nranks = self.ranks;
         assert!(nranks >= 1);
+        let use_mn = match self.max_threads {
+            Some(n) if n < nranks => {
+                if sched::MN_AVAILABLE {
+                    true
+                } else {
+                    eprintln!(
+                        "[overset-comm] max_threads({n}) requested but the M:N scheduler is \
+                         not available on this target; running one thread per rank"
+                    );
+                    false
+                }
+            }
+            _ => false,
+        };
+        let mn = use_mn.then(|| Arc::new(sched::MnShared::new(self.max_threads.unwrap())));
         let machine = Arc::new(self.machine.clone());
-        let mut txs = Vec::with_capacity(nranks);
-        let mut rxs = Vec::with_capacity(nranks);
-        for _ in 0..nranks {
-            let (tx, rx) = channel::<Envelope>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let coll = Arc::new(Collective::new(nranks));
-        let f = &f;
+        let shared = Arc::new(Shared::new(nranks, mn));
         let trace = self.trace;
         let step_capacity = self.step_capacity;
-        let mut outputs: Vec<Option<RankOutput<R>>> = (0..nranks).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = rxs
-                .into_iter()
-                .enumerate()
-                .map(|(rank, rx)| {
-                    let txs = txs.clone();
-                    let machine = Arc::clone(&machine);
-                    let coll = Arc::clone(&coll);
-                    s.spawn(move || {
-                        let mut comm = Comm {
-                            rank,
-                            size: nranks,
-                            machine,
-                            clock: 0.0,
-                            working_set_bytes: 0.0,
-                            txs,
-                            rx,
-                            pending: Vec::new(),
-                            coll,
-                            coll_gen: 0,
-                            stats: RankStats::new(rank),
-                            metrics: MetricsRegistry::new(),
-                            flight: FlightRecorder::new(step_capacity),
-                            tracer: trace.enabled.then(|| Tracer::with_config(trace)),
-                            phase: Phase::Other,
-                            phase_start: 0.0,
-                        };
-                        let result = f(&mut comm);
+        let stack_size = self.stack_size;
+        let outputs: Mutex<Vec<Option<RankOutput<R>>>> =
+            Mutex::new((0..nranks).map(|_| None).collect());
+        {
+            let f = &f;
+            let outputs = &outputs;
+            let shared_ref = &shared;
+            let machine_ref = &machine;
+            // One rank's whole life: build its Comm, run the body under
+            // catch_unwind, then either publish the output or record the
+            // failure and abort the universe. Runs on an OS thread (1:1) or
+            // a coroutine (M:N).
+            let rank_main = move |rank: usize| {
+                let mut comm = Comm {
+                    rank,
+                    size: nranks,
+                    machine: Arc::clone(machine_ref),
+                    clock: 0.0,
+                    working_set_bytes: 0.0,
+                    shared: Arc::clone(shared_ref),
+                    pending: Vec::new(),
+                    coll_gen: 0,
+                    stats: RankStats::new(rank),
+                    metrics: MetricsRegistry::new(),
+                    flight: FlightRecorder::new(step_capacity),
+                    tracer: trace.enabled.then(|| Tracer::with_config(trace)),
+                    phase: Phase::Other,
+                    phase_start: 0.0,
+                    panicked_phase: None,
+                };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
+                    Ok(result) => {
+                        comm.shared.rank_finished(rank);
                         let (stats, trace, metrics, steps, steps_dropped) = comm.finish();
-                        RankOutput { result, stats, trace, metrics, steps, steps_dropped }
-                    })
-                })
-                .collect();
-            for (rank, h) in handles.into_iter().enumerate() {
-                outputs[rank] = Some(h.join().expect("rank thread panicked"));
+                        outputs.lock().expect("outputs poisoned")[rank] = Some(RankOutput {
+                            result,
+                            stats,
+                            trace,
+                            metrics,
+                            steps,
+                            steps_dropped,
+                        });
+                    }
+                    Err(payload) => {
+                        let phase = comm.panicked_phase.take().unwrap_or_else(|| comm.phase.name());
+                        shared_ref.rank_failed(rank, phase, panic_message(payload));
+                    }
+                }
+            };
+            let rank_main = &rank_main;
+            if let Some(mn) = shared.mn.as_ref() {
+                let nworkers = mn.nworkers();
+                std::thread::scope(|s| {
+                    let mut per_worker: Vec<Vec<sched::Coro>> =
+                        (0..nworkers).map(|_| Vec::new()).collect();
+                    for rank in 0..nranks {
+                        // The task borrows `rank_main`'s captures, which all
+                        // outlive this scope; the workers (and with them
+                        // every coroutine) join before the scope exits, so
+                        // promoting the closure to 'static cannot dangle.
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || rank_main(rank));
+                        let task: Box<dyn FnOnce() + Send + 'static> =
+                            unsafe { std::mem::transmute(task) };
+                        per_worker[rank % nworkers].push(sched::Coro::new(rank, stack_size, task));
+                    }
+                    for (widx, coros) in per_worker.into_iter().enumerate() {
+                        let mn = Arc::clone(mn);
+                        s.spawn(move || sched::worker_loop(widx, &mn, coros, watchdog_period()));
+                    }
+                });
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> =
+                        (0..nranks).map(|rank| s.spawn(move || rank_main(rank))).collect();
+                    for (rank, h) in handles.into_iter().enumerate() {
+                        if h.join().is_err() {
+                            // Body panics are caught inside rank_main;
+                            // reaching here means the runtime itself
+                            // panicked on this rank's thread.
+                            shared.rank_failed(
+                                rank,
+                                "other",
+                                "rank thread panicked outside the rank body".to_string(),
+                            );
+                        }
+                    }
+                });
             }
-        });
-        drop(txs);
-        outputs.into_iter().map(|o| o.expect("missing rank output")).collect()
+        }
+        if let Some(fail) = shared.failure.lock().expect("failure mutex poisoned").take() {
+            return Err(OversetError::RankPanicked {
+                rank: fail.rank,
+                phase: fail.phase,
+                message: fail.message,
+            });
+        }
+        let outs = outputs.into_inner().expect("outputs poisoned");
+        Ok(outs.into_iter().map(|o| o.expect("missing rank output")).collect())
     }
 }
 
@@ -1166,5 +1525,149 @@ mod tests {
         });
         let (t_small, t_large) = out[0].result;
         assert!(t_large > 1.3 * t_small, "cache model had no effect");
+    }
+
+    // ---- M:N scheduler -------------------------------------------------
+
+    /// A workload exercising every comm primitive plus phases and step
+    /// boundaries, used to compare the two scheduler modes bit-for-bit.
+    fn mixed_workload(c: &mut Comm) -> f64 {
+        let me = c.rank();
+        let n = c.size();
+        for step in 0..4u64 {
+            {
+                let mut ph = c.phase(Phase::Flow);
+                ph.compute(1.0e6 * (1.0 + me as f64), WorkClass::Flow);
+                let right = (me + 1) % n;
+                let left = (me + n - 1) % n;
+                ph.send(right, 100 + step, me as f64 * 1.5 + step as f64, 256 + 32 * me);
+                let v = ph.recv::<f64>(left, 100 + step);
+                ph.compute(v.abs() * 10.0, WorkClass::Search);
+            }
+            {
+                let mut ph = c.phase(Phase::Connectivity);
+                let maxv = ph.allreduce_max(me as f64 * 0.25 + step as f64);
+                ph.compute(maxv * 1.0e3, WorkClass::Other);
+            }
+            c.end_step();
+        }
+        c.barrier();
+        c.now()
+    }
+
+    #[test]
+    fn mn_clocks_bit_identical_to_thread_mode() {
+        let m = MachineModel::ibm_sp2();
+        let one_to_one = Universe::builder().ranks(16).machine(&m).run(mixed_workload);
+        let mn = Universe::builder().ranks(16).machine(&m).max_threads(4).run(mixed_workload);
+        for (a, b) in one_to_one.iter().zip(&mn) {
+            assert_eq!(
+                a.result.to_bits(),
+                b.result.to_bits(),
+                "rank {} clock differs between scheduler modes",
+                a.stats.rank
+            );
+            assert_eq!(a.stats.final_clock.to_bits(), b.stats.final_clock.to_bits());
+            assert_eq!(a.stats.msgs_sent, b.stats.msgs_sent);
+            assert_eq!(a.stats.collectives, b.stats.collectives);
+            assert_eq!(a.steps.len(), b.steps.len());
+        }
+    }
+
+    #[test]
+    fn many_virtual_ranks_on_few_threads() {
+        // 128 virtual ranks on 4 workers: a ring exchange plus a collective
+        // per rank, far beyond what 1:1 threading would need.
+        let out = Universe::builder().ranks(128).machine(&modern()).max_threads(4).run(|c| {
+            let me = c.rank();
+            let n = c.size();
+            c.send((me + 1) % n, 7, me, 8);
+            let left = c.recv::<usize>((me + n - 1) % n, 7);
+            let total = c.allreduce_sum_usize(left);
+            c.end_step();
+            total
+        });
+        assert_eq!(out.len(), 128);
+        let expect: usize = (0..128).sum();
+        for o in &out {
+            assert_eq!(o.result, expect);
+            assert_eq!(o.steps.len(), 1);
+        }
+    }
+
+    // ---- panic handling ------------------------------------------------
+
+    #[test]
+    fn rank_panic_surfaces_error_not_hang() {
+        let err = Universe::builder().ranks(16).machine(&modern()).try_run(|c| {
+            if c.rank() == 7 {
+                let _ph = c.phase(Phase::Connectivity);
+                panic!("boom on rank 7");
+            }
+            // Every other rank blocks in a collective the panicking rank
+            // never joins — they must be unblocked, not hang.
+            c.barrier();
+        });
+        match err {
+            Err(OversetError::RankPanicked { rank: 7, phase, message }) => {
+                assert_eq!(phase, "connectivity");
+                assert!(message.contains("boom on rank 7"), "message: {message}");
+            }
+            other => panic!("expected RankPanicked for rank 7, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_in_mn_mode_surfaces_error() {
+        let err = Universe::builder().ranks(32).machine(&modern()).max_threads(4).try_run(|c| {
+            if c.rank() == 13 {
+                panic!("mn boom");
+            }
+            c.barrier();
+        });
+        match err {
+            Err(OversetError::RankPanicked { rank: 13, phase, message }) => {
+                assert_eq!(phase, "other");
+                assert!(message.contains("mn boom"), "message: {message}");
+            }
+            other => panic!("expected RankPanicked for rank 13, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_unblocks_point_to_point_waits() {
+        let err = Universe::builder().ranks(4).machine(&modern()).try_run(|c| {
+            match c.rank() {
+                0 => panic!("early exit"),
+                // Rank 1 waits for a message rank 0 will never send.
+                1 => {
+                    let _ = c.try_recv::<u8>(0, 42);
+                }
+                _ => {}
+            }
+        });
+        match err {
+            Err(OversetError::RankPanicked { rank: 0, message, .. }) => {
+                assert!(message.contains("early exit"), "message: {message}");
+            }
+            other => panic!("expected RankPanicked for rank 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_from_finished_rank_errors() {
+        let out = Universe::run(2, &modern(), |c| {
+            if c.rank() == 0 {
+                // Finish immediately without sending anything.
+                Ok(())
+            } else {
+                c.try_recv::<u8>(0, 9).map(|_| ())
+            }
+        });
+        assert!(out[0].result.is_ok());
+        match &out[1].result {
+            Err(OversetError::Disconnected { rank: 1, src: 0, tag: 9 }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 }

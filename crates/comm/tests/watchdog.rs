@@ -22,11 +22,17 @@ fn in_scenario(name: &str) -> bool {
 /// Re-exec this test binary running exactly `scenario`, with the watchdog
 /// armed at 50 ms, and return the child's captured stderr.
 fn run_scenario(scenario: &str) -> String {
+    run_scenario_with_value(scenario, "0.05")
+}
+
+/// Like [`run_scenario`], but with an arbitrary `OVERSET_COMM_WATCHDOG`
+/// value — the invalid-value tests set nonsense on purpose.
+fn run_scenario_with_value(scenario: &str, watchdog_value: &str) -> String {
     let exe = std::env::current_exe().expect("test binary path");
     let out = Command::new(exe)
         .args(["--exact", scenario, "--nocapture", "--test-threads", "1"])
         .env(SCENARIO_ENV, scenario)
-        .env("OVERSET_COMM_WATCHDOG", "0.05")
+        .env("OVERSET_COMM_WATCHDOG", watchdog_value)
         .output()
         .expect("failed to spawn scenario subprocess");
     assert!(
@@ -118,6 +124,36 @@ fn watchdog_reports_stalled_collective_with_generation() {
         "missing stalled-collective diagnostic:\n{stderr}"
     );
     assert!(stderr.contains("arrived=1/2"), "diagnostic should report arrivals:\n{stderr}");
+}
+
+#[test]
+fn unparsable_watchdog_value_warns_once_and_disables() {
+    // The stuck-recv scenario guarantees a blocking wait, so the period is
+    // definitely consulted; the run still completes after rank 1's late send.
+    let stderr = run_scenario_with_value("scenario_stuck_recv", "5 minutes");
+    assert!(
+        stderr.contains("ignoring OVERSET_COMM_WATCHDOG=\"5 minutes\""),
+        "typo'd value must be called out, not silently ignored:\n{stderr}"
+    );
+    assert!(stderr.contains("watchdog disabled"), "{stderr}");
+    // One warning per process, not one per blocked wait.
+    assert_eq!(
+        stderr.matches("ignoring OVERSET_COMM_WATCHDOG").count(),
+        1,
+        "warning must be one-time:\n{stderr}"
+    );
+    // And the watchdog really is off: no stuck diagnostics despite the stall.
+    assert!(!stderr.contains("stuck in recv"), "{stderr}");
+}
+
+#[test]
+fn non_positive_watchdog_value_warns_and_disables() {
+    let stderr = run_scenario_with_value("scenario_stuck_recv", "0");
+    assert!(
+        stderr.contains("ignoring OVERSET_COMM_WATCHDOG=\"0\""),
+        "non-positive value must be called out:\n{stderr}"
+    );
+    assert!(!stderr.contains("stuck in recv"), "{stderr}");
 }
 
 #[test]

@@ -25,6 +25,7 @@ pub fn airfoil_case(scale: f64, steps: usize) -> CaseConfig {
         collect_state: false,
         use_restart: true,
         trace: TraceConfig::disabled(),
+        max_threads: None,
     }
 }
 
@@ -46,6 +47,7 @@ pub fn delta_wing_case(scale: f64, steps: usize) -> CaseConfig {
         collect_state: false,
         use_restart: true,
         trace: TraceConfig::disabled(),
+        max_threads: None,
     }
 }
 
@@ -74,6 +76,7 @@ pub fn store_case(scale: f64, steps: usize) -> CaseConfig {
         collect_state: false,
         use_restart: true,
         trace: TraceConfig::disabled(),
+        max_threads: None,
     }
 }
 

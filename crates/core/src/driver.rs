@@ -6,7 +6,9 @@
 use crate::comm_impl::MpSolverComm;
 use crate::redistribute::redistribute_state;
 use crate::setup::{build_block, build_topology};
-use overset_balance::{dynamic_rebalance, static_balance, Partition, ServiceWindow};
+use overset_balance::{
+    dynamic_rebalance, fit_np_to_dims_min, static_balance, Partition, ServiceWindow,
+};
 use overset_comm::metrics::names;
 use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
 use overset_comm::{
@@ -67,6 +69,12 @@ pub struct CaseConfig {
     /// Event tracing (virtual-time spans collected into
     /// [`RunResult::trace`]). Disabled by default; zero-cost when off.
     pub trace: TraceConfig,
+    /// Bound on the OS threads executing the ranks. `None` (default): one
+    /// thread per rank. `Some(n)`: the runtime multiplexes the ranks onto
+    /// `n` worker threads (M:N mode) whenever `n` is below the rank count —
+    /// required for rank counts far beyond the host's cores. Virtual times
+    /// are bit-identical either way.
+    pub max_threads: Option<usize>,
 }
 
 impl CaseConfig {
@@ -155,11 +163,20 @@ struct RankReturn {
     np_final: Vec<usize>,
 }
 
+/// Minimum subdomain widths per grid for partition-count repair: a periodic
+/// O-grid needs every `i`-piece to keep at least 2 nodes, because the seam
+/// piece drops the duplicated wrap node from its cyclic solve.
+fn grid_min_widths(grids: &[CurvilinearGrid]) -> Vec<[usize; 3]> {
+    grids.iter().map(|g| if g.periodic_i { [2, 1, 1] } else { [1, 1, 1] }).collect()
+}
+
 /// Run a case on `nranks` ranks of `machine`. Deterministic in virtual time.
 ///
 /// Configuration errors (an infeasible partition, a malformed search
-/// hierarchy) are reported before any rank thread spawns; panics inside the
-/// rank bodies indicate internal invariant violations, not bad input.
+/// hierarchy) are reported before any rank thread spawns. A panic inside a
+/// rank body (an internal invariant violation, not bad input) surfaces as
+/// [`OversetError::RankPanicked`] naming the rank and phase, with every
+/// peer unblocked — never a hang or an opaque scope abort.
 pub fn run_case(
     cfg: &CaseConfig,
     nranks: usize,
@@ -168,16 +185,24 @@ pub fn run_case(
     let sizes: Vec<usize> = cfg.grids.iter().map(|g| g.num_points()).collect();
     let dims: Vec<Dims> = cfg.grids.iter().map(|g| g.dims()).collect();
     let initial = static_balance(&sizes, nranks)?;
-    let base_partition = Partition::build(&dims, &initial.np);
+    // At large NP Algorithm 1 can hand a grid a subdomain count the
+    // prime-factor splitter cannot realize (e.g. a prime larger than every
+    // index dimension) or slice a periodic O-grid so thin its seam
+    // subdomain holds only the duplicated wrap node; repair the counts
+    // before partitioning.
+    let min_widths = grid_min_widths(&cfg.grids);
+    let np = fit_np_to_dims_min(&sizes, &dims, &initial.np, &min_widths)?;
+    let base_partition = Partition::build(&dims, &np);
     // Validate the search hierarchy once up front; per-rank rebuilds after a
     // repartition reuse the same (already validated) hierarchy.
     build_topology(&base_partition, &cfg.search_order)?;
 
-    let outputs = Universe::builder()
-        .ranks(nranks)
-        .machine(machine)
-        .trace(cfg.trace)
-        .run(|comm| run_rank(cfg, &sizes, &dims, base_partition.clone(), comm));
+    let mut builder = Universe::builder().ranks(nranks).machine(machine).trace(cfg.trace);
+    if let Some(n) = cfg.max_threads {
+        builder = builder.max_threads(n);
+    }
+    let outputs =
+        builder.try_run(|comm| run_rank(cfg, &sizes, &dims, base_partition.clone(), comm))?;
 
     let rank_stats: Vec<RankStats> = outputs.iter().map(|o| o.stats.clone()).collect();
     let summary = PerfSummary::from_ranks(&rank_stats);
@@ -439,7 +464,10 @@ fn run_rank(
             .unwrap_or_else(|e| panic!("rank {me}: dynamic rebalance failed: {e}"));
             ph.metrics_mut().observe(names::LB_F_RATIO, decision.f[me]);
             if let Some(rb) = decision.rebalance {
-                let new_partition = Partition::build(dims, &rb.np);
+                // Deterministic repair: every rank computes the same counts.
+                let np = fit_np_to_dims_min(sizes, dims, &rb.np, &grid_min_widths(&cfg.grids))
+                    .unwrap_or_else(|e| panic!("rank {me}: rebalance infeasible: {e}"));
+                let new_partition = Partition::build(dims, &np);
                 let (mut new_block, new_wall) =
                     build_block(me, &new_partition, &cfg.grids, &cumulative, &fc)
                         .unwrap_or_else(|e| panic!("rank {me}: {e}"));

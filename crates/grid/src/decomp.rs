@@ -102,6 +102,58 @@ impl Decomp {
     }
 }
 
+/// Assign the prime factors of `np` to directions (largest factor first,
+/// each into the largest nominal dimension that can still accommodate it;
+/// ties resolve i before j before k). `Err(f)` reports the first factor
+/// that fits no direction.
+fn fit_factors(dims: Dims, np: usize) -> Result<[usize; 3], usize> {
+    let mut nominal = [dims.ni as f64, dims.nj as f64, dims.nk as f64];
+    let mut pgrid = [1usize; 3];
+    for f in prime_factors(np) {
+        // Each subdomain must keep at least one node along the direction.
+        let mut dir = None;
+        let mut best = f64::NEG_INFINITY;
+        for t in 0..3 {
+            let fits = dims.get(t) / (pgrid[t] * f) >= 1;
+            if fits && nominal[t] > best {
+                best = nominal[t];
+                dir = Some(t);
+            }
+        }
+        let dir = dir.ok_or(f)?;
+        pgrid[dir] *= f;
+        nominal[dir] /= f as f64;
+    }
+    Ok(pgrid)
+}
+
+/// Can [`lattice_split`] decompose `dims` into `np` subdomains? The
+/// prime-factor rule places each prime factor of `np` whole into one index
+/// direction, so e.g. a prime `np` larger than every dimension is
+/// infeasible even when the grid has plenty of points. Balancers use this
+/// to keep per-grid processor counts splittable (large-`P` universes
+/// otherwise hand a grid a prime count that fits nowhere).
+pub fn lattice_feasible(dims: Dims, np: usize) -> bool {
+    lattice_feasible_min(dims, np, [1, 1, 1])
+}
+
+/// [`lattice_feasible`] with a minimum subdomain width per direction: every
+/// piece of the lattice [`lattice_split`] would build must keep at least
+/// `min[t]` nodes along direction `t`. Periodic O-grids need `min = [2,1,1]`
+/// — the seam subdomain excludes the duplicated wrap node from its cyclic
+/// solve, so a 1-node-wide piece there owns an empty system.
+pub fn lattice_feasible_min(dims: Dims, np: usize, min: [usize; 3]) -> bool {
+    if np < 1 || np > dims.count() {
+        return false;
+    }
+    match fit_factors(dims, np) {
+        // split() hands out near-equal pieces, so the narrowest piece along
+        // `t` has floor(n/p) nodes.
+        Ok(pgrid) => (0..3).all(|t| dims.get(t) / pgrid[t] >= min[t].max(1)),
+        Err(_) => false,
+    }
+}
+
 /// Decompose a grid's index space into an `np`-subdomain lattice using the
 /// paper's prime-factor rule: for each prime factor of `np` (largest first),
 /// split along the (nominal) largest remaining dimension. The direction
@@ -112,27 +164,9 @@ impl Decomp {
 pub fn lattice_split(dims: Dims, np: usize) -> Decomp {
     assert!(np >= 1);
     assert!(np <= dims.count(), "cannot split {dims:?} into {np} subdomains");
-    let mut nominal = [dims.ni as f64, dims.nj as f64, dims.nk as f64];
-    let mut pgrid = [1usize; 3];
-    for f in prime_factors(np) {
-        // Largest nominal dimension *that can still accommodate the factor*
-        // (each subdomain must keep at least one node along it); ties
-        // resolve i before j before k.
-        let mut dir = None;
-        let mut best = f64::NEG_INFINITY;
-        for t in 0..3 {
-            let fits = dims.get(t) / (pgrid[t] * f) >= 1;
-            if fits && nominal[t] > best {
-                best = nominal[t];
-                dir = Some(t);
-            }
-        }
-        let dir = dir.unwrap_or_else(|| {
-            panic!("factor {f} does not fit any dimension of {dims:?} (pgrid {pgrid:?})")
-        });
-        pgrid[dir] *= f;
-        nominal[dir] /= f as f64;
-    }
+    let pgrid = fit_factors(dims, np).unwrap_or_else(|f| {
+        panic!("factor {f} does not fit any dimension of {dims:?}");
+    });
     // Materialize the lattice: split i, then j within, then k within.
     let mut subs = Vec::with_capacity(np);
     let i_pieces = dims.full_box().split(0, pgrid[0]);

@@ -33,7 +33,9 @@ pub mod transform;
 pub use bbox::Aabb;
 pub use cartesian::CartesianGrid;
 pub use curvilinear::{BcKind, BoundaryPatch, CurvilinearGrid, GridKind};
-pub use decomp::{prime_factors, split_prime_factors, Subdomain};
+pub use decomp::{
+    lattice_feasible, lattice_feasible_min, prime_factors, split_prime_factors, Subdomain,
+};
 pub use field::{Field3, StateField};
 pub use index::{Dims, Ijk, IndexBox};
 pub use transform::RigidTransform;

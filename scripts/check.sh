@@ -17,6 +17,9 @@ cargo test -q
 echo "== golden trace schema + determinism =="
 cargo test -q -p overflow-d --test observability
 
+echo "== M:N scheduler: 512 virtual ranks on 8 OS threads =="
+cargo test -q --release -p overflow-d --test scheduler_modes -- --ignored
+
 echo "== repro smoke test =="
 ./target/release/repro table1 --quick > /dev/null
 
