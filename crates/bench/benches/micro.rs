@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use overset_balance::{group_grids, static_balance, AdjacencyMatrix};
 use overset_connectivity::donor::center_start;
-use overset_connectivity::{cut_holes_and_find_fringe, walk_search, SearchCost};
+use overset_connectivity::{
+    cut_holes_and_find_fringe, cut_holes_and_find_fringe_with_map, walk_search, InverseMap,
+    SearchCost,
+};
 use overset_grid::curvilinear::Solid;
 use overset_grid::gen::airfoil::{airfoil_system, near_grid};
 use overset_grid::Dims;
@@ -77,6 +80,43 @@ fn connectivity_kernels(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    c.bench_function("holes/cut_and_fringe_5k_nodes_masked", |b| {
+        let inv = {
+            let blk = Block::from_grid(2, &sys[2], sys[2].dims().full_box(), [None; 6], &fc());
+            InverseMap::build(&blk)
+        };
+        b.iter_batched(
+            || Block::from_grid(2, &sys[2], sys[2].dims().full_box(), [None; 6], &fc()),
+            |mut blk| cut_holes_and_find_fringe_with_map(&mut blk, &solids, Some(&inv)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn inverse_map_kernels(c: &mut Criterion) {
+    let g = near_grid(265, 80, 1.1);
+    let block = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+
+    c.bench_function("invmap/build_21k_nodes", |b| b.iter(|| InverseMap::build(&block)));
+
+    let inv = InverseMap::build(&block);
+    c.bench_function("invmap/query", |b| b.iter(|| inv.query([0.9, 0.35, 0.0])));
+
+    // The pair the virtual-time savings come from: a cold search from the
+    // block-center cell vs the same search from the O(1) map seed.
+    let target = [0.9, 0.35, 0.0];
+    c.bench_function("donor/cold_walk_center_start", |b| {
+        b.iter(|| {
+            let mut cost = SearchCost::default();
+            walk_search(&block, target, center_start(&block), &mut cost)
+        })
+    });
+    c.bench_function("donor/cold_walk_map_seeded", |b| {
+        b.iter(|| {
+            let mut cost = SearchCost::default();
+            walk_search(&block, target, inv.query(target), &mut cost)
+        })
+    });
 }
 
 fn balance_kernels(c: &mut Criterion) {
@@ -104,5 +144,11 @@ fn balance_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, solver_kernels, connectivity_kernels, balance_kernels);
+criterion_group!(
+    benches,
+    solver_kernels,
+    connectivity_kernels,
+    inverse_map_kernels,
+    balance_kernels
+);
 criterion_main!(benches);

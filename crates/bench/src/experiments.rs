@@ -29,22 +29,41 @@ pub struct Effort {
     /// the ranks onto `n` workers (M:N mode). Virtual times are bit-identical
     /// either way, so every table is unaffected — this only caps host load.
     pub max_threads: Option<usize>,
+    /// Inverse-map acceleration (`--no-inverse-map` clears it): seeded cold
+    /// walks, occupancy-pruned candidates, masked hole cutting. Answers are
+    /// identical either way; only the work (and so the virtual time) moves.
+    pub use_inverse_map: bool,
 }
 
 impl Effort {
     pub fn full() -> Self {
-        Effort { scale3d: 1.0, scale2d: 1.0, steps2d: 20, steps3d: 12, max_threads: None }
+        Effort {
+            scale3d: 1.0,
+            scale2d: 1.0,
+            steps2d: 20,
+            steps3d: 12,
+            max_threads: None,
+            use_inverse_map: true,
+        }
     }
 
     /// Reduced effort for CI / quick runs.
     pub fn quick() -> Self {
-        Effort { scale3d: 0.55, scale2d: 0.6, steps2d: 10, steps3d: 5, max_threads: None }
+        Effort {
+            scale3d: 0.55,
+            scale2d: 0.6,
+            steps2d: 10,
+            steps3d: 5,
+            max_threads: None,
+            use_inverse_map: true,
+        }
     }
 }
 
-/// Apply the effort's scheduler bound to a case config.
-fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
+/// Apply the effort's scheduler bound and feature toggles to a case config.
+pub(crate) fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
     cfg.max_threads = e.max_threads;
+    cfg.use_inverse_map = e.use_inverse_map;
     cfg
 }
 
@@ -336,6 +355,44 @@ pub fn ablate_restart(e: Effort) {
         100.0 * without.connectivity_fraction()
     );
     println!("  restart speedup of the connectivity solution: {:.1}x", per(&without) / per(&with));
+}
+
+/// Ablation: the inverse-map acceleration layer (map-seeded cold walks,
+/// occupancy-pruned candidate rotation, masked hole cutting). Answers are
+/// bit-identical either way — the table shows pure search-effort movement.
+pub fn ablate_invmap(e: Effort) {
+    use overset_comm::metrics::names;
+    println!("\n== Ablation: inverse maps (airfoil @ 12 / store @ 28, SP2) ==");
+    for (name, nranks, mk) in [
+        ("airfoil", 12usize, airfoil_case(e.scale2d, e.steps2d)),
+        ("store  ", 28, store_case(e.scale3d, e.steps3d)),
+    ] {
+        let on = run_case(&tuned(mk.clone(), e), nranks, &sp2()).unwrap();
+        let mut cfg = tuned(mk, e);
+        cfg.use_inverse_map = false;
+        let off = run_case(&cfg, nranks, &sp2()).unwrap();
+        let per = |r: &RunResult| r.summary.phase_time(Phase::Connectivity) / r.steps as f64;
+        let ctr = |r: &RunResult, m: &str| r.metrics.counter(m);
+        println!(
+            "  {name} map ON : connectivity {:.4} s/step, {:>8} walk steps, {:>6} forwards",
+            per(&on),
+            ctr(&on, names::CONN_WALK_STEPS),
+            ctr(&on, names::CONN_FORWARDS),
+        );
+        println!(
+            "  {name} map OFF: connectivity {:.4} s/step, {:>8} walk steps, {:>6} forwards",
+            per(&off),
+            ctr(&off, names::CONN_WALK_STEPS),
+            ctr(&off, names::CONN_FORWARDS),
+        );
+        println!(
+            "  {name} identical answers: state {} | walk-step cut {:.1}% | connectivity speedup {:.2}x",
+            if on.state_rms.to_bits() == off.state_rms.to_bits() { "bit-equal" } else { "DIVERGED" },
+            100.0 * (1.0 - ctr(&on, names::CONN_WALK_STEPS) as f64
+                / ctr(&off, names::CONN_WALK_STEPS).max(1) as f64),
+            per(&off) / per(&on)
+        );
+    }
 }
 
 /// Ablation: prescribed vs 6-DOF-computed store motion — the paper: "the

@@ -2,8 +2,9 @@
 //! run reports, and gate perf regressions.
 //!
 //! Usage:
-//!   `repro <experiment> [--quick] [--max-threads <N>] [--trace <out.json>]
-//!          [--metrics] [--trace-filter <cats>] [--trace-sample <N>]`
+//!   `repro <experiment> [--quick] [--max-threads <N>] [--no-inverse-map]
+//!          [--trace <out.json>] [--metrics] [--trace-filter <cats>]
+//!          [--trace-sample <N>]`
 //!   `repro report <experiment> [--quick] [-o <out.json>]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
@@ -93,6 +94,7 @@ struct Cli {
     trace_filter: Option<String>,
     trace_sample: u32,
     max_threads: Option<usize>,
+    no_inverse_map: bool,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -105,11 +107,13 @@ fn parse_cli(args: &[String]) -> Cli {
         trace_filter: None,
         trace_sample: 1,
         max_threads: None,
+        no_inverse_map: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cli.quick = true,
+            "--no-inverse-map" => cli.no_inverse_map = true,
             "--metrics" => cli.show_metrics = true,
             "--trace" => match it.next() {
                 Some(p) => cli.trace_path = Some(p.clone()),
@@ -160,6 +164,7 @@ fn run_report_cmd(args: &[String]) -> i32 {
     let cli = parse_cli(args);
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
+    effort.use_inverse_map = !cli.no_inverse_map;
     let effort_name = if cli.quick { "quick" } else { "full" };
     // Trace spans are not serialized into the report; tracing here only
     // proves observability neutrality (the golden tests rely on it), so
@@ -196,6 +201,7 @@ fn main() {
     let cli = parse_cli(&args);
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
+    effort.use_inverse_map = !cli.no_inverse_map;
     let which = cli.which.clone();
     // Validate trace flags before the (long) experiment run, not after.
     let trace_cfg = parse_trace_config(&cli.trace_filter, cli.trace_sample);
@@ -218,6 +224,7 @@ fn main() {
         "ablate-fo" => ablate_fo(effort),
         "ablate-grouping" => ablate_grouping(),
         "ablate-cache" => ablate_cache(effort),
+        "ablate-invmap" => ablate_invmap(effort),
         "all" => {
             let rows1 = table1(effort);
             print_perf_table("Table 1: 2D oscillating airfoil", &rows1);
@@ -237,13 +244,14 @@ fn main() {
             ablate_fo(effort);
             ablate_grouping();
             ablate_cache(effort);
+            ablate_invmap(effort);
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
                  table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
-                 ablate-cache all\n\
+                 ablate-cache ablate-invmap all\n\
                  or a subcommand: report <experiment> | compare <baseline.json> <new.json> | \
                  analyze <experiment>|<trace.json>"
             );

@@ -8,7 +8,7 @@
 //! representative case already is the dynamic store run (the table5
 //! family), the extra run is skipped.
 
-use crate::experiments::Effort;
+use crate::experiments::{tuned, Effort};
 use overflow_d::{
     airfoil_case, delta_wing_case, run_case, store_case, CaseConfig, LbConfig, RunResult,
 };
@@ -20,14 +20,15 @@ use overset_report::{case_report, run_report, Value};
 /// The experiment family's representative case and node count — the same
 /// mapping `traced_run` uses.
 pub fn representative_case(which: &str, e: Effort) -> (CaseConfig, usize) {
-    match which {
+    let (cfg, nodes) = match which {
         "table3" | "fig7" => (delta_wing_case(e.scale3d, e.steps3d), 7),
         "table4" | "fig10" | "table6" | "ablate-sixdof" | "scaling" => {
             (store_case(e.scale3d, e.steps3d), 16)
         }
         "table5" | "fig11" | "ablate-fo" => (dynamic_store_case(e), DYN_NODES),
         _ => (airfoil_case(e.scale2d, e.steps2d), 6),
-    }
+    };
+    (tuned(cfg, e), nodes)
 }
 
 /// Node count for the dynamic-LB store run. Must exceed the store system's
@@ -40,7 +41,7 @@ const DYN_NODES: usize = 18;
 /// (the table5 threshold), checked every 4 steps, long enough to cross the
 /// first check interval even at `--quick` effort.
 fn dynamic_store_case(e: Effort) -> CaseConfig {
-    let mut c = store_case(e.scale3d, e.steps3d.max(10));
+    let mut c = tuned(store_case(e.scale3d, e.steps3d.max(10)), e);
     c.lb = LbConfig::dynamic(3.0, 4);
     c
 }

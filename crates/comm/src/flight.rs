@@ -37,6 +37,13 @@ pub struct StepRecord {
     pub clock: f64,
     /// Search-request points serviced this step (the paper's I(p) sample).
     pub serviced: u64,
+    /// Stencil-walk steps spent servicing donor searches this step — the
+    /// direct measure of how well the inverse-map seeds (and warm restart
+    /// hints) are working.
+    pub walk_steps: u64,
+    /// Search requests forwarded to another candidate rank this step —
+    /// false-positive routing that occupancy pruning exists to cut.
+    pub forwards: u64,
     /// Orphan points left without donors this step.
     pub orphans: u64,
     /// Warm-restart donor-cache hits / misses this step.
@@ -67,6 +74,8 @@ impl StepRecord {
 struct Snapshot {
     time: [f64; NUM_PHASES],
     serviced: u64,
+    walk_steps: u64,
+    forwards: u64,
     orphans: u64,
     cache_hits: u64,
     cache_misses: u64,
@@ -116,6 +125,8 @@ impl FlightRecorder {
             *t = stats.time[p] - self.snap.time[p];
         }
         let serviced = metrics.counter(names::CONN_SERVICED);
+        let walk_steps = metrics.counter(names::CONN_WALK_STEPS);
+        let forwards = metrics.counter(names::CONN_FORWARDS);
         let orphans = metrics.counter(names::CONN_ORPHANS);
         let hits = metrics.counter(names::CONN_CACHE_HIT);
         let misses = metrics.counter(names::CONN_CACHE_MISS);
@@ -125,6 +136,8 @@ impl FlightRecorder {
             time,
             clock,
             serviced: serviced - self.snap.serviced,
+            walk_steps: walk_steps - self.snap.walk_steps,
+            forwards: forwards - self.snap.forwards,
             orphans: orphans - self.snap.orphans,
             cache_hits: hits - self.snap.cache_hits,
             cache_misses: misses - self.snap.cache_misses,
@@ -136,6 +149,8 @@ impl FlightRecorder {
         self.snap = Snapshot {
             time: stats.time,
             serviced,
+            walk_steps,
+            forwards,
             orphans,
             cache_hits: hits,
             cache_misses: misses,
@@ -192,6 +207,8 @@ mod tests {
         m.add(names::CONN_SERVICED, 10);
         fr.end_step(&stats_with(1.0, 3, 300), &m, 1.5);
         m.add(names::CONN_SERVICED, 5);
+        m.add(names::CONN_WALK_STEPS, 42);
+        m.add(names::CONN_FORWARDS, 3);
         m.inc(names::CONN_CACHE_HIT);
         m.inc(names::LB_REPARTITIONS);
         fr.end_step(&stats_with(4.0, 7, 1000), &m, 5.0);
@@ -204,6 +221,9 @@ mod tests {
         assert!((recs[0].time[Phase::Flow as usize] - 1.0).abs() < 1e-15);
         assert_eq!(recs[1].step, 1);
         assert_eq!(recs[1].serviced, 5);
+        assert_eq!(recs[1].walk_steps, 42);
+        assert_eq!(recs[1].forwards, 3);
+        assert_eq!(recs[0].walk_steps, 0);
         assert_eq!(recs[1].cache_hits, 1);
         assert_eq!(recs[1].repartitions, 1);
         assert_eq!(recs[1].msgs_sent, 4);

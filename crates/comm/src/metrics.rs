@@ -22,6 +22,8 @@ pub mod names {
     pub const CONN_CACHE_MISS: &str = "conn.cache.miss";
     /// Requests forwarded to another candidate rank after a miss.
     pub const CONN_FORWARDS: &str = "conn.forwards";
+    /// Stencil-walk steps performed while servicing donor searches.
+    pub const CONN_WALK_STEPS: &str = "conn.walk_steps";
     /// IGBPs left unresolved (orphans) summed over steps.
     pub const CONN_ORPHANS: &str = "conn.orphans";
     /// Donor-search protocol rounds summed over steps.

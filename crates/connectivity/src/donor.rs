@@ -201,12 +201,167 @@ fn walk_search_mode(
     cost: &mut SearchCost,
     relaxed: bool,
 ) -> SearchOutcome {
-    match newton_walk(block, target, start, cost, relaxed) {
-        SearchOutcome::WalkedOut => {
-            let near = greedy_descent(block, target, clamp_cell(block, start), cost);
-            newton_walk(block, target, near, cost, relaxed)
+    let start = clamp_cell(block, start);
+    let center = clamp_cell(block, center_start(block));
+    if start == center {
+        return canonical_search(block, target, cost, relaxed);
+    }
+    let out = newton_walk(block, target, start, cost, relaxed);
+    match out {
+        // Near the polar caps of revolution shells the trilinear hulls of
+        // azimuthal sliver cells overlap across the axis: several
+        // non-adjacent cells legitimately contain the point, and which one
+        // a walk reaches depends on its start. Redo the search through the
+        // canonical chain so the answer matches a center-started search.
+        SearchOutcome::Found(d) if !polar_cap(block, d.cell) => out,
+        // Failed or ambiguous: fall back to the canonical chain. The chain
+        // is the same no matter where the first walk began, so the
+        // *outcome* of a search never depends on its start — only its cost
+        // does. The inverse-map ablation guarantee (seeding changes work,
+        // not donors) rests on this.
+        _ => canonical_search(block, target, cost, relaxed),
+    }
+}
+
+/// The start-independent donor search every mode agrees on: a Newton walk
+/// from the block-center cell, a greedy-descent restart if that fails, and
+/// on 3-D revolution shells a sweep of fixed quarter-azimuth starts — a
+/// center-started walk aimed at the far side of the annulus can exit
+/// through the shell surface instead of walking around in `i`, and greedy
+/// descent can stall on the fold.
+fn canonical_search(
+    block: &Block,
+    target: [f64; 3],
+    cost: &mut SearchCost,
+    relaxed: bool,
+) -> SearchOutcome {
+    let center = clamp_cell(block, center_start(block));
+    let mut out = newton_walk(block, target, center, cost, relaxed);
+    if !matches!(out, SearchOutcome::Found(_)) {
+        let near = greedy_descent(block, target, center, cost);
+        out = newton_walk(block, target, near, cost, relaxed);
+    }
+    if !matches!(out, SearchOutcome::Found(_)) && block.self_wrap_i && !block.two_d {
+        let period = block.owned.dims().ni - 1;
+        let h = block.halo[0];
+        for q in [0usize, 1, 3] {
+            let alt = clamp_cell(block, Ijk::new(h + q * period / 4, center.j, center.k));
+            out = newton_walk(block, target, alt, cost, relaxed);
+            if !matches!(out, SearchOutcome::Found(_)) {
+                let near = greedy_descent(block, target, alt, cost);
+                out = newton_walk(block, target, near, cost, relaxed);
+            }
+            if matches!(out, SearchOutcome::Found(_)) {
+                break;
+            }
         }
-        out => out,
+    }
+    out
+}
+
+/// Polar-cap band of a periodic revolution shell: the first/last two cell
+/// rings in `k` (polar angle), where azimuthal sliver cells can overlap
+/// across the axis and containment is ambiguous.
+fn polar_cap(block: &Block, cell: Ijk) -> bool {
+    if block.two_d || !block.self_wrap_i {
+        return false;
+    }
+    let gk = (block.owned.lo.k + cell.k).saturating_sub(block.halo[2]);
+    let nk_cells = block.grid_dims.nk - 1;
+    gk < 2 || gk + 2 >= nk_cells
+}
+
+/// Width of the face band (in computational coordinates) within which a
+/// containing cell is ambiguous: the point also lies inside the face
+/// neighbour to within the walk tolerance. Twice `TOL` so that whenever one
+/// side of a shared face accepts the point, the other side's polish is
+/// guaranteed to look across the face (the slack dominates re-inversion
+/// noise by seven orders of magnitude).
+const FACE_BAND: f64 = 2.0 * TOL;
+
+/// Resolve a walk that has landed in a containing cell. When the point sits
+/// within `FACE_BAND` of a cell face, the face neighbour contains it too
+/// (to within `TOL`), so walks approaching from different sides terminate
+/// in different — equally valid — cells, and may even disagree on *whether*
+/// a usable donor exists (one side of the tie can have a holed stencil or a
+/// halo-anchored cell). Deterministically picks the lexicographically
+/// smallest acceptable cell among the original and its tied face
+/// neighbours, making the donor — and the found/miss verdict — independent
+/// of the walk path.
+fn resolve_containing(
+    block: &Block,
+    target: [f64; 3],
+    cell: Ijk,
+    t: [f64; 3],
+    cost: &mut SearchCost,
+    relaxed: bool,
+) -> SearchOutcome {
+    let first = accept(block, cell, t, relaxed);
+    let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
+    let mut shift = [0isize; 3];
+    let mut tied = false;
+    for &ax in dirs {
+        if t[ax] >= 1.0 - FACE_BAND {
+            shift[ax] = 1;
+            tied = true;
+        } else if t[ax] <= FACE_BAND {
+            shift[ax] = -1;
+            tied = true;
+        }
+    }
+    if !tied {
+        return first;
+    }
+    let mut best: Option<Donor> = match first {
+        SearchOutcome::Found(d) => Some(d),
+        _ => None,
+    };
+    let key = |c: Ijk| (c.i, c.j, c.k);
+    for mask in 1u8..8 {
+        let mut cand = cell;
+        let mut valid = true;
+        for (ax, &s) in shift.iter().enumerate() {
+            if mask & (1 << ax) == 0 {
+                continue;
+            }
+            if s == 0 {
+                valid = false;
+                break;
+            }
+            let c = cand.get(ax) as isize;
+            let n = block.local_dims.get(ax) as isize;
+            let mut nc = c + s;
+            if nc < 0 || nc > n - 2 {
+                if ax == 0 && block.self_wrap_i {
+                    let period = (block.owned.dims().ni - 1) as isize;
+                    let h = block.halo[0] as isize;
+                    nc = (nc - h).rem_euclid(period) + h;
+                } else {
+                    valid = false;
+                    break;
+                }
+            }
+            cand.set(ax, nc as usize);
+        }
+        if !valid || cand == cell {
+            continue;
+        }
+        let Some((ct, iters)) = invert_cell(block, cand, target) else {
+            continue;
+        };
+        cost.newton_iters += iters;
+        if !(0..3).all(|ax| ct[ax] >= -TOL && ct[ax] <= 1.0 + TOL) {
+            continue;
+        }
+        if let SearchOutcome::Found(cd) = accept(block, cand, ct, relaxed) {
+            if best.is_none_or(|b| key(cd.cell) < key(b.cell)) {
+                best = Some(cd);
+            }
+        }
+    }
+    match best {
+        Some(d) => SearchOutcome::Found(d),
+        None => first,
     }
 }
 
@@ -271,7 +426,7 @@ fn newton_walk(
         cost.newton_iters += iters;
         let inside = (0..3).all(|d| t[d] >= -TOL && t[d] <= 1.0 + TOL);
         if inside {
-            return accept(block, cell, t, relaxed);
+            return resolve_containing(block, target, cell, t, cost, relaxed);
         }
         // Jump toward the target by the integer part of the excess. Steps
         // that would leave local storage are clamped to the boundary cell
@@ -314,7 +469,7 @@ fn newton_walk(
             }
             // Numerical stall at a face: accept as inside with clamped coords.
             let tc = [t[0].clamp(0.0, 1.0), t[1].clamp(0.0, 1.0), t[2].clamp(0.0, 1.0)];
-            return accept(block, cell, tc, relaxed);
+            return resolve_containing(block, target, cell, tc, cost, relaxed);
         }
         cell = next;
     }
@@ -326,6 +481,22 @@ fn newton_walk(
 /// (unless `relaxed`: then any cell with at least one clean corner passes,
 /// and the interpolation renormalizes over clean corners).
 fn accept(block: &Block, cell: Ijk, t: [f64; 3], relaxed: bool) -> SearchOutcome {
+    let mut cell = cell;
+    // Periodic shells store a duplicated seam column, so the cells anchored
+    // at global `i` and `i ± period` are bit-exact copies of each other and
+    // a walk can legitimately terminate in either. Reduce to the canonical
+    // representative (anchor in `[0, period)` global) so the donor identity
+    // never depends on which duplicate the walk happened to reach.
+    if block.self_wrap_i {
+        let period = block.owned.dims().ni - 1;
+        let h = block.halo[0];
+        while cell.i >= h + period {
+            cell.i -= period;
+        }
+        while cell.i < h {
+            cell.i += period;
+        }
+    }
     let ow = block.owned_local();
     let anchored = cell.i >= ow.lo.i
         && cell.i < ow.hi.i
@@ -481,6 +652,84 @@ mod tests {
                 }
             }
             o => panic!("got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_crosses_periodic_seam_both_directions() {
+        // Start one cell to the right of the i-seam, target one cell to its
+        // left, and vice versa: the walk must step *through* the seam (a
+        // couple of wrapped steps), not all the way around the annulus.
+        let b = annulus_block(65, 9);
+        for (start_i, target_deg, want_i) in [(1usize, 355.0f64, 63usize), (62, 5.0, 0)] {
+            let th = -(target_deg.to_radians());
+            let target = [1.9 * th.cos(), 1.9 * th.sin(), 0.0];
+            let mut cost = SearchCost::default();
+            match walk_search(&b, target, b.to_local(Ijk::new(start_i, 4, 0)), &mut cost) {
+                SearchOutcome::Found(d) => {
+                    assert_eq!(b.to_global(d.cell).i, want_i, "crossing toward {target_deg} deg");
+                    let (x, _) = cell_map(&b, d.cell, d.loc);
+                    for m in 0..3 {
+                        assert!((x[m] - target[m]).abs() < 1e-8, "{x:?} vs {target:?}");
+                    }
+                }
+                o => panic!("toward {target_deg} deg: got {o:?}"),
+            }
+            // Crossing the seam takes a handful of steps; going the long way
+            // around would take tens.
+            assert!(cost.walk_steps < 10, "walk went the long way: {} steps", cost.walk_steps);
+        }
+    }
+
+    #[test]
+    fn relaxed_donor_renormalizes_partially_holed_stencil() {
+        // One corner of the donor cell is a hole: strict search refuses the
+        // donor, relaxed search accepts it, and interpolation renormalizes
+        // the trilinear weights over the seven clean corners.
+        let mut b = cart_block(9, 0.5);
+        let target = [1.3, 2.1, 0.7]; // cell (2,4,1), loc (0.6, 0.2, 0.4)
+        let hole = b.to_local(Ijk::new(3, 4, 1)); // corner di=1, dj=0, dk=0
+        b.iblank[hole] = Blank::Hole;
+        let field = |x: [f64; 3], v: usize| x[0] + 2.0 * x[1] + 3.0 * x[2] + v as f64;
+        for p in b.local_dims.full_box().iter() {
+            let x = b.coords[p];
+            b.q.set_node(p, std::array::from_fn(|v| field(x, v)));
+        }
+
+        let mut cost = SearchCost::default();
+        assert_eq!(walk_search(&b, target, center_start(&b), &mut cost), SearchOutcome::Unusable);
+        let d = match walk_search_relaxed(&b, target, center_start(&b), &mut cost) {
+            SearchOutcome::Found(d) => d,
+            o => panic!("relaxed search failed: {o:?}"),
+        };
+        assert_eq!(b.to_global(d.cell), Ijk::new(2, 4, 1));
+
+        let got = crate::interp::interpolate(&b, &d);
+        // Renormalized expectation straight from the definition.
+        let t = d.loc;
+        let mut wsum = 0.0;
+        let mut want = [0.0f64; 5];
+        for dk in 0..2 {
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let node = Ijk::new(d.cell.i + di, d.cell.j + dj, d.cell.k + dk);
+                    if b.iblank[node] == Blank::Hole {
+                        continue;
+                    }
+                    let w = (if di == 0 { 1.0 - t[0] } else { t[0] })
+                        * (if dj == 0 { 1.0 - t[1] } else { t[1] })
+                        * (if dk == 0 { 1.0 - t[2] } else { t[2] });
+                    wsum += w;
+                    for (v, acc) in want.iter_mut().enumerate() {
+                        *acc += w * field(b.coords[node], v);
+                    }
+                }
+            }
+        }
+        assert!(wsum < 1.0 - 1e-6, "hole corner did not reduce the weight sum");
+        for v in 0..5 {
+            let w = want[v] / wsum;
+            assert!((got[v] - w).abs() < 1e-12, "var {v}: {} vs {}", got[v], w);
         }
     }
 

@@ -7,6 +7,7 @@
 //! are the inter-grid boundary points (IGBPs) whose values DCF3D supplies by
 //! interpolation each step.
 
+use crate::inverse_map::{classify_solids, BinClass, InverseMap};
 use overset_grid::curvilinear::{BcKind, Solid};
 use overset_grid::index::Ijk;
 use overset_solver::{Blank, Block};
@@ -19,7 +20,8 @@ pub const HOLE_PAD_CELLS: f64 = 0.25;
 /// second differences beside interpolated data).
 pub const OUTER_FRINGE_LAYERS: usize = 1;
 
-/// Flops per node for the bounding-box pre-check.
+/// Flops per (node, solid) bounding-box pre-check — and per node for the
+/// masked cutter's bin lookup, which replaces those checks.
 pub const FLOPS_PER_NODE_BBOX: u64 = 4;
 /// Flops per detailed containment test (nodes inside a solid's box).
 pub const FLOPS_PER_DETAILED_TEST: u64 = 25;
@@ -35,6 +37,19 @@ pub struct Igbp {
 /// *other* grids. Resets all previous blanking. Returns (IGBP list,
 /// estimated flops).
 pub fn cut_holes_and_find_fringe(block: &mut Block, solids: &[(usize, Solid)]) -> (Vec<Igbp>, u64) {
+    cut_holes_and_find_fringe_with_map(block, solids, None)
+}
+
+/// [`cut_holes_and_find_fringe`] accelerated by a block's inverse map: the
+/// map's hole lattice is classified per solid (inside / outside / boundary)
+/// once, and the per-node detailed containment test runs only for nodes in
+/// *boundary* bins. Blanking is bit-identical to the unmasked cutter — only
+/// the flop charge changes. With `inv = None` this *is* the unmasked cutter.
+pub fn cut_holes_and_find_fringe_with_map(
+    block: &mut Block,
+    solids: &[(usize, Solid)],
+    inv: Option<&InverseMap>,
+) -> (Vec<Igbp>, u64) {
     let ow = block.owned_local();
     // Reset: every owned node back to Field.
     for p in ow.iter() {
@@ -56,11 +71,37 @@ pub fn cut_holes_and_find_fringe(block: &mut Block, solids: &[(usize, Solid)]) -
         let pad_hint = HOLE_PAD_CELLS * local_spacing(block, probe) * 4.0;
         let boxes: Vec<overset_grid::Aabb> =
             foreign.iter().map(|s| s.bbox().inflate(pad_hint)).collect();
+        // With an inverse map, classify its hole lattice against each solid
+        // once; whole bins then resolve without per-node detailed tests.
+        let classes = inv.map(|m| {
+            let (c, cf) = classify_solids(m, &foreign, pad_hint);
+            flops += cf;
+            c
+        });
         for p in ow.iter() {
+            // One charge per node: the per-solid loop overhead (unmasked)
+            // or the hole-lattice bin lookup (masked).
             flops += FLOPS_PER_NODE_BBOX;
             let x = block.coords[p];
+            let bin = inv.map(|m| m.hole_bin(x));
             let mut hole = false;
-            for (s, bb) in foreign.iter().zip(&boxes) {
+            for (si, (s, bb)) in foreign.iter().zip(&boxes).enumerate() {
+                if let (Some(c), Some(b)) = (&classes, bin) {
+                    match c[si][b] {
+                        // No point of this bin reaches the padded box: the
+                        // unmasked cutter's bbox pre-check would skip too —
+                        // without spending its per-solid flops.
+                        BinClass::Outside => continue,
+                        // Whole bin inside at zero pad; any per-node pad
+                        // ≥ 0 only blanks more, so the verdict is certain.
+                        BinClass::Inside => {
+                            hole = true;
+                            break;
+                        }
+                        BinClass::Boundary => {}
+                    }
+                }
+                flops += FLOPS_PER_NODE_BBOX;
                 if !bb.contains(x) {
                     continue;
                 }
@@ -228,6 +269,53 @@ mod tests {
         let after: usize = b.owned_local().iter().filter(|&p| b.iblank[p] == Blank::Hole).count();
         assert_eq!(after, 0);
         assert!(igbps.is_empty());
+    }
+
+    #[test]
+    fn masked_cut_matches_unmasked_bitwise() {
+        // 2-D background block against two foreign solids: blanking, fringe
+        // and IGBPs must be bit-identical with and without the mask.
+        let mut a = bg_block(41, false);
+        let mut b = bg_block(41, false);
+        let solids = vec![
+            (0usize, Solid::Ellipsoid { center: [0.3, -0.2, 0.0], radii: [0.8, 0.6, 10.0] }),
+            (
+                0usize,
+                Solid::Slab { aabb: overset_grid::Aabb::new([-1.8, 1.0, -1.0], [-0.9, 1.9, 1.0]) },
+            ),
+        ];
+        let inv = InverseMap::build(&a);
+        let (ia, _) = cut_holes_and_find_fringe_with_map(&mut a, &solids, Some(&inv));
+        let (ib, _) = cut_holes_and_find_fringe(&mut b, &solids);
+        assert_eq!(ia, ib);
+        for p in a.owned_local().iter() {
+            assert_eq!(a.iblank[p], b.iblank[p], "blanking differs at {p:?}");
+        }
+    }
+
+    #[test]
+    fn masked_cut_is_cheaper_on_3d_blocks() {
+        let d = Dims::new(33, 33, 33);
+        let h = 4.0 / 32.0;
+        let coords = Field3::from_fn(d, |p| {
+            [-2.0 + h * p.i as f64, -2.0 + h * p.j as f64, -2.0 + h * p.k as f64]
+        });
+        let g = CurvilinearGrid::new("bg3", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let mut a = Block::from_grid(1, &g, d.full_box(), [None; 6], &fc);
+        let mut b = Block::from_grid(1, &g, d.full_box(), [None; 6], &fc);
+        let solids = vec![
+            (0usize, Solid::Ellipsoid { center: [0.0; 3], radii: [1.2, 1.0, 1.1] }),
+            (0usize, Solid::Ellipsoid { center: [0.8, 0.6, -0.4], radii: [0.9, 1.1, 0.8] }),
+        ];
+        let inv = InverseMap::build(&a);
+        let (ia, fa) = cut_holes_and_find_fringe_with_map(&mut a, &solids, Some(&inv));
+        let (ib, fb) = cut_holes_and_find_fringe(&mut b, &solids);
+        assert_eq!(ia, ib);
+        for p in a.owned_local().iter() {
+            assert_eq!(a.iblank[p], b.iblank[p]);
+        }
+        assert!(fa < fb, "masked cut {fa} flops vs unmasked {fb}");
     }
 
     #[test]

@@ -1,0 +1,543 @@
+//! Inverse-map acceleration structures: DCF3D's auxiliary Cartesian maps.
+//!
+//! DCF3D seeds its stencil-walk donor searches from auxiliary Cartesian
+//! "inverse maps" instead of cold-starting every walk from the middle of the
+//! grid. This module reproduces that layer for one block:
+//!
+//! * a **seed lattice** — a uniform Cartesian bin grid over the block's
+//!   owned bounding box mapping each bin to a nearby owned cell, so a cold
+//!   donor search starts O(1) cells from the target instead of half a block
+//!   away ([`InverseMap::query`] replaces `center_start`),
+//! * a coarse **occupancy bitmask** ([`OCC_NB`]³ bins packed into
+//!   `[u64; 8]`) broadcast with the bounding boxes, so request routing can
+//!   prune ranks whose *box* contains a point but whose *cells* cannot
+//!   (curved grids — an O-grid annulus most of whose bounding box is empty
+//!   interior — generate exactly these false positives),
+//! * per-solid **inside/outside/boundary ternary masks** over a hole
+//!   lattice, so hole cutting runs the detailed containment test only for
+//!   nodes in *boundary* bins (see [`classify_solids`]).
+//!
+//! The structure is rebuilt once per motion event (only for blocks whose
+//! grid moved; static grids reuse it across steps) and its build is charged
+//! to the virtual-time model like any other compute, so the acceleration is
+//! visible — and honest — in the paper's virtual timings.
+//!
+//! Every pruning decision is *conservative*: occupancy bins are marked from
+//! cell bounding boxes inflated past the walk's acceptance slack, and solid
+//! masks only claim Inside/Outside when convexity proves it, so connectivity
+//! results (donors, weights, blanking, orphans) are bit-identical with the
+//! acceleration on or off. The `use_inverse_map` ablation tests assert this.
+
+use crate::protocol::owned_bbox;
+use overset_grid::curvilinear::Solid;
+use overset_grid::index::Ijk;
+use overset_grid::Aabb;
+use overset_solver::Block;
+
+/// Flops to bin one owned cell during the build (midpoint, bin index,
+/// occupancy update).
+pub const FLOPS_PER_CELL_BUILD: u64 = 12;
+/// Flops to fill one empty bin from its nearest seeded neighbor.
+pub const FLOPS_PER_BIN_FILL: u64 = 4;
+/// Flops per seed query (three scaled subtractions + clamps).
+pub const FLOPS_PER_QUERY: u64 = 10;
+/// Flops for the bounding-box rejection of one (solid, hole-lattice bin).
+pub const FLOPS_PER_BIN_BBOX: u64 = 6;
+/// Flops per convexity-based containment probe of a hole-lattice bin corner
+/// (same primitive as the hole cutter's detailed per-node test).
+pub const FLOPS_PER_SOLID_PROBE: u64 = 25;
+
+/// Fine-lattice resolution cap per axis (bins, not nodes).
+const MAX_FINE_BINS: usize = 48;
+/// Hole-lattice resolution cap per axis. Deliberately coarse: the win is
+/// skipping per-node detailed tests for whole bins, so bins must hold many
+/// nodes for classification to pay for itself.
+const MAX_HOLE_BINS: usize = 8;
+/// Coarse occupancy resolution per axis: [`OCC_NB`]³ = 512 bins = `[u64; 8]`.
+pub const OCC_NB: usize = 8;
+
+/// Occupancy bitmask words per rank ([`OCC_NB`]³ bins / 64 bits).
+pub const OCC_WORDS: usize = OCC_NB * OCC_NB * OCC_NB / 64;
+
+/// Ternary classification of one hole-lattice bin against one solid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinClass {
+    /// No point of the bin can be inside the solid's padded bounding box:
+    /// the detailed containment test is skipped entirely (same skip the
+    /// unmasked cutter's per-node bbox pre-check would take).
+    Outside,
+    /// Every point of the bin is inside the solid at zero pad (convexity of
+    /// the bin corners); any non-negative per-node pad can only blank more.
+    Inside,
+    /// Neither bound holds: run the full per-node test.
+    Boundary,
+}
+
+/// Per-block inverse map: seed lattice + coarse occupancy + hole lattice.
+#[derive(Clone, Debug)]
+pub struct InverseMap {
+    /// Physical bounds of every lattice: the block's owned bbox plus one
+    /// halo layer (identical to the broadcast routing box, so occupancy
+    /// bins computed by *other* ranks from the broadcast box line up with
+    /// the bins marked here).
+    bounds: Aabb,
+    /// Fine-lattice bins per axis (≥ 1; 1 in k for 2-D blocks).
+    nb: [usize; 3],
+    /// Seed cell (local indices) per fine bin, bin-major (i fastest).
+    seeds: Vec<Ijk>,
+    /// Coarse occupancy: bit set ⇔ some owned-anchored cell's (inflated)
+    /// bounding box overlaps the bin.
+    occupancy: [u64; OCC_WORDS],
+    /// Hole-lattice bins per axis for [`classify_solids`].
+    hole_nb: [usize; 3],
+    /// Flops spent building (the caller charges them to virtual time).
+    build_flops: u64,
+}
+
+/// Bin index of `x` on a `nb`-bin axis spanning `[lo, hi]`, clamped into
+/// range (queries slightly outside the box land in an edge bin).
+#[inline]
+fn axis_bin(x: f64, lo: f64, hi: f64, nb: usize) -> usize {
+    if nb <= 1 || hi <= lo {
+        return 0;
+    }
+    let t = (x - lo) / (hi - lo) * nb as f64;
+    (t.floor().max(0.0) as usize).min(nb - 1)
+}
+
+/// The corner nodes of the cell anchored at `cell` (4 in 2-D, 8 in 3-D).
+fn cell_corners(block: &Block, cell: Ijk) -> impl Iterator<Item = Ijk> + '_ {
+    let kmax = if block.two_d { 1 } else { 2 };
+    (0..kmax).flat_map(move |dk| {
+        (0..2).flat_map(move |dj| {
+            (0..2).map(move |di| Ijk::new(cell.i + di, cell.j + dj, cell.k + dk))
+        })
+    })
+}
+
+impl InverseMap {
+    /// Build the map for a block's current geometry. Deterministic: the
+    /// same block produces bit-identical seeds and occupancy.
+    pub fn build(block: &Block) -> InverseMap {
+        let bounds = owned_bbox(block);
+        let ow = block.owned_local();
+        let cells_i = (ow.hi.i - ow.lo.i).max(1);
+        let cells_j = (ow.hi.j - ow.lo.j).max(1);
+        let cells_k = if block.two_d { 1 } else { (ow.hi.k - ow.lo.k).max(1) };
+        let nb =
+            [cells_i.min(MAX_FINE_BINS), cells_j.min(MAX_FINE_BINS), cells_k.min(MAX_FINE_BINS)];
+        let hole_nb =
+            [nb[0].min(MAX_HOLE_BINS), nb[1].min(MAX_HOLE_BINS), nb[2].min(MAX_HOLE_BINS)];
+        let nbins = nb[0] * nb[1] * nb[2];
+        let mut seeds: Vec<Option<Ijk>> = vec![None; nbins];
+        let mut occupancy = [0u64; OCC_WORDS];
+        let mut build_flops = 0u64;
+
+        // Acceptance slack: the walk accepts trilinear coordinates in
+        // [-TOL, 1+TOL] and Newton can accept before full convergence, so
+        // occupancy marks each cell's bounding box inflated well past that
+        // slack — pruning must never drop a rank that could answer.
+        let diag_eps = 1e-9 * bounds.diagonal().max(1.0);
+
+        let kmax_anchor = if block.two_d { ow.lo.k + 1 } else { ow.hi.k };
+        for k in ow.lo.k..kmax_anchor {
+            for j in ow.lo.j..ow.hi.j {
+                for i in ow.lo.i..ow.hi.i {
+                    // Cells are anchored at their lower-corner node; the far
+                    // corner must exist in local storage.
+                    if i + 1 >= block.local_dims.ni
+                        || j + 1 >= block.local_dims.nj
+                        || (!block.two_d && k + 1 >= block.local_dims.nk)
+                    {
+                        continue;
+                    }
+                    let cell = Ijk::new(i, j, k);
+                    build_flops += FLOPS_PER_CELL_BUILD;
+                    let mut cb = Aabb::EMPTY;
+                    for n in cell_corners(block, cell) {
+                        cb.include(block.coords[n]);
+                    }
+                    // Seed the fine bin holding the cell midpoint
+                    // (first-write-wins; the row-major sweep is
+                    // deterministic).
+                    let mid = cb.center();
+                    let b = self::bin_index(&bounds, nb, mid);
+                    if seeds[b].is_none() {
+                        seeds[b] = Some(cell);
+                    }
+                    // Conservative occupancy: the cell box inflated by an
+                    // eighth of its own extent plus a global epsilon.
+                    let e = cb.extent();
+                    let pad = 0.125 * e[0].max(e[1]).max(e[2]) + diag_eps;
+                    mark_occupancy(&mut occupancy, &bounds, &cb.inflate(pad));
+                }
+            }
+        }
+
+        // Fill empty bins from their nearest seeded neighbor (rings of
+        // growing Chebyshev radius; deterministic scan order). Bins far from
+        // any cell — the hollow middle of an annulus — still answer with
+        // the closest real cell, which is exactly the right walk start.
+        let filled: Vec<(usize, Ijk)> =
+            seeds.iter().enumerate().filter_map(|(b, s)| s.map(|c| (b, c))).collect();
+        if !filled.is_empty() {
+            for (b, seed) in seeds.iter_mut().enumerate() {
+                if seed.is_some() {
+                    continue;
+                }
+                build_flops += FLOPS_PER_BIN_FILL;
+                let (bi, bj, bk) = unflatten(b, nb);
+                let mut best: Option<(usize, Ijk)> = None;
+                for &(fb, cell) in &filled {
+                    let (fi, fj, fk) = unflatten(fb, nb);
+                    let d = fi.abs_diff(bi).max(fj.abs_diff(bj)).max(fk.abs_diff(bk));
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, cell));
+                    }
+                }
+                *seed = best.map(|(_, c)| c);
+            }
+        }
+
+        // A block with no owned cells (degenerate slivers) still gets a
+        // valid map: every query answers the owned-region corner.
+        let fallback = Ijk::new(ow.lo.i, ow.lo.j, ow.lo.k);
+        let seeds: Vec<Ijk> = seeds.into_iter().map(|s| s.unwrap_or(fallback)).collect();
+
+        InverseMap { bounds, nb, seeds, occupancy, hole_nb, build_flops }
+    }
+
+    /// Physical bounds of the lattices (the broadcast routing box).
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Flops spent by [`InverseMap::build`]; charge them to virtual time.
+    pub fn build_flops(&self) -> u64 {
+        self.build_flops
+    }
+
+    /// Coarse occupancy words, ready for the topology allgather.
+    pub fn occupancy(&self) -> [u64; OCC_WORDS] {
+        self.occupancy
+    }
+
+    /// O(1) walk seed for a target point: the seed cell of the fine bin
+    /// holding `p` (points outside the bounds clamp into an edge bin).
+    pub fn query(&self, p: [f64; 3]) -> Ijk {
+        self.seeds[bin_index(&self.bounds, self.nb, p)]
+    }
+
+    /// Hole-lattice bin index of a node coordinate (used with the classes
+    /// from [`classify_solids`]).
+    pub fn hole_bin(&self, p: [f64; 3]) -> usize {
+        bin_index(&self.bounds, self.hole_nb, p)
+    }
+
+    /// Number of hole-lattice bins.
+    pub fn hole_bins(&self) -> usize {
+        self.hole_nb[0] * self.hole_nb[1] * self.hole_nb[2]
+    }
+
+    /// Physical box of one hole-lattice bin.
+    fn hole_bin_box(&self, b: usize) -> Aabb {
+        let (bi, bj, bk) = unflatten(b, self.hole_nb);
+        let ext = self.bounds.extent();
+        let f = |lo: f64, e: f64, n: usize, i: usize| -> (f64, f64) {
+            if n <= 1 {
+                (lo, lo + e)
+            } else {
+                let w = e / n as f64;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+        };
+        let (x0, x1) = f(self.bounds.min[0], ext[0], self.hole_nb[0], bi);
+        let (y0, y1) = f(self.bounds.min[1], ext[1], self.hole_nb[1], bj);
+        let (z0, z1) = f(self.bounds.min[2], ext[2], self.hole_nb[2], bk);
+        Aabb::new([x0, y0, z0], [x1, y1, z1])
+    }
+}
+
+/// Flattened fine/hole-lattice bin index of a point (row-major, i fastest).
+fn bin_index(bounds: &Aabb, nb: [usize; 3], p: [f64; 3]) -> usize {
+    let bi = axis_bin(p[0], bounds.min[0], bounds.max[0], nb[0]);
+    let bj = axis_bin(p[1], bounds.min[1], bounds.max[1], nb[1]);
+    let bk = axis_bin(p[2], bounds.min[2], bounds.max[2], nb[2]);
+    (bk * nb[1] + bj) * nb[0] + bi
+}
+
+fn unflatten(b: usize, nb: [usize; 3]) -> (usize, usize, usize) {
+    let bi = b % nb[0];
+    let bj = (b / nb[0]) % nb[1];
+    let bk = b / (nb[0] * nb[1]);
+    (bi, bj, bk)
+}
+
+/// Set every coarse occupancy bit whose bin overlaps `cell_box`.
+fn mark_occupancy(occ: &mut [u64; OCC_WORDS], bounds: &Aabb, cell_box: &Aabb) {
+    let ext = bounds.extent();
+    let range = |d: usize| -> (usize, usize) {
+        if ext[d] <= 0.0 {
+            return (0, OCC_NB - 1);
+        }
+        let lo = axis_bin(cell_box.min[d], bounds.min[d], bounds.max[d], OCC_NB);
+        let hi = axis_bin(cell_box.max[d], bounds.min[d], bounds.max[d], OCC_NB);
+        (lo, hi)
+    };
+    let (i0, i1) = range(0);
+    let (j0, j1) = range(1);
+    let (k0, k1) = range(2);
+    for k in k0..=k1 {
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let bit = (k * OCC_NB + j) * OCC_NB + i;
+                occ[bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+    }
+}
+
+/// Does the occupancy mask (broadcast alongside `rank_box`) admit `p`?
+/// All-ones masks (ranks running without a map) admit everything.
+pub fn occupancy_admits(occ: &[u64; OCC_WORDS], rank_box: &Aabb, p: [f64; 3]) -> bool {
+    let bi = axis_bin(p[0], rank_box.min[0], rank_box.max[0], OCC_NB);
+    let bj = axis_bin(p[1], rank_box.min[1], rank_box.max[1], OCC_NB);
+    let bk = axis_bin(p[2], rank_box.min[2], rank_box.max[2], OCC_NB);
+    let bit = (bk * OCC_NB + bj) * OCC_NB + bi;
+    occ[bit / 64] & (1u64 << (bit % 64)) != 0
+}
+
+/// The all-ones occupancy mask: what a rank broadcasts when it runs without
+/// an inverse map (admits every point — pruning disabled).
+pub const OCC_ALL: [u64; OCC_WORDS] = [u64::MAX; OCC_WORDS];
+
+/// Classify every hole-lattice bin of `inv` against each solid in `solids`
+/// (one `Vec<BinClass>` per solid, bin-major). `pad_hint` must be the same
+/// padded-bbox inflation the unmasked cutter uses, so an `Outside` verdict
+/// reproduces its bounding-box rejection exactly. Returns the classes and
+/// the flops spent.
+pub fn classify_solids(
+    inv: &InverseMap,
+    solids: &[&Solid],
+    pad_hint: f64,
+) -> (Vec<Vec<BinClass>>, u64) {
+    let nbins = inv.hole_bins();
+    let mut flops = 0u64;
+    let mut classes = Vec::with_capacity(solids.len());
+    for s in solids {
+        let padded = s.bbox().inflate(pad_hint);
+        let mut per_bin = Vec::with_capacity(nbins);
+        for b in 0..nbins {
+            flops += FLOPS_PER_BIN_BBOX;
+            let bb = inv.hole_bin_box(b);
+            if !bb.intersects(&padded) {
+                per_bin.push(BinClass::Outside);
+                continue;
+            }
+            // Inside needs every corner (and the center, to guard the
+            // degenerate flat bins of 2-D blocks) contained at zero pad;
+            // every solid shape is convex, so the whole bin follows.
+            let mut probes = 1u64;
+            let mut inside = s.contains(bb.center(), 0.0);
+            if inside {
+                'corners: for ci in 0..8 {
+                    let c = [
+                        if ci & 1 == 0 { bb.min[0] } else { bb.max[0] },
+                        if ci & 2 == 0 { bb.min[1] } else { bb.max[1] },
+                        if ci & 4 == 0 { bb.min[2] } else { bb.max[2] },
+                    ];
+                    probes += 1;
+                    if !s.contains(c, 0.0) {
+                        inside = false;
+                        break 'corners;
+                    }
+                }
+            }
+            flops += probes * FLOPS_PER_SOLID_PROBE;
+            per_bin.push(if inside { BinClass::Inside } else { BinClass::Boundary });
+        }
+        classes.push(per_bin);
+    }
+    (classes, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::donor::{walk_search, SearchCost, SearchOutcome};
+    use overset_grid::curvilinear::{CurvilinearGrid, GridKind};
+    use overset_grid::field::Field3;
+    use overset_grid::index::Dims;
+    use overset_solver::FlowConditions;
+
+    fn cart_block(n: usize, h: f64) -> Block {
+        let d = Dims::new(n, n, n);
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * h, p.j as f64 * h, p.k as f64 * h]);
+        let g = CurvilinearGrid::new("c", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    fn annulus_block(nth: usize, nr: usize) -> Block {
+        annulus_block_from(nth, nr, 1.0)
+    }
+
+    fn annulus_block_from(nth: usize, nr: usize, r0: f64) -> Block {
+        let d = Dims::new(nth, nr, 1);
+        let coords = Field3::from_fn(d, |p| {
+            let th = -2.0 * std::f64::consts::PI * (p.i % (nth - 1)) as f64 / (nth - 1) as f64;
+            let r = r0 + 0.25 * p.j as f64;
+            [r * th.cos(), r * th.sin(), 0.0]
+        });
+        let mut g = CurvilinearGrid::new("a", coords, GridKind::NearBody);
+        g.periodic_i = true;
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    #[test]
+    fn query_seeds_land_one_step_from_the_target() {
+        let b = cart_block(17, 0.25);
+        let inv = InverseMap::build(&b);
+        assert!(inv.build_flops() > 0);
+        // Every interior cell midpoint must be found from its seed in very
+        // few walk steps (the whole point of the map).
+        for (i, j, k) in [(2usize, 3usize, 4usize), (15, 1, 8), (8, 14, 2)] {
+            let target =
+                [(i as f64 + 0.5) * 0.25, (j as f64 + 0.5) * 0.25, (k as f64 + 0.5) * 0.25];
+            let mut cost = SearchCost::default();
+            match walk_search(&b, target, inv.query(target), &mut cost) {
+                SearchOutcome::Found(d) => {
+                    assert_eq!(b.to_global(d.cell), Ijk::new(i, j, k));
+                }
+                o => panic!("expected Found, got {o:?}"),
+            }
+            assert!(cost.walk_steps <= 2, "walk from seed took {} steps", cost.walk_steps);
+        }
+    }
+
+    #[test]
+    fn seeded_walk_is_cheaper_than_center_start() {
+        let b = cart_block(33, 0.125);
+        let inv = InverseMap::build(&b);
+        let target = [0.3, 3.8, 0.2];
+        let mut cold = SearchCost::default();
+        walk_search(&b, target, crate::donor::center_start(&b), &mut cold);
+        let mut seeded = SearchCost::default();
+        walk_search(&b, target, inv.query(target), &mut seeded);
+        assert!(
+            seeded.flops() < cold.flops(),
+            "seeded {} vs cold {}",
+            seeded.flops(),
+            cold.flops()
+        );
+    }
+
+    #[test]
+    fn occupancy_admits_every_contained_point_and_prunes_the_annulus_hollow() {
+        // Thin annulus r ∈ [2.5, 3]: most of its bounding box is hollow —
+        // the false-positive shape occupancy pruning exists for.
+        let b = annulus_block_from(65, 3, 2.5);
+        let inv = InverseMap::build(&b);
+        let occ = inv.occupancy();
+        let bounds = inv.bounds();
+        // Any point actually inside some cell must be admitted
+        // (conservativeness: pruning never loses a donor).
+        for (r, th_deg) in [(2.55, 13.0), (2.7, 250.0), (2.9, 117.0), (2.95, 359.0)] {
+            let th = -f64::to_radians(th_deg);
+            let p = [r * th.cos(), r * th.sin(), 0.0];
+            assert!(occupancy_admits(&occ, &bounds, p), "pruned a real donor point {p:?}");
+        }
+        // The hollow center of the annulus is inside the bbox but holds no
+        // cells: occupancy must prune it.
+        assert!(bounds.contains([0.0, 0.0, 0.0]));
+        assert!(!occupancy_admits(&occ, &bounds, [0.0, 0.0, 0.0]));
+        // The all-ones mask admits everything.
+        assert!(occupancy_admits(&OCC_ALL, &bounds, [0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn annulus_queries_seed_near_the_target_angle() {
+        let b = annulus_block(65, 9);
+        let inv = InverseMap::build(&b);
+        for th_deg in [10.0f64, 95.0, 181.0, 340.0] {
+            let th = -th_deg.to_radians();
+            let target = [1.6 * th.cos(), 1.6 * th.sin(), 0.0];
+            let mut cost = SearchCost::default();
+            match walk_search(&b, target, inv.query(target), &mut cost) {
+                SearchOutcome::Found(_) => {}
+                o => panic!("{th_deg} deg: {o:?}"),
+            }
+            assert!(cost.walk_steps <= 8, "{th_deg} deg took {} steps", cost.walk_steps);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let b = annulus_block(33, 7);
+        let a = InverseMap::build(&b);
+        let c = InverseMap::build(&b);
+        assert_eq!(a.seeds, c.seeds);
+        assert_eq!(a.occupancy, c.occupancy);
+        assert_eq!(a.build_flops, c.build_flops);
+    }
+
+    #[test]
+    fn solid_classification_is_consistent_with_brute_force() {
+        let b = cart_block(21, 0.2); // covers [0,4]^3
+        let inv = InverseMap::build(&b);
+        let solid = Solid::Ellipsoid { center: [2.0, 2.0, 2.0], radii: [1.3, 1.1, 1.2] };
+        let (classes, flops) = classify_solids(&inv, &[&solid], 0.1);
+        assert!(flops > 0);
+        let classes = &classes[0];
+        let mut counts = [0usize; 3];
+        for (bin, cls) in classes.iter().enumerate() {
+            let bb = inv.hole_bin_box(bin);
+            counts[match cls {
+                BinClass::Outside => 0,
+                BinClass::Inside => 1,
+                BinClass::Boundary => 2,
+            }] += 1;
+            // Probe a grid of points in the bin; Inside bins must contain
+            // all of them (pad 0) and Outside bins must reject all of them
+            // even with the per-node pad bound.
+            for pi in 0..3 {
+                for pj in 0..3 {
+                    for pk in 0..3 {
+                        let p = [
+                            bb.min[0] + (bb.max[0] - bb.min[0]) * pi as f64 / 2.0,
+                            bb.min[1] + (bb.max[1] - bb.min[1]) * pj as f64 / 2.0,
+                            bb.min[2] + (bb.max[2] - bb.min[2]) * pk as f64 / 2.0,
+                        ];
+                        match cls {
+                            BinClass::Inside => assert!(solid.contains(p, 0.0), "{p:?}"),
+                            BinClass::Outside => {
+                                assert!(!solid.bbox().inflate(0.1).contains(p), "{p:?}")
+                            }
+                            BinClass::Boundary => {}
+                        }
+                    }
+                }
+            }
+        }
+        // A solid well inside the block yields all three classes.
+        assert!(counts[0] > 0 && counts[1] > 0 && counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn two_d_block_map_works() {
+        let d = Dims::new(11, 11, 1);
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * 0.3, p.j as f64 * 0.3, 0.0]);
+        let g = CurvilinearGrid::new("p", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        let b = Block::from_grid(0, &g, d.full_box(), [None; 6], &fc);
+        let inv = InverseMap::build(&b);
+        let target = [1.0, 2.0, 0.0];
+        let mut cost = SearchCost::default();
+        match walk_search(&b, target, inv.query(target), &mut cost) {
+            SearchOutcome::Found(dn) => assert_eq!(b.to_global(dn.cell), Ijk::new(3, 6, 0)),
+            o => panic!("{o:?}"),
+        }
+        assert!(cost.walk_steps <= 2);
+    }
+}

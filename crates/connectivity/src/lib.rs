@@ -9,6 +9,9 @@
 //! * [`holes`] — analytic hole cutting and fringe/IGBP identification,
 //! * [`donor`] — the stencil-walk donor search with Newton inversion of the
 //!   trilinear cell map,
+//! * [`inverse_map`] — DCF3D-style auxiliary Cartesian inverse maps: O(1)
+//!   walk seeds, coarse occupancy masks for request pruning, and ternary
+//!   solid masks for masked hole cutting,
 //! * [`interp`] — trilinear interpolation of the conserved state,
 //! * [`serial`] — the single-address-space connectivity solution (Y-MP
 //!   baseline and validation reference),
@@ -19,11 +22,15 @@
 pub mod donor;
 pub mod holes;
 pub mod interp;
+pub mod inverse_map;
 pub mod protocol;
 pub mod serial;
 
 pub use donor::{walk_search, Donor, SearchCost, SearchOutcome};
-pub use holes::{cut_holes_and_find_fringe, Igbp};
+pub use holes::{cut_holes_and_find_fringe, cut_holes_and_find_fringe_with_map, Igbp};
 pub use interp::{interpolate, weights};
-pub use protocol::{connect_distributed, ConnStats, DonorCache, Topology};
-pub use serial::{connect_serial, SerialCache, SerialConnStats};
+pub use inverse_map::{occupancy_admits, BinClass, InverseMap, OCC_ALL, OCC_WORDS};
+pub use protocol::{
+    connect_distributed, connect_distributed_with_map, ConnStats, DonorCache, Topology,
+};
+pub use serial::{connect_serial, connect_serial_with_maps, SerialCache, SerialConnStats};

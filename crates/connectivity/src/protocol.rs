@@ -25,6 +25,7 @@
 use crate::donor::{center_start, walk_search, walk_search_relaxed, SearchCost, SearchOutcome};
 use crate::holes::Igbp;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
+use crate::inverse_map::{occupancy_admits, InverseMap, FLOPS_PER_QUERY, OCC_ALL, OCC_WORDS};
 use overset_comm::metrics::names;
 use overset_comm::trace::ArgVal;
 use overset_comm::{Comm, WorkClass};
@@ -127,11 +128,21 @@ struct Pending {
     /// Index into the search hierarchy of this rank's grid (usize::MAX when
     /// trying the cached donor first).
     level: usize,
-    /// Candidate ranks (of the current hierarchy grid) not yet tried.
+    /// Candidate ranks of the current hierarchy grid, in try order.
     candidates: Vec<usize>,
+    /// Cursor into `candidates`: the next rank to try. Advancing the cursor
+    /// on a miss is O(1) where popping the vector front was O(n).
+    cand_idx: usize,
     hint: Option<Ijk>,
     /// Second sweep through the hierarchy with relaxed donor acceptance.
     relaxed: bool,
+}
+
+impl Pending {
+    /// No candidate rank left to try at the current hierarchy level.
+    fn exhausted(&self) -> bool {
+        self.cand_idx >= self.candidates.len()
+    }
 }
 
 /// Run the distributed connectivity solution for this rank's block.
@@ -146,14 +157,37 @@ pub fn connect_distributed(
     cache: &mut DonorCache,
     comm: &mut Comm,
 ) -> ConnStats {
+    connect_distributed_with_map(block, igbps, topo, cache, comm, None)
+}
+
+/// [`connect_distributed`] accelerated by this rank's inverse map (built for
+/// the block's *current* geometry): cold donor searches start from the map's
+/// O(1) seed instead of the block center, and the map's coarse occupancy
+/// mask rides along with the bounding-box broadcast so candidate routing
+/// prunes ranks whose boxes contain a point but whose cells cannot. Donors,
+/// weights and orphans are identical with or without the map — pruning only
+/// removes ranks that would certainly answer Miss. With `inv = None` the
+/// rank broadcasts an all-ones mask and cold-starts from the center (the
+/// exact legacy protocol).
+pub fn connect_distributed_with_map(
+    block: &mut Block,
+    igbps: &[Igbp],
+    topo: &Topology,
+    cache: &mut DonorCache,
+    comm: &mut Comm,
+    inv: Option<&InverseMap>,
+) -> ConnStats {
     let nranks = comm.size();
     let me = comm.rank();
     let my_grid = topo.grid_of_rank[me];
     let mut stats = ConnStats { igbps: igbps.len(), ..Default::default() };
     let t_conn = comm.now();
 
-    // 1. Broadcast owned-region bounding boxes.
-    let my_bbox = owned_bbox(block);
+    // 1. Broadcast owned-region bounding boxes and occupancy masks. A rank
+    //    with a map broadcasts the map's bounds so every receiver bins
+    //    points into exactly the lattice the occupancy bits were marked on.
+    let my_bbox = inv.map_or_else(|| owned_bbox(block), |m| m.bounds());
+    let my_occ = inv.map_or(OCC_ALL, |m| m.occupancy());
     let flat: [f64; 6] = [
         my_bbox.min[0],
         my_bbox.min[1],
@@ -162,9 +196,11 @@ pub fn connect_distributed(
         my_bbox.max[1],
         my_bbox.max[2],
     ];
-    let boxes: Vec<[f64; 6]> = comm.allgather(flat, 48);
+    let gathered: Vec<([f64; 6], [u64; OCC_WORDS])> =
+        comm.allgather((flat, my_occ), 48 + 8 * OCC_WORDS);
+    let occs: Vec<[u64; OCC_WORDS]> = gathered.iter().map(|(_, o)| *o).collect();
     let boxes: Vec<Aabb> =
-        boxes.iter().map(|b| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]])).collect();
+        gathered.iter().map(|(b, _)| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]])).collect();
 
     // 2. Seed pending requests: cached donors first, hierarchy otherwise.
     let mut pending: Vec<Pending> = Vec::with_capacity(igbps.len());
@@ -174,21 +210,28 @@ pub fn connect_distributed(
                 igbp: idx,
                 level: usize::MAX,
                 candidates: vec![rank],
+                cand_idx: 0,
                 hint: Some(cell),
                 relaxed,
             });
         } else {
-            let mut p =
-                Pending { igbp: idx, level: 0, candidates: Vec::new(), hint: None, relaxed: false };
+            let mut p = Pending {
+                igbp: idx,
+                level: 0,
+                candidates: Vec::new(),
+                cand_idx: 0,
+                hint: None,
+                relaxed: false,
+            };
             // Advance through the hierarchy until some grid's boxes contain
             // the point (the first listed grid need not).
-            refill_candidates(&mut p, ig, my_grid, topo, &boxes);
-            while p.candidates.is_empty() {
+            refill_candidates(&mut p, ig, my_grid, topo, &boxes, &occs);
+            while p.exhausted() {
                 p.level += 1;
                 if p.level >= topo.search_order[my_grid].len() {
                     break;
                 }
-                refill_candidates(&mut p, ig, my_grid, topo, &boxes);
+                refill_candidates(&mut p, ig, my_grid, topo, &boxes, &occs);
             }
             pending.push(p);
         }
@@ -196,7 +239,7 @@ pub fn connect_distributed(
     // Drop IGBPs with no candidates anywhere (instant orphans).
     let mut orphaned: Vec<usize> = Vec::new();
     pending.retain(|p| {
-        if p.candidates.is_empty() {
+        if p.exhausted() {
             orphaned.push(p.igbp);
             false
         } else {
@@ -204,7 +247,13 @@ pub fn connect_distributed(
         }
     });
 
-    // 3. Round loop.
+    // 3. Round loop. Interpolated values are buffered and applied only
+    //    after the loop: every donor rank then serves from its
+    //    pre-connectivity state, so an answer cannot depend on which round
+    //    a request happens to arrive in (occupancy pruning shortens miss
+    //    chains, which would otherwise shift arrival rounds between the
+    //    map-on and map-off modes and perturb values at the last bit).
+    let mut writes: Vec<(overset_grid::Ijk, [f64; 5])> = Vec::new();
     let mut round = 0usize;
     loop {
         let active: usize = comm.allreduce_sum_usize(pending.len());
@@ -216,7 +265,7 @@ pub fn connect_distributed(
         // Build per-destination request lists.
         let mut outgoing: Vec<Vec<ReqPoint>> = vec![Vec::new(); nranks];
         for p in &mut pending {
-            let dst = p.candidates[0];
+            let dst = p.candidates[p.cand_idx];
             let ig = &igbps[p.igbp];
             outgoing[dst].push(ReqPoint {
                 id: p.igbp as u32,
@@ -253,11 +302,19 @@ pub fn connect_distributed(
             comm.metrics_mut().add(names::CONN_SERVICED, n_in as u64);
             let mut answers: Vec<(u32, Answer)> = Vec::with_capacity(n_in);
             let mut service_flops = 0u64;
+            let steps_before = stats.walk_steps;
             for pt in &pts {
-                let start = pt
-                    .hint
-                    .map(|gc| clamp_to_local_cell(block, gc))
-                    .unwrap_or_else(|| center_start(block));
+                let start = match (pt.hint, inv) {
+                    // Warm restart hint beats everything.
+                    (Some(gc), _) => clamp_to_local_cell(block, gc),
+                    // Cold search: O(1) inverse-map seed near the target.
+                    (None, Some(m)) => {
+                        service_flops += FLOPS_PER_QUERY;
+                        m.query(pt.xyz)
+                    }
+                    // Legacy cold start from the block center.
+                    (None, None) => center_start(block),
+                };
                 let mut cost = SearchCost::default();
                 let out = if pt.relaxed {
                     walk_search_relaxed(block, pt.xyz, start, &mut cost)
@@ -277,6 +334,7 @@ pub fn connect_distributed(
                 answers.push((pt.id, ans));
             }
             comm.compute(service_flops as f64, WorkClass::Search);
+            comm.metrics_mut().add(names::CONN_WALK_STEPS, stats.walk_steps - steps_before);
             comm.send(src, tag_rep, answers, n_in * ANSWER_BYTES);
             comm.trace_complete(
                 "conn",
@@ -303,7 +361,7 @@ pub fn connect_distributed(
                         comm.metrics_mut().inc(names::CONN_CACHE_HIT);
                     }
                     let ig = &igbps[p.igbp];
-                    block.q.set_node(ig.node, value);
+                    writes.push((ig.node, value));
                     cache
                         .map
                         .insert(ig.node, (from, topo.grid_of_rank[from], cell_global, p.relaxed));
@@ -318,8 +376,8 @@ pub fn connect_distributed(
                     }
                     let ig = igbps[p.igbp];
                     p.hint = None;
-                    p.candidates.remove(0);
-                    while p.candidates.is_empty() {
+                    p.cand_idx += 1;
+                    while p.exhausted() {
                         p.level = if p.level == usize::MAX { 0 } else { p.level + 1 };
                         if p.level >= topo.search_order[my_grid].len() {
                             if p.relaxed {
@@ -328,9 +386,9 @@ pub fn connect_distributed(
                             p.relaxed = true;
                             p.level = 0;
                         }
-                        refill_candidates(&mut p, &ig, my_grid, topo, &boxes);
+                        refill_candidates(&mut p, &ig, my_grid, topo, &boxes, &occs);
                     }
-                    if p.candidates.is_empty() {
+                    if p.exhausted() {
                         orphaned.push(p.igbp);
                         cache.map.remove(&ig.node);
                     } else {
@@ -342,6 +400,10 @@ pub fn connect_distributed(
         }
         pending = still_pending;
         round += 1;
+    }
+
+    for (node, value) in writes {
+        block.q.set_node(node, value);
     }
 
     // Anything still pending at the round cap is an orphan this step.
@@ -362,19 +424,31 @@ pub fn connect_distributed(
 }
 
 /// Candidate ranks for one IGBP at its current hierarchy level: the ranks of
-/// the level's grid whose bounding boxes contain the point, nearest bounding
-/// box center first (deterministic rank-id tie-break). Proximity ordering
-/// makes the first candidate almost always the owner, so cold searches
-/// rarely pay for a miss.
-fn refill_candidates(p: &mut Pending, ig: &Igbp, my_grid: usize, topo: &Topology, boxes: &[Aabb]) {
+/// the level's grid whose bounding boxes contain the point — and whose
+/// occupancy masks admit it, pruning ranks whose *box* overlaps but whose
+/// *cells* cannot hold the point (the hollow of an O-grid) — nearest
+/// bounding box center first (deterministic rank-id tie-break). Proximity
+/// ordering makes the first candidate almost always the owner, so cold
+/// searches rarely pay for a miss.
+fn refill_candidates(
+    p: &mut Pending,
+    ig: &Igbp,
+    my_grid: usize,
+    topo: &Topology,
+    boxes: &[Aabb],
+    occs: &[[u64; OCC_WORDS]],
+) {
     let level = if p.level == usize::MAX { 0 } else { p.level };
+    p.cand_idx = 0;
     let Some(&grid) = topo.search_order[my_grid].get(level) else {
         p.candidates.clear();
         return;
     };
     p.level = level;
-    let mut cands: Vec<usize> =
-        topo.ranks_of_grid[grid].clone().filter(|&r| boxes[r].contains(ig.xyz)).collect();
+    let mut cands: Vec<usize> = topo.ranks_of_grid[grid]
+        .clone()
+        .filter(|&r| boxes[r].contains(ig.xyz) && occupancy_admits(&occs[r], &boxes[r], ig.xyz))
+        .collect();
     let dist2 = |r: usize| -> f64 {
         let c = boxes[r].center();
         (c[0] - ig.xyz[0]).powi(2) + (c[1] - ig.xyz[1]).powi(2) + (c[2] - ig.xyz[2]).powi(2)

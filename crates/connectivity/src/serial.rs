@@ -4,8 +4,9 @@
 //! protocol is validated against.
 
 use crate::donor::{center_start, walk_search, Donor, SearchCost, SearchOutcome};
-use crate::holes::{cut_holes_and_find_fringe, Igbp};
+use crate::holes::{cut_holes_and_find_fringe_with_map, Igbp};
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
+use crate::inverse_map::{InverseMap, FLOPS_PER_QUERY};
 use overset_grid::curvilinear::Solid;
 use overset_grid::index::Ijk;
 use overset_solver::Block;
@@ -57,14 +58,33 @@ pub fn connect_serial(
     solids: &[(usize, Solid)],
     cache: &mut SerialCache,
 ) -> SerialConnStats {
+    connect_serial_with_maps(blocks, search_order, solids, cache, None)
+}
+
+/// [`connect_serial`] accelerated by per-grid inverse maps (`maps[g]` built
+/// for `blocks[g]`'s current geometry): hole cutting is masked by each map's
+/// ternary solid lattice and cold donor searches start from the map's O(1)
+/// seed instead of the donor grid's center. Results (blanking, donors,
+/// orphans, fringe values) are identical with or without maps — only the
+/// flop charge drops. With `maps = None` this *is* the legacy serial path.
+pub fn connect_serial_with_maps(
+    blocks: &mut [Block],
+    search_order: &[Vec<usize>],
+    solids: &[(usize, Solid)],
+    cache: &mut SerialCache,
+    maps: Option<&[InverseMap]>,
+) -> SerialConnStats {
     let ngrids = blocks.len();
     assert_eq!(search_order.len(), ngrids);
+    if let Some(ms) = maps {
+        assert_eq!(ms.len(), ngrids);
+    }
     let mut stats = SerialConnStats::default();
 
     // Phase 1: hole cutting and fringe identification.
     let mut igbps_per_grid: Vec<Vec<Igbp>> = Vec::with_capacity(ngrids);
-    for b in blocks.iter_mut() {
-        let (igbps, flops) = cut_holes_and_find_fringe(b, solids);
+    for (g, b) in blocks.iter_mut().enumerate() {
+        let (igbps, flops) = cut_holes_and_find_fringe_with_map(b, solids, maps.map(|ms| &ms[g]));
         stats.flops += flops;
         igbps_per_grid.push(igbps);
     }
@@ -78,7 +98,11 @@ pub fn connect_serial(
         })
         .collect();
 
-    // Phase 2/3: search and interpolate.
+    // Phase 2/3: search and interpolate. Interpolated values are buffered
+    // and applied after every IGBP is resolved, so each donor reads the
+    // pre-connectivity state — answers cannot depend on the order in which
+    // fringe points happen to resolve.
+    let mut writes: Vec<(usize, overset_grid::Ijk, [f64; 5])> = Vec::new();
     for g in 0..ngrids {
         let igbps = std::mem::take(&mut igbps_per_grid[g]);
         stats.igbps += igbps.len();
@@ -107,7 +131,13 @@ pub fn connect_serial(
                         continue;
                     }
                     let mut cost = SearchCost::default();
-                    let start = center_start(&blocks[dg]);
+                    let start = match maps {
+                        Some(ms) => {
+                            stats.flops += FLOPS_PER_QUERY;
+                            ms[dg].query(ig.xyz)
+                        }
+                        None => center_start(&blocks[dg]),
+                    };
                     let out = if relaxed {
                         crate::donor::walk_search_relaxed(&blocks[dg], ig.xyz, start, &mut cost)
                     } else {
@@ -126,7 +156,7 @@ pub fn connect_serial(
                 Some((dg, d)) => {
                     let value = interpolate(&blocks[dg], &d);
                     stats.flops += FLOPS_PER_INTERP;
-                    blocks[g].q.set_node(ig.node, value);
+                    writes.push((g, ig.node, value));
                     cache.map.insert(key, (dg, d.cell));
                     stats.resolved += 1;
                 }
@@ -137,6 +167,9 @@ pub fn connect_serial(
                 }
             }
         }
+    }
+    for (g, node, value) in writes {
+        blocks[g].q.set_node(node, value);
     }
     stats
 }
@@ -245,6 +278,26 @@ mod tests {
         let stats = connect_serial(&mut blocks, &order(), &[], &mut cache);
         assert_eq!(stats.orphans, 0);
         assert!(cache.len() >= n0);
+    }
+
+    #[test]
+    fn maps_reduce_walk_work_with_same_resolution() {
+        let mut a = two_grid_system();
+        let mut b = two_grid_system();
+        let mut ca = SerialCache::new();
+        let mut cb = SerialCache::new();
+        let sa = connect_serial(&mut a, &order(), &[], &mut ca);
+        let maps: Vec<InverseMap> = b.iter().map(InverseMap::build).collect();
+        let sb = connect_serial_with_maps(&mut b, &order(), &[], &mut cb, Some(&maps));
+        assert_eq!(sa.igbps, sb.igbps);
+        assert_eq!(sa.resolved, sb.resolved);
+        assert_eq!(sa.orphans, sb.orphans);
+        assert!(
+            sb.walk_steps < sa.walk_steps,
+            "seeded {} vs cold {} walk steps",
+            sb.walk_steps,
+            sa.walk_steps
+        );
     }
 
     #[test]

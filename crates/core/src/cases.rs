@@ -24,6 +24,7 @@ pub fn airfoil_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        use_inverse_map: true,
         trace: TraceConfig::disabled(),
         max_threads: None,
     }
@@ -46,6 +47,7 @@ pub fn delta_wing_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        use_inverse_map: true,
         trace: TraceConfig::disabled(),
         max_threads: None,
     }
@@ -75,6 +77,7 @@ pub fn store_case(scale: f64, steps: usize) -> CaseConfig {
         lb: LbConfig::static_only(),
         collect_state: false,
         use_restart: true,
+        use_inverse_map: true,
         trace: TraceConfig::disabled(),
         max_threads: None,
     }

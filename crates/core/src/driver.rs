@@ -16,7 +16,8 @@ use overset_comm::{
     Universe, WorkClass, NUM_PHASES,
 };
 use overset_connectivity::{
-    connect_distributed, connect_serial, cut_holes_and_find_fringe, DonorCache, SerialCache,
+    connect_distributed_with_map, connect_serial_with_maps, cut_holes_and_find_fringe,
+    cut_holes_and_find_fringe_with_map, DonorCache, InverseMap, SerialCache,
 };
 use overset_grid::curvilinear::{CurvilinearGrid, Solid};
 use overset_grid::transform::RigidTransform;
@@ -66,6 +67,12 @@ pub struct CaseConfig {
     /// Use the nth-level-restart donor cache (Barszcz). Disabling forces a
     /// from-scratch donor search every step (the A1 ablation).
     pub use_restart: bool,
+    /// Use the DCF3D-style inverse-map acceleration structures: O(1) walk
+    /// seeds for cold donor searches, occupancy-pruned candidate routing,
+    /// and masked hole cutting. Connectivity results are identical either
+    /// way; disabling (the ablation) only changes where the virtual time
+    /// goes. Maps are rebuilt per motion event, only for grids that moved.
+    pub use_inverse_map: bool,
     /// Event tracing (virtual-time spans collected into
     /// [`RunResult::trace`]). Disabled by default; zero-cost when off.
     pub trace: TraceConfig,
@@ -287,6 +294,11 @@ fn run_rank(
     let mut topo =
         build_topology(&partition, &cfg.search_order).unwrap_or_else(|e| panic!("rank {me}: {e}"));
     let mut cache = DonorCache::new();
+    // Inverse-map lifecycle: build lazily in the connectivity phase, reuse
+    // across steps, and mark dirty whenever this rank's grid moves or the
+    // block is rebuilt by a repartition.
+    let mut inv: Option<InverseMap> = None;
+    let mut inv_dirty = true;
 
     let mut last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
     let mut phase_elapsed = [0.0f64; NUM_PHASES];
@@ -405,6 +417,7 @@ fn run_rank(
                 }
                 if body.grids.contains(&block.grid_id) {
                     block.apply_motion(&t, fc.dt);
+                    inv_dirty = true;
                     if let Some(w) = &mut wall {
                         for p in &mut w.wall_xyz {
                             *p = t.apply(*p);
@@ -431,12 +444,30 @@ fn run_rank(
                 let mut mp = MpSolverComm { comm: &mut ph };
                 mp.exchange_halo(&mut block);
             }
-            let (igbps, hole_flops) = cut_holes_and_find_fringe(&mut block, &solids);
+            if cfg.use_inverse_map {
+                if inv_dirty {
+                    let m = InverseMap::build(&block);
+                    ph.compute(m.build_flops() as f64, WorkClass::Search);
+                    inv = Some(m);
+                    inv_dirty = false;
+                }
+            } else {
+                inv = None;
+            }
+            let (igbps, hole_flops) =
+                cut_holes_and_find_fringe_with_map(&mut block, &solids, inv.as_ref());
             ph.compute(hole_flops as f64, WorkClass::Search);
             if !cfg.use_restart {
                 cache.clear();
             }
-            let stats = connect_distributed(&mut block, &igbps, &topo, &mut cache, &mut ph);
+            let stats = connect_distributed_with_map(
+                &mut block,
+                &igbps,
+                &topo,
+                &mut cache,
+                &mut ph,
+                inv.as_ref(),
+            );
             last_conn = stats;
             igbps_last = igbps.len();
             svc.note_step();
@@ -493,6 +524,10 @@ fn run_rank(
                     part_ref.owner_of(grid, clamped)
                 });
                 ph.set_working_set(block.working_set_bytes());
+                // The rebuilt block covers a different region: the inverse
+                // map is stale until the next connectivity phase.
+                inv = None;
+                inv_dirty = true;
                 // Restore blanking on the new block immediately: the next
                 // flow step must not treat redistributed hole values as
                 // live field points.
@@ -589,6 +624,9 @@ pub fn run_case_serial(
         let ws: f64 = blocks.iter().map(|b| b.working_set_bytes()).sum();
         comm.set_working_set(ws);
         let mut cache = SerialCache::new();
+        // Per-grid inverse maps, rebuilt only for grids whose pose changed.
+        let mut maps: Vec<InverseMap> = Vec::new();
+        let mut moved: Vec<bool> = vec![true; ngrids];
         let mut phase_elapsed = [0.0f64; NUM_PHASES];
         let mut igbps_last = 0usize;
         let mut orphans_last = 0usize;
@@ -646,6 +684,7 @@ pub fn run_case_serial(
                             }
                         }
                         blocks[g].apply_motion(&t, fc.dt);
+                        moved[g] = true;
                         if let Some(w) = &mut walls[g] {
                             for p in &mut w.wall_xyz {
                                 *p = t.apply(*p);
@@ -662,9 +701,41 @@ pub fn run_case_serial(
             {
                 let mut ph = comm.phase(Phase::Connectivity);
                 let t0 = ph.now();
-                let stats = connect_serial(&mut blocks, &cfg.search_order, &solids, &mut cache);
+                let stats = if cfg.use_inverse_map {
+                    let mut build_flops = 0u64;
+                    if maps.len() != ngrids {
+                        maps = blocks.iter().map(InverseMap::build).collect();
+                        build_flops = maps.iter().map(|m| m.build_flops()).sum();
+                        moved.iter_mut().for_each(|f| *f = false);
+                    } else {
+                        for (g, f) in moved.iter_mut().enumerate() {
+                            if *f {
+                                maps[g] = InverseMap::build(&blocks[g]);
+                                build_flops += maps[g].build_flops();
+                                *f = false;
+                            }
+                        }
+                    }
+                    ph.compute(build_flops as f64, WorkClass::Search);
+                    connect_serial_with_maps(
+                        &mut blocks,
+                        &cfg.search_order,
+                        &solids,
+                        &mut cache,
+                        Some(&maps),
+                    )
+                } else {
+                    connect_serial_with_maps(
+                        &mut blocks,
+                        &cfg.search_order,
+                        &solids,
+                        &mut cache,
+                        None,
+                    )
+                };
                 ph.compute(stats.flops as f64, WorkClass::Search);
                 ph.metrics_mut().add(names::CONN_SERVICED, stats.igbps as u64);
+                ph.metrics_mut().add(names::CONN_WALK_STEPS, stats.walk_steps);
                 igbps_last = stats.igbps;
                 orphans_last = stats.orphans;
                 phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;

@@ -1,0 +1,78 @@
+//! Inverse-map ablation: the acceleration layer must change *work*, never
+//! *answers*. With `use_inverse_map` off, cold donor searches start from the
+//! block center and candidate ranks are pruned only by bounding box; with it
+//! on, searches start from a map-seeded cell and ranks are additionally
+//! pruned by the occupancy mask. Both paths must land on the same donor
+//! cells with the same trilinear weights (hence bit-identical physics) and
+//! the same orphan census, while the accelerated path performs measurably
+//! fewer walk steps and forwards fewer requests between ranks.
+
+use overflow_d::{airfoil_case, run_case, store_case, CaseConfig, RunResult};
+use overset_comm::{metrics::names, MachineModel};
+
+fn ablate(mut cfg: CaseConfig, nranks: usize) -> (RunResult, RunResult) {
+    cfg.use_inverse_map = true;
+    let on = run_case(&cfg, nranks, &MachineModel::modern()).unwrap();
+    cfg.use_inverse_map = false;
+    let off = run_case(&cfg, nranks, &MachineModel::modern()).unwrap();
+    (on, off)
+}
+
+fn assert_same_answers_less_work(on: &RunResult, off: &RunResult, case: &str) {
+    // Identical donors: interpolation weights feed every fringe update, so
+    // any donor-cell or weight difference would perturb the state checksum.
+    assert_eq!(
+        on.state_rms.to_bits(),
+        off.state_rms.to_bits(),
+        "{case}: state diverged: map-on {} vs map-off {}",
+        on.state_rms,
+        off.state_rms
+    );
+    assert_eq!(on.orphans_last, off.orphans_last, "{case}: orphan census diverged");
+    assert_eq!(on.igbps_last, off.igbps_last, "{case}: fringe census diverged");
+
+    // Measurably less work: seeded cold starts shorten walks, occupancy
+    // pruning drops certain-miss ranks from the candidate rotation.
+    let walks_on = on.metrics.counter(names::CONN_WALK_STEPS);
+    let walks_off = off.metrics.counter(names::CONN_WALK_STEPS);
+    assert!(
+        walks_on < walks_off,
+        "{case}: map did not reduce walk steps: {walks_on} vs {walks_off}"
+    );
+    let fwd_on = on.metrics.counter(names::CONN_FORWARDS);
+    let fwd_off = off.metrics.counter(names::CONN_FORWARDS);
+    assert!(fwd_on <= fwd_off, "{case}: map increased forwards: {fwd_on} vs {fwd_off}");
+}
+
+#[test]
+fn airfoil_donors_identical_with_fewer_walk_steps() {
+    let (on, off) = ablate(airfoil_case(0.4, 4), 6);
+    assert_same_answers_less_work(&on, &off, "airfoil");
+}
+
+#[test]
+fn store_donors_identical_with_fewer_walk_steps() {
+    // The store case exercises the 3-D path, multiple movers, and the
+    // occupancy-pruned candidate rotation across 16 ranks.
+    let (on, off) = ablate(store_case(0.3, 4), 16);
+    assert_same_answers_less_work(&on, &off, "store");
+    let (fwd_on, fwd_off) =
+        (on.metrics.counter(names::CONN_FORWARDS), off.metrics.counter(names::CONN_FORWARDS));
+    assert!(
+        fwd_on < fwd_off,
+        "store: occupancy pruning did not reduce forwards: {fwd_on} vs {fwd_off}"
+    );
+}
+
+#[test]
+fn serial_driver_honors_the_flag_too() {
+    let mut cfg = airfoil_case(0.35, 3);
+    cfg.use_inverse_map = true;
+    let on = overflow_d::run_case_serial(&cfg, &MachineModel::modern()).unwrap();
+    cfg.use_inverse_map = false;
+    let off = overflow_d::run_case_serial(&cfg, &MachineModel::modern()).unwrap();
+    assert_eq!(on.state_rms.to_bits(), off.state_rms.to_bits());
+    let (w_on, w_off) =
+        (on.metrics.counter(names::CONN_WALK_STEPS), off.metrics.counter(names::CONN_WALK_STEPS));
+    assert!(w_on < w_off, "serial walk steps: {w_on} vs {w_off}");
+}

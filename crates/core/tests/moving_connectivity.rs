@@ -22,16 +22,30 @@ fn quarter_period_pitch_stays_connected() {
 
 #[test]
 fn warm_connectivity_stays_cheap_through_motion() {
-    // Average connectivity time over a long moving run must stay close to
-    // the warm-path cost (i.e. nth-level restart keeps working while the
-    // grids move), far below the cold first step.
+    // Average connectivity time over a long moving run must stay below the
+    // cold first step (nth-level restart keeps working while the grids
+    // move). The margin is narrower than the pre-inverse-map 2x: map
+    // seeding makes the cold step itself cheap, so the warm/cold gap now
+    // measures hint-vs-seeded-walk, not hint-vs-center-start.
     let one = run_case(&airfoil_case(0.3, 1), 6, &MachineModel::ibm_sp2()).unwrap();
     let many = run_case(&airfoil_case(0.3, 30), 6, &MachineModel::ibm_sp2()).unwrap();
     let conn =
         |r: &overflow_d::RunResult| r.phase_elapsed[overset_comm::Phase::Connectivity as usize];
     let cold = conn(&one);
     let warm_avg = (conn(&many) - cold) / 29.0;
-    assert!(warm_avg < 0.5 * cold, "warm connectivity not cheap: {warm_avg} vs cold {cold}");
+    assert!(warm_avg < 0.8 * cold, "warm connectivity not cheap: {warm_avg} vs cold {cold}");
+
+    // The flip side: disabling the map reverts cold searches to
+    // center-start walks, which must cost measurably more than seeded ones.
+    let mut unseeded_cfg = airfoil_case(0.3, 1);
+    unseeded_cfg.use_inverse_map = false;
+    let unseeded = run_case(&unseeded_cfg, 6, &MachineModel::ibm_sp2()).unwrap();
+    assert!(
+        cold < conn(&unseeded),
+        "map-seeded cold step {} not cheaper than center-start {}",
+        cold,
+        conn(&unseeded)
+    );
 }
 
 #[test]

@@ -137,6 +137,14 @@ pub fn compare(baseline: &Value, new: &Value, tol_pct: f64) -> Result<CompareOut
         for metric in LOWER_IS_WORSE {
             compare_metric(&mut out, &key, metric, bsum, nsum, tol, /*higher_bad=*/ false);
         }
+        // Search-effort counters (walk steps, forwarded donor requests) are a
+        // leading indicator for connectivity slowdowns — a blown-up walk count
+        // often precedes a t_connectivity regression by one grid refinement.
+        // They are advisory: warn past 20% growth, never fail the gate (the
+        // virtual-time phase metrics above are the authoritative verdict).
+        for metric in ["walk_steps_total", "forwards_total"] {
+            warn_counter_growth(&mut out, &key, metric, bsum, nsum);
+        }
     }
     Ok(out)
 }
@@ -169,6 +177,30 @@ fn compare_metric(
             new: n,
             delta_pct,
         });
+    }
+}
+
+/// Note (not a regression) when an advisory counter grows past 20%.
+fn warn_counter_growth(
+    out: &mut CompareOutcome,
+    case: &str,
+    metric: &str,
+    bsum: &Value,
+    nsum: &Value,
+) {
+    let (Some(b), Some(n)) =
+        (bsum.get(metric).and_then(Value::as_f64), nsum.get(metric).and_then(Value::as_f64))
+    else {
+        return; // absent on either side (older baseline): nothing to say
+    };
+    let grew = if b > 0.0 { n > b * 1.2 } else { n > 0.0 };
+    if grew {
+        let pct =
+            if b > 0.0 { format!("{:+.1}%", (n - b) / b * 100.0) } else { "from zero".into() };
+        out.notes.push(format!(
+            "{case}: warning: {metric} grew {b} -> {n} ({pct}); search effort is up even if \
+             phase times still pass — check donor-cache hit rate and inverse-map coverage"
+        ));
     }
 }
 
@@ -298,6 +330,37 @@ mod tests {
             .any(|n| n.contains("warning") && n.contains("baseline dropped 7")));
         let out = compare(&clean, &clean, 5.0).unwrap();
         assert!(!out.notes.iter().any(|n| n.contains("warning")));
+    }
+
+    #[test]
+    fn walk_step_growth_warns_but_never_fails() {
+        let with_walks = |walks: f64, fwd: f64| {
+            let mut s = summary(100.0, 20.0, 0.0, 0.9);
+            if let Value::Obj(pairs) = &mut s {
+                pairs.push(("walk_steps_total".into(), Value::Num(walks)));
+                pairs.push(("forwards_total".into(), Value::Num(fwd)));
+            }
+            report(vec![("store", s)])
+        };
+        let base = with_walks(1000.0, 50.0);
+        // +10% walks, same forwards: inside the 20% advisory band, silent.
+        let mild = with_walks(1100.0, 50.0);
+        let out = compare(&base, &mild, 5.0).unwrap();
+        assert!(out.passed());
+        assert!(!out.notes.iter().any(|n| n.contains("walk_steps_total")));
+        // +50% walks and forwards appearing from zero both warn; still passes
+        // and the checked count is unchanged (advisory, not gated).
+        let base_zero_fwd = with_walks(1000.0, 0.0);
+        let worse = with_walks(1500.0, 8.0);
+        let out = compare(&base_zero_fwd, &worse, 5.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 11);
+        assert!(out.notes.iter().any(|n| n.contains("walk_steps_total") && n.contains("+50.0%")));
+        assert!(out.notes.iter().any(|n| n.contains("forwards_total") && n.contains("from zero")));
+        // Counters absent entirely (old baseline): no note about them.
+        let old = report(vec![("store", summary(100.0, 20.0, 0.0, 0.9))]);
+        let out = compare(&old, &old, 5.0).unwrap();
+        assert!(!out.notes.iter().any(|n| n.contains("walk_steps_total")));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub use json::{parse, Value};
 use json::{obj, opt_num};
 use overflow_d::{CaseConfig, RunResult};
 use overset_balance::service_imbalance;
+use overset_comm::metrics::names;
 use overset_comm::{Phase, StepRecord, NUM_PHASES};
 
 /// Version of the report document layout. See the module docs for the bump
@@ -54,6 +55,11 @@ pub struct StepSeries {
     pub serviced_total: u64,
     pub serviced_min: u64,
     pub serviced_max: u64,
+    /// Stencil-walk steps spent servicing donor searches, summed over ranks.
+    pub walk_steps: u64,
+    /// Search requests forwarded to another candidate rank, summed over
+    /// ranks (false-positive routing).
+    pub forwards: u64,
     pub orphans: u64,
     /// Warm-restart hit rate over all ranks, `None` when no lookups ran.
     pub cache_hit_rate: Option<f64>,
@@ -87,6 +93,8 @@ pub fn aggregate_steps(step_records: &[Vec<StepRecord>]) -> Vec<StepSeries> {
             serviced_total: recs.iter().map(|r| r.serviced).sum(),
             serviced_min: recs.iter().map(|r| r.serviced).min().unwrap_or(0),
             serviced_max: recs.iter().map(|r| r.serviced).max().unwrap_or(0),
+            walk_steps: recs.iter().map(|r| r.walk_steps).sum(),
+            forwards: recs.iter().map(|r| r.forwards).sum(),
             orphans: recs.iter().map(|r| r.orphans).sum(),
             cache_hit_rate: if hits + misses == 0 {
                 None
@@ -111,6 +119,8 @@ fn series_value(s: &StepSeries) -> Value {
         ("serviced_total".to_string(), Value::Num(s.serviced_total as f64)),
         ("serviced_min".to_string(), Value::Num(s.serviced_min as f64)),
         ("serviced_max".to_string(), Value::Num(s.serviced_max as f64)),
+        ("walk_steps".to_string(), Value::Num(s.walk_steps as f64)),
+        ("forwards".to_string(), Value::Num(s.forwards as f64)),
         ("orphans".to_string(), Value::Num(s.orphans as f64)),
         ("cache_hit_rate".to_string(), opt_num(s.cache_hit_rate)),
         ("msgs".to_string(), Value::Num(s.msgs as f64)),
@@ -139,6 +149,14 @@ fn summary_value(r: &RunResult, series: &[StepSeries]) -> Value {
         ("orphans_last".to_string(), Value::Num(r.orphans_last as f64)),
         ("repartitions".to_string(), Value::Num(r.repartitions as f64)),
         ("cache_hit_rate".to_string(), opt_num(r.metrics.cache_hit_rate())),
+        // Whole-run donor-search effort, read from the metrics counters
+        // (exact even when the flight-recorder ring evicted early steps).
+        // The inverse-map ablation reads its win off these two.
+        (
+            "walk_steps_total".to_string(),
+            Value::Num(r.metrics.counter(names::CONN_WALK_STEPS) as f64),
+        ),
+        ("forwards_total".to_string(), Value::Num(r.metrics.counter(names::CONN_FORWARDS) as f64)),
         // Flight-recorder ring evictions: when > 0 the series above covers
         // only the trailing window of the run, and `compare` warns.
         ("steps_dropped".to_string(), Value::Num(r.steps_dropped as f64)),
@@ -233,6 +251,8 @@ mod tests {
             time,
             clock: 0.0,
             serviced,
+            walk_steps: serviced * 3,
+            forwards: 1,
             orphans: 0,
             cache_hits: serviced / 2,
             cache_misses: serviced - serviced / 2,
@@ -254,6 +274,8 @@ mod tests {
         // f_max = max(30,10)/mean(20) = 1.5
         assert!((s[0].f_max - 1.5).abs() < 1e-12);
         assert_eq!(s[0].serviced_total, 40);
+        assert_eq!(s[0].walk_steps, 120);
+        assert_eq!(s[0].forwards, 2);
         assert!(!s[0].repartition);
         assert!(s[1].repartition);
         assert_eq!(s[0].cache_hit_rate, Some(0.5));

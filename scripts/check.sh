@@ -20,8 +20,18 @@ cargo test -q -p overflow-d --test observability
 echo "== M:N scheduler: 512 virtual ranks on 8 OS threads =="
 cargo test -q --release -p overflow-d --test scheduler_modes -- --ignored
 
+echo "== criterion microbenches compile =="
+cargo bench --no-run
+
 echo "== repro smoke test =="
 ./target/release/repro table1 --quick > /dev/null
+
+echo "== inverse-map ablation smoke test =="
+ABLATE_OUT="$(./target/release/repro ablate-invmap --quick)"
+if grep -q "DIVERGED" <<< "$ABLATE_OUT" || ! grep -q "bit-equal" <<< "$ABLATE_OUT"; then
+    echo "ablate-invmap: answers diverged between map on/off" >&2
+    exit 1
+fi
 
 echo "== analyzer smoke test =="
 ./target/release/repro analyze table1 --quick > /dev/null
