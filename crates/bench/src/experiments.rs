@@ -11,7 +11,7 @@ use overflow_d::{
     RunResult,
 };
 use overset_comm::trace::TraceConfig;
-use overset_comm::{MachineModel, Phase};
+use overset_comm::{MachineModel, Phase, TransportConfig};
 
 /// Global experiment scaling knobs.
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +33,14 @@ pub struct Effort {
     /// walks, occupancy-pruned candidates, masked hole cutting. Answers are
     /// identical either way; only the work (and so the virtual time) moves.
     pub use_inverse_map: bool,
+    /// Process-transport group count (`--transport proc[:N]`). `None`
+    /// (default, `--transport inproc`): ranks as threads in this process.
+    /// `Some(n)`: ranks split across `n` forked rank-group processes.
+    /// Virtual times are bit-identical either way (`repro smoke` proves it).
+    /// Sweeps pay quadratic replay cost (each forked child re-runs the
+    /// sweep's earlier universes in-process to reach its own), so expect
+    /// multi-case runs to be severalfold slower than `inproc`.
+    pub proc_groups: Option<usize>,
 }
 
 impl Effort {
@@ -44,6 +52,7 @@ impl Effort {
             steps3d: 12,
             max_threads: None,
             use_inverse_map: true,
+            proc_groups: None,
         }
     }
 
@@ -56,14 +65,20 @@ impl Effort {
             steps3d: 5,
             max_threads: None,
             use_inverse_map: true,
+            proc_groups: None,
         }
     }
 }
 
-/// Apply the effort's scheduler bound and feature toggles to a case config.
+/// Apply the effort's scheduler bound, feature toggles and transport to a
+/// case config — the single place CLI flags become configuration.
 pub(crate) fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
     cfg.max_threads = e.max_threads;
     cfg.use_inverse_map = e.use_inverse_map;
+    cfg.transport = match e.proc_groups {
+        None => TransportConfig::InProcess,
+        Some(n) => TransportConfig::process(n),
+    };
     cfg
 }
 
@@ -314,6 +329,64 @@ pub fn traced_run(which: &str, e: Effort, trace: TraceConfig) -> RunResult {
     let (mut cfg, nodes) = crate::report::representative_case(which, e);
     cfg.trace = trace;
     run_case(&tuned(cfg, e), nodes, &sp2()).expect("traced run failed")
+}
+
+/// `repro smoke`: prove the transport-determinism contract from the CLI.
+/// Runs the store case once over the multi-process backend (two forked
+/// rank-group processes) and once in-process, then compares physics, global
+/// clock and every rank's clocks and communication counters bit for bit.
+/// Exit 0 on bit-equality, 1 on divergence or a failed run.
+///
+/// The process-backed run goes first: its forked children re-execute
+/// `repro smoke` and must reach the process-backed `establish` without
+/// replaying the in-process reference run.
+pub fn transport_smoke() -> i32 {
+    let machine = sp2();
+    let nranks = 16; // the store system has 16 grids; each needs a processor
+    let mut cfg = store_case(0.3, 3);
+    cfg.transport = TransportConfig::process(2);
+    let proc = match run_case(&cfg, nranks, &machine) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transport smoke: process-transport run failed: {e}");
+            return 1;
+        }
+    };
+    cfg.transport = TransportConfig::InProcess;
+    let inproc = match run_case(&cfg, nranks, &machine) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transport smoke: in-process run failed: {e}");
+            return 1;
+        }
+    };
+
+    let mut diverged: Vec<String> = Vec::new();
+    if proc.state_rms.to_bits() != inproc.state_rms.to_bits() {
+        diverged.push(format!("state RMS {} vs {}", proc.state_rms, inproc.state_rms));
+    }
+    if proc.wall_time.to_bits() != inproc.wall_time.to_bits() {
+        diverged.push(format!("wall time {} vs {}", proc.wall_time, inproc.wall_time));
+    }
+    for (p, i) in proc.rank_stats.iter().zip(&inproc.rank_stats) {
+        if p.final_clock.to_bits() != i.final_clock.to_bits() {
+            diverged.push(format!("rank {} clock {} vs {}", p.rank, p.final_clock, i.final_clock));
+        }
+        if (p.msgs_sent, p.bytes_sent, p.collectives) != (i.msgs_sent, i.bytes_sent, i.collectives)
+        {
+            diverged.push(format!("rank {} comm counters", p.rank));
+        }
+    }
+    if diverged.is_empty() {
+        println!("transport smoke: bit-equal (store case, {nranks} ranks, proc:2 vs inproc)");
+        0
+    } else {
+        println!("transport smoke: DIVERGED");
+        for d in &diverged {
+            eprintln!("  {d}");
+        }
+        1
+    }
 }
 
 /// Print the run's aggregated metrics registry (counters then histograms,

@@ -3,12 +3,13 @@
 //!
 //! Usage:
 //!   `repro <experiment> [--quick] [--max-threads <N>] [--no-inverse-map]
-//!          [--trace <out.json>] [--metrics] [--trace-filter <cats>]
-//!          [--trace-sample <N>]`
+//!          [--transport inproc|proc[:N]] [--trace <out.json>] [--metrics]
+//!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro report <experiment> [--quick] [-o <out.json>]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
 //!   `repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]`
+//!   `repro smoke`
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
 //! table5 fig11 table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo
@@ -19,6 +20,12 @@
 //! mode). All virtual-time results are bit-identical to the default
 //! rank-per-thread mode; the flag exists so large rank counts — notably the
 //! `scaling` experiment's 1024-rank rows — run on ordinary hosts.
+//!
+//! `--transport proc[:N]` runs each case's ranks split across N forked
+//! rank-group processes speaking the versioned wire protocol, instead of as
+//! threads of this process (`inproc`, the default). Results are bit-identical
+//! either way; `repro smoke` proves exactly that on the store case and exits
+//! nonzero on any divergence (see docs/TRANSPORT.md).
 //!
 //! `--trace` re-runs the experiment's representative case with event
 //! tracing enabled and writes a Chrome `trace_event` JSON (load it in
@@ -95,6 +102,7 @@ struct Cli {
     trace_sample: u32,
     max_threads: Option<usize>,
     no_inverse_map: bool,
+    transport: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -108,6 +116,7 @@ fn parse_cli(args: &[String]) -> Cli {
         trace_sample: 1,
         max_threads: None,
         no_inverse_map: false,
+        transport: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -143,6 +152,13 @@ fn parse_cli(args: &[String]) -> Cli {
                     std::process::exit(2);
                 }
             },
+            "--transport" => match it.next() {
+                Some(t) => cli.transport = Some(t.clone()),
+                None => {
+                    eprintln!("--transport requires a backend (inproc, proc or proc:N)");
+                    std::process::exit(2);
+                }
+            },
             "--max-threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => cli.max_threads = Some(n),
                 _ => {
@@ -160,11 +176,26 @@ fn parse_cli(args: &[String]) -> Cli {
     cli
 }
 
+/// Validate `--transport` and map it onto the effort's process-group knob.
+/// Exits 2 on an unknown backend, like every other flag error.
+fn parse_transport_flag(flag: &Option<String>) -> Option<usize> {
+    let s = flag.as_deref()?;
+    match overset_comm::TransportConfig::parse(s) {
+        Ok(overset_comm::TransportConfig::InProcess) => None,
+        Ok(overset_comm::TransportConfig::Process { processes, .. }) => Some(processes),
+        Err(e) => {
+            eprintln!("--transport: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_report_cmd(args: &[String]) -> i32 {
     let cli = parse_cli(args);
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
+    effort.proc_groups = parse_transport_flag(&cli.transport);
     let effort_name = if cli.quick { "quick" } else { "full" };
     // Trace spans are not serialized into the report; tracing here only
     // proves observability neutrality (the golden tests rely on it), so
@@ -195,6 +226,10 @@ fn main() {
         Some("compare") => std::process::exit(run_compare(&args[1..])),
         Some("report") => std::process::exit(run_report_cmd(&args[1..])),
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        // Dispatched before flag parsing: the forked rank-group children of
+        // the smoke's process-backed run replay `repro smoke` and must reach
+        // the same universe directly.
+        Some("smoke") => std::process::exit(transport_smoke()),
         _ => {}
     }
 
@@ -202,6 +237,7 @@ fn main() {
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
+    effort.proc_groups = parse_transport_flag(&cli.transport);
     let which = cli.which.clone();
     // Validate trace flags before the (long) experiment run, not after.
     let trace_cfg = parse_trace_config(&cli.trace_filter, cli.trace_sample);
@@ -253,7 +289,7 @@ fn main() {
                  table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
                  ablate-cache ablate-invmap all\n\
                  or a subcommand: report <experiment> | compare <baseline.json> <new.json> | \
-                 analyze <experiment>|<trace.json>"
+                 analyze <experiment>|<trace.json> | smoke"
             );
             std::process::exit(2);
         }

@@ -22,6 +22,7 @@
 
 use crate::metrics::{names, MetricsRegistry};
 use crate::stats::{RankStats, NUM_PHASES};
+use crate::wire::{Wire, WireError, WireReader};
 use std::collections::VecDeque;
 
 /// Telemetry of one timestep on one rank: per-phase virtual time plus the
@@ -66,6 +67,41 @@ impl StepRecord {
         } else {
             Some(self.cache_hits as f64 / total as f64)
         }
+    }
+}
+
+// Step records ride home from child processes inside `RankOutput`.
+impl Wire for StepRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.step.encode(buf);
+        self.time.encode(buf);
+        self.clock.encode(buf);
+        self.serviced.encode(buf);
+        self.walk_steps.encode(buf);
+        self.forwards.encode(buf);
+        self.orphans.encode(buf);
+        self.cache_hits.encode(buf);
+        self.cache_misses.encode(buf);
+        self.msgs_sent.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.repartitions.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(StepRecord {
+            step: u64::decode(r)?,
+            time: <[f64; NUM_PHASES]>::decode(r)?,
+            clock: f64::decode(r)?,
+            serviced: u64::decode(r)?,
+            walk_steps: u64::decode(r)?,
+            forwards: u64::decode(r)?,
+            orphans: u64::decode(r)?,
+            cache_hits: u64::decode(r)?,
+            cache_misses: u64::decode(r)?,
+            msgs_sent: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            repartitions: u64::decode(r)?,
+        })
     }
 }
 

@@ -13,6 +13,12 @@
 //! [`metrics::MetricsRegistry`] and (optionally) a [`trace::Tracer`] whose
 //! spans export to Chrome `trace_event` JSON — see docs/OBSERVABILITY.md.
 //!
+//! The runtime is transport-agnostic: the same rank program runs on the
+//! in-process backend (threads/coroutines sharing mailboxes) or on the
+//! process backend (rank groups in forked OS processes speaking a versioned
+//! wire format over Unix sockets) with bit-identical virtual time — see
+//! docs/TRANSPORT.md and [`transport::TransportConfig`].
+//!
 //! See DESIGN.md §2 for the substitution argument.
 
 pub mod error;
@@ -23,6 +29,8 @@ pub mod runtime;
 mod sched;
 pub mod stats;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 
 pub use error::OversetError;
 pub use flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
@@ -33,6 +41,8 @@ pub use stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
 pub use trace::{
     chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent, Tracer,
 };
+pub use transport::{Transport, TransportConfig};
+pub use wire::{intern, wire_type_hash, Wire, WireError, WireReader, WIRE_SCHEMA_VERSION};
 
 /// One-stop imports for writing a rank program:
 /// `use overset_comm::prelude::*;`.
@@ -46,4 +56,6 @@ pub mod prelude {
     pub use crate::trace::{
         chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent,
     };
+    pub use crate::transport::TransportConfig;
+    pub use crate::wire::{Wire, WireError, WireReader};
 }

@@ -9,6 +9,7 @@
 //! the single source of truth for measured load.
 
 use crate::stats::Phase;
+use crate::wire::{intern, Wire, WireError, WireReader};
 use std::collections::BTreeMap;
 
 /// Well-known metric names. Counter names are dotted paths; per-phase
@@ -170,6 +171,32 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Dense bucket-count encoding: count/sum/min/max then the fixed grid.
+    /// `counts` is private, so the impl lives here rather than in `wire`.
+    fn wire_encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.min.encode(buf);
+        self.max.encode(buf);
+        for c in &self.counts {
+            c.encode(buf);
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut h = Histogram {
+            count: u64::decode(r)?,
+            sum: f64::decode(r)?,
+            min: f64::decode(r)?,
+            max: f64::decode(r)?,
+            counts: [0; NUM_BUCKETS],
+        };
+        for c in h.counts.iter_mut() {
+            *c = u32::decode(r)?;
+        }
+        Ok(h)
+    }
+
     fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
         self.sum += other.sum;
@@ -265,9 +292,72 @@ impl MetricsRegistry {
     }
 }
 
+impl Wire for Histogram {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.wire_encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Histogram::wire_decode(r)
+    }
+}
+
+// Registries return from child processes inside `RankOutput`; metric names
+// are a fixed vocabulary of `&'static str`, re-interned on decode.
+impl Wire for MetricsRegistry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.counters.len() as u64).to_le_bytes());
+        for (&k, &v) in &self.counters {
+            k.to_string().encode(buf);
+            v.encode(buf);
+        }
+        buf.extend_from_slice(&(self.histograms.len() as u64).to_le_bytes());
+        for (&k, h) in &self.histograms {
+            k.to_string().encode(buf);
+            h.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut m = MetricsRegistry::new();
+        let nc = r.len_prefix()?;
+        for _ in 0..nc {
+            let k = intern(&String::decode(r)?);
+            let v = u64::decode(r)?;
+            m.counters.insert(k, v);
+        }
+        let nh = r.len_prefix()?;
+        for _ in 0..nh {
+            let k = intern(&String::decode(r)?);
+            let h = Histogram::decode(r)?;
+            m.histograms.insert(k, h);
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_wire_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.add(names::CONN_SERVICED, 42);
+        m.add(names::CONN_ORPHANS, 7);
+        m.observe(names::LB_F_RATIO, 0.5);
+        m.observe(names::LB_F_RATIO, 123.456);
+        m.observe(names::COMM_RECV_STALL, 1.0e-9);
+        let back = MetricsRegistry::from_wire_bytes(&m.to_wire_bytes()).unwrap();
+        assert_eq!(back.counter(names::CONN_SERVICED), 42);
+        assert_eq!(back.counter(names::CONN_ORPHANS), 7);
+        let (ha, hb) =
+            (m.histogram(names::LB_F_RATIO).unwrap(), back.histogram(names::LB_F_RATIO).unwrap());
+        assert_eq!(ha, hb);
+        assert_eq!(
+            back.histogram(names::COMM_RECV_STALL).unwrap().sum.to_bits(),
+            1.0e-9f64.to_bits()
+        );
+    }
 
     #[test]
     fn counters_accumulate() {

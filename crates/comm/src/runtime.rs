@@ -48,11 +48,23 @@ use crate::metrics::{names, MetricsRegistry};
 use crate::sched;
 use crate::stats::{Phase, RankStats};
 use crate::trace::{ArgVal, TraceConfig, TraceEvent, Tracer};
+use crate::transport::{self, FabricInner, ProcLink, ProcRound, TransportConfig};
+use crate::wire::{intern, wire_type_hash, Wire, WireError, WireReader};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// How a message's value travels: in-process messages hand the boxed value
+/// across directly; messages that crossed a process boundary arrive as wire
+/// bytes plus the sender's type hash, decoded lazily at the receive site
+/// (where `T` is known).
+enum Payload {
+    Local(Box<dyn Any + Send>),
+    Remote { type_hash: u64, encoded: Vec<u8> },
+}
 
 struct Envelope {
     src: usize,
@@ -62,7 +74,7 @@ struct Envelope {
     /// Logical payload size, carried so the receiver's trace span can report
     /// the same `bytes` the sender charged.
     bytes: usize,
-    payload: Box<dyn Any + Send>,
+    payload: Payload,
 }
 
 /// Marker published in place of a gathered vector when ranks contributed
@@ -133,10 +145,13 @@ struct Shared {
     finished: Vec<AtomicBool>,
     /// Present in M:N mode only.
     mn: Option<Arc<sched::MnShared>>,
+    /// Present in multi-process child mode only: the link to the parent
+    /// router, shared with the socket-reader thread.
+    proc: Option<Arc<ProcLink>>,
 }
 
 impl Shared {
-    fn new(size: usize, mn: Option<Arc<sched::MnShared>>) -> Shared {
+    fn new(size: usize, mn: Option<Arc<sched::MnShared>>, proc: Option<Arc<ProcLink>>) -> Shared {
         Shared {
             size,
             mailboxes: (0..size)
@@ -150,20 +165,38 @@ impl Shared {
             failure: Mutex::new(None),
             finished: (0..size).map(|_| AtomicBool::new(false)).collect(),
             mn,
+            proc,
         }
     }
 
     /// Record a rank-body panic and unblock every peer. First failure wins:
     /// later failures (typically peers panicking on `AbortedByPeer` inside
     /// `recv`/`allgather` wrappers) are dropped, since the wake-all has
-    /// already run.
+    /// already run. In child mode the failure is echoed to the parent
+    /// router so the other rank groups shut down too.
     fn rank_failed(&self, rank: usize, phase: &'static str, message: String) {
+        self.rank_failed_with(rank, phase, message, true);
+    }
+
+    /// A failure learned *from* the parent router (a peer group's panic, or
+    /// the router disappearing): latch and unblock without echoing an Abort
+    /// frame back.
+    fn rank_failed_remote(&self, rank: usize, phase: &'static str, message: String) {
+        self.rank_failed_with(rank, phase, message, false);
+    }
+
+    fn rank_failed_with(&self, rank: usize, phase: &'static str, message: String, echo: bool) {
         {
             let mut slot = self.failure.lock().expect("failure mutex poisoned");
             if slot.is_some() {
                 return;
             }
-            *slot = Some(FailureInfo { rank, phase, message });
+            *slot = Some(FailureInfo { rank, phase, message: message.clone() });
+        }
+        if echo {
+            if let Some(link) = &self.proc {
+                link.send_abort(rank, phase, &message);
+            }
         }
         self.aborted.store(true, Ordering::Release);
         for mb in &self.mailboxes {
@@ -176,6 +209,18 @@ impl Shared {
             inner.waiters.clear();
             self.coll.cv.notify_all();
         }
+        if let Some(link) = &self.proc {
+            // Ranks parked on a process-backed collective round.
+            let mut inner = link.coll.lock().expect("proc collective poisoned");
+            let waiters = std::mem::take(&mut inner.waiters);
+            drop(inner);
+            link.collcv.notify_all();
+            if let Some(mn) = &self.mn {
+                for r in waiters {
+                    mn.wake(r);
+                }
+            }
+        }
         if let Some(mn) = &self.mn {
             // Wake every virtual rank; parked ones re-check `aborted`,
             // finished ones are skipped by their worker.
@@ -186,8 +231,22 @@ impl Shared {
     }
 
     /// Rank `rank`'s body returned normally: mark it and wake any peer
-    /// currently parked in a receive, so waits on this rank fail fast.
+    /// currently parked in a receive, so waits on this rank fail fast. In
+    /// child mode the completion is announced to the parent router, which
+    /// relays it to the other rank groups.
     fn rank_finished(&self, rank: usize) {
+        if let Some(link) = &self.proc {
+            link.send_finish(rank);
+        }
+        self.rank_finished_notify(rank);
+    }
+
+    /// A remote rank's completion relayed by the parent router.
+    fn rank_finished_remote(&self, rank: usize) {
+        self.rank_finished_notify(rank);
+    }
+
+    fn rank_finished_notify(&self, rank: usize) {
         self.finished[rank].store(true, Ordering::Release);
         for (r, mb) in self.mailboxes.iter().enumerate() {
             if r == rank {
@@ -213,6 +272,85 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
             Ok(s) => *s,
             Err(_) => "non-string panic payload".to_string(),
         },
+    }
+}
+
+/// Child-mode socket reader: drains frames from the parent router into the
+/// local mailboxes, collective rounds and failure machinery. Runs on a
+/// detached thread — it blocks in `read` between frames, and the child's
+/// deliberate `exit(0)` after its rank group completes tears it down.
+fn child_router(shared: &Shared, sock: &UnixStream) {
+    let link = shared.proc.as_ref().expect("child router without a proc link");
+    loop {
+        let frame = match transport::read_frame(sock) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => {
+                // The parent died (or closed our socket) mid-run: without
+                // the router no cross-group traffic can complete, so abort
+                // the local ranks instead of hanging them.
+                link.parent_gone.store(true, Ordering::SeqCst);
+                if !shared.aborted.load(Ordering::Acquire) {
+                    shared.rank_failed_remote(
+                        link.lo,
+                        "other",
+                        "parent router process disconnected".to_string(),
+                    );
+                }
+                return;
+            }
+        };
+        match frame {
+            transport::Frame::Data { dst, src, tag, arrival, bytes, type_hash, payload } => {
+                if dst >= shared.size {
+                    continue;
+                }
+                let env = Envelope {
+                    src,
+                    tag,
+                    arrival,
+                    bytes,
+                    payload: Payload::Remote { type_hash, encoded: payload },
+                };
+                let mb = &shared.mailboxes[dst];
+                let mut inner = mb.m.lock().expect("mailbox poisoned");
+                inner.queue.push_back(env);
+                if inner.waiting {
+                    inner.waiting = false;
+                    mb.cv.notify_all();
+                    if let Some(mn) = &shared.mn {
+                        mn.wake(dst);
+                    }
+                }
+            }
+            transport::Frame::CollResult { round, round_clock, poison, blobs } => {
+                let mut inner = link.coll.lock().expect("proc collective poisoned");
+                inner.rounds.insert(
+                    round,
+                    ProcRound {
+                        round_clock,
+                        poison,
+                        blobs: Arc::new(blobs),
+                        readers_left: link.hi - link.lo,
+                    },
+                );
+                let waiters = std::mem::take(&mut inner.waiters);
+                drop(inner);
+                link.collcv.notify_all();
+                if let Some(mn) = &shared.mn {
+                    for r in waiters {
+                        mn.wake(r);
+                    }
+                }
+            }
+            transport::Frame::Finish { rank } if rank < shared.size => {
+                shared.rank_finished_remote(rank);
+            }
+            transport::Frame::Abort { rank, phase, message } => {
+                shared.rank_failed_remote(rank, intern(&phase), message);
+            }
+            // Hello/Coll/Done/Bye only ever travel child -> parent.
+            _ => {}
+        }
     }
 }
 
@@ -469,7 +607,18 @@ impl Comm {
 
     /// Send `payload` (logical size `bytes`) to `dst` with a message `tag`.
     /// Non-blocking (asynchronous send, as DCF3D's search requests are).
-    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, payload: T, bytes: usize) {
+    ///
+    /// The payload must be a [`Wire`] type: the in-process backend still
+    /// hands the value across directly, but the bound guarantees every
+    /// protocol message has a byte representation, so the same program runs
+    /// unchanged on the multi-process backend.
+    pub fn send<T: Wire + Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: T,
+        bytes: usize,
+    ) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         let t0 = self.clock;
         self.clock += self.machine.send_overhead;
@@ -491,7 +640,30 @@ impl Comm {
                 ],
             );
         }
-        let env = Envelope { src: self.rank, tag, arrival, bytes, payload: Box::new(payload) };
+        if let Some(link) = &self.shared.proc {
+            if dst < link.lo || dst >= link.hi {
+                // Cross-process: encode and hand to the parent router. The
+                // arrival stamp was computed above from local virtual state,
+                // so timing is identical to the in-process delivery path.
+                link.send_data(
+                    dst,
+                    self.rank,
+                    tag,
+                    arrival,
+                    bytes,
+                    wire_type_hash::<T>(),
+                    payload.to_wire_bytes(),
+                );
+                return;
+            }
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            bytes,
+            payload: Payload::Local(Box::new(payload)),
+        };
         let mb = &self.shared.mailboxes[dst];
         let mut inner = mb.m.lock().expect("mailbox poisoned");
         inner.queue.push_back(env);
@@ -510,14 +682,18 @@ impl Comm {
     /// Convenience wrapper over [`Comm::try_recv`] that treats failure as
     /// an internal protocol invariant violation (panics). Fallible callers
     /// use `try_recv`.
-    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> T {
+    pub fn recv<T: Wire + Send + 'static>(&mut self, src: usize, tag: u64) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Blocking receive of a message of type `T` from `src` with `tag`,
-    /// surfacing type mismatches, finished senders and peer failures as
-    /// [`OversetError`].
-    pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, OversetError> {
+    /// surfacing type mismatches, wire-decode failures, finished senders
+    /// and peer failures as [`OversetError`].
+    pub fn try_recv<T: Wire + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: u64,
+    ) -> Result<T, OversetError> {
         let t0 = self.clock;
         let env = self.take_matching(src, tag)?;
         let stall = (env.arrival - self.clock).max(0.0);
@@ -541,14 +717,32 @@ impl Comm {
                 ],
             );
         }
-        match env.payload.downcast::<T>() {
-            Ok(v) => Ok(*v),
-            Err(_) => Err(OversetError::TypeMismatch {
-                rank: self.rank,
-                src,
-                tag,
-                expected: std::any::type_name::<T>(),
-            }),
+        match env.payload {
+            Payload::Local(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(_) => Err(OversetError::TypeMismatch {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    expected: std::any::type_name::<T>(),
+                }),
+            },
+            Payload::Remote { type_hash, encoded } => {
+                if type_hash != wire_type_hash::<T>() {
+                    return Err(OversetError::TypeMismatch {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        expected: std::any::type_name::<T>(),
+                    });
+                }
+                T::from_wire_bytes(&encoded).map_err(|e| OversetError::WireDecode {
+                    rank: self.rank,
+                    src,
+                    tag,
+                    detail: e.to_string(),
+                })
+            }
         }
     }
 
@@ -622,7 +816,7 @@ impl Comm {
     ///
     /// Convenience wrapper over [`Comm::try_allgather`] that treats failure
     /// as an internal protocol invariant violation (panics).
-    pub fn allgather<T: Clone + Send + Sync + 'static>(
+    pub fn allgather<T: Wire + Clone + Send + Sync + 'static>(
         &mut self,
         value: T,
         bytes: usize,
@@ -632,7 +826,7 @@ impl Comm {
 
     /// All-gather surfacing mixed-type collectives and peer failures as
     /// [`OversetError`].
-    pub fn try_allgather<T: Clone + Send + Sync + 'static>(
+    pub fn try_allgather<T: Wire + Clone + Send + Sync + 'static>(
         &mut self,
         value: T,
         bytes: usize,
@@ -640,13 +834,44 @@ impl Comm {
         self.allgather_inner("allgather", value, bytes)
     }
 
-    fn allgather_inner<T: Clone + Send + Sync + 'static>(
+    fn allgather_inner<T: Wire + Clone + Send + Sync + 'static>(
         &mut self,
         span_name: &'static str,
         value: T,
         bytes: usize,
     ) -> Result<Vec<T>, OversetError> {
         let t0 = self.clock;
+        // Rendezvous through whichever fabric carries collectives, then
+        // apply the backend-independent virtual-time tail. The round clock
+        // is the max over contributing clocks — an order-independent fold,
+        // so it is bit-identical across backends.
+        let (result, round_clock) = if self.shared.proc.is_some() {
+            self.proc_allgather(value)?
+        } else {
+            self.local_allgather(value)?
+        };
+        self.clock = round_clock + self.machine.collective_time(self.size, bytes * self.size);
+        self.stats.collectives += 1;
+        self.metrics.inc(names::COMM_COLLECTIVES);
+        if let Some(t) = &mut self.tracer {
+            t.complete(
+                "comm",
+                span_name,
+                t0,
+                self.clock - t0,
+                vec![("bytes", ArgVal::U64(bytes as u64))],
+            );
+        }
+        Ok(result)
+    }
+
+    /// In-process collective: rendezvous through the shared [`Collective`];
+    /// the last arriver gathers and publishes. Returns the contributions in
+    /// rank order plus the round clock.
+    fn local_allgather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        value: T,
+    ) -> Result<(Vec<T>, f64), OversetError> {
         let gen = self.coll_gen;
         self.coll_gen += 1;
         let shared = Arc::clone(&self.shared);
@@ -767,19 +992,80 @@ impl Comm {
                 })
             }
         };
-        self.clock = round_clock + self.machine.collective_time(self.size, bytes * self.size);
-        self.stats.collectives += 1;
-        self.metrics.inc(names::COMM_COLLECTIVES);
-        if let Some(t) = &mut self.tracer {
-            t.complete(
-                "comm",
-                span_name,
-                t0,
-                self.clock - t0,
-                vec![("bytes", ArgVal::U64(bytes as u64))],
-            );
+        Ok((result, round_clock))
+    }
+
+    /// Process-backed collective: ship this rank's contribution to the
+    /// parent router, wait for the aggregated round, decode every rank's
+    /// blob. Round numbers are each rank's private collective counter —
+    /// every rank executes the same collective sequence, so counter values
+    /// agree globally without coordination.
+    fn proc_allgather<T: Wire + 'static>(
+        &mut self,
+        value: T,
+    ) -> Result<(Vec<T>, f64), OversetError> {
+        let round = self.coll_gen;
+        self.coll_gen += 1;
+        let shared = Arc::clone(&self.shared);
+        let link = shared.proc.as_ref().expect("proc_allgather without a proc link");
+        link.send_coll(round, self.rank, self.clock, wire_type_hash::<T>(), value.to_wire_bytes());
+        let mut inner = link.coll.lock().expect("proc collective poisoned");
+        loop {
+            if shared.aborted.load(Ordering::Acquire) {
+                return Err(self.abort_error());
+            }
+            if let Some(r) = inner.rounds.get_mut(&round) {
+                let round_clock = r.round_clock;
+                let poison = r.poison;
+                let blobs = Arc::clone(&r.blobs);
+                r.readers_left -= 1;
+                if r.readers_left == 0 {
+                    inner.rounds.remove(&round);
+                }
+                drop(inner);
+                if poison {
+                    return Err(OversetError::CollectiveMismatch {
+                        rank: self.rank,
+                        expected: std::any::type_name::<T>(),
+                    });
+                }
+                let mut out = Vec::with_capacity(blobs.len());
+                for (src, blob) in blobs.iter().enumerate() {
+                    out.push(T::from_wire_bytes(blob).map_err(|e| OversetError::WireDecode {
+                        rank: self.rank,
+                        src,
+                        tag: round,
+                        detail: format!("collective round {round}: {e}"),
+                    })?);
+                }
+                return Ok((out, round_clock));
+            }
+            if shared.mn.is_some() {
+                inner.waiters.push(self.rank);
+                drop(inner);
+                sched::mn_yield();
+                inner = link.coll.lock().expect("proc collective poisoned");
+            } else {
+                inner = match watchdog_period() {
+                    None => link.collcv.wait(inner).expect("proc collective poisoned"),
+                    Some(period) => {
+                        let (g, to) = link
+                            .collcv
+                            .wait_timeout(inner, period)
+                            .expect("proc collective poisoned");
+                        if to.timed_out() {
+                            eprintln!(
+                                "[overset-comm watchdog] rank {} stuck in process-backed \
+                                 collective round {round} (resolved rounds: {:?})",
+                                self.rank,
+                                g.rounds.keys().collect::<Vec<_>>()
+                            );
+                        }
+                        g
+                    }
+                };
+            }
         }
-        Ok(result)
     }
 
     /// All-reduce max over f64.
@@ -829,6 +1115,30 @@ pub struct RankOutput<R> {
     pub steps_dropped: u64,
 }
 
+// A child process ships each rank's whole output (result, stats, trace,
+// metrics, flight telemetry) back to the parent as one wire value.
+impl<R: Wire> Wire for RankOutput<R> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.result.encode(buf);
+        self.stats.encode(buf);
+        self.trace.encode(buf);
+        self.metrics.encode(buf);
+        self.steps.encode(buf);
+        self.steps_dropped.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RankOutput {
+            result: R::decode(r)?,
+            stats: RankStats::decode(r)?,
+            trace: Vec::decode(r)?,
+            metrics: MetricsRegistry::decode(r)?,
+            steps: Vec::decode(r)?,
+            steps_dropped: u64::decode(r)?,
+        })
+    }
+}
+
 /// The simulated parallel machine. Configure one with
 /// [`Universe::builder`]:
 ///
@@ -845,8 +1155,9 @@ pub struct RankOutput<R> {
 pub struct Universe;
 
 /// Builder for a universe run: rank count, machine model, tracing, the
-/// flight-recorder ring capacity, and the scheduler mode
-/// ([`UniverseBuilder::max_threads`]).
+/// flight-recorder ring capacity, the scheduler mode
+/// ([`UniverseBuilder::max_threads`]) and the transport backend
+/// ([`UniverseBuilder::transport`]).
 #[derive(Clone, Debug)]
 pub struct UniverseBuilder {
     ranks: usize,
@@ -855,6 +1166,7 @@ pub struct UniverseBuilder {
     step_capacity: usize,
     max_threads: Option<usize>,
     stack_size: usize,
+    transport: TransportConfig,
 }
 
 impl Universe {
@@ -866,13 +1178,19 @@ impl Universe {
             step_capacity: DEFAULT_STEP_CAPACITY,
             max_threads: None,
             stack_size: sched::DEFAULT_STACK_SIZE,
+            transport: TransportConfig::InProcess,
         }
     }
 
     /// Shorthand for `Universe::builder().ranks(nranks).machine(machine).run(f)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Universe::builder().ranks(n).machine(m).run(f); the builder also \
+                selects the transport backend, scheduler mode and tracing"
+    )]
     pub fn run<R, F>(nranks: usize, machine: &MachineModel, f: F) -> Vec<RankOutput<R>>
     where
-        R: Send,
+        R: Wire + Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
         Universe::builder().ranks(nranks).machine(machine).run(f)
@@ -926,13 +1244,23 @@ impl UniverseBuilder {
         self
     }
 
+    /// Select the transport backend (default
+    /// [`TransportConfig::InProcess`]). With a process transport, `run`
+    /// forks rank-group processes and this process routes frames between
+    /// them; virtual times, statistics and metrics are bit-identical to an
+    /// in-process run of the same configuration. See [`crate::transport`].
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.transport = t;
+        self
+    }
+
     /// Run `f` on every rank. Returns per-rank outputs in rank order. A
     /// panic in any rank body is re-raised here with the failing rank,
     /// phase and message (see [`UniverseBuilder::try_run`] to handle it as
     /// an error instead).
     pub fn run<R, F>(self, f: F) -> Vec<RankOutput<R>>
     where
-        R: Send,
+        R: Wire + Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
         self.try_run(f).unwrap_or_else(|e| panic!("{e}"))
@@ -943,16 +1271,71 @@ impl UniverseBuilder {
     /// statistics phase it was in. Peers blocked in communication are
     /// unblocked (their calls return [`OversetError::AbortedByPeer`], which
     /// the panicking wrappers re-raise) so the universe shuts down instead
-    /// of hanging.
+    /// of hanging. On a process transport, a rank-group process that dies
+    /// without a clean goodbye (killed, `exit` mid-run) surfaces as
+    /// `RankPanicked` too, with its surviving peer groups aborted.
+    ///
+    /// With a process transport this call is also where the current process
+    /// may discover it *is* one of the rank-group children: it then runs
+    /// only its rank subrange, ships the outputs back over its socket and
+    /// exits — code after this call never runs in a child.
     pub fn try_run<R, F>(self, f: F) -> Result<Vec<RankOutput<R>>, OversetError>
     where
-        R: Send,
+        R: Wire + Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
         let nranks = self.ranks;
         assert!(nranks >= 1);
+        let fabric = self.transport.instantiate().establish(nranks)?;
+        match fabric.0 {
+            FabricInner::Local => self.run_ranks(&f, 0, nranks, None),
+            FabricInner::Child(cf) => {
+                if cf.nranks != nranks {
+                    return Err(OversetError::Setup(format!(
+                        "process transport: parent established {} ranks but this child's \
+                         universe asks for {nranks}",
+                        cf.nranks
+                    )));
+                }
+                let (link, reader) = cf.split()?;
+                let lo = link.lo;
+                let result =
+                    self.run_ranks(&f, link.lo, link.hi, Some((Arc::clone(&link), reader)));
+                if let Ok(outputs) = &result {
+                    for (i, out) in outputs.iter().enumerate() {
+                        link.send_done(lo + i, out.to_wire_bytes());
+                    }
+                }
+                // A failure was already echoed to the parent as an Abort
+                // frame by the failing rank, so the Err branch has nothing
+                // left to report.
+                link.send_bye();
+                // This process replayed the program only to execute this
+                // rank group; nothing after the universe may run twice.
+                std::process::exit(0);
+            }
+            FabricInner::Parent(pf) => pf.run::<R>(),
+        }
+    }
+
+    /// Execute ranks `lo..hi` of a `self.ranks`-rank universe in this
+    /// process; `proc` carries the parent link and the socket to drain in
+    /// child mode. The in-process backend is the `(0, nranks, None)` case.
+    fn run_ranks<R, F>(
+        self,
+        f: &F,
+        lo: usize,
+        hi: usize,
+        proc: Option<(Arc<ProcLink>, UnixStream)>,
+    ) -> Result<Vec<RankOutput<R>>, OversetError>
+    where
+        R: Wire + Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let nranks = self.ranks;
+        let nlocal = hi - lo;
         let use_mn = match self.max_threads {
-            Some(n) if n < nranks => {
+            Some(n) if n < nlocal => {
                 if sched::MN_AVAILABLE {
                     true
                 } else {
@@ -967,21 +1350,30 @@ impl UniverseBuilder {
         };
         let mn = use_mn.then(|| Arc::new(sched::MnShared::new(self.max_threads.unwrap())));
         let machine = Arc::new(self.machine.clone());
-        let shared = Arc::new(Shared::new(nranks, mn));
+        let (link, reader) = match proc {
+            Some((link, reader)) => (Some(link), Some(reader)),
+            None => (None, None),
+        };
+        let shared = Arc::new(Shared::new(nranks, mn, link));
+        if let Some(reader) = reader {
+            // Detached on purpose: it blocks in `read` between frames and
+            // is torn down by the child's deliberate exit.
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || child_router(&shared, &reader));
+        }
         let trace = self.trace;
         let step_capacity = self.step_capacity;
         let stack_size = self.stack_size;
         let outputs: Mutex<Vec<Option<RankOutput<R>>>> =
-            Mutex::new((0..nranks).map(|_| None).collect());
+            Mutex::new((0..nlocal).map(|_| None).collect());
         {
-            let f = &f;
             let outputs = &outputs;
             let shared_ref = &shared;
             let machine_ref = &machine;
             // One rank's whole life: build its Comm, run the body under
             // catch_unwind, then either publish the output or record the
             // failure and abort the universe. Runs on an OS thread (1:1) or
-            // a coroutine (M:N).
+            // a coroutine (M:N). `rank` is always the global rank id.
             let rank_main = move |rank: usize| {
                 let mut comm = Comm {
                     rank,
@@ -1004,7 +1396,7 @@ impl UniverseBuilder {
                     Ok(result) => {
                         comm.shared.rank_finished(rank);
                         let (stats, trace, metrics, steps, steps_dropped) = comm.finish();
-                        outputs.lock().expect("outputs poisoned")[rank] = Some(RankOutput {
+                        outputs.lock().expect("outputs poisoned")[rank - lo] = Some(RankOutput {
                             result,
                             stats,
                             trace,
@@ -1025,7 +1417,7 @@ impl UniverseBuilder {
                 std::thread::scope(|s| {
                     let mut per_worker: Vec<Vec<sched::Coro>> =
                         (0..nworkers).map(|_| Vec::new()).collect();
-                    for rank in 0..nranks {
+                    for rank in lo..hi {
                         // The task borrows `rank_main`'s captures, which all
                         // outlive this scope; the workers (and with them
                         // every coroutine) join before the scope exits, so
@@ -1043,14 +1435,14 @@ impl UniverseBuilder {
             } else {
                 std::thread::scope(|s| {
                     let handles: Vec<_> =
-                        (0..nranks).map(|rank| s.spawn(move || rank_main(rank))).collect();
-                    for (rank, h) in handles.into_iter().enumerate() {
+                        (lo..hi).map(|rank| s.spawn(move || rank_main(rank))).collect();
+                    for (i, h) in handles.into_iter().enumerate() {
                         if h.join().is_err() {
                             // Body panics are caught inside rank_main;
                             // reaching here means the runtime itself
                             // panicked on this rank's thread.
                             shared.rank_failed(
-                                rank,
+                                lo + i,
                                 "other",
                                 "rank thread panicked outside the rank body".to_string(),
                             );
@@ -1079,6 +1471,15 @@ mod tests {
         MachineModel::modern()
     }
 
+    /// Builder-form replacement for the deprecated `Universe::run` shim.
+    fn run<R, F>(nranks: usize, machine: &MachineModel, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Wire + Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        Universe::builder().ranks(nranks).machine(machine).run(f)
+    }
+
     #[test]
     fn single_rank_compute_time() {
         let m = MachineModel {
@@ -1090,7 +1491,7 @@ mod tests {
             bandwidth: 1.0,
             send_overhead: 0.0,
         };
-        let out = Universe::run(1, &m, |c| {
+        let out = run(1, &m, |c| {
             c.compute(50.0, WorkClass::Flow);
             c.compute(50.0, WorkClass::Search);
             c.now()
@@ -1102,7 +1503,7 @@ mod tests {
     fn ping_pong_times_are_deterministic() {
         let m = modern();
         let run = || {
-            Universe::run(2, &m, |c| {
+            run(2, &m, |c| {
                 if c.rank() == 0 {
                     c.send(1, 7, 42.0f64, 1024);
                     c.recv::<f64>(1, 8)
@@ -1125,7 +1526,7 @@ mod tests {
     #[test]
     fn barrier_synchronizes_clocks() {
         let m = modern();
-        let out = Universe::run(4, &m, |c| {
+        let out = run(4, &m, |c| {
             // Rank r does r units of work, then a barrier.
             c.compute(1.0e9 * c.rank() as f64, WorkClass::Flow);
             c.barrier();
@@ -1142,7 +1543,7 @@ mod tests {
 
     #[test]
     fn allgather_returns_rank_ordered_values() {
-        let out = Universe::run(5, &modern(), |c| c.allgather(c.rank() * 10, 8));
+        let out = run(5, &modern(), |c| c.allgather(c.rank() * 10, 8));
         for o in &out {
             assert_eq!(o.result, vec![0, 10, 20, 30, 40]);
         }
@@ -1150,7 +1551,7 @@ mod tests {
 
     #[test]
     fn repeated_collectives_do_not_deadlock_or_cross() {
-        let out = Universe::run(3, &modern(), |c| {
+        let out = run(3, &modern(), |c| {
             let mut acc = Vec::new();
             for round in 0..50u64 {
                 let v = c.allgather(round * 100 + c.rank() as u64, 8);
@@ -1167,7 +1568,7 @@ mod tests {
 
     #[test]
     fn allreduce_ops() {
-        let out = Universe::run(4, &modern(), |c| {
+        let out = run(4, &modern(), |c| {
             (
                 c.allreduce_max(c.rank() as f64),
                 c.allreduce_sum(1.5),
@@ -1183,7 +1584,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 c.send(1, 1, 10i32, 4);
                 c.send(1, 2, 20i32, 4);
@@ -1209,7 +1610,7 @@ mod tests {
             bandwidth: 1.0,
             send_overhead: 0.0,
         };
-        let out = Universe::run(1, &m, |c| {
+        let out = run(1, &m, |c| {
             {
                 let mut ph = c.phase(Phase::Flow);
                 ph.compute(2.0, WorkClass::Flow);
@@ -1237,7 +1638,7 @@ mod tests {
             bandwidth: 1.0,
             send_overhead: 0.0,
         };
-        let out = Universe::run(1, &m, |c| {
+        let out = run(1, &m, |c| {
             let mut outer = c.phase(Phase::Flow);
             outer.compute(1.0, WorkClass::Flow);
             {
@@ -1256,7 +1657,7 @@ mod tests {
 
     #[test]
     fn message_stats_counted() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 c.send(1, 0, (), 500);
                 c.send(1, 1, (), 700);
@@ -1272,7 +1673,7 @@ mod tests {
 
     #[test]
     fn per_phase_message_metrics() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 {
                     let mut ph = c.phase(Phase::Flow);
@@ -1326,7 +1727,7 @@ mod tests {
             assert!(phase.dur > 0.0);
         }
         // Tracing off: no events.
-        let off = Universe::run(1, &modern(), |c| {
+        let off = run(1, &modern(), |c| {
             c.compute(1.0, WorkClass::Flow);
         });
         assert!(off[0].trace.is_empty());
@@ -1409,7 +1810,7 @@ mod tests {
             bandwidth: 1.0,
             send_overhead: 0.0,
         };
-        let out = Universe::run(2, &m, |c| {
+        let out = run(2, &m, |c| {
             for step in 0..3u64 {
                 {
                     let mut ph = c.phase(Phase::Flow);
@@ -1479,7 +1880,7 @@ mod tests {
 
     #[test]
     fn try_recv_type_mismatch_is_an_error() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 c.send(1, 5, 1.25f64, 8);
                 Ok(())
@@ -1496,7 +1897,7 @@ mod tests {
 
     #[test]
     fn mixed_type_collective_is_an_error_on_every_rank() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 c.try_allgather(1u32, 4).map(|_| ())
             } else {
@@ -1515,7 +1916,7 @@ mod tests {
     #[test]
     fn working_set_changes_rate() {
         let m = MachineModel::ibm_sp2();
-        let out = Universe::run(1, &m, |c| {
+        let out = run(1, &m, |c| {
             c.set_working_set(1.0); // tiny: fast cache factor
             c.compute(1.0e6, WorkClass::Flow);
             let t_small = c.now();
@@ -1656,7 +2057,7 @@ mod tests {
 
     #[test]
     fn recv_from_finished_rank_errors() {
-        let out = Universe::run(2, &modern(), |c| {
+        let out = run(2, &modern(), |c| {
             if c.rank() == 0 {
                 // Finish immediately without sending anything.
                 Ok(())

@@ -1,6 +1,8 @@
 //! Per-rank and aggregated performance statistics: the quantities the
 //! paper's tables report (Mflops/node, parallel speedup, % time in DCF3D).
 
+use crate::wire::{Wire, WireError, WireReader};
+
 /// Execution phases matching the three-step OVERFLOW-D1 timestep loop (plus
 /// balancing and a catch-all).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +63,32 @@ impl RankStats {
 
     pub fn total_flops(&self) -> f64 {
         self.flops.iter().sum()
+    }
+}
+
+// Rank statistics travel back from child processes to the parent, so the
+// whole record is a wire type. Field order is fixed by the schema version.
+impl Wire for RankStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rank.encode(buf);
+        self.time.encode(buf);
+        self.flops.encode(buf);
+        self.msgs_sent.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.collectives.encode(buf);
+        self.final_clock.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RankStats {
+            rank: usize::decode(r)?,
+            time: <[f64; NUM_PHASES]>::decode(r)?,
+            flops: <[f64; NUM_PHASES]>::decode(r)?,
+            msgs_sent: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            collectives: u64::decode(r)?,
+            final_clock: f64::decode(r)?,
+        })
     }
 }
 

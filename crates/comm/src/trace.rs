@@ -14,6 +14,7 @@
 //! (donor-search serve rounds), `solver` (halo/sweep stages), `lb`
 //! (repartition). See docs/OBSERVABILITY.md.
 
+use crate::wire::{intern, Wire, WireError, WireReader};
 use std::fmt::Write as _;
 
 /// The span categories the workspace emits, in the order of their
@@ -170,6 +171,64 @@ pub struct TraceEvent {
     /// Duration, virtual seconds (>= 0).
     pub dur: f64,
     pub args: Vec<(&'static str, ArgVal)>,
+}
+
+impl Wire for ArgVal {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ArgVal::U64(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            ArgVal::F64(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+            ArgVal::Str(s) => {
+                buf.push(2);
+                s.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ArgVal::U64(u64::decode(r)?),
+            1 => ArgVal::F64(f64::decode(r)?),
+            2 => ArgVal::Str(String::decode(r)?),
+            _ => return Err(WireError::Invalid("ArgVal discriminant")),
+        })
+    }
+}
+
+// Trace events travel back from child processes; cat/name/arg-keys come
+// from a fixed span taxonomy and are re-interned on decode.
+impl Wire for TraceEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.cat.to_string().encode(buf);
+        self.name.to_string().encode(buf);
+        self.ts.encode(buf);
+        self.dur.encode(buf);
+        buf.extend_from_slice(&(self.args.len() as u64).to_le_bytes());
+        for (k, v) in &self.args {
+            k.to_string().encode(buf);
+            v.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let cat = intern(&String::decode(r)?);
+        let name = intern(&String::decode(r)?);
+        let ts = f64::decode(r)?;
+        let dur = f64::decode(r)?;
+        let nargs = r.len_prefix()?;
+        let mut args = Vec::with_capacity(nargs.min(64));
+        for _ in 0..nargs {
+            let k = intern(&String::decode(r)?);
+            args.push((k, ArgVal::decode(r)?));
+        }
+        Ok(TraceEvent { cat, name, ts, dur, args })
+    }
 }
 
 /// Per-rank span recorder.
@@ -355,6 +414,23 @@ mod tests {
         assert!(json.contains("\"dur\":1500.000"));
         assert!(json.contains("\"dst\":1"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn trace_event_wire_roundtrip() {
+        let e = TraceEvent {
+            cat: "comm",
+            name: "send",
+            ts: 1.25,
+            dur: 0.5,
+            args: vec![
+                ("dst", ArgVal::U64(3)),
+                ("stall", ArgVal::F64(-0.0)),
+                ("note", ArgVal::Str("hé".into())),
+            ],
+        };
+        let back = TraceEvent::from_wire_bytes(&e.to_wire_bytes()).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -23,7 +23,7 @@ proptest! {
         let work = std::sync::Arc::new(work);
         let run = || {
             let w = std::sync::Arc::clone(&work);
-            Universe::run(nranks, &machine(), move |c| {
+            Universe::builder().ranks(nranks).machine(&machine()).run(move |c| {
                 let me = c.rank();
                 let flops = w[me % w.len()] as f64;
                 c.compute(flops, WorkClass::Flow);
@@ -64,20 +64,16 @@ proptest! {
         nranks in 1usize..10,
         rounds in 1usize..12,
     ) {
-        let out = Universe::run(nranks, &machine(), move |c| {
-            let mut sums = Vec::new();
-            for round in 0..rounds {
-                let v = c.allgather(c.rank() * 1000 + round, 8);
-                prop_assert_eq!(v.len(), c.size());
+        let out = Universe::builder().ranks(nranks).machine(&machine()).run(move |c| {
+            (0..rounds).map(|round| c.allgather(c.rank() * 1000 + round, 8)).collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (round, v) in o.result.iter().enumerate() {
+                prop_assert_eq!(v.len(), nranks);
                 for (r, &x) in v.iter().enumerate() {
                     prop_assert_eq!(x, r * 1000 + round);
                 }
-                sums.push(v.iter().sum::<usize>());
             }
-            Ok(sums)
-        });
-        for o in out {
-            o.result?;
         }
     }
 
@@ -90,7 +86,7 @@ proptest! {
         bytes in 1usize..1_000_000,
     ) {
         let t = |f: f64, by: usize| {
-            let out = Universe::run(2, &machine(), move |c| {
+            let out = Universe::builder().ranks(2).machine(&machine()).run(move |c| {
                 if c.rank() == 0 {
                     c.compute(f, WorkClass::Flow);
                     c.send(1, 0, (), by);
@@ -112,25 +108,20 @@ proptest! {
     fn tagged_delivery_with_reordering(
         nmsg in 1usize..20,
     ) {
-        let out = Universe::run(2, &machine(), move |c| {
+        let out = Universe::builder().ranks(2).machine(&machine()).run(move |c| {
             if c.rank() == 0 {
                 for t in 0..nmsg as u64 {
                     c.send(1, t, t * 7, 64);
                 }
-                Ok(0u64)
+                Vec::new()
             } else {
                 // Receive in reverse tag order.
-                let mut acc = 0u64;
-                for t in (0..nmsg as u64).rev() {
-                    let v: u64 = c.recv(0, t);
-                    prop_assert_eq!(v, t * 7);
-                    acc += v;
-                }
-                Ok(acc)
+                (0..nmsg as u64).rev().map(|t| (t, c.recv::<u64>(0, t))).collect()
             }
         });
-        for o in out {
-            o.result?;
+        for (t, v) in &out[1].result {
+            prop_assert_eq!(*v, t * 7);
         }
+        prop_assert_eq!(out[1].result.len(), nmsg);
     }
 }

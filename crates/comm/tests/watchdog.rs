@@ -54,7 +54,7 @@ fn scenario_stuck_recv() {
         return;
     }
     let m = MachineModel::modern();
-    Universe::run(2, &m, |c| {
+    Universe::builder().ranks(2).machine(&m).run(|c| {
         if c.rank() == 0 {
             c.recv::<u32>(1, 7)
         } else {
@@ -73,7 +73,7 @@ fn scenario_stalled_collective() {
         return;
     }
     let m = MachineModel::modern();
-    Universe::run(2, &m, |c| {
+    Universe::builder().ranks(2).machine(&m).run(|c| {
         if c.rank() == 1 {
             std::thread::sleep(Duration::from_millis(250));
         }
@@ -88,7 +88,7 @@ fn scenario_healthy_run() {
         return;
     }
     let m = MachineModel::modern();
-    Universe::run(2, &m, |c| {
+    Universe::builder().ranks(2).machine(&m).run(|c| {
         if c.rank() == 0 {
             c.send(1, 3, 7u8, 1);
         } else {

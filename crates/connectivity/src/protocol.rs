@@ -28,7 +28,7 @@ use crate::interp::{interpolate, FLOPS_PER_INTERP};
 use crate::inverse_map::{occupancy_admits, InverseMap, FLOPS_PER_QUERY, OCC_ALL, OCC_WORDS};
 use overset_comm::metrics::names;
 use overset_comm::trace::ArgVal;
-use overset_comm::{Comm, WorkClass};
+use overset_comm::{Comm, Wire, WireError, WireReader, WorkClass};
 use overset_grid::index::{Ijk, IndexBox};
 use overset_grid::Aabb;
 use overset_solver::Block;
@@ -102,6 +102,28 @@ pub struct ConnStats {
     pub rounds: usize,
 }
 
+impl Wire for ConnStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.igbps.encode(out);
+        self.serviced.encode(out);
+        self.resolved.encode(out);
+        self.orphans.encode(out);
+        self.walk_steps.encode(out);
+        self.rounds.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ConnStats {
+            igbps: usize::decode(r)?,
+            serviced: usize::decode(r)?,
+            resolved: usize::decode(r)?,
+            orphans: usize::decode(r)?,
+            walk_steps: u64::decode(r)?,
+            rounds: usize::decode(r)?,
+        })
+    }
+}
+
 #[derive(Clone, Copy)]
 struct ReqPoint {
     id: u32,
@@ -114,6 +136,47 @@ struct ReqPoint {
 
 const REQ_POINT_BYTES: usize = 44;
 
+// `Ijk` lives in the grid crate, which does not depend on overset-comm, so
+// it cannot implement `Wire` itself; the protocol encodes it inline as
+// three indices. These impls define the on-the-wire schema of the search
+// protocol — field order is part of the format (docs/TRANSPORT.md).
+fn encode_ijk(c: Ijk, out: &mut Vec<u8>) {
+    c.i.encode(out);
+    c.j.encode(out);
+    c.k.encode(out);
+}
+
+fn decode_ijk(r: &mut WireReader<'_>) -> Result<Ijk, WireError> {
+    Ok(Ijk::new(usize::decode(r)?, usize::decode(r)?, usize::decode(r)?))
+}
+
+impl Wire for ReqPoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.xyz.encode(out);
+        match self.hint {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                encode_ijk(c, out);
+            }
+        }
+        self.relaxed.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = u32::decode(r)?;
+        let xyz = <[f64; 3]>::decode(r)?;
+        let hint = match r.u8()? {
+            0 => None,
+            1 => Some(decode_ijk(r)?),
+            _ => return Err(WireError::Invalid("ReqPoint hint discriminant")),
+        };
+        let relaxed = bool::decode(r)?;
+        Ok(ReqPoint { id, xyz, hint, relaxed })
+    }
+}
+
 #[derive(Clone, Copy)]
 enum Answer {
     Found { value: [f64; 5], cell_global: Ijk },
@@ -121,6 +184,27 @@ enum Answer {
 }
 
 const ANSWER_BYTES: usize = 68;
+
+impl Wire for Answer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Answer::Found { value, cell_global } => {
+                out.push(0);
+                value.encode(out);
+                encode_ijk(*cell_global, out);
+            }
+            Answer::Miss => out.push(1),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Answer::Found { value: <[f64; 5]>::decode(r)?, cell_global: decode_ijk(r)? }),
+            1 => Ok(Answer::Miss),
+            _ => Err(WireError::Invalid("Answer discriminant")),
+        }
+    }
+}
 
 /// Pending state of one unresolved IGBP during the round loop.
 struct Pending {
@@ -570,7 +654,7 @@ mod tests {
     #[test]
     fn distributed_resolution_matches_interpolant() {
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
-        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+        let out = Universe::builder().ranks(3).machine(&MachineModel::modern()).run(|comm| {
             let mut block = build_block(comm.rank(), &fc);
             if comm.rank() > 0 {
                 paint_linear(&mut block);
@@ -601,7 +685,7 @@ mod tests {
     #[test]
     fn restart_reduces_walk_steps_and_rounds_stay_bounded() {
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
-        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+        let out = Universe::builder().ranks(3).machine(&MachineModel::modern()).run(|comm| {
             let mut block = build_block(comm.rank(), &fc);
             paint_linear(&mut block);
             let mut cache = DonorCache::new();
@@ -623,7 +707,7 @@ mod tests {
     fn deterministic_virtual_times() {
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
         let run = || {
-            Universe::run(3, &MachineModel::ibm_sp2(), |comm| {
+            Universe::builder().ranks(3).machine(&MachineModel::ibm_sp2()).run(|comm| {
                 let mut block = build_block(comm.rank(), &fc);
                 paint_linear(&mut block);
                 let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
@@ -643,7 +727,7 @@ mod tests {
     fn metrics_registry_matches_protocol_stats_across_ranks() {
         use overset_comm::metrics::MetricsRegistry;
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
-        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+        let out = Universe::builder().ranks(3).machine(&MachineModel::modern()).run(|comm| {
             let mut block = build_block(comm.rank(), &fc);
             paint_linear(&mut block);
             let mut cache = DonorCache::new();
@@ -678,7 +762,7 @@ mod tests {
         // (no outer fringe reaches into the inner grid's bbox...
         // actually outer grid has Farfield edges: no IGBPs of its own).
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
-        let out = Universe::run(3, &MachineModel::modern(), |comm| {
+        let out = Universe::builder().ranks(3).machine(&MachineModel::modern()).run(|comm| {
             let mut block = build_block(comm.rank(), &fc);
             paint_linear(&mut block);
             let (igbps, _) = crate::holes::cut_holes_and_find_fringe(&mut block, &[]);
@@ -689,5 +773,50 @@ mod tests {
         assert_eq!(out[0].result.serviced, 0);
         assert!(out[1].result.serviced > 0);
         assert!(out[2].result.serviced > 0);
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip_on_the_wire() {
+        let reqs = [
+            ReqPoint { id: 7, xyz: [1.5, -2.25, 1e300], hint: None, relaxed: false },
+            ReqPoint {
+                id: u32::MAX,
+                xyz: [0.0, -0.0, f64::NAN],
+                hint: Some(Ijk::new(3, 0, 9)),
+                relaxed: true,
+            },
+        ];
+        for r in reqs {
+            let back = ReqPoint::from_wire_bytes(&r.to_wire_bytes()).unwrap();
+            assert_eq!(back.id, r.id);
+            assert_eq!(back.xyz.map(f64::to_bits), r.xyz.map(f64::to_bits));
+            assert_eq!(back.hint, r.hint);
+            assert_eq!(back.relaxed, r.relaxed);
+        }
+        let answers = [
+            Answer::Found { value: [1.0, 2.0, 3.0, 4.0, 5.0], cell_global: Ijk::new(1, 2, 3) },
+            Answer::Miss,
+        ];
+        for a in answers {
+            let back = Answer::from_wire_bytes(&a.to_wire_bytes()).unwrap();
+            match (a, back) {
+                (
+                    Answer::Found { value: v1, cell_global: c1 },
+                    Answer::Found { value: v2, cell_global: c2 },
+                ) => {
+                    assert_eq!(v1.map(f64::to_bits), v2.map(f64::to_bits));
+                    assert_eq!(c1, c2);
+                }
+                (Answer::Miss, Answer::Miss) => {}
+                _ => panic!("variant changed across the wire"),
+            }
+        }
+        // Corrupt discriminants are rejected, not misread.
+        assert!(Answer::from_wire_bytes(&[9]).is_err());
+        let s =
+            ConnStats { igbps: 4, serviced: 9, resolved: 4, orphans: 0, walk_steps: 77, rounds: 2 };
+        let back = ConnStats::from_wire_bytes(&s.to_wire_bytes()).unwrap();
+        assert_eq!(back.serviced, 9);
+        assert_eq!(back.walk_steps, 77);
     }
 }

@@ -1,7 +1,6 @@
 //! The paper's three test cases, assembled as runnable [`CaseConfig`]s.
 
-use crate::driver::{CaseConfig, LbConfig};
-use overset_comm::trace::TraceConfig;
+use crate::driver::CaseConfig;
 use overset_grid::gen::{airfoil, delta_wing, store};
 use overset_motion::{BodyMotion, Loads, Prescribed, RigidBody};
 use overset_solver::FlowConditions;
@@ -14,20 +13,15 @@ pub fn airfoil_case(scale: f64, steps: usize) -> CaseConfig {
     // most often governed by stability conditions of the flow solver"):
     // the near-wall cell size shrinks with resolution, so dt scales down.
     fc.dt = 0.004 / scale.max(1.0);
-    CaseConfig {
-        name: format!("oscillating-airfoil(x{scale})"),
-        grids: airfoil::airfoil_system(scale),
-        search_order: airfoil::airfoil_search_order(),
-        motions: vec![BodyMotion::prescribed(vec![0], Prescribed::paper_airfoil_pitch())],
+    CaseConfig::builder(
+        format!("oscillating-airfoil(x{scale})"),
+        airfoil::airfoil_system(scale),
+        airfoil::airfoil_search_order(),
         fc,
-        steps,
-        lb: LbConfig::static_only(),
-        collect_state: false,
-        use_restart: true,
-        use_inverse_map: true,
-        trace: TraceConfig::disabled(),
-        max_threads: None,
-    }
+    )
+    .motions(vec![BodyMotion::prescribed(vec![0], Prescribed::paper_airfoil_pitch())])
+    .steps(steps)
+    .build()
 }
 
 /// Section 4.2: descending delta wing. Four grids (~1M points at full
@@ -37,20 +31,15 @@ pub fn delta_wing_case(scale: f64, steps: usize) -> CaseConfig {
     let mut fc = FlowConditions::new(0.3, 0.0, 1.0e6);
     fc.dt = 0.02;
     let descent = Prescribed::descent(0.064, 1.0);
-    CaseConfig {
-        name: format!("descending-delta-wing(x{scale})"),
-        grids: delta_wing::delta_wing_system(scale),
-        search_order: delta_wing::delta_wing_search_order(),
-        motions: vec![BodyMotion::prescribed(vec![0, 1, 2], descent)],
+    CaseConfig::builder(
+        format!("descending-delta-wing(x{scale})"),
+        delta_wing::delta_wing_system(scale),
+        delta_wing::delta_wing_search_order(),
         fc,
-        steps,
-        lb: LbConfig::static_only(),
-        collect_state: false,
-        use_restart: true,
-        use_inverse_map: true,
-        trace: TraceConfig::disabled(),
-        max_threads: None,
-    }
+    )
+    .motions(vec![BodyMotion::prescribed(vec![0, 1, 2], descent)])
+    .steps(steps)
+    .build()
 }
 
 /// Section 4.3: finned-store separation from a wing/pylon at M∞ = 1.6.
@@ -67,20 +56,15 @@ pub fn store_case(scale: f64, steps: usize) -> CaseConfig {
             store::STORE_CARRIAGE[2],
         ]),
     )];
-    CaseConfig {
-        name: format!("finned-store-separation(x{scale})"),
-        grids: store::store_system(scale),
-        search_order: store::store_search_order(),
-        motions,
+    CaseConfig::builder(
+        format!("finned-store-separation(x{scale})"),
+        store::store_system(scale),
+        store::store_search_order(),
         fc,
-        steps,
-        lb: LbConfig::static_only(),
-        collect_state: false,
-        use_restart: true,
-        use_inverse_map: true,
-        trace: TraceConfig::disabled(),
-        max_threads: None,
-    }
+    )
+    .motions(motions)
+    .steps(steps)
+    .build()
 }
 
 /// The store-separation case with *computed* (6-DOF) store motion instead

@@ -13,7 +13,7 @@ use overset_comm::metrics::names;
 use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
 use overset_comm::{
     Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary, Phase, RankStats, StepRecord,
-    Universe, WorkClass, NUM_PHASES,
+    TransportConfig, Universe, Wire, WireError, WireReader, WorkClass, NUM_PHASES,
 };
 use overset_connectivity::{
     connect_distributed_with_map, connect_serial_with_maps, cut_holes_and_find_fringe,
@@ -82,11 +82,103 @@ pub struct CaseConfig {
     /// required for rank counts far beyond the host's cores. Virtual times
     /// are bit-identical either way.
     pub max_threads: Option<usize>,
+    /// Communication backend for the parallel run: in-process mailboxes
+    /// (default) or rank-group OS processes over Unix sockets. Virtual
+    /// times are bit-identical either way; the serial driver always runs
+    /// in-process.
+    pub transport: TransportConfig,
 }
 
 impl CaseConfig {
     pub fn total_points(&self) -> usize {
         self.grids.iter().map(|g| g.num_points()).sum()
+    }
+
+    /// Start building a case from its required geometry and flow inputs;
+    /// every runtime toggle (restart cache, inverse map, tracing, thread
+    /// bound, transport backend, load balancing) has a default and a
+    /// setter — the single place CLI flags map onto configuration.
+    pub fn builder(
+        name: impl Into<String>,
+        grids: Vec<CurvilinearGrid>,
+        search_order: Vec<Vec<usize>>,
+        fc: FlowConditions,
+    ) -> CaseConfigBuilder {
+        CaseConfigBuilder {
+            cfg: CaseConfig {
+                name: name.into(),
+                grids,
+                search_order,
+                motions: Vec::new(),
+                fc,
+                steps: 1,
+                lb: LbConfig::static_only(),
+                collect_state: false,
+                use_restart: true,
+                use_inverse_map: true,
+                trace: TraceConfig::disabled(),
+                max_threads: None,
+                transport: TransportConfig::InProcess,
+            },
+        }
+    }
+}
+
+/// Builder for [`CaseConfig`]: geometry comes in through
+/// [`CaseConfig::builder`], toggles through the setters below.
+#[derive(Clone)]
+pub struct CaseConfigBuilder {
+    cfg: CaseConfig,
+}
+
+impl CaseConfigBuilder {
+    pub fn motions(mut self, motions: Vec<BodyMotion>) -> Self {
+        self.cfg.motions = motions;
+        self
+    }
+
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.cfg.steps = steps;
+        self
+    }
+
+    pub fn lb(mut self, lb: LbConfig) -> Self {
+        self.cfg.lb = lb;
+        self
+    }
+
+    pub fn collect_state(mut self, on: bool) -> Self {
+        self.cfg.collect_state = on;
+        self
+    }
+
+    pub fn use_restart(mut self, on: bool) -> Self {
+        self.cfg.use_restart = on;
+        self
+    }
+
+    pub fn use_inverse_map(mut self, on: bool) -> Self {
+        self.cfg.use_inverse_map = on;
+        self
+    }
+
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
+    pub fn max_threads(mut self, n: Option<usize>) -> Self {
+        self.cfg.max_threads = n;
+        self
+    }
+
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.cfg.transport = t;
+        self
+    }
+
+    pub fn build(self) -> CaseConfig {
+        self.cfg
     }
 }
 
@@ -170,6 +262,55 @@ struct RankReturn {
     np_final: Vec<usize>,
 }
 
+// On a process transport each rank's return value crosses a socket; `Ijk`
+// is foreign to the comm crate, so the states are encoded inline as three
+// indices per cell. Field order is the wire schema.
+impl Wire for RankReturn {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase_elapsed.encode(out);
+        self.state_sum_sq.encode(out);
+        self.state_count.encode(out);
+        (self.states.len() as u64).encode(out);
+        for (grid, cell, q) in &self.states {
+            grid.encode(out);
+            cell.i.encode(out);
+            cell.j.encode(out);
+            cell.k.encode(out);
+            q.encode(out);
+        }
+        self.igbps_last.encode(out);
+        self.serviced_last.encode(out);
+        self.orphans_last.encode(out);
+        self.repartitions.encode(out);
+        self.np_final.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let phase_elapsed = <[f64; NUM_PHASES]>::decode(r)?;
+        let state_sum_sq = f64::decode(r)?;
+        let state_count = usize::decode(r)?;
+        let n = r.len_prefix()?;
+        let mut states = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            let grid = usize::decode(r)?;
+            let cell =
+                overset_grid::Ijk::new(usize::decode(r)?, usize::decode(r)?, usize::decode(r)?);
+            states.push((grid, cell, <[f64; 5]>::decode(r)?));
+        }
+        Ok(RankReturn {
+            phase_elapsed,
+            state_sum_sq,
+            state_count,
+            states,
+            igbps_last: usize::decode(r)?,
+            serviced_last: usize::decode(r)?,
+            orphans_last: usize::decode(r)?,
+            repartitions: usize::decode(r)?,
+            np_final: Vec::<usize>::decode(r)?,
+        })
+    }
+}
+
 /// Minimum subdomain widths per grid for partition-count repair: a periodic
 /// O-grid needs every `i`-piece to keep at least 2 nodes, because the seam
 /// piece drops the duplicated wrap node from its cyclic solve.
@@ -204,7 +345,11 @@ pub fn run_case(
     // repartition reuse the same (already validated) hierarchy.
     build_topology(&base_partition, &cfg.search_order)?;
 
-    let mut builder = Universe::builder().ranks(nranks).machine(machine).trace(cfg.trace);
+    let mut builder = Universe::builder()
+        .ranks(nranks)
+        .machine(machine)
+        .trace(cfg.trace)
+        .transport(cfg.transport.clone());
     if let Some(n) = cfg.max_threads {
         builder = builder.max_threads(n);
     }

@@ -106,7 +106,7 @@ mod tests {
         let new = Partition::build(&dims, &[3, 2]);
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
 
-        let out = Universe::run(5, &MachineModel::modern(), |comm| {
+        let out = Universe::builder().ranks(5).machine(&MachineModel::modern()).run(|comm| {
             let cum = vec![RigidTransform::IDENTITY; 2];
             let (mut ob, _) =
                 crate::setup::build_block(comm.rank(), &old, &grids, &cum, &fc).unwrap();

@@ -36,6 +36,16 @@ fi
 echo "== analyzer smoke test =="
 ./target/release/repro analyze table1 --quick > /dev/null
 
+echo "== multi-process transport: bit-equality smoke =="
+SMOKE_OUT="$(./target/release/repro smoke)"
+if ! grep -q "bit-equal" <<< "$SMOKE_OUT"; then
+    echo "transport smoke: proc and inproc backends diverged" >&2
+    exit 1
+fi
+
+echo "== multi-process transport: killed-child robustness =="
+cargo test -q --release -p overset-comm --test transport_conformance killed_child
+
 echo "== perf regression gate =="
 ./scripts/bench_gate.sh
 
