@@ -22,15 +22,17 @@
 
 pub mod advisor;
 pub mod critical_path;
+pub mod diff;
 pub mod input;
 pub mod matrix;
 pub mod waits;
 
 pub use advisor::{advise, Finding, GRANT_THRESHOLD};
 pub use critical_path::CriticalPath;
+pub use diff::{diff, AnalysisDiff, DIFF_SCHEMA_VERSION};
 pub use input::{AnalysisInput, RankSpans, Span, PHASE_NAMES};
 pub use matrix::CommMatrix;
-pub use waits::WaitStates;
+pub use waits::{Culprit, WaitStates, MAX_CULPRITS};
 
 use overset_comm::NUM_PHASES;
 use overset_report::{json::obj, Value};
@@ -133,11 +135,28 @@ impl Analysis {
                 .iter()
                 .enumerate()
                 .map(|(r, w)| {
+                    let culprits = Value::Arr(
+                        w.late_sender_culprits
+                            .iter()
+                            .map(|c| {
+                                obj(vec![
+                                    ("src", Value::Num(c.src as f64)),
+                                    (
+                                        "sender_phase",
+                                        Value::Str(PHASE_NAMES[c.sender_phase].to_string()),
+                                    ),
+                                    ("seconds", Value::Num(c.seconds)),
+                                    ("spans", Value::Num(c.spans as f64)),
+                                ])
+                            })
+                            .collect(),
+                    );
                     obj(vec![
                         ("rank", Value::Num(r as f64)),
                         ("late_sender", phase_obj(&w.late_sender)),
                         ("late_receiver", phase_obj(&w.late_receiver)),
                         ("collective", phase_obj(&w.collective)),
+                        ("late_sender_culprits", culprits),
                         ("lost_total", Value::Num(w.total())),
                     ])
                 })

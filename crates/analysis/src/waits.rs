@@ -15,6 +15,23 @@
 
 use crate::input::{PhaseIntervals, RankSpans};
 use overset_comm::NUM_PHASES;
+use std::collections::{HashMap, VecDeque};
+
+/// One sender-side source of a victim rank's late-sender time: the rank
+/// whose send arrived late, attributed to the phase *the sender* was in
+/// when it posted the send — the span to fix is on the sender's timeline,
+/// not the victim's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Culprit {
+    /// Sending rank.
+    pub src: usize,
+    /// Phase index the sender was in at the send's virtual timestamp.
+    pub sender_phase: usize,
+    /// Late-sender seconds this (sender, phase) pair cost the victim.
+    pub seconds: f64,
+    /// Number of stalled receives matched to this pair.
+    pub spans: u64,
+}
 
 /// Wait-state totals of one rank, split per phase (seconds).
 #[derive(Clone, Debug, Default)]
@@ -22,7 +39,14 @@ pub struct RankWaits {
     pub late_sender: [f64; NUM_PHASES],
     pub late_receiver: [f64; NUM_PHASES],
     pub collective: [f64; NUM_PHASES],
+    /// Worst sender-side culprits of this rank's late-sender time, sorted
+    /// by seconds descending (at most [`MAX_CULPRITS`]). Empty when traces
+    /// lack `src`/`tag` recv args or no receive ever stalled.
+    pub late_sender_culprits: Vec<Culprit>,
 }
+
+/// Culprits retained per victim rank.
+pub const MAX_CULPRITS: usize = 3;
 
 impl RankWaits {
     /// Total *lost* time: late-sender + collective waits. Late-receiver
@@ -86,19 +110,74 @@ pub fn classify(ranks: &[RankSpans]) -> WaitStates {
     let mut out =
         WaitStates { per_rank: vec![RankWaits::default(); ranks.len()], ..Default::default() };
     let (colls, (kmin, kmax)) = collective_waits(ranks);
-    for (i, r) in ranks.iter().enumerate() {
-        let intervals = PhaseIntervals::build(&r.spans);
+    // Sender-side view for culprit attribution: every rank's send spans,
+    // FIFO per (src, dst, tag) channel — the runtime receives from explicit
+    // (src, tag) pairs, so the k-th matching recv pairs with the k-th send.
+    let phase_of: Vec<PhaseIntervals> =
+        ranks.iter().map(|r| PhaseIntervals::build(&r.spans)).collect();
+    let mut sends: HashMap<(usize, usize, u64), VecDeque<usize>> = HashMap::new();
+    for (src, r) in ranks.iter().enumerate() {
         for s in &r.spans {
-            if s.cat == "comm" && s.name == "recv" {
-                let phase = intervals.phase_at(s.ts);
-                // `stall` is exact; older traces without it fall back to
-                // the span duration, which equals the stall by construction.
-                out.per_rank[i].late_sender[phase] += s.arg("stall").unwrap_or(s.dur);
-                out.per_rank[i].late_receiver[phase] += s.arg("idle").unwrap_or(0.0);
+            if s.cat == "comm" && s.name == "send" {
+                if let (Some(dst), Some(tag)) = (s.arg("dst"), s.arg("tag")) {
+                    sends
+                        .entry((src, dst as usize, tag as u64))
+                        .or_default()
+                        .push_back(phase_of[src].phase_at(s.ts));
+                }
             }
         }
+    }
+    for (i, r) in ranks.iter().enumerate() {
+        // (sender rank, sender phase) -> (late-sender seconds, stalled recvs).
+        let mut culprits: HashMap<(usize, usize), (f64, u64)> = HashMap::new();
+        for s in &r.spans {
+            if s.cat == "comm" && s.name == "recv" {
+                let phase = phase_of[i].phase_at(s.ts);
+                // `stall` is exact; older traces without it fall back to
+                // the span duration, which equals the stall by construction.
+                let stall = s.arg("stall").unwrap_or(s.dur);
+                out.per_rank[i].late_sender[phase] += stall;
+                out.per_rank[i].late_receiver[phase] += s.arg("idle").unwrap_or(0.0);
+                if stall > 0.0 {
+                    if let (Some(src), Some(tag)) = (s.arg("src"), s.arg("tag")) {
+                        let sender_phase = sends
+                            .get_mut(&(src as usize, i, tag as u64))
+                            .and_then(VecDeque::pop_front);
+                        if let Some(sp) = sender_phase {
+                            let c = culprits.entry((src as usize, sp)).or_insert((0.0, 0));
+                            c.0 += stall;
+                            c.1 += 1;
+                        }
+                    }
+                } else if let (Some(src), Some(tag)) = (s.arg("src"), s.arg("tag")) {
+                    // Keep the sender's FIFO aligned even for prompt recvs.
+                    if let Some(q) = sends.get_mut(&(src as usize, i, tag as u64)) {
+                        q.pop_front();
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<Culprit> = culprits
+            .into_iter()
+            .map(|((src, sender_phase), (seconds, spans))| Culprit {
+                src,
+                sender_phase,
+                seconds,
+                spans,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.seconds
+                .partial_cmp(&a.seconds)
+                .unwrap()
+                .then(a.src.cmp(&b.src))
+                .then(a.sender_phase.cmp(&b.sender_phase))
+        });
+        ranked.truncate(MAX_CULPRITS);
+        out.per_rank[i].late_sender_culprits = ranked;
         for &(ts, wait) in &colls[i] {
-            out.per_rank[i].collective[intervals.phase_at(ts)] += wait;
+            out.per_rank[i].collective[phase_of[i].phase_at(ts)] += wait;
         }
     }
     if kmin != kmax {

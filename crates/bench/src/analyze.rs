@@ -1,15 +1,26 @@
-//! `repro analyze` — run the trace analyzer on an experiment or trace file.
+//! `repro analyze` — run the trace analyzer on an experiment, trace file,
+//! or streamed span directory — and `repro analyze-diff` to compare two
+//! analysis documents.
 //!
-//! Two input modes share one pipeline:
+//! Three input modes share one pipeline:
 //! - `repro analyze <experiment> [--quick]` re-runs the experiment's
 //!   representative case with tracing enabled (same case `--trace` uses)
 //!   and analyzes the live spans plus flight-recorder step records;
 //! - `repro analyze <trace.json>` re-parses a Chrome `trace_event` file
 //!   written by `repro <exp> --trace <file>` — no step records, per-step
-//!   structure is reconstructed from phase spans.
+//!   structure is reconstructed from phase spans;
+//! - `repro analyze <dir>` reads a binary span-stream directory written by
+//!   `repro <exp> --trace-stream <dir>` — step records included. A
+//!   truncated stream (a rank's writer died mid-run) is diagnosed with
+//!   exit 2 naming the gap, per rank.
 //!
 //! Output is the deterministic text report by default, the versioned JSON
 //! analysis document with `--json`; `-o <path>` writes instead of printing.
+//!
+//! `repro analyze-diff <a.json> <b.json>` diffs two `repro analyze --json`
+//! documents: critical-path and per-phase deltas plus per-rank wait-state
+//! regressions, each regressed late-sender wait attributed to its culprit
+//! sender-side span (see docs/OBSERVABILITY.md §Analysis diffing).
 
 use crate::experiments::{traced_run, Effort};
 use overset_analysis::{analyze, AnalysisInput};
@@ -63,7 +74,8 @@ fn parse(args: &[String]) -> Result<AnalyzeCli, String> {
 }
 
 fn usage() -> String {
-    "usage: repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]".to_string()
+    "usage: repro analyze <experiment>|<trace.json>|<span-dir> [--quick] [--json] [-o <path>]"
+        .to_string()
 }
 
 /// Entry point for the `analyze` subcommand; returns the process exit code.
@@ -77,7 +89,28 @@ pub fn run_analyze(args: &[String]) -> i32 {
     };
     let target = cli.target.as_deref().unwrap();
 
-    let input = if std::path::Path::new(target).is_file() {
+    let input = if std::path::Path::new(target).is_dir() {
+        let sd = match overset_comm::read_span_dir(std::path::Path::new(target)) {
+            Ok(sd) => sd,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        if !sd.gaps.is_empty() {
+            eprintln!("{target}: {} of {} rank streams incomplete:", sd.gaps.len(), sd.ranks.len());
+            for g in &sd.gaps {
+                eprintln!("  {g}");
+            }
+            eprintln!(
+                "(a truncated stream means that rank's writer died mid-run; the recovered \
+                       prefix is on disk but the analysis would silently understate its work)"
+            );
+            return 2;
+        }
+        let traces = sd.rank_traces();
+        AnalysisInput::from_run(target, &traces, sd.step_records())
+    } else if std::path::Path::new(target).is_file() {
         let text = match std::fs::read_to_string(target) {
             Ok(t) => t,
             Err(e) => {
@@ -123,6 +156,82 @@ pub fn run_analyze(args: &[String]) -> i32 {
                 return 2;
             }
             eprintln!("[analysis: {} bytes -> {path}]", text.len());
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+struct DiffCli {
+    a: String,
+    b: String,
+    json: bool,
+    out_path: Option<String>,
+}
+
+fn parse_diff(args: &[String]) -> Result<DiffCli, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "-o" | "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => return Err(format!("{a} requires an output path")),
+            },
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(
+            "usage: repro analyze-diff <baseline.json> <new.json> [--json] [-o <path>]".to_string()
+        );
+    }
+    let b = paths.pop().unwrap();
+    let a = paths.pop().unwrap();
+    Ok(DiffCli { a, b, json, out_path })
+}
+
+fn load_analysis(path: &str) -> Result<overset_report::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    overset_report::json::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))
+}
+
+/// Entry point for the `analyze-diff` subcommand; returns the process exit
+/// code (0 = diff rendered, regressions included advisorily; 2 = usage/IO).
+pub fn run_analyze_diff(args: &[String]) -> i32 {
+    let cli = match parse_diff(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let (a, b) = match (load_analysis(&cli.a), load_analysis(&cli.b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let d = match overset_analysis::diff(&a, &b) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("analyze-diff: {e}");
+            return 2;
+        }
+    };
+    let text = if cli.json { d.to_value().to_json() } else { d.render_text() };
+    match &cli.out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text.as_bytes()) {
+                eprintln!("failed to write diff to {path}: {e}");
+                return 2;
+            }
+            eprintln!("[diff: {} bytes -> {path}]", text.len());
         }
         None => print!("{text}"),
     }
@@ -196,6 +305,73 @@ mod tests {
         };
         let e = no_steps.validate().unwrap_err();
         assert!(e.contains("no completed timesteps"), "{e}");
+    }
+
+    #[test]
+    fn diff_flag_parsing() {
+        let c = parse_diff(&s(&["a.json", "b.json", "--json", "-o", "d.json"])).unwrap();
+        assert_eq!(c.a, "a.json");
+        assert_eq!(c.b, "b.json");
+        assert!(c.json);
+        assert_eq!(c.out_path.as_deref(), Some("d.json"));
+        assert!(parse_diff(&s(&[])).is_err());
+        assert!(parse_diff(&s(&["a.json"])).is_err());
+        assert!(parse_diff(&s(&["a", "b", "c"])).is_err());
+        assert!(parse_diff(&s(&["a", "b", "--bogus"])).is_err());
+        assert!(parse_diff(&s(&["a", "b", "-o"])).is_err());
+    }
+
+    #[test]
+    fn analyze_diff_exits_2_on_unreadable_or_malformed_inputs() {
+        let dir = std::env::temp_dir();
+        let missing = dir.join("overset_diff_missing.json");
+        let _ = std::fs::remove_file(&missing);
+        let garbage = dir.join("overset_diff_garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        let g = garbage.to_str().unwrap().to_string();
+        assert_eq!(run_analyze_diff(&[missing.to_str().unwrap().to_string(), g.clone()]), 2);
+        assert_eq!(run_analyze_diff(&[g.clone(), g]), 2);
+        let _ = std::fs::remove_file(&garbage);
+    }
+
+    #[test]
+    fn span_dir_mode_analyzes_complete_streams_and_rejects_truncated_ones() {
+        use overset_comm::{MachineModel, Phase, StreamConfig, Universe};
+        let dir = std::env::temp_dir().join("overset_bench_span_dir_mode");
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream = StreamConfig::binary(&dir);
+        Universe::builder()
+            .ranks(2)
+            .machine(&MachineModel::modern())
+            .trace(TraceConfig::enabled().with_stream(stream))
+            .run(|c| {
+                for _ in 0..2 {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.compute(1.0e5, overset_comm::WorkClass::Flow);
+                    ph.barrier();
+                    drop(ph);
+                    c.end_step();
+                }
+            });
+        let d = dir.to_str().unwrap().to_string();
+        let out = dir.join("analysis.txt");
+        assert_eq!(
+            run_analyze(&[d.clone(), "-o".into(), out.to_str().unwrap().into()]),
+            0,
+            "complete span dir must analyze cleanly"
+        );
+        assert!(std::fs::read_to_string(&out).unwrap().contains("critical path"));
+
+        // Chop the tail off rank 1's stream: the recovered prefix parses,
+        // but analyze must refuse with exit 2 and name the gap.
+        let victim = dir.join("rank-00001.spans");
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 7]).unwrap();
+        assert_eq!(run_analyze(&[d]), 2);
+        let sd = overset_comm::read_span_dir(&dir).unwrap();
+        assert_eq!(sd.gaps.len(), 1);
+        assert!(sd.gaps[0].starts_with("rank 1"), "{}", sd.gaps[0]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //!
 //! Usage:
 //!   `repro <experiment> [--quick] [--max-threads <N>] [--no-inverse-map]
-//!          [--transport inproc|proc[:N]] [--trace <out.json>] [--metrics]
+//!          [--transport inproc|proc[:N]] [--trace <out.json>]
+//!          [--trace-stream <dir>] [--metrics]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro report <experiment> [--quick] [-o <out.json>]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
-//!   `repro analyze <experiment>|<trace.json> [--quick] [--json] [-o <path>]`
+//!   `repro analyze <experiment>|<trace.json>|<span-dir> [--quick] [--json]
+//!          [-o <path>]`
+//!   `repro analyze-diff <baseline.json> <new.json> [--json] [-o <path>]`
 //!   `repro smoke`
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
@@ -30,10 +33,13 @@
 //! `--trace` re-runs the experiment's representative case with event
 //! tracing enabled and writes a Chrome `trace_event` JSON (load it in
 //! `chrome://tracing` or Perfetto; one "process" per rank, virtual-time
-//! axis). `--trace-filter` keeps only the named span categories (comma
-//! separated, from `phase comm compute conn solver lb`); `--trace-sample N`
-//! keeps every Nth filter-passing span. `--metrics` prints the aggregated
-//! metrics registry of the same run.
+//! axis). `--trace-stream <dir>` streams spans to per-rank binary files in
+//! `<dir>` *as they close* instead of buffering them in memory (consume
+//! with `repro analyze <dir>`; see docs/OBSERVABILITY.md §Streaming sinks).
+//! `--trace-filter` keeps only the named span categories (comma separated,
+//! from `phase comm compute conn solver lb`); `--trace-sample N` keeps
+//! every Nth filter-passing span. `--metrics` prints the aggregated metrics
+//! registry of the same run.
 //!
 //! `report` writes a schema-v1 JSON report (per-step telemetry series,
 //! end-of-run summary, metrics dump — see docs/OBSERVABILITY.md); `compare`
@@ -45,24 +51,25 @@
 //! experiment's representative case or on a previously written trace file.
 
 use overset_bench::amr_experiments::{ablate_grouping, fig12};
-use overset_bench::analyze::run_analyze;
+use overset_bench::analyze::{run_analyze, run_analyze_diff};
 use overset_bench::experiments::*;
 use overset_bench::report::{build_report, compare_reports};
 use overset_comm::trace::TraceConfig;
-use overset_comm::CategoryFilter;
+use overset_comm::{CategoryFilter, StreamConfig};
 
-fn parse_trace_config(filter: &Option<String>, sample: u32) -> TraceConfig {
+/// Build the trace config from validated CLI values. Rejects a zero sample
+/// stride and malformed filter lists with a usage-style message; callers
+/// print it and exit 2.
+fn parse_trace_config(filter: &Option<String>, sample: u32) -> Result<TraceConfig, String> {
+    if sample == 0 {
+        return Err("--trace-sample requires an integer >= 1 (got 0)".to_string());
+    }
     let mut tc = TraceConfig::enabled();
     if let Some(csv) = filter {
-        match CategoryFilter::parse(csv) {
-            Ok(f) => tc = tc.with_filter(f),
-            Err(e) => {
-                eprintln!("--trace-filter: {e}");
-                std::process::exit(2);
-            }
-        }
+        let f = CategoryFilter::parse(csv).map_err(|e| format!("--trace-filter: {e}"))?;
+        tc = tc.with_filter(f);
     }
-    tc.with_sampling(sample)
+    Ok(tc.with_sampling(sample))
 }
 
 fn run_compare(args: &[String]) -> i32 {
@@ -92,10 +99,12 @@ fn run_compare(args: &[String]) -> i32 {
     compare_reports(paths[0], paths[1], tol_pct)
 }
 
+#[derive(Debug)]
 struct Cli {
     which: String,
     quick: bool,
     trace_path: Option<String>,
+    trace_stream: Option<String>,
     show_metrics: bool,
     out_path: Option<String>,
     trace_filter: Option<String>,
@@ -105,11 +114,12 @@ struct Cli {
     transport: Option<String>,
 }
 
-fn parse_cli(args: &[String]) -> Cli {
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         which: "all".to_string(),
         quick: false,
         trace_path: None,
+        trace_stream: None,
         show_metrics: false,
         out_path: None,
         trace_filter: None,
@@ -126,82 +136,94 @@ fn parse_cli(args: &[String]) -> Cli {
             "--metrics" => cli.show_metrics = true,
             "--trace" => match it.next() {
                 Some(p) => cli.trace_path = Some(p.clone()),
-                None => {
-                    eprintln!("--trace requires an output path");
-                    std::process::exit(2);
-                }
+                None => return Err("--trace requires an output path".to_string()),
+            },
+            "--trace-stream" => match it.next() {
+                Some(d) => cli.trace_stream = Some(d.clone()),
+                None => return Err("--trace-stream requires an output directory".to_string()),
             },
             "-o" | "--out" => match it.next() {
                 Some(p) => cli.out_path = Some(p.clone()),
-                None => {
-                    eprintln!("{a} requires an output path");
-                    std::process::exit(2);
-                }
+                None => return Err(format!("{a} requires an output path")),
             },
             "--trace-filter" => match it.next() {
                 Some(f) => cli.trace_filter = Some(f.clone()),
                 None => {
-                    eprintln!("--trace-filter requires a category list (e.g. phase,conn)");
-                    std::process::exit(2);
+                    return Err(
+                        "--trace-filter requires a category list (e.g. phase,conn)".to_string()
+                    )
                 }
             },
-            "--trace-sample" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
-                Some(n) if n >= 1 => cli.trace_sample = n,
-                _ => {
-                    eprintln!("--trace-sample requires an integer >= 1");
-                    std::process::exit(2);
-                }
+            "--trace-sample" => match it.next() {
+                Some(v) => match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => cli.trace_sample = n,
+                    _ => {
+                        return Err(format!("--trace-sample requires an integer >= 1 (got {v:?})"))
+                    }
+                },
+                None => return Err("--trace-sample requires an integer >= 1".to_string()),
             },
             "--transport" => match it.next() {
                 Some(t) => cli.transport = Some(t.clone()),
                 None => {
-                    eprintln!("--transport requires a backend (inproc, proc or proc:N)");
-                    std::process::exit(2);
+                    return Err(
+                        "--transport requires a backend (inproc, proc or proc:N)".to_string()
+                    )
                 }
             },
             "--max-threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => cli.max_threads = Some(n),
-                _ => {
-                    eprintln!("--max-threads requires an integer >= 1");
-                    std::process::exit(2);
-                }
+                _ => return Err("--max-threads requires an integer >= 1".to_string()),
             },
-            other if other.starts_with("--") => {
-                eprintln!("unknown flag: {other}");
-                std::process::exit(2);
-            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
             other => cli.which = other.to_string(),
         }
     }
-    cli
+    if cli.trace_path.is_some() && cli.trace_stream.is_some() {
+        return Err("--trace and --trace-stream are mutually exclusive (a streamed run keeps \
+                    no in-memory spans to export)"
+            .to_string());
+    }
+    Ok(cli)
 }
 
 /// Validate `--transport` and map it onto the effort's process-group knob.
-/// Exits 2 on an unknown backend, like every other flag error.
-fn parse_transport_flag(flag: &Option<String>) -> Option<usize> {
-    let s = flag.as_deref()?;
+fn parse_transport_flag(flag: &Option<String>) -> Result<Option<usize>, String> {
+    let Some(s) = flag.as_deref() else { return Ok(None) };
     match overset_comm::TransportConfig::parse(s) {
-        Ok(overset_comm::TransportConfig::InProcess) => None,
-        Ok(overset_comm::TransportConfig::Process { processes, .. }) => Some(processes),
+        Ok(overset_comm::TransportConfig::InProcess) => Ok(None),
+        Ok(overset_comm::TransportConfig::Process { processes, .. }) => Ok(Some(processes)),
+        Err(e) => Err(format!("--transport: {e}")),
+    }
+}
+
+/// Print a flag error and exit 2 — shared by every `Result`-returning parser.
+fn exit_usage<T>(r: Result<T, String>) -> T {
+    match r {
+        Ok(v) => v,
         Err(e) => {
-            eprintln!("--transport: {e}");
+            eprintln!("{e}");
             std::process::exit(2);
         }
     }
 }
 
 fn run_report_cmd(args: &[String]) -> i32 {
-    let cli = parse_cli(args);
+    let cli = exit_usage(parse_cli(args));
+    if cli.trace_stream.is_some() {
+        eprintln!("report does not support --trace-stream (stream a plain experiment run)");
+        return 2;
+    }
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
-    effort.proc_groups = parse_transport_flag(&cli.transport);
+    effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     let effort_name = if cli.quick { "quick" } else { "full" };
     // Trace spans are not serialized into the report; tracing here only
     // proves observability neutrality (the golden tests rely on it), so
     // leave it off unless a filter was explicitly requested.
     let trace = if cli.trace_filter.is_some() || cli.trace_sample > 1 {
-        parse_trace_config(&cli.trace_filter, cli.trace_sample)
+        exit_usage(parse_trace_config(&cli.trace_filter, cli.trace_sample))
     } else {
         TraceConfig::disabled()
     };
@@ -226,6 +248,7 @@ fn main() {
         Some("compare") => std::process::exit(run_compare(&args[1..])),
         Some("report") => std::process::exit(run_report_cmd(&args[1..])),
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        Some("analyze-diff") => std::process::exit(run_analyze_diff(&args[1..])),
         // Dispatched before flag parsing: the forked rank-group children of
         // the smoke's process-backed run replay `repro smoke` and must reach
         // the same universe directly.
@@ -233,14 +256,17 @@ fn main() {
         _ => {}
     }
 
-    let cli = parse_cli(&args);
+    let cli = exit_usage(parse_cli(&args));
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
-    effort.proc_groups = parse_transport_flag(&cli.transport);
+    effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     let which = cli.which.clone();
     // Validate trace flags before the (long) experiment run, not after.
-    let trace_cfg = parse_trace_config(&cli.trace_filter, cli.trace_sample);
+    let mut trace_cfg = exit_usage(parse_trace_config(&cli.trace_filter, cli.trace_sample));
+    if let Some(dir) = &cli.trace_stream {
+        trace_cfg = trace_cfg.with_stream(StreamConfig::binary(dir));
+    }
 
     let t0 = std::time::Instant::now();
     match which.as_str() {
@@ -295,7 +321,7 @@ fn main() {
         }
     }
 
-    if cli.trace_path.is_some() || cli.show_metrics {
+    if cli.trace_path.is_some() || cli.trace_stream.is_some() || cli.show_metrics {
         let r = traced_run(&which, effort, trace_cfg);
         if let Some(path) = &cli.trace_path {
             let json = overset_comm::chrome_trace_json(&r.trace);
@@ -306,10 +332,65 @@ fn main() {
             let events: usize = r.trace.iter().map(|t| t.events.len()).sum();
             eprintln!("[trace: {events} events over {} ranks -> {path}]", r.trace.len());
         }
+        if let Some(dir) = &cli.trace_stream {
+            // Spans went to disk as they closed; the in-memory trace is
+            // empty by design. `repro analyze <dir>` consumes the result.
+            eprintln!("[span stream: {} ranks -> {dir}]", r.trace.len());
+        }
         if cli.show_metrics {
             print_metrics(&r);
         }
     }
 
     eprintln!("\n[{which} completed in {:?}]", t0.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn trace_sample_rejects_zero_and_malformed_values() {
+        let e = parse_cli(&s(&["table1", "--trace-sample", "0"])).unwrap_err();
+        assert!(e.contains(">= 1") && e.contains("0"), "{e}");
+        let e = parse_cli(&s(&["table1", "--trace-sample", "abc"])).unwrap_err();
+        assert!(e.contains("abc"), "{e}");
+        let e = parse_cli(&s(&["table1", "--trace-sample", "-3"])).unwrap_err();
+        assert!(e.contains("-3"), "{e}");
+        assert!(parse_cli(&s(&["table1", "--trace-sample"])).is_err());
+        // And the config builder itself guards against a zero stride.
+        assert!(parse_trace_config(&None, 0).is_err());
+        assert!(parse_trace_config(&None, 2).is_ok());
+    }
+
+    #[test]
+    fn trace_filter_rejects_unknown_categories_with_a_clear_error() {
+        let tc = parse_trace_config(&Some("phase,comm".to_string()), 1);
+        assert!(tc.is_ok());
+        let e = parse_trace_config(&Some("phase,bogus".to_string()), 1).unwrap_err();
+        assert!(e.starts_with("--trace-filter:"), "{e}");
+        assert!(e.contains("bogus"), "{e}");
+        assert!(parse_cli(&s(&["table1", "--trace-filter"])).is_err());
+    }
+
+    #[test]
+    fn trace_and_trace_stream_are_mutually_exclusive() {
+        let c = parse_cli(&s(&["table1", "--trace-stream", "spans.d"])).unwrap();
+        assert_eq!(c.trace_stream.as_deref(), Some("spans.d"));
+        let e = parse_cli(&s(&["table1", "--trace", "t.json", "--trace-stream", "d"])).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        assert!(parse_cli(&s(&["table1", "--trace-stream"])).is_err());
+    }
+
+    #[test]
+    fn transport_flag_maps_to_proc_groups() {
+        assert_eq!(parse_transport_flag(&None).unwrap(), None);
+        assert_eq!(parse_transport_flag(&Some("inproc".into())).unwrap(), None);
+        assert_eq!(parse_transport_flag(&Some("proc:3".into())).unwrap(), Some(3));
+        assert!(parse_transport_flag(&Some("carrier-pigeon".into())).is_err());
+    }
 }

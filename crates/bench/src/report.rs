@@ -59,18 +59,34 @@ pub fn build_report(which: &str, e: Effort, effort_name: &str, trace: TraceConfi
 
     let mut cases = Vec::with_capacity(runs.len());
     let mut host_cases: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let mut host_phases: Vec<(String, Value)> = Vec::with_capacity(runs.len());
     let t_total = std::time::Instant::now();
     for (label, cfg, nodes) in runs {
         let t0 = std::time::Instant::now();
         let r: RunResult = run_case(&cfg, nodes, &machine).expect("report case run failed");
         host_cases.push((label.to_string(), Value::Num(t0.elapsed().as_secs_f64())));
+        host_phases.push((label.to_string(), host_phase_ms(&r.host_phase_elapsed)));
         cases.push(case_report(label, &cfg, machine.name, &r));
     }
     let host = obj(vec![
         ("wall_seconds", Value::Obj(host_cases)),
+        ("phase_ms", Value::Obj(host_phases)),
         ("total_seconds", Value::Num(t_total.elapsed().as_secs_f64())),
     ]);
     run_report(which, effort_name, cases, Some(host))
+}
+
+/// Host wall-clock milliseconds per phase (max over ranks) — the runtime's
+/// `Instant`-based timers, folded into the report's advisory `host` section.
+/// `repro compare` notes large drifts here but never gates on them.
+fn host_phase_ms(elapsed: &[f64; overset_comm::NUM_PHASES]) -> Value {
+    Value::Obj(
+        overset_analysis::PHASE_NAMES
+            .iter()
+            .zip(elapsed.iter())
+            .map(|(name, &secs)| (name.to_string(), Value::Num(secs * 1e3)))
+            .collect(),
+    )
 }
 
 fn rep_cfg_is_dynamic(which: &str) -> bool {

@@ -154,8 +154,14 @@ impl FlightRecorder {
     }
 
     /// Close the current step: difference `stats`/`metrics` against the
-    /// previous boundary and append one record.
-    pub fn end_step(&mut self, stats: &RankStats, metrics: &MetricsRegistry, clock: f64) {
+    /// previous boundary and append one record, returning a copy (streaming
+    /// sinks persist it even after the ring evicts it).
+    pub fn end_step(
+        &mut self,
+        stats: &RankStats,
+        metrics: &MetricsRegistry,
+        clock: f64,
+    ) -> StepRecord {
         let mut time = [0.0; NUM_PHASES];
         for (p, t) in time.iter_mut().enumerate() {
             *t = stats.time[p] - self.snap.time[p];
@@ -199,6 +205,7 @@ impl FlightRecorder {
             self.dropped += 1;
         }
         self.records.push_back(rec);
+        rec
     }
 
     /// Records currently retained, oldest first.

@@ -27,6 +27,7 @@ pub mod machine;
 pub mod metrics;
 pub mod runtime;
 mod sched;
+pub mod sink;
 pub mod stats;
 pub mod trace;
 pub mod transport;
@@ -37,6 +38,10 @@ pub use flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 pub use machine::{CacheModel, MachineModel, WorkClass};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
+pub use sink::{
+    assemble_chrome, read_span_dir, read_span_file, RankStream, SpanDir, StreamConfig,
+    StreamFormat, SPAN_SCHEMA_VERSION,
+};
 pub use stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
 pub use trace::{
     chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent, Tracer,
@@ -52,6 +57,7 @@ pub mod prelude {
     pub use crate::machine::{MachineModel, WorkClass};
     pub use crate::metrics::{names as metric_names, MetricsRegistry};
     pub use crate::runtime::{Comm, PhaseGuard, RankOutput, Universe, UniverseBuilder};
+    pub use crate::sink::{StreamConfig, StreamFormat};
     pub use crate::stats::{PerfSummary, Phase, RankStats, NUM_PHASES};
     pub use crate::trace::{
         chrome_trace_json, ArgVal, CategoryFilter, RankTrace, TraceConfig, TraceEvent,

@@ -46,7 +46,7 @@ use crate::flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 use crate::machine::{MachineModel, WorkClass};
 use crate::metrics::{names, MetricsRegistry};
 use crate::sched;
-use crate::stats::{Phase, RankStats};
+use crate::stats::{Phase, RankStats, NUM_PHASES};
 use crate::trace::{ArgVal, TraceConfig, TraceEvent, Tracer};
 use crate::transport::{self, FabricInner, ProcLink, ProcRound, TransportConfig};
 use crate::wire::{intern, wire_type_hash, Wire, WireError, WireReader};
@@ -56,6 +56,7 @@ use std::ops::{Deref, DerefMut};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// How a message's value travels: in-process messages hand the boxed value
 /// across directly; messages that crossed a process boundary arrive as wire
@@ -409,6 +410,12 @@ pub struct Comm {
     tracer: Option<Tracer>,
     phase: Phase,
     phase_start: f64,
+    /// Host wall-clock seconds spent per phase on this rank — the *real*
+    /// cost of the run, as opposed to the deterministic virtual clock. Only
+    /// ever reported in advisory channels; nothing bit-compared reads it.
+    host_time: [f64; NUM_PHASES],
+    /// Host instant of the last phase switch.
+    phase_host_start: Instant,
     /// Set by the innermost [`PhaseGuard`] unwound through during a panic,
     /// so the failure report names the phase the rank was actually in.
     panicked_phase: Option<&'static str>,
@@ -529,7 +536,10 @@ impl Comm {
     pub fn end_step(&mut self) {
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time, keep the phase
-        self.flight.end_step(&self.stats, &self.metrics, self.clock);
+        let rec = self.flight.end_step(&self.stats, &self.metrics, self.clock);
+        if let Some(t) = &mut self.tracer {
+            t.record_step(&rec);
+        }
         if let Some(mn) = &self.shared.mn {
             mn.wake(self.rank);
             sched::mn_yield();
@@ -562,9 +572,13 @@ impl Comm {
     fn switch_phase(&mut self, phase: Phase) -> Phase {
         let elapsed = self.clock - self.phase_start;
         self.stats.time[self.phase as usize] += elapsed;
+        let host_now = Instant::now();
+        self.host_time[self.phase as usize] +=
+            host_now.duration_since(self.phase_host_start).as_secs_f64();
         let prev = self.phase;
         self.phase = phase;
         self.phase_start = self.clock;
+        self.phase_host_start = host_now;
         prev
     }
 
@@ -1084,16 +1098,20 @@ impl Comm {
     }
 
     /// Finalize statistics (closes the open phase) and return them together
-    /// with the recorded trace, the metrics registry, and the flight
-    /// recorder's per-step records.
+    /// with the recorded trace, the metrics registry, the flight recorder's
+    /// per-step records, and the host wall-clock phase times. Closes the
+    /// streaming sink (flush + footer) when one is attached.
     #[allow(clippy::type_complexity)]
-    fn finish(mut self) -> (RankStats, Vec<TraceEvent>, MetricsRegistry, Vec<StepRecord>, u64) {
+    fn finish(
+        mut self,
+    ) -> (RankStats, Vec<TraceEvent>, MetricsRegistry, Vec<StepRecord>, u64, [f64; NUM_PHASES])
+    {
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time into the current bucket
         self.stats.final_clock = self.clock;
-        let trace = self.tracer.take().map(Tracer::into_events).unwrap_or_default();
         let (steps, dropped) = self.flight.into_records();
-        (self.stats, trace, self.metrics, steps, dropped)
+        let trace = self.tracer.take().map(|t| t.finish(dropped)).unwrap_or_default();
+        (self.stats, trace, self.metrics, steps, dropped, self.host_time)
     }
 }
 
@@ -1113,10 +1131,15 @@ pub struct RankOutput<R> {
     pub steps: Vec<StepRecord>,
     /// Step records evicted by the flight-recorder ring bound.
     pub steps_dropped: u64,
+    /// Host wall-clock seconds per phase on this rank. The one
+    /// *nondeterministic* field in the output: useful for advisory
+    /// profiling (`repro compare` host notes), never bit-compared.
+    pub host_time: [f64; NUM_PHASES],
 }
 
 // A child process ships each rank's whole output (result, stats, trace,
-// metrics, flight telemetry) back to the parent as one wire value.
+// metrics, flight telemetry, host timings) back to the parent as one wire
+// value. Wire schema v2 appended `host_time` — see docs/TRANSPORT.md.
 impl<R: Wire> Wire for RankOutput<R> {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.result.encode(buf);
@@ -1125,6 +1148,7 @@ impl<R: Wire> Wire for RankOutput<R> {
         self.metrics.encode(buf);
         self.steps.encode(buf);
         self.steps_dropped.encode(buf);
+        self.host_time.encode(buf);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -1135,6 +1159,7 @@ impl<R: Wire> Wire for RankOutput<R> {
             metrics: MetricsRegistry::decode(r)?,
             steps: Vec::decode(r)?,
             steps_dropped: u64::decode(r)?,
+            host_time: <[f64; NUM_PHASES]>::decode(r)?,
         })
     }
 }
@@ -1387,15 +1412,18 @@ impl UniverseBuilder {
                     stats: RankStats::new(rank),
                     metrics: MetricsRegistry::new(),
                     flight: FlightRecorder::new(step_capacity),
-                    tracer: trace.enabled.then(|| Tracer::with_config(trace)),
+                    tracer: trace.enabled.then(|| Tracer::for_rank(&trace, rank)),
                     phase: Phase::Other,
                     phase_start: 0.0,
+                    host_time: [0.0; NUM_PHASES],
+                    phase_host_start: Instant::now(),
                     panicked_phase: None,
                 };
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
                     Ok(result) => {
                         comm.shared.rank_finished(rank);
-                        let (stats, trace, metrics, steps, steps_dropped) = comm.finish();
+                        let (stats, trace, metrics, steps, steps_dropped, host_time) =
+                            comm.finish();
                         outputs.lock().expect("outputs poisoned")[rank - lo] = Some(RankOutput {
                             result,
                             stats,
@@ -1403,6 +1431,7 @@ impl UniverseBuilder {
                             metrics,
                             steps,
                             steps_dropped,
+                            host_time,
                         });
                     }
                     Err(payload) => {

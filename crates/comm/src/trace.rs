@@ -14,6 +14,8 @@
 //! (donor-search serve rounds), `solver` (halo/sweep stages), `lb`
 //! (repartition). See docs/OBSERVABILITY.md.
 
+use crate::flight::StepRecord;
+use crate::sink::{SinkWriter, StreamConfig};
 use crate::wire::{intern, Wire, WireError, WireReader};
 use std::fmt::Write as _;
 
@@ -88,7 +90,7 @@ impl CategoryFilter {
 /// deterministic 1-in-N span sampler. Filtering and sampling only thin the
 /// *recording*; the `Option<Tracer>` `is_some` branch at every
 /// instrumentation point keeps disabled tracing zero-cost.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     pub enabled: bool,
     /// Categories recorded when enabled (default: all).
@@ -97,6 +99,10 @@ pub struct TraceConfig {
     /// per-rank modulo counter over the deterministic span stream, so the
     /// sampled subset is itself deterministic.
     pub sample_every: u32,
+    /// When set, spans (and, in the binary format, step records) stream to
+    /// one file per rank as they close instead of accumulating in memory;
+    /// the run's `RankTrace`s come back empty. See [`crate::sink`].
+    pub stream: Option<StreamConfig>,
 }
 
 impl Default for TraceConfig {
@@ -107,11 +113,11 @@ impl Default for TraceConfig {
 
 impl TraceConfig {
     pub fn enabled() -> Self {
-        TraceConfig { enabled: true, filter: CategoryFilter::ALL, sample_every: 1 }
+        TraceConfig { enabled: true, filter: CategoryFilter::ALL, sample_every: 1, stream: None }
     }
 
     pub fn disabled() -> Self {
-        TraceConfig { enabled: false, filter: CategoryFilter::ALL, sample_every: 1 }
+        TraceConfig { enabled: false, filter: CategoryFilter::ALL, sample_every: 1, stream: None }
     }
 
     /// Restrict recording to the given filter.
@@ -125,6 +131,13 @@ impl TraceConfig {
     #[must_use]
     pub fn with_sampling(mut self, n: u32) -> Self {
         self.sample_every = n.max(1);
+        self
+    }
+
+    /// Stream telemetry to disk per rank instead of buffering in memory.
+    #[must_use]
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = Some(stream);
         self
     }
 }
@@ -231,14 +244,16 @@ impl Wire for TraceEvent {
     }
 }
 
-/// Per-rank span recorder.
-#[derive(Clone, Debug)]
+/// Per-rank span recorder. With a streaming sink attached, spans route to
+/// disk as they close and `events` stays empty.
+#[derive(Debug)]
 pub struct Tracer {
     events: Vec<TraceEvent>,
     filter: CategoryFilter,
     sample_every: u32,
     /// Filter-passing spans seen so far (drives the 1-in-N sampler).
     seen: u64,
+    sink: Option<SinkWriter>,
 }
 
 impl Default for Tracer {
@@ -254,13 +269,24 @@ impl Tracer {
     }
 
     /// A recorder honoring `cfg`'s category filter and sampling stride.
+    /// Ignores `cfg.stream` (a sink needs a rank); use [`Tracer::for_rank`]
+    /// to honor it.
     pub fn with_config(cfg: TraceConfig) -> Self {
         Tracer {
             events: Vec::new(),
             filter: cfg.filter,
             sample_every: cfg.sample_every.max(1),
             seen: 0,
+            sink: None,
         }
+    }
+
+    /// The recorder for one rank of a universe, opening the streaming sink
+    /// when `cfg.stream` is set.
+    pub fn for_rank(cfg: &TraceConfig, rank: usize) -> Self {
+        let mut t = Tracer::with_config(cfg.clone());
+        t.sink = cfg.stream.as_ref().map(|s| SinkWriter::create(s, rank));
+        t
     }
 
     /// Record a completed span `[ts, ts + dur]`. Spans outside the category
@@ -281,7 +307,19 @@ impl Tracer {
         if !keep {
             return;
         }
-        self.events.push(TraceEvent { cat, name, ts, dur: dur.max(0.0), args });
+        let e = TraceEvent { cat, name, ts, dur: dur.max(0.0), args };
+        match &mut self.sink {
+            Some(s) => s.push_event(e),
+            None => self.events.push(e),
+        }
+    }
+
+    /// Forward one closed step record to the streaming sink (no-op without
+    /// a binary sink — in-memory runs return steps via the flight recorder).
+    pub fn record_step(&mut self, rec: &StepRecord) {
+        if let Some(s) = &mut self.sink {
+            s.push_step(rec);
+        }
     }
 
     pub fn events(&self) -> &[TraceEvent] {
@@ -289,6 +327,15 @@ impl Tracer {
     }
 
     pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Close the recorder: flush and footer the sink (if any), then return
+    /// the in-memory events (empty in sink mode).
+    pub fn finish(mut self, steps_dropped: u64) -> Vec<TraceEvent> {
+        if let Some(s) = &mut self.sink {
+            s.finish(steps_dropped);
+        }
         self.events
     }
 }
@@ -343,6 +390,41 @@ fn write_arg(out: &mut String, v: &ArgVal) {
     }
 }
 
+/// Render one rank's process-metadata event (names the Chrome "process"
+/// after the rank). Shared verbatim by the in-memory exporter and the
+/// streaming fragment sink so the two stay byte-identical.
+pub(crate) fn write_process_meta(out: &mut String, rank: usize) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+         \"args\":{{\"name\":\"rank {rank}\"}}}}",
+    );
+}
+
+/// Render one complete ("X") event, including its leading `,\n` separator.
+/// Shared by the in-memory exporter and the streaming fragment sink.
+pub(crate) fn write_event_json(out: &mut String, rank: usize, e: &TraceEvent) {
+    let _ = write!(out, ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\"", e.name, e.cat);
+    let _ = write!(out, ",\"pid\":{rank},\"tid\":0,\"ts\":");
+    write_us(out, e.ts);
+    out.push_str(",\"dur\":");
+    write_us(out, e.dur);
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(k, out);
+            out.push_str("\":");
+            write_arg(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
 /// Export rank traces in the Chrome `trace_event` JSON format ("X" complete
 /// events; one Chrome *process* per rank, timestamps in virtual
 /// microseconds). Open the file in `chrome://tracing` or
@@ -357,33 +439,9 @@ pub fn chrome_trace_json(ranks: &[RankTrace]) -> String {
             out.push(',');
         }
         first = false;
-        // Process metadata: name each Chrome "process" after the rank.
-        let _ = write!(
-            out,
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{0},\"tid\":0,\
-             \"args\":{{\"name\":\"rank {0}\"}}}}",
-            rt.rank
-        );
+        write_process_meta(&mut out, rt.rank);
         for e in &rt.events {
-            let _ = write!(out, ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\"", e.name, e.cat);
-            let _ = write!(out, ",\"pid\":{},\"tid\":0,\"ts\":", rt.rank);
-            write_us(&mut out, e.ts);
-            out.push_str(",\"dur\":");
-            write_us(&mut out, e.dur);
-            if !e.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (i, (k, v)) in e.args.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    escape_json(k, &mut out);
-                    out.push_str("\":");
-                    write_arg(&mut out, v);
-                }
-                out.push('}');
-            }
-            out.push('}');
+            write_event_json(&mut out, rt.rank, e);
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual\"}}\n");

@@ -28,7 +28,10 @@ use std::sync::{Mutex, OnceLock};
 /// Version of the wire schema spoken by this build. Bump whenever any
 /// `Wire` impl or the frame protocol in [`crate::transport`] changes shape;
 /// the golden byte test pins the encoding for the current version.
-pub const WIRE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `RankOutput` gained a trailing `host_time: [f64; NUM_PHASES]` field
+/// (host wall-clock seconds per phase). Primitive encodings are unchanged.
+pub const WIRE_SCHEMA_VERSION: u32 = 2;
 
 /// Decode-side failure. Encoding is infallible.
 #[derive(Clone, Debug, PartialEq, Eq)]

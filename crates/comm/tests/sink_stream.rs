@@ -1,0 +1,227 @@
+//! Streaming-sink acceptance tests: the binary span format's golden byte
+//! pin (schema v1), truncation recovery, Chrome fragment byte-identity with
+//! the in-memory exporter, and full-series recovery from disk when the
+//! in-memory flight ring has evicted records.
+
+use overset_comm::trace::{TraceConfig, Tracer};
+use overset_comm::{
+    assemble_chrome, chrome_trace_json, read_span_dir, read_span_file, ArgVal, MachineModel, Phase,
+    RankTrace, StreamConfig, Universe, WorkClass,
+};
+use std::path::PathBuf;
+
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("overset_sink_{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small traced workload: `steps` timesteps of flow compute, a ring halo
+/// exchange in connectivity, a barrier per phase.
+fn run_workload(trace: TraceConfig, steps: usize, step_capacity: usize) -> Vec<RankOutputLite> {
+    Universe::builder()
+        .ranks(3)
+        .machine(&MachineModel::modern())
+        .trace(trace)
+        .step_capacity(step_capacity)
+        .run(move |c| {
+            for s in 0..steps {
+                {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.compute(1.0e5 * (1 + s % 3) as f64, WorkClass::Flow);
+                    let t0 = ph.now();
+                    ph.trace_complete("conn", "mark", t0, &[("step", ArgVal::U64(s as u64))]);
+                    ph.barrier();
+                }
+                {
+                    let mut ph = c.phase(Phase::Connectivity);
+                    let dst = (ph.rank() + 1) % ph.size();
+                    let src = (ph.rank() + ph.size() - 1) % ph.size();
+                    ph.send(dst, 3, s as u64, 128);
+                    let _: u64 = ph.recv(src, 3);
+                    ph.barrier();
+                }
+                c.end_step();
+            }
+        })
+        .into_iter()
+        .map(|o| RankOutputLite { trace: o.trace, steps: o.steps, steps_dropped: o.steps_dropped })
+        .collect()
+}
+
+struct RankOutputLite {
+    trace: Vec<overset_comm::TraceEvent>,
+    steps: Vec<overset_comm::StepRecord>,
+    steps_dropped: u64,
+}
+
+/// Golden byte pin of binary span schema v1: one rank-0 stream holding a
+/// single argless `phase`/`flow` span and a clean footer, built with the
+/// writer and compared against hand-assembled literal bytes. Any header,
+/// framing, or payload-layout change breaks this test — that's a conscious
+/// `SPAN_SCHEMA_VERSION` bump, not a refresh.
+#[test]
+fn golden_bytes_pin_span_schema_v1() {
+    let dir = temp_dir("golden_v1");
+    let cfg = TraceConfig::enabled().with_stream(StreamConfig::binary(&dir));
+    let mut t = Tracer::for_rank(&cfg, 0);
+    t.complete("phase", "flow", 0.0, 2.0, Vec::new());
+    t.finish(0);
+
+    let got = std::fs::read(dir.join("rank-00000.spans")).unwrap();
+    let mut want: Vec<u8> = Vec::new();
+    want.extend(*b"OSPN"); // magic
+    want.extend([1, 0, 0, 0]); // schema version 1
+    want.extend([0, 0, 0, 0]); // rank 0
+    want.extend([58, 0, 0, 0]); // chunk len: 1 kind + 57 payload
+    want.push(1); // kind 1: events
+    want.extend([1, 0, 0, 0, 0, 0, 0, 0]); // Vec len: 1 event
+    want.extend([5, 0, 0, 0, 0, 0, 0, 0]); // cat len
+    want.extend(*b"phase");
+    want.extend([4, 0, 0, 0, 0, 0, 0, 0]); // name len
+    want.extend(*b"flow");
+    want.extend([0; 8]); // ts = 0.0 (IEEE bits)
+    want.extend([0, 0, 0, 0, 0, 0, 0, 0x40]); // dur = 2.0 (IEEE bits)
+    want.extend([0; 8]); // 0 args
+    want.extend([25, 0, 0, 0]); // chunk len: 1 kind + 24 payload
+    want.push(0); // kind 0: footer
+    want.extend([1, 0, 0, 0, 0, 0, 0, 0]); // total events
+    want.extend([0; 8]); // total steps
+    want.extend([0; 8]); // steps dropped
+    assert_eq!(got, want, "binary span layout drifted without a schema bump");
+
+    let back = read_span_file(&dir.join("rank-00000.spans")).unwrap();
+    assert_eq!(back.rank, 0);
+    assert_eq!(back.events.len(), 1);
+    assert_eq!(back.events[0].cat, "phase");
+    assert_eq!(back.events[0].dur, 2.0);
+    assert!(back.truncation.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The streamed binary dir carries exactly what the in-memory run records:
+/// same spans, same step records, per rank (virtual time makes the two
+/// runs identical).
+#[test]
+fn binary_stream_matches_in_memory_run() {
+    let dir = temp_dir("roundtrip");
+    let in_mem = run_workload(TraceConfig::enabled(), 4, 1024);
+    let streamed =
+        run_workload(TraceConfig::enabled().with_stream(StreamConfig::binary(&dir)), 4, 1024);
+
+    // Streaming leaves nothing in memory...
+    for o in &streamed {
+        assert!(o.trace.is_empty(), "streamed run must not buffer spans in memory");
+    }
+    // ...and everything on disk.
+    let sd = read_span_dir(&dir).unwrap();
+    assert_eq!(sd.gaps, Vec::<String>::new());
+    assert_eq!(sd.ranks.len(), in_mem.len());
+    for (mem, disk) in in_mem.iter().zip(&sd.ranks) {
+        assert_eq!(mem.trace, disk.events);
+        assert_eq!(mem.steps, disk.steps);
+        assert_eq!(disk.steps_dropped, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chrome fragment streaming: assembling the per-rank fragments yields a
+/// document byte-identical to the in-memory exporter's.
+#[test]
+fn chrome_fragments_assemble_byte_identical_to_in_memory_export() {
+    let dir = temp_dir("chrome_identity");
+    let in_mem = run_workload(TraceConfig::enabled(), 5, 1024);
+    run_workload(TraceConfig::enabled().with_stream(StreamConfig::chrome(&dir)), 5, 1024);
+
+    let traces: Vec<RankTrace> = in_mem
+        .into_iter()
+        .enumerate()
+        .map(|(rank, o)| RankTrace { rank, events: o.trace })
+        .collect();
+    let memory_doc = chrome_trace_json(&traces);
+    let streamed_doc = assemble_chrome(&dir).unwrap();
+    assert_eq!(streamed_doc, memory_doc, "streamed Chrome JSON must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The memory contract that motivates streaming: cap the flight ring far
+/// below the step count, so the in-memory run keeps only a trailing window
+/// — yet the streamed sink recovers the *full* per-step series from disk.
+#[test]
+fn capped_ring_long_run_recovers_full_series_from_disk() {
+    const STEPS: usize = 12;
+    const CAP: usize = 4;
+    let dir = temp_dir("ring_recovery");
+    let outs =
+        run_workload(TraceConfig::enabled().with_stream(StreamConfig::binary(&dir)), STEPS, CAP);
+
+    for o in &outs {
+        assert_eq!(o.steps.len(), CAP, "ring must cap the in-memory series");
+        assert_eq!(o.steps_dropped as usize, STEPS - CAP);
+    }
+    let sd = read_span_dir(&dir).unwrap();
+    assert_eq!(sd.gaps, Vec::<String>::new());
+    for (disk, mem) in sd.ranks.iter().zip(&outs) {
+        assert_eq!(disk.steps.len(), STEPS, "disk must hold every step");
+        assert_eq!(disk.steps_dropped, mem.steps_dropped, "footer carries ring evictions");
+        // The in-memory window is exactly the tail of the streamed series.
+        assert_eq!(&disk.steps[STEPS - CAP..], &mem.steps[..]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncation ladder: cutting a complete stream at every interesting
+/// boundary yields the recovered prefix plus a message naming the gap;
+/// corrupting the header is a hard error.
+#[test]
+fn truncated_streams_recover_prefix_and_name_the_gap() {
+    let dir = temp_dir("truncation");
+    run_workload(TraceConfig::enabled().with_stream(StreamConfig::binary(&dir)), 3, 1024);
+    let path = dir.join("rank-00000.spans");
+    let full = std::fs::read(&path).unwrap();
+    let cut = |bytes: &[u8], name: &str| -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, bytes).unwrap();
+        p
+    };
+
+    // Complete stream: full step count, no gap.
+    let whole = read_span_file(&path).unwrap();
+    assert_eq!(whole.steps.len(), 3);
+    assert!(whole.truncation.is_none());
+
+    // Footer removed (29 = 4-byte length prefix + kind + (u64,u64,u64)
+    // payload): prefix intact, gap named.
+    let no_footer = read_span_file(&cut(&full[..full.len() - 29], "no_footer.spans")).unwrap();
+    assert_eq!(no_footer.steps.len(), 3);
+    assert_eq!(no_footer.events, whole.events);
+    let msg = no_footer.truncation.unwrap();
+    assert!(msg.contains("without a footer"), "{msg}");
+
+    // Mid-body cut (one byte into the last pre-footer chunk): the wounded
+    // chunk is dropped, everything before it stays.
+    let mid = read_span_file(&cut(&full[..full.len() - 30], "mid_body.spans")).unwrap();
+    assert!(mid.truncation.unwrap().contains("inside a chunk body"));
+    assert_eq!(mid.steps.len(), 2, "the cut step chunk must be dropped, earlier ones kept");
+
+    // Cut inside a chunk header (leave 2 of the 4 length bytes).
+    let hdr_cut = {
+        // Position right after the file header plus two bytes.
+        let p = cut(&full[..14], "hdr_cut.spans");
+        read_span_file(&p).unwrap()
+    };
+    assert!(hdr_cut.truncation.unwrap().contains("inside a chunk header"));
+
+    // Header-level damage is a hard error, not a recoverable gap.
+    assert!(read_span_file(&cut(&full[..8], "too_short.spans")).is_err());
+    let mut bad_magic = full.clone();
+    bad_magic[0] = b'X';
+    assert!(read_span_file(&cut(&bad_magic, "bad_magic.spans")).unwrap_err().contains("bad magic"));
+    let mut bad_version = full.clone();
+    bad_version[4] = 99;
+    assert!(read_span_file(&cut(&bad_version, "bad_version.spans"))
+        .unwrap_err()
+        .contains("version 99 unsupported"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -273,6 +273,61 @@ fn killed_child_process_surfaces_rank_panicked() {
     }
 }
 
+/// A killed rank-group child with a binary telemetry stream attached leaves
+/// truncated-but-parseable span files: every step closed before the kill is
+/// recoverable from disk, and the reader names the gap. (`repro analyze
+/// <dir>` turns that gap into an exit-2 diagnosis — covered in the bench
+/// crate; this test proves the on-disk contract the diagnosis rests on.)
+#[test]
+fn killed_child_leaves_truncated_but_parseable_stream() {
+    use overset_comm::trace::TraceConfig;
+    use overset_comm::{read_span_dir, Phase, StreamConfig, WorkClass};
+
+    let dir = std::env::temp_dir().join("overset_conformance_killed_stream");
+    // The forked children replay this test body before `try_run`; only the
+    // parent (no child env var) may clear the sink directory, or a late
+    // child would wipe the other group's live stream.
+    let is_parent = std::env::var_os("OVERSET_PROC_CHILD").is_none();
+    if is_parent {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let err = proc("killed_child_leaves_truncated_but_parseable_stream")
+        .trace(TraceConfig::enabled().with_stream(StreamConfig::binary(&dir)))
+        .try_run(|c| {
+            for s in 0..4 {
+                {
+                    let mut ph = c.phase(Phase::Flow);
+                    ph.compute(1.0e5, WorkClass::Flow);
+                }
+                c.end_step();
+                if s == 1 && c.rank() == 3 {
+                    // Dies right after closing step 1: steps 0..=1 are
+                    // already flushed chunks, the footer never lands.
+                    std::process::exit(3);
+                }
+            }
+            c.barrier();
+            0u64
+        })
+        .unwrap_err();
+    assert!(matches!(err, OversetError::RankPanicked { .. }), "got {err}");
+
+    let sd = read_span_dir(&dir).unwrap();
+    assert!(!sd.gaps.is_empty(), "the killed group must leave at least one named gap");
+    let r3 = sd.ranks.iter().find(|r| r.rank == 3).expect("rank 3 stream on disk");
+    assert_eq!(r3.steps.len(), 2, "steps closed before the kill are recoverable");
+    let gap = r3.truncation.as_ref().expect("rank 3 stream must be marked truncated");
+    assert!(gap.contains("without a footer") || gap.contains("inside a chunk"), "{gap}");
+    assert!(sd.gaps.iter().any(|g| g.starts_with("rank 3 ")), "gaps name the rank: {:?}", sd.gaps);
+    // Every stream on disk — including the surviving group's, whose final
+    // state depends on abort timing — must parse to a usable prefix.
+    for r in &sd.ranks {
+        assert!(r.steps.len() <= 4);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-backend bit-equality on a mixed workload
 // ---------------------------------------------------------------------------

@@ -112,13 +112,15 @@ proptest! {
 // Golden bytes: schema version 1
 // ---------------------------------------------------------------------------
 
-/// The exact bytes of schema version 1 for one value of every primitive
-/// shape. These bytes are a *contract* (they cross process boundaries
-/// between independently built binaries); changing any of them requires a
-/// `WIRE_SCHEMA_VERSION` bump.
+/// The exact bytes of the primitive encodings for one value of every
+/// primitive shape — unchanged since schema v1 (the v2 bump appended a
+/// field to `RankOutput` without touching any primitive encoding; see
+/// docs/TRANSPORT.md). These bytes are a *contract* (they cross process
+/// boundaries between independently built binaries); changing any of them
+/// requires a `WIRE_SCHEMA_VERSION` bump.
 #[test]
-fn golden_bytes_pin_schema_version_1() {
-    assert_eq!(WIRE_SCHEMA_VERSION, 1, "schema bumped: re-pin the golden bytes below");
+fn golden_bytes_pin_primitive_encodings() {
+    assert_eq!(WIRE_SCHEMA_VERSION, 2, "schema bumped: re-pin the golden bytes below");
 
     // Little-endian fixed-width integers.
     assert_eq!(0x1122u16.to_wire_bytes(), [0x22, 0x11]);

@@ -218,6 +218,10 @@ pub struct RunResult {
     /// Step records evicted by the ring bound, summed over ranks (0 unless
     /// a run exceeded the recorder capacity).
     pub steps_dropped: u64,
+    /// Host wall-clock seconds per phase, taken as the max over ranks (the
+    /// slowest rank bounds real elapsed time). Nondeterministic — reported
+    /// in the advisory `host` section of run reports, never bit-compared.
+    pub host_phase_elapsed: [f64; NUM_PHASES],
     /// Final state per (grid, node) when `collect_state` was set.
     pub states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
 }
@@ -348,7 +352,7 @@ pub fn run_case(
     let mut builder = Universe::builder()
         .ranks(nranks)
         .machine(machine)
-        .trace(cfg.trace)
+        .trace(cfg.trace.clone())
         .transport(cfg.transport.clone());
     if let Some(n) = cfg.max_threads {
         builder = builder.max_threads(n);
@@ -382,6 +386,7 @@ pub fn run_case(
     }
     let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
     let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
+    let host_phase_elapsed = host_phase_max(outputs.iter().map(|o| &o.host_time));
     Ok(RunResult {
         nranks,
         states,
@@ -400,8 +405,21 @@ pub fn run_case(
         metrics,
         step_records,
         steps_dropped,
+        host_phase_elapsed,
         summary,
     })
+}
+
+/// Per-phase host wall-clock elapsed: max over ranks, since the slowest
+/// rank bounds real time the way the barrier does in virtual time.
+fn host_phase_max<'a>(ranks: impl Iterator<Item = &'a [f64; NUM_PHASES]>) -> [f64; NUM_PHASES] {
+    let mut out = [0.0f64; NUM_PHASES];
+    for h in ranks {
+        for (o, &x) in out.iter_mut().zip(h.iter()) {
+            *o = o.max(x);
+        }
+    }
+    out
 }
 
 /// One rank's SPMD body.
@@ -744,7 +762,7 @@ pub fn run_case_serial(
     // Same up-front hierarchy validation as the parallel path.
     build_topology(&single, &cfg.search_order)?;
 
-    let outputs = Universe::builder().machine(machine).trace(cfg.trace).run(|comm| {
+    let outputs = Universe::builder().machine(machine).trace(cfg.trace.clone()).run(|comm| {
         let fc = cfg.fc;
         let mut motions = cfg.motions.clone();
         let mut solids: Vec<(usize, Solid)> = cfg
@@ -921,6 +939,7 @@ pub fn run_case_serial(
     let (phase_elapsed, igbps_last, orphans_last, sum_sq, count) = outputs[0].result;
     let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
     let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
+    let host_phase_elapsed = host_phase_max(outputs.iter().map(|o| &o.host_time));
     Ok(RunResult {
         nranks: 1,
         states: Vec::new(),
@@ -939,6 +958,7 @@ pub fn run_case_serial(
         metrics,
         step_records,
         steps_dropped,
+        host_phase_elapsed,
         summary,
     })
 }

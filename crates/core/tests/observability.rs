@@ -129,3 +129,47 @@ fn lb_metrics_record_repartitions() {
     let f = r.metrics.histogram(names::LB_F_RATIO).expect("no f(p) observations");
     assert!(f.count > 0 && f.max >= 1.0);
 }
+
+/// Streaming through the whole driver: the same airfoil case run once with
+/// in-memory tracing and once with each streaming sink produces (a) a
+/// Chrome document byte-identical to the in-memory exporter's and (b) a
+/// binary span dir carrying exactly the in-memory spans and step records.
+#[test]
+fn driver_streamed_telemetry_matches_in_memory() {
+    use overset_comm::{assemble_chrome, read_span_dir, StreamConfig};
+    let dir = std::env::temp_dir().join("overset_driver_stream_identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    let chrome_dir = dir.join("chrome");
+    let spans_dir = dir.join("spans");
+
+    let in_mem = traced_airfoil();
+    let stream = |s: StreamConfig| {
+        let mut cfg = airfoil_case(0.3, 3);
+        cfg.trace = TraceConfig::enabled().with_stream(s);
+        run_case(&cfg, 6, &MachineModel::ibm_sp2()).unwrap()
+    };
+
+    let chrome_run = stream(StreamConfig::chrome(&chrome_dir));
+    assert!(chrome_run.trace.iter().all(|t| t.events.is_empty()), "spans must go to disk");
+    assert_eq!(assemble_chrome(&chrome_dir).unwrap(), chrome_trace_json(&in_mem.trace));
+
+    let binary_run = stream(StreamConfig::binary(&spans_dir));
+    let sd = read_span_dir(&spans_dir).unwrap();
+    assert_eq!(sd.gaps, Vec::<String>::new());
+    assert_eq!(sd.ranks.len(), in_mem.trace.len());
+    for (mem, disk) in in_mem.trace.iter().zip(&sd.ranks) {
+        assert_eq!(mem.rank, disk.rank);
+        assert_eq!(mem.events, disk.events);
+    }
+    assert_eq!(sd.step_records(), in_mem.step_records);
+    assert_eq!(binary_run.steps_dropped, 0);
+
+    // Host wall-clock timers ride along on every run and are the one field
+    // allowed to differ: nonnegative, and populated for the phases the
+    // driver actually entered.
+    for r in [&in_mem, &chrome_run, &binary_run] {
+        assert!(r.host_phase_elapsed.iter().all(|&t| t >= 0.0));
+        assert!(r.host_phase_elapsed.iter().sum::<f64>() > 0.0, "driver ran, host time must tick");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -146,7 +146,44 @@ pub fn compare(baseline: &Value, new: &Value, tol_pct: f64) -> Result<CompareOut
             warn_counter_growth(&mut out, &key, metric, bsum, nsum);
         }
     }
+    note_host_phase_drift(&mut out, baseline, new);
     Ok(out)
+}
+
+/// Host phase times below this baseline are too small to compare (ms).
+const HOST_PHASE_FLOOR_MS: f64 = 50.0;
+/// Advisory threshold: note host phase growth beyond this factor.
+const HOST_PHASE_GROWTH: f64 = 1.5;
+
+/// Note (never a regression) when a case's host wall-clock per phase grew
+/// substantially between reports. Host timings are machine- and load-
+/// dependent, so the band is wide (x1.5) with a floor under which phases
+/// are ignored entirely; reports without a `host.phase_ms` section (older
+/// schema) are silently skipped.
+fn note_host_phase_drift(out: &mut CompareOutcome, base: &Value, new: &Value) {
+    let (Some(bp), Some(np)) = (
+        base.get("host").and_then(|h| h.get("phase_ms")),
+        new.get("host").and_then(|h| h.get("phase_ms")),
+    ) else {
+        return;
+    };
+    let Value::Obj(bcases) = bp else { return };
+    for (label, bphases) in bcases {
+        let (Some(nphases), Value::Obj(bpairs)) = (np.get(label), bphases) else { continue };
+        for (phase, bv) in bpairs {
+            let (Some(b), Some(n)) = (bv.as_f64(), nphases.get(phase).and_then(Value::as_f64))
+            else {
+                continue;
+            };
+            if b >= HOST_PHASE_FLOOR_MS && n > b * HOST_PHASE_GROWTH {
+                out.notes.push(format!(
+                    "{label}: advisory: host {phase} wall-clock grew {b:.0} ms -> {n:.0} ms \
+                     ({:+.1}%); host timings are machine-dependent and never gate the verdict",
+                    (n - b) / b * 100.0
+                ));
+            }
+        }
+    }
 }
 
 fn compare_metric(
@@ -361,6 +398,54 @@ mod tests {
         let old = report(vec![("store", summary(100.0, 20.0, 0.0, 0.9))]);
         let out = compare(&old, &old, 5.0).unwrap();
         assert!(!out.notes.iter().any(|n| n.contains("walk_steps_total")));
+    }
+
+    #[test]
+    fn host_phase_drift_notes_but_never_fails() {
+        let with_host = |flow_ms: f64, conn_ms: f64| {
+            let mut r = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+            if let Value::Obj(pairs) = &mut r {
+                pairs.push((
+                    "host".into(),
+                    obj(vec![(
+                        "phase_ms",
+                        obj(vec![(
+                            "representative",
+                            obj(vec![
+                                ("flow", Value::Num(flow_ms)),
+                                ("connectivity", Value::Num(conn_ms)),
+                            ]),
+                        )]),
+                    )]),
+                ));
+            }
+            r
+        };
+        // Connectivity host time triples past the floor: one advisory note,
+        // verdict still PASS, gated count unchanged.
+        let base = with_host(200.0, 100.0);
+        let slow = with_host(210.0, 300.0);
+        let out = compare(&base, &slow, 5.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 11);
+        let note = out
+            .notes
+            .iter()
+            .find(|n| n.contains("host connectivity wall-clock"))
+            .expect("drift note");
+        assert!(note.contains("100 ms -> 300 ms") && note.contains("+200.0%"), "{note}");
+        assert!(!out.notes.iter().any(|n| n.contains("host flow")));
+        // Below the 50 ms floor: machine noise, no note even at 10x.
+        let tiny_base = with_host(2.0, 3.0);
+        let tiny_slow = with_host(30.0, 40.0);
+        assert!(!compare(&tiny_base, &tiny_slow, 5.0)
+            .unwrap()
+            .notes
+            .iter()
+            .any(|n| n.contains("wall-clock")));
+        // Reports without a host section (older schema): silent.
+        let old = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        assert!(!compare(&old, &slow, 5.0).unwrap().notes.iter().any(|n| n.contains("host")));
     }
 
     #[test]

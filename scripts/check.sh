@@ -36,6 +36,26 @@ fi
 echo "== analyzer smoke test =="
 ./target/release/repro analyze table1 --quick > /dev/null
 
+echo "== analyze-diff smoke: byte-deterministic diff of two quick analyses =="
+DIFF_TMP="$(mktemp -d)"
+trap 'rm -rf "$DIFF_TMP"' EXIT
+./target/release/repro analyze table1 --quick --json -o "$DIFF_TMP/a.json" > /dev/null
+./target/release/repro analyze table1 --quick --json -o "$DIFF_TMP/b.json" > /dev/null
+cmp "$DIFF_TMP/a.json" "$DIFF_TMP/b.json" || {
+    echo "analyze --json: two identical quick runs produced different documents" >&2
+    exit 1
+}
+./target/release/repro analyze-diff "$DIFF_TMP/a.json" "$DIFF_TMP/b.json" > "$DIFF_TMP/d1.txt"
+./target/release/repro analyze-diff "$DIFF_TMP/a.json" "$DIFF_TMP/b.json" > "$DIFF_TMP/d2.txt"
+cmp "$DIFF_TMP/d1.txt" "$DIFF_TMP/d2.txt" || {
+    echo "analyze-diff: output not byte-deterministic" >&2
+    exit 1
+}
+grep -q "no wait-state regressions beyond tolerance" "$DIFF_TMP/d1.txt" || {
+    echo "analyze-diff: self-diff must report no regressions" >&2
+    exit 1
+}
+
 echo "== multi-process transport: bit-equality smoke =="
 SMOKE_OUT="$(./target/release/repro smoke)"
 if ! grep -q "bit-equal" <<< "$SMOKE_OUT"; then
