@@ -1,0 +1,190 @@
+//! `repro analyze --host`: the host-cost view of a schema-v1 run report.
+//!
+//! The other analyses explain *virtual* time — where the simulated machine
+//! spends its seconds. This one explains *host* cost: which phase×rank
+//! cells burn the most wall-clock on the machine actually running the
+//! simulation, where the `MachineModel`'s virtual share disagrees with the
+//! measured host share (a misprediction worth retuning), and what the
+//! deterministic allocation profile looks like per phase and rank.
+//!
+//! Input is a report document written by `repro report` / `repro
+//! bench-host` (not an analysis document). Rendering is a pure function of
+//! the document, so the output is byte-deterministic and golden-tested;
+//! the *wall-clock numbers inside* the document are machine-dependent, the
+//! allocation numbers are not.
+
+use crate::PHASE_NAMES;
+use overset_report::Value;
+use std::fmt::Write as _;
+
+/// Hotspot rows shown in the top-N table.
+pub const HOST_TOP_N: usize = 10;
+
+/// Flag a virtual-vs-host disagreement when the measured host share of a
+/// phase differs from its virtual share by more than this factor (and the
+/// larger of the two shares is at least [`SHARE_FLOOR`]).
+pub const DISAGREE_FACTOR: f64 = 2.0;
+
+/// Phase shares below this fraction are noise on both axes; never flagged.
+pub const SHARE_FLOOR: f64 = 0.02;
+
+/// Render the host-cost report for a run-report document. Errors are
+/// structural (not a report, missing `host` section).
+pub fn render_host_report(doc: &Value) -> Result<String, String> {
+    let cases = doc
+        .get("cases")
+        .and_then(Value::as_arr)
+        .ok_or("not a run report: no cases array (expected `repro report` output)")?;
+    let host = doc
+        .get("host")
+        .ok_or("report has no host section; regenerate it with a current `repro report`")?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== Host-cost analysis ==");
+    render_hotspots(&mut out, host);
+    render_disagreement(&mut out, cases, host);
+    render_alloc_profile(&mut out, cases);
+    Ok(out)
+}
+
+/// Top-N host phase×rank hotspots, across all cases. Prefers the per-rank
+/// series (`host.phase_ms_by_rank`); reports containing only the older
+/// max-over-ranks `host.phase_ms` degrade to one row per phase with rank
+/// shown as `max`.
+fn render_hotspots(out: &mut String, host: &Value) {
+    // (ms, label, phase index, rank label) — sorted by ms descending, ties
+    // broken textually so equal timings render in a stable order.
+    let mut rows: Vec<(f64, String, usize, String)> = Vec::new();
+    let per_rank = host.get("phase_ms_by_rank");
+    match per_rank {
+        Some(Value::Obj(labels)) => {
+            for (label, ranks) in labels {
+                let Some(ranks) = ranks.as_arr() else { continue };
+                for (rank, phases) in ranks.iter().enumerate() {
+                    for (p, name) in PHASE_NAMES.iter().enumerate() {
+                        if let Some(ms) = phases.get(name).and_then(Value::as_f64) {
+                            rows.push((ms, label.clone(), p, format!("{rank}")));
+                        }
+                    }
+                }
+            }
+        }
+        _ => {
+            if let Some(Value::Obj(labels)) = host.get("phase_ms") {
+                for (label, phases) in labels {
+                    for (p, name) in PHASE_NAMES.iter().enumerate() {
+                        if let Some(ms) = phases.get(name).and_then(Value::as_f64) {
+                            rows.push((ms, label.clone(), p, "max".to_string()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+            .then_with(|| a.3.cmp(&b.3))
+    });
+    let _ = writeln!(out, "\n-- Top {HOST_TOP_N} host hotspots (phase x rank) --");
+    if rows.is_empty() {
+        let _ = writeln!(out, "  (no host phase timings in this report)");
+        return;
+    }
+    let _ = writeln!(out, "  {:<18} {:<14} {:>5} {:>12}", "case", "phase", "rank", "host ms");
+    for (ms, label, p, rank) in rows.iter().take(HOST_TOP_N) {
+        let _ = writeln!(out, "  {:<18} {:<14} {:>5} {:>12.2}", label, PHASE_NAMES[*p], rank, ms);
+    }
+}
+
+/// Virtual-vs-host share table: for each case, the fraction of time each
+/// phase takes on the virtual axis (`summary.t_<phase>`, the machine
+/// model's prediction) next to its fraction of measured host wall-clock.
+/// Rows where the two disagree by more than [`DISAGREE_FACTOR`] are
+/// flagged — the `MachineModel` misprices that phase's work on this host.
+fn render_disagreement(out: &mut String, cases: &[Value], host: &Value) {
+    let _ = writeln!(out, "\n-- Virtual vs host phase shares --");
+    let mut wrote = false;
+    for case in cases {
+        let label = case.get("label").and_then(Value::as_str).unwrap_or("?");
+        let Some(summary) = case.get("summary") else { continue };
+        let Some(hphases) = host.get("phase_ms").and_then(|p| p.get(label)) else { continue };
+        let virt: Vec<f64> = PHASE_NAMES
+            .iter()
+            .map(|n| summary.get(&format!("t_{n}")).and_then(Value::as_f64).unwrap_or(0.0))
+            .collect();
+        let hms: Vec<f64> = PHASE_NAMES
+            .iter()
+            .map(|n| hphases.get(n).and_then(Value::as_f64).unwrap_or(0.0))
+            .collect();
+        let (vt, ht): (f64, f64) = (virt.iter().sum(), hms.iter().sum());
+        if vt <= 0.0 || ht <= 0.0 {
+            continue;
+        }
+        wrote = true;
+        let _ =
+            writeln!(out, "  {label:<18} {:<14} {:>10} {:>10}   flag", "phase", "virtual", "host");
+        for (p, name) in PHASE_NAMES.iter().enumerate() {
+            let vs = virt[p] / vt;
+            let hs = hms[p] / ht;
+            let disagree = vs.max(hs) >= SHARE_FLOOR
+                && (hs > vs * DISAGREE_FACTOR || vs > hs * DISAGREE_FACTOR);
+            let _ =
+                write!(out, "  {:<18} {:<14} {:>9.1}% {:>9.1}%", "", name, vs * 100.0, hs * 100.0);
+            if disagree {
+                let _ = write!(out, "   << model misprediction");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if !wrote {
+        let _ = writeln!(out, "  (no cases with both virtual and host phase timings)");
+    }
+}
+
+/// Deterministic allocation profile per case: counts and bytes by phase
+/// (summed over ranks) and the heaviest-allocating ranks.
+fn render_alloc_profile(out: &mut String, cases: &[Value]) {
+    let _ = writeln!(out, "\n-- Allocation profile (deterministic) --");
+    let mut wrote = false;
+    for case in cases {
+        let label = case.get("label").and_then(Value::as_str).unwrap_or("?");
+        let Some(alloc) = case.get("alloc") else { continue };
+        let (Some(allocs), Some(bytes)) = (alloc.get("allocs"), alloc.get("bytes")) else {
+            continue;
+        };
+        wrote = true;
+        let _ = writeln!(out, "  {:<18} {:<14} {:>12} {:>16}", label, "phase", "allocs", "bytes");
+        for name in PHASE_NAMES.iter() {
+            let a = allocs.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+            let b = bytes.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+            let _ = writeln!(out, "  {:<18} {:<14} {:>12} {:>16}", "", name, a as u64, b as u64);
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:<14} {:>12} {:>16}",
+            "",
+            "total",
+            allocs.get("total").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            bytes.get("total").and_then(Value::as_f64).unwrap_or(0.0) as u64
+        );
+        if let Some(by_rank) = alloc.get("by_rank").and_then(Value::as_arr) {
+            let mut ranks: Vec<(usize, u64)> = by_rank
+                .iter()
+                .enumerate()
+                .map(|(r, v)| (r, v.get("bytes").and_then(Value::as_f64).unwrap_or(0.0) as u64))
+                .collect();
+            ranks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let top: Vec<String> =
+                ranks.iter().take(4).map(|(r, b)| format!("rank {r}: {b} B")).collect();
+            let _ = writeln!(out, "  top allocating ranks: {}", top.join(", "));
+        }
+    }
+    if !wrote {
+        let _ = writeln!(
+            out,
+            "  (no alloc sections in this report; regenerate with a current `repro report`)"
+        );
+    }
+}

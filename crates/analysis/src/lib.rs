@@ -23,6 +23,7 @@
 pub mod advisor;
 pub mod critical_path;
 pub mod diff;
+pub mod host;
 pub mod input;
 pub mod matrix;
 pub mod waits;
@@ -30,6 +31,7 @@ pub mod waits;
 pub use advisor::{advise, Finding, GRANT_THRESHOLD};
 pub use critical_path::CriticalPath;
 pub use diff::{diff, AnalysisDiff, DIFF_SCHEMA_VERSION};
+pub use host::render_host_report;
 pub use input::{AnalysisInput, RankSpans, Span, PHASE_NAMES};
 pub use matrix::CommMatrix;
 pub use waits::{Culprit, WaitStates, MAX_CULPRITS};

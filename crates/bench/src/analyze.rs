@@ -50,16 +50,19 @@ struct AnalyzeCli {
     target: Option<String>,
     quick: bool,
     json: bool,
+    host: bool,
     out_path: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<AnalyzeCli, String> {
-    let mut cli = AnalyzeCli { target: None, quick: false, json: false, out_path: None };
+    let mut cli =
+        AnalyzeCli { target: None, quick: false, json: false, host: false, out_path: None };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cli.quick = true,
             "--json" => cli.json = true,
+            "--host" => cli.host = true,
             "-o" | "--out" => match it.next() {
                 Some(p) => cli.out_path = Some(p.clone()),
                 None => return Err(format!("{a} requires an output path")),
@@ -70,12 +73,54 @@ fn parse(args: &[String]) -> Result<AnalyzeCli, String> {
         }
     }
     cli.target.is_some().then_some(()).ok_or_else(usage)?;
+    if cli.host && cli.json {
+        return Err("--host renders a text report; it cannot be combined with --json".to_string());
+    }
     Ok(cli)
 }
 
 fn usage() -> String {
-    "usage: repro analyze <experiment>|<trace.json>|<span-dir> [--quick] [--json] [-o <path>]"
+    "usage: repro analyze <experiment>|<trace.json>|<span-dir>|<report.json> [--quick] [--json] \
+     [--host] [-o <path>]"
         .to_string()
+}
+
+/// `repro analyze --host <report.json>`: render the host-cost view of a
+/// run-report document (top host hotspots, virtual-vs-host disagreement,
+/// allocation profile — see `overset_analysis::host`).
+fn run_analyze_host(target: &str, out_path: &Option<String>) -> i32 {
+    let text = match std::fs::read_to_string(target) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {target}: {e}");
+            return 2;
+        }
+    };
+    let doc = match overset_report::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{target}: not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let rendered = match overset_analysis::render_host_report(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{target}: {e}");
+            return 2;
+        }
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered.as_bytes()) {
+                eprintln!("failed to write host analysis to {path}: {e}");
+                return 2;
+            }
+            eprintln!("[host analysis: {} bytes -> {path}]", rendered.len());
+        }
+        None => print!("{rendered}"),
+    }
+    0
 }
 
 /// Entry point for the `analyze` subcommand; returns the process exit code.
@@ -88,6 +133,9 @@ pub fn run_analyze(args: &[String]) -> i32 {
         }
     };
     let target = cli.target.as_deref().unwrap();
+    if cli.host {
+        return run_analyze_host(target, &cli.out_path);
+    }
 
     let input = if std::path::Path::new(target).is_dir() {
         let sd = match overset_comm::read_span_dir(std::path::Path::new(target)) {

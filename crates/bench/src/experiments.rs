@@ -41,6 +41,11 @@ pub struct Effort {
     /// sweep's earlier universes in-process to reach its own), so expect
     /// multi-case runs to be severalfold slower than `inproc`.
     pub proc_groups: Option<usize>,
+    /// Test hook (`--inject-alloc <bytes>`): each rank makes one synthetic
+    /// heap allocation of this many bytes per timestep inside the
+    /// connectivity phase. Physics- and virtual-time-neutral; exists so the
+    /// exact alloc gate in `repro compare` can be exercised end to end.
+    pub inject_alloc: usize,
 }
 
 impl Effort {
@@ -53,6 +58,7 @@ impl Effort {
             max_threads: None,
             use_inverse_map: true,
             proc_groups: None,
+            inject_alloc: 0,
         }
     }
 
@@ -66,6 +72,7 @@ impl Effort {
             max_threads: None,
             use_inverse_map: true,
             proc_groups: None,
+            inject_alloc: 0,
         }
     }
 }
@@ -79,6 +86,7 @@ pub(crate) fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
         None => TransportConfig::InProcess,
         Some(n) => TransportConfig::process(n),
     };
+    cfg.inject_alloc = e.inject_alloc;
     cfg
 }
 
@@ -405,6 +413,31 @@ pub fn print_metrics(r: &RunResult) {
             h.max
         );
     }
+}
+
+/// `--host-profile`: print the run's host-cost profile — per-phase host
+/// wall-clock (max and median over ranks) and the per-phase allocation
+/// attribution (counts and bytes summed over ranks, peak heap max over
+/// ranks). The wall-clock columns are machine-dependent; the allocation
+/// columns are deterministic for a fixed configuration.
+pub fn print_host_profile(r: &RunResult) {
+    println!("\n== Host profile ({} ranks) ==", r.nranks);
+    println!(
+        "  {:<14} {:>12} {:>12} {:>14} {:>16}",
+        "phase", "max ms", "median ms", "allocs", "alloc bytes"
+    );
+    for (p, name) in overset_analysis::PHASE_NAMES.iter().enumerate() {
+        let max_ms = r.host_phase_elapsed[p] * 1e3;
+        let mut per_rank: Vec<f64> = r.host_phase_by_rank.iter().map(|t| t[p]).collect();
+        per_rank.sort_by(f64::total_cmp);
+        let median_ms =
+            per_rank.get(per_rank.len().saturating_sub(1) / 2).copied().unwrap_or(0.0) * 1e3;
+        let allocs: u64 = r.alloc_by_rank.iter().map(|a| a.allocs[p]).sum();
+        let bytes: u64 = r.alloc_by_rank.iter().map(|a| a.bytes[p]).sum();
+        println!("  {name:<14} {max_ms:>12.2} {median_ms:>12.2} {allocs:>14} {bytes:>16}");
+    }
+    let peak = r.alloc_by_rank.iter().map(|a| a.peak_bytes).max().unwrap_or(0);
+    println!("  peak heap (max over ranks): {peak} bytes");
 }
 
 /// Ablation A1: nth-level restart on vs off (from-scratch search every

@@ -4,13 +4,15 @@
 //! Usage:
 //!   `repro <experiment> [--quick] [--max-threads <N>] [--no-inverse-map]
 //!          [--transport inproc|proc[:N]] [--trace <out.json>]
-//!          [--trace-stream <dir>] [--metrics]
+//!          [--trace-stream <dir>] [--metrics] [--host-profile]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
 //!   `repro report <experiment> [--quick] [-o <out.json>]
-//!          [--trace-filter <cats>] [--trace-sample <N>]`
+//!          [--trace-filter <cats>] [--trace-sample <N>]
+//!          [--inject-alloc <bytes>]`
+//!   `repro bench-host <experiment> [--quick] [--repeats <N>] [-o <out.json>]`
 //!   `repro compare <baseline.json> <new.json> [--tol-pct <N>]`
-//!   `repro analyze <experiment>|<trace.json>|<span-dir> [--quick] [--json]
-//!          [-o <path>]`
+//!   `repro analyze <experiment>|<trace.json>|<span-dir>|<report.json> [--quick]
+//!          [--json] [--host] [-o <path>]`
 //!   `repro analyze-diff <baseline.json> <new.json> [--json] [-o <path>]`
 //!   `repro smoke`
 //!
@@ -42,9 +44,19 @@
 //! registry of the same run.
 //!
 //! `report` writes a schema-v1 JSON report (per-step telemetry series,
-//! end-of-run summary, metrics dump — see docs/OBSERVABILITY.md); `compare`
-//! exits 0 when `new` is within `--tol-pct` percent (default 5) of
-//! `baseline` on every gated metric, 1 on regression, 2 on usage/IO errors.
+//! end-of-run summary, metrics dump, allocation attribution — see
+//! docs/OBSERVABILITY.md); `compare` exits 0 when `new` is within
+//! `--tol-pct` percent (default 5) of `baseline` on every gated metric
+//! (allocation counts gate *exactly*, tolerance zero), 1 on regression, 2
+//! on usage/IO errors.
+//!
+//! `bench-host` runs the report's cases `--repeats` times (default 5) and
+//! adds a `host.bench` section of median/IQR host phase timings; `compare`
+//! gates those medians with an IQR-derived tolerance (the noise-aware host
+//! gate). `--host-profile` prints a per-phase host wall-clock and
+//! allocation table after an experiment; `--inject-alloc <bytes>` is a
+//! test hook that plants one synthetic allocation per rank per step inside
+//! the connectivity phase so the alloc gate can be exercised end to end.
 //!
 //! `analyze` runs the trace analyzer (critical path, wait states, comm
 //! matrix, imbalance advisor — see docs/OBSERVABILITY.md §Analysis) on an
@@ -53,7 +65,7 @@
 use overset_bench::amr_experiments::{ablate_grouping, fig12};
 use overset_bench::analyze::{run_analyze, run_analyze_diff};
 use overset_bench::experiments::*;
-use overset_bench::report::{build_report, compare_reports};
+use overset_bench::report::{build_report, build_report_host_bench, compare_reports};
 use overset_comm::trace::TraceConfig;
 use overset_comm::{CategoryFilter, StreamConfig};
 
@@ -112,6 +124,9 @@ struct Cli {
     max_threads: Option<usize>,
     no_inverse_map: bool,
     transport: Option<String>,
+    host_profile: bool,
+    inject_alloc: usize,
+    repeats: Option<usize>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -127,6 +142,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         max_threads: None,
         no_inverse_map: false,
         transport: None,
+        host_profile: false,
+        inject_alloc: 0,
+        repeats: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +152,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--quick" => cli.quick = true,
             "--no-inverse-map" => cli.no_inverse_map = true,
             "--metrics" => cli.show_metrics = true,
+            "--host-profile" => cli.host_profile = true,
+            "--inject-alloc" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cli.inject_alloc = n,
+                None => return Err("--inject-alloc requires a byte count".to_string()),
+            },
+            "--repeats" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cli.repeats = Some(n),
+                _ => return Err("--repeats requires an integer >= 1".to_string()),
+            },
             "--trace" => match it.next() {
                 Some(p) => cli.trace_path = Some(p.clone()),
                 None => return Err("--trace requires an output path".to_string()),
@@ -218,6 +245,7 @@ fn run_report_cmd(args: &[String]) -> i32 {
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
+    effort.inject_alloc = cli.inject_alloc;
     let effort_name = if cli.quick { "quick" } else { "full" };
     // Trace spans are not serialized into the report; tracing here only
     // proves observability neutrality (the golden tests rely on it), so
@@ -228,8 +256,33 @@ fn run_report_cmd(args: &[String]) -> i32 {
         TraceConfig::disabled()
     };
     let doc = build_report(&cli.which, effort, effort_name, trace);
+    write_report_doc(&doc, &cli.out_path)
+}
+
+/// `repro bench-host <experiment>`: the noise-aware host benchmark. Runs
+/// the report's cases `--repeats` times (default 5) and writes a report
+/// whose `host.bench` section carries median/IQR host phase timings for
+/// `repro compare` to gate on.
+fn run_bench_host_cmd(args: &[String]) -> i32 {
+    let cli = exit_usage(parse_cli(args));
+    if cli.trace_path.is_some() || cli.trace_stream.is_some() {
+        eprintln!("bench-host does not support tracing flags");
+        return 2;
+    }
+    let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
+    effort.max_threads = cli.max_threads;
+    effort.use_inverse_map = !cli.no_inverse_map;
+    effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
+    effort.inject_alloc = cli.inject_alloc;
+    let effort_name = if cli.quick { "quick" } else { "full" };
+    let repeats = cli.repeats.unwrap_or(5);
+    let doc = build_report_host_bench(&cli.which, effort, effort_name, repeats);
+    write_report_doc(&doc, &cli.out_path)
+}
+
+fn write_report_doc(doc: &overset_report::Value, out_path: &Option<String>) -> i32 {
     let text = doc.to_json();
-    match &cli.out_path {
+    match out_path {
         Some(path) => {
             if let Err(e) = std::fs::write(path, text.as_bytes()) {
                 eprintln!("failed to write report to {path}: {e}");
@@ -247,6 +300,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("compare") => std::process::exit(run_compare(&args[1..])),
         Some("report") => std::process::exit(run_report_cmd(&args[1..])),
+        Some("bench-host") => std::process::exit(run_bench_host_cmd(&args[1..])),
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
         Some("analyze-diff") => std::process::exit(run_analyze_diff(&args[1..])),
         // Dispatched before flag parsing: the forked rank-group children of
@@ -261,6 +315,7 @@ fn main() {
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
+    effort.inject_alloc = cli.inject_alloc;
     let which = cli.which.clone();
     // Validate trace flags before the (long) experiment run, not after.
     let mut trace_cfg = exit_usage(parse_trace_config(&cli.trace_filter, cli.trace_sample));
@@ -314,14 +369,18 @@ fn main() {
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
                  table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
                  ablate-cache ablate-invmap all\n\
-                 or a subcommand: report <experiment> | compare <baseline.json> <new.json> | \
-                 analyze <experiment>|<trace.json> | smoke"
+                 or a subcommand: report <experiment> | bench-host <experiment> | \
+                 compare <baseline.json> <new.json> | analyze <experiment>|<trace.json> | smoke"
             );
             std::process::exit(2);
         }
     }
 
-    if cli.trace_path.is_some() || cli.trace_stream.is_some() || cli.show_metrics {
+    if cli.trace_path.is_some()
+        || cli.trace_stream.is_some()
+        || cli.show_metrics
+        || cli.host_profile
+    {
         let r = traced_run(&which, effort, trace_cfg);
         if let Some(path) = &cli.trace_path {
             let json = overset_comm::chrome_trace_json(&r.trace);
@@ -339,6 +398,9 @@ fn main() {
         }
         if cli.show_metrics {
             print_metrics(&r);
+        }
+        if cli.host_profile {
+            print_host_profile(&r);
         }
     }
 

@@ -13,7 +13,7 @@ use overflow_d::{
     airfoil_case, delta_wing_case, run_case, store_case, CaseConfig, LbConfig, RunResult,
 };
 use overset_comm::trace::TraceConfig;
-use overset_comm::MachineModel;
+use overset_comm::{MachineModel, NUM_PHASES};
 use overset_report::json::obj;
 use overset_report::{case_report, run_report, Value};
 
@@ -49,6 +49,25 @@ fn dynamic_store_case(e: Effort) -> CaseConfig {
 /// Run the report's cases and assemble the schema-v1 document. Everything
 /// except the `host` section is virtual-time deterministic.
 pub fn build_report(which: &str, e: Effort, effort_name: &str, trace: TraceConfig) -> Value {
+    build_report_inner(which, e, effort_name, trace, 1)
+}
+
+/// `repro bench-host`: like [`build_report`] but each case is run `repeats`
+/// times and the host phase timings (max over ranks) are summarized as
+/// median/IQR per phase in `host.bench.{label}.{phase}`. `repro compare`
+/// gates on those medians with an IQR-derived tolerance — the noise-aware
+/// host gate — when both sides carry a bench section.
+pub fn build_report_host_bench(which: &str, e: Effort, effort_name: &str, repeats: usize) -> Value {
+    build_report_inner(which, e, effort_name, TraceConfig::disabled(), repeats.max(1))
+}
+
+fn build_report_inner(
+    which: &str,
+    e: Effort,
+    effort_name: &str,
+    trace: TraceConfig,
+    repeats: usize,
+) -> Value {
     let machine = MachineModel::ibm_sp2();
     let (mut rep_cfg, rep_nodes) = representative_case(which, e);
     rep_cfg.trace = trace;
@@ -60,31 +79,103 @@ pub fn build_report(which: &str, e: Effort, effort_name: &str, trace: TraceConfi
     let mut cases = Vec::with_capacity(runs.len());
     let mut host_cases: Vec<(String, Value)> = Vec::with_capacity(runs.len());
     let mut host_phases: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let mut host_by_rank: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let mut host_medians: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let mut alloc_peaks: Vec<(String, Value)> = Vec::with_capacity(runs.len());
+    let mut host_bench: Vec<(String, Value)> = Vec::new();
     let t_total = std::time::Instant::now();
     for (label, cfg, nodes) in runs {
         let t0 = std::time::Instant::now();
         let r: RunResult = run_case(&cfg, nodes, &machine).expect("report case run failed");
         host_cases.push((label.to_string(), Value::Num(t0.elapsed().as_secs_f64())));
         host_phases.push((label.to_string(), host_phase_ms(&r.host_phase_elapsed)));
+        host_by_rank.push((
+            label.to_string(),
+            Value::Arr(r.host_phase_by_rank.iter().map(host_phase_ms).collect()),
+        ));
+        host_medians.push((label.to_string(), host_phase_ms(&median_over_ranks(&r))));
+        let peak = r.alloc_by_rank.iter().map(|a| a.peak_bytes).max().unwrap_or(0);
+        alloc_peaks.push((label.to_string(), Value::Num(peak as f64)));
         cases.push(case_report(label, &cfg, machine.name, &r));
+        if repeats > 1 {
+            let mut samples: Vec<[f64; NUM_PHASES]> = vec![r.host_phase_elapsed];
+            for _ in 1..repeats {
+                let rr = run_case(&cfg, nodes, &machine).expect("bench-host repeat failed");
+                samples.push(rr.host_phase_elapsed);
+            }
+            host_bench.push((label.to_string(), bench_value(&samples)));
+        }
     }
-    let host = obj(vec![
-        ("wall_seconds", Value::Obj(host_cases)),
-        ("phase_ms", Value::Obj(host_phases)),
-        ("total_seconds", Value::Num(t_total.elapsed().as_secs_f64())),
-    ]);
-    run_report(which, effort_name, cases, Some(host))
+    let mut host = vec![
+        ("wall_seconds".to_string(), Value::Obj(host_cases)),
+        ("phase_ms".to_string(), Value::Obj(host_phases)),
+        ("phase_ms_by_rank".to_string(), Value::Obj(host_by_rank)),
+        ("phase_ms_median".to_string(), Value::Obj(host_medians)),
+        ("alloc_peak_bytes".to_string(), Value::Obj(alloc_peaks)),
+    ];
+    if !host_bench.is_empty() {
+        host.push(("bench".to_string(), Value::Obj(host_bench)));
+    }
+    host.push(("total_seconds".to_string(), Value::Num(t_total.elapsed().as_secs_f64())));
+    run_report(which, effort_name, cases, Some(Value::Obj(host)))
 }
 
 /// Host wall-clock milliseconds per phase (max over ranks) — the runtime's
 /// `Instant`-based timers, folded into the report's advisory `host` section.
-/// `repro compare` notes large drifts here but never gates on them.
-fn host_phase_ms(elapsed: &[f64; overset_comm::NUM_PHASES]) -> Value {
+/// `repro compare` notes large drifts here but never gates on them (the
+/// repeated-run `host.bench` section is the one host gate; see
+/// [`build_report_host_bench`]).
+fn host_phase_ms(elapsed: &[f64; NUM_PHASES]) -> Value {
     Value::Obj(
         overset_analysis::PHASE_NAMES
             .iter()
             .zip(elapsed.iter())
             .map(|(name, &secs)| (name.to_string(), Value::Num(secs * 1e3)))
+            .collect(),
+    )
+}
+
+/// Per-phase median over ranks of the host phase timers — pairs with the
+/// max-over-ranks `phase_ms` so `compare`'s drift note can tell a single
+/// straggler rank apart from a fleet-wide slowdown.
+fn median_over_ranks(r: &RunResult) -> [f64; NUM_PHASES] {
+    let mut out = [0.0; NUM_PHASES];
+    for (p, slot) in out.iter_mut().enumerate() {
+        let mut v: Vec<f64> = r.host_phase_by_rank.iter().map(|t| t[p]).collect();
+        v.sort_by(f64::total_cmp);
+        *slot = quantile_nearest(&v, 0.5);
+    }
+    out
+}
+
+/// Nearest-rank quantile of a sorted non-empty slice.
+fn quantile_nearest(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Summarize repeated host phase timings as `{phase: {median_ms, iqr_ms,
+/// repeats}}`. Median and quartiles use the nearest-rank method, so every
+/// reported number is one of the measured samples.
+fn bench_value(samples: &[[f64; NUM_PHASES]]) -> Value {
+    Value::Obj(
+        overset_analysis::PHASE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(p, name)| {
+                let mut v: Vec<f64> = samples.iter().map(|s| s[p] * 1e3).collect();
+                v.sort_by(f64::total_cmp);
+                let median = quantile_nearest(&v, 0.5);
+                let iqr = quantile_nearest(&v, 0.75) - quantile_nearest(&v, 0.25);
+                (
+                    name.to_string(),
+                    obj(vec![
+                        ("median_ms", Value::Num(median)),
+                        ("iqr_ms", Value::Num(iqr)),
+                        ("repeats", Value::Num(samples.len() as f64)),
+                    ]),
+                )
+            })
             .collect(),
     )
 }

@@ -20,6 +20,7 @@
 //! [`FlightRecorder::dropped`] — consumers can see the truncation instead of
 //! silently reading a hole-free series.
 
+use crate::alloc::{AllocRecord, AllocSnapshot};
 use crate::metrics::{names, MetricsRegistry};
 use crate::stats::{RankStats, NUM_PHASES};
 use crate::wire::{Wire, WireError, WireReader};
@@ -126,9 +127,13 @@ struct Snapshot {
 pub struct FlightRecorder {
     cap: usize,
     records: VecDeque<StepRecord>,
+    /// Per-step allocation deltas, kept in lockstep with `records` (same
+    /// capacity, same eviction), so `dropped` covers both rings.
+    alloc_records: VecDeque<AllocRecord>,
     dropped: u64,
     next_step: u64,
     snap: Snapshot,
+    alloc_snap: AllocSnapshot,
 }
 
 /// Default ring capacity: far above any experiment in this workspace while
@@ -147,21 +152,24 @@ impl FlightRecorder {
         FlightRecorder {
             cap: cap.max(1),
             records: VecDeque::new(),
+            alloc_records: VecDeque::new(),
             dropped: 0,
             next_step: 0,
             snap: Snapshot::default(),
+            alloc_snap: AllocSnapshot::default(),
         }
     }
 
-    /// Close the current step: difference `stats`/`metrics` against the
-    /// previous boundary and append one record, returning a copy (streaming
-    /// sinks persist it even after the ring evicts it).
+    /// Close the current step: difference `stats`/`metrics`/`alloc` against
+    /// the previous boundary and append one record pair, returning copies
+    /// (streaming sinks persist them even after the ring evicts them).
     pub fn end_step(
         &mut self,
         stats: &RankStats,
         metrics: &MetricsRegistry,
         clock: f64,
-    ) -> StepRecord {
+        alloc: AllocSnapshot,
+    ) -> (StepRecord, AllocRecord) {
         let mut time = [0.0; NUM_PHASES];
         for (p, t) in time.iter_mut().enumerate() {
             *t = stats.time[p] - self.snap.time[p];
@@ -187,6 +195,12 @@ impl FlightRecorder {
             bytes_sent: stats.bytes_sent - self.snap.bytes_sent,
             repartitions: reparts - self.snap.repartitions,
         };
+        let mut arec = AllocRecord { step: self.next_step, ..AllocRecord::default() };
+        for p in 0..NUM_PHASES {
+            arec.allocs[p] = alloc.allocs[p] - self.alloc_snap.allocs[p];
+            arec.bytes[p] = alloc.bytes[p] - self.alloc_snap.bytes[p];
+        }
+        self.alloc_snap = alloc;
         self.next_step += 1;
         self.snap = Snapshot {
             time: stats.time,
@@ -202,15 +216,23 @@ impl FlightRecorder {
         };
         if self.records.len() == self.cap {
             self.records.pop_front();
+            self.alloc_records.pop_front();
             self.dropped += 1;
         }
         self.records.push_back(rec);
-        rec
+        self.alloc_records.push_back(arec);
+        (rec, arec)
     }
 
     /// Records currently retained, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &StepRecord> + '_ {
         self.records.iter()
+    }
+
+    /// Allocation records currently retained, oldest first (lockstep with
+    /// [`FlightRecorder::records`]).
+    pub fn alloc_records(&self) -> impl Iterator<Item = &AllocRecord> + '_ {
+        self.alloc_records.iter()
     }
 
     /// Number of records evicted by the ring bound.
@@ -223,10 +245,10 @@ impl FlightRecorder {
         self.next_step
     }
 
-    /// Consume the recorder, returning retained records oldest-first plus
-    /// the evicted count.
-    pub fn into_records(self) -> (Vec<StepRecord>, u64) {
-        (self.records.into_iter().collect(), self.dropped)
+    /// Consume the recorder, returning retained step and allocation records
+    /// oldest-first plus the (shared) evicted count.
+    pub fn into_records(self) -> (Vec<StepRecord>, Vec<AllocRecord>, u64) {
+        (self.records.into_iter().collect(), self.alloc_records.into_iter().collect(), self.dropped)
     }
 }
 
@@ -248,13 +270,13 @@ mod tests {
         let mut fr = FlightRecorder::new(8);
         let mut m = MetricsRegistry::new();
         m.add(names::CONN_SERVICED, 10);
-        fr.end_step(&stats_with(1.0, 3, 300), &m, 1.5);
+        fr.end_step(&stats_with(1.0, 3, 300), &m, 1.5, AllocSnapshot::default());
         m.add(names::CONN_SERVICED, 5);
         m.add(names::CONN_WALK_STEPS, 42);
         m.add(names::CONN_FORWARDS, 3);
         m.inc(names::CONN_CACHE_HIT);
         m.inc(names::LB_REPARTITIONS);
-        fr.end_step(&stats_with(4.0, 7, 1000), &m, 5.0);
+        fr.end_step(&stats_with(4.0, 7, 1000), &m, 5.0, AllocSnapshot::default());
 
         let recs: Vec<_> = fr.records().copied().collect();
         assert_eq!(recs.len(), 2);
@@ -280,7 +302,7 @@ mod tests {
         let mut fr = FlightRecorder::new(2);
         let m = MetricsRegistry::new();
         for i in 0..5u64 {
-            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64, AllocSnapshot::default());
         }
         assert_eq!(fr.dropped(), 3);
         assert_eq!(fr.steps_recorded(), 5);
@@ -293,7 +315,7 @@ mod tests {
         let mut fr = FlightRecorder::new(0);
         let m = MetricsRegistry::new();
         for i in 0..3u64 {
-            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64, AllocSnapshot::default());
         }
         // A zero-capacity ring still retains the most recent record.
         let recs: Vec<_> = fr.records().copied().collect();
@@ -307,10 +329,10 @@ mod tests {
     fn capacity_one_keeps_latest_with_correct_deltas() {
         let mut fr = FlightRecorder::new(1);
         let m = MetricsRegistry::new();
-        fr.end_step(&stats_with(1.0, 2, 20), &m, 1.0);
-        fr.end_step(&stats_with(4.0, 5, 70), &m, 4.0);
-        fr.end_step(&stats_with(9.0, 9, 150), &m, 9.0);
-        let (recs, dropped) = fr.into_records();
+        fr.end_step(&stats_with(1.0, 2, 20), &m, 1.0, AllocSnapshot::default());
+        fr.end_step(&stats_with(4.0, 5, 70), &m, 4.0, AllocSnapshot::default());
+        fr.end_step(&stats_with(9.0, 9, 150), &m, 9.0, AllocSnapshot::default());
+        let (recs, _alloc, dropped) = fr.into_records();
         assert_eq!(dropped, 2);
         assert_eq!(recs.len(), 1);
         // Deltas difference against the previous *step boundary*, which
@@ -333,7 +355,7 @@ mod tests {
             if i == 1 || i == 4 {
                 m.inc(names::LB_REPARTITIONS);
             }
-            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64);
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64, AllocSnapshot::default());
         }
         assert_eq!(fr.dropped(), 3);
         assert_eq!(fr.steps_recorded(), 5);
@@ -349,13 +371,36 @@ mod tests {
     }
 
     #[test]
+    fn alloc_records_are_per_step_deltas_in_lockstep() {
+        let mut fr = FlightRecorder::new(2);
+        let m = MetricsRegistry::new();
+        let mut snap = AllocSnapshot::default();
+        for i in 0..4u64 {
+            snap.allocs[Phase::Connectivity as usize] += 10 + i;
+            snap.bytes[Phase::Connectivity as usize] += 100 * (i + 1);
+            fr.end_step(&stats_with(i as f64, i, i), &m, i as f64, snap);
+        }
+        let arecs: Vec<_> = fr.alloc_records().copied().collect();
+        let srecs: Vec<_> = fr.records().copied().collect();
+        assert_eq!(arecs.len(), srecs.len());
+        assert_eq!(arecs.iter().map(|r| r.step).collect::<Vec<_>>(), vec![2, 3]);
+        // Deltas, not cumulative totals, survive eviction intact.
+        let conn = Phase::Connectivity as usize;
+        assert_eq!(arecs[0].allocs[conn], 12);
+        assert_eq!(arecs[0].bytes[conn], 300);
+        assert_eq!(arecs[1].allocs[conn], 13);
+        assert_eq!(arecs[1].bytes[conn], 400);
+        assert_eq!(fr.dropped(), 2);
+    }
+
+    #[test]
     fn hit_rate_none_without_lookups() {
         let mut fr = FlightRecorder::new(4);
         let mut m = MetricsRegistry::new();
-        fr.end_step(&RankStats::new(0), &m, 0.0);
+        fr.end_step(&RankStats::new(0), &m, 0.0, AllocSnapshot::default());
         m.add(names::CONN_CACHE_HIT, 3);
         m.add(names::CONN_CACHE_MISS, 1);
-        fr.end_step(&RankStats::new(0), &m, 0.0);
+        fr.end_step(&RankStats::new(0), &m, 0.0, AllocSnapshot::default());
         let recs: Vec<_> = fr.records().copied().collect();
         assert_eq!(recs[0].cache_hit_rate(), None);
         assert_eq!(recs[1].cache_hit_rate(), Some(0.75));

@@ -21,6 +21,7 @@
 //!
 //! See DESIGN.md §2 for the substitution argument.
 
+pub mod alloc;
 pub mod error;
 pub mod flight;
 pub mod machine;
@@ -33,6 +34,7 @@ pub mod trace;
 pub mod transport;
 pub mod wire;
 
+pub use alloc::{AllocRecord, AllocSnapshot, AllocTotals, CountingAlloc, RankAllocCounters};
 pub use error::OversetError;
 pub use flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 pub use machine::{CacheModel, MachineModel, WorkClass};
@@ -52,6 +54,7 @@ pub use wire::{intern, wire_type_hash, Wire, WireError, WireReader, WIRE_SCHEMA_
 /// One-stop imports for writing a rank program:
 /// `use overset_comm::prelude::*;`.
 pub mod prelude {
+    pub use crate::alloc::{AllocRecord, AllocTotals};
     pub use crate::error::OversetError;
     pub use crate::flight::StepRecord;
     pub use crate::machine::{MachineModel, WorkClass};

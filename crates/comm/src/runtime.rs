@@ -41,6 +41,7 @@
 //! (zero-cost-when-disabled). Phase attribution is RAII-scoped through
 //! [`Comm::phase`] — see [`PhaseGuard`].
 
+use crate::alloc::{self, AllocRecord, AllocTotals, RankAllocCounters};
 use crate::error::OversetError;
 use crate::flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 use crate::machine::{MachineModel, WorkClass};
@@ -416,6 +417,9 @@ pub struct Comm {
     host_time: [f64; NUM_PHASES],
     /// Host instant of the last phase switch.
     phase_host_start: Instant,
+    /// Per-rank allocation counters; the thread-local allocator context
+    /// points at this block while the rank body runs (see [`crate::alloc`]).
+    alloc_counters: Arc<RankAllocCounters>,
     /// Set by the innermost [`PhaseGuard`] unwound through during a panic,
     /// so the failure report names the phase the rank was actually in.
     panicked_phase: Option<&'static str>,
@@ -513,6 +517,7 @@ impl Comm {
         args: &[(&'static str, ArgVal)],
     ) {
         if let Some(t) = &mut self.tracer {
+            let _quiet = alloc::suspend();
             let dur = self.clock - start;
             t.complete(cat, name, start, dur, args.to_vec());
         }
@@ -534,11 +539,19 @@ impl Comm {
     /// progress. This affects wall-clock interleaving only, never virtual
     /// time.
     pub fn end_step(&mut self) {
+        // Recorder/sink bookkeeping is runtime overhead, not rank work.
+        let _quiet = alloc::suspend();
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time, keep the phase
-        let rec = self.flight.end_step(&self.stats, &self.metrics, self.clock);
+        let (rec, arec) = self.flight.end_step(
+            &self.stats,
+            &self.metrics,
+            self.clock,
+            self.alloc_counters.snapshot(),
+        );
         if let Some(t) = &mut self.tracer {
             t.record_step(&rec);
+            t.record_alloc_step(&arec);
         }
         if let Some(mn) = &self.shared.mn {
             mn.wake(self.rank);
@@ -577,6 +590,7 @@ impl Comm {
             host_now.duration_since(self.phase_host_start).as_secs_f64();
         let prev = self.phase;
         self.phase = phase;
+        alloc::set_phase(phase);
         self.phase_start = self.clock;
         self.phase_host_start = host_now;
         prev
@@ -591,6 +605,7 @@ impl Comm {
         self.clock += dt;
         self.stats.flops[self.phase as usize] += flops;
         if let Some(t) = &mut self.tracer {
+            let _quiet = alloc::suspend();
             let name = match class {
                 WorkClass::Flow => "flow",
                 WorkClass::Search => "search",
@@ -634,6 +649,10 @@ impl Comm {
         bytes: usize,
     ) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        // Delivery machinery (envelope boxing, mailbox growth, socket
+        // buffers) allocates in host-timing-dependent patterns — exclude it
+        // from attribution so per-phase alloc counts stay deterministic.
+        let _quiet = alloc::suspend();
         let t0 = self.clock;
         self.clock += self.machine.send_overhead;
         let arrival = self.clock + self.machine.transit_time(bytes);
@@ -642,6 +661,7 @@ impl Comm {
         self.metrics.inc(names::msgs_in(self.phase));
         self.metrics.add(names::bytes_in(self.phase), bytes as u64);
         if let Some(t) = &mut self.tracer {
+            let _quiet = alloc::suspend();
             t.complete(
                 "comm",
                 "send",
@@ -708,6 +728,10 @@ impl Comm {
         src: usize,
         tag: u64,
     ) -> Result<T, OversetError> {
+        // Out-of-order buffering in `take_matching` (and payload decode on
+        // the process transport) allocates depending on arrival interleaving
+        // — runtime machinery, excluded from attribution.
+        let _quiet = alloc::suspend();
         let t0 = self.clock;
         let env = self.take_matching(src, tag)?;
         let stall = (env.arrival - self.clock).max(0.0);
@@ -717,6 +741,7 @@ impl Comm {
         self.clock = self.clock.max(env.arrival);
         self.metrics.observe(names::COMM_RECV_STALL, stall);
         if let Some(t) = &mut self.tracer {
+            let _quiet = alloc::suspend();
             t.complete(
                 "comm",
                 "recv",
@@ -854,6 +879,9 @@ impl Comm {
         value: T,
         bytes: usize,
     ) -> Result<Vec<T>, OversetError> {
+        // Rendezvous buffers (which rank gathers, how many wait-loop
+        // iterations run) depend on host timing — excluded from attribution.
+        let _quiet = alloc::suspend();
         let t0 = self.clock;
         // Rendezvous through whichever fabric carries collectives, then
         // apply the backend-independent virtual-time tail. The round clock
@@ -868,6 +896,7 @@ impl Comm {
         self.stats.collectives += 1;
         self.metrics.inc(names::COMM_COLLECTIVES);
         if let Some(t) = &mut self.tracer {
+            let _quiet = alloc::suspend();
             t.complete(
                 "comm",
                 span_name,
@@ -1099,20 +1128,39 @@ impl Comm {
 
     /// Finalize statistics (closes the open phase) and return them together
     /// with the recorded trace, the metrics registry, the flight recorder's
-    /// per-step records, and the host wall-clock phase times. Closes the
-    /// streaming sink (flush + footer) when one is attached.
-    #[allow(clippy::type_complexity)]
-    fn finish(
-        mut self,
-    ) -> (RankStats, Vec<TraceEvent>, MetricsRegistry, Vec<StepRecord>, u64, [f64; NUM_PHASES])
-    {
+    /// per-step records, the host wall-clock phase times, and the rank's
+    /// allocation telemetry. Closes the streaming sink (flush + footer)
+    /// when one is attached.
+    fn finish(mut self) -> FinishedRank {
         let phase = self.phase;
         self.switch_phase(phase); // flush elapsed time into the current bucket
         self.stats.final_clock = self.clock;
-        let (steps, dropped) = self.flight.into_records();
+        let (steps, alloc_steps, dropped) = self.flight.into_records();
         let trace = self.tracer.take().map(|t| t.finish(dropped)).unwrap_or_default();
-        (self.stats, trace, self.metrics, steps, dropped, self.host_time)
+        FinishedRank {
+            stats: self.stats,
+            trace,
+            metrics: self.metrics,
+            steps,
+            steps_dropped: dropped,
+            host_time: self.host_time,
+            alloc_steps,
+            alloc: self.alloc_counters.totals(),
+        }
     }
+}
+
+/// Everything [`Comm::finish`] hands back to `run_ranks` for one rank —
+/// [`RankOutput`] minus the rank body's result.
+struct FinishedRank {
+    stats: RankStats,
+    trace: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+    steps: Vec<StepRecord>,
+    steps_dropped: u64,
+    host_time: [f64; NUM_PHASES],
+    alloc_steps: Vec<AllocRecord>,
+    alloc: AllocTotals,
 }
 
 /// Result of one rank's execution under [`Universe`].
@@ -1131,15 +1179,23 @@ pub struct RankOutput<R> {
     pub steps: Vec<StepRecord>,
     /// Step records evicted by the flight-recorder ring bound.
     pub steps_dropped: u64,
-    /// Host wall-clock seconds per phase on this rank. The one
-    /// *nondeterministic* field in the output: useful for advisory
-    /// profiling (`repro compare` host notes), never bit-compared.
+    /// Host wall-clock seconds per phase on this rank. Nondeterministic:
+    /// useful for advisory profiling (`repro compare` host notes, `repro
+    /// analyze --host`), never bit-compared.
     pub host_time: [f64; NUM_PHASES],
+    /// Per-step allocation deltas, in lockstep with `steps` (same ring, so
+    /// `steps_dropped` covers both). Counts/bytes are deterministic for
+    /// deterministic rank code — see [`crate::alloc`].
+    pub alloc_steps: Vec<AllocRecord>,
+    /// End-of-run allocation totals for this rank. All fields deterministic
+    /// except `peak_bytes` (allocation-order-dependent, advisory only).
+    pub alloc: AllocTotals,
 }
 
 // A child process ships each rank's whole output (result, stats, trace,
-// metrics, flight telemetry, host timings) back to the parent as one wire
-// value. Wire schema v2 appended `host_time` — see docs/TRANSPORT.md.
+// metrics, flight telemetry, host timings, allocation telemetry) back to
+// the parent as one wire value. Wire schema v2 appended `host_time`; v3
+// appended `alloc_steps` + `alloc` — see docs/TRANSPORT.md.
 impl<R: Wire> Wire for RankOutput<R> {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.result.encode(buf);
@@ -1149,6 +1205,8 @@ impl<R: Wire> Wire for RankOutput<R> {
         self.steps.encode(buf);
         self.steps_dropped.encode(buf);
         self.host_time.encode(buf);
+        self.alloc_steps.encode(buf);
+        self.alloc.encode(buf);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -1160,6 +1218,8 @@ impl<R: Wire> Wire for RankOutput<R> {
             steps: Vec::decode(r)?,
             steps_dropped: u64::decode(r)?,
             host_time: <[f64; NUM_PHASES]>::decode(r)?,
+            alloc_steps: Vec::decode(r)?,
+            alloc: AllocTotals::decode(r)?,
         })
     }
 }
@@ -1400,6 +1460,7 @@ impl UniverseBuilder {
             // failure and abort the universe. Runs on an OS thread (1:1) or
             // a coroutine (M:N). `rank` is always the global rank id.
             let rank_main = move |rank: usize| {
+                let alloc_counters = Arc::new(RankAllocCounters::new());
                 let mut comm = Comm {
                     rank,
                     size: nranks,
@@ -1417,21 +1478,30 @@ impl UniverseBuilder {
                     phase_start: 0.0,
                     host_time: [0.0; NUM_PHASES],
                     phase_host_start: Instant::now(),
+                    alloc_counters: Arc::clone(&alloc_counters),
                     panicked_phase: None,
                 };
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
+                // Attribute this rank's allocations from here until the body
+                // returns (or unwinds). `comm` holds a clone of the counters,
+                // so the raw pointer in the thread-local context stays valid
+                // until the explicit clear below.
+                alloc::install(&alloc_counters, Phase::Other);
+                let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                alloc::clear();
+                match body {
                     Ok(result) => {
                         comm.shared.rank_finished(rank);
-                        let (stats, trace, metrics, steps, steps_dropped, host_time) =
-                            comm.finish();
+                        let fin = comm.finish();
                         outputs.lock().expect("outputs poisoned")[rank - lo] = Some(RankOutput {
                             result,
-                            stats,
-                            trace,
-                            metrics,
-                            steps,
-                            steps_dropped,
-                            host_time,
+                            stats: fin.stats,
+                            trace: fin.trace,
+                            metrics: fin.metrics,
+                            steps: fin.steps,
+                            steps_dropped: fin.steps_dropped,
+                            host_time: fin.host_time,
+                            alloc_steps: fin.alloc_steps,
+                            alloc: fin.alloc,
                         });
                     }
                     Err(payload) => {

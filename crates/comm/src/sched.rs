@@ -122,6 +122,11 @@ pub(crate) struct Coro {
     /// the frame captures `self`, so seeding is deferred out of `new`).
     rsp: *mut u8,
     task: Option<Box<dyn FnOnce() + Send + 'static>>,
+    /// This rank's allocator-attribution context while suspended. Saved and
+    /// restored around every switch so a mid-phase yield never leaks the
+    /// next coroutine's allocations into this rank's counters (or vice
+    /// versa) — see [`crate::alloc`].
+    alloc_ctx: crate::alloc::SavedCtx,
     pub(crate) finished: bool,
     pub(crate) rank: usize,
 }
@@ -139,6 +144,7 @@ impl Coro {
             stack: StackMem::new(stack_size),
             rsp: std::ptr::null_mut(),
             task: Some(task),
+            alloc_ctx: crate::alloc::SavedCtx::EMPTY,
             finished: false,
             rank,
         }
@@ -211,7 +217,13 @@ unsafe fn run_coro(coro: *mut Coro) {
     let mut worker_rsp: *mut u8 = std::ptr::null_mut();
     let save = std::ptr::addr_of_mut!((*coro).rsp);
     YIELD.with(|y| y.set(Some(YieldTarget { save, worker_rsp: &worker_rsp })));
+    // Swap in the coroutine's allocator-attribution context for the duration
+    // of its slice; the worker's own context (normally empty) is held across
+    // the switch and restored — with the coroutine's current context saved
+    // back into it — when the coroutine yields or finishes.
+    let worker_ctx = crate::alloc::swap_ctx((*coro).alloc_ctx);
     overset_ctx_switch(&mut worker_rsp, *save);
+    (*coro).alloc_ctx = crate::alloc::swap_ctx(worker_ctx);
     YIELD.with(|y| y.set(None));
 }
 

@@ -18,22 +18,30 @@
 //!   truncated-but-parseable stream; [`read_span_dir`] recovers the prefix
 //!   and reports the gap.
 //!
-//! ## Binary span file layout (schema v1)
+//! ## Binary span file layout (schema v2)
 //!
 //! All integers little-endian, payloads encoded per the `Wire` rules:
 //!
 //! ```text
-//! header:  magic "OSPN" | u32 version (=1) | u32 rank
+//! header:  magic "OSPN" | u32 version (=2) | u32 rank
 //! chunks:  u32 len | body (len bytes) — body = u8 kind + payload
 //!   kind 1: payload = Vec<TraceEvent>   (events, recording order)
 //!   kind 2: payload = StepRecord        (one per step boundary)
-//!   kind 0: payload = (u64 total_events, u64 total_steps, u64 steps_dropped)
+//!   kind 3: payload = AllocRecord       (one per step boundary, after its
+//!           kind-2 chunk — per-phase allocation deltas for the step)
+//!   kind 0: payload = (u64 total_events, u64 total_steps,
+//!                      u64 steps_dropped, u64 total_alloc_steps)
 //!           — the footer; must be the last chunk
 //! ```
 //!
+//! v1 had no kind-3 chunks and a three-field footer.
+//!
 //! A file whose last chunk is incomplete (killed writer) is readable up to
-//! the last complete chunk; the missing footer marks the truncation.
+//! the last complete chunk; the missing footer marks the truncation — and
+//! because alloc records flush at every step boundary, a dead rank still
+//! yields a partial per-step host allocation profile.
 
+use crate::alloc::AllocRecord;
 use crate::flight::StepRecord;
 use crate::trace::{write_event_json, write_process_meta, RankTrace, TraceEvent};
 use crate::wire::Wire;
@@ -43,8 +51,11 @@ use std::path::{Path, PathBuf};
 
 /// Version of the binary span file layout. Bump on any change to the
 /// header, chunk framing, or chunk payload shapes; the golden byte test in
-/// `tests/sink_stream.rs` pins v1.
-pub const SPAN_SCHEMA_VERSION: u32 = 1;
+/// `tests/sink_stream.rs` pins the current version.
+///
+/// v2: added per-step allocation-record chunks (kind 3) and a fourth footer
+/// field counting them.
+pub const SPAN_SCHEMA_VERSION: u32 = 2;
 
 /// Magic prefix of a binary span file.
 pub const SPAN_MAGIC: [u8; 4] = *b"OSPN";
@@ -52,6 +63,7 @@ pub const SPAN_MAGIC: [u8; 4] = *b"OSPN";
 const CHUNK_FOOTER: u8 = 0;
 const CHUNK_EVENTS: u8 = 1;
 const CHUNK_STEP: u8 = 2;
+const CHUNK_ALLOC: u8 = 3;
 
 /// Events buffered per rank before an event chunk is flushed (spans also
 /// flush at every step boundary). Bounds sink memory at O(chunk).
@@ -136,6 +148,15 @@ impl SinkWriter {
         }
     }
 
+    /// Record one closed step's allocation deltas (binary sinks only),
+    /// persisted immediately like the step record it follows.
+    pub(crate) fn push_alloc_step(&mut self, rec: &AllocRecord) {
+        match self {
+            SinkWriter::Chrome(_) => {}
+            SinkWriter::Binary(s) => s.push_alloc_step(rec),
+        }
+    }
+
     pub(crate) fn finish(&mut self, steps_dropped: u64) {
         match self {
             SinkWriter::Chrome(s) => s.flush(),
@@ -194,6 +215,7 @@ pub(crate) struct SpanSink {
     events: Vec<TraceEvent>,
     total_events: u64,
     total_steps: u64,
+    total_alloc_steps: u64,
 }
 
 impl SpanSink {
@@ -203,7 +225,14 @@ impl SpanSink {
             Ok(f) => f,
             Err(e) => io_fail(&path, "creating", e),
         };
-        let mut s = SpanSink { file, path, events: Vec::new(), total_events: 0, total_steps: 0 };
+        let mut s = SpanSink {
+            file,
+            path,
+            events: Vec::new(),
+            total_events: 0,
+            total_steps: 0,
+            total_alloc_steps: 0,
+        };
         let mut header = Vec::with_capacity(12);
         header.extend_from_slice(&SPAN_MAGIC);
         header.extend_from_slice(&SPAN_SCHEMA_VERSION.to_le_bytes());
@@ -252,9 +281,16 @@ impl SpanSink {
         self.write_chunk(CHUNK_STEP, &payload);
     }
 
+    fn push_alloc_step(&mut self, rec: &AllocRecord) {
+        self.total_alloc_steps += 1;
+        let payload = rec.to_wire_bytes();
+        self.write_chunk(CHUNK_ALLOC, &payload);
+    }
+
     fn write_footer(&mut self, steps_dropped: u64) {
         self.flush_events();
-        let payload = (self.total_events, self.total_steps, steps_dropped).to_wire_bytes();
+        let payload = (self.total_events, self.total_steps, steps_dropped, self.total_alloc_steps)
+            .to_wire_bytes();
         self.write_chunk(CHUNK_FOOTER, &payload);
         if let Err(e) = self.file.flush() {
             io_fail(&self.path, "flushing", e);
@@ -274,6 +310,10 @@ pub struct RankStream {
     pub rank: usize,
     pub events: Vec<TraceEvent>,
     pub steps: Vec<StepRecord>,
+    /// Per-step allocation deltas, streamed in lockstep with `steps`; a
+    /// truncated stream may hold one fewer alloc record than step records
+    /// (writer died between the two chunks).
+    pub alloc_steps: Vec<AllocRecord>,
     /// Step records evicted by the writer's ring, from the footer (0 when
     /// the footer is missing).
     pub steps_dropped: u64,
@@ -308,11 +348,12 @@ pub fn read_span_file(path: &Path) -> Result<RankStream, String> {
         rank,
         events: Vec::new(),
         steps: Vec::new(),
+        alloc_steps: Vec::new(),
         steps_dropped: 0,
         truncation: None,
     };
     let mut pos = 12usize;
-    let mut footer: Option<(u64, u64, u64)> = None;
+    let mut footer: Option<(u64, u64, u64, u64)> = None;
     while pos < bytes.len() {
         let remaining = bytes.len() - pos;
         if remaining < 4 {
@@ -352,7 +393,14 @@ pub fn read_span_file(path: &Path) -> Result<RankStream, String> {
                     return Ok(out);
                 }
             },
-            CHUNK_FOOTER => match <(u64, u64, u64)>::from_wire_bytes(payload) {
+            CHUNK_ALLOC => match AllocRecord::from_wire_bytes(payload) {
+                Ok(rec) => out.alloc_steps.push(rec),
+                Err(e) => {
+                    out.truncation = Some(format!("corrupt alloc chunk: {e:?}"));
+                    return Ok(out);
+                }
+            },
+            CHUNK_FOOTER => match <(u64, u64, u64, u64)>::from_wire_bytes(payload) {
                 Ok(f) => {
                     footer = Some(f);
                     if pos != bytes.len() {
@@ -373,14 +421,19 @@ pub fn read_span_file(path: &Path) -> Result<RankStream, String> {
         }
     }
     match footer {
-        Some((ev, st, dropped)) => {
+        Some((ev, st, dropped, al)) => {
             out.steps_dropped = dropped;
-            if ev != out.events.len() as u64 || st != out.steps.len() as u64 {
+            if ev != out.events.len() as u64
+                || st != out.steps.len() as u64
+                || al != out.alloc_steps.len() as u64
+            {
                 out.truncation = Some(format!(
                     "footer counts disagree with stream contents \
-                     (footer: {ev} events / {st} steps; read: {} / {})",
+                     (footer: {ev} events / {st} steps / {al} alloc records; \
+                     read: {} / {} / {})",
                     out.events.len(),
-                    out.steps.len()
+                    out.steps.len(),
+                    out.alloc_steps.len()
                 ));
             }
         }
@@ -414,6 +467,11 @@ impl SpanDir {
     /// Per-rank step records, rank-major (the `AnalysisInput::steps` shape).
     pub fn step_records(&self) -> Vec<Vec<StepRecord>> {
         self.ranks.iter().map(|r| r.steps.clone()).collect()
+    }
+
+    /// Per-rank allocation records, rank-major.
+    pub fn alloc_records(&self) -> Vec<Vec<AllocRecord>> {
+        self.ranks.iter().map(|r| r.alloc_steps.clone()).collect()
     }
 }
 

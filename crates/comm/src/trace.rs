@@ -284,6 +284,11 @@ impl Tracer {
     /// The recorder for one rank of a universe, opening the streaming sink
     /// when `cfg.stream` is set.
     pub fn for_rank(cfg: &TraceConfig, rank: usize) -> Self {
+        // Observability must be allocation-invisible: a traced run and an
+        // untraced run of the same case must report identical per-phase
+        // alloc counts, so every tracer-internal allocation (event buffers,
+        // sink framing) runs with attribution suspended.
+        let _quiet = crate::alloc::suspend();
         let mut t = Tracer::with_config(cfg.clone());
         t.sink = cfg.stream.as_ref().map(|s| SinkWriter::create(s, rank));
         t
@@ -299,6 +304,7 @@ impl Tracer {
         dur: f64,
         args: Vec<(&'static str, ArgVal)>,
     ) {
+        let _quiet = crate::alloc::suspend();
         if !self.filter.allows(cat) {
             return;
         }
@@ -317,8 +323,20 @@ impl Tracer {
     /// Forward one closed step record to the streaming sink (no-op without
     /// a binary sink — in-memory runs return steps via the flight recorder).
     pub fn record_step(&mut self, rec: &StepRecord) {
+        let _quiet = crate::alloc::suspend();
         if let Some(s) = &mut self.sink {
             s.push_step(rec);
+        }
+    }
+
+    /// Forward one closed per-step allocation record to the streaming sink
+    /// (no-op without a binary sink). Streamed in lockstep with
+    /// [`Tracer::record_step`], so a truncated stream from a dead rank still
+    /// yields a partial host allocation profile.
+    pub fn record_alloc_step(&mut self, rec: &crate::alloc::AllocRecord) {
+        let _quiet = crate::alloc::suspend();
+        if let Some(s) = &mut self.sink {
+            s.push_alloc_step(rec);
         }
     }
 
@@ -333,6 +351,7 @@ impl Tracer {
     /// Close the recorder: flush and footer the sink (if any), then return
     /// the in-memory events (empty in sink mode).
     pub fn finish(mut self, steps_dropped: u64) -> Vec<TraceEvent> {
+        let _quiet = crate::alloc::suspend();
         if let Some(s) = &mut self.sink {
             s.finish(steps_dropped);
         }

@@ -31,7 +31,12 @@ use std::sync::{Mutex, OnceLock};
 ///
 /// v2: `RankOutput` gained a trailing `host_time: [f64; NUM_PHASES]` field
 /// (host wall-clock seconds per phase). Primitive encodings are unchanged.
-pub const WIRE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `RankOutput` gained trailing `alloc_steps: Vec<AllocRecord>` and
+/// `alloc: AllocTotals` fields (per-step and end-of-run allocation
+/// attribution; the alloc ring evicts in lockstep with the step ring, so
+/// `steps_dropped` covers both). Primitive encodings are unchanged.
+pub const WIRE_SCHEMA_VERSION: u32 = 3;
 
 /// Decode-side failure. Encoding is infallible.
 #[derive(Clone, Debug, PartialEq, Eq)]

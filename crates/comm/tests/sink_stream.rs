@@ -1,5 +1,5 @@
 //! Streaming-sink acceptance tests: the binary span format's golden byte
-//! pin (schema v1), truncation recovery, Chrome fragment byte-identity with
+//! pin (schema v2), truncation recovery, Chrome fragment byte-identity with
 //! the in-memory exporter, and full-series recovery from disk when the
 //! in-memory flight ring has evicted records.
 
@@ -45,34 +45,53 @@ fn run_workload(trace: TraceConfig, steps: usize, step_capacity: usize) -> Vec<R
             }
         })
         .into_iter()
-        .map(|o| RankOutputLite { trace: o.trace, steps: o.steps, steps_dropped: o.steps_dropped })
+        .map(|o| RankOutputLite {
+            trace: o.trace,
+            steps: o.steps,
+            alloc_steps: o.alloc_steps,
+            steps_dropped: o.steps_dropped,
+        })
         .collect()
 }
 
 struct RankOutputLite {
     trace: Vec<overset_comm::TraceEvent>,
     steps: Vec<overset_comm::StepRecord>,
+    alloc_steps: Vec<overset_comm::AllocRecord>,
     steps_dropped: u64,
 }
 
-/// Golden byte pin of binary span schema v1: one rank-0 stream holding a
-/// single argless `phase`/`flow` span and a clean footer, built with the
-/// writer and compared against hand-assembled literal bytes. Any header,
-/// framing, or payload-layout change breaks this test — that's a conscious
-/// `SPAN_SCHEMA_VERSION` bump, not a refresh.
+/// Golden byte pin of binary span schema v2: one rank-0 stream holding a
+/// single argless `phase`/`flow` span, one per-step allocation record, and
+/// a clean footer, built with the writer and compared against
+/// hand-assembled literal bytes. Any header, framing, or payload-layout
+/// change breaks this test — that's a conscious `SPAN_SCHEMA_VERSION`
+/// bump, not a refresh.
 #[test]
-fn golden_bytes_pin_span_schema_v1() {
-    let dir = temp_dir("golden_v1");
+fn golden_bytes_pin_span_schema_v2() {
+    let dir = temp_dir("golden_v2");
     let cfg = TraceConfig::enabled().with_stream(StreamConfig::binary(&dir));
     let mut t = Tracer::for_rank(&cfg, 0);
     t.complete("phase", "flow", 0.0, 2.0, Vec::new());
+    let arec =
+        overset_comm::AllocRecord { step: 0, allocs: [0, 3, 0, 0, 0], bytes: [0, 256, 0, 0, 0] };
+    t.record_alloc_step(&arec);
     t.finish(0);
 
     let got = std::fs::read(dir.join("rank-00000.spans")).unwrap();
     let mut want: Vec<u8> = Vec::new();
     want.extend(*b"OSPN"); // magic
-    want.extend([1, 0, 0, 0]); // schema version 1
+    want.extend([2, 0, 0, 0]); // schema version 2
     want.extend([0, 0, 0, 0]); // rank 0
+    want.extend([89, 0, 0, 0]); // chunk len: 1 kind + 88 payload
+    want.push(3); // kind 3: alloc record
+    want.extend([0; 8]); // step 0
+    want.extend([0; 8]); // allocs[flow]
+    want.extend([3, 0, 0, 0, 0, 0, 0, 0]); // allocs[connectivity]
+    want.extend([0; 24]); // allocs[motion..other]
+    want.extend([0; 8]); // bytes[flow]
+    want.extend([0, 1, 0, 0, 0, 0, 0, 0]); // bytes[connectivity] = 256
+    want.extend([0; 24]); // bytes[motion..other]
     want.extend([58, 0, 0, 0]); // chunk len: 1 kind + 57 payload
     want.push(1); // kind 1: events
     want.extend([1, 0, 0, 0, 0, 0, 0, 0]); // Vec len: 1 event
@@ -83,11 +102,12 @@ fn golden_bytes_pin_span_schema_v1() {
     want.extend([0; 8]); // ts = 0.0 (IEEE bits)
     want.extend([0, 0, 0, 0, 0, 0, 0, 0x40]); // dur = 2.0 (IEEE bits)
     want.extend([0; 8]); // 0 args
-    want.extend([25, 0, 0, 0]); // chunk len: 1 kind + 24 payload
+    want.extend([33, 0, 0, 0]); // chunk len: 1 kind + 32 payload
     want.push(0); // kind 0: footer
     want.extend([1, 0, 0, 0, 0, 0, 0, 0]); // total events
     want.extend([0; 8]); // total steps
     want.extend([0; 8]); // steps dropped
+    want.extend([1, 0, 0, 0, 0, 0, 0, 0]); // total alloc records
     assert_eq!(got, want, "binary span layout drifted without a schema bump");
 
     let back = read_span_file(&dir.join("rank-00000.spans")).unwrap();
@@ -117,9 +137,14 @@ fn binary_stream_matches_in_memory_run() {
     let sd = read_span_dir(&dir).unwrap();
     assert_eq!(sd.gaps, Vec::<String>::new());
     assert_eq!(sd.ranks.len(), in_mem.len());
-    for (mem, disk) in in_mem.iter().zip(&sd.ranks) {
+    for ((mem, disk), streamed) in in_mem.iter().zip(&sd.ranks).zip(&streamed) {
         assert_eq!(mem.trace, disk.events);
         assert_eq!(mem.steps, disk.steps);
+        // Tracing is allocation-invisible (tracer internals run with
+        // attribution suspended), so the buffered and streamed runs agree
+        // on alloc counts too — and the disk series carries them exactly.
+        assert_eq!(mem.alloc_steps, streamed.alloc_steps);
+        assert_eq!(streamed.alloc_steps, disk.alloc_steps);
         assert_eq!(disk.steps_dropped, 0);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -163,9 +188,11 @@ fn capped_ring_long_run_recovers_full_series_from_disk() {
     assert_eq!(sd.gaps, Vec::<String>::new());
     for (disk, mem) in sd.ranks.iter().zip(&outs) {
         assert_eq!(disk.steps.len(), STEPS, "disk must hold every step");
+        assert_eq!(disk.alloc_steps.len(), STEPS, "disk must hold every alloc record");
         assert_eq!(disk.steps_dropped, mem.steps_dropped, "footer carries ring evictions");
         // The in-memory window is exactly the tail of the streamed series.
         assert_eq!(&disk.steps[STEPS - CAP..], &mem.steps[..]);
+        assert_eq!(&disk.alloc_steps[STEPS - CAP..], &mem.alloc_steps[..]);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -188,21 +215,33 @@ fn truncated_streams_recover_prefix_and_name_the_gap() {
     // Complete stream: full step count, no gap.
     let whole = read_span_file(&path).unwrap();
     assert_eq!(whole.steps.len(), 3);
+    assert_eq!(whole.alloc_steps.len(), 3);
     assert!(whole.truncation.is_none());
 
-    // Footer removed (29 = 4-byte length prefix + kind + (u64,u64,u64)
+    // Footer removed (37 = 4-byte length prefix + kind + (u64,u64,u64,u64)
     // payload): prefix intact, gap named.
-    let no_footer = read_span_file(&cut(&full[..full.len() - 29], "no_footer.spans")).unwrap();
+    let no_footer = read_span_file(&cut(&full[..full.len() - 37], "no_footer.spans")).unwrap();
     assert_eq!(no_footer.steps.len(), 3);
+    assert_eq!(no_footer.alloc_steps.len(), 3);
     assert_eq!(no_footer.events, whole.events);
     let msg = no_footer.truncation.unwrap();
     assert!(msg.contains("without a footer"), "{msg}");
 
-    // Mid-body cut (one byte into the last pre-footer chunk): the wounded
-    // chunk is dropped, everything before it stays.
-    let mid = read_span_file(&cut(&full[..full.len() - 30], "mid_body.spans")).unwrap();
+    // Mid-body cut (one byte into the last pre-footer chunk, the step's
+    // alloc record): the wounded chunk is dropped, everything before it
+    // stays — a dead rank still yields a partial host profile.
+    let mid = read_span_file(&cut(&full[..full.len() - 38], "mid_body.spans")).unwrap();
     assert!(mid.truncation.unwrap().contains("inside a chunk body"));
-    assert_eq!(mid.steps.len(), 2, "the cut step chunk must be dropped, earlier ones kept");
+    assert_eq!(mid.steps.len(), 3, "step chunks before the cut must survive");
+    assert_eq!(mid.alloc_steps.len(), 2, "the cut alloc chunk must be dropped, earlier ones kept");
+
+    // Cut one byte into the last step chunk (93-byte alloc chunk follows
+    // it): both the step and the trailing alloc record are lost.
+    let step_cut =
+        read_span_file(&cut(&full[..full.len() - 37 - 93 - 1], "step_cut.spans")).unwrap();
+    assert!(step_cut.truncation.unwrap().contains("inside a chunk body"));
+    assert_eq!(step_cut.steps.len(), 2, "the cut step chunk must be dropped, earlier ones kept");
+    assert_eq!(step_cut.alloc_steps.len(), 2);
 
     // Cut inside a chunk header (leave 2 of the 4 length bytes).
     let hdr_cut = {

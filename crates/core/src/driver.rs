@@ -12,8 +12,9 @@ use overset_balance::{
 use overset_comm::metrics::names;
 use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
 use overset_comm::{
-    Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary, Phase, RankStats, StepRecord,
-    TransportConfig, Universe, Wire, WireError, WireReader, WorkClass, NUM_PHASES,
+    AllocRecord, AllocTotals, Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary,
+    Phase, RankStats, StepRecord, TransportConfig, Universe, Wire, WireError, WireReader,
+    WorkClass, NUM_PHASES,
 };
 use overset_connectivity::{
     connect_distributed_with_map, connect_serial_with_maps, cut_holes_and_find_fringe,
@@ -87,6 +88,12 @@ pub struct CaseConfig {
     /// times are bit-identical either way; the serial driver always runs
     /// in-process.
     pub transport: TransportConfig,
+    /// Test hook for the allocation gate: when nonzero, every rank makes
+    /// one synthetic heap allocation of this many bytes per timestep inside
+    /// the connectivity phase. Physics- and virtual-time-neutral; it exists
+    /// so `repro compare` can be proven to fail on an injected host-cost
+    /// regression (`--inject-alloc`).
+    pub inject_alloc: usize,
 }
 
 impl CaseConfig {
@@ -119,6 +126,7 @@ impl CaseConfig {
                 trace: TraceConfig::disabled(),
                 max_threads: None,
                 transport: TransportConfig::InProcess,
+                inject_alloc: 0,
             },
         }
     }
@@ -177,6 +185,11 @@ impl CaseConfigBuilder {
         self
     }
 
+    pub fn inject_alloc(mut self, bytes: usize) -> Self {
+        self.cfg.inject_alloc = bytes;
+        self
+    }
+
     pub fn build(self) -> CaseConfig {
         self.cfg
     }
@@ -222,6 +235,18 @@ pub struct RunResult {
     /// slowest rank bounds real elapsed time). Nondeterministic — reported
     /// in the advisory `host` section of run reports, never bit-compared.
     pub host_phase_elapsed: [f64; NUM_PHASES],
+    /// Host wall-clock seconds per phase for *every* rank (rank order) —
+    /// the per-rank series behind [`RunResult::host_phase_elapsed`]'s max.
+    /// Nondeterministic, advisory only.
+    pub host_phase_by_rank: Vec<[f64; NUM_PHASES]>,
+    /// End-of-run heap-allocation attribution per rank (rank order):
+    /// per-phase counts and bytes from the counting global allocator.
+    /// Counts and bytes are deterministic for a fixed configuration
+    /// (`peak_bytes` is allocation-order-dependent and advisory).
+    pub alloc_by_rank: Vec<AllocTotals>,
+    /// Per-step allocation deltas per rank (rank order), in lockstep with
+    /// [`RunResult::step_records`]. Deterministic like `alloc_by_rank`.
+    pub alloc_records: Vec<Vec<AllocRecord>>,
     /// Final state per (grid, node) when `collect_state` was set.
     pub states: Vec<(usize, overset_grid::Ijk, [f64; 5])>,
 }
@@ -387,6 +412,10 @@ pub fn run_case(
     let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
     let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
     let host_phase_elapsed = host_phase_max(outputs.iter().map(|o| &o.host_time));
+    let host_phase_by_rank: Vec<[f64; NUM_PHASES]> = outputs.iter().map(|o| o.host_time).collect();
+    let alloc_by_rank: Vec<AllocTotals> = outputs.iter().map(|o| o.alloc).collect();
+    let alloc_records: Vec<Vec<AllocRecord>> =
+        outputs.iter().map(|o| o.alloc_steps.clone()).collect();
     Ok(RunResult {
         nranks,
         states,
@@ -406,6 +435,9 @@ pub fn run_case(
         step_records,
         steps_dropped,
         host_phase_elapsed,
+        host_phase_by_rank,
+        alloc_by_rank,
+        alloc_records,
         summary,
     })
 }
@@ -634,6 +666,11 @@ fn run_rank(
             last_conn = stats;
             igbps_last = igbps.len();
             svc.note_step();
+            if cfg.inject_alloc > 0 {
+                // Synthetic host-cost regression for gate tests: one extra
+                // heap allocation per step, attributed to this phase.
+                std::hint::black_box(vec![0u8; cfg.inject_alloc]);
+            }
             ph.barrier();
             phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;
         }
@@ -901,6 +938,9 @@ pub fn run_case_serial(
                 ph.metrics_mut().add(names::CONN_WALK_STEPS, stats.walk_steps);
                 igbps_last = stats.igbps;
                 orphans_last = stats.orphans;
+                if cfg.inject_alloc > 0 {
+                    std::hint::black_box(vec![0u8; cfg.inject_alloc]);
+                }
                 phase_elapsed[Phase::Connectivity as usize] += ph.now() - t0;
             }
             comm.end_step();
@@ -940,6 +980,10 @@ pub fn run_case_serial(
     let step_records: Vec<Vec<StepRecord>> = outputs.iter().map(|o| o.steps.clone()).collect();
     let steps_dropped: u64 = outputs.iter().map(|o| o.steps_dropped).sum();
     let host_phase_elapsed = host_phase_max(outputs.iter().map(|o| &o.host_time));
+    let host_phase_by_rank: Vec<[f64; NUM_PHASES]> = outputs.iter().map(|o| o.host_time).collect();
+    let alloc_by_rank: Vec<AllocTotals> = outputs.iter().map(|o| o.alloc).collect();
+    let alloc_records: Vec<Vec<AllocRecord>> =
+        outputs.iter().map(|o| o.alloc_steps.clone()).collect();
     Ok(RunResult {
         nranks: 1,
         states: Vec::new(),
@@ -959,6 +1003,9 @@ pub fn run_case_serial(
         step_records,
         steps_dropped,
         host_phase_elapsed,
+        host_phase_by_rank,
+        alloc_by_rank,
+        alloc_records,
         summary,
     })
 }

@@ -1,11 +1,23 @@
 //! Pass/fail comparison of two schema-v1 reports (the bench-gate verdict).
 //!
-//! The comparison reads only deterministic virtual-time quantities from each
-//! case's `summary` section — the optional wall-clock `host` section is
-//! ignored, so the gate is immune to machine noise. A metric regresses when
-//! it moves in the *bad* direction by more than `tol_pct` percent of the
-//! baseline value (strictly worse at a zero baseline also counts: orphans
-//! appearing where there were none is a regression at any tolerance).
+//! Three classes of check, in decreasing strictness:
+//!
+//! 1. **Exact** — each case's `alloc` section (allocation counts and bytes
+//!    per phase/rank/step) is deterministic for a fixed configuration, so
+//!    any difference at all is a regression: zero tolerance, bit-gated.
+//! 2. **Tolerance-banded** — the virtual-time `summary` metrics regress
+//!    when they move in the *bad* direction by more than `tol_pct` percent
+//!    of the baseline value (strictly worse at a zero baseline also
+//!    counts: orphans appearing where there were none is a regression at
+//!    any tolerance).
+//! 3. **Noise-aware** — the optional `host.bench` section carries
+//!    median/IQR host phase times from repeated runs (`repro bench-host`);
+//!    a phase regresses only when the new median exceeds the baseline
+//!    median by more than an IQR-derived tolerance, so genuine host-cost
+//!    growth gates while machine noise does not.
+//!
+//! Single-run wall-clock data (`host.phase_ms` et al.) never gates — it
+//! only produces advisory drift notes.
 
 use crate::json::Value;
 use crate::SCHEMA_VERSION;
@@ -145,9 +157,150 @@ pub fn compare(baseline: &Value, new: &Value, tol_pct: f64) -> Result<CompareOut
         for metric in ["walk_steps_total", "forwards_total"] {
             warn_counter_growth(&mut out, &key, metric, bsum, nsum);
         }
+        compare_alloc_exact(&mut out, &key, bc, nc);
     }
     note_host_phase_drift(&mut out, baseline, new);
+    gate_host_bench(&mut out, baseline, new);
     Ok(out)
+}
+
+/// Allocation attribution is deterministic for a fixed configuration, so
+/// the `alloc` section is compared **exactly**: any numeric or structural
+/// difference is a regression, regardless of `tol_pct`. Reports lacking
+/// the section on either side (older baseline) are skipped with a note.
+fn compare_alloc_exact(out: &mut CompareOutcome, case: &str, bc: &Value, nc: &Value) {
+    match (bc.get("alloc"), nc.get("alloc")) {
+        (Some(b), Some(n)) => diff_exact(out, case, "alloc", b, n),
+        (None, None) => {}
+        _ => out.notes.push(format!(
+            "{case}: alloc section not present in both reports, exact alloc gate skipped"
+        )),
+    }
+}
+
+/// Recursive exact diff of two JSON values; every numeric leaf compared
+/// counts toward `checked`, every mismatch becomes a `Regression` whose
+/// metric is the dotted path to the differing leaf.
+fn diff_exact(out: &mut CompareOutcome, case: &str, path: &str, b: &Value, n: &Value) {
+    let mismatch = |out: &mut CompareOutcome, b: f64, n: f64| {
+        let delta_pct = if b != 0.0 { (n - b) / b * 100.0 } else { f64::INFINITY };
+        out.regressions.push(Regression {
+            case: case.to_string(),
+            metric: path.to_string(),
+            baseline: b,
+            new: n,
+            delta_pct,
+        });
+    };
+    match (b, n) {
+        (Value::Obj(bp), Value::Obj(np)) => {
+            for (k, bv) in bp {
+                match n.get(k) {
+                    Some(nv) => diff_exact(out, case, &format!("{path}.{k}"), bv, nv),
+                    None => {
+                        out.checked += 1;
+                        out.regressions.push(Regression {
+                            case: case.to_string(),
+                            metric: format!("{path}.{k} <missing from new report>"),
+                            baseline: 1.0,
+                            new: 0.0,
+                            delta_pct: -100.0,
+                        });
+                    }
+                }
+            }
+            for (k, _) in np {
+                if b.get(k).is_none() {
+                    out.checked += 1;
+                    out.regressions.push(Regression {
+                        case: case.to_string(),
+                        metric: format!("{path}.{k} <absent from baseline>"),
+                        baseline: 0.0,
+                        new: 1.0,
+                        delta_pct: f64::INFINITY,
+                    });
+                }
+            }
+        }
+        (Value::Arr(ba), Value::Arr(na)) => {
+            out.checked += 1;
+            if ba.len() != na.len() {
+                mismatch(out, ba.len() as f64, na.len() as f64);
+                return;
+            }
+            for (i, (bv, nv)) in ba.iter().zip(na).enumerate() {
+                diff_exact(out, case, &format!("{path}[{i}]"), bv, nv);
+            }
+        }
+        (Value::Num(bx), Value::Num(nx)) => {
+            out.checked += 1;
+            if bx != nx {
+                mismatch(out, *bx, *nx);
+            }
+        }
+        _ => {
+            // Non-numeric leaves (and type mismatches) in the alloc section
+            // are unexpected; flag anything that is not identical.
+            out.checked += 1;
+            if b.to_json() != n.to_json() {
+                mismatch(out, 0.0, 0.0);
+            }
+        }
+    }
+}
+
+/// IQR multiplier for the noise-aware host gate: the tolerance band around
+/// the baseline median is `max(floor, HOST_BENCH_IQR_MULT * max(IQRs))`.
+const HOST_BENCH_IQR_MULT: f64 = 3.0;
+
+/// The noise-aware host gate. `host.bench.{label}.{phase}` carries
+/// `{median_ms, iqr_ms, repeats}` from a repeated-run benchmark (`repro
+/// bench-host`); a phase **regresses** (this is the one host check that
+/// gates the verdict) when the new median exceeds the baseline median by
+/// more than an IQR-derived tolerance. Phases whose medians sit under the
+/// comparison floor on both sides are ignored; reports without a bench
+/// section on both sides are skipped silently.
+fn gate_host_bench(out: &mut CompareOutcome, base: &Value, new: &Value) {
+    let (Some(bb), Some(nb)) = (
+        base.get("host").and_then(|h| h.get("bench")),
+        new.get("host").and_then(|h| h.get("bench")),
+    ) else {
+        return;
+    };
+    let Value::Obj(bcases) = bb else { return };
+    for (label, bphases) in bcases {
+        let (Some(nphases), Value::Obj(bpairs)) = (nb.get(label), bphases) else { continue };
+        for (phase, bent) in bpairs {
+            let (Some(bm), Some(biqr)) = (
+                bent.get("median_ms").and_then(Value::as_f64),
+                bent.get("iqr_ms").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            let Some(nent) = nphases.get(phase) else { continue };
+            let (Some(nm), Some(niqr)) = (
+                nent.get("median_ms").and_then(Value::as_f64),
+                nent.get("iqr_ms").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            if bm < HOST_PHASE_FLOOR_MS && nm < HOST_PHASE_FLOOR_MS {
+                continue; // too fast to measure: machine noise territory
+            }
+            out.checked += 1;
+            let tol = (HOST_BENCH_IQR_MULT * biqr.max(niqr)).max(HOST_PHASE_FLOOR_MS);
+            if nm > bm + tol {
+                let delta_pct = if bm != 0.0 { (nm - bm) / bm * 100.0 } else { f64::INFINITY };
+                out.regressions.push(Regression {
+                    case: label.clone(),
+                    metric: format!("host_bench.{phase}_median_ms"),
+                    baseline: bm,
+                    new: nm,
+                    delta_pct,
+                });
+            }
+        }
+    }
 }
 
 /// Host phase times below this baseline are too small to compare (ms).
@@ -159,13 +312,19 @@ const HOST_PHASE_GROWTH: f64 = 1.5;
 /// substantially between reports. Host timings are machine- and load-
 /// dependent, so the band is wide (x1.5) with a floor under which phases
 /// are ignored entirely; reports without a `host.phase_ms` section (older
-/// schema) are silently skipped.
+/// schema) are silently skipped. `host.phase_ms` is the max over ranks;
+/// when both reports also carry the median over ranks
+/// (`host.phase_ms_median`) the note reports both, so a drift confined to
+/// one straggler rank is distinguishable from a fleet-wide slowdown.
 fn note_host_phase_drift(out: &mut CompareOutcome, base: &Value, new: &Value) {
     let (Some(bp), Some(np)) = (
         base.get("host").and_then(|h| h.get("phase_ms")),
         new.get("host").and_then(|h| h.get("phase_ms")),
     ) else {
         return;
+    };
+    let median_of = |doc: &Value, label: &str, phase: &str| -> Option<f64> {
+        doc.get("host")?.get("phase_ms_median")?.get(label)?.get(phase).and_then(Value::as_f64)
     };
     let Value::Obj(bcases) = bp else { return };
     for (label, bphases) in bcases {
@@ -176,9 +335,16 @@ fn note_host_phase_drift(out: &mut CompareOutcome, base: &Value, new: &Value) {
                 continue;
             };
             if b >= HOST_PHASE_FLOOR_MS && n > b * HOST_PHASE_GROWTH {
+                let medians = match (median_of(base, label, phase), median_of(new, label, phase)) {
+                    (Some(bm), Some(nm)) => {
+                        format!("; median over ranks {bm:.0} ms -> {nm:.0} ms")
+                    }
+                    _ => String::new(),
+                };
                 out.notes.push(format!(
                     "{label}: advisory: host {phase} wall-clock grew {b:.0} ms -> {n:.0} ms \
-                     ({:+.1}%); host timings are machine-dependent and never gate the verdict",
+                     ({:+.1}%, max over ranks{medians}); host timings are machine-dependent \
+                     and this note never gates the verdict",
                     (n - b) / b * 100.0
                 ));
             }
@@ -446,6 +612,182 @@ mod tests {
         // Reports without a host section (older schema): silent.
         let old = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
         assert!(!compare(&old, &slow, 5.0).unwrap().notes.iter().any(|n| n.contains("host")));
+    }
+
+    fn alloc_section(conn_allocs: f64) -> Value {
+        obj(vec![
+            (
+                "allocs",
+                obj(vec![
+                    ("total", Value::Num(100.0 + conn_allocs)),
+                    ("flow", Value::Num(100.0)),
+                    ("connectivity", Value::Num(conn_allocs)),
+                ]),
+            ),
+            (
+                "bytes",
+                obj(vec![("total", Value::Num(4096.0)), ("connectivity", Value::Num(4096.0))]),
+            ),
+            (
+                "by_rank",
+                Value::Arr(vec![obj(vec![
+                    ("allocs", Value::Num(50.0 + conn_allocs / 2.0)),
+                    ("bytes", Value::Num(2048.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    fn report_with_alloc(conn_allocs: f64) -> Value {
+        let mut r = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        if let Some(Value::Arr(cases)) = r.get("cases").cloned() {
+            let mut cases = cases;
+            if let Value::Obj(pairs) = &mut cases[0] {
+                pairs.push(("alloc".into(), alloc_section(conn_allocs)));
+            }
+            if let Value::Obj(rpairs) = &mut r {
+                rpairs.retain(|(k, _)| k != "cases");
+                rpairs.push(("cases".into(), Value::Arr(cases)));
+            }
+        }
+        r
+    }
+
+    /// The alloc gate is exact: a 1-count drift fails even at huge
+    /// tolerance, and the regression names the dotted path to the leaf.
+    #[test]
+    fn alloc_counts_gate_exactly_regardless_of_tolerance() {
+        let base = report_with_alloc(500.0);
+        let same = report_with_alloc(500.0);
+        let out = compare(&base, &same, 5.0).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        // 11 summary metrics + 7 alloc leaves (2 totals + 2 phase counts +
+        // 1 bytes leaf... counted dynamically): just require growth.
+        assert!(out.checked > 11);
+
+        let drifted = report_with_alloc(501.0);
+        let out = compare(&base, &drifted, 99.0).unwrap();
+        assert!(!out.passed());
+        let metrics: Vec<&str> = out.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"alloc.allocs.total"), "{metrics:?}");
+        assert!(metrics.contains(&"alloc.allocs.connectivity"), "{metrics:?}");
+        assert!(metrics.contains(&"alloc.by_rank[0].allocs"), "{metrics:?}");
+        // Improvements (fewer allocations) are also exact mismatches: the
+        // gate asks "did the deterministic profile change", not "is it worse".
+        assert!(!compare(&drifted, &base, 99.0).unwrap().passed());
+    }
+
+    #[test]
+    fn alloc_missing_on_one_side_skips_with_a_note() {
+        let with = report_with_alloc(500.0);
+        let without = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let out = compare(&without, &with, 5.0).unwrap();
+        assert!(out.passed());
+        assert!(out.notes.iter().any(|n| n.contains("exact alloc gate skipped")));
+        assert_eq!(out.checked, 11);
+    }
+
+    fn report_with_bench(conn_median: f64, conn_iqr: f64) -> Value {
+        let mut r = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        if let Value::Obj(pairs) = &mut r {
+            pairs.push((
+                "host".into(),
+                obj(vec![(
+                    "bench",
+                    obj(vec![(
+                        "representative",
+                        obj(vec![
+                            (
+                                "flow",
+                                obj(vec![
+                                    ("median_ms", Value::Num(400.0)),
+                                    ("iqr_ms", Value::Num(10.0)),
+                                    ("repeats", Value::Num(5.0)),
+                                ]),
+                            ),
+                            (
+                                "connectivity",
+                                obj(vec![
+                                    ("median_ms", Value::Num(conn_median)),
+                                    ("iqr_ms", Value::Num(conn_iqr)),
+                                    ("repeats", Value::Num(5.0)),
+                                ]),
+                            ),
+                        ]),
+                    )]),
+                )]),
+            ));
+        }
+        r
+    }
+
+    /// The noise-aware host gate: drift within the IQR-derived band passes,
+    /// a median jump beyond it fails — and unlike the drift *note*, this is
+    /// a real regression.
+    #[test]
+    fn host_bench_gates_on_median_beyond_iqr_tolerance() {
+        let base = report_with_bench(200.0, 20.0);
+        // +70 ms is inside the band: tol = max(50, 3*20) = 60... 270 > 260,
+        // so use +55 ms which sits inside it.
+        let noisy = report_with_bench(255.0, 20.0);
+        let out = compare(&base, &noisy, 5.0).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        assert_eq!(out.checked, 13); // 11 summary + 2 bench phases
+
+        let slow = report_with_bench(300.0, 20.0);
+        let out = compare(&base, &slow, 5.0).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "host_bench.connectivity_median_ms");
+        assert!((out.regressions[0].delta_pct - 50.0).abs() < 1e-9);
+
+        // A tight IQR still gets the 50 ms floor: 240 < 200 + 50 passes.
+        let tight = report_with_bench(240.0, 1.0);
+        assert!(compare(&report_with_bench(200.0, 1.0), &tight, 5.0).unwrap().passed());
+
+        // Bench on one side only: gate dormant, summary still compared.
+        let plain = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+        let out = compare(&plain, &slow, 5.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 11);
+    }
+
+    /// The drift note (still never a regression) reports both the max- and
+    /// median-over-ranks host time when the median series is present.
+    #[test]
+    fn host_drift_note_includes_median_when_available() {
+        let with_median = |max_conn: f64, med_conn: f64| {
+            let mut r = report(vec![("airfoil", summary(100.0, 20.0, 0.0, 0.9))]);
+            if let Value::Obj(pairs) = &mut r {
+                pairs.push((
+                    "host".into(),
+                    obj(vec![
+                        (
+                            "phase_ms",
+                            obj(vec![(
+                                "representative",
+                                obj(vec![("connectivity", Value::Num(max_conn))]),
+                            )]),
+                        ),
+                        (
+                            "phase_ms_median",
+                            obj(vec![(
+                                "representative",
+                                obj(vec![("connectivity", Value::Num(med_conn))]),
+                            )]),
+                        ),
+                    ]),
+                ));
+            }
+            r
+        };
+        let base = with_median(100.0, 80.0);
+        let slow = with_median(300.0, 90.0);
+        let out = compare(&base, &slow, 5.0).unwrap();
+        assert!(out.passed());
+        let note = out.notes.iter().find(|n| n.contains("wall-clock")).expect("drift note");
+        assert!(note.contains("max over ranks"), "{note}");
+        assert!(note.contains("median over ranks 80 ms -> 90 ms"), "{note}");
     }
 
     #[test]

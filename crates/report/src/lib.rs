@@ -29,7 +29,7 @@ use json::{obj, opt_num};
 use overflow_d::{CaseConfig, RunResult};
 use overset_balance::service_imbalance;
 use overset_comm::metrics::names;
-use overset_comm::{Phase, StepRecord, NUM_PHASES};
+use overset_comm::{AllocRecord, Phase, StepRecord, NUM_PHASES};
 
 /// Version of the report document layout. See the module docs for the bump
 /// policy.
@@ -190,6 +190,68 @@ fn metrics_value(r: &RunResult) -> Value {
     obj(vec![("counters", counters), ("histograms", histograms)])
 }
 
+/// Per-phase totals as an object: `{"total": ..., "flow": ..., ...}`.
+fn per_phase_value(per_phase: &[u64; NUM_PHASES]) -> Value {
+    let total: u64 = per_phase.iter().sum();
+    let mut pairs: Vec<(String, Value)> = vec![("total".into(), Value::Num(total as f64))];
+    for &p in &PHASES {
+        pairs.push((p.name().to_string(), Value::Num(per_phase[p as usize] as f64)));
+    }
+    Value::Obj(pairs)
+}
+
+/// Aggregate per-rank per-step allocation records into the run-level step
+/// series (summed over ranks and phases per step, like `aggregate_steps`
+/// the length is the minimum over ranks).
+fn alloc_steps_value(alloc_records: &[Vec<AllocRecord>]) -> Value {
+    let nsteps = alloc_records.iter().map(Vec::len).min().unwrap_or(0);
+    let mut steps = Vec::with_capacity(nsteps);
+    for s in 0..nsteps {
+        let recs: Vec<&AllocRecord> = alloc_records.iter().map(|r| &r[s]).collect();
+        let allocs: u64 = recs.iter().map(|r| r.allocs.iter().sum::<u64>()).sum();
+        let bytes: u64 = recs.iter().map(|r| r.bytes.iter().sum::<u64>()).sum();
+        steps.push(obj(vec![
+            ("step", Value::Num(recs[0].step as f64)),
+            ("allocs", Value::Num(allocs as f64)),
+            ("bytes", Value::Num(bytes as f64)),
+        ]));
+    }
+    Value::Arr(steps)
+}
+
+/// Allocation-attribution section of a case report. Everything here is
+/// deterministic for a fixed configuration (counts and bytes are sums, so
+/// order-invariant across scheduling), and `compare` gates it **exactly**.
+/// Peak heap bytes are scheduling-order dependent and live in the advisory
+/// `host` section instead.
+fn alloc_value(r: &RunResult) -> Value {
+    let mut allocs = [0u64; NUM_PHASES];
+    let mut bytes = [0u64; NUM_PHASES];
+    for a in &r.alloc_by_rank {
+        for p in 0..NUM_PHASES {
+            allocs[p] += a.allocs[p];
+            bytes[p] += a.bytes[p];
+        }
+    }
+    let by_rank = Value::Arr(
+        r.alloc_by_rank
+            .iter()
+            .map(|a| {
+                obj(vec![
+                    ("allocs", Value::Num(a.total_allocs() as f64)),
+                    ("bytes", Value::Num(a.total_bytes() as f64)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("allocs", per_phase_value(&allocs)),
+        ("bytes", per_phase_value(&bytes)),
+        ("by_rank", by_rank),
+        ("steps", alloc_steps_value(&r.alloc_records)),
+    ])
+}
+
 /// Build the report entry for one case run.
 ///
 /// `label` distinguishes multiple runs of the same geometry within a report
@@ -216,6 +278,7 @@ pub fn case_report(label: &str, cfg: &CaseConfig, machine: &str, r: &RunResult) 
         ("series", Value::Arr(series.iter().map(series_value).collect())),
         ("summary", summary_value(r, &series)),
         ("metrics", metrics_value(r)),
+        ("alloc", alloc_value(r)),
         ("steps_dropped", Value::Num(r.steps_dropped as f64)),
     ])
 }

@@ -56,6 +56,31 @@ grep -q "no wait-state regressions beyond tolerance" "$DIFF_TMP/d1.txt" || {
     exit 1
 }
 
+echo "== alloc determinism smoke: identical runs must gate-compare clean =="
+./target/release/repro report table1 --quick -o "$DIFF_TMP/r1.json" > /dev/null
+./target/release/repro report table1 --quick -o "$DIFF_TMP/r2.json" > /dev/null
+./target/release/repro compare "$DIFF_TMP/r1.json" "$DIFF_TMP/r2.json" > /dev/null || {
+    echo "alloc determinism: two identical quick runs failed the exact gate" >&2
+    exit 1
+}
+
+echo "== alloc gate smoke: injected allocations must fail the compare =="
+./target/release/repro report table1 --quick --inject-alloc 64 -o "$DIFF_TMP/r3.json" > /dev/null
+INJECT_RC=0
+./target/release/repro compare "$DIFF_TMP/r1.json" "$DIFF_TMP/r3.json" > /dev/null || INJECT_RC=$?
+if [[ "$INJECT_RC" != "1" ]]; then
+    echo "alloc gate: --inject-alloc 64 should make compare exit 1 (got $INJECT_RC)" >&2
+    exit 1
+fi
+
+echo "== host report smoke: analyze --host must be byte-deterministic =="
+./target/release/repro analyze "$DIFF_TMP/r1.json" --host -o "$DIFF_TMP/h1.txt" > /dev/null
+./target/release/repro analyze "$DIFF_TMP/r1.json" --host -o "$DIFF_TMP/h2.txt" > /dev/null
+cmp "$DIFF_TMP/h1.txt" "$DIFF_TMP/h2.txt" || {
+    echo "analyze --host: output not byte-deterministic" >&2
+    exit 1
+}
+
 echo "== multi-process transport: bit-equality smoke =="
 SMOKE_OUT="$(./target/release/repro smoke)"
 if ! grep -q "bit-equal" <<< "$SMOKE_OUT"; then
