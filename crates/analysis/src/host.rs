@@ -119,7 +119,11 @@ fn render_disagreement(out: &mut String, cases: &[Value], host: &Value) {
             .map(|n| hphases.get(n).and_then(Value::as_f64).unwrap_or(0.0))
             .collect();
         let (vt, ht): (f64, f64) = (virt.iter().sum(), hms.iter().sum());
-        if vt <= 0.0 || ht <= 0.0 {
+        // A corrupt or hand-edited report can carry `inf`/`nan` timings
+        // (e.g. `1e999` in the JSON). A non-finite total would render NaN
+        // shares and nonsense flags for *every* row of the case, so such
+        // cases are skipped exactly like empty ones.
+        if !vt.is_finite() || !ht.is_finite() || vt <= 0.0 || ht <= 0.0 {
             continue;
         }
         wrote = true;

@@ -122,3 +122,42 @@ fn structural_errors_are_reported_not_panicked() {
     let no_host = parse(r#"{"schema_version": 1, "cases": []}"#).unwrap();
     assert!(render_host_report(&no_host).unwrap_err().contains("no host section"));
 }
+
+#[test]
+fn non_finite_phase_totals_skip_the_share_table() {
+    // `1e999` overflows f64 and parses as +inf — the shape a corrupt or
+    // hand-edited report smuggles non-finite timings in with. A case whose
+    // virtual (or host) phase total is non-finite must be skipped by the
+    // share table (never rendered as NaN percentages or spurious
+    // misprediction flags); the rest of the report still renders.
+    let poisoned = REPORT.replace(r#""t_flow": 8.0"#, r#""t_flow": 1e999"#);
+    let doc = parse(&poisoned).expect("report with inf timing parses");
+    let text = render_host_report(&doc).expect("renders");
+    assert!(
+        text.contains("(no cases with both virtual and host phase timings)"),
+        "inf-total case must be skipped, got:\n{text}"
+    );
+    assert!(!text.contains("NaN"), "no NaN may leak into the rendering:\n{text}");
+    assert!(!text.contains("model misprediction"), "a skipped case must not flag rows:\n{text}");
+    // The hotspot and allocation tables are unaffected by virtual timings.
+    assert!(text.contains("-- Top 10 host hotspots"), "{text}");
+    assert!(text.contains("top allocating ranks"), "{text}");
+}
+
+#[test]
+fn nan_host_totals_skip_the_share_table() {
+    // inf - inf = NaN at the summation: two opposite-signed overflows in
+    // the host series. The guard is on finiteness, not just sign, so this
+    // row set is skipped too instead of rendering NaN shares.
+    let poisoned = REPORT.replace(
+        r#""flow": 120.5, "connectivity": 300.25"#,
+        r#""flow": 1e999, "connectivity": -1e999"#,
+    );
+    let doc = parse(&poisoned).expect("parses");
+    let text = render_host_report(&doc).expect("renders");
+    assert!(
+        text.contains("(no cases with both virtual and host phase timings)"),
+        "NaN-total case must be skipped:\n{text}"
+    );
+    assert!(!text.contains("NaN"), "{text}");
+}

@@ -33,6 +33,16 @@ pub struct Effort {
     /// walks, occupancy-pruned candidates, masked hole cutting. Answers are
     /// identical either way; only the work (and so the virtual time) moves.
     pub use_inverse_map: bool,
+    /// Persistent connectivity arena (`--no-arena` clears it): per-rank
+    /// step-scoped scratch that keeps its capacity across steps. The same
+    /// code path runs either way — states, walk outcomes and virtual times
+    /// are bit-identical; only host-side allocation counts change.
+    pub use_arena: bool,
+    /// Incremental inverse-map pose advance (`--no-incremental-invmap`
+    /// clears it): small rigid motions compose into the map's pose instead
+    /// of triggering a full lattice rebuild. Answers are identical; the
+    /// virtual time honestly reflects the cheaper update.
+    pub use_incremental_invmap: bool,
     /// Process-transport group count (`--transport proc[:N]`). `None`
     /// (default, `--transport inproc`): ranks as threads in this process.
     /// `Some(n)`: ranks split across `n` forked rank-group processes.
@@ -57,6 +67,8 @@ impl Effort {
             steps3d: 12,
             max_threads: None,
             use_inverse_map: true,
+            use_arena: true,
+            use_incremental_invmap: true,
             proc_groups: None,
             inject_alloc: 0,
         }
@@ -71,6 +83,8 @@ impl Effort {
             steps3d: 5,
             max_threads: None,
             use_inverse_map: true,
+            use_arena: true,
+            use_incremental_invmap: true,
             proc_groups: None,
             inject_alloc: 0,
         }
@@ -82,6 +96,8 @@ impl Effort {
 pub(crate) fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
     cfg.max_threads = e.max_threads;
     cfg.use_inverse_map = e.use_inverse_map;
+    cfg.use_arena = e.use_arena;
+    cfg.use_incremental_invmap = e.use_incremental_invmap;
     cfg.transport = match e.proc_groups {
         None => TransportConfig::InProcess,
         Some(n) => TransportConfig::process(n),
@@ -498,6 +514,53 @@ pub fn ablate_invmap(e: Effort) {
                 / ctr(&off, names::CONN_WALK_STEPS).max(1) as f64),
             per(&off) / per(&on)
         );
+    }
+}
+
+/// Ablation: the per-rank connectivity arena. The arena never changes what
+/// the protocol computes — states AND virtual times must be bit-equal on
+/// vs off — it only removes per-step transient heap allocations, which
+/// this experiment measures on the steady-state last step and gates at
+/// the 10x reduction the observability docs promise (store case).
+pub fn ablate_arena(e: Effort) {
+    println!("\n== Ablation: connectivity arena (airfoil @ 12 / store @ 16, SP2) ==");
+    // Steady-state connectivity allocations: last-step Connectivity-phase
+    // alloc count, summed over ranks (the first steps pay the one-time
+    // buffer growth; the last step is the recurring cost).
+    let last_step_allocs = |r: &RunResult| -> u64 {
+        r.alloc_records
+            .iter()
+            .map(|recs| recs.last().map_or(0, |a| a.allocs[Phase::Connectivity as usize]))
+            .sum()
+    };
+    let mut gate_ratio = f64::INFINITY;
+    for (name, nranks, mk, gated) in [
+        ("airfoil", 12usize, airfoil_case(e.scale2d, e.steps2d), false),
+        ("store  ", 16, store_case(e.scale3d, e.steps3d), true),
+    ] {
+        let on = run_case(&tuned(mk.clone(), e), nranks, &sp2()).unwrap();
+        let mut cfg = tuned(mk, e);
+        cfg.use_arena = false;
+        let off = run_case(&cfg, nranks, &sp2()).unwrap();
+        let a_on = last_step_allocs(&on);
+        let a_off = last_step_allocs(&off);
+        let ratio = a_off as f64 / a_on.max(1) as f64;
+        let bit_equal = on.state_rms.to_bits() == off.state_rms.to_bits()
+            && on.wall_time.to_bits() == off.wall_time.to_bits();
+        println!("  {name} arena ON : {a_on:>7} connectivity allocs/step (last step, all ranks)");
+        println!("  {name} arena OFF: {a_off:>7} connectivity allocs/step (last step, all ranks)");
+        println!(
+            "  {name} state+virtual-time {} | alloc reduction {ratio:.1}x",
+            if bit_equal { "bit-equal" } else { "DIVERGED" },
+        );
+        if gated {
+            gate_ratio = ratio;
+        }
+    }
+    if gate_ratio >= 10.0 {
+        println!("  ALLOC-GATE: PASS ({gate_ratio:.1}x >= 10x, store case)");
+    } else {
+        println!("  ALLOC-GATE: FAIL (>=10x required on the store case, got {gate_ratio:.1}x)");
     }
 }
 

@@ -3,6 +3,7 @@
 //!
 //! Usage:
 //!   `repro <experiment> [--quick] [--max-threads <N>] [--no-inverse-map]
+//!          [--no-arena] [--no-incremental-invmap]
 //!          [--transport inproc|proc[:N]] [--trace <out.json>]
 //!          [--trace-stream <dir>] [--metrics] [--host-profile]
 //!          [--trace-filter <cats>] [--trace-sample <N>]`
@@ -18,7 +19,13 @@
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
 //! table5 fig11 table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo
-//! ablate-grouping ablate-cache all`.
+//! ablate-grouping ablate-cache ablate-invmap ablate-arena all`.
+//!
+//! `--no-arena` replaces the per-rank connectivity arena with cold buffers
+//! every step (same code path; results and virtual times bit-identical,
+//! only host allocation counts change). `--no-incremental-invmap` forces a
+//! full inverse-map rebuild on every motion event instead of the pose
+//! advance; answers are identical, the virtual time moves.
 //!
 //! `--max-threads N` caps the OS threads running an experiment's virtual
 //! ranks: the comm runtime multiplexes the ranks onto `N` workers (M:N
@@ -123,6 +130,8 @@ struct Cli {
     trace_sample: u32,
     max_threads: Option<usize>,
     no_inverse_map: bool,
+    no_arena: bool,
+    no_incremental_invmap: bool,
     transport: Option<String>,
     host_profile: bool,
     inject_alloc: usize,
@@ -141,6 +150,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         trace_sample: 1,
         max_threads: None,
         no_inverse_map: false,
+        no_arena: false,
+        no_incremental_invmap: false,
         transport: None,
         host_profile: false,
         inject_alloc: 0,
@@ -151,6 +162,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         match a.as_str() {
             "--quick" => cli.quick = true,
             "--no-inverse-map" => cli.no_inverse_map = true,
+            "--no-arena" => cli.no_arena = true,
+            "--no-incremental-invmap" => cli.no_incremental_invmap = true,
             "--metrics" => cli.show_metrics = true,
             "--host-profile" => cli.host_profile = true,
             "--inject-alloc" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
@@ -244,6 +257,8 @@ fn run_report_cmd(args: &[String]) -> i32 {
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
+    effort.use_arena = !cli.no_arena;
+    effort.use_incremental_invmap = !cli.no_incremental_invmap;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let effort_name = if cli.quick { "quick" } else { "full" };
@@ -272,6 +287,8 @@ fn run_bench_host_cmd(args: &[String]) -> i32 {
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
+    effort.use_arena = !cli.no_arena;
+    effort.use_incremental_invmap = !cli.no_incremental_invmap;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let effort_name = if cli.quick { "quick" } else { "full" };
@@ -314,6 +331,8 @@ fn main() {
     let mut effort = if cli.quick { Effort::quick() } else { Effort::full() };
     effort.max_threads = cli.max_threads;
     effort.use_inverse_map = !cli.no_inverse_map;
+    effort.use_arena = !cli.no_arena;
+    effort.use_incremental_invmap = !cli.no_incremental_invmap;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let which = cli.which.clone();
@@ -342,6 +361,7 @@ fn main() {
         "ablate-grouping" => ablate_grouping(),
         "ablate-cache" => ablate_cache(effort),
         "ablate-invmap" => ablate_invmap(effort),
+        "ablate-arena" => ablate_arena(effort),
         "all" => {
             let rows1 = table1(effort);
             print_perf_table("Table 1: 2D oscillating airfoil", &rows1);
@@ -362,13 +382,14 @@ fn main() {
             ablate_grouping();
             ablate_cache(effort);
             ablate_invmap(effort);
+            ablate_arena(effort);
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
                  table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
-                 ablate-cache ablate-invmap all\n\
+                 ablate-cache ablate-invmap ablate-arena all\n\
                  or a subcommand: report <experiment> | bench-host <experiment> | \
                  compare <baseline.json> <new.json> | analyze <experiment>|<trace.json> | smoke"
             );
@@ -446,6 +467,17 @@ mod tests {
         let e = parse_cli(&s(&["table1", "--trace", "t.json", "--trace-stream", "d"])).unwrap_err();
         assert!(e.contains("mutually exclusive"), "{e}");
         assert!(parse_cli(&s(&["table1", "--trace-stream"])).is_err());
+    }
+
+    #[test]
+    fn arena_and_incremental_invmap_flags_parse() {
+        let c = parse_cli(&s(&["ablate-arena"])).unwrap();
+        assert!(!c.no_arena && !c.no_incremental_invmap);
+        assert_eq!(c.which, "ablate-arena");
+        let c = parse_cli(&s(&["table1", "--no-arena"])).unwrap();
+        assert!(c.no_arena && !c.no_incremental_invmap);
+        let c = parse_cli(&s(&["table1", "--no-incremental-invmap", "--no-arena"])).unwrap();
+        assert!(c.no_arena && c.no_incremental_invmap);
     }
 
     #[test]

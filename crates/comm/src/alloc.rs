@@ -264,6 +264,20 @@ impl Drop for SuspendGuard {
     }
 }
 
+/// Map a raw context phase byte onto a counter slot. In-range values index
+/// their own bucket; anything out of range is an *unknown* phase and is
+/// attributed to `Phase::Other` explicitly — not silently folded into
+/// whichever real phase happens to sit last in the enum.
+#[inline]
+pub(crate) fn phase_slot(raw: u8) -> usize {
+    let p = raw as usize;
+    if p < NUM_PHASES {
+        p
+    } else {
+        Phase::Other as usize
+    }
+}
+
 #[inline]
 fn record_alloc(size: usize) {
     let _ = CTX.try_with(|c| {
@@ -275,7 +289,7 @@ fn record_alloc(size: usize) {
         // and cleared (install/clear/swap_ctx) before that Arc can be
         // dropped; see runtime::run_ranks.
         let rc = unsafe { &*ctx.counters };
-        let p = (ctx.phase as usize).min(NUM_PHASES - 1);
+        let p = phase_slot(ctx.phase);
         rc.allocs[p].fetch_add(1, Ordering::Relaxed);
         rc.bytes[p].fetch_add(size as u64, Ordering::Relaxed);
         let cur = rc.cur_bytes.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
@@ -292,7 +306,7 @@ fn record_free(size: usize) {
         }
         // SAFETY: as in record_alloc.
         let rc = unsafe { &*ctx.counters };
-        let p = (ctx.phase as usize).min(NUM_PHASES - 1);
+        let p = phase_slot(ctx.phase);
         rc.frees[p].fetch_add(1, Ordering::Relaxed);
         rc.freed_bytes[p].fetch_add(size as u64, Ordering::Relaxed);
         rc.cur_bytes.fetch_sub(size as i64, Ordering::Relaxed);
@@ -424,6 +438,20 @@ mod tests {
         let s = c.snapshot();
         assert!(s.allocs[Phase::Motion as usize] >= 1);
         assert!(s.bytes[Phase::Motion as usize] >= 256);
+    }
+
+    #[test]
+    fn out_of_range_phase_routes_to_other() {
+        // In-range phases map to their own bucket.
+        for p in 0..NUM_PHASES {
+            assert_eq!(phase_slot(p as u8), p);
+        }
+        // The public API (`install`/`set_phase`) can only produce in-range
+        // values, but the raw context byte could hold anything; unknown
+        // phases must land in Other, not in the last real bucket.
+        for raw in [NUM_PHASES as u8, 7, 100, 200, u8::MAX] {
+            assert_eq!(phase_slot(raw), Phase::Other as usize);
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Step-scoped allocation reuse: a recycling pool of `Vec<T>` buffers.
+//!
+//! The connectivity protocol moves `Vec` payloads *by value* through the
+//! comm layer (`send` takes ownership; `recv` hands back a fresh vector).
+//! Without reuse, every round of every step allocates its request and
+//! answer buffers anew. `VecPool` closes the loop: finished vectors are
+//! cleared and parked, and the next `take` hands one back with its
+//! capacity intact. In steady state the pool is stocked by the vectors a
+//! rank receives, so per-round allocations drop to (almost) zero.
+//!
+//! The pool deliberately does nothing clever: no size classes, no cap. A
+//! rank's working set of buffers is bounded by `nranks` per round and the
+//! round count is bounded, so the high-water mark is small and reached
+//! within the first step or two.
+
+/// A recycling pool of `Vec<T>` buffers. `take` returns a cleared vector
+/// (reusing a parked one when available), `put` parks a vector for reuse.
+#[derive(Debug)]
+pub struct VecPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> VecPool<T> {
+    pub const fn new() -> Self {
+        VecPool { free: Vec::new() }
+    }
+
+    /// A cleared vector, recycled from the pool when one is parked.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Park a vector for reuse. Its contents are dropped now; its
+    /// capacity survives for the next `take`.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        v.clear();
+        self.free.push(v);
+    }
+
+    /// Number of parked buffers (diagnostics / tests).
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_capacity() {
+        let mut pool: VecPool<u32> = VecPool::new();
+        let mut v = pool.take();
+        v.extend(0..100);
+        let cap = v.capacity();
+        assert!(cap >= 100);
+        pool.put(v);
+        assert_eq!(pool.parked(), 1);
+        let w = pool.take();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), cap);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn take_on_empty_pool_is_fresh() {
+        let mut pool: VecPool<String> = VecPool::new();
+        let v = pool.take();
+        assert!(v.is_empty() && v.capacity() == 0);
+    }
+}

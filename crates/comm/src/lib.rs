@@ -22,6 +22,7 @@
 //! See DESIGN.md §2 for the substitution argument.
 
 pub mod alloc;
+pub mod arena;
 pub mod error;
 pub mod flight;
 pub mod machine;
@@ -35,6 +36,7 @@ pub mod transport;
 pub mod wire;
 
 pub use alloc::{AllocRecord, AllocSnapshot, AllocTotals, CountingAlloc, RankAllocCounters};
+pub use arena::VecPool;
 pub use error::OversetError;
 pub use flight::{FlightRecorder, StepRecord, DEFAULT_STEP_CAPACITY};
 pub use machine::{CacheModel, MachineModel, WorkClass};

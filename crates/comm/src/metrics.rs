@@ -29,6 +29,11 @@ pub mod names {
     pub const CONN_ORPHANS: &str = "conn.orphans";
     /// Donor-search protocol rounds summed over steps.
     pub const CONN_ROUNDS: &str = "conn.rounds";
+    /// Inverse maps rebuilt from scratch (full lattice builds).
+    pub const CONN_INVMAP_BUILDS: &str = "conn.invmap.build";
+    /// Inverse maps advanced incrementally under small rigid motion
+    /// (pose composition instead of a full rebuild).
+    pub const CONN_INVMAP_INCR: &str = "conn.invmap.incr";
     /// Repartitions executed by the dynamic balancer.
     pub const LB_REPARTITIONS: &str = "lb.repartitions";
     /// Collectives entered by this rank.

@@ -1,0 +1,120 @@
+//! Per-rank connectivity arena: step-scoped scratch that is reset, not
+//! freed.
+//!
+//! Every collection the connectivity phase allocates per step — pending-walk
+//! queues, flattened candidate lists, per-destination request buffers,
+//! reply maps, deferred q-writes, hole-fringe lists — lives here and keeps
+//! its capacity across steps. The driver owns one [`ConnArena`] per rank
+//! for the whole run; steady-state connectivity steps then perform
+//! near-zero transient allocations, which the exact alloc gate in
+//! `repro compare` pins (docs/OBSERVABILITY.md, "Arena allocation").
+//!
+//! The arena changes nothing about *what* the protocol computes: the same
+//! code path runs whether the arena is fresh (allocating on first use) or
+//! warm (reusing capacity), so states, walk outcomes and virtual times are
+//! bit-identical with the arena on or off — only host-side allocation
+//! counts differ. The `arena` ablation tests assert exactly this.
+
+use crate::holes::Igbp;
+use crate::inverse_map::BinClass;
+use crate::protocol::{Answer, Pending, RankRoute, ReqPoint};
+use overset_comm::VecPool;
+use overset_grid::curvilinear::Solid;
+use overset_grid::{Aabb, Ijk};
+use std::collections::HashMap;
+
+/// Reusable scratch for one rank's connectivity work (distributed protocol,
+/// hole cutting, and the serial path). Construction allocates nothing;
+/// buffers grow to their working-set high-water mark within the first step
+/// or two and are cleared — never shrunk — between steps.
+#[derive(Default)]
+pub struct ConnArena {
+    // -- distributed protocol scratch --
+    /// Unresolved IGBPs in the current round.
+    pub(crate) pending: Vec<Pending>,
+    /// Keepers of the reply-collection pass (swapped into `pending`).
+    pub(crate) next_pending: Vec<Pending>,
+    /// Flattened candidate-rank storage: every `Pending` holds a
+    /// (start, len) range into this pool instead of its own vector. This
+    /// removes the per-IGBP allocation that dominated the old profile.
+    pub(crate) cand_pool: Vec<usize>,
+    /// IGBP indices that exhausted every candidate.
+    pub(crate) orphaned: Vec<usize>,
+    /// Per-destination request buffers (outer vec sized to `nranks`).
+    pub(crate) outgoing: Vec<Vec<ReqPoint>>,
+    /// Destinations this rank sent requests to in the current round.
+    pub(crate) sent_to: Vec<usize>,
+    /// Deferred fringe q-writes, applied after the round loop.
+    pub(crate) writes: Vec<(Ijk, [f64; 5])>,
+    /// Reply lookup for the collection pass (cleared per round; `HashMap`
+    /// keeps its capacity across clears).
+    pub(crate) answers_by_id: HashMap<u32, (usize, Answer)>,
+    /// Decoded routing broadcast (one entry per rank).
+    pub(crate) routes: Vec<RankRoute>,
+    /// Recycled request buffers: received request vectors are parked here
+    /// and reused for the next round's outgoing sends.
+    pub(crate) req_pool: VecPool<ReqPoint>,
+    /// Recycled answer buffers, symmetric to `req_pool`.
+    pub(crate) ans_pool: VecPool<(u32, Answer)>,
+    /// Recycled per-round count vectors: the allgathered count lists come
+    /// back from the collective; one is parked here and refilled as the
+    /// next round's outgoing-count vector.
+    pub(crate) counts_pool: VecPool<u32>,
+
+    // -- hole-cutting scratch --
+    /// Field nodes adjacent to holes (promoted to Fringe after the scan).
+    pub(crate) fringe_nodes: Vec<Ijk>,
+    /// Foreign solids (other grids') for the containment tests.
+    pub(crate) foreign_solids: Vec<Solid>,
+    /// Padded bounding boxes, parallel to `foreign_solids`.
+    pub(crate) solid_boxes: Vec<Aabb>,
+    /// Per-solid hole-lattice classifications of the masked cutter (outer
+    /// len = number of foreign solids; inner vecs keep their capacity).
+    pub(crate) bin_classes: Vec<Vec<BinClass>>,
+    /// Recycled IGBP lists (the hole cutter takes one, the caller recycles
+    /// it after connectivity consumes it).
+    pub(crate) igbp_pool: VecPool<Igbp>,
+
+    // -- serial-path scratch --
+    /// Per-grid IGBP lists of the serial connectivity solution.
+    pub(crate) igbps_per_grid: Vec<Vec<Igbp>>,
+    /// Deferred (grid, node, value) writes of the serial path.
+    pub(crate) serial_writes: Vec<(usize, Ijk, [f64; 5])>,
+    /// Whole-grid bounding boxes for the serial donor rejection.
+    pub(crate) grid_bboxes: Vec<Aabb>,
+}
+
+impl ConnArena {
+    /// An empty arena. Allocation-free: every buffer starts with zero
+    /// capacity and grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return an IGBP list (obtained from the hole cutter) to the arena so
+    /// its capacity is reused next step.
+    pub fn recycle_igbps(&mut self, igbps: Vec<Igbp>) {
+        self.igbp_pool.put(igbps);
+    }
+
+    /// Reset the distributed-protocol scratch for a new step. Capacities
+    /// survive; the outer `outgoing` vector is (re)sized to `nranks`.
+    pub(crate) fn begin_protocol(&mut self, nranks: usize) {
+        self.pending.clear();
+        self.next_pending.clear();
+        self.cand_pool.clear();
+        self.orphaned.clear();
+        self.sent_to.clear();
+        self.writes.clear();
+        self.answers_by_id.clear();
+        self.routes.clear();
+        if self.outgoing.len() == nranks {
+            for v in &mut self.outgoing {
+                v.clear();
+            }
+        } else {
+            self.outgoing.clear();
+            self.outgoing.resize_with(nranks, Vec::new);
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! are the inter-grid boundary points (IGBPs) whose values DCF3D supplies by
 //! interpolation each step.
 
-use crate::inverse_map::{classify_solids, BinClass, InverseMap};
+use crate::arena::ConnArena;
+use crate::inverse_map::{classify_solids_into, BinClass, InverseMap};
 use overset_grid::curvilinear::{BcKind, Solid};
 use overset_grid::index::Ijk;
 use overset_solver::{Blank, Block};
@@ -50,18 +51,43 @@ pub fn cut_holes_and_find_fringe_with_map(
     solids: &[(usize, Solid)],
     inv: Option<&InverseMap>,
 ) -> (Vec<Igbp>, u64) {
+    let mut arena = ConnArena::new();
+    cut_holes_and_find_fringe_arena(block, solids, inv, &mut arena)
+}
+
+/// [`cut_holes_and_find_fringe_with_map`] running on a caller-owned
+/// [`ConnArena`]: the fringe-node scratch persists across steps and the
+/// returned IGBP list is recycled through the arena (hand it back with
+/// [`ConnArena::recycle_igbps`] once connectivity has consumed it).
+/// Blanking is identical either way.
+///
+/// An inverse map with a non-identity pose is ignored here: solid masks
+/// are classified in the map's *lattice* frame, and re-deriving them
+/// through the pose is not bit-safe against the unmasked cutter's
+/// world-frame verdicts. A recently-moved grid therefore pays the
+/// unmasked per-node cost until its next full rebuild re-anchors the
+/// lattice — blanking stays bit-identical throughout.
+pub fn cut_holes_and_find_fringe_arena(
+    block: &mut Block,
+    solids: &[(usize, Solid)],
+    inv: Option<&InverseMap>,
+    arena: &mut ConnArena,
+) -> (Vec<Igbp>, u64) {
+    let inv = inv.filter(|m| m.pose_is_identity());
     let ow = block.owned_local();
     // Reset: every owned node back to Field.
     for p in ow.iter() {
         block.iblank[p] = Blank::Field;
     }
 
+    let ConnArena { fringe_nodes, foreign_solids, solid_boxes, bin_classes, igbp_pool, .. } = arena;
+
     // Containment tests against foreign solids: cheap bounding-box
     // pre-check, detailed test only inside a solid's (padded) box.
-    let foreign: Vec<&Solid> =
-        solids.iter().filter(|(g, _)| *g != block.grid_id).map(|(_, s)| s).collect();
+    foreign_solids.clear();
+    foreign_solids.extend(solids.iter().filter(|(g, _)| *g != block.grid_id).map(|(_, s)| *s));
     let mut flops = 0u64;
-    if !foreign.is_empty() {
+    if !foreign_solids.is_empty() {
         // Pad boxes by the largest plausible pad once.
         let probe = overset_grid::Ijk::new(
             (ow.lo.i + ow.hi.i) / 2,
@@ -69,15 +95,16 @@ pub fn cut_holes_and_find_fringe_with_map(
             (ow.lo.k + ow.hi.k) / 2,
         );
         let pad_hint = HOLE_PAD_CELLS * local_spacing(block, probe) * 4.0;
-        let boxes: Vec<overset_grid::Aabb> =
-            foreign.iter().map(|s| s.bbox().inflate(pad_hint)).collect();
+        solid_boxes.clear();
+        solid_boxes.extend(foreign_solids.iter().map(|s| s.bbox().inflate(pad_hint)));
         // With an inverse map, classify its hole lattice against each solid
         // once; whole bins then resolve without per-node detailed tests.
-        let classes = inv.map(|m| {
-            let (c, cf) = classify_solids(m, &foreign, pad_hint);
-            flops += cf;
-            c
-        });
+        let classes: Option<&[Vec<BinClass>]> = if let Some(m) = inv {
+            flops += classify_solids_into(m, foreign_solids, pad_hint, bin_classes);
+            Some(bin_classes)
+        } else {
+            None
+        };
         for p in ow.iter() {
             // One charge per node: the per-solid loop overhead (unmasked)
             // or the hole-lattice bin lookup (masked).
@@ -85,7 +112,7 @@ pub fn cut_holes_and_find_fringe_with_map(
             let x = block.coords[p];
             let bin = inv.map(|m| m.hole_bin(x));
             let mut hole = false;
-            for (si, (s, bb)) in foreign.iter().zip(&boxes).enumerate() {
+            for (si, (s, bb)) in foreign_solids.iter().zip(solid_boxes.iter()).enumerate() {
                 if let (Some(c), Some(b)) = (&classes, bin) {
                     match c[si][b] {
                         // No point of this bin reaches the padded box: the
@@ -120,8 +147,8 @@ pub fn cut_holes_and_find_fringe_with_map(
 
     // Hole fringe: field nodes with a hole neighbour (6-connectivity,
     // in-plane for 2-D blocks).
-    let mut fringe_nodes: Vec<Ijk> = Vec::new();
-    if !foreign.is_empty() {
+    fringe_nodes.clear();
+    if !foreign_solids.is_empty() {
         for p in ow.iter() {
             if block.iblank[p] != Blank::Field {
                 continue;
@@ -145,7 +172,7 @@ pub fn cut_holes_and_find_fringe_with_map(
             }
         }
     }
-    for &p in &fringe_nodes {
+    for &p in fringe_nodes.iter() {
         block.iblank[p] = Blank::Fringe;
     }
 
@@ -162,8 +189,8 @@ pub fn cut_holes_and_find_fringe_with_map(
         }
     }
 
-    // Collect all fringe nodes as IGBPs.
-    let mut igbps = Vec::new();
+    // Collect all fringe nodes as IGBPs (into a recycled buffer).
+    let mut igbps = igbp_pool.take();
     for p in ow.iter() {
         if block.iblank[p] == Blank::Fringe {
             igbps.push(Igbp { node: p, xyz: block.coords[p] });

@@ -31,7 +31,7 @@
 use crate::protocol::owned_bbox;
 use overset_grid::curvilinear::Solid;
 use overset_grid::index::Ijk;
-use overset_grid::Aabb;
+use overset_grid::{Aabb, RigidTransform};
 use overset_solver::Block;
 
 /// Flops to bin one owned cell during the build (midpoint, bin index,
@@ -46,6 +46,17 @@ pub const FLOPS_PER_BIN_BBOX: u64 = 6;
 /// Flops per convexity-based containment probe of a hole-lattice bin corner
 /// (same primitive as the hole cutter's detailed per-node test).
 pub const FLOPS_PER_SOLID_PROBE: u64 = 25;
+/// Flops per seed query through a non-identity pose (inverse rigid
+/// transform — quaternion rotate — on top of the lattice binning).
+pub const FLOPS_PER_POSED_QUERY: u64 = 40;
+/// Flops for one incremental pose advance: transform composition, inverse,
+/// and the 8-corner world-bounds check. Charged instead of a full rebuild.
+pub const FLOPS_PER_INCR_UPDATE: u64 = 200;
+/// An incremental advance is rejected (forcing a full rebuild) when the
+/// world-frame enclosing box of the rotated lattice grows past this factor
+/// of the lattice diagonal. Pure translations never grow the box; the
+/// factor corresponds to roughly 3 degrees of accumulated rotation.
+pub const INCR_MAX_DIAG_GROWTH: f64 = 1.05;
 
 /// Fine-lattice resolution cap per axis (bins, not nodes).
 const MAX_FINE_BINS: usize = 48;
@@ -92,6 +103,13 @@ pub struct InverseMap {
     hole_nb: [usize; 3],
     /// Flops spent building (the caller charges them to virtual time).
     build_flops: u64,
+    /// Cumulative rigid motion of the block since this map was built
+    /// (lattice frame → current world frame). Identity right after a
+    /// build; composed by [`InverseMap::advance`] on incremental updates.
+    pose: RigidTransform,
+    /// Precomputed inverse of `pose` (world frame → lattice frame), applied
+    /// to every query point before binning.
+    inv_pose: RigidTransform,
 }
 
 /// Bin index of `x` on a `nb`-bin axis spanning `[lo, hi]`, clamped into
@@ -204,7 +222,78 @@ impl InverseMap {
         let fallback = Ijk::new(ow.lo.i, ow.lo.j, ow.lo.k);
         let seeds: Vec<Ijk> = seeds.into_iter().map(|s| s.unwrap_or(fallback)).collect();
 
-        InverseMap { bounds, nb, seeds, occupancy, hole_nb, build_flops }
+        InverseMap {
+            bounds,
+            nb,
+            seeds,
+            occupancy,
+            hole_nb,
+            build_flops,
+            pose: RigidTransform::IDENTITY,
+            inv_pose: RigidTransform::IDENTITY,
+        }
+    }
+
+    /// Try to track a rigid motion of the block *without* rebuilding: the
+    /// lattice keeps its build-time geometry and accumulates the motion as
+    /// a pose; queries map world points back into the lattice frame through
+    /// the inverse pose. The rigidly-moved cells sit exactly where the
+    /// lattice (viewed through the pose) says they are, so seed answers
+    /// stay as sharp as on the build step.
+    ///
+    /// Returns `false` — leaving the map untouched — when the accumulated
+    /// rotation would inflate the world-frame enclosing box past
+    /// [`INCR_MAX_DIAG_GROWTH`]; the caller must then rebuild from scratch.
+    /// On success the caller charges [`FLOPS_PER_INCR_UPDATE`] to virtual
+    /// time instead of a full build.
+    pub fn advance(&mut self, t: &RigidTransform) -> bool {
+        let pose = if self.pose.is_identity() { *t } else { self.pose.then(t) };
+        let world = posed_bounds(&self.bounds, &pose);
+        if world.diagonal() > self.bounds.diagonal().max(1e-300) * INCR_MAX_DIAG_GROWTH {
+            return false;
+        }
+        self.inv_pose = pose.inverse();
+        self.pose = pose;
+        true
+    }
+
+    /// Is the map posed at its build-time geometry (no accumulated motion)?
+    pub fn pose_is_identity(&self) -> bool {
+        self.pose.is_identity()
+    }
+
+    /// The accumulated pose (lattice frame → world frame).
+    pub fn pose(&self) -> &RigidTransform {
+        &self.pose
+    }
+
+    /// The inverse pose (world frame → lattice frame), as broadcast to
+    /// other ranks for posed occupancy binning.
+    pub fn inv_pose(&self) -> &RigidTransform {
+        &self.inv_pose
+    }
+
+    /// World-frame routing box: the lattice bounds carried through the
+    /// pose. Bit-identical to [`InverseMap::bounds`] while the pose is the
+    /// identity; a conservative enclosing box of the rotated lattice
+    /// otherwise.
+    pub fn world_bounds(&self) -> Aabb {
+        if self.pose.is_identity() {
+            self.bounds
+        } else {
+            posed_bounds(&self.bounds, &self.pose)
+        }
+    }
+
+    /// Flops one seed query costs at the current pose (posed queries pay
+    /// for the inverse transform). Deterministic — a pure function of the
+    /// map's state, never of the host.
+    pub fn query_flops(&self) -> u64 {
+        if self.pose.is_identity() {
+            FLOPS_PER_QUERY
+        } else {
+            FLOPS_PER_POSED_QUERY
+        }
     }
 
     /// Physical bounds of the lattices (the broadcast routing box).
@@ -224,12 +313,17 @@ impl InverseMap {
 
     /// O(1) walk seed for a target point: the seed cell of the fine bin
     /// holding `p` (points outside the bounds clamp into an edge bin).
+    /// Under a non-identity pose the point is first mapped back into the
+    /// lattice frame; the identity path is byte-for-byte the legacy one.
     pub fn query(&self, p: [f64; 3]) -> Ijk {
-        self.seeds[bin_index(&self.bounds, self.nb, p)]
+        let q = if self.pose.is_identity() { p } else { self.inv_pose.apply(p) };
+        self.seeds[bin_index(&self.bounds, self.nb, q)]
     }
 
     /// Hole-lattice bin index of a node coordinate (used with the classes
-    /// from [`classify_solids`]).
+    /// from [`classify_solids`]). Lattice-frame only: hole classification
+    /// is gated on an identity pose (see `holes.rs`), so no inverse
+    /// transform is applied here.
     pub fn hole_bin(&self, p: [f64; 3]) -> usize {
         bin_index(&self.bounds, self.hole_nb, p)
     }
@@ -297,6 +391,37 @@ fn mark_occupancy(occ: &mut [u64; OCC_WORDS], bounds: &Aabb, cell_box: &Aabb) {
     }
 }
 
+/// Enclosing world-frame box of `bounds` carried through `pose`: the AABB
+/// of the 8 transformed corners. Conservative for every interior point
+/// (rigid maps are affine).
+fn posed_bounds(bounds: &Aabb, pose: &RigidTransform) -> Aabb {
+    let mut world = Aabb::EMPTY;
+    for ci in 0..8 {
+        let c = [
+            if ci & 1 == 0 { bounds.min[0] } else { bounds.max[0] },
+            if ci & 2 == 0 { bounds.min[1] } else { bounds.max[1] },
+            if ci & 4 == 0 { bounds.min[2] } else { bounds.max[2] },
+        ];
+        world.include(pose.apply(c));
+    }
+    world
+}
+
+/// Posed variant of [`occupancy_admits`] for the receive side of the
+/// routing broadcast: map the world point into the sender's lattice frame
+/// through its broadcast inverse pose, then test against the *lattice* box
+/// the occupancy bits were marked in. The identity path is bit-identical
+/// to [`occupancy_admits`].
+pub fn occupancy_admits_posed(
+    occ: &[u64; OCC_WORDS],
+    lat_box: &Aabb,
+    inv_pose: &RigidTransform,
+    p: [f64; 3],
+) -> bool {
+    let q = if inv_pose.is_identity() { p } else { inv_pose.apply(p) };
+    occupancy_admits(occ, lat_box, q)
+}
+
 /// Does the occupancy mask (broadcast alongside `rank_box`) admit `p`?
 /// All-ones masks (ranks running without a map) admit everything.
 pub fn occupancy_admits(occ: &[u64; OCC_WORDS], rank_box: &Aabb, p: [f64; 3]) -> bool {
@@ -321,12 +446,30 @@ pub fn classify_solids(
     solids: &[&Solid],
     pad_hint: f64,
 ) -> (Vec<Vec<BinClass>>, u64) {
+    let owned: Vec<Solid> = solids.iter().map(|s| **s).collect();
+    let mut classes = Vec::new();
+    let flops = classify_solids_into(inv, &owned, pad_hint, &mut classes);
+    (classes, flops)
+}
+
+/// [`classify_solids`] writing into caller-owned storage: the outer vector
+/// is resized to the solid count and the inner per-bin vectors keep their
+/// capacity, so a steady-state re-classification allocates nothing.
+pub fn classify_solids_into(
+    inv: &InverseMap,
+    solids: &[Solid],
+    pad_hint: f64,
+    classes: &mut Vec<Vec<BinClass>>,
+) -> u64 {
     let nbins = inv.hole_bins();
     let mut flops = 0u64;
-    let mut classes = Vec::with_capacity(solids.len());
-    for s in solids {
+    classes.truncate(solids.len());
+    while classes.len() < solids.len() {
+        classes.push(Vec::new());
+    }
+    for (s, per_bin) in solids.iter().zip(classes.iter_mut()) {
         let padded = s.bbox().inflate(pad_hint);
-        let mut per_bin = Vec::with_capacity(nbins);
+        per_bin.clear();
         for b in 0..nbins {
             flops += FLOPS_PER_BIN_BBOX;
             let bb = inv.hole_bin_box(b);
@@ -356,9 +499,8 @@ pub fn classify_solids(
             flops += probes * FLOPS_PER_SOLID_PROBE;
             per_bin.push(if inside { BinClass::Inside } else { BinClass::Boundary });
         }
-        classes.push(per_bin);
     }
-    (classes, flops)
+    flops
 }
 
 #[cfg(test)]
@@ -480,6 +622,100 @@ mod tests {
         assert_eq!(a.seeds, c.seeds);
         assert_eq!(a.occupancy, c.occupancy);
         assert_eq!(a.build_flops, c.build_flops);
+    }
+
+    #[test]
+    fn pose_advance_tracks_translation_in_lattice_frame() {
+        let b = cart_block(17, 0.25);
+        let mut inv = InverseMap::build(&b);
+        assert!(inv.pose_is_identity());
+        assert_eq!(inv.query_flops(), FLOPS_PER_QUERY);
+        // Probe at cell midpoints (bin interiors, robust to FP rounding).
+        let probes: Vec<[f64; 3]> = [(2usize, 3usize, 4usize), (15, 1, 8), (8, 14, 2)]
+            .iter()
+            .map(|&(i, j, k)| {
+                [(i as f64 + 0.5) * 0.25, (j as f64 + 0.5) * 0.25, (k as f64 + 0.5) * 0.25]
+            })
+            .collect();
+        let legacy: Vec<Ijk> = probes.iter().map(|&p| inv.query(p)).collect();
+        let bounds = inv.bounds();
+        let shift = [3.0, -1.5, 0.75];
+        assert!(inv.advance(&RigidTransform::translation(shift)));
+        assert!(!inv.pose_is_identity());
+        assert_eq!(inv.query_flops(), FLOPS_PER_POSED_QUERY);
+        // A world point that moved with the block seeds the same cell the
+        // unmoved point seeded before the advance.
+        for (p, want) in probes.iter().zip(&legacy) {
+            let moved = [p[0] + shift[0], p[1] + shift[1], p[2] + shift[2]];
+            assert_eq!(inv.query(moved), *want);
+        }
+        // The routing box followed the motion; the lattice box did not.
+        let wb = inv.world_bounds();
+        for (d, sh) in shift.iter().enumerate() {
+            assert!((wb.min[d] - (bounds.min[d] + sh)).abs() < 1e-12);
+            assert!((wb.max[d] - (bounds.max[d] + sh)).abs() < 1e-12);
+        }
+        assert_eq!(inv.bounds().min, bounds.min);
+    }
+
+    #[test]
+    fn pose_advance_rejects_large_rotation_and_leaves_map_untouched() {
+        let b = cart_block(17, 0.25);
+        let mut inv = InverseMap::build(&b);
+        let big = RigidTransform::rotation_about(
+            inv.bounds().center(),
+            [0.0, 0.0, 1.0],
+            f64::to_radians(10.0),
+        );
+        assert!(!inv.advance(&big));
+        assert!(inv.pose_is_identity());
+        assert_eq!(inv.world_bounds().min, inv.bounds().min);
+    }
+
+    #[test]
+    fn pose_accumulates_small_rotations_until_growth_threshold() {
+        let b = cart_block(17, 0.25);
+        let mut inv = InverseMap::build(&b);
+        let step = RigidTransform::rotation_about(
+            inv.bounds().center(),
+            [0.0, 0.0, 1.0],
+            f64::to_radians(1.0),
+        );
+        let mut accepted = 0;
+        while inv.advance(&step) {
+            accepted += 1;
+            assert!(accepted < 90, "growth threshold never tripped");
+        }
+        // A cube trips the 5% diagonal-growth threshold near 5 degrees.
+        assert!((2..=8).contains(&accepted), "accepted {accepted} one-degree steps");
+        // After rejection the pose still holds the last accepted rotation.
+        assert!(!inv.pose_is_identity());
+    }
+
+    #[test]
+    fn posed_occupancy_matches_identity_path_and_tracks_motion() {
+        let b = annulus_block_from(65, 3, 2.5);
+        let mut inv = InverseMap::build(&b);
+        let occ = inv.occupancy();
+        let bounds = inv.bounds();
+        let id = RigidTransform::IDENTITY;
+        for (r, th_deg) in [(2.55, 13.0), (2.9, 117.0)] {
+            let th = -f64::to_radians(th_deg);
+            let p = [r * th.cos(), r * th.sin(), 0.0];
+            assert_eq!(
+                occupancy_admits_posed(&occ, &bounds, &id, p),
+                occupancy_admits(&occ, &bounds, p)
+            );
+        }
+        // Translate the annulus far from the origin: the hollow center
+        // moves with it, and the posed test must follow.
+        let shift = [100.0, 0.0, 0.0];
+        assert!(inv.advance(&RigidTransform::translation(shift)));
+        let inv_pose = *inv.inv_pose();
+        assert!(!occupancy_admits_posed(&occ, &bounds, &inv_pose, [100.0, 0.0, 0.0]));
+        let th = -f64::to_radians(13.0);
+        let p = [100.0 + 2.55 * th.cos(), 2.55 * th.sin(), 0.0];
+        assert!(occupancy_admits_posed(&occ, &bounds, &inv_pose, p));
     }
 
     #[test]

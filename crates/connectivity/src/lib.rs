@@ -19,6 +19,7 @@
 //!   routing, asynchronous request service, candidate forwarding, and the
 //!   "nth-level restart" donor cache).
 
+pub mod arena;
 pub mod donor;
 pub mod holes;
 pub mod interp;
@@ -26,11 +27,21 @@ pub mod inverse_map;
 pub mod protocol;
 pub mod serial;
 
+pub use arena::ConnArena;
 pub use donor::{walk_search, Donor, SearchCost, SearchOutcome};
-pub use holes::{cut_holes_and_find_fringe, cut_holes_and_find_fringe_with_map, Igbp};
-pub use interp::{interpolate, weights};
-pub use inverse_map::{occupancy_admits, BinClass, InverseMap, OCC_ALL, OCC_WORDS};
-pub use protocol::{
-    connect_distributed, connect_distributed_with_map, ConnStats, DonorCache, Topology,
+pub use holes::{
+    cut_holes_and_find_fringe, cut_holes_and_find_fringe_arena, cut_holes_and_find_fringe_with_map,
+    Igbp,
 };
-pub use serial::{connect_serial, connect_serial_with_maps, SerialCache, SerialConnStats};
+pub use interp::{interpolate, weights};
+pub use inverse_map::{
+    classify_solids_into, occupancy_admits, occupancy_admits_posed, BinClass, InverseMap,
+    FLOPS_PER_INCR_UPDATE, OCC_ALL, OCC_WORDS,
+};
+pub use protocol::{
+    connect_distributed, connect_distributed_arena, connect_distributed_with_map, ConnStats,
+    DonorCache, Topology,
+};
+pub use serial::{
+    connect_serial, connect_serial_arena, connect_serial_with_maps, SerialCache, SerialConnStats,
+};

@@ -22,15 +22,16 @@
 //! paper's asynchronous overlap is retained within a round — a rank services
 //! everything it received before waiting on its own replies.
 
+use crate::arena::ConnArena;
 use crate::donor::{center_start, walk_search, walk_search_relaxed, SearchCost, SearchOutcome};
 use crate::holes::Igbp;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
-use crate::inverse_map::{occupancy_admits, InverseMap, FLOPS_PER_QUERY, OCC_ALL, OCC_WORDS};
+use crate::inverse_map::{occupancy_admits_posed, InverseMap, OCC_ALL, OCC_WORDS};
 use overset_comm::metrics::names;
 use overset_comm::trace::ArgVal;
 use overset_comm::{Comm, Wire, WireError, WireReader, WorkClass};
 use overset_grid::index::{Ijk, IndexBox};
-use overset_grid::Aabb;
+use overset_grid::{Aabb, RigidTransform};
 use overset_solver::Block;
 use std::collections::HashMap;
 
@@ -125,7 +126,7 @@ impl Wire for ConnStats {
 }
 
 #[derive(Clone, Copy)]
-struct ReqPoint {
+pub(crate) struct ReqPoint {
     id: u32,
     xyz: [f64; 3],
     /// Warm-start hint: donor cell in global donor-grid indices.
@@ -178,7 +179,7 @@ impl Wire for ReqPoint {
 }
 
 #[derive(Clone, Copy)]
-enum Answer {
+pub(crate) enum Answer {
     Found { value: [f64; 5], cell_global: Ijk },
     Miss,
 }
@@ -206,17 +207,52 @@ impl Wire for Answer {
     }
 }
 
-/// Pending state of one unresolved IGBP during the round loop.
-struct Pending {
+/// One rank's entry in the routing broadcast, decoded: the world-frame box
+/// requests are routed by, the lattice box its occupancy bits were marked
+/// in, and the inverse pose mapping world points back into that lattice.
+/// For static ranks (and ranks without a map) the pose is the identity and
+/// `world == lat`, reproducing the legacy box+occupancy routing exactly.
+pub(crate) struct RankRoute {
+    world: Aabb,
+    lat: Aabb,
+    inv_pose: RigidTransform,
+    occ: [u64; OCC_WORDS],
+}
+
+impl RankRoute {
+    /// Could this rank's cells possibly contain `p`? Conservative: `false`
+    /// only when the routing box or the (pose-corrected) occupancy mask
+    /// proves no cell can hold the point.
+    #[inline]
+    fn admits(&self, p: [f64; 3]) -> bool {
+        self.world.contains(p) && occupancy_admits_posed(&self.occ, &self.lat, &self.inv_pose, p)
+    }
+}
+
+/// Wire size of one rank's routing broadcast entry: world box + lattice box
+/// (6 f64 each), flattened inverse pose (10 f64), occupancy words.
+const ROUTE_BYTES: usize = 48 + 48 + 80 + 8 * OCC_WORDS;
+
+/// One rank's routing broadcast: world-frame routing box, lattice box,
+/// flattened inverse pose, and the coarse occupancy mask.
+type RouteMsg = ([f64; 6], [f64; 6], [f64; 10], [u64; OCC_WORDS]);
+
+/// Pending state of one unresolved IGBP during the round loop. `Copy`, and
+/// candidate ranks live as a range into the arena's flat `cand_pool` — the
+/// per-IGBP candidate vector was the dominant per-step allocation.
+#[derive(Clone, Copy)]
+pub(crate) struct Pending {
     igbp: usize,
     /// Index into the search hierarchy of this rank's grid (usize::MAX when
     /// trying the cached donor first).
     level: usize,
-    /// Candidate ranks of the current hierarchy grid, in try order.
-    candidates: Vec<usize>,
-    /// Cursor into `candidates`: the next rank to try. Advancing the cursor
-    /// on a miss is O(1) where popping the vector front was O(n).
-    cand_idx: usize,
+    /// Start of this IGBP's candidate ranks in the arena `cand_pool`.
+    cand_start: u32,
+    /// Number of candidate ranks in the range.
+    cand_len: u32,
+    /// Cursor into the range: the next candidate to try. Advancing the
+    /// cursor on a miss is O(1).
+    cand_idx: u32,
     hint: Option<Ijk>,
     /// Second sweep through the hierarchy with relaxed donor acceptance.
     relaxed: bool,
@@ -225,7 +261,12 @@ struct Pending {
 impl Pending {
     /// No candidate rank left to try at the current hierarchy level.
     fn exhausted(&self) -> bool {
-        self.cand_idx >= self.candidates.len()
+        self.cand_idx >= self.cand_len
+    }
+
+    /// The candidate rank the cursor points at.
+    fn current(&self, cand_pool: &[usize]) -> usize {
+        cand_pool[(self.cand_start + self.cand_idx) as usize]
     }
 }
 
@@ -261,39 +302,88 @@ pub fn connect_distributed_with_map(
     comm: &mut Comm,
     inv: Option<&InverseMap>,
 ) -> ConnStats {
+    let mut arena = ConnArena::new();
+    connect_distributed_arena(block, igbps, topo, cache, comm, inv, &mut arena)
+}
+
+/// [`connect_distributed_with_map`] running on a caller-owned [`ConnArena`].
+/// The arena only changes *where* scratch collections get their memory —
+/// the protocol, its message traffic, and every flop charge are identical
+/// whether the arena is fresh or warm, so states and virtual times are
+/// bit-identical across the two; a persistent arena just drops the
+/// steady-state transient-allocation count to near zero.
+pub fn connect_distributed_arena(
+    block: &mut Block,
+    igbps: &[Igbp],
+    topo: &Topology,
+    cache: &mut DonorCache,
+    comm: &mut Comm,
+    inv: Option<&InverseMap>,
+    arena: &mut ConnArena,
+) -> ConnStats {
     let nranks = comm.size();
     let me = comm.rank();
     let my_grid = topo.grid_of_rank[me];
     let mut stats = ConnStats { igbps: igbps.len(), ..Default::default() };
     let t_conn = comm.now();
+    arena.begin_protocol(nranks);
+    let ConnArena {
+        pending,
+        next_pending,
+        cand_pool,
+        orphaned,
+        outgoing,
+        sent_to,
+        writes,
+        answers_by_id,
+        routes,
+        req_pool,
+        ans_pool,
+        counts_pool,
+        ..
+    } = arena;
 
-    // 1. Broadcast owned-region bounding boxes and occupancy masks. A rank
-    //    with a map broadcasts the map's bounds so every receiver bins
-    //    points into exactly the lattice the occupancy bits were marked on.
-    let my_bbox = inv.map_or_else(|| owned_bbox(block), |m| m.bounds());
-    let my_occ = inv.map_or(OCC_ALL, |m| m.occupancy());
-    let flat: [f64; 6] = [
-        my_bbox.min[0],
-        my_bbox.min[1],
-        my_bbox.min[2],
-        my_bbox.max[0],
-        my_bbox.max[1],
-        my_bbox.max[2],
+    // 1. Broadcast routing info. A rank with a map broadcasts its lattice
+    //    box (so every receiver bins points into exactly the lattice the
+    //    occupancy bits were marked on), the world-frame routing box, and
+    //    the inverse pose that maps world points back into the lattice;
+    //    while the pose is the identity — always, for static grids — the
+    //    two boxes coincide and routing is exactly the legacy behavior.
+    let (my_world, my_lat, my_pose, my_occ) = match inv {
+        Some(m) => (m.world_bounds(), m.bounds(), m.inv_pose().to_flat(), m.occupancy()),
+        None => {
+            let bb = owned_bbox(block);
+            (bb, bb, RigidTransform::IDENTITY.to_flat(), OCC_ALL)
+        }
+    };
+    let wflat: [f64; 6] = [
+        my_world.min[0],
+        my_world.min[1],
+        my_world.min[2],
+        my_world.max[0],
+        my_world.max[1],
+        my_world.max[2],
     ];
-    let gathered: Vec<([f64; 6], [u64; OCC_WORDS])> =
-        comm.allgather((flat, my_occ), 48 + 8 * OCC_WORDS);
-    let occs: Vec<[u64; OCC_WORDS]> = gathered.iter().map(|(_, o)| *o).collect();
-    let boxes: Vec<Aabb> =
-        gathered.iter().map(|(b, _)| Aabb::new([b[0], b[1], b[2]], [b[3], b[4], b[5]])).collect();
+    let lflat: [f64; 6] =
+        [my_lat.min[0], my_lat.min[1], my_lat.min[2], my_lat.max[0], my_lat.max[1], my_lat.max[2]];
+    let gathered: Vec<RouteMsg> = comm.allgather((wflat, lflat, my_pose, my_occ), ROUTE_BYTES);
+    routes.extend(gathered.iter().map(|(w, l, p, o)| RankRoute {
+        world: Aabb::new([w[0], w[1], w[2]], [w[3], w[4], w[5]]),
+        lat: Aabb::new([l[0], l[1], l[2]], [l[3], l[4], l[5]]),
+        inv_pose: RigidTransform::from_flat(*p),
+        occ: *o,
+    }));
 
     // 2. Seed pending requests: cached donors first, hierarchy otherwise.
-    let mut pending: Vec<Pending> = Vec::with_capacity(igbps.len());
     for (idx, ig) in igbps.iter().enumerate() {
         if let Some(&(rank, _grid, cell, relaxed)) = cache.map.get(&ig.node) {
+            let cand_start = cand_pool.len() as u32;
+            cand_pool.push(rank);
             pending.push(Pending {
                 igbp: idx,
                 level: usize::MAX,
-                candidates: vec![rank],
+                cand_start,
+                cand_len: 1,
                 cand_idx: 0,
                 hint: Some(cell),
                 relaxed,
@@ -302,26 +392,26 @@ pub fn connect_distributed_with_map(
             let mut p = Pending {
                 igbp: idx,
                 level: 0,
-                candidates: Vec::new(),
+                cand_start: 0,
+                cand_len: 0,
                 cand_idx: 0,
                 hint: None,
                 relaxed: false,
             };
             // Advance through the hierarchy until some grid's boxes contain
             // the point (the first listed grid need not).
-            refill_candidates(&mut p, ig, my_grid, topo, &boxes, &occs);
+            refill_candidates(&mut p, cand_pool, ig, my_grid, topo, routes);
             while p.exhausted() {
                 p.level += 1;
                 if p.level >= topo.search_order[my_grid].len() {
                     break;
                 }
-                refill_candidates(&mut p, ig, my_grid, topo, &boxes, &occs);
+                refill_candidates(&mut p, cand_pool, ig, my_grid, topo, routes);
             }
             pending.push(p);
         }
     }
     // Drop IGBPs with no candidates anywhere (instant orphans).
-    let mut orphaned: Vec<usize> = Vec::new();
     pending.retain(|p| {
         if p.exhausted() {
             orphaned.push(p.igbp);
@@ -337,7 +427,6 @@ pub fn connect_distributed_with_map(
     //    a request happens to arrive in (occupancy pruning shortens miss
     //    chains, which would otherwise shift arrival rounds between the
     //    map-on and map-off modes and perturb values at the last bit).
-    let mut writes: Vec<(overset_grid::Ijk, [f64; 5])> = Vec::new();
     let mut round = 0usize;
     loop {
         let active: usize = comm.allreduce_sum_usize(pending.len());
@@ -347,9 +436,8 @@ pub fn connect_distributed_with_map(
         stats.rounds = round + 1;
 
         // Build per-destination request lists.
-        let mut outgoing: Vec<Vec<ReqPoint>> = vec![Vec::new(); nranks];
-        for p in &mut pending {
-            let dst = p.candidates[p.cand_idx];
+        for p in pending.iter() {
+            let dst = p.current(cand_pool);
             let ig = &igbps[p.igbp];
             outgoing[dst].push(ReqPoint {
                 id: p.igbp as u32,
@@ -358,18 +446,31 @@ pub fn connect_distributed_with_map(
                 relaxed: p.relaxed,
             });
         }
-        let my_counts: Vec<u32> = outgoing.iter().map(|v| v.len() as u32).collect();
-        let all_counts: Vec<Vec<u32>> = comm.allgather(my_counts, 4 * nranks);
+        // The count vector is consumed by the collective, but the gathered
+        // result hands back `nranks` freshly decoded vectors — one is
+        // recycled through the pool for the next round, so steady-state
+        // rounds allocate no count storage.
+        let mut my_counts = counts_pool.take();
+        my_counts.extend(outgoing.iter().map(|v| v.len() as u32));
+        let mut all_counts: Vec<Vec<u32>> = comm.allgather(my_counts, 4 * nranks);
 
-        // Send requests.
+        // Send requests. Each request carries an empty reply buffer from
+        // the requester's answer pool, and the servicer sends both buffers
+        // back with the reply — every vector makes a full round trip home,
+        // so pool balance is independent of how asymmetric the request
+        // traffic is (a rank that only *asks* would otherwise bleed its
+        // buffers to the ranks that *serve*, reallocating every round).
         let tag_req = TAG_BASE + 2 * round as u64;
         let tag_rep = tag_req + 1;
-        let mut sent_to: Vec<usize> = Vec::new();
-        for (dst, pts) in outgoing.iter().enumerate() {
-            if pts.is_empty() {
+        sent_to.clear();
+        for (dst, out) in outgoing.iter_mut().enumerate() {
+            if out.is_empty() {
                 continue;
             }
-            comm.send(dst, tag_req, pts.clone(), pts.len() * REQ_POINT_BYTES);
+            let nbytes = out.len() * REQ_POINT_BYTES;
+            let pts = std::mem::replace(out, req_pool.take());
+            let reply_buf: Vec<(u32, Answer)> = ans_pool.take();
+            comm.send(dst, tag_req, (pts, reply_buf), nbytes);
             sent_to.push(dst);
         }
 
@@ -380,20 +481,21 @@ pub fn connect_distributed_with_map(
                 continue;
             }
             let t_serve = comm.now();
-            let pts: Vec<ReqPoint> = comm.recv(src, tag_req);
+            let (mut pts, mut answers): (Vec<ReqPoint>, Vec<(u32, Answer)>) =
+                comm.recv(src, tag_req);
             assert_eq!(pts.len(), n_in);
             stats.serviced += n_in;
             comm.metrics_mut().add(names::CONN_SERVICED, n_in as u64);
-            let mut answers: Vec<(u32, Answer)> = Vec::with_capacity(n_in);
             let mut service_flops = 0u64;
             let steps_before = stats.walk_steps;
             for pt in &pts {
                 let start = match (pt.hint, inv) {
                     // Warm restart hint beats everything.
                     (Some(gc), _) => clamp_to_local_cell(block, gc),
-                    // Cold search: O(1) inverse-map seed near the target.
+                    // Cold search: O(1) inverse-map seed near the target
+                    // (posed queries charge for the inverse transform).
                     (None, Some(m)) => {
-                        service_flops += FLOPS_PER_QUERY;
+                        service_flops += m.query_flops();
                         m.query(pt.xyz)
                     }
                     // Legacy cold start from the block center.
@@ -419,7 +521,10 @@ pub fn connect_distributed_with_map(
             }
             comm.compute(service_flops as f64, WorkClass::Search);
             comm.metrics_mut().add(names::CONN_WALK_STEPS, stats.walk_steps - steps_before);
-            comm.send(src, tag_rep, answers, n_in * ANSWER_BYTES);
+            // Hand both buffers back to their owner (the request vector
+            // emptied: its capacity, not its contents, travels home).
+            pts.clear();
+            comm.send(src, tag_rep, (pts, answers), n_in * ANSWER_BYTES);
             comm.trace_complete(
                 "conn",
                 "serve",
@@ -428,16 +533,23 @@ pub fn connect_distributed_with_map(
             );
         }
 
+        // Park one gathered count vector for the next round's fill.
+        if let Some(v) = all_counts.pop() {
+            counts_pool.put(v);
+        }
+
         // Collect replies and update pending set.
-        let mut answers_by_id: HashMap<u32, (usize, Answer)> = HashMap::new();
-        for &dst in &sent_to {
-            let answers: Vec<(u32, Answer)> = comm.recv(dst, tag_rep);
-            for (id, a) in answers {
+        answers_by_id.clear();
+        for &dst in sent_to.iter() {
+            let (reqv, answers): (Vec<ReqPoint>, Vec<(u32, Answer)>) = comm.recv(dst, tag_rep);
+            req_pool.put(reqv);
+            for &(id, a) in &answers {
                 answers_by_id.insert(id, (dst, a));
             }
+            ans_pool.put(answers);
         }
-        let mut still_pending = Vec::new();
-        for mut p in pending {
+        next_pending.clear();
+        for &(mut p) in pending.iter() {
             let (from, ans) = answers_by_id[&(p.igbp as u32)];
             match ans {
                 Answer::Found { value, cell_global } => {
@@ -470,28 +582,28 @@ pub fn connect_distributed_with_map(
                             p.relaxed = true;
                             p.level = 0;
                         }
-                        refill_candidates(&mut p, &ig, my_grid, topo, &boxes, &occs);
+                        refill_candidates(&mut p, cand_pool, &ig, my_grid, topo, routes);
                     }
                     if p.exhausted() {
                         orphaned.push(p.igbp);
                         cache.map.remove(&ig.node);
                     } else {
                         comm.metrics_mut().inc(names::CONN_FORWARDS);
-                        still_pending.push(p);
+                        next_pending.push(p);
                     }
                 }
             }
         }
-        pending = still_pending;
+        std::mem::swap(pending, next_pending);
         round += 1;
     }
 
-    for (node, value) in writes {
+    for &(node, value) in writes.iter() {
         block.q.set_node(node, value);
     }
 
     // Anything still pending at the round cap is an orphan this step.
-    for p in &pending {
+    for p in pending.iter() {
         orphaned.push(p.igbp);
     }
     stats.orphans = orphaned.len();
@@ -516,29 +628,32 @@ pub fn connect_distributed_with_map(
 /// searches rarely pay for a miss.
 fn refill_candidates(
     p: &mut Pending,
+    cand_pool: &mut Vec<usize>,
     ig: &Igbp,
     my_grid: usize,
     topo: &Topology,
-    boxes: &[Aabb],
-    occs: &[[u64; OCC_WORDS]],
+    routes: &[RankRoute],
 ) {
     let level = if p.level == usize::MAX { 0 } else { p.level };
     p.cand_idx = 0;
     let Some(&grid) = topo.search_order[my_grid].get(level) else {
-        p.candidates.clear();
+        p.cand_start = cand_pool.len() as u32;
+        p.cand_len = 0;
         return;
     };
     p.level = level;
-    let mut cands: Vec<usize> = topo.ranks_of_grid[grid]
-        .clone()
-        .filter(|&r| boxes[r].contains(ig.xyz) && occupancy_admits(&occs[r], &boxes[r], ig.xyz))
-        .collect();
+    let start = cand_pool.len();
+    cand_pool.extend(topo.ranks_of_grid[grid].clone().filter(|&r| routes[r].admits(ig.xyz)));
     let dist2 = |r: usize| -> f64 {
-        let c = boxes[r].center();
+        let c = routes[r].world.center();
         (c[0] - ig.xyz[0]).powi(2) + (c[1] - ig.xyz[1]).powi(2) + (c[2] - ig.xyz[2]).powi(2)
     };
-    cands.sort_by(|&a, &b| dist2(a).partial_cmp(&dist2(b)).unwrap().then(a.cmp(&b)));
-    p.candidates = cands;
+    // Strict total order (distance, then rank id), so the unstable sort is
+    // deterministic and allocation-free.
+    cand_pool[start..]
+        .sort_unstable_by(|&a, &b| dist2(a).partial_cmp(&dist2(b)).unwrap().then(a.cmp(&b)));
+    p.cand_start = start as u32;
+    p.cand_len = (cand_pool.len() - start) as u32;
 }
 
 /// Bounding box of a block's owned region *plus one halo layer of nodes*:

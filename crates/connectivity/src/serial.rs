@@ -3,10 +3,11 @@
 //! Y-MP) baseline of Table 6 and as the physics reference the distributed
 //! protocol is validated against.
 
+use crate::arena::ConnArena;
 use crate::donor::{center_start, walk_search, Donor, SearchCost, SearchOutcome};
-use crate::holes::{cut_holes_and_find_fringe_with_map, Igbp};
+use crate::holes::cut_holes_and_find_fringe_arena;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
-use crate::inverse_map::{InverseMap, FLOPS_PER_QUERY};
+use crate::inverse_map::InverseMap;
 use overset_grid::curvilinear::Solid;
 use overset_grid::index::Ijk;
 use overset_solver::Block;
@@ -74,6 +75,22 @@ pub fn connect_serial_with_maps(
     cache: &mut SerialCache,
     maps: Option<&[InverseMap]>,
 ) -> SerialConnStats {
+    let mut arena = ConnArena::new();
+    connect_serial_arena(blocks, search_order, solids, cache, maps, &mut arena)
+}
+
+/// [`connect_serial_with_maps`] running on a caller-owned [`ConnArena`]:
+/// per-grid IGBP lists, the deferred-write buffer and the grid bounding
+/// boxes keep their capacity across steps. Results are bit-identical with
+/// a fresh or warm arena — only host allocation counts differ.
+pub fn connect_serial_arena(
+    blocks: &mut [Block],
+    search_order: &[Vec<usize>],
+    solids: &[(usize, Solid)],
+    cache: &mut SerialCache,
+    maps: Option<&[InverseMap]>,
+    arena: &mut ConnArena,
+) -> SerialConnStats {
     let ngrids = blocks.len();
     assert_eq!(search_order.len(), ngrids);
     if let Some(ms) = maps {
@@ -81,32 +98,35 @@ pub fn connect_serial_with_maps(
     }
     let mut stats = SerialConnStats::default();
 
-    // Phase 1: hole cutting and fringe identification.
-    let mut igbps_per_grid: Vec<Vec<Igbp>> = Vec::with_capacity(ngrids);
+    // Phase 1: hole cutting and fringe identification. Last step's IGBP
+    // lists go back to the pool first, so the cutter reuses their capacity.
+    while let Some(v) = arena.igbps_per_grid.pop() {
+        arena.igbp_pool.put(v);
+    }
     for (g, b) in blocks.iter_mut().enumerate() {
-        let (igbps, flops) = cut_holes_and_find_fringe_with_map(b, solids, maps.map(|ms| &ms[g]));
+        let (igbps, flops) =
+            cut_holes_and_find_fringe_arena(b, solids, maps.map(|ms| &ms[g]), arena);
         stats.flops += flops;
-        igbps_per_grid.push(igbps);
+        arena.igbps_per_grid.push(igbps);
     }
 
     // Donor-grid bounding boxes for cheap rejection.
-    let bboxes: Vec<overset_grid::Aabb> = blocks
-        .iter()
-        .map(|b| {
-            let bb = overset_grid::Aabb::from_points(b.coords.as_slice().iter());
-            bb.inflate(1e-9 * bb.diagonal().max(1.0))
-        })
-        .collect();
+    arena.grid_bboxes.clear();
+    arena.grid_bboxes.extend(blocks.iter().map(|b| {
+        let bb = overset_grid::Aabb::from_points(b.coords.as_slice().iter());
+        bb.inflate(1e-9 * bb.diagonal().max(1.0))
+    }));
+    arena.serial_writes.clear();
+    let ConnArena { igbps_per_grid, serial_writes: writes, grid_bboxes: bboxes, .. } = &mut *arena;
 
     // Phase 2/3: search and interpolate. Interpolated values are buffered
     // and applied after every IGBP is resolved, so each donor reads the
     // pre-connectivity state — answers cannot depend on the order in which
     // fringe points happen to resolve.
-    let mut writes: Vec<(usize, overset_grid::Ijk, [f64; 5])> = Vec::new();
     for g in 0..ngrids {
-        let igbps = std::mem::take(&mut igbps_per_grid[g]);
+        let igbps = &igbps_per_grid[g];
         stats.igbps += igbps.len();
-        for ig in &igbps {
+        for ig in igbps.iter() {
             let key = (g, ig.node);
             let mut found: Option<(usize, Donor)> = None;
 
@@ -133,7 +153,7 @@ pub fn connect_serial_with_maps(
                     let mut cost = SearchCost::default();
                     let start = match maps {
                         Some(ms) => {
-                            stats.flops += FLOPS_PER_QUERY;
+                            stats.flops += ms[dg].query_flops();
                             ms[dg].query(ig.xyz)
                         }
                         None => center_start(&blocks[dg]),
@@ -168,7 +188,7 @@ pub fn connect_serial_with_maps(
             }
         }
     }
-    for (g, node, value) in writes {
+    for &(g, node, value) in writes.iter() {
         blocks[g].q.set_node(node, value);
     }
     stats

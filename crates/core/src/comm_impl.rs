@@ -2,7 +2,7 @@
 //! halo exchange (interface faces and periodic wraps) and pipelined
 //! line-solve carries, over the virtual-time rank runtime.
 
-use overset_comm::{Comm, WorkClass};
+use overset_comm::{Comm, VecPool, WorkClass};
 use overset_grid::index::{Ijk, IndexBox};
 use overset_solver::adi::implicit_neighbor;
 use overset_solver::{Block, SolverComm, HALO};
@@ -11,9 +11,13 @@ const TAG_HALO: u64 = 100; // + sender's face (0..6)
 const TAG_WRAP: u64 = 110; // + sender's wrap face (0..2)
 const TAG_LINE: u64 = 200; // + dir*2 + (0 = forward, 1 = backward)
 
-/// Solver communication over the rank runtime.
+/// Solver communication over the rank runtime. The halo pool recycles
+/// received exchange buffers into the next pack, so steady-state halo
+/// exchanges perform no transient allocations (sends and receives are
+/// symmetric across a face link, keeping the pool balanced).
 pub struct MpSolverComm<'a> {
     pub comm: &'a mut Comm,
+    pub halo_pool: &'a mut VecPool<f64>,
 }
 
 /// Is this face of the block a periodic wrap link (as opposed to an
@@ -78,11 +82,13 @@ impl SolverComm for MpSolverComm<'_> {
         for face in 0..6 {
             let Some(nb) = block.neighbor[face] else { continue };
             if is_wrap_face(block, face) {
-                let data = block.pack_box(wrap_pack_box(block, face));
+                let mut data = self.halo_pool.take();
+                block.pack_box_into(wrap_pack_box(block, face), &mut data);
                 let bytes = data.len() * 8;
                 self.comm.send(nb, TAG_WRAP + face as u64, data, bytes);
             } else {
-                let data = block.pack_face(face, HALO);
+                let mut data = self.halo_pool.take();
+                block.pack_face_into(face, HALO, &mut data);
                 let bytes = data.len() * 8;
                 self.comm.send(nb, TAG_HALO + face as u64, data, bytes);
             }
@@ -95,10 +101,12 @@ impl SolverComm for MpSolverComm<'_> {
                 let their_face = face ^ 1;
                 let data: Vec<f64> = self.comm.recv(nb, TAG_WRAP + their_face as u64);
                 block.unpack_box(wrap_unpack_box(block, face), &data);
+                self.halo_pool.put(data);
             } else {
                 let their_face = face ^ 1;
                 let data: Vec<f64> = self.comm.recv(nb, TAG_HALO + their_face as u64);
                 block.unpack_face(face, HALO, &data);
+                self.halo_pool.put(data);
             }
         }
         self.comm.trace_complete("solver", "exchange_halo", t0, &[]);

@@ -13,12 +13,13 @@ use overset_comm::metrics::names;
 use overset_comm::trace::{ArgVal, RankTrace, TraceConfig};
 use overset_comm::{
     AllocRecord, AllocTotals, Comm, MachineModel, MetricsRegistry, OversetError, PerfSummary,
-    Phase, RankStats, StepRecord, TransportConfig, Universe, Wire, WireError, WireReader,
+    Phase, RankStats, StepRecord, TransportConfig, Universe, VecPool, Wire, WireError, WireReader,
     WorkClass, NUM_PHASES,
 };
 use overset_connectivity::{
-    connect_distributed_with_map, connect_serial_with_maps, cut_holes_and_find_fringe,
-    cut_holes_and_find_fringe_with_map, DonorCache, InverseMap, SerialCache,
+    connect_distributed_arena, connect_serial_arena, cut_holes_and_find_fringe,
+    cut_holes_and_find_fringe_arena, ConnArena, DonorCache, InverseMap, SerialCache,
+    FLOPS_PER_INCR_UPDATE,
 };
 use overset_grid::curvilinear::{CurvilinearGrid, Solid};
 use overset_grid::transform::RigidTransform;
@@ -74,6 +75,19 @@ pub struct CaseConfig {
     /// way; disabling (the ablation) only changes where the virtual time
     /// goes. Maps are rebuilt per motion event, only for grids that moved.
     pub use_inverse_map: bool,
+    /// Keep one [`ConnArena`] per rank for the whole run so steady-state
+    /// connectivity steps reuse buffer capacity instead of reallocating.
+    /// Disabling (the ablation) resets the arena every step — the *same*
+    /// code path runs, so states, walk outcomes and virtual times are
+    /// bit-identical; only host-side allocation counts differ.
+    pub use_arena: bool,
+    /// Advance an existing inverse map under a small rigid motion (pose
+    /// composition) instead of rebuilding it from scratch. Falls back to a
+    /// full rebuild when the accumulated pose would inflate the map's
+    /// world-space routing box past its threshold. Connectivity results are
+    /// bit-identical either way; virtual time honestly reflects the cheaper
+    /// incremental update (and the costlier posed queries).
+    pub use_incremental_invmap: bool,
     /// Event tracing (virtual-time spans collected into
     /// [`RunResult::trace`]). Disabled by default; zero-cost when off.
     pub trace: TraceConfig,
@@ -123,6 +137,8 @@ impl CaseConfig {
                 collect_state: false,
                 use_restart: true,
                 use_inverse_map: true,
+                use_arena: true,
+                use_incremental_invmap: true,
                 trace: TraceConfig::disabled(),
                 max_threads: None,
                 transport: TransportConfig::InProcess,
@@ -167,6 +183,16 @@ impl CaseConfigBuilder {
 
     pub fn use_inverse_map(mut self, on: bool) -> Self {
         self.cfg.use_inverse_map = on;
+        self
+    }
+
+    pub fn use_arena(mut self, on: bool) -> Self {
+        self.cfg.use_arena = on;
+        self
+    }
+
+    pub fn use_incremental_invmap(mut self, on: bool) -> Self {
+        self.cfg.use_incremental_invmap = on;
         self
     }
 
@@ -494,6 +520,16 @@ fn run_rank(
     // block is rebuilt by a repartition.
     let mut inv: Option<InverseMap> = None;
     let mut inv_dirty = true;
+    // Rigid motion applied to this rank's grid since the inverse map was
+    // last brought up to date — the candidate for an incremental `advance`.
+    let mut pending_motion: Option<RigidTransform> = None;
+    // Step-scoped connectivity scratch. With `use_arena` the buffers keep
+    // their capacity across steps; the ablation replaces the arena each
+    // step (same code path, cold buffers), so only allocation counts
+    // change — never results or virtual times.
+    let mut arena = ConnArena::new();
+    // Recycled halo-exchange buffers, same lifecycle as the arena.
+    let mut halo_pool: VecPool<f64> = VecPool::new();
 
     let mut last_step_transform: Vec<Option<RigidTransform>> = vec![None; ngrids];
     let mut phase_elapsed = [0.0f64; NUM_PHASES];
@@ -513,7 +549,7 @@ fn run_rank(
             let mut ph = comm.phase(Phase::Flow);
             let t0 = ph.now();
             {
-                let mut mp = MpSolverComm { comm: &mut ph };
+                let mut mp = MpSolverComm { comm: &mut ph, halo_pool: &mut halo_pool };
                 mp.exchange_halo(&mut block);
                 if block.turbulent && block.viscous {
                     if let Some(w) = &wall {
@@ -612,7 +648,23 @@ fn run_rank(
                 }
                 if body.grids.contains(&block.grid_id) {
                     block.apply_motion(&t, fc.dt);
-                    inv_dirty = true;
+                    // Identity / below-epsilon motion must not mark the grid
+                    // "moved": a pointless full inverse-map rebuild would
+                    // follow. `apply_motion` still ran above — it refreshes
+                    // the (zero) grid velocity — only the dirty-marking is
+                    // skipped. Scale comes from the map's lattice box; with
+                    // no map yet, only an exact identity is skippable.
+                    let negligible = match &inv {
+                        Some(m) => t.is_negligible_for(&m.bounds()),
+                        None => t.is_identity(),
+                    };
+                    if !negligible {
+                        inv_dirty = true;
+                        pending_motion = Some(match &pending_motion {
+                            Some(prev) => prev.then(&t),
+                            None => t,
+                        });
+                    }
                     if let Some(w) = &mut wall {
                         for p in &mut w.wall_xyz {
                             *p = t.apply(*p);
@@ -635,36 +687,60 @@ fn run_rank(
         {
             let mut ph = comm.phase(Phase::Connectivity);
             let t0 = ph.now();
+            if !cfg.use_arena {
+                // Ablation: cold buffers every step, identical code path.
+                arena = ConnArena::new();
+                halo_pool = VecPool::new();
+            }
             {
-                let mut mp = MpSolverComm { comm: &mut ph };
+                let mut mp = MpSolverComm { comm: &mut ph, halo_pool: &mut halo_pool };
                 mp.exchange_halo(&mut block);
             }
             if cfg.use_inverse_map {
                 if inv_dirty {
-                    let m = InverseMap::build(&block);
-                    ph.compute(m.build_flops() as f64, WorkClass::Search);
-                    inv = Some(m);
+                    // Prefer the incremental path: compose the step's rigid
+                    // motion into the existing map's pose instead of
+                    // rebuilding the lattice. `advance` refuses (and leaves
+                    // the map untouched) when the accumulated pose would
+                    // inflate the world routing box past its threshold.
+                    let advanced = cfg.use_incremental_invmap
+                        && match (inv.as_mut(), pending_motion.as_ref()) {
+                            (Some(m), Some(t)) => m.advance(t),
+                            _ => false,
+                        };
+                    if advanced {
+                        ph.compute(FLOPS_PER_INCR_UPDATE as f64, WorkClass::Search);
+                        ph.metrics_mut().inc(names::CONN_INVMAP_INCR);
+                    } else {
+                        let m = InverseMap::build(&block);
+                        ph.compute(m.build_flops() as f64, WorkClass::Search);
+                        ph.metrics_mut().inc(names::CONN_INVMAP_BUILDS);
+                        inv = Some(m);
+                    }
                     inv_dirty = false;
+                    pending_motion = None;
                 }
             } else {
                 inv = None;
             }
             let (igbps, hole_flops) =
-                cut_holes_and_find_fringe_with_map(&mut block, &solids, inv.as_ref());
+                cut_holes_and_find_fringe_arena(&mut block, &solids, inv.as_ref(), &mut arena);
             ph.compute(hole_flops as f64, WorkClass::Search);
             if !cfg.use_restart {
                 cache.clear();
             }
-            let stats = connect_distributed_with_map(
+            let stats = connect_distributed_arena(
                 &mut block,
                 &igbps,
                 &topo,
                 &mut cache,
                 &mut ph,
                 inv.as_ref(),
+                &mut arena,
             );
             last_conn = stats;
             igbps_last = igbps.len();
+            arena.recycle_igbps(igbps);
             svc.note_step();
             if cfg.inject_alloc > 0 {
                 // Synthetic host-cost regression for gate tests: one extra
@@ -725,9 +801,11 @@ fn run_rank(
                 });
                 ph.set_working_set(block.working_set_bytes());
                 // The rebuilt block covers a different region: the inverse
-                // map is stale until the next connectivity phase.
+                // map is stale until the next connectivity phase, and any
+                // pending rigid motion refers to the old map's lattice.
                 inv = None;
                 inv_dirty = true;
+                pending_motion = None;
                 // Restore blanking on the new block immediately: the next
                 // flow step must not treat redistributed hole values as
                 // live field points.
@@ -827,6 +905,11 @@ pub fn run_case_serial(
         // Per-grid inverse maps, rebuilt only for grids whose pose changed.
         let mut maps: Vec<InverseMap> = Vec::new();
         let mut moved: Vec<bool> = vec![true; ngrids];
+        // Rigid motion accumulated per grid since its map was last brought
+        // up to date (the incremental `advance` candidate).
+        let mut pending_t: Vec<Option<RigidTransform>> = vec![None; ngrids];
+        // Connectivity scratch, persistent across steps under `use_arena`.
+        let mut arena = ConnArena::new();
         let mut phase_elapsed = [0.0f64; NUM_PHASES];
         let mut igbps_last = 0usize;
         let mut orphans_last = 0usize;
@@ -884,7 +967,20 @@ pub fn run_case_serial(
                             }
                         }
                         blocks[g].apply_motion(&t, fc.dt);
-                        moved[g] = true;
+                        // Identity / below-epsilon motion: don't mark the
+                        // grid moved (see the parallel driver's rationale).
+                        let negligible = if maps.len() == ngrids {
+                            t.is_negligible_for(&maps[g].bounds())
+                        } else {
+                            t.is_identity()
+                        };
+                        if !negligible {
+                            moved[g] = true;
+                            pending_t[g] = Some(match &pending_t[g] {
+                                Some(prev) => prev.then(&t),
+                                None => t,
+                            });
+                        }
                         if let Some(w) = &mut walls[g] {
                             for p in &mut w.wall_xyz {
                                 *p = t.apply(*p);
@@ -901,36 +997,60 @@ pub fn run_case_serial(
             {
                 let mut ph = comm.phase(Phase::Connectivity);
                 let t0 = ph.now();
+                if !cfg.use_arena {
+                    // Ablation: cold buffers every step, same code path.
+                    arena = ConnArena::new();
+                }
                 let stats = if cfg.use_inverse_map {
                     let mut build_flops = 0u64;
                     if maps.len() != ngrids {
                         maps = blocks.iter().map(InverseMap::build).collect();
                         build_flops = maps.iter().map(|m| m.build_flops()).sum();
+                        ph.metrics_mut().add(names::CONN_INVMAP_BUILDS, ngrids as u64);
                         moved.iter_mut().for_each(|f| *f = false);
+                        pending_t.iter_mut().for_each(|p| *p = None);
                     } else {
-                        for (g, f) in moved.iter_mut().enumerate() {
-                            if *f {
+                        for g in 0..ngrids {
+                            if !moved[g] {
+                                continue;
+                            }
+                            // Incremental pose advance when enabled and the
+                            // accumulated motion is small enough; full
+                            // rebuild otherwise.
+                            let advanced = cfg.use_incremental_invmap
+                                && match pending_t[g].as_ref() {
+                                    Some(t) => maps[g].advance(t),
+                                    None => false,
+                                };
+                            if advanced {
+                                build_flops += FLOPS_PER_INCR_UPDATE;
+                                ph.metrics_mut().inc(names::CONN_INVMAP_INCR);
+                            } else {
                                 maps[g] = InverseMap::build(&blocks[g]);
                                 build_flops += maps[g].build_flops();
-                                *f = false;
+                                ph.metrics_mut().inc(names::CONN_INVMAP_BUILDS);
                             }
+                            moved[g] = false;
+                            pending_t[g] = None;
                         }
                     }
                     ph.compute(build_flops as f64, WorkClass::Search);
-                    connect_serial_with_maps(
+                    connect_serial_arena(
                         &mut blocks,
                         &cfg.search_order,
                         &solids,
                         &mut cache,
                         Some(&maps),
+                        &mut arena,
                     )
                 } else {
-                    connect_serial_with_maps(
+                    connect_serial_arena(
                         &mut blocks,
                         &cfg.search_order,
                         &solids,
                         &mut cache,
                         None,
+                        &mut arena,
                     )
                 };
                 ph.compute(stats.flops as f64, WorkClass::Search);

@@ -132,6 +132,62 @@ impl RigidTransform {
         self == &Self::IDENTITY
     }
 
+    /// Flatten to 10 floats (quat w/x/y/z, pivot, translation) for wire
+    /// transport. Exact: `from_flat(t.to_flat())` is bit-identical to `t`.
+    pub fn to_flat(&self) -> [f64; 10] {
+        [
+            self.rotation.w,
+            self.rotation.x,
+            self.rotation.y,
+            self.rotation.z,
+            self.pivot[0],
+            self.pivot[1],
+            self.pivot[2],
+            self.translation[0],
+            self.translation[1],
+            self.translation[2],
+        ]
+    }
+
+    /// Inverse of [`RigidTransform::to_flat`].
+    pub fn from_flat(f: [f64; 10]) -> RigidTransform {
+        RigidTransform {
+            rotation: Quat { w: f[0], x: f[1], y: f[2], z: f[3] },
+            pivot: [f[4], f[5], f[6]],
+            translation: [f[7], f[8], f[9]],
+        }
+    }
+
+    /// Largest displacement this transform produces over the corners of
+    /// `bb`. Rigid maps are affine, so the maximum over a box is attained
+    /// at a corner; this bounds the motion of every point inside.
+    pub fn max_corner_displacement(&self, bb: &crate::bbox::Aabb) -> f64 {
+        let mut worst: f64 = 0.0;
+        for ci in 0..8 {
+            let p = [
+                if ci & 1 == 0 { bb.min[0] } else { bb.max[0] },
+                if ci & 2 == 0 { bb.min[1] } else { bb.max[1] },
+                if ci & 4 == 0 { bb.min[2] } else { bb.max[2] },
+            ];
+            let q = self.apply(p);
+            let d2: f64 = (0..3).map(|d| (q[d] - p[d]).powi(2)).sum();
+            worst = worst.max(d2.sqrt());
+        }
+        worst
+    }
+
+    /// True when applying this transform to any point of `bb` moves it by
+    /// at most a relative epsilon of the box diagonal — i.e. the motion is
+    /// indistinguishable from no motion for connectivity purposes. Exact
+    /// identities short-circuit without touching the corners.
+    pub fn is_negligible_for(&self, bb: &crate::bbox::Aabb) -> bool {
+        if self.is_identity() {
+            return true;
+        }
+        let scale = bb.diagonal().max(1.0);
+        self.max_corner_displacement(bb) <= 1e-12 * scale
+    }
+
     /// The inverse transform: `self.inverse().apply(self.apply(x)) == x`.
     pub fn inverse(&self) -> RigidTransform {
         let rinv = self.rotation.conjugate();
@@ -266,6 +322,21 @@ mod tests {
                 assert!((x[d] - y[d]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn negligible_motion_detection() {
+        let bb = crate::bbox::Aabb { min: [0.0; 3], max: [1.0, 2.0, 3.0] };
+        assert!(RigidTransform::IDENTITY.is_negligible_for(&bb));
+        // A zero translation is the identity bit-for-bit.
+        assert!(RigidTransform::translation([0.0; 3]).is_negligible_for(&bb));
+        // Sub-epsilon translation: negligible but not the exact identity.
+        let tiny = RigidTransform::translation([1e-15, 0.0, 0.0]);
+        assert!(!tiny.is_identity() && tiny.is_negligible_for(&bb));
+        // Real motion is not negligible.
+        assert!(!RigidTransform::translation([1e-3, 0.0, 0.0]).is_negligible_for(&bb));
+        let rot = RigidTransform::rotation_about([0.5, 1.0, 1.5], [0.0, 0.0, 1.0], 0.01);
+        assert!(!rot.is_negligible_for(&bb));
     }
 
     #[test]

@@ -305,12 +305,20 @@ impl Block {
     /// Pack `width` owned layers adjacent to `face` (for halo exchange),
     /// states only, in deterministic layout order.
     pub fn pack_face(&self, face: usize, width: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.pack_face_into(face, width, &mut out);
+        out
+    }
+
+    /// [`Self::pack_face`] into a caller-owned (recycled) buffer; the buffer
+    /// is cleared first, so steady-state exchanges allocate nothing.
+    pub fn pack_face_into(&self, face: usize, width: usize, out: &mut Vec<f64>) {
         let b = self.layer_box(face, width, false);
-        let mut out = Vec::with_capacity(b.count() * NVAR);
+        out.clear();
+        out.reserve(b.count() * NVAR);
         for p in b.iter() {
             out.extend_from_slice(self.q.node(p));
         }
-        out
     }
 
     /// Unpack halo layers beyond `face` from a neighbor's packed data.
@@ -325,11 +333,18 @@ impl Block {
 
     /// Pack the states of an arbitrary local box (layout order).
     pub fn pack_box(&self, b: IndexBox) -> Vec<f64> {
-        let mut out = Vec::with_capacity(b.count() * NVAR);
+        let mut out = Vec::new();
+        self.pack_box_into(b, &mut out);
+        out
+    }
+
+    /// [`Self::pack_box`] into a caller-owned (recycled) buffer.
+    pub fn pack_box_into(&self, b: IndexBox, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(b.count() * NVAR);
         for p in b.iter() {
             out.extend_from_slice(self.q.node(p));
         }
-        out
     }
 
     /// Unpack states into an arbitrary local box (layout order).

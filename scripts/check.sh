@@ -33,6 +33,18 @@ if grep -q "DIVERGED" <<< "$ABLATE_OUT" || ! grep -q "bit-equal" <<< "$ABLATE_OU
     exit 1
 fi
 
+echo "== arena ablation smoke test =="
+ARENA_OUT="$(./target/release/repro ablate-arena --quick)"
+if grep -q "DIVERGED" <<< "$ARENA_OUT" || ! grep -q "bit-equal" <<< "$ARENA_OUT"; then
+    echo "ablate-arena: answers diverged between arena on/off" >&2
+    exit 1
+fi
+if ! grep -q "ALLOC-GATE: PASS" <<< "$ARENA_OUT"; then
+    echo "ablate-arena: allocation-reduction gate failed" >&2
+    grep "ALLOC-GATE" <<< "$ARENA_OUT" >&2 || true
+    exit 1
+fi
+
 echo "== analyzer smoke test =="
 ./target/release/repro analyze table1 --quick > /dev/null
 
