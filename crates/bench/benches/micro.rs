@@ -11,9 +11,11 @@ use overset_connectivity::{
 use overset_grid::curvilinear::Solid;
 use overset_grid::gen::airfoil::{airfoil_system, near_grid};
 use overset_grid::Dims;
-use overset_solver::adi::implicit_sweeps;
+use overset_solver::adi::{implicit_sweeps, SweepScratch};
+use overset_solver::kernels::solve_lanes;
 use overset_solver::rhs::compute_residual;
-use overset_solver::{Block, FlowConditions, Scratch, SerialComm};
+use overset_solver::tridiag::{solve_with, TriScratch};
+use overset_solver::{select_isa, Block, FlowConditions, Isa, Scratch, SerialComm, W};
 
 fn fc() -> FlowConditions {
     let mut fc = FlowConditions::new(0.8, 0.0, 1.0e6);
@@ -39,10 +41,128 @@ fn solver_kernels(c: &mut Criterion) {
                 }
                 dq
             },
-            |mut dq| implicit_sweeps(&block, &fc(), &mut dq, &mut SerialComm),
+            |mut dq| implicit_sweeps(&block, &fc(), &mut dq, &mut SerialComm, &mut scratch.sweep),
             BatchSize::LargeInput,
         )
     });
+
+    // The same sweeps through the scalar lane fallback (`--no-simd` path):
+    // the pair quantifies the batched-kernel host speedup without cross-build
+    // noise.
+    let mut scalar_sweep = SweepScratch::new(Isa::Scalar);
+    c.bench_function("adi/implicit_sweeps_5k_nodes_scalar", |b| {
+        b.iter_batched(
+            || {
+                let mut dq = overset_grid::field::StateField::new(block.local_dims);
+                for (i, v) in dq.as_mut_slice().iter_mut().enumerate() {
+                    *v = ((i * 31) % 17) as f64 * 1e-6;
+                }
+                dq
+            },
+            |mut dq| implicit_sweeps(&block, &fc(), &mut dq, &mut SerialComm, &mut scalar_sweep),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Scalar Thomas (one line at a time) vs the lane-batched kernel solving
+/// [`W`] lines per call, at short and long line lengths.
+fn tridiag_kernels(c: &mut Criterion) {
+    let isa = select_isa(true);
+    for n in [32usize, 128] {
+        // W independent diagonally dominant systems.
+        let a: Vec<f64> = (0..n * W).map(|i| -0.4 - 0.01 * (i / W) as f64).collect();
+        let bd: Vec<f64> = (0..n * W).map(|i| 2.0 + 0.05 * (i / W) as f64).collect();
+        let cc: Vec<f64> = (0..n * W).map(|i| -0.3 - 0.02 * (i / W) as f64).collect();
+        let d0: Vec<f64> = (0..n * W).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+
+        // De-interleave for the scalar reference.
+        let lane = |v: &[f64], l: usize| -> Vec<f64> { (0..n).map(|i| v[i * W + l]).collect() };
+        let las: Vec<Vec<f64>> = (0..W).map(|l| lane(&a, l)).collect();
+        let lbs: Vec<Vec<f64>> = (0..W).map(|l| lane(&bd, l)).collect();
+        let lcs: Vec<Vec<f64>> = (0..W).map(|l| lane(&cc, l)).collect();
+        let lds: Vec<Vec<f64>> = (0..W).map(|l| lane(&d0, l)).collect();
+
+        let mut ws = TriScratch::default();
+        c.bench_function(&format!("tridiag/thomas_scalar_4lines_n{n}"), |b| {
+            b.iter_batched(
+                || lds.clone(),
+                |mut ds| {
+                    for l in 0..W {
+                        solve_with(&las[l], &lbs[l], &lcs[l], &mut ds[l], &mut ws);
+                    }
+                    ds
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        let mut cp = vec![0.0; n * W];
+        c.bench_function(&format!("tridiag/thomas_batched_4lines_n{n}"), |b| {
+            b.iter_batched(
+                || d0.clone(),
+                |mut d| {
+                    solve_lanes(isa, &a, &bd, &cc, &mut d, &mut cp);
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+/// The batched trilinear Newton inversion ([`W`] candidate cells per call)
+/// through the AVX2 lanes vs the portable scalar lanes (the `--no-simd`
+/// path) — the donor-search half of the SIMD ablation pair.
+fn trilinear_kernels(c: &mut Criterion) {
+    use overset_connectivity::kernels::{invert_cells_lanes, CORNERS};
+    let g = near_grid(133, 40, 1.1);
+    let block = Block::from_grid(0, &g, g.dims().full_box(), [None; 6], &fc());
+    let ow = block.owned_local();
+    let kmax = if block.two_d { 1 } else { 2 };
+    // W interior cells, one per lane; targets just off each cell's centroid
+    // so Newton runs several iterations.
+    let mut corners = [0.0f64; CORNERS * 3 * W];
+    let mut targets = [0.0f64; 3 * W];
+    for l in 0..W {
+        let cell = overset_grid::Ijk::new(ow.lo.i + 30 + 7 * l, ow.lo.j + 10 + 2 * l, ow.lo.k);
+        let mut centroid = [0.0f64; 3];
+        for dk in 0..kmax {
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let n = overset_grid::Ijk::new(cell.i + di, cell.j + dj, cell.k + dk);
+                    let x = block.coords[n];
+                    let cidx = di + 2 * dj + 4 * dk;
+                    for m in 0..3 {
+                        corners[(cidx * 3 + m) * W + l] = x[m];
+                        centroid[m] += x[m] / (4 * kmax) as f64;
+                    }
+                }
+            }
+        }
+        for m in 0..3 {
+            targets[m * W + l] = centroid[m] + 1e-3 * (l as f64 + 1.0);
+        }
+    }
+    for (name, isa) in [("batched", select_isa(true)), ("scalar", Isa::Scalar)] {
+        c.bench_function(&format!("donor/trilinear_invert_4cells_{name}"), |b| {
+            b.iter(|| {
+                let mut t_out = [0.0f64; 3 * W];
+                let mut iters = [0u64; W];
+                let mut ok = [false; W];
+                invert_cells_lanes(
+                    isa,
+                    block.two_d,
+                    &corners,
+                    &targets,
+                    &mut t_out,
+                    &mut iters,
+                    &mut ok,
+                );
+                (t_out, iters, ok)
+            })
+        });
+    }
 }
 
 fn connectivity_kernels(c: &mut Criterion) {
@@ -147,6 +267,8 @@ fn balance_kernels(c: &mut Criterion) {
 criterion_group!(
     benches,
     solver_kernels,
+    tridiag_kernels,
+    trilinear_kernels,
     connectivity_kernels,
     inverse_map_kernels,
     balance_kernels

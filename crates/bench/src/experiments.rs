@@ -43,6 +43,12 @@ pub struct Effort {
     /// of triggering a full lattice rebuild. Answers are identical; the
     /// virtual time honestly reflects the cheaper update.
     pub use_incremental_invmap: bool,
+    /// Lane-batched SIMD compute kernels (`--no-simd` clears it): the line
+    /// sweeps, donor Newton walks and hole containment tests run through the
+    /// host's AVX2 units when available. The *same* batched code runs either
+    /// way — states, walk outcomes and virtual times are bit-identical; only
+    /// host wall-clock changes.
+    pub use_simd: bool,
     /// Process-transport group count (`--transport proc[:N]`). `None`
     /// (default, `--transport inproc`): ranks as threads in this process.
     /// `Some(n)`: ranks split across `n` forked rank-group processes.
@@ -69,6 +75,7 @@ impl Effort {
             use_inverse_map: true,
             use_arena: true,
             use_incremental_invmap: true,
+            use_simd: true,
             proc_groups: None,
             inject_alloc: 0,
         }
@@ -85,6 +92,7 @@ impl Effort {
             use_inverse_map: true,
             use_arena: true,
             use_incremental_invmap: true,
+            use_simd: true,
             proc_groups: None,
             inject_alloc: 0,
         }
@@ -98,6 +106,7 @@ pub(crate) fn tuned(mut cfg: CaseConfig, e: Effort) -> CaseConfig {
     cfg.use_inverse_map = e.use_inverse_map;
     cfg.use_arena = e.use_arena;
     cfg.use_incremental_invmap = e.use_incremental_invmap;
+    cfg.use_simd = e.use_simd;
     cfg.transport = match e.proc_groups {
         None => TransportConfig::InProcess,
         Some(n) => TransportConfig::process(n),
@@ -533,6 +542,14 @@ pub fn ablate_arena(e: Effort) {
             .map(|recs| recs.last().map_or(0, |a| a.allocs[Phase::Connectivity as usize]))
             .sum()
     };
+    // The solver (flow) phase is reported alongside: the scratch-threaded
+    // tridiagonal kernels keep its steady state allocation-free too.
+    let last_step_flow_allocs = |r: &RunResult| -> u64 {
+        r.alloc_records
+            .iter()
+            .map(|recs| recs.last().map_or(0, |a| a.allocs[Phase::Flow as usize]))
+            .sum()
+    };
     let mut gate_ratio = f64::INFINITY;
     for (name, nranks, mk, gated) in [
         ("airfoil", 12usize, airfoil_case(e.scale2d, e.steps2d), false),
@@ -550,6 +567,11 @@ pub fn ablate_arena(e: Effort) {
         println!("  {name} arena ON : {a_on:>7} connectivity allocs/step (last step, all ranks)");
         println!("  {name} arena OFF: {a_off:>7} connectivity allocs/step (last step, all ranks)");
         println!(
+            "  {name} solver phase: {} (ON) / {} (OFF) allocs/step (last step, all ranks)",
+            last_step_flow_allocs(&on),
+            last_step_flow_allocs(&off),
+        );
+        println!(
             "  {name} state+virtual-time {} | alloc reduction {ratio:.1}x",
             if bit_equal { "bit-equal" } else { "DIVERGED" },
         );
@@ -561,6 +583,84 @@ pub fn ablate_arena(e: Effort) {
         println!("  ALLOC-GATE: PASS ({gate_ratio:.1}x >= 10x, store case)");
     } else {
         println!("  ALLOC-GATE: FAIL (>=10x required on the store case, got {gate_ratio:.1}x)");
+    }
+}
+
+/// Ablation: the lane-batched SIMD compute kernels (`--no-simd` runs the
+/// same batched code through the portable scalar lanes). Three properties
+/// are checked:
+///
+/// 1. **Bit-equality** — states, donor-walk outcomes and virtual clocks
+///    must be identical SIMD on vs off (per-lane vertical IEEE arithmetic
+///    only; no horizontal ops, no FMA).
+/// 2. **Host speedup** — the solver (flow) phase's host wall-clock, medians
+///    over interleaved repeats in one process (so code/frequency/cache
+///    conditions are shared), gated at 1.5x on AVX2 hosts.
+/// 3. On hosts without AVX2 both paths select the scalar lanes, so the
+///    speedup gate is reported as dormant rather than failed.
+pub fn ablate_simd(e: Effort) {
+    use overset_comm::metrics::names;
+    use overset_solver::avx2_supported;
+    println!("\n== Ablation: lane-batched SIMD kernels (airfoil @ 12 / store @ 16, SP2) ==");
+    let ctr = |r: &RunResult, m: &str| r.metrics.counter(m);
+    for (name, nranks, mk) in [
+        ("airfoil", 12usize, airfoil_case(e.scale2d, e.steps2d)),
+        ("store  ", 16, store_case(e.scale3d, e.steps3d)),
+    ] {
+        let on = run_case(&tuned(mk.clone(), e), nranks, &sp2()).unwrap();
+        let mut cfg = tuned(mk, e);
+        cfg.use_simd = false;
+        let off = run_case(&cfg, nranks, &sp2()).unwrap();
+        let bit_equal = on.state_rms.to_bits() == off.state_rms.to_bits()
+            && on.wall_time.to_bits() == off.wall_time.to_bits()
+            && ctr(&on, names::CONN_WALK_STEPS) == ctr(&off, names::CONN_WALK_STEPS)
+            && ctr(&on, names::CONN_FORWARDS) == ctr(&off, names::CONN_FORWARDS);
+        println!(
+            "  {name} state+virtual-time+walks {} (walk steps {}, state rms {:.6e})",
+            if bit_equal { "bit-equal" } else { "DIVERGED" },
+            ctr(&on, names::CONN_WALK_STEPS),
+            on.state_rms,
+        );
+        if !bit_equal {
+            println!("  SIMD-GATE: FAIL (bit-equality violated on the {} case)", name.trim());
+            return;
+        }
+    }
+
+    // Host speedup of the solver phase: repeat the quick airfoil case with
+    // the ISA toggled between otherwise-identical runs in this one process,
+    // and compare per-phase host-clock medians (sum over ranks — on an
+    // oversubscribed host the cumulative rank-thread time is the stable
+    // signal; the max over ranks is scheduling noise).
+    let flow_host = |r: &RunResult| -> f64 {
+        r.host_phase_by_rank.iter().map(|t| t[Phase::Flow as usize]).sum()
+    };
+    let repeats = 5;
+    let mut on_ms = Vec::with_capacity(repeats);
+    let mut off_ms = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let r = run_case(&tuned(airfoil_case(e.scale2d, e.steps2d), e), 12, &sp2()).unwrap();
+        on_ms.push(flow_host(&r) * 1e3);
+        let mut cfg = tuned(airfoil_case(e.scale2d, e.steps2d), e);
+        cfg.use_simd = false;
+        let r = run_case(&cfg, 12, &sp2()).unwrap();
+        off_ms.push(flow_host(&r) * 1e3);
+    }
+    on_ms.sort_by(f64::total_cmp);
+    off_ms.sort_by(f64::total_cmp);
+    let med = |v: &[f64]| v[v.len() / 2];
+    let speedup = med(&off_ms) / med(&on_ms);
+    println!(
+        "  airfoil solver-phase host clock: SIMD ON {:.1} ms / OFF {:.1} ms (medians of {repeats} interleaved runs, all ranks)",
+        med(&on_ms),
+        med(&off_ms),
+    );
+    if !avx2_supported() {
+        println!("  SIMD-GATE: DORMANT (no AVX2 on this host; both paths ran the scalar lanes)");
+    } else if speedup >= 1.5 {
+        println!("  SIMD-GATE: PASS (solver-phase host speedup {speedup:.2}x >= 1.5x)");
+    } else {
+        println!("  SIMD-GATE: FAIL (solver-phase host speedup {speedup:.2}x < 1.5x required on AVX2 hosts)");
     }
 }
 

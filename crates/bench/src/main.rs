@@ -19,7 +19,7 @@
 //!
 //! where experiment is one of `table1 fig5 table2 table3 fig7 table4 fig10
 //! table5 fig11 table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo
-//! ablate-grouping ablate-cache ablate-invmap ablate-arena all`.
+//! ablate-grouping ablate-cache ablate-invmap ablate-arena ablate-simd all`.
 //!
 //! `--no-arena` replaces the per-rank connectivity arena with cold buffers
 //! every step (same code path; results and virtual times bit-identical,
@@ -132,6 +132,7 @@ struct Cli {
     no_inverse_map: bool,
     no_arena: bool,
     no_incremental_invmap: bool,
+    no_simd: bool,
     transport: Option<String>,
     host_profile: bool,
     inject_alloc: usize,
@@ -152,6 +153,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         no_inverse_map: false,
         no_arena: false,
         no_incremental_invmap: false,
+        no_simd: false,
         transport: None,
         host_profile: false,
         inject_alloc: 0,
@@ -164,6 +166,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-inverse-map" => cli.no_inverse_map = true,
             "--no-arena" => cli.no_arena = true,
             "--no-incremental-invmap" => cli.no_incremental_invmap = true,
+            "--no-simd" => cli.no_simd = true,
             "--metrics" => cli.show_metrics = true,
             "--host-profile" => cli.host_profile = true,
             "--inject-alloc" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
@@ -259,6 +262,7 @@ fn run_report_cmd(args: &[String]) -> i32 {
     effort.use_inverse_map = !cli.no_inverse_map;
     effort.use_arena = !cli.no_arena;
     effort.use_incremental_invmap = !cli.no_incremental_invmap;
+    effort.use_simd = !cli.no_simd;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let effort_name = if cli.quick { "quick" } else { "full" };
@@ -289,6 +293,7 @@ fn run_bench_host_cmd(args: &[String]) -> i32 {
     effort.use_inverse_map = !cli.no_inverse_map;
     effort.use_arena = !cli.no_arena;
     effort.use_incremental_invmap = !cli.no_incremental_invmap;
+    effort.use_simd = !cli.no_simd;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let effort_name = if cli.quick { "quick" } else { "full" };
@@ -333,6 +338,7 @@ fn main() {
     effort.use_inverse_map = !cli.no_inverse_map;
     effort.use_arena = !cli.no_arena;
     effort.use_incremental_invmap = !cli.no_incremental_invmap;
+    effort.use_simd = !cli.no_simd;
     effort.proc_groups = exit_usage(parse_transport_flag(&cli.transport));
     effort.inject_alloc = cli.inject_alloc;
     let which = cli.which.clone();
@@ -362,6 +368,7 @@ fn main() {
         "ablate-cache" => ablate_cache(effort),
         "ablate-invmap" => ablate_invmap(effort),
         "ablate-arena" => ablate_arena(effort),
+        "ablate-simd" => ablate_simd(effort),
         "all" => {
             let rows1 = table1(effort);
             print_perf_table("Table 1: 2D oscillating airfoil", &rows1);
@@ -383,13 +390,14 @@ fn main() {
             ablate_cache(effort);
             ablate_invmap(effort);
             ablate_arena(effort);
+            ablate_simd(effort);
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "choose from: table1 fig5 table2 table3 fig7 table4 fig10 table5 fig11 \
                  table6 fig12 scaling ablate-restart ablate-sixdof ablate-fo ablate-grouping \
-                 ablate-cache ablate-invmap ablate-arena all\n\
+                 ablate-cache ablate-invmap ablate-arena ablate-simd all\n\
                  or a subcommand: report <experiment> | bench-host <experiment> | \
                  compare <baseline.json> <new.json> | analyze <experiment>|<trace.json> | smoke"
             );
@@ -478,6 +486,15 @@ mod tests {
         assert!(c.no_arena && !c.no_incremental_invmap);
         let c = parse_cli(&s(&["table1", "--no-incremental-invmap", "--no-arena"])).unwrap();
         assert!(c.no_arena && c.no_incremental_invmap);
+    }
+
+    #[test]
+    fn simd_flag_parses() {
+        let c = parse_cli(&s(&["ablate-simd"])).unwrap();
+        assert_eq!(c.which, "ablate-simd");
+        assert!(!c.no_simd);
+        let c = parse_cli(&s(&["table1", "--no-simd", "--quick"])).unwrap();
+        assert!(c.no_simd && c.quick);
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //! bit-identical with the arena on or off — only host-side allocation
 //! counts differ. The `arena` ablation tests assert exactly this.
 
+use crate::donor::{BatchQuery, SearchCost, SearchOutcome};
 use crate::holes::Igbp;
 use crate::inverse_map::BinClass;
 use crate::protocol::{Answer, Pending, RankRoute, ReqPoint};
 use overset_comm::VecPool;
 use overset_grid::curvilinear::Solid;
 use overset_grid::{Aabb, Ijk};
+use overset_solver::Isa;
 use std::collections::HashMap;
 
 /// Reusable scratch for one rank's connectivity work (distributed protocol,
@@ -29,6 +31,14 @@ use std::collections::HashMap;
 /// or two and are cleared — never shrunk — between steps.
 #[derive(Default)]
 pub struct ConnArena {
+    /// Lane ISA carrying the batched donor-search and containment kernels.
+    /// Defaults to [`Isa::Scalar`]; the driver upgrades it from the case's
+    /// `use_simd` setting via [`overset_solver::select_isa`]. Results are
+    /// bit-identical either way — the ISA only changes host speed. Lives on
+    /// the arena (not a process global) because tests run cases with
+    /// different settings concurrently in one process.
+    pub isa: Isa,
+
     // -- distributed protocol scratch --
     /// Unresolved IGBPs in the current round.
     pub(crate) pending: Vec<Pending>,
@@ -74,6 +84,14 @@ pub struct ConnArena {
     /// Recycled IGBP lists (the hole cutter takes one, the caller recycles
     /// it after connectivity consumes it).
     pub(crate) igbp_pool: VecPool<Igbp>,
+
+    // -- batched donor-search scratch --
+    /// Pending query points of one service batch.
+    pub(crate) walk_queries: Vec<BatchQuery>,
+    /// Per-query outcomes of the lane-lockstep search.
+    pub(crate) walk_outcomes: Vec<SearchOutcome>,
+    /// Per-query walk costs, parallel to `walk_outcomes`.
+    pub(crate) walk_costs: Vec<SearchCost>,
 
     // -- serial-path scratch --
     /// Per-grid IGBP lists of the serial connectivity solution.

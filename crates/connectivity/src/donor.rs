@@ -9,8 +9,9 @@
 //! which is why restart "yields a considerable reduction in the time spent
 //! in the connectivity solution".
 
+use crate::kernels::{invert_cells_lanes, CORNERS};
 use overset_grid::index::Ijk;
-use overset_solver::{Blank, Block};
+use overset_solver::{Blank, Block, Isa, W};
 
 /// Flops per Newton iteration (trilinear evaluation + 3×3 solve).
 pub const FLOPS_PER_NEWTON: u64 = 140;
@@ -178,7 +179,7 @@ pub fn walk_search(
     start: Ijk,
     cost: &mut SearchCost,
 ) -> SearchOutcome {
-    walk_search_mode(block, target, start, cost, false)
+    walk_search_mode(block, target, start, cost, false, Isa::Scalar)
 }
 
 /// Relaxed variant: accepts a containing cell even when its stencil touches
@@ -191,7 +192,22 @@ pub fn walk_search_relaxed(
     start: Ijk,
     cost: &mut SearchCost,
 ) -> SearchOutcome {
-    walk_search_mode(block, target, start, cost, true)
+    walk_search_mode(block, target, start, cost, true, Isa::Scalar)
+}
+
+/// [`walk_search`] with an explicit lane [`Isa`] carrying the batched
+/// candidate inversions. The outcome and cost are bit-identical for every
+/// `Isa` (the lanes execute the scalar operation sequence); only host
+/// speed changes.
+pub fn walk_search_isa(
+    block: &Block,
+    target: [f64; 3],
+    start: Ijk,
+    cost: &mut SearchCost,
+    relaxed: bool,
+    isa: Isa,
+) -> SearchOutcome {
+    walk_search_mode(block, target, start, cost, relaxed, isa)
 }
 
 fn walk_search_mode(
@@ -200,13 +216,14 @@ fn walk_search_mode(
     start: Ijk,
     cost: &mut SearchCost,
     relaxed: bool,
+    isa: Isa,
 ) -> SearchOutcome {
     let start = clamp_cell(block, start);
     let center = clamp_cell(block, center_start(block));
     if start == center {
-        return canonical_search(block, target, cost, relaxed);
+        return canonical_search(block, target, cost, relaxed, isa);
     }
-    let out = newton_walk(block, target, start, cost, relaxed);
+    let out = newton_walk(block, target, start, cost, relaxed, isa);
     match out {
         // Near the polar caps of revolution shells the trilinear hulls of
         // azimuthal sliver cells overlap across the axis: several
@@ -219,7 +236,7 @@ fn walk_search_mode(
         // *outcome* of a search never depends on its start — only its cost
         // does. The inverse-map ablation guarantee (seeding changes work,
         // not donors) rests on this.
-        _ => canonical_search(block, target, cost, relaxed),
+        _ => canonical_search(block, target, cost, relaxed, isa),
     }
 }
 
@@ -234,22 +251,23 @@ fn canonical_search(
     target: [f64; 3],
     cost: &mut SearchCost,
     relaxed: bool,
+    isa: Isa,
 ) -> SearchOutcome {
     let center = clamp_cell(block, center_start(block));
-    let mut out = newton_walk(block, target, center, cost, relaxed);
+    let mut out = newton_walk(block, target, center, cost, relaxed, isa);
     if !matches!(out, SearchOutcome::Found(_)) {
         let near = greedy_descent(block, target, center, cost);
-        out = newton_walk(block, target, near, cost, relaxed);
+        out = newton_walk(block, target, near, cost, relaxed, isa);
     }
     if !matches!(out, SearchOutcome::Found(_)) && block.self_wrap_i && !block.two_d {
         let period = block.owned.dims().ni - 1;
         let h = block.halo[0];
         for q in [0usize, 1, 3] {
             let alt = clamp_cell(block, Ijk::new(h + q * period / 4, center.j, center.k));
-            out = newton_walk(block, target, alt, cost, relaxed);
+            out = newton_walk(block, target, alt, cost, relaxed, isa);
             if !matches!(out, SearchOutcome::Found(_)) {
                 let near = greedy_descent(block, target, alt, cost);
-                out = newton_walk(block, target, near, cost, relaxed);
+                out = newton_walk(block, target, near, cost, relaxed, isa);
             }
             if matches!(out, SearchOutcome::Found(_)) {
                 break;
@@ -295,6 +313,7 @@ fn resolve_containing(
     t: [f64; 3],
     cost: &mut SearchCost,
     relaxed: bool,
+    isa: Isa,
 ) -> SearchOutcome {
     let first = accept(block, cell, t, relaxed);
     let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
@@ -317,6 +336,10 @@ fn resolve_containing(
         _ => None,
     };
     let key = |c: Ijk| (c.i, c.j, c.k);
+    // Collect the tied face/edge/corner neighbours (up to 7), then invert
+    // them through the lane-batched Newton kernel, W candidates at a time.
+    let mut cands = [cell; 7];
+    let mut ncand = 0usize;
     for mask in 1u8..8 {
         let mut cand = cell;
         let mut valid = true;
@@ -346,14 +369,20 @@ fn resolve_containing(
         if !valid || cand == cell {
             continue;
         }
-        let Some((ct, iters)) = invert_cell(block, cand, target) else {
+        cands[ncand] = cand;
+        ncand += 1;
+    }
+    let mut results = [None; 7];
+    invert_cells_batch(block, &cands[..ncand], target, isa, &mut results);
+    for (i, res) in results.iter().enumerate().take(ncand) {
+        let Some((ct, iters)) = *res else {
             continue;
         };
         cost.newton_iters += iters;
         if !(0..3).all(|ax| ct[ax] >= -TOL && ct[ax] <= 1.0 + TOL) {
             continue;
         }
-        if let SearchOutcome::Found(cd) = accept(block, cand, ct, relaxed) {
+        if let SearchOutcome::Found(cd) = accept(block, cands[i], ct, relaxed) {
             if best.is_none_or(|b| key(cd.cell) < key(b.cell)) {
                 best = Some(cd);
             }
@@ -362,6 +391,65 @@ fn resolve_containing(
     match best {
         Some(d) => SearchOutcome::Found(d),
         None => first,
+    }
+}
+
+/// Gather one `(cell, target)` problem into lane `l` of the SoA buffers
+/// consumed by [`invert_cells_lanes`].
+fn gather_lane_problem(
+    block: &Block,
+    l: usize,
+    cell: Ijk,
+    target: [f64; 3],
+    corners: &mut [f64],
+    targets: &mut [f64],
+) {
+    let kmax = if block.two_d { 1 } else { 2 };
+    for dk in 0..kmax {
+        for dj in 0..2 {
+            for di in 0..2 {
+                let c = block.coords[Ijk::new(cell.i + di, cell.j + dj, cell.k + dk)];
+                let cidx = di + 2 * dj + 4 * dk;
+                for (m, &cm) in c.iter().enumerate() {
+                    corners[(cidx * 3 + m) * W + l] = cm;
+                }
+            }
+        }
+    }
+    for (m, &tm) in target.iter().enumerate() {
+        targets[m * W + l] = tm;
+    }
+}
+
+/// Invert up to 7 candidate cells against one target through the batched
+/// Newton kernel, `W` lanes at a time (unused lanes replicate the chunk's
+/// first problem and are discarded). Each entry of `results` matches what
+/// scalar `invert_cell` returns for that candidate, bit for bit.
+fn invert_cells_batch(
+    block: &Block,
+    cands: &[Ijk],
+    target: [f64; 3],
+    isa: Isa,
+    results: &mut [Option<([f64; 3], u64)>],
+) {
+    let mut corners = [0.0f64; CORNERS * 3 * W];
+    let mut targets = [0.0f64; 3 * W];
+    let mut t_out = [0.0f64; 3 * W];
+    let mut iters = [0u64; W];
+    let mut okl = [true; W];
+    let mut ci = 0;
+    while ci < cands.len() {
+        let n = (cands.len() - ci).min(W);
+        for l in 0..W {
+            let cell = cands[ci + l.min(n - 1)];
+            gather_lane_problem(block, l, cell, target, &mut corners, &mut targets);
+        }
+        invert_cells_lanes(isa, block.two_d, &corners, &targets, &mut t_out, &mut iters, &mut okl);
+        for l in 0..n {
+            results[ci + l] =
+                okl[l].then(|| (([t_out[l], t_out[W + l], t_out[2 * W + l]]), iters[l]));
+        }
+        ci += n;
     }
 }
 
@@ -410,12 +498,76 @@ fn greedy_descent(block: &Block, target: [f64; 3], start: Ijk, cost: &mut Search
     cell
 }
 
+/// What a walk does with one inverted cell: terminate in the cell, jump,
+/// or give up. Factored out of [`newton_walk`] so the lane-lockstep
+/// [`walk_search_batch`] drives the identical per-step control flow.
+enum StepAction {
+    /// The cell contains the point: resolve at these local coords.
+    Contain([f64; 3]),
+    /// Jump to the adjacent cell indicated by the coordinate excess.
+    Move(Ijk),
+    /// Pinned at a boundary and still pointing out.
+    WalkOut,
+}
+
+/// Jump toward the target by the integer part of the excess. Steps that
+/// would leave local storage are clamped to the boundary cell (curved
+/// grids can point the local linearization "through" a concavity); the
+/// walk only fails when it is pinned at a boundary and still wants to
+/// leave.
+fn walk_step_action(block: &Block, cell: Ijk, t: [f64; 3]) -> StepAction {
+    let inside = (0..3).all(|d| t[d] >= -TOL && t[d] <= 1.0 + TOL);
+    if inside {
+        return StepAction::Contain(t);
+    }
+    let mut moved = false;
+    let mut pinned_out = false;
+    let mut next = cell;
+    let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
+    for &d in dirs {
+        let c = cell.get(d) as isize;
+        let n = block.local_dims.get(d) as isize;
+        let step = if t[d] < -TOL || t[d] > 1.0 + TOL { t[d].floor() as isize } else { 0 };
+        if step != 0 {
+            let mut nc = c + step;
+            if nc < 0 || nc > n - 2 {
+                if d == 0 && block.self_wrap_i {
+                    // O-grid blocks owning the full i range wrap the
+                    // walk around the seam instead of walking out.
+                    let period = (block.owned.dims().ni - 1) as isize;
+                    let h = block.halo[0] as isize;
+                    nc = (nc - h).rem_euclid(period) + h;
+                } else {
+                    nc = nc.clamp(0, n - 2);
+                    if nc == c {
+                        pinned_out = true;
+                    }
+                }
+            }
+            if nc != c {
+                next.set(d, nc as usize);
+                moved = true;
+            }
+        }
+    }
+    if !moved {
+        if pinned_out {
+            return StepAction::WalkOut;
+        }
+        // Numerical stall at a face: accept as inside with clamped coords.
+        StepAction::Contain([t[0].clamp(0.0, 1.0), t[1].clamp(0.0, 1.0), t[2].clamp(0.0, 1.0)])
+    } else {
+        StepAction::Move(next)
+    }
+}
+
 fn newton_walk(
     block: &Block,
     target: [f64; 3],
     start: Ijk,
     cost: &mut SearchCost,
     relaxed: bool,
+    isa: Isa,
 ) -> SearchOutcome {
     let mut cell = clamp_cell(block, start);
     for _ in 0..MAX_WALK_STEPS {
@@ -424,56 +576,144 @@ fn newton_walk(
             return SearchOutcome::Unusable;
         };
         cost.newton_iters += iters;
-        let inside = (0..3).all(|d| t[d] >= -TOL && t[d] <= 1.0 + TOL);
-        if inside {
-            return resolve_containing(block, target, cell, t, cost, relaxed);
-        }
-        // Jump toward the target by the integer part of the excess. Steps
-        // that would leave local storage are clamped to the boundary cell
-        // (curved grids can point the local linearization "through" a
-        // concavity); the walk only fails when it is pinned at a boundary
-        // and still wants to leave.
-        let mut moved = false;
-        let mut pinned_out = false;
-        let mut next = cell;
-        let dirs: &[usize] = if block.two_d { &[0, 1] } else { &[0, 1, 2] };
-        for &d in dirs {
-            let c = cell.get(d) as isize;
-            let n = block.local_dims.get(d) as isize;
-            let step = if t[d] < -TOL || t[d] > 1.0 + TOL { t[d].floor() as isize } else { 0 };
-            if step != 0 {
-                let mut nc = c + step;
-                if nc < 0 || nc > n - 2 {
-                    if d == 0 && block.self_wrap_i {
-                        // O-grid blocks owning the full i range wrap the
-                        // walk around the seam instead of walking out.
-                        let period = (block.owned.dims().ni - 1) as isize;
-                        let h = block.halo[0] as isize;
-                        nc = (nc - h).rem_euclid(period) + h;
-                    } else {
-                        nc = nc.clamp(0, n - 2);
-                        if nc == c {
-                            pinned_out = true;
-                        }
-                    }
-                }
-                if nc != c {
-                    next.set(d, nc as usize);
-                    moved = true;
-                }
+        match walk_step_action(block, cell, t) {
+            StepAction::Contain(tc) => {
+                return resolve_containing(block, target, cell, tc, cost, relaxed, isa);
             }
+            StepAction::WalkOut => return SearchOutcome::WalkedOut,
+            StepAction::Move(next) => cell = next,
         }
-        if !moved {
-            if pinned_out {
-                return SearchOutcome::WalkedOut;
-            }
-            // Numerical stall at a face: accept as inside with clamped coords.
-            let tc = [t[0].clamp(0.0, 1.0), t[1].clamp(0.0, 1.0), t[2].clamp(0.0, 1.0)];
-            return resolve_containing(block, target, cell, tc, cost, relaxed);
-        }
-        cell = next;
     }
     SearchOutcome::WalkedOut
+}
+
+/// One pending donor query of a [`walk_search_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchQuery {
+    pub xyz: [f64; 3],
+    pub start: Ijk,
+    pub relaxed: bool,
+}
+
+/// Lane-lockstep donor search over many pending query points against one
+/// block: up to [`W`] walks advance side by side, each walk step inverting
+/// all active lanes' cells through the batched Newton kernel; a lane that
+/// terminates is refilled with the next pending query. Per query, the
+/// sequence of inverted `(cell, target)` problems — and therefore the
+/// outcome, the walk-step count and the Newton-iteration count — is
+/// exactly what a scalar [`walk_search`] performs, so `outcomes`/`costs`
+/// are bit-identical to the one-query-at-a-time path for every [`Isa`].
+pub fn walk_search_batch(
+    block: &Block,
+    queries: &[BatchQuery],
+    isa: Isa,
+    outcomes: &mut Vec<SearchOutcome>,
+    costs: &mut Vec<SearchCost>,
+) {
+    outcomes.clear();
+    costs.clear();
+    outcomes.resize(queries.len(), SearchOutcome::Unusable);
+    costs.resize(queries.len(), SearchCost::default());
+    let center = clamp_cell(block, center_start(block));
+
+    struct LaneWalk {
+        qi: usize,
+        cell: Ijk,
+        steps_left: usize,
+    }
+    let mut lanes: [Option<LaneWalk>; W] = [None, None, None, None];
+    let mut next_q = 0usize;
+    let mut corners = [0.0f64; CORNERS * 3 * W];
+    let mut targets = [0.0f64; 3 * W];
+    let mut t_out = [0.0f64; 3 * W];
+    let mut iters = [0u64; W];
+    let mut okl = [true; W];
+
+    // Wrap a finished front-end walk exactly as `walk_search_mode` does.
+    let finish = |qi: usize, out: SearchOutcome, costs: &mut Vec<SearchCost>| {
+        let q = &queries[qi];
+        match out {
+            SearchOutcome::Found(d) if !polar_cap(block, d.cell) => out,
+            _ => canonical_search(block, q.xyz, &mut costs[qi], q.relaxed, isa),
+        }
+    };
+
+    loop {
+        // Refill idle lanes with fresh walks. Center-started queries take
+        // the canonical chain directly (as the scalar mode does) and never
+        // occupy a lane.
+        for lane in lanes.iter_mut() {
+            if lane.is_some() {
+                continue;
+            }
+            while next_q < queries.len() {
+                let qi = next_q;
+                next_q += 1;
+                let q = &queries[qi];
+                let start = clamp_cell(block, q.start);
+                if start == center {
+                    outcomes[qi] = canonical_search(block, q.xyz, &mut costs[qi], q.relaxed, isa);
+                } else {
+                    *lane = Some(LaneWalk { qi, cell: start, steps_left: MAX_WALK_STEPS });
+                    break;
+                }
+            }
+        }
+        let Some(first_active) = lanes.iter().flatten().next() else {
+            break;
+        };
+        // Gather active lanes' problems (idle lanes replicate an active
+        // problem and are discarded).
+        let (fill_cell, fill_xyz) = (first_active.cell, queries[first_active.qi].xyz);
+        for (l, lane) in lanes.iter().enumerate() {
+            let (cell, xyz) = match lane {
+                Some(w) => (w.cell, queries[w.qi].xyz),
+                None => (fill_cell, fill_xyz),
+            };
+            gather_lane_problem(block, l, cell, xyz, &mut corners, &mut targets);
+        }
+        invert_cells_lanes(isa, block.two_d, &corners, &targets, &mut t_out, &mut iters, &mut okl);
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let Some(w) = lane.as_mut() else { continue };
+            let qi = w.qi;
+            let q = &queries[qi];
+            costs[qi].walk_steps += 1;
+            if !okl[l] {
+                outcomes[qi] = finish(qi, SearchOutcome::Unusable, costs);
+                *lane = None;
+                continue;
+            }
+            costs[qi].newton_iters += iters[l];
+            let t = [t_out[l], t_out[W + l], t_out[2 * W + l]];
+            match walk_step_action(block, w.cell, t) {
+                StepAction::Contain(tc) => {
+                    let out = resolve_containing(
+                        block,
+                        q.xyz,
+                        w.cell,
+                        tc,
+                        &mut costs[qi],
+                        q.relaxed,
+                        isa,
+                    );
+                    outcomes[qi] = finish(qi, out, costs);
+                    *lane = None;
+                }
+                StepAction::WalkOut => {
+                    outcomes[qi] = finish(qi, SearchOutcome::WalkedOut, costs);
+                    *lane = None;
+                }
+                StepAction::Move(next) => {
+                    w.cell = next;
+                    w.steps_left -= 1;
+                    if w.steps_left == 0 {
+                        outcomes[qi] = finish(qi, SearchOutcome::WalkedOut, costs);
+                        *lane = None;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Validate an inside-cell result: donor cell must be anchored in the owned
@@ -730,6 +970,146 @@ mod tests {
         for v in 0..5 {
             let w = want[v] / wsum;
             assert!((got[v] - w).abs() < 1e-12, "var {v}: {} vs {}", got[v], w);
+        }
+    }
+
+    /// A deterministically jittered unit lattice: every interior cell is a
+    /// general (non-affine) hexahedron.
+    fn jittered_block(seed: u64, amp: f64) -> Block {
+        let d = Dims::new(4, 4, 4);
+        let coords = Field3::from_fn(d, |p| {
+            let mut s = seed
+                ^ (((p.i as u64) << 42) ^ ((p.j as u64) << 21) ^ p.k as u64)
+                    .wrapping_mul(0x9e3779b97f4a7c15);
+            let mut draw = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0
+            };
+            [p.i as f64 + amp * draw(), p.j as f64 + amp * draw(), p.k as f64 + amp * draw()]
+        });
+        let g = CurvilinearGrid::new("j", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The lane-batched trilinear Newton inversion is bit-identical to
+        /// the scalar one — per lane, on arbitrary hexahedral cells and
+        /// targets inside, outside and far from the cell, on every ISA.
+        #[test]
+        fn batched_trilinear_bit_equals_scalar(
+            seed in 1u64..(1 << 60),
+            amp in 0.0f64..0.35,
+        ) {
+            use overset_solver::{select_isa, Isa, W};
+            let b = jittered_block(seed, amp);
+            let ow = b.owned_local();
+            // All anchored cells, plus one target per cell spanning
+            // inside/outside/far cases from the same deterministic stream.
+            let mut s = seed | 1;
+            let mut draw = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut cases: Vec<(Ijk, [f64; 3])> = Vec::new();
+            for k in ow.lo.k..ow.hi.k {
+                for j in ow.lo.j..ow.hi.j {
+                    for i in ow.lo.i..ow.hi.i {
+                        // Anchored cells only: the far corner must exist.
+                        if i + 1 >= b.local_dims.ni
+                            || j + 1 >= b.local_dims.nj
+                            || k + 1 >= b.local_dims.nk
+                        {
+                            continue;
+                        }
+                        let cell = Ijk::new(i, j, k);
+                        let base = b.coords[cell];
+                        let t =
+                            [base[0] + 3.0 * draw() - 1.0, base[1] + 3.0 * draw() - 1.0, base[2] + 3.0 * draw() - 1.0];
+                        cases.push((cell, t));
+                    }
+                }
+            }
+            for isa in [Isa::Scalar, select_isa(true)] {
+                for chunk in cases.chunks(W) {
+                    let mut corners = [0.0f64; CORNERS * 3 * W];
+                    let mut targets = [0.0f64; 3 * W];
+                    let mut t_out = [0.0f64; 3 * W];
+                    let mut iters = [0u64; W];
+                    let mut ok = [false; W];
+                    for l in 0..W {
+                        // Ragged tail lanes replicate the last real case.
+                        let (cell, t) = chunk[l.min(chunk.len() - 1)];
+                        gather_lane_problem(&b, l, cell, t, &mut corners, &mut targets);
+                    }
+                    invert_cells_lanes(isa, b.two_d, &corners, &targets, &mut t_out, &mut iters, &mut ok);
+                    for (l, &(cell, t)) in chunk.iter().enumerate() {
+                        let scalar = invert_cell(&b, cell, t);
+                        prop_assert_eq!(ok[l], scalar.is_some(), "lane {} ok mismatch ({:?})", l, isa);
+                        if let Some((st, si)) = scalar {
+                            prop_assert_eq!(iters[l], si, "lane {} iters ({:?})", l, isa);
+                            for m in 0..3 {
+                                prop_assert_eq!(
+                                    t_out[m * W + l].to_bits(),
+                                    st[m].to_bits(),
+                                    "lane {} coord {} ({:?})",
+                                    l, m, isa
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_walk_matches_sequential_scalar() {
+        use overset_solver::{select_isa, Isa};
+        let b = cart_block(17, 0.25);
+        let ow = b.owned_local();
+        // A mixed bag: interior targets from varied starts, center starts
+        // (routed to the canonical search), and points outside the domain.
+        let mut queries = Vec::new();
+        for q in 0..23usize {
+            let x = 0.11 + (q as f64 * 0.531) % 3.8;
+            let y = 0.07 + (q as f64 * 0.713) % 3.8;
+            let z = 0.13 + (q as f64 * 0.377) % 3.8;
+            let start = if q % 5 == 0 {
+                center_start(&b)
+            } else {
+                clamp_cell(
+                    &b,
+                    Ijk::new(ow.lo.i + q % 15, ow.lo.j + (3 * q) % 15, ow.lo.k + (7 * q) % 15),
+                )
+            };
+            queries.push(BatchQuery { xyz: [x, y, z], start, relaxed: false });
+        }
+        queries.push(BatchQuery { xyz: [9.0, -3.0, 1.0], start: center_start(&b), relaxed: false });
+        queries.push(BatchQuery {
+            xyz: [-1.0, 2.0, 2.0],
+            start: clamp_cell(&b, ow.lo),
+            relaxed: false,
+        });
+        let (mut outs, mut costs) = (Vec::new(), Vec::new());
+        for isa in [Isa::Scalar, select_isa(true)] {
+            walk_search_batch(&b, &queries, isa, &mut outs, &mut costs);
+            assert_eq!(outs.len(), queries.len());
+            for (q, (o, c)) in queries.iter().zip(outs.iter().zip(costs.iter())) {
+                let mut sc = SearchCost::default();
+                let so = walk_search_isa(&b, q.xyz, q.start, &mut sc, q.relaxed, Isa::Scalar);
+                assert_eq!(*o, so, "outcome diverged at {:?} ({isa:?})", q.xyz);
+                assert_eq!(c.walk_steps, sc.walk_steps, "walk steps at {:?} ({isa:?})", q.xyz);
+                assert_eq!(c.newton_iters, sc.newton_iters, "iters at {:?} ({isa:?})", q.xyz);
+            }
         }
     }
 

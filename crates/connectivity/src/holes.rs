@@ -9,9 +9,10 @@
 
 use crate::arena::ConnArena;
 use crate::inverse_map::{classify_solids_into, BinClass, InverseMap};
+use crate::kernels::containment_lanes;
 use overset_grid::curvilinear::{BcKind, Solid};
 use overset_grid::index::Ijk;
-use overset_solver::{Blank, Block};
+use overset_solver::{Blank, Block, W};
 
 /// Safety pad (in local cell widths) around solids when blanking.
 pub const HOLE_PAD_CELLS: f64 = 0.25;
@@ -80,6 +81,7 @@ pub fn cut_holes_and_find_fringe_arena(
         block.iblank[p] = Blank::Field;
     }
 
+    let isa = arena.isa;
     let ConnArena { fringe_nodes, foreign_solids, solid_boxes, bin_classes, igbp_pool, .. } = arena;
 
     // Containment tests against foreign solids: cheap bounding-box
@@ -105,43 +107,110 @@ pub fn cut_holes_and_find_fringe_arena(
         } else {
             None
         };
-        for p in ow.iter() {
-            // One charge per node: the per-solid loop overhead (unmasked)
-            // or the hole-lattice bin lookup (masked).
-            flops += FLOPS_PER_NODE_BBOX;
-            let x = block.coords[p];
-            let bin = inv.map(|m| m.hole_bin(x));
-            let mut hole = false;
-            for (si, (s, bb)) in foreign_solids.iter().zip(solid_boxes.iter()).enumerate() {
-                if let (Some(c), Some(b)) = (&classes, bin) {
-                    match c[si][b] {
-                        // No point of this bin reaches the padded box: the
-                        // unmasked cutter's bbox pre-check would skip too —
-                        // without spending its per-solid flops.
-                        BinClass::Outside => continue,
-                        // Whole bin inside at zero pad; any per-node pad
-                        // ≥ 0 only blanks more, so the verdict is certain.
-                        BinClass::Inside => {
-                            hole = true;
-                            break;
-                        }
-                        BinClass::Boundary => {}
+        // Lane-batched containment: test W nodes at a time, one node per
+        // SIMD lane. The per-lane masks replay the scalar control flow —
+        // bin-class skips, bbox pre-check, detailed test, first-hit break —
+        // so the blanking verdicts *and* the flop charges are bit-identical
+        // to the scalar per-node loop for every `Isa`.
+        let mut nodes = [Ijk::new(0, 0, 0); W];
+        let mut xs = [0.0f64; 3 * W];
+        let mut pads = [0.0f64; W];
+        let mut bins = [None; W];
+        let mut n_chunk = 0usize;
+        let mut it = ow.iter();
+        loop {
+            match it.next() {
+                Some(p) => {
+                    let x = block.coords[p];
+                    nodes[n_chunk] = p;
+                    for (m, &xm) in x.iter().enumerate() {
+                        xs[m * W + n_chunk] = xm;
+                    }
+                    pads[n_chunk] = HOLE_PAD_CELLS * local_spacing(block, p);
+                    bins[n_chunk] = inv.map(|m| m.hole_bin(x));
+                    n_chunk += 1;
+                    if n_chunk < W {
+                        continue;
                     }
                 }
-                flops += FLOPS_PER_NODE_BBOX;
-                if !bb.contains(x) {
-                    continue;
+                None => {
+                    if n_chunk == 0 {
+                        break;
+                    }
+                    // Ragged tail: idle lanes replicate lane 0 (their
+                    // results are masked out).
+                    for l in n_chunk..W {
+                        for m in 0..3 {
+                            xs[m * W + l] = xs[m * W];
+                        }
+                        pads[l] = pads[0];
+                    }
                 }
-                flops += FLOPS_PER_DETAILED_TEST;
-                let pad = HOLE_PAD_CELLS * local_spacing(block, p);
-                if s.contains(x, pad) {
-                    hole = true;
+            }
+            // One charge per node: the per-solid loop overhead (unmasked)
+            // or the hole-lattice bin lookup (masked).
+            flops += n_chunk as u64 * FLOPS_PER_NODE_BBOX;
+            let mut hole = [false; W];
+            let mut alive = [false; W];
+            for a in alive.iter_mut().take(n_chunk) {
+                *a = true;
+            }
+            let mut inb = [false; W];
+            let mut ins = [false; W];
+            for (si, (s, bb)) in foreign_solids.iter().zip(solid_boxes.iter()).enumerate() {
+                // Per-lane bin-class routing, exactly the scalar verdicts.
+                let mut test = [false; W];
+                let mut any = false;
+                for l in 0..n_chunk {
+                    if !alive[l] {
+                        continue;
+                    }
+                    if let (Some(c), Some(b)) = (&classes, bins[l]) {
+                        match c[si][b] {
+                            // No point of this bin reaches the padded box:
+                            // the unmasked cutter's bbox pre-check would
+                            // skip too — without its per-solid flops.
+                            BinClass::Outside => continue,
+                            // Whole bin inside at zero pad; any per-node
+                            // pad ≥ 0 only blanks more: verdict certain.
+                            BinClass::Inside => {
+                                hole[l] = true;
+                                alive[l] = false;
+                                continue;
+                            }
+                            BinClass::Boundary => {}
+                        }
+                    }
+                    flops += FLOPS_PER_NODE_BBOX;
+                    test[l] = true;
+                    any = true;
+                }
+                if any {
+                    containment_lanes(isa, s, bb, &xs, &pads, &mut inb, &mut ins);
+                    for l in 0..n_chunk {
+                        if !test[l] || !inb[l] {
+                            continue;
+                        }
+                        flops += FLOPS_PER_DETAILED_TEST;
+                        if ins[l] {
+                            hole[l] = true;
+                            alive[l] = false;
+                        }
+                    }
+                }
+                if !alive.iter().any(|&a| a) {
                     break;
                 }
             }
-            if hole {
-                block.iblank[p] = Blank::Hole;
+            for l in 0..n_chunk {
+                if hole[l] {
+                    block.iblank[nodes[l]] = Blank::Hole;
+                }
             }
+            if n_chunk < W {
+                break;
+            }
+            n_chunk = 0;
         }
     }
 

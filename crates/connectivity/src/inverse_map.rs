@@ -123,6 +123,38 @@ fn axis_bin(x: f64, lo: f64, hi: f64, nb: usize) -> usize {
     (t.floor().max(0.0) as usize).min(nb - 1)
 }
 
+/// Hard per-axis bin ceiling of the adaptive allocation: a memory backstop
+/// for pathological aspect ratios, far above anything the paper-scale cases
+/// reach.
+const MAX_AXIS_BINS: usize = 512;
+
+/// Aspect-adaptive fine-lattice resolution: distribute the flat-cap bin
+/// budget ([`MAX_FINE_BINS`] per active axis, i.e. 48³ in 3-D / 48² in 2-D)
+/// across the axes in proportion to the block's physical extent — equal
+/// bin *edge length* on every axis — then clamp each axis independently to
+/// `[1, cells_d]` (and the [`MAX_AXIS_BINS`] backstop). A physically
+/// stretched block (long chordwise, thin wall-normal) concentrates its bins
+/// where its cells are; an isotropic block, or a curvilinear ring whose
+/// bounding box is square, reproduces the old flat cap exactly. Clamped
+/// axes do *not* hand their unused share to the others: the lattice is
+/// Cartesian in physical space, so an index-space cell count says nothing
+/// about how much physical resolution the remaining axes can use.
+/// Deterministic: a pure function of extents and cell counts.
+fn fine_bins(ext: [f64; 3], cells: [usize; 3], two_d: bool) -> [usize; 3] {
+    let naxes: usize = if two_d { 2 } else { 3 };
+    let budget = (MAX_FINE_BINS as f64).powi(naxes as i32);
+    let prod: f64 = ext.iter().take(naxes).map(|e| e.max(1e-300)).product();
+    // nb_d = ext_d · s with s chosen so the active axes' product fills the
+    // budget (before clamping).
+    let s = (budget / prod).powf(1.0 / naxes as f64);
+    let mut nb = [1usize; 3];
+    for d in 0..naxes {
+        let want = (ext[d].max(1e-300) * s).round().clamp(1.0, MAX_AXIS_BINS as f64) as usize;
+        nb[d] = want.clamp(1, cells[d]);
+    }
+    nb
+}
+
 /// The corner nodes of the cell anchored at `cell` (4 in 2-D, 8 in 3-D).
 fn cell_corners(block: &Block, cell: Ijk) -> impl Iterator<Item = Ijk> + '_ {
     let kmax = if block.two_d { 1 } else { 2 };
@@ -142,8 +174,15 @@ impl InverseMap {
         let cells_i = (ow.hi.i - ow.lo.i).max(1);
         let cells_j = (ow.hi.j - ow.lo.j).max(1);
         let cells_k = if block.two_d { 1 } else { (ow.hi.k - ow.lo.k).max(1) };
-        let nb =
-            [cells_i.min(MAX_FINE_BINS), cells_j.min(MAX_FINE_BINS), cells_k.min(MAX_FINE_BINS)];
+        let nb = fine_bins(bounds.extent(), [cells_i, cells_j, cells_k], block.two_d);
+        Self::build_with_bins(block, nb)
+    }
+
+    /// Build with an explicit fine-lattice resolution (tests compare the
+    /// adaptive allocation against the old flat cap through this).
+    fn build_with_bins(block: &Block, nb: [usize; 3]) -> InverseMap {
+        let bounds = owned_bbox(block);
+        let ow = block.owned_local();
         let hole_nb =
             [nb[0].min(MAX_HOLE_BINS), nb[1].min(MAX_HOLE_BINS), nb[2].min(MAX_HOLE_BINS)];
         let nbins = nb[0] * nb[1] * nb[2];
@@ -573,6 +612,58 @@ mod tests {
             seeded.flops(),
             cold.flops()
         );
+    }
+
+    /// A physically stretched 2-D block — the wake/boundary-layer shape of
+    /// the airfoil system: long in x, thin in y.
+    fn stretched_block(nx: usize, ny: usize, hx: f64, hy: f64) -> Block {
+        let d = Dims::new(nx, ny, 1);
+        let coords = Field3::from_fn(d, |p| [p.i as f64 * hx, p.j as f64 * hy, 0.0]);
+        let g = CurvilinearGrid::new("w", coords, GridKind::Background);
+        let fc = FlowConditions::new(0.8, 0.0, 0.0);
+        Block::from_grid(0, &g, d.full_box(), [None; 6], &fc)
+    }
+
+    #[test]
+    fn high_aspect_block_walks_fewer_steps_with_identical_donors() {
+        // Aspect 16:1 — under the flat 48/axis cap every x-bin held > 5
+        // cells while the y-bins were finer than the cells; proportional
+        // allocation moves that wasted y budget onto x.
+        let b = stretched_block(257, 17, 0.05, 0.05);
+        let adaptive = InverseMap::build(&b);
+        assert!(
+            adaptive.nb[0] > MAX_FINE_BINS,
+            "long axis should outgrow the old flat cap, got {:?}",
+            adaptive.nb
+        );
+        assert!(adaptive.nb[1] < 17, "thin axis should give up bins: {:?}", adaptive.nb);
+        // Exactly what the old flat per-axis cap produced for this block.
+        let flat = InverseMap::build_with_bins(&b, [MAX_FINE_BINS, 17, 1]);
+        let (mut adaptive_steps, mut flat_steps) = (0u64, 0u64);
+        for q in 0..500 {
+            // Generic interior points (off any cell face) along the block.
+            let x = 0.13 + (q as f64 * 0.0251) % 12.5;
+            let y = 0.03 + (q as f64 * 0.0173) % 0.75;
+            let p = [x, y, 0.0];
+            let mut ca = SearchCost::default();
+            let oa = walk_search(&b, p, adaptive.query(p), &mut ca);
+            let mut cf = SearchCost::default();
+            let of = walk_search(&b, p, flat.query(p), &mut cf);
+            assert!(matches!(oa, SearchOutcome::Found(_)), "lost a donor at {p:?}: {oa:?}");
+            assert_eq!(oa, of, "donor must not depend on the seed lattice at {p:?}");
+            adaptive_steps += ca.walk_steps;
+            flat_steps += cf.walk_steps;
+        }
+        assert!(
+            adaptive_steps < flat_steps,
+            "adaptive lattice should walk less: {adaptive_steps} vs flat {flat_steps}"
+        );
+        // A curvilinear ring's bounding box is square: the adaptive
+        // allocation must reproduce the old flat cap exactly there (no
+        // regression on O-grids — extent proportionality is physical, not
+        // index-space).
+        let ring = InverseMap::build(&annulus_block_from(257, 3, 2.5));
+        assert_eq!(ring.nb, [MAX_FINE_BINS, 3, 1]);
     }
 
     #[test]

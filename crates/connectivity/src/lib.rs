@@ -19,16 +19,23 @@
 //!   routing, asynchronous request service, candidate forwarding, and the
 //!   "nth-level restart" donor cache).
 
+//! * [`kernels`] — lane-batched (SIMD) forms of the trilinear Newton
+//!   inversion and the hole cutter's containment tests, bit-identical to
+//!   the scalar code per lane.
+
 pub mod arena;
 pub mod donor;
 pub mod holes;
 pub mod interp;
 pub mod inverse_map;
+pub mod kernels;
 pub mod protocol;
 pub mod serial;
 
 pub use arena::ConnArena;
-pub use donor::{walk_search, Donor, SearchCost, SearchOutcome};
+pub use donor::{
+    walk_search, walk_search_batch, walk_search_isa, BatchQuery, Donor, SearchCost, SearchOutcome,
+};
 pub use holes::{
     cut_holes_and_find_fringe, cut_holes_and_find_fringe_arena, cut_holes_and_find_fringe_with_map,
     Igbp,

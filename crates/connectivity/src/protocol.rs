@@ -23,7 +23,7 @@
 //! everything it received before waiting on its own replies.
 
 use crate::arena::ConnArena;
-use crate::donor::{center_start, walk_search, walk_search_relaxed, SearchCost, SearchOutcome};
+use crate::donor::{center_start, walk_search_batch, BatchQuery, SearchOutcome};
 use crate::holes::Igbp;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
 use crate::inverse_map::{occupancy_admits_posed, InverseMap, OCC_ALL, OCC_WORDS};
@@ -327,6 +327,7 @@ pub fn connect_distributed_arena(
     let mut stats = ConnStats { igbps: igbps.len(), ..Default::default() };
     let t_conn = comm.now();
     arena.begin_protocol(nranks);
+    let isa = arena.isa;
     let ConnArena {
         pending,
         next_pending,
@@ -340,6 +341,9 @@ pub fn connect_distributed_arena(
         req_pool,
         ans_pool,
         counts_pool,
+        walk_queries,
+        walk_outcomes,
+        walk_costs,
         ..
     } = arena;
 
@@ -488,7 +492,12 @@ pub fn connect_distributed_arena(
             comm.metrics_mut().add(names::CONN_SERVICED, n_in as u64);
             let mut service_flops = 0u64;
             let steps_before = stats.walk_steps;
-            for pt in &pts {
+            // Lane-lockstep donor search over the whole request batch: up
+            // to W pending points walk side by side, one SIMD lane each.
+            // Outcomes and per-point costs are bit-identical to searching
+            // the points one at a time with the scalar code.
+            walk_queries.clear();
+            walk_queries.extend(pts.iter().map(|pt| {
                 let start = match (pt.hint, inv) {
                     // Warm restart hint beats everything.
                     (Some(gc), _) => clamp_to_local_cell(block, gc),
@@ -501,17 +510,15 @@ pub fn connect_distributed_arena(
                     // Legacy cold start from the block center.
                     (None, None) => center_start(block),
                 };
-                let mut cost = SearchCost::default();
-                let out = if pt.relaxed {
-                    walk_search_relaxed(block, pt.xyz, start, &mut cost)
-                } else {
-                    walk_search(block, pt.xyz, start, &mut cost)
-                };
+                BatchQuery { xyz: pt.xyz, start, relaxed: pt.relaxed }
+            }));
+            walk_search_batch(block, walk_queries, isa, walk_outcomes, walk_costs);
+            for (pt, (out, cost)) in pts.iter().zip(walk_outcomes.iter().zip(walk_costs.iter())) {
                 stats.walk_steps += cost.walk_steps;
                 service_flops += cost.flops();
                 let ans = match out {
                     SearchOutcome::Found(d) => {
-                        let value = interpolate(block, &d);
+                        let value = interpolate(block, d);
                         service_flops += FLOPS_PER_INTERP;
                         Answer::Found { value, cell_global: block.to_global(d.cell) }
                     }

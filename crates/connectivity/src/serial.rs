@@ -4,7 +4,7 @@
 //! protocol is validated against.
 
 use crate::arena::ConnArena;
-use crate::donor::{center_start, walk_search, Donor, SearchCost, SearchOutcome};
+use crate::donor::{center_start, walk_search_isa, Donor, SearchCost, SearchOutcome};
 use crate::holes::cut_holes_and_find_fringe_arena;
 use crate::interp::{interpolate, FLOPS_PER_INTERP};
 use crate::inverse_map::InverseMap;
@@ -117,6 +117,7 @@ pub fn connect_serial_arena(
         bb.inflate(1e-9 * bb.diagonal().max(1.0))
     }));
     arena.serial_writes.clear();
+    let isa = arena.isa;
     let ConnArena { igbps_per_grid, serial_writes: writes, grid_bboxes: bboxes, .. } = &mut *arena;
 
     // Phase 2/3: search and interpolate. Interpolated values are buffered
@@ -133,7 +134,9 @@ pub fn connect_serial_arena(
             // Warm start at the cached donor.
             if let Some(&(dg, cell)) = cache.map.get(&key) {
                 let mut cost = SearchCost::default();
-                if let SearchOutcome::Found(d) = walk_search(&blocks[dg], ig.xyz, cell, &mut cost) {
+                if let SearchOutcome::Found(d) =
+                    walk_search_isa(&blocks[dg], ig.xyz, cell, &mut cost, false, isa)
+                {
                     found = Some((dg, d));
                 }
                 stats.walk_steps += cost.walk_steps;
@@ -158,11 +161,7 @@ pub fn connect_serial_arena(
                         }
                         None => center_start(&blocks[dg]),
                     };
-                    let out = if relaxed {
-                        crate::donor::walk_search_relaxed(&blocks[dg], ig.xyz, start, &mut cost)
-                    } else {
-                        walk_search(&blocks[dg], ig.xyz, start, &mut cost)
-                    };
+                    let out = walk_search_isa(&blocks[dg], ig.xyz, start, &mut cost, relaxed, isa);
                     stats.walk_steps += cost.walk_steps;
                     stats.flops += cost.flops();
                     if let SearchOutcome::Found(d) = out {

@@ -108,6 +108,13 @@ pub struct CaseConfig {
     /// so `repro compare` can be proven to fail on an injected host-cost
     /// regression (`--inject-alloc`).
     pub inject_alloc: usize,
+    /// Run the lane-batched compute kernels on the host's SIMD units
+    /// (AVX2) when available. Disabling (the `--no-simd` ablation) runs the
+    /// *same* batched code through the portable scalar lanes — states, walk
+    /// outcomes, and virtual times are bit-identical; only host wall-clock
+    /// changes. On hosts without AVX2 this flag is inert (the scalar lanes
+    /// are the only path).
+    pub use_simd: bool,
 }
 
 impl CaseConfig {
@@ -143,6 +150,7 @@ impl CaseConfig {
                 max_threads: None,
                 transport: TransportConfig::InProcess,
                 inject_alloc: 0,
+                use_simd: true,
             },
         }
     }
@@ -193,6 +201,11 @@ impl CaseConfigBuilder {
 
     pub fn use_incremental_invmap(mut self, on: bool) -> Self {
         self.cfg.use_incremental_invmap = on;
+        self
+    }
+
+    pub fn use_simd(mut self, on: bool) -> Self {
+        self.cfg.use_simd = on;
         self
     }
 
@@ -512,6 +525,7 @@ fn run_rank(
     let (mut block, mut wall) = build_block(me, &partition, &cfg.grids, &cumulative, &fc)
         .unwrap_or_else(|e| panic!("rank {me}: {e}"));
     let mut scratch = Scratch::for_block(&block);
+    scratch.sweep.isa = overset_solver::select_isa(cfg.use_simd);
     let mut topo =
         build_topology(&partition, &cfg.search_order).unwrap_or_else(|e| panic!("rank {me}: {e}"));
     let mut cache = DonorCache::new();
@@ -528,6 +542,7 @@ fn run_rank(
     // step (same code path, cold buffers), so only allocation counts
     // change — never results or virtual times.
     let mut arena = ConnArena::new();
+    arena.isa = overset_solver::select_isa(cfg.use_simd);
     // Recycled halo-exchange buffers, same lifecycle as the arena.
     let mut halo_pool: VecPool<f64> = VecPool::new();
 
@@ -562,7 +577,7 @@ fn run_rank(
                 for v in scratch.res.as_mut_slice() {
                     *v *= fc.dt;
                 }
-                implicit_sweeps(&block, &fc, &mut scratch.res, &mut mp);
+                implicit_sweeps(&block, &fc, &mut scratch.res, &mut mp, &mut scratch.sweep);
                 // Update field nodes.
                 let ow = block.owned_local();
                 let mut update_flops = 0u64;
@@ -690,6 +705,7 @@ fn run_rank(
             if !cfg.use_arena {
                 // Ablation: cold buffers every step, identical code path.
                 arena = ConnArena::new();
+                arena.isa = overset_solver::select_isa(cfg.use_simd);
                 halo_pool = VecPool::new();
             }
             {
@@ -782,6 +798,7 @@ fn run_rank(
                 block = new_block;
                 wall = new_wall;
                 scratch = Scratch::for_block(&block);
+                scratch.sweep.isa = overset_solver::select_isa(cfg.use_simd);
                 partition = new_partition;
                 topo = build_topology(&partition, &cfg.search_order)
                     .unwrap_or_else(|e| panic!("rank {me}: {e}"));
@@ -895,7 +912,9 @@ pub fn run_case_serial(
             // rank mapping; serial holds all of them).
             let (b, w) = build_block(single.start[g], &single, &cfg.grids, &cum, &fc)
                 .unwrap_or_else(|e| panic!("{e}"));
-            scratches.push(Scratch::for_block(&b));
+            let mut sc = Scratch::for_block(&b);
+            sc.sweep.isa = overset_solver::select_isa(cfg.use_simd);
+            scratches.push(sc);
             blocks.push(b);
             walls.push(w);
         }
@@ -910,6 +929,7 @@ pub fn run_case_serial(
         let mut pending_t: Vec<Option<RigidTransform>> = vec![None; ngrids];
         // Connectivity scratch, persistent across steps under `use_arena`.
         let mut arena = ConnArena::new();
+        arena.isa = overset_solver::select_isa(cfg.use_simd);
         let mut phase_elapsed = [0.0f64; NUM_PHASES];
         let mut igbps_last = 0usize;
         let mut orphans_last = 0usize;
@@ -1000,6 +1020,7 @@ pub fn run_case_serial(
                 if !cfg.use_arena {
                     // Ablation: cold buffers every step, same code path.
                     arena = ConnArena::new();
+                    arena.isa = overset_solver::select_isa(cfg.use_simd);
                 }
                 let stats = if cfg.use_inverse_map {
                     let mut build_flops = 0u64;

@@ -23,6 +23,8 @@
 
 use crate::block::{Blank, Block};
 use crate::conditions::{sound_speed, FlowConditions, GAMMA};
+use crate::kernels::{self, NVW};
+use crate::lanes::{select_isa, Isa, W};
 use overset_grid::field::{StateField, NVAR};
 use overset_grid::index::Ijk;
 
@@ -152,8 +154,12 @@ fn char_frame(block: &Block, p: Ijk, dir: usize) -> CharFrame {
     }
 }
 
-/// Conservative increment → characteristic variables at the frame.
+/// Conservative increment → characteristic variables at the frame. The
+/// batched kernel [`kernels::frames_forward_lanes`] computes the same
+/// transform lanewise; this scalar form is the reference the tests pin
+/// bit-equality against.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn to_char(f: &CharFrame, dq: &[f64; NVAR]) -> [f64; NVAR] {
     // ΔQ → Δprimitive.
     let d_rho = dq[0];
@@ -177,8 +183,10 @@ fn to_char(f: &CharFrame, dq: &[f64; NVAR]) -> [f64; NVAR] {
     ]
 }
 
-/// Characteristic variables → conservative increment at the frame.
+/// Characteristic variables → conservative increment at the frame. Scalar
+/// reference for [`kernels::from_char_lanes`], kept for the equality tests.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn from_char(f: &CharFrame, w: &[f64; NVAR]) -> [f64; NVAR] {
     let dp = 0.5 * f.rho * f.c * (w[3] - w[4]);
     let un = 0.5 * (w[3] + w[4]);
@@ -200,28 +208,228 @@ fn from_char(f: &CharFrame, w: &[f64; NVAR]) -> [f64; NVAR] {
     ]
 }
 
+/// Reusable sweep scratch: the runtime-selected kernel [`Isa`] plus every
+/// buffer [`implicit_sweeps`] needs, so steady-state steps allocate nothing
+/// in the solver phase. Owned per rank by [`crate::step::Scratch`]; buffers
+/// grow to the largest sweep seen and are then recycled.
+pub struct SweepScratch {
+    /// Kernel instruction set, chosen once per run from `use_simd` plus
+    /// runtime feature detection (see [`crate::lanes::select_isa`]). The
+    /// scalar and SIMD paths run the same lane-batched code and produce
+    /// bit-identical results.
+    pub isa: Isa,
+    /// Gathered per-node frame inputs, characteristic work vectors, and the
+    /// frame SoA (see `kernels::IN_*` / `kernels::FR_*`) for the direction
+    /// currently being swept.
+    gin: Vec<f64>,
+    dw: Vec<f64>,
+    fr: Vec<f64>,
+    /// Per-line halo frames (`c = -1` and `c = n`), two per line.
+    halo: Vec<CharFrame>,
+    lines: Vec<(usize, usize)>,
+    /// Lane-transposed eigenvalues / spectral radii / identity masks for the
+    /// group currently being eliminated.
+    lam: Vec<f64>,
+    sig: Vec<f64>,
+    idm: Vec<f64>,
+    /// Group-major lane-transposed RHS, normalized super-diagonals, and the
+    /// Sherman–Morrison correction column (every group padded to [`W`] lanes).
+    d: Vec<f64>,
+    cp: Vec<f64>,
+    z: Vec<f64>,
+    /// Per-line cyclic corner parameters and chain-end values.
+    alpha: Vec<[f64; NVAR]>,
+    gamma: Vec<[f64; NVAR]>,
+    y_last: Vec<[f64; NVAR]>,
+    z_last: Vec<[f64; NVAR]>,
+    fact: Vec<[f64; NVAR]>,
+    x0: Vec<[f64; NVAR]>,
+}
+
+impl SweepScratch {
+    pub fn new(isa: Isa) -> Self {
+        Self {
+            isa,
+            gin: Vec::new(),
+            dw: Vec::new(),
+            fr: Vec::new(),
+            halo: Vec::new(),
+            lines: Vec::new(),
+            lam: Vec::new(),
+            sig: Vec::new(),
+            idm: Vec::new(),
+            d: Vec::new(),
+            cp: Vec::new(),
+            z: Vec::new(),
+            alpha: Vec::new(),
+            gamma: Vec::new(),
+            y_last: Vec::new(),
+            z_last: Vec::new(),
+            fact: Vec::new(),
+            x0: Vec::new(),
+        }
+    }
+}
+
+impl Default for SweepScratch {
+    fn default() -> Self {
+        Self::new(select_isa(true))
+    }
+}
+
+fn ensure_len(v: &mut Vec<f64>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+}
+
+/// Lane-batched frame + forward-transform stage of a sweep: gather the
+/// per-node inputs of every owned node into SoA buffers, run
+/// [`kernels::frames_forward_lanes`] (frames into `fr`, `dq` transformed to
+/// characteristic variables in place), and compute the two scalar halo
+/// frames per line. Returns the padded SoA stride `mpad`.
+#[allow(clippy::too_many_arguments)]
+fn transform_to_char(
+    block: &Block,
+    dq: &mut StateField,
+    dir: usize,
+    node_at: &impl Fn(usize, usize) -> Ijk,
+    halo_node: &impl Fn(usize, isize) -> Ijk,
+    n: usize,
+    nlines: usize,
+    isa: Isa,
+    gin: &mut Vec<f64>,
+    dw: &mut Vec<f64>,
+    fr: &mut Vec<f64>,
+    halo: &mut Vec<CharFrame>,
+) -> usize {
+    use crate::kernels::{IN_FIELDS, IN_G, IN_JAC, IN_Q, IN_VG};
+    let mm = n * nlines;
+    let mpad = mm.div_ceil(W) * W;
+    ensure_len(gin, IN_FIELDS * mpad);
+    ensure_len(dw, NVAR * mpad);
+    ensure_len(fr, crate::kernels::FR_FIELDS * mpad);
+    for li in 0..nlines {
+        for c in 0..n {
+            let m = li * n + c;
+            let p = node_at(li, c);
+            let q = block.q.node(p);
+            for v in 0..NVAR {
+                gin[(IN_Q + v) * mpad + m] = q[v];
+            }
+            let met = block.metrics[p];
+            let g = met.grad(dir);
+            gin[IN_G * mpad + m] = g[0];
+            gin[(IN_G + 1) * mpad + m] = g[1];
+            gin[(IN_G + 2) * mpad + m] = g[2];
+            gin[IN_JAC * mpad + m] = met.jac;
+            let vg = block.grid_vel[p];
+            gin[IN_VG * mpad + m] = vg[0];
+            gin[(IN_VG + 1) * mpad + m] = vg[1];
+            gin[(IN_VG + 2) * mpad + m] = vg[2];
+            let w = dq.node(p);
+            for v in 0..NVAR {
+                dw[v * mpad + m] = w[v];
+            }
+        }
+    }
+    // Ragged tail: replicate the last real node into the padding lanes
+    // (their outputs are never scattered back).
+    for m in mm..mpad {
+        for f in 0..IN_FIELDS {
+            gin[f * mpad + m] = gin[f * mpad + mm - 1];
+        }
+        for v in 0..NVAR {
+            dw[v * mpad + m] = dw[v * mpad + mm - 1];
+        }
+    }
+    kernels::frames_forward_lanes(isa, mpad, gin, dw, fr);
+    for li in 0..nlines {
+        for c in 0..n {
+            let m = li * n + c;
+            let mut w = [0.0f64; NVAR];
+            for v in 0..NVAR {
+                w[v] = dw[v * mpad + m];
+            }
+            dq.set_node(node_at(li, c), w);
+        }
+    }
+    halo.clear();
+    halo.reserve(2 * nlines);
+    for li in 0..nlines {
+        halo.push(char_frame(block, halo_node(li, -1), dir));
+        halo.push(char_frame(block, halo_node(li, n as isize), dir));
+    }
+    mpad
+}
+
+/// Gather one lane group into the transposed sweep layout: eigenvalue rows
+/// (shifted by one so rows `0` / `n + 1` are the halo frames), spectral
+/// radii, sign-bit identity masks, and the characteristic RHS. Ragged groups
+/// replicate their last real line into the padding lanes (padding output is
+/// never read).
+#[allow(clippy::too_many_arguments)]
+fn pack_group(
+    block: &Block,
+    dq: &StateField,
+    node_at: &impl Fn(usize, usize) -> Ijk,
+    ls_of: &impl Fn(usize, isize) -> ([f64; NVAR], f64),
+    gb: usize,
+    gl: usize,
+    n: usize,
+    lam: &mut [f64],
+    sig: &mut [f64],
+    idm: &mut [f64],
+    d: &mut [f64],
+) {
+    for l in 0..W {
+        let li = gb + l.min(gl - 1);
+        for r in 0..n + 2 {
+            let (flam, fsig) = ls_of(li, r as isize - 1);
+            for v in 0..NVAR {
+                lam[(r * NVAR + v) * W + l] = flam[v];
+            }
+            sig[r * W + l] = fsig;
+        }
+        for c in 0..n {
+            let p = node_at(li, c);
+            idm[c * W + l] =
+                if block.iblank[p] != Blank::Field { f64::from_bits(1u64 << 63) } else { 0.0 };
+            let w = dq.node(p);
+            for v in 0..NVAR {
+                d[(c * NVAR + v) * W + l] = w[v];
+            }
+        }
+    }
+}
+
 /// Perform the factored characteristic sweeps in place on `dq` (which enters
-/// holding `Δt·R` in conservative variables). Returns estimated flops.
+/// holding `Δt·R` in conservative variables), batching up to [`W`] lines per
+/// SIMD lane group through the kernels in [`crate::kernels`]. Returns
+/// estimated flops.
 pub fn implicit_sweeps(
     block: &Block,
     fc: &FlowConditions,
     dq: &mut StateField,
     comm: &mut impl SolverComm,
+    ws: &mut SweepScratch,
 ) -> u64 {
     let dt = fc.dt;
     let ow = block.owned_local();
     let mut flops = 0u64;
     let t0 = comm.now();
+    let mut lines_buf = std::mem::take(&mut ws.lines);
 
     for &dir in block.active_dirs() {
         let (d1, d2) = other_dirs(dir);
         let n = ow.dims().get(dir);
-        let mut lines: Vec<(usize, usize)> = Vec::new();
+        lines_buf.clear();
         for c2 in ow.lo.get(d2)..ow.hi.get(d2) {
             for c1 in ow.lo.get(d1)..ow.hi.get(d1) {
-                lines.push((c1, c2));
+                lines_buf.push((c1, c2));
             }
         }
+        let lines = &lines_buf;
         let nlines = lines.len();
         let upstream = implicit_neighbor(block, dir, false);
         let downstream = implicit_neighbor(block, dir, true);
@@ -235,176 +443,241 @@ pub fn implicit_sweeps(
             p
         };
 
-        // Transform dt·R to characteristic variables per node; cache frames.
-        let mut frames: Vec<CharFrame> = Vec::with_capacity(n * nlines);
-        for li in 0..nlines {
-            for c in 0..n {
-                let p = node_at(li, c);
-                let f = char_frame(block, p, dir);
-                let w = to_char(&f, dq.node(p));
-                dq.set_node(p, w);
-                frames.push(f);
-            }
-        }
-        // Frame (σ, λ) for implicit coefficients at the ±1 stencil nodes:
-        // owned frames cached; halo frames computed on demand.
-        let frame_of = |li: usize, c: isize| -> CharFrame {
-            if c >= 0 && (c as usize) < n {
-                frames[li * n + c as usize]
-            } else {
-                let mut p = node_at(li, 0);
-                let base = ow.lo.get(dir) as isize + c;
-                p.set(dir, base.max(0) as usize);
-                char_frame(block, p, dir)
-            }
+        // Lane-batched frame computation + forward transform (`dq` → char):
+        // the SoA frames land in `ws.fr`, halo frames in `ws.halo`.
+        let halo_node = |li: usize, c: isize| -> Ijk {
+            let mut p = node_at(li, 0);
+            let base = ow.lo.get(dir) as isize + c;
+            p.set(dir, base.max(0) as usize);
+            p
         };
+        let mpad = transform_to_char(
+            block,
+            dq,
+            dir,
+            &node_at,
+            &halo_node,
+            n,
+            nlines,
+            ws.isa,
+            &mut ws.gin,
+            &mut ws.dw,
+            &mut ws.fr,
+            &mut ws.halo,
+        );
 
         // Periodic O-grid lines in `i` are solved with the *cyclic*
         // (Sherman–Morrison) algorithm — the seam coupling must be implicit:
         // the smallest azimuthal cells sit right at the wrap, and leaving
         // them explicitly coupled blows up at fine resolution.
-        if dir == 0 && periodic_in_i(block) {
-            flops += periodic_sweep_i(block, dt, dq, comm, &lines, n, &frames, ow);
-            for li in 0..nlines {
-                for c in 0..n {
-                    let p = node_at(li, c);
-                    let f = frames[li * n + c];
-                    let w = *dq.node(p);
-                    dq.set_node(p, from_char(&f, &w));
-                }
-            }
-            continue;
-        }
-
-        // Forward elimination (5 independent tridiagonal systems per line),
-        // *wavefront pipelined*: lines are processed in chunks; each chunk's
-        // boundary carries are exchanged as soon as the chunk is eliminated,
-        // so downstream ranks work on earlier chunks while this rank
-        // eliminates later ones (the standard pipelined-Thomas overlap).
-        let nchunks = if upstream.is_some() || downstream.is_some() {
-            PIPELINE_CHUNKS.min(nlines.max(1))
+        let periodic = dir == 0 && periodic_in_i(block);
+        if periodic {
+            flops += periodic_sweep_i(block, dt, dq, comm, lines, n, mpad, ow, ws);
         } else {
-            1
-        };
-        let chunk_bounds = |ch: usize| -> (usize, usize) {
-            let lo = nlines * ch / nchunks;
-            let hi = nlines * (ch + 1) / nchunks;
-            (lo, hi)
-        };
-        let mut cp = vec![0.0f64; n * nlines * NVAR];
+            // Frame (σ, λ) rows for the implicit coefficients: owned rows
+            // from the SoA, halo rows from the per-line halo frames.
+            let fr = &ws.fr;
+            let halo = &ws.halo;
+            let ls_of = |li: usize, c: isize| -> ([f64; NVAR], f64) {
+                if c >= 0 && (c as usize) < n {
+                    let m = li * n + c as usize;
+                    let mut lamv = [0.0f64; NVAR];
+                    for (v, x) in lamv.iter_mut().enumerate() {
+                        *x = fr[(kernels::FR_LAM + v) * mpad + m];
+                    }
+                    (lamv, fr[kernels::FR_SIG * mpad + m])
+                } else {
+                    let h = &halo[li * 2 + usize::from(c >= 0)];
+                    (h.lam, h.sigma)
+                }
+            };
+            // Forward elimination (5 independent tridiagonal systems per
+            // line), *wavefront pipelined*: lines are processed in chunks;
+            // each chunk's boundary carries are exchanged as soon as the
+            // chunk is eliminated, so downstream ranks work on earlier chunks
+            // while this rank eliminates later ones (the standard
+            // pipelined-Thomas overlap). Within each chunk, lines are
+            // eliminated in lane groups of up to `W` — one SIMD lane per
+            // line, each lane running the exact scalar recurrence.
+            let nchunks = if upstream.is_some() || downstream.is_some() {
+                PIPELINE_CHUNKS.min(nlines.max(1))
+            } else {
+                1
+            };
+            let chunk_bounds = |ch: usize| -> (usize, usize) {
+                let lo = nlines * ch / nchunks;
+                let hi = nlines * (ch + 1) / nchunks;
+                (lo, hi)
+            };
+            let gstride = n * NVAR * W;
+            let ngroups: usize = (0..nchunks)
+                .map(|ch| {
+                    let (lo, hi) = chunk_bounds(ch);
+                    (hi - lo).div_ceil(W)
+                })
+                .sum();
+            ensure_len(&mut ws.d, ngroups * gstride);
+            ensure_len(&mut ws.cp, ngroups * gstride);
+            ensure_len(&mut ws.lam, (n + 2) * NVAR * W);
+            ensure_len(&mut ws.sig, (n + 2) * W);
+            ensure_len(&mut ws.idm, n * W);
 
-        for ch in 0..nchunks {
-            let (clo, chi) = chunk_bounds(ch);
-            let chunk_lines = chi - clo;
-            let carries_in: Option<Vec<f64>> =
-                upstream.map(|_| comm.recv_line(block, dir, true, chunk_lines * 2 * NVAR));
-            let mut carries_out: Vec<f64> = Vec::new();
-            for li in clo..chi {
-                let mut prev_cp = [0.0f64; NVAR];
-                let mut prev_dp = [0.0f64; NVAR];
-                let mut have_prev = false;
-                if let Some(ci) = &carries_in {
-                    let base = (li - clo) * 2 * NVAR;
-                    prev_cp.copy_from_slice(&ci[base..base + NVAR]);
-                    prev_dp.copy_from_slice(&ci[base + NVAR..base + 2 * NVAR]);
-                    have_prev = true;
-                }
-                for c in 0..n {
-                    let p = node_at(li, c);
-                    let fm = frame_of(li, c as isize - 1);
-                    let f0 = frames[li * n + c];
-                    let fp = frame_of(li, c as isize + 1);
-                    let identity = block.iblank[p] != Blank::Field;
-                    let wnode = dq.node_mut(p);
-                    if identity {
-                        *wnode = [0.0; NVAR];
+            let mut g = 0usize;
+            for ch in 0..nchunks {
+                let (clo, chi) = chunk_bounds(ch);
+                let chunk_lines = chi - clo;
+                let carries_in: Option<Vec<f64>> =
+                    upstream.map(|_| comm.recv_line(block, dir, true, chunk_lines * 2 * NVAR));
+                let mut carries_out: Vec<f64> = Vec::new();
+                let mut gb = clo;
+                while gb < chi {
+                    let gl = (chi - gb).min(W);
+                    let goff = g * gstride;
+                    g += 1;
+                    pack_group(
+                        block,
+                        dq,
+                        &node_at,
+                        &ls_of,
+                        gb,
+                        gl,
+                        n,
+                        &mut ws.lam,
+                        &mut ws.sig,
+                        &mut ws.idm,
+                        &mut ws.d[goff..goff + gstride],
+                    );
+                    let mut ccp = [0.0f64; NVW];
+                    let mut cdp = [0.0f64; NVW];
+                    if let Some(ci) = &carries_in {
+                        for l in 0..W {
+                            let base = (gb + l.min(gl - 1) - clo) * 2 * NVAR;
+                            for v in 0..NVAR {
+                                ccp[v * W + l] = ci[base + v];
+                                cdp[v * W + l] = ci[base + NVAR + v];
+                            }
+                        }
                     }
-                    for v in 0..NVAR {
-                        let (a, b, cc) = if identity {
-                            (0.0, 1.0, 0.0)
-                        } else {
-                            (
-                                dt * (-0.5 * fm.lam[v] - BETA * fm.sigma),
-                                1.0 + 2.0 * BETA * dt * f0.sigma,
-                                dt * (0.5 * fp.lam[v] - BETA * fp.sigma),
-                            )
-                        };
-                        let (bp, num) = if have_prev {
-                            (b - a * prev_cp[v], wnode[v] - a * prev_dp[v])
-                        } else {
-                            (b, wnode[v])
-                        };
-                        let cpv = cc / bp;
-                        cp[(li * n + c) * NVAR + v] = cpv;
-                        wnode[v] = num / bp;
-                        prev_cp[v] = cpv;
-                        prev_dp[v] = wnode[v];
+                    kernels::sweep_forward_group(
+                        ws.isa,
+                        dt,
+                        n,
+                        &ws.lam,
+                        &ws.sig,
+                        &ws.idm,
+                        &mut ws.d[goff..goff + gstride],
+                        &mut ws.cp[goff..goff + gstride],
+                        &mut ccp,
+                        &mut cdp,
+                        carries_in.is_some(),
+                    );
+                    if downstream.is_some() {
+                        for l in 0..gl {
+                            for v in 0..NVAR {
+                                carries_out.push(ccp[v * W + l]);
+                            }
+                            for v in 0..NVAR {
+                                carries_out.push(cdp[v * W + l]);
+                            }
+                        }
                     }
-                    have_prev = true;
+                    gb += gl;
                 }
+                // Charge this chunk's transform + elimination work before its
+                // carry message is stamped.
+                comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 7 / 10));
                 if downstream.is_some() {
-                    carries_out.extend_from_slice(&prev_cp);
-                    carries_out.extend_from_slice(&prev_dp);
+                    comm.send_line(block, dir, true, carries_out);
                 }
             }
-            // Charge this chunk's transform + elimination work before its
-            // carry message is stamped.
-            comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 7 / 10));
-            if downstream.is_some() {
-                comm.send_line(block, dir, true, carries_out);
-            }
-        }
 
-        // Back substitution, pipelined the same way (upstream direction).
-        for ch in 0..nchunks {
-            let (clo, chi) = chunk_bounds(ch);
-            let chunk_lines = chi - clo;
-            let x_down: Option<Vec<f64>> =
-                downstream.map(|_| comm.recv_line(block, dir, false, chunk_lines * NVAR));
-            let mut firsts: Vec<f64> = Vec::new();
-            for li in clo..chi {
-                if let Some(xd) = &x_down {
-                    let p = node_at(li, n - 1);
-                    let wnode = dq.node_mut(p);
-                    for v in 0..NVAR {
-                        wnode[v] -= cp[(li * n + n - 1) * NVAR + v] * xd[(li - clo) * NVAR + v];
+            // Back substitution, pipelined the same way (upstream direction).
+            let mut g = 0usize;
+            for ch in 0..nchunks {
+                let (clo, chi) = chunk_bounds(ch);
+                let chunk_lines = chi - clo;
+                let x_down: Option<Vec<f64>> =
+                    downstream.map(|_| comm.recv_line(block, dir, false, chunk_lines * NVAR));
+                let mut firsts: Vec<f64> = Vec::new();
+                let mut gb = clo;
+                while gb < chi {
+                    let gl = (chi - gb).min(W);
+                    let goff = g * gstride;
+                    g += 1;
+                    let seed: Option<[f64; NVW]> = x_down.as_ref().map(|xd| {
+                        let mut s = [0.0f64; NVW];
+                        for l in 0..W {
+                            let base = (gb + l.min(gl - 1) - clo) * NVAR;
+                            for v in 0..NVAR {
+                                s[v * W + l] = xd[base + v];
+                            }
+                        }
+                        s
+                    });
+                    kernels::sweep_backward_group(
+                        ws.isa,
+                        n,
+                        &ws.cp[goff..goff + gstride],
+                        &mut ws.d[goff..goff + gstride],
+                        seed.as_ref(),
+                    );
+                    for l in 0..gl {
+                        let li = gb + l;
+                        for c in 0..n {
+                            let p = node_at(li, c);
+                            let mut w = [0.0f64; NVAR];
+                            for (v, wv) in w.iter_mut().enumerate() {
+                                *wv = ws.d[goff + (c * NVAR + v) * W + l];
+                            }
+                            dq.set_node(p, w);
+                        }
+                        if upstream.is_some() {
+                            for v in 0..NVAR {
+                                firsts.push(ws.d[goff + v * W + l]);
+                            }
+                        }
                     }
+                    gb += gl;
                 }
-                for c in (0..n - 1).rev() {
-                    let p = node_at(li, c);
-                    let next = *dq.node(node_at(li, c + 1));
-                    let wnode = dq.node_mut(p);
-                    for v in 0..NVAR {
-                        wnode[v] -= cp[(li * n + c) * NVAR + v] * next[v];
-                    }
-                }
+                comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 2 / 10));
                 if upstream.is_some() {
-                    firsts.extend_from_slice(dq.node(node_at(li, 0)));
+                    comm.send_line(block, dir, false, firsts);
                 }
-            }
-            comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR * 2 / 10));
-            if upstream.is_some() {
-                comm.send_line(block, dir, false, firsts);
             }
         }
 
-        // Transform back to conservative increments.
+        // Transform back to conservative increments (lane-batched).
         for li in 0..nlines {
             for c in 0..n {
-                let p = node_at(li, c);
-                let f = frames[li * n + c];
-                let w = *dq.node(p);
-                dq.set_node(p, from_char(&f, &w));
+                let m = li * n + c;
+                let w = dq.node(node_at(li, c));
+                for (v, &wv) in w.iter().enumerate() {
+                    ws.dw[v * mpad + m] = wv;
+                }
+            }
+        }
+        kernels::from_char_lanes(ws.isa, mpad, &ws.fr, &mut ws.dw);
+        for li in 0..nlines {
+            for c in 0..n {
+                let m = li * n + c;
+                let mut w = [0.0f64; NVAR];
+                for (v, wv) in w.iter_mut().enumerate() {
+                    *wv = ws.dw[v * mpad + m];
+                }
+                dq.set_node(node_at(li, c), w);
             }
         }
 
-        let rest = (n * nlines) as u64
-            * (FLOPS_PER_NODE_PER_DIR
-                - FLOPS_PER_NODE_PER_DIR * 7 / 10
-                - FLOPS_PER_NODE_PER_DIR * 2 / 10);
-        comm.compute(rest);
-        flops += (n * nlines) as u64 * FLOPS_PER_NODE_PER_DIR;
+        if !periodic {
+            let rest = (n * nlines) as u64
+                * (FLOPS_PER_NODE_PER_DIR
+                    - FLOPS_PER_NODE_PER_DIR * 7 / 10
+                    - FLOPS_PER_NODE_PER_DIR * 2 / 10);
+            comm.compute(rest);
+            flops += (n * nlines) as u64 * FLOPS_PER_NODE_PER_DIR;
+        }
     }
+    ws.lines = lines_buf;
     comm.trace_span("solver", "implicit_sweeps", t0);
     flops
 }
@@ -415,8 +688,11 @@ fn periodic_in_i(block: &Block) -> bool {
 }
 
 /// Tridiagonal row for characteristic variable `v` at a node, from the
-/// frames of its `i∓1`, own, and `i±1` nodes.
+/// frames of its `i∓1`, own, and `i±1` nodes. The batched kernels compute
+/// the same coefficients lanewise (`kernels::coeffs`); this scalar form is
+/// kept as the reference the tests verify against.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn row_abc(
     fm: &CharFrame,
     f0: &CharFrame,
@@ -452,8 +728,9 @@ fn periodic_sweep_i(
     comm: &mut impl SolverComm,
     lines: &[(usize, usize)],
     n_own: usize,
-    frames: &[CharFrame],
+    mpad: usize,
     ow: overset_grid::index::IndexBox,
+    ws: &mut SweepScratch,
 ) -> u64 {
     const DIR: usize = 0;
     let nlines = lines.len();
@@ -469,13 +746,21 @@ fn periodic_sweep_i(
         let (c1, c2) = lines[li];
         Ijk::new(ow.lo.i + c, c1, c2)
     };
-    let frame_of = |li: usize, c: isize| -> CharFrame {
+    // Frame (σ, λ) rows: owned from the SoA computed by
+    // `transform_to_char` (stride `n_own`), halo from the per-line frames.
+    let fr = &ws.fr;
+    let halo = &ws.halo;
+    let ls_of = |li: usize, c: isize| -> ([f64; NVAR], f64) {
         if c >= 0 && (c as usize) < n_own {
-            frames[li * n_own + c as usize]
+            let m = li * n_own + c as usize;
+            let mut lamv = [0.0f64; NVAR];
+            for (v, x) in lamv.iter_mut().enumerate() {
+                *x = fr[(kernels::FR_LAM + v) * mpad + m];
+            }
+            (lamv, fr[kernels::FR_SIG * mpad + m])
         } else {
-            let p0 = node_at(li, 0);
-            let base = (ow.lo.i as isize + c).max(0) as usize;
-            char_frame(block, Ijk::new(base, p0.j, p0.k), DIR)
+            let h = &halo[li * 2 + usize::from(c >= 0)];
+            (h.lam, h.sigma)
         }
     };
 
@@ -487,85 +772,126 @@ fn periodic_sweep_i(
     let chunk_bounds =
         |ch: usize| -> (usize, usize) { (nlines * ch / nchunks, nlines * (ch + 1) / nchunks) };
 
-    // Per-row storage: cp and the correction column z (y lives in dq).
-    let mut cp = vec![0.0f64; n * nlines * NVAR];
-    let mut z = vec![0.0f64; n * nlines * NVAR];
+    // Lane-transposed per-row storage (group-major, padded to `W` lanes):
+    // the physical RHS y, the normalized super-diagonals, and the rank-one
+    // correction column z.
+    let gstride = n * NVAR * W;
+    let ngroups: usize = (0..nchunks)
+        .map(|ch| {
+            let (lo, hi) = chunk_bounds(ch);
+            (hi - lo).div_ceil(W)
+        })
+        .sum();
+    ensure_len(&mut ws.d, ngroups * gstride);
+    ensure_len(&mut ws.cp, ngroups * gstride);
+    ensure_len(&mut ws.z, ngroups * gstride);
+    ensure_len(&mut ws.lam, (n + 2) * NVAR * W);
+    ensure_len(&mut ws.sig, (n + 2) * W);
+    ensure_len(&mut ws.idm, n * W);
     // Per-line S-M parameters (alpha, gamma per variable), valid on every
     // rank after the forward pass (carried down the chain).
-    let mut alpha = vec![[0.0f64; NVAR]; nlines];
-    let mut gamma = vec![[0.0f64; NVAR]; nlines];
+    ws.alpha.clear();
+    ws.alpha.resize(nlines, [0.0f64; NVAR]);
+    ws.gamma.clear();
+    ws.gamma.resize(nlines, [0.0f64; NVAR]);
 
     // ---- Forward elimination of y and z -------------------------------
+    let mut g = 0usize;
     for ch in 0..nchunks {
         let (clo, chi) = chunk_bounds(ch);
         let chunk_lines = chi - clo;
         // Carry layout per line: cp[5], y[5], z[5], alpha[5], gamma[5].
         let carries_in: Option<Vec<f64>> =
             upstream.map(|_| comm.recv_line(block, DIR, true, chunk_lines * 5 * NVAR));
-        let mut carries_out: Vec<f64> = Vec::new();
-        for li in clo..chi {
-            let mut prev_cp = [0.0f64; NVAR];
-            let mut prev_y = [0.0f64; NVAR];
-            let mut prev_z = [0.0f64; NVAR];
-            let mut have_prev = false;
-            if let Some(ci) = &carries_in {
+        if let Some(ci) = &carries_in {
+            for li in clo..chi {
                 let base = (li - clo) * 5 * NVAR;
-                prev_cp.copy_from_slice(&ci[base..base + NVAR]);
-                prev_y.copy_from_slice(&ci[base + NVAR..base + 2 * NVAR]);
-                prev_z.copy_from_slice(&ci[base + 2 * NVAR..base + 3 * NVAR]);
-                alpha[li].copy_from_slice(&ci[base + 3 * NVAR..base + 4 * NVAR]);
-                gamma[li].copy_from_slice(&ci[base + 4 * NVAR..base + 5 * NVAR]);
-                have_prev = true;
+                ws.alpha[li].copy_from_slice(&ci[base + 3 * NVAR..base + 4 * NVAR]);
+                ws.gamma[li].copy_from_slice(&ci[base + 4 * NVAR..base + 5 * NVAR]);
             }
-            for c in 0..n {
-                let p = node_at(li, c);
-                let fm = frame_of(li, c as isize - 1);
-                let f0 = frames[li * n_own + c];
-                let fp = frame_of(li, c as isize + 1);
-                let identity = block.iblank[p] != Blank::Field;
-                let wnode = dq.node_mut(p);
-                if identity {
-                    *wnode = [0.0; NVAR];
-                }
+        }
+        let mut carries_out: Vec<f64> = Vec::new();
+        let mut gb = clo;
+        while gb < chi {
+            let gl = (chi - gb).min(W);
+            let goff = g * gstride;
+            g += 1;
+            pack_group(
+                block,
+                dq,
+                &node_at,
+                &ls_of,
+                gb,
+                gl,
+                n,
+                &mut ws.lam,
+                &mut ws.sig,
+                &mut ws.idm,
+                &mut ws.d[goff..goff + gstride],
+            );
+            let mut ccp = [0.0f64; NVW];
+            let mut cy = [0.0f64; NVW];
+            let mut cz = [0.0f64; NVW];
+            let mut al = [0.0f64; NVW];
+            let mut ga = [0.0f64; NVW];
+            for l in 0..W {
+                let li = gb + l.min(gl - 1);
                 for v in 0..NVAR {
-                    let (a, mut b, cc) = row_abc(&fm, &f0, &fp, dt, v, identity);
-                    let mut u_rhs = 0.0;
-                    if is_first && c == 0 {
-                        // Corner entries of the cyclic system.
-                        gamma[li][v] = -b;
-                        alpha[li][v] = a;
-                        b -= gamma[li][v];
-                        u_rhs = gamma[li][v];
-                    }
-                    if is_last && c == n - 1 {
-                        // beta: coupling of the last row to node 0, through
-                        // the duplicated seam node's frame.
-                        let beta = cc;
-                        b -= alpha[li][v] * beta / gamma[li][v];
-                        u_rhs = beta;
-                    }
-                    let (bp, ynum, znum) = if have_prev {
-                        (b - a * prev_cp[v], wnode[v] - a * prev_y[v], u_rhs - a * prev_z[v])
-                    } else {
-                        (b, wnode[v], u_rhs)
-                    };
-                    let cpv = cc / bp;
-                    cp[(li * n + c) * NVAR + v] = cpv;
-                    wnode[v] = ynum / bp;
-                    z[(li * n + c) * NVAR + v] = znum / bp;
-                    prev_cp[v] = cpv;
-                    prev_y[v] = wnode[v];
-                    prev_z[v] = z[(li * n + c) * NVAR + v];
+                    al[v * W + l] = ws.alpha[li][v];
+                    ga[v * W + l] = ws.gamma[li][v];
                 }
-                have_prev = true;
+                if let Some(ci) = &carries_in {
+                    let base = (li - clo) * 5 * NVAR;
+                    for v in 0..NVAR {
+                        ccp[v * W + l] = ci[base + v];
+                        cy[v * W + l] = ci[base + NVAR + v];
+                        cz[v * W + l] = ci[base + 2 * NVAR + v];
+                    }
+                }
+            }
+            kernels::periodic_forward_group(
+                ws.isa,
+                dt,
+                n,
+                &ws.lam,
+                &ws.sig,
+                &ws.idm,
+                &mut ws.d[goff..goff + gstride],
+                &mut ws.z[goff..goff + gstride],
+                &mut ws.cp[goff..goff + gstride],
+                &mut al,
+                &mut ga,
+                &mut ccp,
+                &mut cy,
+                &mut cz,
+                carries_in.is_some(),
+                is_first,
+                is_last,
+            );
+            for l in 0..gl {
+                let li = gb + l;
+                for v in 0..NVAR {
+                    ws.alpha[li][v] = al[v * W + l];
+                    ws.gamma[li][v] = ga[v * W + l];
+                }
             }
             if downstream.is_some() {
-                carries_out.extend_from_slice(&prev_cp);
-                carries_out.extend_from_slice(&prev_y);
-                carries_out.extend_from_slice(&prev_z);
-                carries_out.extend_from_slice(&alpha[li]);
-                carries_out.extend_from_slice(&gamma[li]);
+                for l in 0..gl {
+                    let li = gb + l;
+                    for v in 0..NVAR {
+                        carries_out.push(ccp[v * W + l]);
+                    }
+                    for v in 0..NVAR {
+                        carries_out.push(cy[v * W + l]);
+                    }
+                    for v in 0..NVAR {
+                        carries_out.push(cz[v * W + l]);
+                    }
+                    carries_out.extend_from_slice(&ws.alpha[li]);
+                    carries_out.extend_from_slice(&ws.gamma[li]);
+                }
             }
+            gb += gl;
         }
         comm.compute((n * chunk_lines) as u64 * FLOPS_PER_NODE_PER_DIR);
         if downstream.is_some() {
@@ -575,8 +901,11 @@ fn periodic_sweep_i(
 
     // ---- Back substitution of y and z ---------------------------------
     // Per-line end values (y_last, z_last per var) travel upstream.
-    let mut y_last = vec![[0.0f64; NVAR]; nlines];
-    let mut z_last = vec![[0.0f64; NVAR]; nlines];
+    ws.y_last.clear();
+    ws.y_last.resize(nlines, [0.0f64; NVAR]);
+    ws.z_last.clear();
+    ws.z_last.resize(nlines, [0.0f64; NVAR]);
+    let mut g = 0usize;
     for ch in 0..nchunks {
         let (clo, chi) = chunk_bounds(ch);
         let chunk_lines = chi - clo;
@@ -584,47 +913,56 @@ fn periodic_sweep_i(
         let x_down: Option<Vec<f64>> =
             downstream.map(|_| comm.recv_line(block, DIR, false, chunk_lines * 4 * NVAR));
         let mut ups: Vec<f64> = Vec::new();
-        for li in clo..chi {
-            if let Some(xd) = &x_down {
-                let base = (li - clo) * 4 * NVAR;
-                let p = node_at(li, n - 1);
-                let row = (li * n + n - 1) * NVAR;
-                let wnode = dq.node_mut(p);
-                for v in 0..NVAR {
-                    wnode[v] -= cp[row + v] * xd[base + v];
-                    z[row + v] -= cp[row + v] * xd[base + NVAR + v];
+        let mut gb = clo;
+        while gb < chi {
+            let gl = (chi - gb).min(W);
+            let goff = g * gstride;
+            g += 1;
+            let seed: Option<([f64; NVW], [f64; NVW])> = x_down.as_ref().map(|xd| {
+                let mut sy = [0.0f64; NVW];
+                let mut sz = [0.0f64; NVW];
+                for l in 0..W {
+                    let base = (gb + l.min(gl - 1) - clo) * 4 * NVAR;
+                    for v in 0..NVAR {
+                        sy[v * W + l] = xd[base + v];
+                        sz[v * W + l] = xd[base + NVAR + v];
+                    }
                 }
-                y_last[li].copy_from_slice(&xd[base + 2 * NVAR..base + 3 * NVAR]);
-                z_last[li].copy_from_slice(&xd[base + 3 * NVAR..base + 4 * NVAR]);
-            } else {
-                // This rank owns the end of the chain: the last solved row.
-                let p = node_at(li, n - 1);
-                y_last[li] = *dq.node(p);
-                for v in 0..NVAR {
-                    z_last[li][v] = z[(li * n + n - 1) * NVAR + v];
+                (sy, sz)
+            });
+            kernels::periodic_backward_group(
+                ws.isa,
+                n,
+                &ws.cp[goff..goff + gstride],
+                &mut ws.d[goff..goff + gstride],
+                &mut ws.z[goff..goff + gstride],
+                seed.as_ref().map(|(sy, sz)| (sy, sz)),
+            );
+            for l in 0..gl {
+                let li = gb + l;
+                if let Some(xd) = &x_down {
+                    let base = (li - clo) * 4 * NVAR;
+                    ws.y_last[li].copy_from_slice(&xd[base + 2 * NVAR..base + 3 * NVAR]);
+                    ws.z_last[li].copy_from_slice(&xd[base + 3 * NVAR..base + 4 * NVAR]);
+                } else {
+                    // This rank owns the end of the chain: the last solved row.
+                    for v in 0..NVAR {
+                        ws.y_last[li][v] = ws.d[goff + ((n - 1) * NVAR + v) * W + l];
+                        ws.z_last[li][v] = ws.z[goff + ((n - 1) * NVAR + v) * W + l];
+                    }
+                }
+                if upstream.is_some() {
+                    for v in 0..NVAR {
+                        ups.push(ws.d[goff + v * W + l]);
+                    }
+                    for v in 0..NVAR {
+                        ups.push(ws.z[goff + v * W + l]);
+                    }
+                    ups.extend_from_slice(&ws.y_last[li]);
+                    ups.extend_from_slice(&ws.z_last[li]);
                 }
             }
-            for c in (0..n - 1).rev() {
-                let p = node_at(li, c);
-                let pn = node_at(li, c + 1);
-                let ynext = *dq.node(pn);
-                let row = (li * n + c) * NVAR;
-                let rown = (li * n + c + 1) * NVAR;
-                let wnode = dq.node_mut(p);
-                for v in 0..NVAR {
-                    wnode[v] -= cp[row + v] * ynext[v];
-                    z[row + v] -= cp[row + v] * z[rown + v];
-                }
-            }
-            if upstream.is_some() {
-                let p = node_at(li, 0);
-                ups.extend_from_slice(dq.node(p));
-                for v in 0..NVAR {
-                    ups.push(z[(li * n) * NVAR + v]);
-                }
-                ups.extend_from_slice(&y_last[li]);
-                ups.extend_from_slice(&z_last[li]);
-            }
+            gb += gl;
         }
         comm.compute((n * chunk_lines) as u64 * (FLOPS_PER_NODE_PER_DIR / 3));
         if upstream.is_some() {
@@ -635,53 +973,79 @@ fn periodic_sweep_i(
     // ---- Correction sweep ----------------------------------------------
     // First rank computes fact and x0 per line/var; everyone applies
     // x = y - fact z; the last rank also fixes the duplicated seam node.
+    let mut g = 0usize;
     for ch in 0..nchunks {
         let (clo, chi) = chunk_bounds(ch);
         let chunk_lines = chi - clo;
-        let mut fact = vec![[0.0f64; NVAR]; chunk_lines];
-        let mut x0 = vec![[0.0f64; NVAR]; chunk_lines];
+        ws.fact.clear();
+        ws.fact.resize(chunk_lines, [0.0f64; NVAR]);
+        ws.x0.clear();
+        ws.x0.resize(chunk_lines, [0.0f64; NVAR]);
         if is_first {
             for li in clo..chi {
-                let p0 = node_at(li, 0);
-                let y0 = *dq.node(p0);
+                let goff = (g + (li - clo) / W) * gstride;
+                let lane = (li - clo) % W;
                 for v in 0..NVAR {
-                    let z0 = z[(li * n) * NVAR + v];
-                    let g = gamma[li][v];
-                    let al = alpha[li][v];
-                    let denom = 1.0 + z0 + al * z_last[li][v] / g;
-                    let f = (y0[v] + al * y_last[li][v] / g) / denom;
-                    fact[li - clo][v] = f;
-                    x0[li - clo][v] = y0[v] - f * z0;
+                    let y0 = ws.d[goff + v * W + lane];
+                    let z0 = ws.z[goff + v * W + lane];
+                    let gam = ws.gamma[li][v];
+                    let al = ws.alpha[li][v];
+                    let denom = 1.0 + z0 + al * ws.z_last[li][v] / gam;
+                    let f = (y0 + al * ws.y_last[li][v] / gam) / denom;
+                    ws.fact[li - clo][v] = f;
+                    ws.x0[li - clo][v] = y0 - f * z0;
                 }
             }
         } else {
             let data = comm.recv_line(block, DIR, true, chunk_lines * 2 * NVAR);
             for l in 0..chunk_lines {
-                fact[l].copy_from_slice(&data[l * 2 * NVAR..l * 2 * NVAR + NVAR]);
-                x0[l].copy_from_slice(&data[l * 2 * NVAR + NVAR..(l + 1) * 2 * NVAR]);
+                ws.fact[l].copy_from_slice(&data[l * 2 * NVAR..l * 2 * NVAR + NVAR]);
+                ws.x0[l].copy_from_slice(&data[l * 2 * NVAR + NVAR..(l + 1) * 2 * NVAR]);
             }
         }
-        for li in clo..chi {
-            for c in 0..n {
-                let p = node_at(li, c);
-                let row = (li * n + c) * NVAR;
-                let wnode = dq.node_mut(p);
+        let mut gb = clo;
+        while gb < chi {
+            let gl = (chi - gb).min(W);
+            let goff = g * gstride;
+            g += 1;
+            let mut factl = [0.0f64; NVW];
+            for l in 0..W {
+                let li = gb + l.min(gl - 1);
                 for v in 0..NVAR {
-                    wnode[v] -= fact[li - clo][v] * z[row + v];
+                    factl[v * W + l] = ws.fact[li - clo][v];
                 }
             }
-            if is_last {
-                // Duplicated seam node mirrors node 0's solution.
-                let p = node_at(li, n);
-                dq.set_node(p, x0[li - clo]);
+            kernels::periodic_correct_group(
+                ws.isa,
+                n,
+                &factl,
+                &mut ws.d[goff..goff + gstride],
+                &ws.z[goff..goff + gstride],
+            );
+            for l in 0..gl {
+                let li = gb + l;
+                for c in 0..n {
+                    let p = node_at(li, c);
+                    let mut w = [0.0f64; NVAR];
+                    for (v, wv) in w.iter_mut().enumerate() {
+                        *wv = ws.d[goff + (c * NVAR + v) * W + l];
+                    }
+                    dq.set_node(p, w);
+                }
+                if is_last {
+                    // Duplicated seam node mirrors node 0's solution.
+                    let p = node_at(li, n);
+                    dq.set_node(p, ws.x0[li - clo]);
+                }
             }
+            gb += gl;
         }
         comm.compute((n * chunk_lines) as u64 * 4);
         if downstream.is_some() {
             let mut out = Vec::with_capacity(chunk_lines * 2 * NVAR);
             for l in 0..chunk_lines {
-                out.extend_from_slice(&fact[l]);
-                out.extend_from_slice(&x0[l]);
+                out.extend_from_slice(&ws.fact[l]);
+                out.extend_from_slice(&ws.x0[l]);
             }
             comm.send_line(block, DIR, true, out);
         }
@@ -755,7 +1119,7 @@ mod tests {
         let fc = FlowConditions::new(0.8, 0.0, 0.0);
         let b = uniform_block(7, &fc);
         let mut dq = StateField::new(b.local_dims);
-        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm, &mut SweepScratch::default());
         for v in dq.as_slice() {
             assert!(v.abs() < 1e-15);
         }
@@ -768,7 +1132,7 @@ mod tests {
         let mut dq = StateField::new(b.local_dims);
         let c = Ijk::new(3, 3, 3);
         dq.set_node(c, [1.0, 0.0, 0.0, 0.0, 0.0]);
-        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm, &mut SweepScratch::default());
         let v = dq.node(c)[0];
         assert!(v > 0.0 && v < 1.0, "center update {v}");
     }
@@ -782,7 +1146,7 @@ mod tests {
         let mut dq = StateField::new(b.local_dims);
         dq.set_node(hole, [5.0; 5]); // must be zeroed by the identity row
         dq.set_node(Ijk::new(4, 3, 3), [1.0, 0.0, 0.0, 0.0, 0.0]);
-        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm);
+        implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm, &mut SweepScratch::default());
         assert_eq!(*dq.node(hole), [0.0; 5]);
         assert!(dq.node(Ijk::new(4, 3, 3))[0] != 0.0);
     }
@@ -855,19 +1219,37 @@ mod tests {
                 lines.push((c1, c2));
             }
         }
-        // Transform rhs to characteristic variables (as implicit_sweeps does).
+        // Transform rhs to characteristic variables (as implicit_sweeps
+        // does, via the lane-batched stage), and keep the scalar AoS frames
+        // for the verification math below.
         let mut frames = Vec::new();
         for &(lj, lk) in lines.iter().take(nlines) {
             for c in 0..n_own {
                 let p = Ijk::new(ow.lo.i + c, lj, lk);
-                let f = char_frame(&b, p, 0);
-                let w = to_char(&f, dq.node(p));
-                dq.set_node(p, w);
-                frames.push(f);
+                frames.push(char_frame(&b, p, 0));
             }
         }
+        let mut ws = SweepScratch::default();
+        let node_at = |li: usize, c: usize| Ijk::new(ow.lo.i + c, lines[li].0, lines[li].1);
+        let halo_node = |li: usize, c: isize| {
+            Ijk::new((ow.lo.i as isize + c).max(0) as usize, lines[li].0, lines[li].1)
+        };
+        let mpad = transform_to_char(
+            &b,
+            &mut dq,
+            0,
+            &node_at,
+            &halo_node,
+            n_own,
+            nlines,
+            ws.isa,
+            &mut ws.gin,
+            &mut ws.dw,
+            &mut ws.fr,
+            &mut ws.halo,
+        );
         let rhs_char = dq.clone();
-        periodic_sweep_i(&b, fc.dt, &mut dq, &mut SerialComm, &lines, n_own, &frames, ow);
+        periodic_sweep_i(&b, fc.dt, &mut dq, &mut SerialComm, &lines, n_own, mpad, ow, &mut ws);
 
         // Verify A x = rhs for each line and variable, with A the cyclic
         // tridiagonal built from the same row coefficients.
@@ -905,6 +1287,27 @@ mod tests {
     }
 
     #[test]
+    fn simd_and_scalar_sweeps_bit_identical() {
+        // The AVX2 and scalar lane paths must produce bit-identical updates
+        // on both an open 3-D block and a periodic O-grid block.
+        let fc = FlowConditions::new(0.8, 3.0, 0.0);
+        let b = uniform_block(9, &fc);
+        let run = |isa: Isa| -> Vec<u64> {
+            let mut dq = StateField::new(b.local_dims);
+            for p in b.owned_local().iter().collect::<Vec<_>>() {
+                let v = ((p.i * 31 + p.j * 17 + p.k * 7) % 23) as f64 / 23.0 - 0.5;
+                dq.set_node(p, [v, 0.3 * v, -v, v * v, 0.1 + v]);
+            }
+            let mut ws = SweepScratch::new(isa);
+            implicit_sweeps(&b, &fc, &mut dq, &mut SerialComm, &mut ws);
+            dq.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        let scalar = run(Isa::Scalar);
+        let simd = run(select_isa(true));
+        assert_eq!(scalar, simd);
+    }
+
+    #[test]
     fn larger_dt_damps_more() {
         let mut fc = FlowConditions::new(0.8, 0.0, 0.0);
         let b = uniform_block(7, &fc);
@@ -912,7 +1315,7 @@ mod tests {
         let run = |fc: &FlowConditions| -> f64 {
             let mut dq = StateField::new(b.local_dims);
             dq.set_node(c, [1.0, 0.0, 0.0, 0.0, 0.0]);
-            implicit_sweeps(&b, fc, &mut dq, &mut SerialComm);
+            implicit_sweeps(&b, fc, &mut dq, &mut SerialComm, &mut SweepScratch::default());
             dq.node(c)[0]
         };
         fc.dt = 0.05;

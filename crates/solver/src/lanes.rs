@@ -1,0 +1,343 @@
+//! Lane-batching utilities for the compute kernels.
+//!
+//! The hot loops of this codebase — line-implicit eliminations, trilinear
+//! Newton inversions, containment tests — are all *batches of independent
+//! scalar problems*: one implicit line, one candidate cell, one node. The
+//! kernels in [`crate::kernels`] (and the connectivity crate) batch `W`
+//! such problems side by side, **one SIMD lane per problem**, and perform
+//! exactly the scalar operation sequence on each lane. Because AVX2's
+//! `add/sub/mul/div/sqrt` are IEEE-754 correctly rounded *per lane* and no
+//! horizontal operations (or FMA contractions) are ever used, each lane's
+//! result is bit-identical to the scalar code — the `use_simd` ablation and
+//! the batched-vs-scalar proptests pin this.
+//!
+//! Dispatch is resolved once per run: [`select_isa`] feature-detects AVX2
+//! the first time it is called and caches the answer; kernels take the
+//! resulting [`Isa`] value and monomorphize over the [`Lane4`] trait, whose
+//! two implementations ([`ScalarLanes`], and `AvxLanes` on x86-64) execute
+//! the same per-lane arithmetic. `Isa::Scalar` is therefore a *one-code-path*
+//! ablation: the batched structure runs unchanged, only the lane arithmetic
+//! is carried out by scalar instructions.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane width of every batched kernel (f64 lanes in one AVX2 register).
+pub const W: usize = 4;
+
+/// Which instruction set carries the lane arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Isa {
+    /// Portable fallback: the batched kernels run with `[f64; 4]` lanes.
+    /// The default, so library entry points that never see a driver config
+    /// stay conservative; the driver upgrades to the detected ISA.
+    #[default]
+    Scalar,
+    /// AVX2 `__m256d` lanes (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+/// 0 = unknown, 1 = unsupported, 2 = supported.
+static AVX2_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Does the host support AVX2? Feature-detected once, then cached.
+pub fn avx2_supported() -> bool {
+    match AVX2_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            let yes = std::arch::is_x86_feature_detected!("avx2");
+            #[cfg(not(target_arch = "x86_64"))]
+            let yes = false;
+            AVX2_STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// Resolve the dispatch for a run: AVX2 when requested *and* available,
+/// scalar lanes otherwise. `use_simd = false` (the `--no-simd` ablation)
+/// always selects [`Isa::Scalar`].
+pub fn select_isa(use_simd: bool) -> Isa {
+    if use_simd && avx2_supported() {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Four f64 lanes with IEEE-exact per-lane arithmetic.
+///
+/// Masks (from [`Lane4::lt`] / [`Lane4::mask`]) follow AVX2 `blendv`
+/// semantics: only the **sign bit** of each lane decides a select. The
+/// scalar implementation reproduces this exactly.
+pub trait Lane4: Copy {
+    fn splat(x: f64) -> Self;
+    /// Load 4 lanes from `src[0..4]`.
+    fn load(src: &[f64]) -> Self;
+    /// Store 4 lanes to `dst[0..4]`.
+    fn store(self, dst: &mut [f64]);
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    fn sqrt(self) -> Self;
+    fn neg(self) -> Self;
+    fn abs(self) -> Self;
+    /// Lanewise `self < o`: all-ones lanes where true, zero where false.
+    fn lt(self, o: Self) -> Self;
+    /// Lanewise `self <= o` mask.
+    fn le(self, o: Self) -> Self;
+    /// Per-lane select: lanes where `mask`'s sign bit is set take `a`,
+    /// otherwise `b` (AVX2 `blendv` semantics).
+    fn select(mask: Self, a: Self, b: Self) -> Self;
+    fn to_array(self) -> [f64; W];
+    /// Build a select mask from per-lane booleans (sign bit set when true).
+    fn mask(flags: [bool; W]) -> Self {
+        let mut m = [0.0f64; W];
+        for (v, f) in m.iter_mut().zip(flags) {
+            if f {
+                *v = f64::from_bits(1u64 << 63);
+            }
+        }
+        Self::load(&m)
+    }
+}
+
+/// Portable lane implementation: plain `[f64; 4]` arithmetic, lane by lane,
+/// in the same per-lane operation order as the AVX2 path.
+#[derive(Clone, Copy)]
+pub struct ScalarLanes(pub [f64; W]);
+
+macro_rules! lanewise {
+    ($a:expr, $b:expr, $op:tt) => {{
+        let (a, b) = ($a, $b);
+        ScalarLanes([a.0[0] $op b.0[0], a.0[1] $op b.0[1], a.0[2] $op b.0[2], a.0[3] $op b.0[3]])
+    }};
+}
+
+impl Lane4 for ScalarLanes {
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        ScalarLanes([x; W])
+    }
+    #[inline(always)]
+    fn load(src: &[f64]) -> Self {
+        ScalarLanes([src[0], src[1], src[2], src[3]])
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [f64]) {
+        dst[..W].copy_from_slice(&self.0);
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        lanewise!(self, o, +)
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        lanewise!(self, o, -)
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        lanewise!(self, o, *)
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        lanewise!(self, o, /)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        ScalarLanes(self.0.map(f64::sqrt))
+    }
+    #[inline(always)]
+    fn neg(self) -> Self {
+        ScalarLanes(self.0.map(|x| -x))
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        ScalarLanes(self.0.map(f64::abs))
+    }
+    #[inline(always)]
+    fn lt(self, o: Self) -> Self {
+        Self::mask([self.0[0] < o.0[0], self.0[1] < o.0[1], self.0[2] < o.0[2], self.0[3] < o.0[3]])
+    }
+    #[inline(always)]
+    fn le(self, o: Self) -> Self {
+        Self::mask([
+            self.0[0] <= o.0[0],
+            self.0[1] <= o.0[1],
+            self.0[2] <= o.0[2],
+            self.0[3] <= o.0[3],
+        ])
+    }
+    #[inline(always)]
+    fn select(mask: Self, a: Self, b: Self) -> Self {
+        let pick = |l: usize| if mask.0[l].to_bits() >> 63 != 0 { a.0[l] } else { b.0[l] };
+        ScalarLanes([pick(0), pick(1), pick(2), pick(3)])
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; W] {
+        self.0
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use avx::AvxLanes;
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{Lane4, W};
+    use std::arch::x86_64::*;
+
+    /// AVX2 lane implementation. Methods compile to single `vaddpd`-class
+    /// instructions once inlined into a `#[target_feature(enable = "avx2")]`
+    /// kernel body; they must only be *executed* on AVX2-capable hosts,
+    /// which the [`super::select_isa`] dispatch guarantees.
+    #[derive(Clone, Copy)]
+    pub struct AvxLanes(pub __m256d);
+
+    impl Lane4 for AvxLanes {
+        #[inline(always)]
+        fn splat(x: f64) -> Self {
+            AvxLanes(unsafe { _mm256_set1_pd(x) })
+        }
+        #[inline(always)]
+        fn load(src: &[f64]) -> Self {
+            assert!(src.len() >= W);
+            AvxLanes(unsafe { _mm256_loadu_pd(src.as_ptr()) })
+        }
+        #[inline(always)]
+        fn store(self, dst: &mut [f64]) {
+            assert!(dst.len() >= W);
+            unsafe { _mm256_storeu_pd(dst.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_add_pd(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_sub_pd(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_mul_pd(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_div_pd(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            AvxLanes(unsafe { _mm256_sqrt_pd(self.0) })
+        }
+        #[inline(always)]
+        fn neg(self) -> Self {
+            // XOR the sign bit: exact, matches scalar `-x` bit-for-bit.
+            AvxLanes(unsafe { _mm256_xor_pd(self.0, _mm256_set1_pd(-0.0)) })
+        }
+        #[inline(always)]
+        fn abs(self) -> Self {
+            AvxLanes(unsafe { _mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0) })
+        }
+        #[inline(always)]
+        fn lt(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_cmp_pd::<_CMP_LT_OQ>(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn le(self, o: Self) -> Self {
+            AvxLanes(unsafe { _mm256_cmp_pd::<_CMP_LE_OQ>(self.0, o.0) })
+        }
+        #[inline(always)]
+        fn select(mask: Self, a: Self, b: Self) -> Self {
+            AvxLanes(unsafe { _mm256_blendv_pd(b.0, a.0, mask.0) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f64; W] {
+            let mut out = [0.0; W];
+            self.store(&mut out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_scalar(a: [f64; W], b: [f64; W]) -> Vec<[f64; W]> {
+        run_ops::<ScalarLanes>(a, b)
+    }
+
+    fn run_ops<L: Lane4>(a: [f64; W], b: [f64; W]) -> Vec<[f64; W]> {
+        let (x, y) = (L::load(&a), L::load(&b));
+        vec![
+            x.add(y).to_array(),
+            x.sub(y).to_array(),
+            x.mul(y).to_array(),
+            x.div(y).to_array(),
+            x.sqrt().to_array(),
+            x.neg().to_array(),
+            x.abs().to_array(),
+            L::select(x.lt(y), x, y).to_array(),
+            L::select(x.le(y), y, x).to_array(),
+        ]
+    }
+
+    #[test]
+    fn scalar_lanes_match_plain_f64() {
+        let a = [1.5, -2.25, 3.0, 0.1];
+        let b = [0.5, 4.0, -1.5, 7.0];
+        let got = ops_scalar(a, b);
+        for l in 0..W {
+            assert_eq!(got[0][l].to_bits(), (a[l] + b[l]).to_bits());
+            assert_eq!(got[1][l].to_bits(), (a[l] - b[l]).to_bits());
+            assert_eq!(got[2][l].to_bits(), (a[l] * b[l]).to_bits());
+            assert_eq!(got[3][l].to_bits(), (a[l] / b[l]).to_bits());
+            assert_eq!(got[4][l].to_bits(), a[l].sqrt().to_bits());
+            assert_eq!(got[5][l].to_bits(), (-a[l]).to_bits());
+            assert_eq!(got[6][l].to_bits(), a[l].abs().to_bits());
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx_lanes_bit_match_scalar_lanes() {
+        if !avx2_supported() {
+            return; // gate dormant on scalar-only hosts
+        }
+        // Exercised through a #[target_feature] shim so the intrinsics are
+        // compiled with AVX2 enabled, as the kernels do.
+        #[target_feature(enable = "avx2")]
+        unsafe fn go(a: [f64; W], b: [f64; W]) -> Vec<[f64; W]> {
+            run_ops::<AvxLanes>(a, b)
+        }
+        let a = [1.5, -2.25, 3.0e-200, 0.1];
+        let b = [0.5, 4.0, -1.5e3, 7.0];
+        let want = ops_scalar(a, b);
+        let got = unsafe { go(a, b) };
+        for (w, g) in want.iter().zip(&got) {
+            for l in 0..W {
+                assert_eq!(w[l].to_bits(), g[l].to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn isa_selection_honors_the_ablation_flag() {
+        assert_eq!(select_isa(false), Isa::Scalar);
+        if avx2_supported() {
+            assert_eq!(select_isa(true), Isa::Avx2);
+        } else {
+            assert_eq!(select_isa(true), Isa::Scalar);
+        }
+    }
+
+    #[test]
+    fn mask_select_uses_sign_bit_only() {
+        let m = ScalarLanes::mask([true, false, true, false]);
+        let a = ScalarLanes::splat(1.0);
+        let b = ScalarLanes::splat(2.0);
+        assert_eq!(ScalarLanes::select(m, a, b).to_array(), [1.0, 2.0, 1.0, 2.0]);
+    }
+}

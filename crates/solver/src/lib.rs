@@ -18,13 +18,19 @@ pub mod adi;
 pub mod bc;
 pub mod block;
 pub mod conditions;
+pub mod kernels;
+pub mod lanes;
 pub mod rhs;
 pub mod step;
 pub mod tridiag;
 pub mod turbulence;
 
-pub use adi::{SerialComm, SolverComm};
+pub use adi::{SerialComm, SolverComm, SweepScratch};
 pub use block::{Blank, Block, HALO};
 pub use conditions::{FlowConditions, GAMMA};
+#[cfg(target_arch = "x86_64")]
+pub use lanes::AvxLanes;
+pub use lanes::{avx2_supported, select_isa, Isa, Lane4, ScalarLanes, W};
 pub use step::{step_block, Scratch, StepReport};
+pub use tridiag::TriScratch;
 pub use turbulence::WallGeometry;

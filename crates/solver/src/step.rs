@@ -1,7 +1,7 @@
 //! One implicit timestep on a block: the OVERFLOW phase of the OVERFLOW-D1
 //! loop.
 
-use crate::adi::{implicit_sweeps, SolverComm};
+use crate::adi::{implicit_sweeps, SolverComm, SweepScratch};
 use crate::bc::apply_bcs;
 use crate::block::{Blank, Block};
 use crate::conditions::FlowConditions;
@@ -12,11 +12,14 @@ use overset_grid::field::{StateField, NVAR};
 /// Reusable scratch fields for stepping (avoids per-step allocation).
 pub struct Scratch {
     pub res: StateField,
+    /// Line-sweep scratch + kernel ISA selection; the driver overrides
+    /// `sweep.isa` when the case disables SIMD (`use_simd = false`).
+    pub sweep: SweepScratch,
 }
 
 impl Scratch {
     pub fn for_block(block: &Block) -> Scratch {
-        Scratch { res: StateField::new(block.local_dims) }
+        Scratch { res: StateField::new(block.local_dims), sweep: SweepScratch::default() }
     }
 }
 
@@ -64,7 +67,7 @@ pub fn step_block(
     for v in scratch.res.as_mut_slice() {
         *v *= fc.dt;
     }
-    flops += implicit_sweeps(block, fc, &mut scratch.res, comm);
+    flops += implicit_sweeps(block, fc, &mut scratch.res, comm, &mut scratch.sweep);
 
     // Update field nodes.
     let ow = block.owned_local();

@@ -12,12 +12,31 @@
 //!   "solution convergence characteristics remain unchanged with different
 //!   numbers of processors" (Section 2.1 of the paper).
 
+/// Reusable elimination buffers for [`solve_with`] / [`solve_periodic_with`]:
+/// the normalized super-diagonal, the Sherman–Morrison modified diagonal, and
+/// the correction column. Buffers grow to the longest line seen and are then
+/// recycled, so steady-state line solves allocate nothing.
+#[derive(Default)]
+pub struct TriScratch {
+    cp: Vec<f64>,
+    bb: Vec<f64>,
+    z: Vec<f64>,
+}
+
 /// Solve `a[i] x[i-1] + b[i] x[i] + c[i] x[i+1] = d[i]` in place; the answer
 /// lands in `d`. `a[0]` and `c[n-1]` are ignored.
 pub fn solve(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    solve_with(a, b, c, d, &mut TriScratch::default());
+}
+
+/// [`solve`] with caller-owned scratch (bit-identical; no allocation once
+/// `ws` has grown to the line length).
+pub fn solve_with(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64], ws: &mut TriScratch) {
     let n = d.len();
     assert!(n >= 1 && a.len() == n && b.len() == n && c.len() == n);
-    let mut cp = vec![0.0f64; n];
+    ws.cp.clear();
+    ws.cp.resize(n, 0.0);
+    let cp = &mut ws.cp[..n];
     let mut bp = b[0];
     assert!(bp != 0.0);
     cp[0] = c[0] / bp;
@@ -35,30 +54,44 @@ pub fn solve(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
 /// Solve a periodic tridiagonal system (wrap coupling `a[0] x[n-1]` and
 /// `c[n-1] x[0]`) via the Sherman–Morrison formula. `n >= 3` required.
 pub fn solve_periodic(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    solve_periodic_with(a, b, c, d, &mut TriScratch::default());
+}
+
+/// [`solve_periodic`] with caller-owned scratch (bit-identical; no
+/// allocation once `ws` has grown to the line length).
+pub fn solve_periodic_with(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64], ws: &mut TriScratch) {
     let n = d.len();
     assert!(n >= 3);
     let alpha = a[0];
     let beta = c[n - 1];
     let gamma = -b[0];
 
-    // Modified diagonal.
-    let mut bb: Vec<f64> = b.to_vec();
+    // Modified diagonal. The inner solves borrow `ws.cp`, so the diagonal
+    // and correction column live in their own buffers, moved out of the
+    // scratch for the duration of the call.
+    let mut bb = std::mem::take(&mut ws.bb);
+    bb.clear();
+    bb.extend_from_slice(b);
     bb[0] = b[0] - gamma;
     bb[n - 1] = b[n - 1] - alpha * beta / gamma;
 
     // Solve A' y = d.
-    solve(a, &bb, c, d);
+    solve_with(a, &bb, c, d, ws);
 
     // Solve A' z = u, u = (gamma, 0, ..., 0, beta).
-    let mut z = vec![0.0f64; n];
+    let mut z = std::mem::take(&mut ws.z);
+    z.clear();
+    z.resize(n, 0.0);
     z[0] = gamma;
     z[n - 1] = beta;
-    solve(a, &bb, c, &mut z);
+    solve_with(a, &bb, c, &mut z, ws);
 
     let fact = (d[0] + a[0] * d[n - 1] / gamma) / (1.0 + z[0] + a[0] * z[n - 1] / gamma);
     for i in 0..n {
         d[i] -= fact * z[i];
     }
+    ws.bb = bb;
+    ws.z = z;
 }
 
 /// State carried across a subdomain boundary during the forward sweep of a
@@ -264,5 +297,34 @@ mod tests {
     #[test]
     fn flops_formula() {
         assert_eq!(thomas_flops(10), 70);
+    }
+
+    #[test]
+    fn scratch_threaded_variants_bit_identical_across_reuse() {
+        // One scratch reused across lines of different lengths (including a
+        // shrink) must reproduce the allocating wrappers bit for bit.
+        let mut ws = TriScratch::default();
+        for n in [25usize, 7, 17, 4] {
+            let (a, b, c, x) = sample_system(n);
+            let mut d1 = mat_vec(&a, &b, &c, &x, false);
+            let mut d2 = d1.clone();
+            solve(&a, &b, &c, &mut d1);
+            solve_with(&a, &b, &c, &mut d2, &mut ws);
+            assert_eq!(
+                d1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "open n={n}"
+            );
+
+            let mut p1 = mat_vec(&a, &b, &c, &x, true);
+            let mut p2 = p1.clone();
+            solve_periodic(&a, &b, &c, &mut p1);
+            solve_periodic_with(&a, &b, &c, &mut p2, &mut ws);
+            assert_eq!(
+                p1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                p2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "periodic n={n}"
+            );
+        }
     }
 }

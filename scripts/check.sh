@@ -45,6 +45,21 @@ if ! grep -q "ALLOC-GATE: PASS" <<< "$ARENA_OUT"; then
     exit 1
 fi
 
+echo "== SIMD ablation smoke test =="
+# Bit-equality of states/walks/virtual clocks between the lane-batched and
+# scalar kernels is required. The host-speedup gate (SIMD-GATE) is advisory
+# at quick effort: the quick cases are small and CI hosts are noisy/often
+# oversubscribed, so a FAIL is reported but does not fail the check.
+SIMD_OUT="$(./target/release/repro ablate-simd --quick)"
+if grep -q "DIVERGED" <<< "$SIMD_OUT" || ! grep -q "bit-equal" <<< "$SIMD_OUT"; then
+    echo "ablate-simd: results diverged between SIMD on/off" >&2
+    exit 1
+fi
+if ! grep -q "SIMD-GATE: PASS" <<< "$SIMD_OUT"; then
+    echo "ablate-simd: host-speedup gate did not pass (advisory at quick effort):" >&2
+    grep "SIMD-GATE" <<< "$SIMD_OUT" >&2 || true
+fi
+
 echo "== analyzer smoke test =="
 ./target/release/repro analyze table1 --quick > /dev/null
 
